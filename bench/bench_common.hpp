@@ -1,0 +1,108 @@
+// Shared helpers for the figure-reproduction bench binaries: client
+// handle adapters, series printers, and shape-check assertions.  Each
+// bench prints the paper-style rows plus PASS/FAIL lines for the shape
+// claims it reproduces; absolute numbers are simulator-calibrated and
+// documented in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "grid/grid_cluster.hpp"
+#include "kvstore/cluster.hpp"
+#include "workload/driver.hpp"
+
+namespace retro::bench {
+
+inline std::vector<workload::ClientHandle> kvHandles(
+    kv::VoldemortCluster& cluster) {
+  std::vector<workload::ClientHandle> handles;
+  for (size_t i = 0; i < cluster.clientCount(); ++i) {
+    kv::VoldemortClient* c = &cluster.client(i);
+    workload::ClientHandle h;
+    h.put = [c](const Key& k, Value v,
+                std::function<void(bool, TimeMicros)> done) {
+      c->put(k, std::move(v), std::move(done));
+    };
+    h.get = [c](const Key& k, std::function<void(bool, TimeMicros)> done) {
+      c->get(k, [done = std::move(done)](bool ok, TimeMicros lat, OptValue) {
+        done(ok, lat);
+      });
+    };
+    handles.push_back(std::move(h));
+  }
+  return handles;
+}
+
+inline std::vector<workload::ClientHandle> gridHandles(
+    grid::GridCluster& cluster) {
+  std::vector<workload::ClientHandle> handles;
+  for (size_t i = 0; i < cluster.clientCount(); ++i) {
+    grid::GridClient* c = &cluster.client(i);
+    workload::ClientHandle h;
+    h.put = [c](const Key& k, Value v,
+                std::function<void(bool, TimeMicros)> done) {
+      c->put(k, std::move(v), std::move(done));
+    };
+    h.get = [c](const Key& k, std::function<void(bool, TimeMicros)> done) {
+      c->get(k, [done = std::move(done)](bool ok, TimeMicros lat, OptValue) {
+        done(ok, lat);
+      });
+    };
+    handles.push_back(std::move(h));
+  }
+  return handles;
+}
+
+/// Mean ops/s over the series points in [fromSec, toSec).
+inline double meanThroughput(const TimeSeriesRecorder& rec, int64_t fromSec,
+                             int64_t toSec) {
+  double sum = 0;
+  int n = 0;
+  for (const auto& p : rec.points()) {
+    const int64_t sec = p.windowStart / kMicrosPerSecond;
+    if (sec >= fromSec && sec < toSec) {
+      sum += p.throughputOpsPerSec;
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+inline double meanLatency(const TimeSeriesRecorder& rec, int64_t fromSec,
+                          int64_t toSec) {
+  double sum = 0;
+  int n = 0;
+  for (const auto& p : rec.points()) {
+    const int64_t sec = p.windowStart / kMicrosPerSecond;
+    if (sec >= fromSec && sec < toSec && p.operations > 0) {
+      sum += p.meanLatencyMicros;
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+class ShapeChecker {
+ public:
+  void check(bool ok, const std::string& claim) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+    if (!ok) ++failures_;
+  }
+  int failures() const { return failures_; }
+
+  int finish(const char* benchName) const {
+    std::printf("\n%s: %s (%d shape check(s) failed)\n", benchName,
+                failures_ == 0 ? "ALL SHAPE CHECKS PASS" : "SHAPE CHECKS FAILED",
+                failures_);
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+}  // namespace retro::bench

@@ -1,0 +1,106 @@
+// Fig. 1 / §I / §II: why HLC and not NTP, LC, or VC.
+//
+//   * naive NTP-time cuts become inconsistent once clock skew exceeds
+//     the message latency (Fig. 1's e hb f with pt.e > pt.f);
+//   * HLC cuts are consistent at every probed time under every skew;
+//   * vector clocks can repair an NTP cut, but only by retreating it
+//     (staleness), and cost Theta(n) bytes on every message while HLC
+//     stays at 8 bytes.
+#include <cstdio>
+
+#include "baselines/clock_harness.hpp"
+#include "baselines/vc_snapshot.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace retro;
+
+int main() {
+  std::printf("=== Fig. 1 / clock-scheme baselines ===\n");
+  std::printf("8 nodes, 450 us mean message latency, 3 s runs\n\n");
+  bench::ShapeChecker shape;
+
+  // --- Sweep clock skew: NTP cut consistency vs HLC cut consistency ---
+  std::printf("skew sweep (cut consistency, 50 probes per run):\n");
+  std::printf("%12s %18s %18s %14s\n", "skew", "NTP-cut bad", "HLC-cut bad",
+              "VC fixup lag");
+  int ntpBadAtHighSkew = 0;
+  int ntpBadAtZeroSkew = -1;
+  for (TimeMicros skew : {0ll, 200ll, 1'000ll, 5'000ll, 20'000ll, 100'000ll}) {
+    baselines::ClockHarnessConfig cfg;
+    cfg.nodes = 8;
+    cfg.seed = 42;
+    cfg.clocks.maxSkewMicros = skew;
+    baselines::ClockHarness harness(cfg);
+    harness.run(3 * kMicrosPerSecond);
+    const auto& rec = harness.recorder();
+
+    int ntpBad = 0;
+    int hlcBad = 0;
+    uint64_t vcLag = 0;
+    int probes = 0;
+    for (TimeMicros t = 200'000; t <= 2'800'000; t += 53'000) {
+      ++probes;
+      const auto ntpCut = rec.cutByPerceivedTime(t);
+      if (!rec.isConsistent(ntpCut)) ++ntpBad;
+      if (!rec.isConsistent(
+              rec.cutByHlc({t / 1000, hlc::Timestamp::kMaxLogical}))) {
+        ++hlcBad;
+      }
+      const auto fixed = baselines::maximalConsistentCutBefore(rec, ntpCut);
+      vcLag += baselines::cutLag(ntpCut, fixed.cut);
+    }
+    std::printf("%9lld us %11d /%3d %11d /%3d %11llu ev\n",
+                static_cast<long long>(skew), ntpBad, probes, hlcBad, probes,
+                static_cast<unsigned long long>(vcLag));
+    if (skew == 0) ntpBadAtZeroSkew = ntpBad;
+    if (skew == 100'000) ntpBadAtHighSkew = ntpBad;
+    if (hlcBad != 0) shape.check(false, "HLC cut inconsistent at skew");
+  }
+  std::printf("\n");
+  shape.check(true, "HLC cuts consistent at every probe under every skew");
+  shape.check(ntpBadAtZeroSkew == 0, "NTP cuts fine with perfect clocks");
+  shape.check(ntpBadAtHighSkew > 10,
+              "NTP cuts mostly broken once skew >> latency (Fig. 1)");
+
+  // --- Wire overhead: HLC constant 8 B, VC Theta(n) ---
+  std::printf("timestamp bytes per message vs cluster size:\n");
+  std::printf("%8s %8s %8s %8s\n", "n", "HLC", "LC", "VC");
+  double vc64 = 0;
+  for (size_t n : {3u, 8u, 16u, 32u, 64u}) {
+    baselines::ClockHarnessConfig cfg;
+    cfg.nodes = n;
+    cfg.seed = 7;
+    baselines::ClockHarness harness(cfg);
+    harness.run(kMicrosPerSecond / 2);
+    std::printf("%8zu %8.0f %8.0f %8.1f\n", n, harness.hlcBytesPerMessage(),
+                harness.lcBytesPerMessage(), harness.vcBytesPerMessage());
+    if (n == 64) vc64 = harness.vcBytesPerMessage();
+  }
+  std::printf("\n");
+  shape.check(vc64 >= 64 * 8, "VC overhead grows linearly: >= 8n bytes/msg");
+  shape.check(vc64 / 8.0 >= 60.0, "VC/HLC overhead ratio ~ n at n=64");
+
+  // --- HLC internals stay bounded (§II) ---
+  {
+    // The paper's "c < 10 in practice" claim held under its evaluation
+    // conditions: well-disciplined NTP (~1 ms skew) and moderate event
+    // rates.  c is bounded by (clock lead) / (event spacing), so we
+    // reproduce those conditions; the skew sweep above already showed
+    // correctness is unaffected when c grows under harsher skew.
+    baselines::ClockHarnessConfig cfg;
+    cfg.nodes = 8;
+    cfg.sendPeriodMicros = 2500;
+    cfg.clocks.maxSkewMicros = 1'000;
+    baselines::ClockHarness harness(cfg);
+    harness.run(4 * kMicrosPerSecond);
+    std::printf("HLC internals under busy traffic: max c = %u, max l-pt = %lld ms\n",
+                harness.maxHlcLogical(),
+                static_cast<long long>(harness.maxHlcDriftMillis()));
+    shape.check(harness.maxHlcLogical() < 10,
+                "HLC logical component c stays small (paper: < 10)");
+    shape.check(harness.maxHlcDriftMillis() <= 3,
+                "HLC drift l - pt bounded by the clock skew");
+  }
+
+  return shape.finish("bench_fig01_clock_baselines");
+}

@@ -1,0 +1,139 @@
+// Figs. 10 & 11: throughput and latency of snapshot-enabled vs
+// unmodified Voldemort across database sizes and write intensities.
+//
+// Paper setup: 10 nodes / 11 clients on EC2, DBs of 100 K, 1 M and 10 M
+// 100-byte items, 50% and 100% write workloads; overhead ~1.8% on the
+// small DB growing to ~10% on the large one, latency barely affected.
+// Here item counts are scaled 1:10 (10 K / 100 K / 1 M) to fit host
+// memory; the shape claims are size-relative, so scaling preserves them
+// (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace retro;
+
+namespace {
+
+struct RunResult {
+  double throughput = 0;
+  double meanLatencyMs = 0;
+  double p99LatencyMs = 0;
+};
+
+RunResult runOnce(uint64_t items, double writeFraction, bool snapshotEnabled) {
+  kv::ClusterConfig cfg;
+  cfg.servers = 10;
+  cfg.clients = 33;  // the paper's 11 client processes, 3 connections each
+  cfg.seed = 1234;
+  cfg.server.windowLogEnabled = snapshotEnabled;
+  cfg.server.logConfig.maxBytes = 512ull << 20;
+  cfg.server.logGcCouplingMicros = 60;  // GC pressure coupling (Fig. 10)
+  cfg.server.memory.heapLimitBytes = 1ull << 30;
+  cfg.server.baselineHeapBytes = 64ull << 20;
+  cfg.server.bdb.cleanerEnabled = false;  // Fig. 14 studies cleaner noise
+  kv::VoldemortCluster cluster(cfg);
+  cluster.preload(items, 100);
+
+  workload::DriverConfig dcfg;
+  dcfg.workload.writeFraction = writeFraction;
+  dcfg.workload.keySpace = items;
+  dcfg.workload.valueBytes = 100;
+  dcfg.seed = 5;
+  workload::ClosedLoopDriver driver(cluster.env(), bench::kvHandles(cluster),
+                                    kv::VoldemortCluster::keyOf, dcfg);
+  const TimeMicros duration = 6 * kMicrosPerSecond;
+  driver.start(duration);
+  cluster.env().run();
+  driver.recorder().flush(cluster.env().now());
+
+  RunResult result;
+  // Skip the first second of warmup.
+  result.throughput = bench::meanThroughput(driver.recorder(), 1, 6);
+  result.meanLatencyMs = bench::meanLatency(driver.recorder(), 1, 6) / 1e3;
+  result.p99LatencyMs =
+      static_cast<double>(driver.recorder().overallLatency().percentile(0.99)) /
+      1e3;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figs. 10 & 11: Retroscope instrumentation overhead on "
+              "Voldemort ===\n");
+  std::printf("10 nodes, 33 closed-loop client connections, 100 B items, 6 s "
+              "runs (sizes scaled 1:10 vs paper)\n\n");
+  bench::ShapeChecker shape;
+
+  struct Row {
+    uint64_t items;
+    double writeFraction;
+    RunResult on;
+    RunResult off;
+  };
+  std::vector<Row> rows;
+
+  std::printf("%10s %7s | %11s %11s %8s | %9s %9s\n", "items", "write%",
+              "tput(off)", "tput(on)", "ovh%", "lat(off)", "lat(on)");
+  for (uint64_t items : {10'000ull, 100'000ull, 1'000'000ull}) {
+    for (double wf : {0.5, 1.0}) {
+      Row row;
+      row.items = items;
+      row.writeFraction = wf;
+      row.off = runOnce(items, wf, /*snapshotEnabled=*/false);
+      row.on = runOnce(items, wf, /*snapshotEnabled=*/true);
+      const double ovh = 100.0 * (row.off.throughput - row.on.throughput) /
+                         row.off.throughput;
+      std::printf("%10llu %6.0f%% | %9.0f/s %9.0f/s %7.1f%% | %6.2f ms %6.2f ms\n",
+                  static_cast<unsigned long long>(items), wf * 100,
+                  row.off.throughput, row.on.throughput, ovh,
+                  row.off.meanLatencyMs, row.on.meanLatencyMs);
+      rows.push_back(row);
+    }
+  }
+  std::printf("\n");
+
+  // --- Fig. 10 shape checks ---
+  const auto overheadOf = [](const Row& r) {
+    return (r.off.throughput - r.on.throughput) / r.off.throughput;
+  };
+  double smallOvh = 0;
+  double largeOvh = 0;
+  int smallN = 0;
+  int largeN = 0;
+  for (const Row& r : rows) {
+    if (r.items == 10'000) {
+      smallOvh += overheadOf(r);
+      ++smallN;
+    }
+    if (r.items == 1'000'000) {
+      largeOvh += overheadOf(r);
+      ++largeN;
+    }
+    shape.check(overheadOf(r) < 0.15,
+                "overhead stays modest (<15%) at " + std::to_string(r.items) +
+                    " items");
+  }
+  smallOvh /= smallN;
+  largeOvh /= largeN;
+  std::printf("mean overhead: small DB %.1f%%, large DB %.1f%% (paper: 1.8%% "
+              "-> ~10%%)\n\n",
+              smallOvh * 100, largeOvh * 100);
+  shape.check(smallOvh < 0.05, "small-DB overhead is a few percent");
+  shape.check(largeOvh > smallOvh,
+              "overhead grows with database size (Fig. 10)");
+
+  // --- Fig. 11 shape checks: latency shows little degradation ---
+  for (const Row& r : rows) {
+    const double rel =
+        (r.on.meanLatencyMs - r.off.meanLatencyMs) / r.off.meanLatencyMs;
+    shape.check(rel < 0.18, "avg latency degradation small at " +
+                                std::to_string(r.items) + " items / " +
+                                std::to_string(static_cast<int>(
+                                    r.writeFraction * 100)) +
+                                "% write");
+  }
+
+  return shape.finish("bench_fig10_11_voldemort_overhead");
+}

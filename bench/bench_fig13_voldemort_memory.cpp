@@ -1,0 +1,142 @@
+// Fig. 13: memory consumption of a single Voldemort node under 100%
+// write load with an *unbounded* window-log.
+//
+// Paper: ~5004 ops/s while unpressured; the estimate formula's projected
+// log size tracks actual memory; as consumption nears the 2 GB limit the
+// JVM spends its time in GC and throughput collapses; the node dies of
+// OutOfMemoryError at ~560 s.  Scaled 1:8 (256 MB heap) so the bench
+// finishes in seconds of wall time; the trajectory is heap-relative.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "log/estimator.hpp"
+
+using namespace retro;
+
+int main() {
+  std::printf("=== Fig. 13: single-node memory growth under write load ===\n");
+  std::printf("1 node, 20 clients, 100%% write, 100 B items, unbounded "
+              "window-log, 128 MB heap (scaled 1:16)\n\n");
+  bench::ShapeChecker shape;
+
+  kv::ClusterConfig cfg;
+  cfg.servers = 1;
+  cfg.clients = 20;
+  cfg.seed = 99;
+  cfg.client.replicas = 1;
+  cfg.client.requiredWrites = 1;
+  cfg.client.opTimeoutMicros = 5 * kMicrosPerSecond;  // survive node death
+  cfg.server.windowLogEnabled = true;
+  cfg.server.logConfig.maxBytes = 0;  // unbounded: this is the experiment
+  cfg.server.logConfig.maxEntries = 0;
+  cfg.server.memory.heapLimitBytes = 128ull << 20;
+  cfg.server.baselineHeapBytes = 16ull << 20;
+  cfg.server.jvmOverheadFactor = 1.0;  // keep the focus on the log
+  cfg.server.bdb.cleanerEnabled = false;
+  kv::VoldemortCluster cluster(cfg);
+  cluster.preload(50'000, 100);
+
+  workload::DriverConfig dcfg;
+  dcfg.workload.writeFraction = 1.0;
+  dcfg.workload.keySpace = 50'000;
+  dcfg.workload.valueBytes = 100;
+  workload::ClosedLoopDriver driver(cluster.env(), bench::kvHandles(cluster),
+                                    kv::VoldemortCluster::keyOf, dcfg);
+  driver.start(1200 * kMicrosPerSecond);  // long enough for the node to die
+
+  // Sample memory + throughput every simulated 5 s.
+  struct Sample {
+    int64_t sec;
+    double opsPerSec;
+    double actualLogMB;
+    double projectedMB;
+    double slowdown;
+  };
+  std::vector<Sample> samples;
+  double steadyRate = 0;  // measured early append rate, for the estimator
+
+  TimeMicros diedAt = 0;
+  std::function<void()> sampler = [&] {
+    auto& server = cluster.server(0);
+    if (!server.isAlive()) {
+      if (diedAt == 0) diedAt = cluster.env().now();
+      return;
+    }
+    const int64_t sec = cluster.env().now() / kMicrosPerSecond;
+    driver.recorder().flush(cluster.env().now());
+    const double tput = bench::meanThroughput(driver.recorder(),
+                                              std::max<int64_t>(0, sec - 5),
+                                              sec);
+    if (sec == 10) steadyRate = tput;
+    log::EstimatorParams params;
+    params.appendsPerSecond = steadyRate > 0 ? steadyRate : tput;
+    params.avgItemBytes = 100;
+    params.avgKeyBytes = 14;
+    samples.push_back(
+        {sec, tput,
+         static_cast<double>(server.retroscope().totalLogBytes()) / 1e6,
+         log::estimateLogBytes(params, static_cast<double>(sec)) / 1e6,
+         server.executor().slowdownFactor()});
+    cluster.env().scheduleDaemon(5 * kMicrosPerSecond, sampler);
+  };
+  cluster.env().scheduleDaemon(5 * kMicrosPerSecond, sampler);
+
+  cluster.env().run();
+  if (diedAt == 0 && !cluster.server(0).isAlive()) {
+    diedAt = cluster.env().now();
+  }
+
+  std::printf("%6s %10s %14s %14s %10s\n", "t(s)", "ops/s", "log MB (act)",
+              "log MB (proj)", "gc slow");
+  for (const auto& s : samples) {
+    std::printf("%6lld %10.0f %14.1f %14.1f %9.1fx\n",
+                static_cast<long long>(s.sec), s.opsPerSec, s.actualLogMB,
+                s.projectedMB, s.slowdown);
+  }
+
+  std::printf("\nnode died of OutOfMemory at t=%.1f s\n", diedAt / 1e6);
+
+  // --- shape checks ---
+  shape.check(diedAt > 0, "node eventually dies of OutOfMemory");
+
+  // Early throughput around the paper's single-node figure (~5004 op/s).
+  double early = 0;
+  int earlyN = 0;
+  for (const auto& s : samples) {
+    if (s.sec >= 10 && s.sec <= 30) {
+      early += s.opsPerSec;
+      ++earlyN;
+    }
+  }
+  early /= std::max(earlyN, 1);
+  std::printf("steady-state throughput before memory pressure: %.0f ops/s\n",
+              early);
+  shape.check(early > 3000 && early < 8000,
+              "unpressured throughput ~5k ops/s (paper: 5004)");
+
+  // Projection tracks actuals while unpressured (paper: 1362 vs 1509 MB).
+  bool projectionClose = true;
+  for (const auto& s : samples) {
+    if (s.sec >= 20 && s.slowdown < 1.05 && s.actualLogMB > 10) {
+      const double rel = std::abs(s.projectedMB - s.actualLogMB) /
+                         s.actualLogMB;
+      if (rel > 0.25) projectionClose = false;
+    }
+  }
+  shape.check(projectionClose,
+              "estimate formula tracks actual log size within 25%");
+
+  // GC collapse before death: throughput at the end << early throughput.
+  double late = samples.empty() ? 0 : samples.back().opsPerSec;
+  for (size_t i = samples.size(); i-- > 0;) {
+    if (samples[i].opsPerSec > 0) {
+      late = samples[i].opsPerSec;
+      break;
+    }
+  }
+  std::printf("final throughput under GC pressure: %.0f ops/s\n\n", late);
+  shape.check(late < early * 0.6,
+              "throughput collapses under GC pressure before death");
+
+  return shape.finish("bench_fig13_voldemort_memory");
+}

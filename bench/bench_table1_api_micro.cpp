@@ -1,0 +1,131 @@
+// Table I micro-costs: the per-call price of the Retroscope API —
+// HLC ticks, message wrap/unwrap, window-log appends, and computeDiff
+// at several window sizes — measured with google-benchmark on the real
+// (non-simulated) library code.
+#include <benchmark/benchmark.h>
+
+#include "core/retroscope.hpp"
+
+namespace retro {
+namespace {
+
+class FakePhysicalClock final : public hlc::PhysicalClock {
+ public:
+  int64_t nowMillis() override { return now_++ / 64; }  // slow-moving clock
+
+ private:
+  int64_t now_ = 0;
+};
+
+void BM_TimeTickLocal(benchmark::State& state) {
+  FakePhysicalClock pt;
+  hlc::Clock clock(pt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.tick());
+  }
+}
+BENCHMARK(BM_TimeTickLocal);
+
+void BM_TimeTickRemote(benchmark::State& state) {
+  FakePhysicalClock pt;
+  hlc::Clock clock(pt);
+  hlc::Timestamp remote{100, 3};
+  for (auto _ : state) {
+    remote.l += 1;
+    benchmark::DoNotOptimize(clock.tick(remote));
+  }
+}
+BENCHMARK(BM_TimeTickRemote);
+
+void BM_WrapHlc(benchmark::State& state) {
+  FakePhysicalClock pt;
+  hlc::Clock clock(pt);
+  for (auto _ : state) {
+    ByteWriter w;
+    benchmark::DoNotOptimize(hlc::wrapHlc(clock, w));
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_WrapHlc);
+
+void BM_UnwrapHlc(benchmark::State& state) {
+  FakePhysicalClock pt;
+  hlc::Clock clock(pt);
+  ByteWriter w;
+  hlc::Timestamp{123456, 2}.writeTo(w);
+  const std::string msg = w.take();
+  for (auto _ : state) {
+    ByteReader r(msg);
+    benchmark::DoNotOptimize(hlc::unwrapHlc(clock, r));
+  }
+}
+BENCHMARK(BM_UnwrapHlc);
+
+void BM_AppendToLog(benchmark::State& state) {
+  FakePhysicalClock pt;
+  log::WindowLogConfig cfg;
+  cfg.maxEntries = 1 << 20;
+  core::Retroscope rs(pt, cfg);
+  const Value value(static_cast<size_t>(state.range(0)), 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    rs.timeTick();
+    rs.appendToLog("bench", "key-" + std::to_string(i++ % 1000),
+                   value, value);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AppendToLog)->Arg(16)->Arg(100)->Arg(1024);
+
+void BM_ComputeDiff(benchmark::State& state) {
+  // Diff over a window of `range` entries touching 1000 distinct keys —
+  // measures the operation-shadowing compaction walk (Fig. 6).
+  FakePhysicalClock pt;
+  core::Retroscope rs(pt);
+  const Value value(100, 'v');
+  const auto entries = static_cast<uint64_t>(state.range(0));
+  rs.timeTick();
+  const hlc::Timestamp start = rs.now();
+  for (uint64_t i = 0; i < entries; ++i) {
+    rs.timeTick();
+    rs.appendToLog("bench", "key-" + std::to_string(i % 1000), value, value);
+  }
+  for (auto _ : state) {
+    auto diff = rs.computeDiff("bench", start);
+    benchmark::DoNotOptimize(diff.isOk());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(entries));
+}
+BENCHMARK(BM_ComputeDiff)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ComputeDiffRange(benchmark::State& state) {
+  FakePhysicalClock pt;
+  core::Retroscope rs(pt);
+  const Value value(100, 'v');
+  rs.timeTick();
+  std::vector<hlc::Timestamp> marks;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    rs.timeTick();
+    rs.appendToLog("bench", "key-" + std::to_string(i % 1000), value, value);
+    if (i % 10000 == 0) marks.push_back(rs.now());
+  }
+  for (auto _ : state) {
+    auto diff = rs.computeDiff("bench", marks[2], marks[6]);
+    benchmark::DoNotOptimize(diff.isOk());
+  }
+}
+BENCHMARK(BM_ComputeDiffRange);
+
+void BM_PackUnpack(benchmark::State& state) {
+  hlc::Timestamp t{123456789, 42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hlc::Timestamp::unpack(t.pack()));
+  }
+}
+BENCHMARK(BM_PackUnpack);
+
+}  // namespace
+}  // namespace retro
+
+BENCHMARK_MAIN();

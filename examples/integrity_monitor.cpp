@@ -1,0 +1,111 @@
+// Continuous data-integrity monitoring (§I use case) built from library
+// pieces: periodic consistent snapshots (kvstore admin) + the snapshot
+// query language (§VIII) + the IntegrityMonitor service with
+// edge-triggered violation/recovery callbacks.
+//
+// An inventory service keeps stock counts and a mirrored total; a bug
+// window injects oversold (negative) stock. The monitor detects the
+// violation from consistent snapshots, reports recovery, and names the
+// last fully-healthy snapshot time — the reset candidate of §IX.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/monitor.hpp"
+#include "core/predicate.hpp"
+#include "kvstore/cluster.hpp"
+
+using namespace retro;
+
+namespace {
+
+constexpr int kItems = 300;
+
+}  // namespace
+
+int main() {
+  std::printf("== Continuous integrity monitoring over snapshots ==\n\n");
+
+  kv::ClusterConfig cfg;
+  cfg.servers = 4;
+  cfg.clients = 4;
+  cfg.server.bdb.cleanerEnabled = false;
+  kv::VoldemortCluster cluster(cfg);
+  cluster.preload(kItems, 8);
+
+  // The checks, written in the snapshot query language.
+  core::IntegrityMonitor monitor;
+  if (!monitor.addZeroMatchCheck("no-oversold", "COUNT WHERE value < 0")
+           .isOk()) {
+    return 1;
+  }
+  auto stocked = core::SnapshotQuery::parse(
+      "COUNT WHERE key PREFIX 'key-' AND value >= 0");
+  monitor.addCheck({"catalog-present", std::move(stocked).value(),
+                    [](const core::QueryResult& r) {
+                      return r.matched >= kItems / 2;
+                    }});
+
+  monitor.setOnViolation([&](const std::string& check, hlc::Timestamp at,
+                             const core::QueryResult& r) {
+    std::printf("[%5.2f s] VIOLATION  %-16s (%llu matches) at cut (%s)\n",
+                cluster.env().now() / 1e6, check.c_str(),
+                static_cast<unsigned long long>(r.matched),
+                at.toString().c_str());
+  });
+  monitor.setOnRecovery([&](const std::string& check, hlc::Timestamp at,
+                            const core::QueryResult&) {
+    std::printf("[%5.2f s] recovered  %-16s at cut (%s)\n",
+                cluster.env().now() / 1e6, check.c_str(),
+                at.toString().c_str());
+  });
+
+  // Write load with a bug window at [4 s, 6 s): client 0 oversells.
+  Rng rng(13);
+  static bool bugOn = false;
+  const std::function<void(size_t)> writer = [&](size_t c) {
+    if (cluster.env().now() > 12 * kMicrosPerSecond) return;
+    const long stock = (bugOn && c == 0)
+                           ? -1 - static_cast<long>(rng.nextBounded(20))
+                           : static_cast<long>(rng.nextBounded(500));
+    cluster.client(c).put(
+        kv::VoldemortCluster::keyOf(rng.nextBounded(kItems)),
+        std::to_string(stock), [&, c](bool, TimeMicros) { writer(c); });
+  };
+  for (size_t c = 0; c < cluster.clientCount(); ++c) writer(c);
+  cluster.env().scheduleAt(4 * kMicrosPerSecond, [] { bugOn = true; });
+  cluster.env().scheduleAt(6 * kMicrosPerSecond, [] { bugOn = false; });
+
+  // Periodic monitoring: an instant snapshot every 2 s, fed to the
+  // monitor as a merged consistent state.
+  for (int k = 1; k <= 6; ++k) {
+    cluster.env().scheduleAt(2 * k * kMicrosPerSecond, [&] {
+      cluster.admin().snapshotNow([&](const core::SnapshotSession& s) {
+        std::vector<std::unordered_map<Key, Value>> locals;
+        for (size_t n = 0; n < cluster.serverCount(); ++n) {
+          auto m = cluster.server(n).snapshots().materialize(s.request().id);
+          if (m.isOk()) locals.push_back(std::move(m).value());
+        }
+        monitor.onSnapshot(s.request().target,
+                           core::mergeStates(locals));
+      });
+    });
+  }
+
+  cluster.env().run();
+
+  std::printf("\nobservations recorded: %zu, violated observations: %llu\n",
+              monitor.history().size(),
+              static_cast<unsigned long long>(monitor.violationsObserved()));
+  if (const auto clean = monitor.lastFullyHealthyAt()) {
+    std::printf("last fully-healthy snapshot: HLC (%s) — the reset "
+                "candidate of §IX\n",
+                clean->toString().c_str());
+  }
+  const bool sawViolation = monitor.violationsObserved() > 0;
+  const bool endedHealthy = monitor.lastFullyHealthyAt().has_value();
+  std::printf("%s\n", sawViolation && endedHealthy
+                          ? "monitoring caught the bug window and confirmed "
+                            "recovery"
+                          : "UNEXPECTED monitoring outcome");
+  return sawViolation && endedHealthy ? 0 : 1;
+}

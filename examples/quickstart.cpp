@@ -1,0 +1,86 @@
+// Quickstart: the standalone Retroscope library (no cluster, no
+// simulator) — exactly how the paper intends it to be embedded into an
+// existing system (§IV, Table I).
+//
+//   1. each node owns a Retroscope instance (HLC + window-logs);
+//   2. the messaging layer calls wrapHLC / unwrapHLC;
+//   3. the write path calls appendToLog(K, oldV, newV);
+//   4. computeDiff(logName, t) rolls any state copy back to time t.
+#include <cstdio>
+
+#include "core/retroscope.hpp"
+
+using namespace retro;
+
+int main() {
+  std::printf("== Retroscope quickstart ==\n\n");
+
+  // Two "nodes" with wall-clock driven HLCs.
+  hlc::WallPhysicalClock wallA;
+  hlc::WallPhysicalClock wallB;
+  core::Retroscope nodeA(wallA);
+  core::Retroscope nodeB(wallB);
+
+  // --- HLC management (Table I) -----------------------------------------
+  // Node A performs a local event, then sends a message to node B.
+  nodeA.timeTick();
+  ByteWriter message;
+  const hlc::Timestamp sendTs = nodeA.wrapHLC(message);
+  message.writeBytes("transfer:42");
+
+  // Node B receives: unwrapHLC strips the timestamp and ticks B's clock
+  // past it, so causality is preserved no matter how B's clock is skewed.
+  ByteReader reader(message.view());
+  const hlc::Timestamp recvTs = nodeB.unwrapHLC(reader);
+  std::printf("send HLC  = (%s)\n", sendTs.toString().c_str());
+  std::printf("recv HLC  = (%s)   [always > send]\n\n",
+              recvTs.toString().c_str());
+
+  // --- Window-log management (Table I) -----------------------------------
+  // Node B applies writes, recording each change in a window-log.
+  std::unordered_map<Key, Value> state;
+  const auto apply = [&](const Key& k, const Value& v) {
+    OptValue old;
+    if (auto it = state.find(k); it != state.end()) old = it->second;
+    nodeB.timeTick();
+    nodeB.appendToLog("accounts", k, old, v);
+    state[k] = v;
+  };
+
+  apply("alice", "100");
+  apply("bob", "250");
+  const hlc::Timestamp checkpoint = nodeB.now();
+  std::printf("checkpoint taken at HLC (%s): alice=100 bob=250\n",
+              checkpoint.toString().c_str());
+
+  apply("alice", "75");   // later mutations...
+  apply("carol", "500");
+  apply("bob", "0");
+  std::printf("current state:          alice=%s bob=%s carol=%s\n",
+              state.at("alice").c_str(), state.at("bob").c_str(),
+              state.at("carol").c_str());
+
+  // Roll a copy of the current state back to the checkpoint.
+  auto diff = nodeB.computeDiff("accounts", checkpoint);
+  if (!diff.isOk()) {
+    std::printf("computeDiff failed: %s\n", diff.status().toString().c_str());
+    return 1;
+  }
+  auto past = state;
+  diff.value().applyTo(past);
+  std::printf("rolled back to (%s):    alice=%s bob=%s carol=%s\n",
+              checkpoint.toString().c_str(), past.at("alice").c_str(),
+              past.at("bob").c_str(),
+              past.contains("carol") ? past.at("carol").c_str() : "<absent>");
+
+  // The diff is compacted: only the keys that changed since the
+  // checkpoint appear in it (operation shadowing, Fig. 6).
+  std::printf("\ndiff contained %zu keys for %zu total appends\n",
+              diff.value().size(), static_cast<size_t>(nodeB.appendCount()));
+
+  const bool ok = past.at("alice") == "100" && past.at("bob") == "250" &&
+                  !past.contains("carol");
+  std::printf("\n%s\n", ok ? "OK: retrospective state is exact"
+                           : "FAIL: rollback mismatch");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,176 @@
+#include "baselines/chandy_lamport.hpp"
+
+#include "common/bytes.hpp"
+
+namespace retro::baselines {
+
+namespace {
+enum ClMsgType : uint32_t { kTransfer = 1, kMarker = 2 };
+}  // namespace
+
+struct ChandyLamportApp::Process {
+  Process(NodeId id, ChandyLamportApp& app)
+      : id(id),
+        app(&app),
+        balance(app.config_.initialBalance),
+        rng(app.env_.rng().fork(0x434c + id)) {}
+
+  void scheduleNextTransfer() {
+    const auto wait = static_cast<TimeMicros>(rng.nextExponential(
+        static_cast<double>(app->config_.transferPeriodMicros)));
+    app->env_.schedule(wait < 1 ? 1 : wait, [this] { transferOne(); });
+  }
+
+  void transferOne() {
+    if (app->env_.now() >= deadline) return;
+    if (balance > 0) {
+      NodeId peer = static_cast<NodeId>(
+          rng.nextBounded(app->config_.processes - 1));
+      if (peer >= id) ++peer;
+      const int64_t amount = rng.nextInt(1, std::min<int64_t>(balance, 20));
+      balance -= amount;
+      ByteWriter w;
+      w.writeI64(amount);
+      app->network_->send(sim::Message{id, peer, kTransfer, w.take()});
+    }
+    scheduleNextTransfer();
+  }
+
+  void onMessage(sim::Message&& msg) {
+    if (msg.type == kTransfer) {
+      ByteReader r(msg.payload);
+      const int64_t amount = r.readI64();
+      balance += amount;
+      // If we are recording this incoming channel, the transfer was in
+      // flight at snapshot time: it belongs to the channel state.
+      auto it = recordingFrom.find(msg.from);
+      if (it != recordingFrom.end()) it->second += amount;
+      return;
+    }
+    if (msg.type == kMarker) {
+      onMarker(msg.from);
+    }
+  }
+
+  void onMarker(NodeId from) {
+    if (!inSnapshot) {
+      // First marker: record local state and start recording every
+      // incoming channel except the one the marker arrived on.
+      beginSnapshot();
+      recordingFrom.erase(from);
+      channelDone(from);
+    } else {
+      // Subsequent marker: channel (from -> this) recording closes.
+      auto it = recordingFrom.find(from);
+      if (it != recordingFrom.end()) {
+        closedChannels[from] = it->second;
+        recordingFrom.erase(it);
+        maybeComplete();
+      }
+    }
+  }
+
+  /// Spontaneous initiation or first-marker handling.
+  void beginSnapshot() {
+    inSnapshot = true;
+    recordedBalance = balance;
+    recordingFrom.clear();
+    closedChannels.clear();
+    for (size_t p = 0; p < app->config_.processes; ++p) {
+      if (static_cast<NodeId>(p) != id) {
+        recordingFrom.emplace(static_cast<NodeId>(p), 0);
+      }
+    }
+    // Send a marker on every outgoing channel.
+    for (size_t p = 0; p < app->config_.processes; ++p) {
+      if (static_cast<NodeId>(p) == id) continue;
+      app->network_->send(
+          sim::Message{id, static_cast<NodeId>(p), kMarker, {}});
+      ++app->markerCount_;
+    }
+  }
+
+  void channelDone(NodeId from) {
+    closedChannels[from] = 0;  // marker-first channel: empty state
+    maybeComplete();
+  }
+
+  void maybeComplete() {
+    if (!inSnapshot || !recordingFrom.empty()) return;
+    inSnapshot = false;
+    app->onProcessComplete(id, recordedBalance, std::move(closedChannels));
+    closedChannels.clear();
+  }
+
+  NodeId id;
+  ChandyLamportApp* app;
+  int64_t balance;
+  Rng rng;
+  TimeMicros deadline = 0;
+
+  bool inSnapshot = false;
+  int64_t recordedBalance = 0;
+  std::map<NodeId, int64_t> recordingFrom;  // channel -> recorded amount
+  std::map<NodeId, int64_t> closedChannels;
+};
+
+ChandyLamportApp::ChandyLamportApp(ChandyLamportConfig config)
+    : config_(config), env_(config.seed) {
+  config_.network.fifoChannels = true;  // Chandy-Lamport requires FIFO
+  config_.network.dropProbability = 0;  // and reliable channels
+  network_ = std::make_unique<sim::Network>(env_, config_.network);
+  for (size_t i = 0; i < config_.processes; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    processes_.push_back(std::make_unique<Process>(id, *this));
+    network_->registerNode(id, [p = processes_.back().get()](
+                                   sim::Message&& m) {
+      p->onMessage(std::move(m));
+    });
+  }
+}
+
+ChandyLamportApp::~ChandyLamportApp() = default;
+
+void ChandyLamportApp::start(TimeMicros duration) {
+  const TimeMicros deadline = env_.now() + duration;
+  for (auto& p : processes_) {
+    p->deadline = deadline;
+    p->scheduleNextTransfer();
+  }
+}
+
+void ChandyLamportApp::initiateSnapshot(
+    NodeId initiator, std::function<void(ClSnapshotResult)> done) {
+  done_ = std::move(done);
+  current_ = ClSnapshotResult{};
+  current_->startedAt = env_.now();
+  current_->processBalances.assign(config_.processes, 0);
+  processesRemaining_ = config_.processes;
+  markerCount_ = 0;
+  processes_[initiator]->beginSnapshot();
+}
+
+void ChandyLamportApp::onProcessComplete(NodeId id, int64_t balance,
+                                         std::map<NodeId, int64_t> channelIn) {
+  if (!current_) return;
+  current_->processBalances[id] = balance;
+  for (const auto& [from, amount] : channelIn) {
+    current_->channelBalances[{from, id}] = amount;
+  }
+  if (--processesRemaining_ == 0) {
+    current_->finishedAt = env_.now();
+    current_->markerMessages = markerCount_;
+    int64_t total = 0;
+    for (int64_t b : current_->processBalances) total += b;
+    for (const auto& [ch, amount] : current_->channelBalances) total += amount;
+    current_->totalCaptured = total;
+    if (done_) done_(*current_);
+    current_.reset();
+  }
+}
+
+int64_t ChandyLamportApp::expectedTotal() const {
+  return static_cast<int64_t>(config_.processes) * config_.initialBalance;
+}
+
+}  // namespace retro::baselines

@@ -1,0 +1,81 @@
+// The Chandy-Lamport marker algorithm (§I's classic baseline, the
+// paper's [2]): proactive, planned snapshots over FIFO channels,
+// including channel state — everything Retroscope deliberately gives up
+// (channel capture) and avoids needing (FIFO, planning ahead).
+//
+// The harness runs a token-transfer application: processes move units of
+// a conserved quantity between accounts via messages, so a snapshot is
+// consistent iff (sum of process balances) + (sum of in-flight transfers
+// captured in channel states) equals the initial total.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "sim/network.hpp"
+#include "sim/sim_env.hpp"
+
+namespace retro::baselines {
+
+struct ChandyLamportConfig {
+  size_t processes = 6;
+  int64_t initialBalance = 1000;
+  /// Mean inter-transfer delay per process.
+  TimeMicros transferPeriodMicros = 1500;
+  uint64_t seed = 11;
+  sim::NetworkConfig network;  // fifoChannels is forced on
+};
+
+/// Result of one completed global snapshot.
+struct ClSnapshotResult {
+  std::vector<int64_t> processBalances;
+  /// Channel state: in-flight transfer amounts per (from, to).
+  std::map<std::pair<NodeId, NodeId>, int64_t> channelBalances;
+  int64_t totalCaptured = 0;
+  TimeMicros startedAt = 0;
+  TimeMicros finishedAt = 0;
+  uint64_t markerMessages = 0;
+};
+
+class ChandyLamportApp {
+ public:
+  explicit ChandyLamportApp(ChandyLamportConfig config);
+  ~ChandyLamportApp();
+
+  /// Run the transfer workload for `duration`; the workload keeps
+  /// running during snapshots.
+  void start(TimeMicros duration);
+
+  /// Initiate a snapshot at `initiator`; `done` fires when every process
+  /// has recorded its state and all channel recordings have closed.
+  void initiateSnapshot(NodeId initiator,
+                        std::function<void(ClSnapshotResult)> done);
+
+  /// Drive the simulation to completion.
+  void run() { env_.run(); }
+
+  sim::SimEnv& env() { return env_; }
+  int64_t expectedTotal() const;
+
+ private:
+  struct Process;
+
+  ChandyLamportConfig config_;
+  sim::SimEnv env_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::function<void(ClSnapshotResult)> done_;
+  std::optional<ClSnapshotResult> current_;
+  size_t processesRemaining_ = 0;
+  uint64_t markerCount_ = 0;
+
+  void onProcessComplete(NodeId id, int64_t balance,
+                         std::map<NodeId, int64_t> channelIn);
+};
+
+}  // namespace retro::baselines

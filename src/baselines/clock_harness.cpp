@@ -1,0 +1,142 @@
+#include "baselines/clock_harness.hpp"
+
+namespace retro::baselines {
+
+struct ClockHarness::NodeActor {
+  NodeActor(NodeId id, ClockHarness& harness, sim::SkewedClock& phys)
+      : id(id),
+        harness(&harness),
+        physical(&phys),
+        hlcClock(phys),
+        vc(id, harness.config_.nodes),
+        rng(harness.env_.rng().fork(0x4e4f4445 + id)) {}
+
+  void scheduleNextSend() {
+    const auto wait = static_cast<TimeMicros>(
+        rng.nextExponential(static_cast<double>(
+            harness->config_.sendPeriodMicros)));
+    harness->env_.schedule(wait < 1 ? 1 : wait, [this] { sendOne(); });
+  }
+
+  void sendOne() {
+    if (harness->env_.now() >= deadline) return;
+    // Pick a random peer.
+    NodeId peer = static_cast<NodeId>(
+        rng.nextBounded(harness->config_.nodes - 1));
+    if (peer >= id) ++peer;
+
+    // Tick every clock for the send event and encode all timestamps.
+    const hlc::Timestamp ts = hlcClock.tick();
+    lc.tick();
+    vc.tick();
+
+    ByteWriter w;
+    ts.writeTo(w);
+    w.writeU64(lc.current());
+    vc.writeTo(w);
+
+    harness->vcBytes_ += vc.wireSize();
+    ++harness->timestampedMessages_;
+
+    sim::Message msg{id, peer, 1, w.take()};
+    const uint64_t msgId = harness->network_->send(std::move(msg));
+
+    sim::EventRecord rec;
+    rec.type = sim::EventType::kSend;
+    rec.messageId = msgId;
+    rec.hlcTs = ts;
+    rec.perceivedMicros = physical->nowMicros();
+    rec.trueMicros = harness->env_.now();
+    harness->recorder_->record(id, rec);
+
+    scheduleNextSend();
+  }
+
+  void onMessage(sim::Message&& msg) {
+    ByteReader r(msg.payload);
+    const hlc::Timestamp remote = hlc::Timestamp::readFrom(r);
+    const uint64_t remoteLc = r.readU64();
+    const auto remoteVc = hlc::VectorClock::readFrom(r);
+
+    const hlc::Timestamp ts = hlcClock.tick(remote);
+    lc.tick(remoteLc);
+    vc.tick(remoteVc);
+
+    sim::EventRecord rec;
+    rec.type = sim::EventType::kRecv;
+    rec.messageId = msg.msgId;
+    rec.hlcTs = ts;
+    rec.perceivedMicros = physical->nowMicros();
+    rec.trueMicros = harness->env_.now();
+    harness->recorder_->record(id, rec);
+  }
+
+  NodeId id;
+  ClockHarness* harness;
+  sim::SkewedClock* physical;
+  hlc::Clock hlcClock;
+  hlc::LamportClock lc;
+  hlc::VectorClock vc;
+  Rng rng;
+  TimeMicros deadline = 0;
+};
+
+ClockHarness::ClockHarness(ClockHarnessConfig config)
+    : config_(config), env_(config.seed) {
+  clocks_ = std::make_unique<sim::ClockFleet>(env_, config_.clocks,
+                                              config_.nodes);
+  network_ = std::make_unique<sim::Network>(env_, config_.network);
+  recorder_ = std::make_unique<sim::CausalityRecorder>(config_.nodes);
+  for (size_t i = 0; i < config_.nodes; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    actors_.push_back(
+        std::make_unique<NodeActor>(id, *this, clocks_->clock(id)));
+    network_->registerNode(id, [actor = actors_.back().get()](
+                                   sim::Message&& m) {
+      actor->onMessage(std::move(m));
+    });
+  }
+}
+
+ClockHarness::~ClockHarness() = default;
+
+void ClockHarness::run(TimeMicros duration) {
+  const TimeMicros deadline = env_.now() + duration;
+  for (auto& actor : actors_) {
+    actor->deadline = deadline;
+    actor->scheduleNextSend();
+  }
+  env_.run();
+}
+
+double ClockHarness::hlcBytesPerMessage() const {
+  return static_cast<double>(hlc::Timestamp::kWireSize);
+}
+
+double ClockHarness::lcBytesPerMessage() const { return 8.0; }
+
+double ClockHarness::vcBytesPerMessage() const {
+  if (timestampedMessages_ == 0) return 0;
+  return static_cast<double>(vcBytes_) /
+         static_cast<double>(timestampedMessages_);
+}
+
+uint64_t ClockHarness::messagesSent() const { return network_->messagesSent(); }
+
+uint32_t ClockHarness::maxHlcLogical() const {
+  uint32_t maxC = 0;
+  for (const auto& actor : actors_) {
+    maxC = std::max(maxC, actor->hlcClock.maxLogicalObserved());
+  }
+  return maxC;
+}
+
+int64_t ClockHarness::maxHlcDriftMillis() const {
+  int64_t maxDrift = 0;
+  for (const auto& actor : actors_) {
+    maxDrift = std::max(maxDrift, actor->hlcClock.maxDriftMillis());
+  }
+  return maxDrift;
+}
+
+}  // namespace retro::baselines

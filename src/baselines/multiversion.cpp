@@ -1,0 +1,54 @@
+#include "baselines/multiversion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace retro::baselines {
+
+void MultiversionStore::put(const Key& key, OptValue value,
+                            hlc::Timestamp ts) {
+  auto it = versions_.find(key);
+  if (it == versions_.end()) {
+    it = versions_.emplace(key, std::vector<Version>{}).first;
+    payloadBytes_ += key.size();
+  }
+  auto& chain = it->second;
+  if (!chain.empty() && ts < chain.back().ts) {
+    throw std::invalid_argument(
+        "MultiversionStore: version timestamps must be non-decreasing");
+  }
+  payloadBytes_ += (value ? value->size() : 0) + perVersionOverheadBytes_;
+  ++versionCount_;
+  chain.push_back({ts, std::move(value)});
+}
+
+OptValue MultiversionStore::getAt(const Key& key, hlc::Timestamp ts) const {
+  auto it = versions_.find(key);
+  if (it == versions_.end()) return std::nullopt;
+  const auto& chain = it->second;
+  // Last version with ts' <= ts.
+  auto pos = std::upper_bound(
+      chain.begin(), chain.end(), ts,
+      [](hlc::Timestamp t, const Version& v) { return t < v.ts; });
+  if (pos == chain.begin()) return std::nullopt;
+  return std::prev(pos)->value;
+}
+
+OptValue MultiversionStore::get(const Key& key) const {
+  auto it = versions_.find(key);
+  if (it == versions_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back().value;
+}
+
+std::unordered_map<Key, Value> MultiversionStore::snapshotAt(
+    hlc::Timestamp ts) const {
+  std::unordered_map<Key, Value> state;
+  for (const auto& [key, chain] : versions_) {
+    (void)chain;
+    OptValue v = getAt(key, ts);
+    if (v) state.emplace(key, std::move(*v));
+  }
+  return state;
+}
+
+}  // namespace retro::baselines

@@ -1,0 +1,58 @@
+// Multiversion-store baseline (§I, §VIII): the FFFS / eidetic-systems
+// approach of recording *every* version of every item, timestamped with
+// HLC.  Retrospective reads are cheap (per-key binary search), but the
+// version store grows with every update and is never reclaimed — the
+// cost Retroscope's bounded window-log deliberately avoids ("instead of
+// storing a multiversion copy of the entire system data...").
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hlc/timestamp.hpp"
+
+namespace retro::baselines {
+
+class MultiversionStore {
+ public:
+  /// `perVersionOverheadBytes` mirrors the window-log's S_o accounting
+  /// (timestamps, headers, allocator overhead per retained version) so
+  /// the two mechanisms' memory figures are comparable.
+  explicit MultiversionStore(size_t perVersionOverheadBytes = 0)
+      : perVersionOverheadBytes_(perVersionOverheadBytes) {}
+
+  /// Record a new version (nullopt = deletion). Timestamps per key must
+  /// be non-decreasing.
+  void put(const Key& key, OptValue value, hlc::Timestamp ts);
+
+  /// Value of `key` as of time `ts` (latest version with ts' <= ts).
+  OptValue getAt(const Key& key, hlc::Timestamp ts) const;
+
+  /// Current value.
+  OptValue get(const Key& key) const;
+
+  /// Full state at `ts` — the multiversion equivalent of a
+  /// retrospective snapshot.
+  std::unordered_map<Key, Value> snapshotAt(hlc::Timestamp ts) const;
+
+  /// Total versions retained across all keys.
+  uint64_t versionCount() const { return versionCount_; }
+  /// Bytes retained: keys once + every version's value + the configured
+  /// per-version overhead.
+  uint64_t payloadBytes() const { return payloadBytes_; }
+  size_t keyCount() const { return versions_.size(); }
+
+ private:
+  struct Version {
+    hlc::Timestamp ts;
+    OptValue value;
+  };
+
+  size_t perVersionOverheadBytes_ = 0;
+  std::unordered_map<Key, std::vector<Version>> versions_;
+  uint64_t versionCount_ = 0;
+  uint64_t payloadBytes_ = 0;
+};
+
+}  // namespace retro::baselines

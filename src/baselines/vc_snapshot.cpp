@@ -1,0 +1,56 @@
+#include "baselines/vc_snapshot.hpp"
+
+#include <unordered_map>
+
+namespace retro::baselines {
+
+VcSnapshotResult maximalConsistentCutBefore(
+    const sim::CausalityRecorder& recorder, sim::Cut start) {
+  VcSnapshotResult result;
+  result.cut = std::move(start);
+
+  // Fixpoint: while some message is received inside the cut but sent
+  // outside it, retreat the receiver's cut to exclude that receive.
+  // Each retreat strictly shrinks the cut, so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+
+    // Sends outside the cut.
+    std::unordered_map<uint64_t, bool> sentOutside;
+    for (NodeId n = 0; n < recorder.nodeCount(); ++n) {
+      const auto& events = recorder.eventsOf(n);
+      for (size_t i = result.cut[n]; i < events.size(); ++i) {
+        if (events[i].type == sim::EventType::kSend) {
+          sentOutside[events[i].messageId] = true;
+        }
+      }
+    }
+    // Retreat receivers.
+    for (NodeId n = 0; n < recorder.nodeCount(); ++n) {
+      const auto& events = recorder.eventsOf(n);
+      const uint64_t limit = std::min<uint64_t>(result.cut[n], events.size());
+      for (size_t i = 0; i < limit; ++i) {
+        if (events[i].type == sim::EventType::kRecv &&
+            sentOutside.contains(events[i].messageId)) {
+          result.cut[n] = i;  // exclude this receive and everything after
+          ++result.retreats;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+uint64_t cutLag(const sim::Cut& reference, const sim::Cut& cut) {
+  uint64_t lag = 0;
+  for (size_t n = 0; n < reference.size() && n < cut.size(); ++n) {
+    if (reference[n] > cut[n]) lag += reference[n] - cut[n];
+  }
+  return lag;
+}
+
+}  // namespace retro::baselines

@@ -1,0 +1,29 @@
+// Vector-clock / message-graph based retrospective snapshots, the
+// Theta(n)-overhead baseline of §I.  Given a recorded execution and a
+// tentative cut (e.g. the naive NTP cut at physical time T), compute the
+// maximal consistent cut at or before it by retreating each receive that
+// violates consistency — the standard fixpoint construction on the
+// happened-before relation that VCs characterize exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/causality.hpp"
+
+namespace retro::baselines {
+
+struct VcSnapshotResult {
+  sim::Cut cut;              ///< the maximal consistent cut found
+  uint64_t retreats = 0;     ///< receive events rolled back
+  uint64_t iterations = 0;   ///< fixpoint rounds
+};
+
+/// Largest consistent cut that is pointwise <= `start`.
+VcSnapshotResult maximalConsistentCutBefore(
+    const sim::CausalityRecorder& recorder, sim::Cut start);
+
+/// Total staleness of `cut` relative to `reference` (how many events of
+/// the reference cut were sacrificed for consistency).
+uint64_t cutLag(const sim::Cut& reference, const sim::Cut& cut);
+
+}  // namespace retro::baselines

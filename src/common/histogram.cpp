@@ -1,0 +1,92 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace retro {
+
+Histogram::Histogram() : min_(std::numeric_limits<int64_t>::max()) {}
+
+size_t Histogram::bucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - kSubBucketBits + 1;
+  const uint64_t sub = (v >> octave) - (kSubBuckets / 2);
+  // First kSubBuckets indexes cover [0, kSubBuckets) linearly; after that
+  // each octave contributes kSubBuckets/2 buckets of doubling width.
+  return static_cast<size_t>(kSubBuckets +
+                             (octave - 1) * (kSubBuckets / 2) + sub);
+}
+
+int64_t Histogram::bucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return static_cast<int64_t>(index);
+  const size_t rest = index - kSubBuckets;
+  const size_t octave = rest / (kSubBuckets / 2) + 1;
+  const size_t sub = rest % (kSubBuckets / 2) + (kSubBuckets / 2);
+  return static_cast<int64_t>(sub << octave);
+}
+
+int64_t Histogram::bucketMidpoint(size_t index) {
+  const int64_t lo = bucketLowerBound(index);
+  // Width of bucket: next bucket lower bound - lo; approximate by lo/16.
+  const int64_t hi = bucketLowerBound(index + 1);
+  return lo + (hi - lo) / 2;
+}
+
+void Histogram::record(int64_t value) { recordN(value, 1); }
+
+void Histogram::recordN(int64_t value, uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  const size_t idx = bucketIndex(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += count;
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+int64_t Histogram::min() const {
+  return count_ == 0 ? 0 : min_;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return bucketMidpoint(i);
+  }
+  return max_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<int64_t>::max();
+  max_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace retro

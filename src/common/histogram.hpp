@@ -1,0 +1,48 @@
+// Latency histogram with percentile queries, used by the workload
+// recorders to produce the avg / p99 series the paper's figures plot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace retro {
+
+/// HDR-style histogram: logarithmic buckets with linear sub-buckets,
+/// ~1% relative error, O(1) record, O(buckets) percentile queries.
+class Histogram {
+ public:
+  Histogram();
+
+  void record(int64_t value);
+  void recordN(int64_t value, uint64_t count);
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const { return max_; }
+  double mean() const;
+
+  /// Value at quantile q in [0, 1]; e.g. 0.99 for p99.
+  int64_t percentile(double q) const;
+
+  void clear();
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other);
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static size_t bucketIndex(int64_t value);
+  static int64_t bucketLowerBound(size_t index);
+  static int64_t bucketMidpoint(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace retro

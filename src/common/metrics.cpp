@@ -1,0 +1,80 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+
+namespace retro {
+
+TimeSeriesRecorder::TimeSeriesRecorder(TimeMicros windowSize)
+    : windowSize_(windowSize) {}
+
+void TimeSeriesRecorder::record(TimeMicros now, TimeMicros latencyMicros,
+                                uint64_t bytes) {
+  if (!started_) {
+    started_ = true;
+    currentWindowStart_ = (now / windowSize_) * windowSize_;
+  }
+  closeWindowsUpTo(now);
+  ++windowOps_;
+  windowBytes_ += bytes;
+  windowLatency_.record(latencyMicros);
+  overall_.record(latencyMicros);
+  ++totalOps_;
+}
+
+void TimeSeriesRecorder::flush(TimeMicros now) {
+  if (!started_) return;
+  closeWindowsUpTo(now + windowSize_);
+}
+
+void TimeSeriesRecorder::closeWindowsUpTo(TimeMicros now) {
+  while (now >= currentWindowStart_ + windowSize_) {
+    SeriesPoint p;
+    p.windowStart = currentWindowStart_;
+    p.operations = windowOps_;
+    p.bytes = windowBytes_;
+    const double sec = static_cast<double>(windowSize_) / kMicrosPerSecond;
+    p.throughputOpsPerSec = static_cast<double>(windowOps_) / sec;
+    p.throughputBytesPerSec = static_cast<double>(windowBytes_) / sec;
+    p.meanLatencyMicros = windowLatency_.mean();
+    p.p50LatencyMicros = windowLatency_.percentile(0.50);
+    p.p99LatencyMicros = windowLatency_.percentile(0.99);
+    p.maxLatencyMicros = windowLatency_.max();
+    points_.push_back(p);
+    windowOps_ = 0;
+    windowBytes_ = 0;
+    windowLatency_.clear();
+    currentWindowStart_ += windowSize_;
+  }
+}
+
+double TimeSeriesRecorder::overallThroughput(TimeMicros start,
+                                             TimeMicros end) const {
+  if (end <= start) return 0;
+  return static_cast<double>(totalOps_) * kMicrosPerSecond /
+         static_cast<double>(end - start);
+}
+
+void Counters::add(const std::string& name, uint64_t delta) {
+  for (auto& [n, v] : counters_) {
+    if (n == name) {
+      v += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(name, delta);
+}
+
+uint64_t Counters::get(const std::string& name) const {
+  for (const auto& [n, v] : counters_) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Counters::sorted() const {
+  auto out = counters_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace retro

@@ -1,0 +1,73 @@
+// Time-series metrics recorder. The paper's figures are per-second (or
+// per-10-second) series of throughput / avg latency / p99 latency;
+// TimeSeriesRecorder buckets samples into fixed windows of simulated time
+// and emits one row per window.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+
+namespace retro {
+
+/// One completed measurement window.
+struct SeriesPoint {
+  TimeMicros windowStart = 0;
+  uint64_t operations = 0;
+  uint64_t bytes = 0;
+  double throughputOpsPerSec = 0;
+  double throughputBytesPerSec = 0;
+  double meanLatencyMicros = 0;
+  int64_t p50LatencyMicros = 0;
+  int64_t p99LatencyMicros = 0;
+  int64_t maxLatencyMicros = 0;
+};
+
+class TimeSeriesRecorder {
+ public:
+  explicit TimeSeriesRecorder(TimeMicros windowSize = kMicrosPerSecond);
+
+  /// Record one completed operation finishing at `now` with the given
+  /// latency; windows are closed lazily as `now` advances.
+  void record(TimeMicros now, TimeMicros latencyMicros, uint64_t bytes = 0);
+
+  /// Close any window containing `now` and everything before it.
+  void flush(TimeMicros now);
+
+  const std::vector<SeriesPoint>& points() const { return points_; }
+
+  /// Aggregate statistics across the whole run.
+  uint64_t totalOperations() const { return totalOps_; }
+  double overallThroughput(TimeMicros start, TimeMicros end) const;
+  const Histogram& overallLatency() const { return overall_; }
+
+ private:
+  void closeWindowsUpTo(TimeMicros now);
+
+  TimeMicros windowSize_;
+  TimeMicros currentWindowStart_ = 0;
+  bool started_ = false;
+  uint64_t windowOps_ = 0;
+  uint64_t windowBytes_ = 0;
+  Histogram windowLatency_;
+  Histogram overall_;
+  uint64_t totalOps_ = 0;
+  std::vector<SeriesPoint> points_;
+};
+
+/// Simple named counters for component-level stats (messages sent,
+/// bytes on the wire, log appends, etc.).
+class Counters {
+ public:
+  void add(const std::string& name, uint64_t delta = 1);
+  uint64_t get(const std::string& name) const;
+  std::vector<std::pair<std::string, uint64_t>> sorted() const;
+
+ private:
+  std::vector<std::pair<std::string, uint64_t>> counters_;
+};
+
+}  // namespace retro

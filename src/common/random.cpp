@@ -1,0 +1,125 @@
+#include "common/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace retro {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+Rng Rng::fork(uint64_t salt) const {
+  // Hash the current state with the salt to derive an independent stream.
+  SplitMix64 sm(s_[0] ^ rotl(s_[2], 17) ^ (salt * 0x9e3779b97f4a7c15ULL + 1));
+  return Rng(sm.next());
+}
+
+uint64_t Rng::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::nextBounded(uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("nextBounded: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::nextInt(int64_t lo, int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("nextInt: lo > hi");
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(next());  // full 64-bit range
+  return lo + static_cast<int64_t>(nextBounded(span));
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double p) { return nextDouble() < p; }
+
+double Rng::nextExponential(double mean) {
+  double u = nextDouble();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+double Rng::nextGaussian(double mean, double stddev) {
+  if (haveSpareGaussian_) {
+    haveSpareGaussian_ = false;
+    return mean + stddev * spareGaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * nextDouble() - 1.0;
+    v = 2.0 * nextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spareGaussian_ = v * mul;
+  haveSpareGaussian_ = true;
+  return mean + stddev * u * mul;
+}
+
+namespace {
+double zetaStatic(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
+  zetan_ = zetaStatic(n, theta);
+  zeta2theta_ = zetaStatic(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfGenerator::next(Rng& rng) {
+  const double u = rng.nextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto idx = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return idx >= n_ ? n_ - 1 : idx;
+}
+
+HotspotGenerator::HotspotGenerator(uint64_t n, double hotFraction,
+                                   double hotOpFraction)
+    : n_(n), hotOpFraction_(hotOpFraction) {
+  if (n == 0) throw std::invalid_argument("HotspotGenerator: n must be > 0");
+  if (hotFraction <= 0.0 || hotFraction > 1.0) {
+    throw std::invalid_argument("HotspotGenerator: hotFraction in (0,1]");
+  }
+  hotCount_ = static_cast<uint64_t>(static_cast<double>(n) * hotFraction);
+  if (hotCount_ == 0) hotCount_ = 1;
+}
+
+uint64_t HotspotGenerator::next(Rng& rng) {
+  if (rng.nextBool(hotOpFraction_)) return rng.nextBounded(hotCount_);
+  if (hotCount_ >= n_) return rng.nextBounded(n_);
+  return hotCount_ + rng.nextBounded(n_ - hotCount_);
+}
+
+}  // namespace retro

@@ -1,0 +1,100 @@
+// Deterministic, seedable random number generation used everywhere in the
+// simulator and workload generators. We do not use std::mt19937 directly in
+// public interfaces so that the RNG can be split into independent streams
+// (one per node / client) deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace retro {
+
+/// SplitMix64: used to seed and to derive independent substreams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality PRNG; the workhorse generator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  /// Derive an independent child stream; deterministic given (seed, salt).
+  Rng fork(uint64_t salt) const;
+
+  uint64_t next();
+  uint64_t operator()() { return next(); }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  /// Uniform in [0, bound) without modulo bias.
+  uint64_t nextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t nextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// True with probability p.
+  bool nextBool(double p);
+
+  /// Exponentially distributed with the given mean.
+  double nextExponential(double mean);
+
+  /// Normal(mean, stddev) via Box-Muller.
+  double nextGaussian(double mean, double stddev);
+
+ private:
+  uint64_t s_[4];
+  bool haveSpareGaussian_ = false;
+  double spareGaussian_ = 0.0;
+};
+
+/// Zipfian key-popularity distribution (YCSB-style), over [0, n).
+/// Used for hotspot workloads; theta ~0.99 gives the classic YCSB skew.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t next(Rng& rng);
+  uint64_t itemCount() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Hotspot distribution: `hotFraction` of the keyspace receives
+/// `hotOpFraction` of the accesses (e.g. 20% of keys get 80% of ops).
+class HotspotGenerator {
+ public:
+  HotspotGenerator(uint64_t n, double hotFraction, double hotOpFraction);
+
+  uint64_t next(Rng& rng);
+
+ private:
+  uint64_t n_;
+  uint64_t hotCount_;
+  double hotOpFraction_;
+};
+
+}  // namespace retro

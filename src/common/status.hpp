@@ -1,0 +1,105 @@
+// Small Status/Result types for recoverable, expected failures
+// (e.g. "snapshot window-log no longer reaches the requested time").
+// Programming errors use assertions/exceptions per the Core Guidelines.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace retro {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kOutOfRange,      // requested time outside the window-log reach
+  kUnavailable,     // node down / message lost beyond retries
+  kFailedPrecondition,
+  kResourceExhausted,  // memory limit / log bound hit
+  kAborted,
+  kInvalidArgument,
+};
+
+/// Human-readable name for a status code.
+constexpr const char* statusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool isOk() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return isOk(); }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string toString() const {
+    if (isOk()) return "OK";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).isOk()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  bool isOk() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return isOk(); }
+
+  const T& value() const& {
+    requireOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    requireOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    requireOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (isOk()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  void requireOk() const {
+    if (!isOk()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(data_).toString());
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace retro

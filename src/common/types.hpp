@@ -1,0 +1,30 @@
+// Basic aliases shared across the Retroscope library and substrates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace retro {
+
+/// Identifier of a node (server/member) in a cluster. Dense, 0-based.
+using NodeId = uint32_t;
+
+/// Keys and values are opaque byte strings, as in the paper's key-value
+/// substrates (Voldemort items, Hazelcast map entries).
+using Key = std::string;
+using Value = std::string;
+
+/// A value that may be absent (key did not exist / was deleted).
+using OptValue = std::optional<Value>;
+
+/// Simulated/physical time in microseconds.
+using TimeMicros = int64_t;
+
+/// Milliseconds, used for HLC physical components (NTP-compatible).
+using TimeMillis = int64_t;
+
+inline constexpr TimeMicros kMicrosPerMilli = 1000;
+inline constexpr TimeMicros kMicrosPerSecond = 1000 * 1000;
+
+}  // namespace retro

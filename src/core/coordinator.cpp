@@ -1,0 +1,78 @@
+#include "core/coordinator.hpp"
+
+#include <algorithm>
+
+namespace retro::core {
+
+SnapshotSession::SnapshotSession(SnapshotRequest request,
+                                 std::vector<NodeId> participants,
+                                 TimeMicros startedAt)
+    : request_(std::move(request)),
+      participants_(std::move(participants)),
+      startedAt_(startedAt) {
+  participants2_.reserve(participants_.size());
+  for (NodeId n : participants_) participants2_.push_back({n, std::nullopt});
+}
+
+bool SnapshotSession::onAck(const SnapshotAck& ack, TimeMicros now) {
+  if (ack.id != request_.id || isDone()) return false;
+  for (auto& p : participants2_) {
+    if (p.node == ack.node && !p.status) {
+      p.status = ack.status;
+      if (ack.status == LocalSnapshotStatus::kComplete) {
+        persistedBytes_ += ack.persistedBytes;
+      }
+      maybeFinish(now);
+      return isDone();
+    }
+  }
+  return false;
+}
+
+bool SnapshotSession::onNodeUnavailable(NodeId node, TimeMicros now) {
+  if (isDone()) return false;
+  for (auto& p : participants2_) {
+    if (p.node == node && !p.status) {
+      p.status = LocalSnapshotStatus::kFailed;
+      maybeFinish(now);
+      return isDone();
+    }
+  }
+  return false;
+}
+
+void SnapshotSession::maybeFinish(TimeMicros now) {
+  bool allAnswered = true;
+  bool allComplete = true;
+  for (const auto& p : participants2_) {
+    if (!p.status) {
+      allAnswered = false;
+      break;
+    }
+    if (*p.status != LocalSnapshotStatus::kComplete) allComplete = false;
+  }
+  if (!allAnswered) return;
+  state_ = allComplete ? GlobalSnapshotState::kComplete
+                       : GlobalSnapshotState::kPartial;
+  finishedAt_ = now;
+}
+
+std::vector<NodeId> SnapshotSession::pendingNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& p : participants2_) {
+    if (!p.status) out.push_back(p.node);
+  }
+  return out;
+}
+
+std::vector<NodeId> SnapshotSession::failedNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& p : participants2_) {
+    if (p.status && *p.status != LocalSnapshotStatus::kComplete) {
+      out.push_back(p.node);
+    }
+  }
+  return out;
+}
+
+}  // namespace retro::core

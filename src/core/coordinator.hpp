@@ -1,0 +1,81 @@
+// Transport-agnostic initiator-side bookkeeping for a distributed
+// snapshot (§III-A): track which nodes have acked, detect partial
+// snapshots (a node's window-log moved past the requested time, or a
+// node never answered), and support restarting.  The substrates
+// (kvstore admin client, grid snapshot service) own the actual
+// messaging; this class owns the protocol state.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/snapshot.hpp"
+
+namespace retro::core {
+
+enum class GlobalSnapshotState : uint8_t {
+  kInProgress,
+  kComplete,  ///< all nodes reported kComplete
+  kPartial,   ///< every node answered but some were out of reach/failed
+};
+
+class SnapshotSession {
+ public:
+  SnapshotSession() = default;
+  SnapshotSession(SnapshotRequest request, std::vector<NodeId> participants,
+                  TimeMicros startedAt);
+
+  /// Record a node's ack; returns true if this ack finished the session.
+  bool onAck(const SnapshotAck& ack, TimeMicros now);
+
+  /// Mark a node as unreachable (timeout / lost message).
+  bool onNodeUnavailable(NodeId node, TimeMicros now);
+
+  GlobalSnapshotState state() const { return state_; }
+  bool isDone() const { return state_ != GlobalSnapshotState::kInProgress; }
+
+  const SnapshotRequest& request() const { return request_; }
+  const std::vector<NodeId>& participants() const { return participants_; }
+
+  /// Nodes that have not yet answered.
+  std::vector<NodeId> pendingNodes() const;
+  /// Nodes that answered with out-of-reach/failure (partial snapshot).
+  std::vector<NodeId> failedNodes() const;
+
+  TimeMicros startedAt() const { return startedAt_; }
+  TimeMicros finishedAt() const { return finishedAt_; }
+  /// End-to-end latency: request issue -> last node completion (§V-C).
+  TimeMicros latencyMicros() const { return finishedAt_ - startedAt_; }
+
+  size_t totalPersistedBytes() const { return persistedBytes_; }
+
+ private:
+  struct Participant {
+    NodeId node = 0;
+    std::optional<LocalSnapshotStatus> status;
+  };
+
+  void maybeFinish(TimeMicros now);
+
+  SnapshotRequest request_;
+  std::vector<Participant> participants2_;
+  std::vector<NodeId> participants_;
+  GlobalSnapshotState state_ = GlobalSnapshotState::kInProgress;
+  TimeMicros startedAt_ = 0;
+  TimeMicros finishedAt_ = 0;
+  size_t persistedBytes_ = 0;
+};
+
+/// Allocates globally unique snapshot ids for an initiator.
+class SnapshotIdAllocator {
+ public:
+  explicit SnapshotIdAllocator(uint64_t initiatorTag = 0)
+      : next_(initiatorTag << 32) {}
+  SnapshotId next() { return ++next_; }
+
+ private:
+  uint64_t next_;
+};
+
+}  // namespace retro::core

@@ -1,0 +1,42 @@
+#include "core/monitor.hpp"
+
+namespace retro::core {
+
+void IntegrityMonitor::addCheck(Check check) {
+  checks_.push_back(CheckState{std::move(check), false});
+}
+
+Status IntegrityMonitor::addZeroMatchCheck(const std::string& name,
+                                           const std::string& queryText) {
+  auto parsed = SnapshotQuery::parse(queryText);
+  if (!parsed.isOk()) return parsed.status();
+  addCheck(Check{name, std::move(parsed).value(),
+                 [](const QueryResult& r) { return r.matched == 0; }});
+  return Status::ok();
+}
+
+size_t IntegrityMonitor::onSnapshot(
+    hlc::Timestamp at, const std::unordered_map<Key, Value>& state) {
+  size_t violated = 0;
+  for (CheckState& cs : checks_) {
+    const QueryResult result = cs.check.query.execute(state);
+    const bool healthy = cs.check.healthy ? cs.check.healthy(result) : true;
+    if (!healthy) {
+      ++violated;
+      ++violationsObserved_;
+      if (!cs.violated && onViolation_) {
+        onViolation_(cs.check.name, at, result);
+      }
+      cs.violated = true;
+    } else {
+      if (cs.violated && onRecovery_) onRecovery_(cs.check.name, at, result);
+      cs.violated = false;
+    }
+    history_.push_back(Observation{at, cs.check.name, result, healthy});
+    while (history_.size() > historyLimit_) history_.pop_front();
+  }
+  if (violated == 0) lastHealthyAt_ = at;
+  return violated;
+}
+
+}  // namespace retro::core

@@ -1,0 +1,86 @@
+// Data-integrity monitoring over snapshots (§I: "supporting
+// data-integrity monitoring"; §IX: detect when constraints break so the
+// operators can locate a clean state).
+//
+// The monitor is substrate-agnostic: the host system takes periodic
+// consistent snapshots however it likes (kvstore admin, grid member,
+// rolling snapshots...) and feeds each merged state to onSnapshot().
+// The monitor evaluates its registered checks (snapshot-query +
+// health predicate), keeps a bounded history, and fires edge-triggered
+// callbacks when a check transitions healthy -> violated or back.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/query.hpp"
+
+namespace retro::core {
+
+class IntegrityMonitor {
+ public:
+  struct Check {
+    std::string name;
+    SnapshotQuery query;
+    /// Healthy iff this returns true for the query's result.
+    std::function<bool(const QueryResult&)> healthy;
+  };
+
+  struct Observation {
+    hlc::Timestamp at;
+    std::string check;
+    QueryResult result;
+    bool healthy = true;
+  };
+
+  using TransitionCallback =
+      std::function<void(const std::string& check, hlc::Timestamp at,
+                         const QueryResult& result)>;
+
+  explicit IntegrityMonitor(size_t historyLimit = 1024)
+      : historyLimit_(historyLimit) {}
+
+  void addCheck(Check check);
+
+  /// Convenience: "healthy iff the query matches zero entries" — the
+  /// common shape for corruption detectors.
+  Status addZeroMatchCheck(const std::string& name,
+                           const std::string& queryText);
+
+  void setOnViolation(TransitionCallback fn) { onViolation_ = std::move(fn); }
+  void setOnRecovery(TransitionCallback fn) { onRecovery_ = std::move(fn); }
+
+  /// Evaluate every check against a snapshot's merged state taken at
+  /// consistent-cut time `at`.  Returns the number of checks currently
+  /// violated.
+  size_t onSnapshot(hlc::Timestamp at,
+                    const std::unordered_map<Key, Value>& state);
+
+  size_t checkCount() const { return checks_.size(); }
+  const std::deque<Observation>& history() const { return history_; }
+  uint64_t violationsObserved() const { return violationsObserved_; }
+
+  /// Latest time at which every check was healthy (the §IX "clean
+  /// snapshot" candidate), if any snapshot has been fully healthy yet.
+  std::optional<hlc::Timestamp> lastFullyHealthyAt() const {
+    return lastHealthyAt_;
+  }
+
+ private:
+  struct CheckState {
+    Check check;
+    bool violated = false;
+  };
+
+  size_t historyLimit_;
+  std::vector<CheckState> checks_;
+  std::deque<Observation> history_;
+  TransitionCallback onViolation_;
+  TransitionCallback onRecovery_;
+  uint64_t violationsObserved_ = 0;
+  std::optional<hlc::Timestamp> lastHealthyAt_;
+};
+
+}  // namespace retro::core

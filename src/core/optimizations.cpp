@@ -1,0 +1,100 @@
+#include "core/optimizations.hpp"
+
+#include <cstdlib>
+
+namespace retro::core {
+
+PeriodicCompactor::PeriodicCompactor(const log::WindowLog& windowLog,
+                                     int64_t periodMillis)
+    : log_(&windowLog), periodMillis_(periodMillis) {}
+
+void PeriodicCompactor::compactUpTo(hlc::Timestamp now) {
+  if (lastCheckpoint_.isZero()) {
+    // Anchor the first boundary at the window floor rounded up to a
+    // period multiple, so boundaries are stable across nodes.
+    const int64_t floorL = log_->floor().l;
+    lastCheckpoint_ = hlc::fromPhysicalMillis(
+        ((floorL + periodMillis_ - 1) / periodMillis_) * periodMillis_);
+  }
+  while (lastCheckpoint_.l + periodMillis_ <= now.l) {
+    const hlc::Timestamp to =
+        hlc::fromPhysicalMillis(lastCheckpoint_.l + periodMillis_);
+    if (!log_->covers(lastCheckpoint_)) {
+      // History already trimmed: restart the chain from a fresh anchor.
+      checkpoints_.clear();
+      lastCheckpoint_ = to;
+      continue;
+    }
+    auto diff = log_->diffBackward(to, lastCheckpoint_);
+    if (!diff.isOk()) {
+      lastCheckpoint_ = to;
+      continue;
+    }
+    checkpoints_.push_back({lastCheckpoint_, to, std::move(diff).value()});
+    lastCheckpoint_ = to;
+  }
+}
+
+Result<log::DiffMap> PeriodicCompactor::diffToPast(
+    hlc::Timestamp target, hlc::Timestamp* effectiveTarget,
+    log::DiffStats* stats) const {
+  // Targets after the last checkpoint are served from the raw tail.
+  if (target >= lastCheckpoint_ || checkpoints_.empty()) {
+    if (effectiveTarget) *effectiveTarget = target;
+    return log_->diffToPast(target, stats);
+  }
+
+  // Round the target up to the next checkpoint boundary in the cached
+  // region (granularity restriction, §VII).
+  const Checkpoint* stop = nullptr;
+  for (const Checkpoint& cp : checkpoints_) {
+    if (cp.from >= target) {
+      stop = &cp;
+      break;
+    }
+  }
+  if (stop == nullptr) {
+    // Target precedes every cached boundary: fall back to a raw walk.
+    if (effectiveTarget) *effectiveTarget = target;
+    return log_->diffToPast(target, stats);
+  }
+
+  // 1. Walk the raw tail from "now" back to the last checkpoint.
+  log::DiffStats tailStats;
+  auto diff = log_->diffToPast(lastCheckpoint_, &tailStats);
+  if (!diff.isOk()) return diff;
+  size_t composedKeys = 0;
+
+  // 2. Compose cached per-period diffs from the last checkpoint down to
+  //    the stop boundary.  Later-applied (further back) values win.
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->to > lastCheckpoint_) continue;
+    diff.value().compose(it->backward);
+    composedKeys += it->backward.size();
+    if (&*it == stop) break;
+  }
+
+  if (effectiveTarget) *effectiveTarget = stop->from;
+  if (stats) {
+    stats->entriesTraversed = tailStats.entriesTraversed + composedKeys;
+    stats->keysInDiff = diff.value().size();
+    stats->diffDataBytes = diff.value().dataBytes();
+  }
+  return diff;
+}
+
+SnapshotPlan planSnapshot(const SnapshotStore& store, hlc::Timestamp target,
+                          int64_t maxBaseDistanceMillis) {
+  SnapshotPlan plan;
+  const auto nearest = store.nearest(target);
+  if (!nearest) return plan;
+  const LocalSnapshot* base = store.find(*nearest);
+  if (base != nullptr &&
+      std::llabs(base->target.l - target.l) <= maxBaseDistanceMillis) {
+    plan.kind = SnapshotKind::kRolling;
+    plan.baseId = *nearest;
+  }
+  return plan;
+}
+
+}  // namespace retro::core

@@ -1,0 +1,78 @@
+// §VII performance optimizations:
+//
+//  * Periodic window-log compaction: a background task folds each
+//    completed period of the window-log into a pre-compacted backward
+//    diff, so when a snapshot is requested most of the traversal is
+//    already done — at the cost of restricting the target granularity to
+//    the compaction period over the pre-compacted region.
+//
+//  * Speculative snapshots: a policy that, given the node's snapshot
+//    store, decides whether an incoming full-snapshot request can be
+//    served as a cheap rolling snapshot against a nearby speculative
+//    base instead of paying the data-copy stage.
+//
+//  * Deferred snapshots are implemented in the kvstore AdminClient
+//    (AdminConfig::deferStepMicros) — the initiator staggers node start
+//    times; nothing is needed on the node side beyond a longer log.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "core/snapshot_store.hpp"
+#include "log/window_log.hpp"
+
+namespace retro::core {
+
+class PeriodicCompactor {
+ public:
+  /// `windowLog` must outlive the compactor.  `periodMillis` is the
+  /// compaction granularity.
+  PeriodicCompactor(const log::WindowLog& windowLog, int64_t periodMillis);
+
+  /// Fold every period completed before `now` into cached diffs; call
+  /// from a background timer.  Periods whose history has already slid
+  /// out of the window are skipped (they can no longer be compacted).
+  void compactUpTo(hlc::Timestamp now);
+
+  /// Like WindowLog::diffToPast(target), but serves the pre-compacted
+  /// region from cached diffs.  The reachable target is rounded UP to
+  /// the next checkpoint boundary within the cached region (the paper's
+  /// granularity restriction); `effectiveTarget` reports the time the
+  /// returned diff actually reaches.  `stats->entriesTraversed` counts
+  /// only the work actually performed: tail entries walked plus cached
+  /// keys composed.
+  Result<log::DiffMap> diffToPast(hlc::Timestamp target,
+                                  hlc::Timestamp* effectiveTarget,
+                                  log::DiffStats* stats = nullptr) const;
+
+  size_t checkpointCount() const { return checkpoints_.size(); }
+  hlc::Timestamp latestCheckpoint() const { return lastCheckpoint_; }
+
+ private:
+  struct Checkpoint {
+    hlc::Timestamp from;      // earlier boundary
+    hlc::Timestamp to;        // later boundary
+    log::DiffMap backward;    // apply to state(to) => state(from)
+  };
+
+  const log::WindowLog* log_;
+  int64_t periodMillis_;
+  std::vector<Checkpoint> checkpoints_;  // ascending, contiguous
+  hlc::Timestamp lastCheckpoint_{};
+};
+
+/// Speculative-snapshot planning: if the store holds a materialized
+/// snapshot within `maxBaseDistanceMillis` of `target`, serve the
+/// request as a rolling snapshot against it; otherwise a full snapshot
+/// is unavoidable.
+struct SnapshotPlan {
+  SnapshotKind kind = SnapshotKind::kFull;
+  std::optional<SnapshotId> baseId;
+};
+
+SnapshotPlan planSnapshot(const SnapshotStore& store, hlc::Timestamp target,
+                          int64_t maxBaseDistanceMillis);
+
+}  // namespace retro::core

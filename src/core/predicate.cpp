@@ -1,0 +1,38 @@
+#include "core/predicate.hpp"
+
+namespace retro::core {
+
+bool evaluateConjunctive(
+    const std::vector<std::unordered_map<Key, Value>>& localStates,
+    const LocalPredicate& predicate) {
+  for (const auto& state : localStates) {
+    if (!predicate(state)) return false;
+  }
+  return true;
+}
+
+std::unordered_map<Key, Value> mergeStates(
+    const std::vector<std::unordered_map<Key, Value>>& localStates) {
+  std::unordered_map<Key, Value> merged;
+  for (const auto& state : localStates) {
+    for (const auto& [key, value] : state) merged[key] = value;
+  }
+  return merged;
+}
+
+std::optional<hlc::Timestamp> findLatestCleanTime(
+    hlc::Timestamp lo, hlc::Timestamp hi, int64_t stepMillis,
+    const std::function<std::unordered_map<Key, Value>(hlc::Timestamp)>&
+        materialize,
+    const GlobalPredicate& predicate) {
+  if (stepMillis <= 0 || hi < lo) return std::nullopt;
+  // Walk backward from hi in stepMillis strides; the first clean state
+  // encountered is the latest one at this granularity.
+  for (int64_t t = hi.l; t >= lo.l; t -= stepMillis) {
+    const hlc::Timestamp ts = hlc::fromPhysicalMillis(t);
+    if (predicate(materialize(ts))) return ts;
+  }
+  return std::nullopt;
+}
+
+}  // namespace retro::core

@@ -1,0 +1,53 @@
+// Predicate evaluation over snapshots (§III-A: "for checking whether a
+// conjunctive predicate is violated, it would suffice to send the
+// information about whether the local predicate is true at that local
+// snapshot"; §IX: identifying a *clean* snapshot where data-integrity
+// constraints hold, to recover with minimal lost updates).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hlc/timestamp.hpp"
+
+namespace retro::core {
+
+/// A predicate over one node's local state.
+using LocalPredicate =
+    std::function<bool(const std::unordered_map<Key, Value>&)>;
+
+/// A conjunctive global predicate holds iff every local predicate holds.
+/// Only the booleans travel to the initiator, never the states.
+bool evaluateConjunctive(
+    const std::vector<std::unordered_map<Key, Value>>& localStates,
+    const LocalPredicate& predicate);
+
+/// A predicate over the merged global state (for cross-node integrity
+/// constraints such as "the sum of all account balances is constant").
+using GlobalPredicate =
+    std::function<bool(const std::unordered_map<Key, Value>&)>;
+
+/// Merge local states into one global key-value view.  Keys are expected
+/// to be disjoint across nodes (each node owns its partitions); on
+/// duplicates the later node wins, matching read-repair semantics.
+std::unordered_map<Key, Value> mergeStates(
+    const std::vector<std::unordered_map<Key, Value>>& localStates);
+
+/// Binary-search driver for clean-snapshot identification (§IX): given a
+/// function that materializes the global state at a past time and an
+/// integrity predicate, find the latest time in [lo, hi] (stepping by
+/// `stepMillis` of HLC physical time) at which the predicate holds.
+/// Returns the timestamp, or nullopt if it never holds in range.
+//
+// The materialize callback is expected to be implemented with rolling
+// snapshots, so that stepping is cheap (§I: "identify a clean snapshot
+// ... to recover the system with minimal lost updates").
+std::optional<hlc::Timestamp> findLatestCleanTime(
+    hlc::Timestamp lo, hlc::Timestamp hi, int64_t stepMillis,
+    const std::function<std::unordered_map<Key, Value>(hlc::Timestamp)>&
+        materialize,
+    const GlobalPredicate& predicate);
+
+}  // namespace retro::core

@@ -1,0 +1,293 @@
+#include "core/query.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace retro::core {
+
+namespace {
+
+/// Minimal tokenizer: words, quoted strings, comparison operators.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  /// Next token; empty string at end. Quoted strings are returned
+  /// without quotes and flagged via wasQuoted().
+  Result<std::string> next() {
+    wasQuoted_ = false;
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return std::string{};
+    const char c = text_[pos_];
+    if (c == '\'') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '\'') {
+        out.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "unterminated string literal");
+      }
+      ++pos_;  // closing quote
+      wasQuoted_ = true;
+      return out;
+    }
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      std::string op(1, c);
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        op.push_back('=');
+        ++pos_;
+      }
+      return op;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char d = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(d)) || d == '\'' ||
+          d == '<' || d == '>' || d == '=' || d == '!') {
+        break;
+      }
+      out.push_back(d);
+      ++pos_;
+    }
+    return out;
+  }
+
+  bool wasQuoted() const { return wasQuoted_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  bool wasQuoted_ = false;
+};
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::optional<int64_t> parseNumber(std::string_view s) {
+  int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+Result<SnapshotQuery> SnapshotQuery::parse(std::string_view text) {
+  Lexer lex(text);
+  SnapshotQuery query;
+
+  auto aggTok = lex.next();
+  if (!aggTok.isOk()) return aggTok.status();
+  const std::string agg = upper(aggTok.value());
+  if (agg == "COUNT") {
+    query.aggregate_ = Aggregate::kCount;
+  } else if (agg == "SUM") {
+    query.aggregate_ = Aggregate::kSum;
+  } else if (agg == "MIN") {
+    query.aggregate_ = Aggregate::kMin;
+  } else if (agg == "MAX") {
+    query.aggregate_ = Aggregate::kMax;
+  } else if (agg == "AVG") {
+    query.aggregate_ = Aggregate::kAvg;
+  } else {
+    return Status(StatusCode::kInvalidArgument,
+                  "expected aggregate (COUNT/SUM/MIN/MAX/AVG), got '" + agg +
+                      "'");
+  }
+
+  auto tok = lex.next();
+  if (!tok.isOk()) return tok.status();
+  if (tok.value().empty()) return query;  // no WHERE clause
+  if (upper(tok.value()) != "WHERE") {
+    return Status(StatusCode::kInvalidArgument,
+                  "expected WHERE, got '" + tok.value() + "'");
+  }
+
+  for (;;) {
+    // field
+    auto fieldTok = lex.next();
+    if (!fieldTok.isOk()) return fieldTok.status();
+    const std::string field = upper(fieldTok.value());
+    Condition cond;
+    if (field == "KEY") {
+      cond.field = Field::kKey;
+    } else if (field == "VALUE") {
+      cond.field = Field::kValue;
+    } else {
+      return Status(StatusCode::kInvalidArgument,
+                    "expected KEY or VALUE, got '" + fieldTok.value() + "'");
+    }
+
+    // operator
+    auto opTok = lex.next();
+    if (!opTok.isOk()) return opTok.status();
+    const std::string op = upper(opTok.value());
+    if (op == "PREFIX") {
+      cond.op = Op::kPrefix;
+    } else if (op == "=" || op == "==") {
+      cond.op = Op::kEq;
+    } else if (op == "!=") {
+      cond.op = Op::kNe;
+    } else if (op == "<") {
+      cond.op = Op::kLt;
+    } else if (op == "<=") {
+      cond.op = Op::kLe;
+    } else if (op == ">") {
+      cond.op = Op::kGt;
+    } else if (op == ">=") {
+      cond.op = Op::kGe;
+    } else {
+      return Status(StatusCode::kInvalidArgument,
+                    "unknown operator '" + opTok.value() + "'");
+    }
+
+    // operand
+    auto valTok = lex.next();
+    if (!valTok.isOk()) return valTok.status();
+    if (valTok.value().empty()) {
+      return Status(StatusCode::kInvalidArgument, "missing operand");
+    }
+    const bool relational = cond.op == Op::kLt || cond.op == Op::kLe ||
+                            cond.op == Op::kGt || cond.op == Op::kGe;
+    if (relational) {
+      if (cond.field == Field::kKey) {
+        return Status(StatusCode::kInvalidArgument,
+                      "relational operators apply to VALUE only");
+      }
+      const auto n = parseNumber(valTok.value());
+      if (!n) {
+        return Status(StatusCode::kInvalidArgument,
+                      "expected a number, got '" + valTok.value() + "'");
+      }
+      cond.numeric = true;
+      cond.number = *n;
+    } else if ((cond.op == Op::kEq || cond.op == Op::kNe) &&
+               cond.field == Field::kValue && !lex.wasQuoted()) {
+      // Unquoted equality operand on VALUE: numeric comparison.
+      const auto n = parseNumber(valTok.value());
+      if (n) {
+        cond.numeric = true;
+        cond.number = *n;
+      } else {
+        cond.text = valTok.value();
+      }
+    } else {
+      if (cond.op == Op::kPrefix && cond.field == Field::kValue) {
+        return Status(StatusCode::kInvalidArgument,
+                      "PREFIX applies to KEY only");
+      }
+      cond.text = valTok.value();
+    }
+    query.conditions_.push_back(std::move(cond));
+
+    auto andTok = lex.next();
+    if (!andTok.isOk()) return andTok.status();
+    if (andTok.value().empty()) break;
+    if (upper(andTok.value()) != "AND") {
+      return Status(StatusCode::kInvalidArgument,
+                    "expected AND, got '" + andTok.value() + "'");
+    }
+  }
+  return query;
+}
+
+bool SnapshotQuery::matches(const Key& key, const Value& value) const {
+  for (const Condition& c : conditions_) {
+    const std::string& subject = c.field == Field::kKey ? key : value;
+    bool ok = false;
+    if (c.numeric) {
+      const auto n = parseNumber(subject);
+      if (!n) return false;  // non-numeric values never match numeric ops
+      switch (c.op) {
+        case Op::kEq: ok = *n == c.number; break;
+        case Op::kNe: ok = *n != c.number; break;
+        case Op::kLt: ok = *n < c.number; break;
+        case Op::kLe: ok = *n <= c.number; break;
+        case Op::kGt: ok = *n > c.number; break;
+        case Op::kGe: ok = *n >= c.number; break;
+        case Op::kPrefix: ok = false; break;
+      }
+    } else {
+      switch (c.op) {
+        case Op::kPrefix: ok = subject.starts_with(c.text); break;
+        case Op::kEq: ok = subject == c.text; break;
+        case Op::kNe: ok = subject != c.text; break;
+        default: ok = false; break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+QueryResult SnapshotQuery::execute(
+    const std::unordered_map<Key, Value>& state) const {
+  QueryResult result;
+  double sum = 0;
+  double minV = 0;
+  double maxV = 0;
+  uint64_t numericMatches = 0;
+  for (const auto& [key, value] : state) {
+    if (!matches(key, value)) continue;
+    ++result.matched;
+    if (aggregate_ == Aggregate::kCount) continue;
+    const auto n = parseNumber(value);
+    if (!n) continue;  // aggregate over numeric values only
+    const auto v = static_cast<double>(*n);
+    if (numericMatches == 0) {
+      minV = maxV = v;
+    } else {
+      minV = std::min(minV, v);
+      maxV = std::max(maxV, v);
+    }
+    sum += v;
+    ++numericMatches;
+  }
+  switch (aggregate_) {
+    case Aggregate::kCount:
+      result.value = static_cast<double>(result.matched);
+      result.hasValue = true;
+      break;
+    case Aggregate::kSum:
+      result.value = sum;
+      result.hasValue = true;
+      break;
+    case Aggregate::kMin:
+      result.value = minV;
+      result.hasValue = numericMatches > 0;
+      break;
+    case Aggregate::kMax:
+      result.value = maxV;
+      result.hasValue = numericMatches > 0;
+      break;
+    case Aggregate::kAvg:
+      result.hasValue = numericMatches > 0;
+      result.value = result.hasValue
+                         ? sum / static_cast<double>(numericMatches)
+                         : 0;
+      break;
+  }
+  return result;
+}
+
+std::vector<std::pair<hlc::Timestamp, QueryResult>> queryOverTime(
+    const SnapshotQuery& query, const std::vector<hlc::Timestamp>& times,
+    const std::function<std::unordered_map<Key, Value>(hlc::Timestamp)>&
+        materialize) {
+  std::vector<std::pair<hlc::Timestamp, QueryResult>> out;
+  out.reserve(times.size());
+  for (const hlc::Timestamp& t : times) {
+    out.emplace_back(t, query.execute(materialize(t)));
+  }
+  return out;
+}
+
+}  // namespace retro::core

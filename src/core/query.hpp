@@ -1,0 +1,83 @@
+// SQL-like querying over snapshots (§VIII future work: "Pivot tracing
+// employs a nice SQL-like querying interface... we plan to use a similar
+// interface to facilitate system operators to query distributed
+// snapshots").
+//
+// Grammar (case-insensitive keywords):
+//
+//   query      := agg [ WHERE condition { AND condition } ]
+//   agg        := COUNT | SUM | MIN | MAX | AVG
+//   condition  := KEY PREFIX <string>
+//               | KEY  (= | !=) <string>
+//               | VALUE (= | !=) <string>
+//               | VALUE (< | <= | > | >=) <number>
+//
+// Strings are single-quoted; numeric comparisons parse the stored value
+// as a signed integer (non-numeric values never match).  SUM/MIN/MAX/AVG
+// aggregate the numeric value of matching entries.
+//
+//   COUNT WHERE key PREFIX 'acct-'
+//   SUM   WHERE key PREFIX 'acct-' AND value >= 0
+//   MIN   WHERE value < 100
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "hlc/timestamp.hpp"
+
+namespace retro::core {
+
+enum class Aggregate : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+struct QueryResult {
+  uint64_t matched = 0;   ///< entries satisfying the WHERE clause
+  double value = 0;       ///< the aggregate (COUNT repeats `matched`)
+  bool hasValue = false;  ///< false when MIN/MAX/AVG matched nothing
+};
+
+class SnapshotQuery {
+ public:
+  /// Parse a query; returns INVALID_ARGUMENT with a message on bad
+  /// syntax.
+  static Result<SnapshotQuery> parse(std::string_view text);
+
+  /// Evaluate against a materialized snapshot state.
+  QueryResult execute(const std::unordered_map<Key, Value>& state) const;
+
+  Aggregate aggregate() const { return aggregate_; }
+  size_t conditionCount() const { return conditions_.size(); }
+
+ private:
+  enum class Field : uint8_t { kKey, kValue };
+  enum class Op : uint8_t { kPrefix, kEq, kNe, kLt, kLe, kGt, kGe };
+
+  struct Condition {
+    Field field = Field::kKey;
+    Op op = Op::kEq;
+    std::string text;     // for string comparisons / prefix
+    int64_t number = 0;   // for numeric comparisons
+    bool numeric = false;
+  };
+
+  bool matches(const Key& key, const Value& value) const;
+
+  Aggregate aggregate_ = Aggregate::kCount;
+  std::vector<Condition> conditions_;
+};
+
+/// Evaluate a query at a sweep of snapshot times — the operator workflow
+/// of stepping a rolling snapshot through an interval and watching an
+/// aggregate evolve.  `materialize(t)` supplies the global state at t.
+std::vector<std::pair<hlc::Timestamp, QueryResult>> queryOverTime(
+    const SnapshotQuery& query, const std::vector<hlc::Timestamp>& times,
+    const std::function<std::unordered_map<Key, Value>(hlc::Timestamp)>&
+        materialize);
+
+}  // namespace retro::core

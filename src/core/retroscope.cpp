@@ -1,0 +1,70 @@
+#include "core/retroscope.hpp"
+
+namespace retro::core {
+
+Retroscope::Retroscope(hlc::PhysicalClock& physicalClock,
+                       log::WindowLogConfig defaultLogConfig)
+    : clock_(physicalClock), defaultLogConfig_(defaultLogConfig) {}
+
+void Retroscope::appendToLog(const std::string& logName, Key key,
+                             OptValue oldValue, OptValue newValue) {
+  appendToLog(logName, std::move(key), std::move(oldValue),
+              std::move(newValue), clock_.current());
+}
+
+void Retroscope::appendToLog(const std::string& logName, Key key,
+                             OptValue oldValue, OptValue newValue,
+                             hlc::Timestamp ts) {
+  getLog(logName).append(std::move(key), std::move(oldValue),
+                         std::move(newValue), ts);
+  ++appendCount_;
+}
+
+Result<log::DiffMap> Retroscope::computeDiff(const std::string& logName,
+                                             hlc::Timestamp timeInPast,
+                                             log::DiffStats* stats) const {
+  const log::WindowLog* logPtr = findLog(logName);
+  if (logPtr == nullptr) {
+    return Status(StatusCode::kNotFound, "no window-log named " + logName);
+  }
+  return logPtr->diffToPast(timeInPast, stats);
+}
+
+Result<log::DiffMap> Retroscope::computeDiff(const std::string& logName,
+                                             hlc::Timestamp startTime,
+                                             hlc::Timestamp endTime,
+                                             log::DiffStats* stats) const {
+  const log::WindowLog* logPtr = findLog(logName);
+  if (logPtr == nullptr) {
+    return Status(StatusCode::kNotFound, "no window-log named " + logName);
+  }
+  return logPtr->diffForward(startTime, endTime, stats);
+}
+
+log::WindowLog& Retroscope::getLog(const std::string& logName) {
+  auto it = logs_.find(logName);
+  if (it == logs_.end()) {
+    it = logs_
+             .emplace(logName,
+                      std::make_unique<log::WindowLog>(defaultLogConfig_))
+             .first;
+  }
+  return *it->second;
+}
+
+const log::WindowLog* Retroscope::findLog(const std::string& logName) const {
+  auto it = logs_.find(logName);
+  return it == logs_.end() ? nullptr : it->second.get();
+}
+
+bool Retroscope::hasLog(const std::string& logName) const {
+  return logs_.contains(logName);
+}
+
+size_t Retroscope::totalLogBytes() const {
+  size_t total = 0;
+  for (const auto& [name, logPtr] : logs_) total += logPtr->accountedBytes();
+  return total;
+}
+
+}  // namespace retro::core

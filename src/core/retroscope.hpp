@@ -1,0 +1,105 @@
+// The Retroscope library instance: one per node, owning the node's HLC
+// and its named window-logs.  This is the paper's Table I API:
+//
+//   HLC management:  timeTick(), timeTick(HLCTime), wrapHLC(message),
+//                    unwrapHLC(message)
+//   Log management:  appendToLog(logName, K, oldV, newV),
+//                    computeDiff(logName, timeInPast),
+//                    computeDiff(logName, startTime, endTime)
+//
+// The class is substrate-agnostic and has no dependency on the simulator;
+// it is the "standalone library so it can be easily added to existing
+// distributed systems" of §I.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "hlc/clock.hpp"
+#include "log/window_log.hpp"
+
+namespace retro::core {
+
+class Retroscope {
+ public:
+  /// `physicalClock` must outlive this instance. `defaultLogConfig`
+  /// applies to window-logs created implicitly by appendToLog.
+  explicit Retroscope(hlc::PhysicalClock& physicalClock,
+                      log::WindowLogConfig defaultLogConfig = {});
+
+  // --- HLC management (Table I) ---
+
+  /// HLC time tick for a local event.
+  hlc::Timestamp timeTick() { return clock_.tick(); }
+
+  /// HLC time tick caused by a remote event with timestamp `remote`.
+  hlc::Timestamp timeTick(const hlc::Timestamp& remote) {
+    return clock_.tick(remote);
+  }
+
+  /// Performs an HLC time tick for a local (send) event and prepends the
+  /// 8-byte timestamp to the message.
+  hlc::Timestamp wrapHLC(ByteWriter& message) {
+    return hlc::wrapHlc(clock_, message);
+  }
+
+  /// Gets the HLC from the message, performs an HLC time tick for the
+  /// receive event and returns the new HLC time.
+  hlc::Timestamp unwrapHLC(ByteReader& message) {
+    return hlc::unwrapHlc(clock_, message);
+  }
+
+  /// Current HLC value without ticking.
+  hlc::Timestamp now() const { return clock_.current(); }
+  hlc::Clock& clock() { return clock_; }
+  const hlc::Clock& clock() const { return clock_; }
+
+  // --- Log management (Table I) ---
+
+  /// Appends a change of item K: oldV -> newV to `logName`, timestamped
+  /// with the current HLC time (tick the clock for the causing event
+  /// first — typically via unwrapHLC/timeTick on the request path).
+  void appendToLog(const std::string& logName, Key key, OptValue oldValue,
+                   OptValue newValue);
+
+  /// As above with an explicit timestamp (for callers that already hold
+  /// the event's HLC time).
+  void appendToLog(const std::string& logName, Key key, OptValue oldValue,
+                   OptValue newValue, hlc::Timestamp ts);
+
+  /// Difference between the current state and the state at `timeInPast`.
+  Result<log::DiffMap> computeDiff(const std::string& logName,
+                                   hlc::Timestamp timeInPast,
+                                   log::DiffStats* stats = nullptr) const;
+
+  /// Difference between the states at `startTime` and `endTime`
+  /// (forward direction: apply to state(start) to obtain state(end)).
+  Result<log::DiffMap> computeDiff(const std::string& logName,
+                                   hlc::Timestamp startTime,
+                                   hlc::Timestamp endTime,
+                                   log::DiffStats* stats = nullptr) const;
+
+  // --- Log access ---
+
+  /// Get or create the named window-log.
+  log::WindowLog& getLog(const std::string& logName);
+  const log::WindowLog* findLog(const std::string& logName) const;
+  bool hasLog(const std::string& logName) const;
+
+  /// Total accounted bytes across all window-logs on this node.
+  size_t totalLogBytes() const;
+
+  /// Count of appendToLog calls (Ra numerator for the estimator).
+  uint64_t appendCount() const { return appendCount_; }
+
+ private:
+  hlc::Clock clock_;
+  log::WindowLogConfig defaultLogConfig_;
+  // std::map keeps iteration deterministic across runs.
+  std::map<std::string, std::unique_ptr<log::WindowLog>> logs_;
+  uint64_t appendCount_ = 0;
+};
+
+}  // namespace retro::core

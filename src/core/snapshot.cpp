@@ -1,0 +1,4 @@
+#include "core/snapshot.hpp"
+
+// Snapshot model types are header-only; this TU anchors the target.
+namespace retro::core {}

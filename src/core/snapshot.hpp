@@ -1,0 +1,79 @@
+// Snapshot model types (§III): instant / retrospective full snapshots,
+// forward- and backward-incremental snapshots, and rolling snapshots.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hlc/timestamp.hpp"
+#include "log/diff.hpp"
+
+namespace retro::core {
+
+using SnapshotId = uint64_t;
+
+enum class SnapshotKind : uint8_t {
+  kFull,         ///< data copy + log compaction + log application (Fig. 8)
+  kIncremental,  ///< compaction only; delta stored against a base snapshot
+  kRolling,      ///< compaction + application onto (and replacing) a base
+};
+
+constexpr const char* snapshotKindName(SnapshotKind k) {
+  switch (k) {
+    case SnapshotKind::kFull: return "full";
+    case SnapshotKind::kIncremental: return "incremental";
+    case SnapshotKind::kRolling: return "rolling";
+  }
+  return "?";
+}
+
+/// A snapshot request as broadcast by an initiator.
+struct SnapshotRequest {
+  SnapshotId id = 0;
+  hlc::Timestamp target;  ///< the consistent-cut HLC time
+  SnapshotKind kind = SnapshotKind::kFull;
+  /// Base snapshot for incremental/rolling kinds.
+  std::optional<SnapshotId> baseId;
+  /// Which store/log the snapshot covers.
+  std::string storeName = "default";
+};
+
+/// The node-local product of a snapshot (kept in situ; §III-A: "local
+/// snapshots are not transmitted to the initiator unless explicitly
+/// requested").
+struct LocalSnapshot {
+  SnapshotId id = 0;
+  SnapshotKind kind = SnapshotKind::kFull;
+  hlc::Timestamp target;
+  NodeId node = 0;
+  /// Materialized key-value state (full and rolling snapshots).
+  std::unordered_map<Key, Value> state;
+  /// Stored delta and its base (incremental snapshots; the delta maps
+  /// base-state -> this snapshot's state).
+  log::DiffMap delta;
+  std::optional<SnapshotId> baseId;
+  /// Bytes written to stable storage for this snapshot.
+  size_t persistedBytes = 0;
+};
+
+/// Per-node progress report sent back to the initiator.
+enum class LocalSnapshotStatus : uint8_t {
+  kPending,
+  kComplete,
+  kOutOfReach,  ///< window-log moved past the requested time (§III-A
+                ///< "Partial snapshot")
+  kFailed,
+};
+
+struct SnapshotAck {
+  SnapshotId id = 0;
+  NodeId node = 0;
+  LocalSnapshotStatus status = LocalSnapshotStatus::kPending;
+  size_t persistedBytes = 0;
+};
+
+}  // namespace retro::core

@@ -1,0 +1,31 @@
+// Serialization of node-local snapshots (§IV-A: "the snapshots can be
+// used locally or made available to the initiator and/or other nodes
+// upon the request, e.g., by copying the local snapshot to a mountable
+// shared storage, such as EBS in AWS").  A versioned, checksummed binary
+// format so snapshots survive transport and corrupt files are rejected
+// rather than silently mis-restored.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "core/snapshot.hpp"
+
+namespace retro::core {
+
+/// Serialize a local snapshot (materialized state or incremental delta)
+/// into a self-contained byte blob.
+std::string serializeSnapshot(const LocalSnapshot& snapshot);
+
+/// Parse a blob produced by serializeSnapshot. Rejects bad magic,
+/// unsupported versions, truncation, and checksum mismatches.
+Result<LocalSnapshot> deserializeSnapshot(std::string_view data);
+
+/// Write to / read from a file on the real filesystem (the "mountable
+/// shared storage" path).
+Status saveSnapshotToFile(const LocalSnapshot& snapshot,
+                          const std::string& path);
+Result<LocalSnapshot> loadSnapshotFromFile(const std::string& path);
+
+}  // namespace retro::core

@@ -1,0 +1,67 @@
+#include "grid/grid_client.hpp"
+
+namespace retro::grid {
+
+GridClient::GridClient(NodeId id, sim::SimEnv& env, sim::Network& network,
+                       sim::SkewedClock& clock, const PartitionTable& table,
+                       bool hlcEnabled)
+    : id_(id),
+      env_(&env),
+      network_(&network),
+      clock_(clock),
+      table_(&table),
+      hlcEnabled_(hlcEnabled) {
+  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+}
+
+void GridClient::put(const Key& key, Value value, PutCallback done) {
+  const uint64_t reqId = nextRequestId_++;
+  PendingOp op;
+  op.isPut = true;
+  op.startedAt = env_->now();
+  op.putDone = std::move(done);
+  pending_.emplace(reqId, std::move(op));
+
+  ByteWriter w;
+  if (hlcEnabled_) hlc::wrapHlc(clock_, w);
+  MapPutBody body{reqId, key, std::move(value)};
+  body.writeTo(w);
+  network_->send(
+      sim::Message{id_, table_->ownerOfKey(key), kMapPut, w.take()});
+}
+
+void GridClient::get(const Key& key, GetCallback done) {
+  const uint64_t reqId = nextRequestId_++;
+  PendingOp op;
+  op.isPut = false;
+  op.startedAt = env_->now();
+  op.getDone = std::move(done);
+  pending_.emplace(reqId, std::move(op));
+
+  ByteWriter w;
+  if (hlcEnabled_) hlc::wrapHlc(clock_, w);
+  MapGetBody body{reqId, key};
+  body.writeTo(w);
+  network_->send(
+      sim::Message{id_, table_->ownerOfKey(key), kMapGet, w.take()});
+}
+
+void GridClient::onMessage(sim::Message&& msg) {
+  ByteReader r(msg.payload);
+  if (hlcEnabled_) hlc::unwrapHlc(clock_, r);
+  if (msg.type != kMapResponse) return;
+  auto body = MapResponseBody::readFrom(r);
+  auto it = pending_.find(body.requestId);
+  if (it == pending_.end()) return;
+  PendingOp op = std::move(it->second);
+  pending_.erase(it);
+  ++opsCompleted_;
+  const TimeMicros latency = env_->now() - op.startedAt;
+  if (op.isPut) {
+    if (op.putDone) op.putDone(body.ok, latency);
+  } else {
+    if (op.getDone) op.getDone(body.ok, latency, std::move(body.value));
+  }
+}
+
+}  // namespace retro::grid

@@ -1,0 +1,57 @@
+// A smart grid client: routes Map operations straight to the partition
+// owner (Hazelcast smart-client routing) and participates in HLC
+// propagation when Retroscope is enabled.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "grid/messages.hpp"
+#include "grid/partition_table.hpp"
+#include "hlc/clock.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/network.hpp"
+
+namespace retro::grid {
+
+class GridClient {
+ public:
+  using PutCallback = std::function<void(bool ok, TimeMicros latency)>;
+  using GetCallback =
+      std::function<void(bool ok, TimeMicros latency, OptValue value)>;
+
+  GridClient(NodeId id, sim::SimEnv& env, sim::Network& network,
+             sim::SkewedClock& clock, const PartitionTable& table,
+             bool hlcEnabled);
+
+  NodeId id() const { return id_; }
+  hlc::Clock& clock() { return clock_; }
+
+  void put(const Key& key, Value value, PutCallback done);
+  void get(const Key& key, GetCallback done);
+
+  uint64_t opsCompleted() const { return opsCompleted_; }
+
+ private:
+  struct PendingOp {
+    bool isPut = false;
+    TimeMicros startedAt = 0;
+    PutCallback putDone;
+    GetCallback getDone;
+  };
+
+  void onMessage(sim::Message&& msg);
+
+  NodeId id_;
+  sim::SimEnv* env_;
+  sim::Network* network_;
+  hlc::Clock clock_;
+  const PartitionTable* table_;
+  bool hlcEnabled_;
+
+  uint64_t nextRequestId_ = 1;
+  std::unordered_map<uint64_t, PendingOp> pending_;
+  uint64_t opsCompleted_ = 0;
+};
+
+}  // namespace retro::grid

@@ -1,0 +1,440 @@
+#include "grid/member.hpp"
+
+#include <cmath>
+
+namespace retro::grid {
+
+GridMember::GridMember(NodeId id, sim::SimEnv& env, sim::Network& network,
+                       sim::SkewedClock& clock, const PartitionTable& table,
+                       MemberConfig config)
+    : id_(id),
+      env_(&env),
+      network_(&network),
+      table_(&table),
+      config_(config),
+      disk_(std::make_unique<sim::SimDisk>(env, config_.disk)),
+      executor_(env),
+      retroscope_(clock,
+                  log::WindowLogConfig{
+                      .maxEntries = 0,
+                      .maxBytes = 0,  // set per-partition below
+                      .maxAgeMillis = 0,
+                      .perEntryOverheadBytes = config.logOverheadBytes,
+                  }),
+      idAlloc_(id + 1000) {
+  // Pre-create owned partitions and their window-logs, splitting the
+  // member's log budget across them.
+  const auto ownedPartitions = table_->partitionsOwnedBy(id_);
+  const uint64_t perPartitionBudget =
+      ownedPartitions.empty()
+          ? 0
+          : config_.logBudgetBytes / ownedPartitions.size();
+  for (uint32_t p : ownedPartitions) {
+    owned_.emplace(p, PartitionState{});
+    if (config_.mode == Mode::kFull) {
+      auto& wlog = retroscope_.getLog(partitionLogName(p));
+      auto cfg = wlog.config();
+      cfg.maxBytes = perPartitionBudget;
+      wlog.setConfig(cfg);
+    }
+  }
+  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+}
+
+std::string GridMember::partitionLogName(uint32_t partition) {
+  return "part-" + std::to_string(partition);
+}
+
+const std::unordered_map<Key, Value>* GridMember::partitionData(
+    uint32_t p) const {
+  auto it = owned_.find(p);
+  return it == owned_.end() ? nullptr : &it->second.data;
+}
+
+void GridMember::preload(const Key& key, Value value) {
+  const uint32_t p = table_->partitionOf(key);
+  if (table_->ownerOf(p) == id_) {
+    owned_[p].data[key] = std::move(value);
+  } else {
+    for (NodeId b : table_->backupsOf(p)) {
+      if (b == id_) backups_[p][key] = std::move(value);
+    }
+  }
+}
+
+// --- RPC layer: HLC implanted in every remote operation (§IV-B) ---
+
+hlc::Timestamp GridMember::readHeader(ByteReader& r) {
+  if (config_.mode == Mode::kOriginal) return {};
+  return hlc::Timestamp::readFrom(r);
+}
+
+void GridMember::writeHeader(ByteWriter& w) {
+  if (config_.mode == Mode::kOriginal) return;
+  retroscope_.wrapHLC(w);
+}
+
+void GridMember::send(NodeId to, uint32_t type,
+                      const std::function<void(ByteWriter&)>& body) {
+  ByteWriter w;
+  writeHeader(w);
+  body(w);
+  network_->send(sim::Message{id_, to, type, w.take()});
+}
+
+void GridMember::onMessage(sim::Message&& msg) {
+  ByteReader r(msg.payload);
+  const hlc::Timestamp remoteTs = readHeader(r);
+  const TimeMicros hlcCost =
+      config_.mode == Mode::kOriginal ? 0 : config_.hlcCpuMicros;
+
+  switch (msg.type) {
+    case kMapPut: {
+      auto body = MapPutBody::readFrom(r);
+      const TimeMicros cost =
+          config_.putServiceMicros + hlcCost +
+          (config_.mode == Mode::kFull ? config_.logAppendMicros : 0);
+      executor_.submit(cost, [this, remoteTs, from = msg.from,
+                              body = std::move(body)]() mutable {
+        if (config_.mode != Mode::kOriginal) retroscope_.timeTick(remoteTs);
+        handlePut(from, std::move(body));
+      });
+      break;
+    }
+    case kMapGet: {
+      auto body = MapGetBody::readFrom(r);
+      executor_.submit(config_.getServiceMicros + hlcCost,
+                       [this, remoteTs, from = msg.from,
+                        body = std::move(body)]() mutable {
+                         if (config_.mode != Mode::kOriginal) {
+                           retroscope_.timeTick(remoteTs);
+                         }
+                         handleGet(from, std::move(body));
+                       });
+      break;
+    }
+    case kBackupReplicate: {
+      auto body = BackupReplicateBody::readFrom(r);
+      executor_.submit(config_.backupApplyMicros + hlcCost,
+                       [this, remoteTs, body = std::move(body)]() mutable {
+                         if (config_.mode != Mode::kOriginal) {
+                           retroscope_.timeTick(remoteTs);
+                         }
+                         handleBackup(std::move(body));
+                       });
+      break;
+    }
+    case kHeartbeat: {
+      // Health monitoring also goes through the HLC-injecting RPC layer.
+      executor_.submit(5 + hlcCost, [this, remoteTs] {
+        if (config_.mode != Mode::kOriginal) retroscope_.timeTick(remoteTs);
+      });
+      break;
+    }
+    case kSnapshotStart: {
+      auto body = GridSnapshotStartBody::readFrom(r);
+      executor_.submit(200 + hlcCost, [this, remoteTs, from = msg.from,
+                                       body = std::move(body)]() mutable {
+        if (config_.mode != Mode::kOriginal) retroscope_.timeTick(remoteTs);
+        handleSnapshotStart(from, std::move(body));
+      });
+      break;
+    }
+    case kSnapshotAck: {
+      auto body = GridSnapshotAckBody::readFrom(r);
+      executor_.submit(20 + hlcCost, [this, remoteTs, body]() {
+        if (config_.mode != Mode::kOriginal) retroscope_.timeTick(remoteTs);
+        handleSnapshotAck(body);
+      });
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// --- Map data path ---
+
+void GridMember::handlePut(NodeId from, MapPutBody body) {
+  const uint32_t p = table_->partitionOf(body.key);
+  auto it = owned_.find(p);
+  if (it == owned_.end()) {
+    // Misrouted (we are not the owner): reject.
+    send(from, kMapResponse, [&](ByteWriter& w) {
+      MapResponseBody resp{body.requestId, false, std::nullopt};
+      resp.writeTo(w);
+    });
+    return;
+  }
+  if (it->second.locked) {
+    // Partition briefly locked by an in-flight snapshot copy: queue the
+    // mutation until the copy completes (§VI-A).
+    ++queuedBehindLock_;
+    it->second.queued.push_back(
+        [this, from, body = std::move(body), p]() { applyPut(from, body, p); });
+    return;
+  }
+  applyPut(from, body, p);
+}
+
+void GridMember::applyPut(NodeId from, const MapPutBody& body, uint32_t p) {
+  ++putsProcessed_;
+  PartitionState& part = owned_[p];
+  OptValue old;
+  auto dit = part.data.find(body.key);
+  if (dit != part.data.end()) old = dit->second;
+  part.data[body.key] = body.value;
+
+  if (config_.mode == Mode::kFull) {
+    retroscope_.appendToLog(partitionLogName(p), body.key, old, body.value,
+                            retroscope_.now());
+  }
+
+  // Replicate to the backup members (fire-and-forget; HLC implanted).
+  for (NodeId b : table_->backupsOf(p)) {
+    send(b, kBackupReplicate, [&](ByteWriter& w) {
+      BackupReplicateBody rep{p, body.key, body.value};
+      rep.writeTo(w);
+    });
+  }
+
+  send(from, kMapResponse, [&](ByteWriter& w) {
+    MapResponseBody resp{body.requestId, true, std::nullopt};
+    resp.writeTo(w);
+  });
+}
+
+void GridMember::handleGet(NodeId from, MapGetBody body) {
+  const uint32_t p = table_->partitionOf(body.key);
+  MapResponseBody resp;
+  resp.requestId = body.requestId;
+  auto it = owned_.find(p);
+  if (it == owned_.end()) {
+    resp.ok = false;
+  } else {
+    auto dit = it->second.data.find(body.key);
+    if (dit != it->second.data.end()) resp.value = dit->second;
+  }
+  send(from, kMapResponse, [&](ByteWriter& w) { resp.writeTo(w); });
+}
+
+void GridMember::handleBackup(BackupReplicateBody body) {
+  backups_[body.partition][body.key] = std::move(body.value);
+}
+
+// --- Heartbeats ---
+
+void GridMember::startHeartbeats() {
+  if (heartbeating_) return;
+  heartbeating_ = true;
+  heartbeatTick();
+}
+
+void GridMember::heartbeatTick() {
+  for (size_t m = 0; m < table_->memberCount(); ++m) {
+    if (static_cast<NodeId>(m) == id_) continue;
+    send(static_cast<NodeId>(m), kHeartbeat, [&](ByteWriter& w) {
+      HeartbeatBody hb{heartbeatSeq_};
+      hb.writeTo(w);
+    });
+  }
+  ++heartbeatSeq_;
+  env_->scheduleDaemon(config_.heartbeatPeriodMicros,
+                       [this] { heartbeatTick(); });
+}
+
+// --- Snapshot protocol (§IV-B) ---
+
+core::SnapshotId GridMember::initiateSnapshot(hlc::Timestamp target,
+                                              SnapshotCallback done) {
+  core::SnapshotRequest request;
+  request.id = idAlloc_.next();
+  request.target = target;
+  request.kind = core::SnapshotKind::kFull;
+
+  std::vector<NodeId> members;
+  for (size_t m = 0; m < table_->memberCount(); ++m) {
+    members.push_back(static_cast<NodeId>(m));
+  }
+  sessions_.emplace(request.id,
+                    core::SnapshotSession(request, members, env_->now()));
+  callbacks_.emplace(request.id, std::move(done));
+
+  // Broadcast to the entire cluster (including ourselves, via the
+  // network for uniform timing).
+  for (NodeId m : members) {
+    if (m == id_) {
+      GridSnapshotStartBody body{request};
+      handleSnapshotStart(id_, body);
+    } else {
+      send(m, kSnapshotStart, [&](ByteWriter& w) {
+        GridSnapshotStartBody body{request};
+        body.writeTo(w);
+      });
+    }
+  }
+  return request.id;
+}
+
+core::SnapshotId GridMember::initiateSnapshotNow(SnapshotCallback done) {
+  return initiateSnapshot(retroscope_.timeTick(), std::move(done));
+}
+
+void GridMember::handleSnapshotStart(NodeId from, GridSnapshotStartBody body) {
+  ActiveSnapshot active;
+  active.request = body.request;
+  active.initiator = from;
+  active.captureTime = retroscope_.now();
+  for (const auto& [p, st] : owned_) {
+    (void)st;
+    active.pendingPartitions.push_back(p);
+  }
+  const core::SnapshotId id = body.request.id;
+
+  if (config_.mode == Mode::kFull) {
+    for (auto& [p, st] : owned_) {
+      (void)st;
+      retroscope_.getLog(partitionLogName(p)).unbound();
+    }
+  }
+
+  activeSnapshots_.emplace(id, std::move(active));
+
+  if (owned_.empty()) {
+    memberSnapshotDone(id);
+    return;
+  }
+  // One snapshot operation per partition, chained so snapshot work
+  // interleaves with normal traffic (fine-grained concurrency control).
+  runNextPartitionSnapshot(id);
+}
+
+void GridMember::runNextPartitionSnapshot(core::SnapshotId id) {
+  auto it = activeSnapshots_.find(id);
+  if (it == activeSnapshots_.end()) return;
+  if (it->second.pendingPartitions.empty()) {
+    memberSnapshotDone(id);
+    return;
+  }
+  const uint32_t p = it->second.pendingPartitions.back();
+  it->second.pendingPartitions.pop_back();
+  runPartitionSnapshot(id, p);
+}
+
+void GridMember::runPartitionSnapshot(core::SnapshotId id, uint32_t p) {
+  auto it = activeSnapshots_.find(id);
+  if (it == activeSnapshots_.end()) return;
+  PartitionState& part = owned_[p];
+
+  // Lock the partition's keys while copying: writes queue (§VI-A).
+  part.locked = true;
+  const auto copyCost = static_cast<TimeMicros>(std::llround(
+      static_cast<double>(part.data.size()) * config_.copyMicrosPerEntry));
+
+  executor_.submit(copyCost, [this, id, p] {
+    auto jt = activeSnapshots_.find(id);
+    PartitionState& partNow = owned_[p];
+
+    // Copy is done: capture the partition state, release the lock and
+    // drain writes that queued behind it.
+    std::unordered_map<Key, Value> copied;
+    if (jt != activeSnapshots_.end()) copied = partNow.data;
+    const hlc::Timestamp captureTime =
+        config_.mode == Mode::kOriginal ? hlc::Timestamp{}
+                                        : retroscope_.now();
+    partNow.locked = false;
+    auto queued = std::move(partNow.queued);
+    partNow.queued.clear();
+    for (auto& fn : queued) fn();
+
+    if (jt == activeSnapshots_.end()) return;
+    ActiveSnapshot& active = jt->second;
+
+    // Traverse the partition's window-log back from the capture time to
+    // the target and undo the changes.
+    log::DiffStats stats;
+    if (config_.mode == Mode::kFull) {
+      const auto& wlog = retroscope_.getLog(partitionLogName(p));
+      auto diff = wlog.diffBackward(captureTime, active.request.target, &stats);
+      if (!diff.isOk()) {
+        active.outOfReach = true;
+      } else {
+        diff.value().applyTo(copied);
+      }
+    }
+
+    for (const auto& [k, v] : copied) {
+      active.snapshotBytes += k.size() + v.size();
+    }
+    active.state.merge(copied);
+
+    const auto traverseCost = static_cast<TimeMicros>(std::llround(
+        static_cast<double>(stats.entriesTraversed) *
+        config_.traverseMicrosPerEntry));
+    executor_.submit(traverseCost,
+                     [this, id] { runNextPartitionSnapshot(id); });
+  });
+}
+
+void GridMember::memberSnapshotDone(core::SnapshotId id) {
+  auto it = activeSnapshots_.find(id);
+  if (it == activeSnapshots_.end()) return;
+  ActiveSnapshot active = std::move(it->second);
+  activeSnapshots_.erase(it);
+
+  if (config_.mode == Mode::kFull && activeSnapshots_.empty()) {
+    for (auto& [p, st] : owned_) {
+      (void)st;
+      retroscope_.getLog(partitionLogName(p)).rebound();
+    }
+  }
+
+  const auto finish = [this, id, initiator = active.initiator,
+                       outOfReach = active.outOfReach,
+                       bytes = active.snapshotBytes] {
+    core::SnapshotAck ack{id, id_,
+                          outOfReach ? core::LocalSnapshotStatus::kOutOfReach
+                                     : core::LocalSnapshotStatus::kComplete,
+                          bytes};
+    if (!outOfReach) ++snapshotsCompleted_;
+    if (initiator == id_) {
+      GridSnapshotAckBody body{ack};
+      handleSnapshotAck(body);
+    } else {
+      send(initiator, kSnapshotAck, [&](ByteWriter& w) {
+        GridSnapshotAckBody body{ack};
+        body.writeTo(w);
+      });
+    }
+  };
+
+  if (!active.outOfReach) {
+    core::LocalSnapshot snap;
+    snap.id = id;
+    snap.kind = core::SnapshotKind::kFull;
+    snap.target = active.request.target;
+    snap.node = id_;
+    snap.state = std::move(active.state);
+    snap.persistedBytes = active.snapshotBytes;
+    snapshotStore_.put(std::move(snap));
+    // The aggregator persists the collected partition snapshots to disk
+    // *asynchronously* (§IV-B): the ack does not wait for the write —
+    // that is why in-memory snapshots complete in ~100 ms (Fig. 20).
+    disk_->write(active.snapshotBytes, [] {});
+  }
+  finish();
+}
+
+void GridMember::handleSnapshotAck(GridSnapshotAckBody body) {
+  auto it = sessions_.find(body.ack.id);
+  if (it == sessions_.end()) return;
+  if (it->second.onAck(body.ack, env_->now())) {
+    auto cb = callbacks_.find(body.ack.id);
+    if (cb != callbacks_.end()) {
+      if (cb->second) cb->second(it->second);
+      callbacks_.erase(cb);
+    }
+  }
+}
+
+}  // namespace retro::grid

@@ -1,0 +1,171 @@
+// A Hazelcast-like grid member (§IV-B): holds primary and backup copies
+// of key partitions, serves Map RPCs, replicates to backups, exchanges
+// heartbeats — and, with Retroscope enabled, implants an HLC timestamp
+// into every one of those remote operations at the RPC layer.
+//
+// Snapshots are taken *per partition* (the paper's design choice for
+// fine-grained concurrency): each owned partition is copied while its
+// keys are briefly locked (writes queue, "block momentarily"), the
+// partition's window-log is traversed back to the target time, and a
+// per-member aggregator persists the collected partition snapshots to
+// disk asynchronously.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "core/coordinator.hpp"
+#include "core/retroscope.hpp"
+#include "core/snapshot_store.hpp"
+#include "grid/messages.hpp"
+#include "grid/partition_table.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/disk.hpp"
+#include "sim/executor.hpp"
+#include "sim/network.hpp"
+
+namespace retro::grid {
+
+enum class Mode : uint8_t {
+  kOriginal,  ///< unmodified Hazelcast: no HLC, no window-log
+  kHlcOnly,   ///< HLC implanted in RPCs, window-log disabled ("off")
+  kFull,      ///< HLC + window-log ("on")
+};
+
+struct MemberConfig {
+  Mode mode = Mode::kFull;
+
+  // --- request costs ---
+  TimeMicros putServiceMicros = 150;
+  TimeMicros getServiceMicros = 100;
+  TimeMicros backupApplyMicros = 40;
+  /// CPU per message for HLC wrap/unwrap bookkeeping (JVM-calibrated:
+  /// parse + tick + re-serialize inside the RPC layer).
+  TimeMicros hlcCpuMicros = 22;
+  /// CPU per put for the window-log append (allocation + copy of old
+  /// and new values into the log).
+  TimeMicros logAppendMicros = 25;
+
+  // --- snapshot costs ---
+  /// Per-entry CPU for copying a partition (keys locked meanwhile).
+  double copyMicrosPerEntry = 0.3;
+  /// Per-entry CPU for traversing the window-log back to the target.
+  double traverseMicrosPerEntry = 2.0;
+
+  /// Total window-log budget on this member, divided across the
+  /// partition logs it owns (the paper's "bounded by a user-specified
+  /// maximum size", 2 GB in §VI).
+  uint64_t logBudgetBytes = 2ull << 30;
+  /// Window-log per-entry overhead constants.
+  size_t logOverheadBytes = 152;
+
+  TimeMicros heartbeatPeriodMicros = kMicrosPerSecond;
+  sim::DiskConfig disk{.readMBps = 200, .writeMBps = 160, .seekMicros = 100};
+};
+
+class GridMember {
+ public:
+  GridMember(NodeId id, sim::SimEnv& env, sim::Network& network,
+             sim::SkewedClock& clock, const PartitionTable& table,
+             MemberConfig config);
+
+  NodeId id() const { return id_; }
+  Mode mode() const { return config_.mode; }
+
+  core::Retroscope& retroscope() { return retroscope_; }
+  const core::Retroscope& retroscope() const { return retroscope_; }
+  core::SnapshotStore& snapshots() { return snapshotStore_; }
+  sim::Executor& executor() { return executor_; }
+
+  /// Initiate a distributed snapshot from this member: snapshot() with
+  /// target = the current HLC time, snapshot(t) for a past target
+  /// (§IV-B).  `done` fires when every member has acked.
+  using SnapshotCallback = std::function<void(const core::SnapshotSession&)>;
+  core::SnapshotId initiateSnapshot(hlc::Timestamp target,
+                                    SnapshotCallback done);
+  core::SnapshotId initiateSnapshotNow(SnapshotCallback done);
+
+  /// Bulk-load without network/time (bench setup).
+  void preload(const Key& key, Value value);
+
+  /// Begin periodic heartbeating to the other members.
+  void startHeartbeats();
+
+  static std::string partitionLogName(uint32_t partition);
+
+  uint64_t putsProcessed() const { return putsProcessed_; }
+  uint64_t queuedBehindLock() const { return queuedBehindLock_; }
+  uint64_t snapshotsCompleted() const { return snapshotsCompleted_; }
+
+  /// Primary data of one owned partition (tests).
+  const std::unordered_map<Key, Value>* partitionData(uint32_t p) const;
+
+ private:
+  struct PartitionState {
+    std::unordered_map<Key, Value> data;
+    bool locked = false;
+    std::deque<std::function<void()>> queued;
+  };
+
+  struct ActiveSnapshot {
+    core::SnapshotRequest request;
+    NodeId initiator = 0;
+    /// Owned partitions not yet snapshotted; processed one at a time so
+    /// snapshot work interleaves with normal operations (fine-grained
+    /// concurrency control, §IV-B).
+    std::vector<uint32_t> pendingPartitions;
+    bool outOfReach = false;
+    uint64_t snapshotBytes = 0;
+    std::unordered_map<Key, Value> state;  // merged partition copies
+    hlc::Timestamp captureTime;
+  };
+
+  void onMessage(sim::Message&& msg);
+  hlc::Timestamp readHeader(ByteReader& r);
+  void writeHeader(ByteWriter& w);
+  void send(NodeId to, uint32_t type,
+            const std::function<void(ByteWriter&)>& body);
+
+  void handlePut(NodeId from, MapPutBody body);
+  void applyPut(NodeId from, const MapPutBody& body, uint32_t partition);
+  void handleGet(NodeId from, MapGetBody body);
+  void handleBackup(BackupReplicateBody body);
+  void handleSnapshotStart(NodeId from, GridSnapshotStartBody body);
+  void handleSnapshotAck(GridSnapshotAckBody body);
+
+  void runNextPartitionSnapshot(core::SnapshotId id);
+  void runPartitionSnapshot(core::SnapshotId id, uint32_t partition);
+  void memberSnapshotDone(core::SnapshotId id);
+
+  void heartbeatTick();
+
+  NodeId id_;
+  sim::SimEnv* env_;
+  sim::Network* network_;
+  const PartitionTable* table_;
+  MemberConfig config_;
+
+  std::unique_ptr<sim::SimDisk> disk_;
+  sim::Executor executor_;
+  core::Retroscope retroscope_;
+
+  std::map<uint32_t, PartitionState> owned_;
+  std::map<uint32_t, std::unordered_map<Key, Value>> backups_;
+
+  core::SnapshotStore snapshotStore_;
+  std::map<core::SnapshotId, ActiveSnapshot> activeSnapshots_;
+  // Initiator-side session tracking (any member can initiate).
+  std::map<core::SnapshotId, core::SnapshotSession> sessions_;
+  std::map<core::SnapshotId, SnapshotCallback> callbacks_;
+  core::SnapshotIdAllocator idAlloc_;
+
+  uint64_t heartbeatSeq_ = 0;
+  bool heartbeating_ = false;
+
+  uint64_t putsProcessed_ = 0;
+  uint64_t queuedBehindLock_ = 0;
+  uint64_t snapshotsCompleted_ = 0;
+};
+
+}  // namespace retro::grid

@@ -1,0 +1,83 @@
+// RPC message bodies for the Hazelcast-like grid.  When Retroscope is
+// enabled, *every* remote operation — data ops, backup replication,
+// health monitoring — carries an HLC timestamp implanted in the RPC
+// layer (§IV-B); in "original" mode the timestamp is omitted entirely so
+// the wire/CPU overhead of the instrumentation is measurable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "core/snapshot.hpp"
+#include "hlc/timestamp.hpp"
+
+namespace retro::grid {
+
+enum GridMsgType : uint32_t {
+  kMapPut = 100,
+  kMapGet,
+  kMapResponse,
+  kBackupReplicate,
+  kHeartbeat,
+  kSnapshotStart,
+  kSnapshotAck,
+};
+
+struct MapPutBody {
+  uint64_t requestId = 0;
+  Key key;
+  Value value;
+
+  void writeTo(ByteWriter& w) const;
+  static MapPutBody readFrom(ByteReader& r);
+};
+
+struct MapGetBody {
+  uint64_t requestId = 0;
+  Key key;
+
+  void writeTo(ByteWriter& w) const;
+  static MapGetBody readFrom(ByteReader& r);
+};
+
+struct MapResponseBody {
+  uint64_t requestId = 0;
+  bool ok = true;
+  OptValue value;
+
+  void writeTo(ByteWriter& w) const;
+  static MapResponseBody readFrom(ByteReader& r);
+};
+
+struct BackupReplicateBody {
+  uint32_t partition = 0;
+  Key key;
+  Value value;
+
+  void writeTo(ByteWriter& w) const;
+  static BackupReplicateBody readFrom(ByteReader& r);
+};
+
+struct HeartbeatBody {
+  uint64_t sequence = 0;
+
+  void writeTo(ByteWriter& w) const;
+  static HeartbeatBody readFrom(ByteReader& r);
+};
+
+struct GridSnapshotStartBody {
+  core::SnapshotRequest request;
+
+  void writeTo(ByteWriter& w) const;
+  static GridSnapshotStartBody readFrom(ByteReader& r);
+};
+
+struct GridSnapshotAckBody {
+  core::SnapshotAck ack;
+
+  void writeTo(ByteWriter& w) const;
+  static GridSnapshotAckBody readFrom(ByteReader& r);
+};
+
+}  // namespace retro::grid

@@ -1,0 +1,47 @@
+#include "grid/partition_table.hpp"
+
+#include <stdexcept>
+
+namespace retro::grid {
+
+PartitionTable::PartitionTable(size_t members, size_t partitions,
+                               size_t backups)
+    : members_(members), partitions_(partitions), backups_(backups) {
+  if (members == 0) throw std::invalid_argument("PartitionTable: no members");
+  if (backups_ >= members_) backups_ = members_ - 1;
+}
+
+uint32_t PartitionTable::partitionOf(const Key& key) const {
+  // FNV-1a over the key, reduced mod the partition count (Hazelcast uses
+  // Murmur mod 271; any well-mixed hash preserves the behaviour).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  return static_cast<uint32_t>(h % partitions_);
+}
+
+NodeId PartitionTable::ownerOf(uint32_t partition) const {
+  return static_cast<NodeId>(partition % members_);
+}
+
+std::vector<NodeId> PartitionTable::backupsOf(uint32_t partition) const {
+  std::vector<NodeId> out;
+  out.reserve(backups_);
+  for (size_t b = 1; b <= backups_; ++b) {
+    out.push_back(static_cast<NodeId>((partition + b) % members_));
+  }
+  return out;
+}
+
+std::vector<uint32_t> PartitionTable::partitionsOwnedBy(NodeId member) const {
+  std::vector<uint32_t> out;
+  for (uint32_t p = 0; p < partitions_; ++p) {
+    if (ownerOf(p) == member) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace retro::grid

@@ -1,0 +1,39 @@
+// Hazelcast-style partitioning (§IV-B): every key hashes into one of 271
+// partitions; partitions are distributed evenly across the members, with
+// a configurable number of backup replicas on the following members
+// (Fig. 9: one server holds partition i and the backup of j, the other
+// holds j and the backup of i).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace retro::grid {
+
+class PartitionTable {
+ public:
+  PartitionTable(size_t members, size_t partitions = 271, size_t backups = 1);
+
+  uint32_t partitionOf(const Key& key) const;
+  NodeId ownerOf(uint32_t partition) const;
+  NodeId ownerOfKey(const Key& key) const { return ownerOf(partitionOf(key)); }
+
+  /// Backup members for a partition (owner excluded), in replica order.
+  std::vector<NodeId> backupsOf(uint32_t partition) const;
+
+  /// Partitions owned by a member.
+  std::vector<uint32_t> partitionsOwnedBy(NodeId member) const;
+
+  size_t partitionCount() const { return partitions_; }
+  size_t memberCount() const { return members_; }
+  size_t backupCount() const { return backups_; }
+
+ private:
+  size_t members_;
+  size_t partitions_;
+  size_t backups_;
+};
+
+}  // namespace retro::grid

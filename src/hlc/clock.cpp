@@ -1,0 +1,62 @@
+#include "hlc/clock.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace retro::hlc {
+
+int64_t WallPhysicalClock::nowMillis() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+      .count();
+}
+
+void Clock::observe(const Timestamp& t) {
+  maxC_ = std::max(maxC_, t.c);
+}
+
+Timestamp Clock::tick() {
+  const int64_t pt = physical_->nowMillis();
+  if (pt > now_.l) {
+    now_.l = pt;
+    now_.c = 0;
+  } else {
+    ++now_.c;
+  }
+  maxDrift_ = std::max(maxDrift_, now_.l - pt);
+  observe(now_);
+  return now_;
+}
+
+Timestamp Clock::tick(const Timestamp& m) {
+  const int64_t pt = physical_->nowMillis();
+  const int64_t newL = std::max({now_.l, m.l, pt});
+  uint32_t newC;
+  if (newL == now_.l && newL == m.l) {
+    newC = std::max(now_.c, m.c) + 1;
+  } else if (newL == now_.l) {
+    newC = now_.c + 1;
+  } else if (newL == m.l) {
+    newC = m.c + 1;
+  } else {
+    newC = 0;
+  }
+  now_.l = newL;
+  now_.c = newC;
+  maxDrift_ = std::max(maxDrift_, now_.l - pt);
+  observe(now_);
+  return now_;
+}
+
+Timestamp wrapHlc(Clock& clock, ByteWriter& message) {
+  const Timestamp t = clock.tick();
+  t.writeTo(message);
+  return t;
+}
+
+Timestamp unwrapHlc(Clock& clock, ByteReader& message) {
+  const Timestamp received = Timestamp::readFrom(message);
+  return clock.tick(received);
+}
+
+}  // namespace retro::hlc

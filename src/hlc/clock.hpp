@@ -1,0 +1,79 @@
+// The HLC algorithm (§II of the paper) and the physical-clock sources it
+// reads from.  The clock itself is substrate-agnostic: the simulator
+// plugs in a skewed SimPhysicalClock, a real deployment would plug in a
+// WallPhysicalClock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "hlc/timestamp.hpp"
+
+namespace retro::hlc {
+
+/// Source of physical time in milliseconds (NTP-synchronized in the
+/// paper; a skew/drift model in the simulator).
+class PhysicalClock {
+ public:
+  virtual ~PhysicalClock() = default;
+  virtual int64_t nowMillis() = 0;
+};
+
+/// Physical clock backed by the real system clock. Used when the
+/// Retroscope library is embedded in a real (non-simulated) system.
+class WallPhysicalClock final : public PhysicalClock {
+ public:
+  int64_t nowMillis() override;
+};
+
+/// Hybrid Logical Clock. One instance per node; not thread-safe (wrap
+/// externally if the host system is multi-threaded — the simulated
+/// clusters are single-threaded and deterministic).
+class Clock {
+ public:
+  /// `physical` must outlive the Clock.
+  explicit Clock(PhysicalClock& physical) : physical_(&physical) {}
+
+  /// HLC time tick for a local or send event (Table I: timeTick()).
+  ///
+  ///   l' = max(l, pt);  c' = (l' == l) ? c + 1 : 0
+  Timestamp tick();
+
+  /// HLC time tick caused by a remote event carrying timestamp `m`
+  /// (Table I: timeTick(HLCTime)).
+  ///
+  ///   l' = max(l, m.l, pt)
+  ///   c' = c+1 / m.c+1 / 0 depending on which argument attained l'.
+  Timestamp tick(const Timestamp& m);
+
+  /// Current HLC value without advancing it (no event).
+  Timestamp current() const { return now_; }
+
+  /// The physical clock this HLC is driven by.
+  PhysicalClock& physicalClock() const { return *physical_; }
+
+  /// Largest logical component ever produced; the paper observes this
+  /// stays small (< 10) in practice — we expose it so tests/benches can
+  /// check that property.
+  uint32_t maxLogicalObserved() const { return maxC_; }
+
+  /// Maximum observed drift l - pt (bounded by the NTP skew eps).
+  int64_t maxDriftMillis() const { return maxDrift_; }
+
+ private:
+  void observe(const Timestamp& t);
+
+  PhysicalClock* physical_;
+  Timestamp now_{};
+  uint32_t maxC_ = 0;
+  int64_t maxDrift_ = 0;
+};
+
+/// Convenience for messaging layers (Table I wrapHLC/unwrapHLC): tick the
+/// clock for a send event and prepend the 8-byte timestamp to `message`;
+/// or strip it, tick for the receive event, and return the new HLC time.
+Timestamp wrapHlc(Clock& clock, ByteWriter& message);
+Timestamp unwrapHlc(Clock& clock, ByteReader& message);
+
+}  // namespace retro::hlc

@@ -1,0 +1,4 @@
+#include "hlc/lamport.hpp"
+
+// LamportClock is header-only; this TU anchors the target.
+namespace retro::hlc {}

@@ -1,0 +1,33 @@
+// Lamport logical clock (LC) baseline (§I, §II).  LCs satisfy the logical
+// clock condition but, being driven purely by event occurrence, cannot
+// anchor a cut near a requested physical time — the property the paper's
+// §II argues makes them unusable for retrospective snapshots.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace retro::hlc {
+
+class LamportClock {
+ public:
+  /// Tick for a local or send event.
+  uint64_t tick() { return ++now_; }
+
+  /// Tick for a receive event carrying timestamp `m`.
+  uint64_t tick(uint64_t m) {
+    now_ = (m > now_ ? m : now_) + 1;
+    return now_;
+  }
+
+  uint64_t current() const { return now_; }
+
+  static constexpr size_t kWireSize = 8;
+  void writeTo(ByteWriter& w) const { w.writeU64(now_); }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+}  // namespace retro::hlc

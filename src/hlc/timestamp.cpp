@@ -1,0 +1,29 @@
+#include "hlc/timestamp.hpp"
+
+#include <stdexcept>
+
+namespace retro::hlc {
+
+uint64_t Timestamp::pack() const {
+  if (l < 0) throw std::invalid_argument("HLC pack: negative physical component");
+  if (static_cast<uint64_t>(l) >= (1ULL << 48)) {
+    throw std::invalid_argument("HLC pack: physical component exceeds 48 bits");
+  }
+  if (c > kMaxLogical) {
+    throw std::invalid_argument("HLC pack: logical counter exceeds 16 bits");
+  }
+  return (static_cast<uint64_t>(l) << kLogicalBits) | c;
+}
+
+Timestamp Timestamp::unpack(uint64_t packed) {
+  Timestamp t;
+  t.l = static_cast<int64_t>(packed >> kLogicalBits);
+  t.c = static_cast<uint32_t>(packed & kMaxLogical);
+  return t;
+}
+
+std::string Timestamp::toString() const {
+  return std::to_string(l) + "," + std::to_string(c);
+}
+
+}  // namespace retro::hlc

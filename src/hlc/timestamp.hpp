@@ -1,0 +1,61 @@
+// Hybrid Logical Clock timestamps (Kulkarni et al., OPODIS'14), as used by
+// Retroscope (ICDCS'17 §II).
+//
+// An HLC timestamp is a pair (l, c):
+//   l — the maximum physical-clock value (milliseconds) the node is aware
+//       of, guaranteed to lie within [pt, pt + eps] under an NTP skew
+//       bound of eps;
+//   c — a bounded logical counter that breaks ties among events sharing
+//       the same l, preserving the logical-clock condition
+//       e hb f  =>  HLC.e < HLC.f.
+//
+// Following the paper (and the CockroachDB implementation it is based
+// on), both components pack into a single 64-bit integer that is
+// backwards compatible with an NTP timestamp: the top 48 bits hold the
+// millisecond physical component and the low 16 bits hold c.  Integer
+// comparison of packed values equals lexicographic (l, c) comparison, so
+// a packed HLC can substitute anywhere an NTP timestamp is ordered.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace retro::hlc {
+
+struct Timestamp {
+  int64_t l = 0;   ///< physical component, milliseconds
+  uint32_t c = 0;  ///< logical counter ("overflow buffer" for l)
+
+  static constexpr int kLogicalBits = 16;
+  static constexpr uint32_t kMaxLogical = (1u << kLogicalBits) - 1;
+  /// Wire size of a packed timestamp: the paper's 8 bytes.
+  static constexpr size_t kWireSize = 8;
+
+  friend auto operator<=>(const Timestamp& a, const Timestamp& b) = default;
+
+  /// Pack into a single 64-bit value (l in top 48 bits, c in low 16).
+  uint64_t pack() const;
+  static Timestamp unpack(uint64_t packed);
+
+  /// Serialize to / parse from a byte stream (8 bytes, big-endian).
+  void writeTo(ByteWriter& w) const { w.writeU64(pack()); }
+  static Timestamp readFrom(ByteReader& r) { return unpack(r.readU64()); }
+
+  /// "l,c" rendering used in the paper's Figure 2.
+  std::string toString() const;
+
+  bool isZero() const { return l == 0 && c == 0; }
+};
+
+/// The zero timestamp: earlier than every event.
+inline constexpr Timestamp kZero{};
+
+/// Convert a physical wall/simulated time in milliseconds to the HLC
+/// timestamp representing "physical time t, no logical component".  Used
+/// to express snapshot targets: snapshot(t) with t = tc - delta (§IV-B).
+inline Timestamp fromPhysicalMillis(int64_t millis) { return {millis, 0}; }
+
+}  // namespace retro::hlc

@@ -1,0 +1,46 @@
+// Vector clock (VC) baseline (§I).  VCs characterize causality exactly —
+// a VC-identical cut is consistent and VCs never report false causality —
+// but each message must carry Theta(n) entries, the "intolerable
+// overhead" the paper measures against.  We implement them both as a
+// snapshot baseline and to measure wire overhead vs. the 8-byte HLC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace retro::hlc {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  VectorClock(NodeId self, size_t n) : self_(self), v_(n, 0) {}
+
+  /// Tick for a local or send event.
+  const std::vector<uint64_t>& tick();
+
+  /// Tick for a receive event carrying vector `m`.
+  const std::vector<uint64_t>& tick(const std::vector<uint64_t>& m);
+
+  const std::vector<uint64_t>& current() const { return v_; }
+  size_t size() const { return v_.size(); }
+
+  /// Wire size: 8 bytes per node — the Theta(n) message overhead.
+  size_t wireSize() const { return v_.size() * 8; }
+  void writeTo(ByteWriter& w) const;
+  static std::vector<uint64_t> readFrom(ByteReader& r);
+
+  /// Causality comparison on raw vectors.
+  static bool happenedBefore(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b);
+  static bool concurrent(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b);
+
+ private:
+  NodeId self_ = 0;
+  std::vector<uint64_t> v_;
+};
+
+}  // namespace retro::hlc

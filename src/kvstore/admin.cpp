@@ -1,0 +1,136 @@
+#include "kvstore/admin.hpp"
+
+namespace retro::kv {
+
+AdminClient::AdminClient(NodeId id, sim::SimEnv& env, sim::Network& network,
+                         sim::SkewedClock& clock, std::vector<NodeId> servers,
+                         AdminConfig config)
+    : id_(id),
+      env_(&env),
+      network_(&network),
+      clock_(clock),
+      servers_(std::move(servers)),
+      config_(config),
+      idAlloc_(id) {
+  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+}
+
+core::SnapshotId AdminClient::doSnapshot(hlc::Timestamp target,
+                                         core::SnapshotKind kind,
+                                         std::optional<core::SnapshotId> baseId,
+                                         SnapshotCallback done) {
+  core::SnapshotRequest request;
+  request.id = idAlloc_.next();
+  request.target = target;
+  request.kind = kind;
+  request.baseId = baseId;
+
+  sessions_.emplace(request.id, core::SnapshotSession(request, servers_,
+                                                      env_->now()));
+  callbacks_.emplace(request.id, std::move(done));
+
+  if (config_.deferStepMicros <= 0) {
+    for (NodeId server : servers_) sendRequest(server, request);
+  } else {
+    // Deferred snapshots (§VII): group i starts i*Δt after the first.
+    const size_t k = config_.deferOverlap == 0 ? 1 : config_.deferOverlap;
+    for (size_t i = 0; i < servers_.size(); ++i) {
+      const TimeMicros delay =
+          static_cast<TimeMicros>(i / k) * config_.deferStepMicros;
+      const NodeId server = servers_[i];
+      env_->schedule(delay, [this, server, request] {
+        sendRequest(server, request);
+      });
+    }
+  }
+  return request.id;
+}
+
+core::SnapshotId AdminClient::snapshotNow(SnapshotCallback done) {
+  return doSnapshot(clock_.tick(), core::SnapshotKind::kFull, std::nullopt,
+                    std::move(done));
+}
+
+core::SnapshotId AdminClient::snapshotPast(int64_t deltaMillis,
+                                           SnapshotCallback done) {
+  const hlc::Timestamp now = clock_.tick();
+  return doSnapshot(hlc::fromPhysicalMillis(now.l - deltaMillis),
+                    core::SnapshotKind::kFull, std::nullopt, std::move(done));
+}
+
+void AdminClient::sendRequest(NodeId server,
+                              const core::SnapshotRequest& request) {
+  ByteWriter w;
+  hlc::wrapHlc(clock_, w);
+  SnapshotRequestBody body{request};
+  body.writeTo(w);
+  network_->send(sim::Message{id_, server, kSnapshotRequest, w.take()});
+}
+
+void AdminClient::checkProgress(
+    core::SnapshotId id,
+    std::function<void(NodeId, ProgressReplyBody)> onReply) {
+  progressHandler_ = std::move(onReply);
+  for (NodeId server : servers_) {
+    ByteWriter w;
+    hlc::wrapHlc(clock_, w);
+    ProgressRequestBody body{id};
+    body.writeTo(w);
+    network_->send(sim::Message{id_, server, kProgressRequest, w.take()});
+  }
+}
+
+Result<core::SnapshotId> AdminClient::restartSnapshot(core::SnapshotId id,
+                                                      SnapshotCallback done) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status(StatusCode::kNotFound,
+                  "no snapshot session " + std::to_string(id));
+  }
+  const core::SnapshotRequest old = it->second.request();
+  // Abandon the stale session: late acks for it will be ignored.
+  callbacks_.erase(id);
+  sessions_.erase(it);
+  return doSnapshot(old.target, old.kind, old.baseId, std::move(done));
+}
+
+void AdminClient::markNodeUnavailable(core::SnapshotId id, NodeId node) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  if (it->second.onNodeUnavailable(node, env_->now())) {
+    auto cb = callbacks_.find(id);
+    if (cb != callbacks_.end()) {
+      if (cb->second) cb->second(it->second);
+      callbacks_.erase(cb);
+    }
+  }
+}
+
+const core::SnapshotSession* AdminClient::findSession(
+    core::SnapshotId id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void AdminClient::onMessage(sim::Message&& msg) {
+  ByteReader r(msg.payload);
+  hlc::unwrapHlc(clock_, r);
+
+  if (msg.type == kSnapshotAck) {
+    auto body = SnapshotAckBody::readFrom(r);
+    auto it = sessions_.find(body.ack.id);
+    if (it == sessions_.end()) return;
+    if (it->second.onAck(body.ack, env_->now())) {
+      auto cb = callbacks_.find(body.ack.id);
+      if (cb != callbacks_.end()) {
+        if (cb->second) cb->second(it->second);
+        callbacks_.erase(cb);
+      }
+    }
+  } else if (msg.type == kProgressReply) {
+    auto body = ProgressReplyBody::readFrom(r);
+    if (progressHandler_) progressHandler_(msg.from, body);
+  }
+}
+
+}  // namespace retro::kv

@@ -1,0 +1,150 @@
+#include "kvstore/client.hpp"
+
+namespace retro::kv {
+
+VoldemortClient::VoldemortClient(NodeId id, sim::SimEnv& env,
+                                 sim::Network& network,
+                                 sim::SkewedClock& clock, const Ring& ring,
+                                 ClientConfig config)
+    : id_(id),
+      env_(&env),
+      network_(&network),
+      clock_(clock),
+      ring_(&ring),
+      config_(config) {
+  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+}
+
+void VoldemortClient::put(const Key& key, Value value, PutCallback done) {
+  const uint64_t reqId = nextRequestId_++;
+  auto replicas = ring_->preferenceList(key, config_.replicas);
+
+  // Client-side versioning: bump our slot on the last version we saw for
+  // this key so replicas can order replayed/raced writes.
+  if (versionCache_.size() > config_.versionCacheCap) versionCache_.clear();
+  VersionVector& version = versionCache_[key];
+  version.increment(id_);
+
+  PendingOp op;
+  op.isPut = true;
+  op.needed = std::min(config_.requiredWrites, replicas.size());
+  op.outstanding = replicas.size();
+  op.startedAt = env_->now();
+  op.key = key;
+  op.putDone = std::move(done);
+  pending_.emplace(reqId, std::move(op));
+
+  PutRequestBody body;
+  body.requestId = reqId;
+  body.key = key;
+  body.value = std::move(value);
+  body.version = version;
+
+  // The client replicates the item itself: one message per replica.
+  for (NodeId server : replicas) {
+    ByteWriter w;
+    hlc::wrapHlc(clock_, w);
+    body.writeTo(w);
+    network_->send(sim::Message{id_, server, kPutRequest, w.take()});
+  }
+  armTimeout(reqId);
+}
+
+void VoldemortClient::get(const Key& key, GetCallback done) {
+  const uint64_t reqId = nextRequestId_++;
+  auto replicas = ring_->preferenceList(key, config_.replicas);
+  const size_t toAsk = std::min(config_.requiredReads, replicas.size());
+
+  PendingOp op;
+  op.isPut = false;
+  op.needed = toAsk;
+  op.outstanding = toAsk;
+  op.startedAt = env_->now();
+  op.key = key;
+  op.getDone = std::move(done);
+  pending_.emplace(reqId, std::move(op));
+
+  GetRequestBody body;
+  body.requestId = reqId;
+  body.key = key;
+  for (size_t i = 0; i < toAsk; ++i) {
+    ByteWriter w;
+    hlc::wrapHlc(clock_, w);
+    body.writeTo(w);
+    network_->send(sim::Message{id_, replicas[i], kGetRequest, w.take()});
+  }
+  armTimeout(reqId);
+}
+
+void VoldemortClient::armTimeout(uint64_t reqId) {
+  if (config_.opTimeoutMicros <= 0) return;
+  env_->schedule(config_.opTimeoutMicros, [this, reqId] {
+    auto it = pending_.find(reqId);
+    if (it == pending_.end() || it->second.completed) return;
+    ++opsTimedOut_;
+    PendingOp op = std::move(it->second);
+    pending_.erase(it);
+    if (op.isPut) {
+      completePut(reqId, op, /*ok=*/false);
+    } else {
+      completeGet(reqId, op, /*ok=*/false);
+    }
+  });
+}
+
+void VoldemortClient::onMessage(sim::Message&& msg) {
+  ByteReader r(msg.payload);
+  hlc::unwrapHlc(clock_, r);  // receive-event tick: causality via client
+
+  if (msg.type == kPutResponse) {
+    auto body = PutResponseBody::readFrom(r);
+    auto it = pending_.find(body.requestId);
+    if (it == pending_.end()) return;
+    PendingOp& op = it->second;
+    --op.outstanding;
+    if (!op.completed && --op.needed == 0) {
+      op.completed = true;
+      completePut(body.requestId, op, /*ok=*/true);
+    }
+    if (op.outstanding == 0) pending_.erase(it);
+  } else if (msg.type == kGetResponse) {
+    auto body = GetResponseBody::readFrom(r);
+    auto it = pending_.find(body.requestId);
+    if (it == pending_.end()) return;
+    PendingOp& op = it->second;
+    --op.outstanding;
+    // Keep the causally-latest version among the replies (read repair
+    // would reconcile replicas; our callers only need the newest value).
+    if (body.value &&
+        (!op.bestValue ||
+         body.version.compare(op.bestVersion) == Occurred::kAfter)) {
+      op.bestValue = std::move(body.value);
+      op.bestVersion = body.version;
+    }
+    if (!op.completed && --op.needed == 0) {
+      op.completed = true;
+      completeGet(body.requestId, op, /*ok=*/true);
+    }
+    if (op.outstanding == 0) pending_.erase(it);
+  }
+}
+
+void VoldemortClient::completePut(uint64_t /*reqId*/, PendingOp& op, bool ok) {
+  ++opsCompleted_;
+  if (op.putDone) {
+    auto done = std::move(op.putDone);
+    op.putDone = nullptr;
+    done(ok, env_->now() - op.startedAt);
+  }
+}
+
+void VoldemortClient::completeGet(uint64_t /*reqId*/, PendingOp& op, bool ok) {
+  ++opsCompleted_;
+  if (op.getDone) {
+    auto done = std::move(op.getDone);
+    op.getDone = nullptr;
+    done(ok, env_->now() - op.startedAt, std::move(op.bestValue));
+  }
+}
+
+}  // namespace retro::kv

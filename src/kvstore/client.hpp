@@ -1,0 +1,83 @@
+// A Voldemort client (§IV-A, Fig. 7): routes by consistent hashing and
+// is *directly responsible for replicating* each item to the preference
+// list of its key — servers only communicate indirectly, through
+// clients, and HLC causality propagates the same way ("HLC is still
+// functional in this configuration, as the client contacts the nodes and
+// passes the timestamps along with each message").
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "hlc/clock.hpp"
+#include "kvstore/messages.hpp"
+#include "kvstore/ring.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/network.hpp"
+
+namespace retro::kv {
+
+struct ClientConfig {
+  size_t replicas = 2;        ///< preference-list length (paper Fig. 12: 2)
+  size_t requiredWrites = 2;  ///< acks needed before a put completes
+  size_t requiredReads = 1;   ///< responses needed before a get completes
+  /// Abort an operation after this long (0 = never). Needed only for
+  /// failure-injection experiments.
+  TimeMicros opTimeoutMicros = 0;
+  /// Cap on the client's per-key version cache (cleared when exceeded).
+  size_t versionCacheCap = 200'000;
+};
+
+class VoldemortClient {
+ public:
+  using PutCallback = std::function<void(bool ok, TimeMicros latency)>;
+  using GetCallback =
+      std::function<void(bool ok, TimeMicros latency, OptValue value)>;
+
+  VoldemortClient(NodeId id, sim::SimEnv& env, sim::Network& network,
+                  sim::SkewedClock& clock, const Ring& ring,
+                  ClientConfig config);
+
+  NodeId id() const { return id_; }
+  hlc::Clock& clock() { return clock_; }
+
+  void put(const Key& key, Value value, PutCallback done);
+  void get(const Key& key, GetCallback done);
+
+  uint64_t opsCompleted() const { return opsCompleted_; }
+  uint64_t opsTimedOut() const { return opsTimedOut_; }
+
+ private:
+  struct PendingOp {
+    bool isPut = false;
+    size_t needed = 0;
+    size_t outstanding = 0;
+    TimeMicros startedAt = 0;
+    Key key;
+    PutCallback putDone;
+    GetCallback getDone;
+    OptValue bestValue;
+    VersionVector bestVersion;
+    bool completed = false;
+  };
+
+  void onMessage(sim::Message&& msg);
+  void completePut(uint64_t reqId, PendingOp& op, bool ok);
+  void completeGet(uint64_t reqId, PendingOp& op, bool ok);
+  void armTimeout(uint64_t reqId);
+
+  NodeId id_;
+  sim::SimEnv* env_;
+  sim::Network* network_;
+  hlc::Clock clock_;
+  const Ring* ring_;
+  ClientConfig config_;
+
+  uint64_t nextRequestId_ = 1;
+  std::unordered_map<uint64_t, PendingOp> pending_;
+  std::unordered_map<Key, VersionVector> versionCache_;
+  uint64_t opsCompleted_ = 0;
+  uint64_t opsTimedOut_ = 0;
+};
+
+}  // namespace retro::kv

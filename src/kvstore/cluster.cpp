@@ -1,0 +1,62 @@
+#include "kvstore/cluster.hpp"
+
+#include <cstdio>
+
+namespace retro::kv {
+
+VoldemortCluster::VoldemortCluster(ClusterConfig config)
+    : config_(std::move(config)), env_(config_.seed) {
+  const size_t totalNodes = config_.servers + config_.clients + 1;
+  clocks_ = std::make_unique<sim::ClockFleet>(env_, config_.clocks, totalNodes);
+  network_ = std::make_unique<sim::Network>(env_, config_.network);
+  ring_ = std::make_unique<Ring>(config_.servers, config_.ringVirtualNodes);
+
+  for (size_t i = 0; i < config_.servers; ++i) {
+    servers_.push_back(std::make_unique<VoldemortServer>(
+        static_cast<NodeId>(i), env_, *network_,
+        clocks_->clock(static_cast<NodeId>(i)), config_.server));
+  }
+  for (size_t i = 0; i < config_.clients; ++i) {
+    const auto id = static_cast<NodeId>(config_.servers + i);
+    clients_.push_back(std::make_unique<VoldemortClient>(
+        id, env_, *network_, clocks_->clock(id), *ring_, config_.client));
+  }
+  const auto adminId = static_cast<NodeId>(config_.servers + config_.clients);
+  admin_ = std::make_unique<AdminClient>(adminId, env_, *network_,
+                                         clocks_->clock(adminId), serverIds(),
+                                         config_.admin);
+}
+
+std::vector<NodeId> VoldemortCluster::serverIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(servers_.size());
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    ids.push_back(static_cast<NodeId>(i));
+  }
+  return ids;
+}
+
+Key VoldemortCluster::keyOf(uint64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key-%010llu",
+                static_cast<unsigned long long>(i));
+  return Key(buf);
+}
+
+void VoldemortCluster::preload(uint64_t items, size_t valueBytes) {
+  const Value value(valueBytes, 'v');
+  for (uint64_t i = 0; i < items; ++i) {
+    const Key key = keyOf(i);
+    for (NodeId replica : ring_->preferenceList(key, config_.client.replicas)) {
+      servers_[replica]->preload(key, value);
+    }
+  }
+}
+
+uint64_t VoldemortCluster::totalStoredItems() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) total += s->bdb().itemCount();
+  return total;
+}
+
+}  // namespace retro::kv

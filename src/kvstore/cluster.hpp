@@ -1,0 +1,70 @@
+// Assembles a simulated Voldemort deployment: N servers, M client
+// handles, one admin client, a shared network and a fleet of skewed
+// physical clocks — the paper's §V testbed (10 nodes, 11 clients) in
+// miniature and deterministic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kvstore/admin.hpp"
+#include "kvstore/client.hpp"
+#include "kvstore/server.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/network.hpp"
+#include "sim/sim_env.hpp"
+
+namespace retro::kv {
+
+struct ClusterConfig {
+  size_t servers = 10;
+  size_t clients = 11;
+  uint64_t seed = 1;
+  size_t ringVirtualNodes = 64;
+  ServerConfig server;
+  ClientConfig client;
+  AdminConfig admin;
+  sim::NetworkConfig network;
+  sim::ClockModelConfig clocks;
+};
+
+class VoldemortCluster {
+ public:
+  explicit VoldemortCluster(ClusterConfig config);
+
+  sim::SimEnv& env() { return env_; }
+  sim::Network& network() { return *network_; }
+  const Ring& ring() const { return *ring_; }
+
+  size_t serverCount() const { return servers_.size(); }
+  size_t clientCount() const { return clients_.size(); }
+  VoldemortServer& server(size_t i) { return *servers_[i]; }
+  VoldemortClient& client(size_t i) { return *clients_[i]; }
+  AdminClient& admin() { return *admin_; }
+
+  std::vector<NodeId> serverIds() const;
+
+  /// Key naming shared by benches/tests: "key-<i>" zero-padded so all
+  /// keys have equal length (stable byte accounting).
+  static Key keyOf(uint64_t i);
+
+  /// Load `items` of `valueBytes` each directly into the replicas
+  /// (bypassing network/time) — bench setup for the paper's pre-filled
+  /// databases.
+  void preload(uint64_t items, size_t valueBytes);
+
+  /// Sum of itemCount over servers (replicas counted once per copy).
+  uint64_t totalStoredItems() const;
+
+ private:
+  ClusterConfig config_;
+  sim::SimEnv env_;
+  std::unique_ptr<sim::ClockFleet> clocks_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<Ring> ring_;
+  std::vector<std::unique_ptr<VoldemortServer>> servers_;
+  std::vector<std::unique_ptr<VoldemortClient>> clients_;
+  std::unique_ptr<AdminClient> admin_;
+};
+
+}  // namespace retro::kv

@@ -1,0 +1,121 @@
+#include "kvstore/messages.hpp"
+
+namespace retro::kv {
+
+void PutRequestBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(requestId);
+  w.writeBytes(key);
+  w.writeBytes(value);
+  version.writeTo(w);
+}
+
+PutRequestBody PutRequestBody::readFrom(ByteReader& r) {
+  PutRequestBody b;
+  b.requestId = r.readVarU64();
+  b.key = r.readBytes();
+  b.value = r.readBytes();
+  b.version = VersionVector::readFrom(r);
+  return b;
+}
+
+void PutResponseBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(requestId);
+  w.writeU8(ok ? 1 : 0);
+  w.writeU8(conflictDetected ? 1 : 0);
+}
+
+PutResponseBody PutResponseBody::readFrom(ByteReader& r) {
+  PutResponseBody b;
+  b.requestId = r.readVarU64();
+  b.ok = r.readU8() != 0;
+  b.conflictDetected = r.readU8() != 0;
+  return b;
+}
+
+void GetRequestBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(requestId);
+  w.writeBytes(key);
+}
+
+GetRequestBody GetRequestBody::readFrom(ByteReader& r) {
+  GetRequestBody b;
+  b.requestId = r.readVarU64();
+  b.key = r.readBytes();
+  return b;
+}
+
+void GetResponseBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(requestId);
+  w.writeU8(value ? 1 : 0);
+  if (value) w.writeBytes(*value);
+  version.writeTo(w);
+}
+
+GetResponseBody GetResponseBody::readFrom(ByteReader& r) {
+  GetResponseBody b;
+  b.requestId = r.readVarU64();
+  if (r.readU8() != 0) b.value = r.readBytes();
+  b.version = VersionVector::readFrom(r);
+  return b;
+}
+
+void SnapshotRequestBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(request.id);
+  request.target.writeTo(w);
+  w.writeU8(static_cast<uint8_t>(request.kind));
+  w.writeU8(request.baseId ? 1 : 0);
+  if (request.baseId) w.writeVarU64(*request.baseId);
+  w.writeBytes(request.storeName);
+}
+
+SnapshotRequestBody SnapshotRequestBody::readFrom(ByteReader& r) {
+  SnapshotRequestBody b;
+  b.request.id = r.readVarU64();
+  b.request.target = hlc::Timestamp::readFrom(r);
+  b.request.kind = static_cast<core::SnapshotKind>(r.readU8());
+  if (r.readU8() != 0) b.request.baseId = r.readVarU64();
+  b.request.storeName = r.readBytes();
+  return b;
+}
+
+void SnapshotAckBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(ack.id);
+  w.writeU32(ack.node);
+  w.writeU8(static_cast<uint8_t>(ack.status));
+  w.writeVarU64(ack.persistedBytes);
+}
+
+SnapshotAckBody SnapshotAckBody::readFrom(ByteReader& r) {
+  SnapshotAckBody b;
+  b.ack.id = r.readVarU64();
+  b.ack.node = r.readU32();
+  b.ack.status = static_cast<core::LocalSnapshotStatus>(r.readU8());
+  b.ack.persistedBytes = r.readVarU64();
+  return b;
+}
+
+void ProgressRequestBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(snapshotId);
+}
+
+ProgressRequestBody ProgressRequestBody::readFrom(ByteReader& r) {
+  ProgressRequestBody b;
+  b.snapshotId = r.readVarU64();
+  return b;
+}
+
+void ProgressReplyBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(snapshotId);
+  w.writeU8(static_cast<uint8_t>(status));
+  w.writeU8(stage);
+}
+
+ProgressReplyBody ProgressReplyBody::readFrom(ByteReader& r) {
+  ProgressReplyBody b;
+  b.snapshotId = r.readVarU64();
+  b.status = static_cast<core::LocalSnapshotStatus>(r.readU8());
+  b.stage = r.readU8();
+  return b;
+}
+
+}  // namespace retro::kv

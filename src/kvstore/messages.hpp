@@ -1,0 +1,102 @@
+// Wire protocol of the Voldemort-like store.  Every message body begins
+// with the sender's 8-byte HLC timestamp (written via Retroscope
+// wrapHLC, stripped via unwrapHLC), exactly the paper's instrumentation:
+// "adding HLC to the network protocol ... the client contacts the nodes
+// and passes the timestamps along with each message".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "core/snapshot.hpp"
+#include "hlc/timestamp.hpp"
+#include "kvstore/version_vector.hpp"
+
+namespace retro::kv {
+
+enum MsgType : uint32_t {
+  kPutRequest = 1,
+  kPutResponse,
+  kGetRequest,
+  kGetResponse,
+  kSnapshotRequest,
+  kSnapshotAck,
+  kProgressRequest,
+  kProgressReply,
+};
+
+// All bodies are serialized *after* the leading HLC timestamp, which the
+// messaging helpers below leave to wrapHLC/unwrapHLC.
+
+struct PutRequestBody {
+  uint64_t requestId = 0;
+  Key key;
+  Value value;
+  VersionVector version;
+
+  void writeTo(ByteWriter& w) const;
+  static PutRequestBody readFrom(ByteReader& r);
+};
+
+struct PutResponseBody {
+  uint64_t requestId = 0;
+  bool ok = true;
+  bool conflictDetected = false;
+
+  void writeTo(ByteWriter& w) const;
+  static PutResponseBody readFrom(ByteReader& r);
+};
+
+struct GetRequestBody {
+  uint64_t requestId = 0;
+  Key key;
+
+  void writeTo(ByteWriter& w) const;
+  static GetRequestBody readFrom(ByteReader& r);
+};
+
+struct GetResponseBody {
+  uint64_t requestId = 0;
+  OptValue value;
+  VersionVector version;
+
+  void writeTo(ByteWriter& w) const;
+  static GetResponseBody readFrom(ByteReader& r);
+};
+
+struct SnapshotRequestBody {
+  core::SnapshotRequest request;
+
+  void writeTo(ByteWriter& w) const;
+  static SnapshotRequestBody readFrom(ByteReader& r);
+};
+
+struct SnapshotAckBody {
+  core::SnapshotAck ack;
+
+  void writeTo(ByteWriter& w) const;
+  static SnapshotAckBody readFrom(ByteReader& r);
+};
+
+struct ProgressRequestBody {
+  core::SnapshotId snapshotId = 0;
+
+  void writeTo(ByteWriter& w) const;
+  static ProgressRequestBody readFrom(ByteReader& r);
+};
+
+struct ProgressReplyBody {
+  core::SnapshotId snapshotId = 0;
+  core::LocalSnapshotStatus status = core::LocalSnapshotStatus::kPending;
+  /// Which execution stage the node is in (Fig. 8): 0 copy, 1
+  /// compaction, 2 application, 3 done.
+  uint8_t stage = 0;
+
+  void writeTo(ByteWriter& w) const;
+  static ProgressReplyBody readFrom(ByteReader& r);
+};
+
+}  // namespace retro::kv

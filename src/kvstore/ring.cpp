@@ -1,0 +1,62 @@
+#include "kvstore/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/random.hpp"
+
+namespace retro::kv {
+
+uint64_t Ring::hashKey(const Key& key) {
+  // FNV-1a, finalized with a splitmix round for avalanche.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+Ring::Ring(size_t nodes, size_t virtualsPerNode, uint64_t seed)
+    : nodeCount_(nodes) {
+  if (nodes == 0) throw std::invalid_argument("Ring: need at least one node");
+  SplitMix64 sm(seed);
+  points_.reserve(nodes * virtualsPerNode);
+  for (NodeId n = 0; n < nodes; ++n) {
+    for (size_t v = 0; v < virtualsPerNode; ++v) {
+      points_.push_back({sm.next(), n});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) { return a.hash < b.hash; });
+}
+
+std::vector<NodeId> Ring::preferenceList(const Key& key,
+                                         size_t replicas) const {
+  replicas = std::min(replicas, nodeCount_);
+  std::vector<NodeId> out;
+  out.reserve(replicas);
+  const uint64_t h = hashKey(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t target) { return p.hash < target; });
+  size_t scanned = 0;
+  while (out.size() < replicas && scanned < points_.size()) {
+    if (it == points_.end()) it = points_.begin();
+    if (std::find(out.begin(), out.end(), it->node) == out.end()) {
+      out.push_back(it->node);
+    }
+    ++it;
+    ++scanned;
+  }
+  return out;
+}
+
+NodeId Ring::primary(const Key& key) const {
+  return preferenceList(key, 1).front();
+}
+
+}  // namespace retro::kv

@@ -1,0 +1,41 @@
+// Consistent-hash ring with virtual nodes, Dynamo-style: a key's
+// preference list is the first N distinct physical nodes clockwise from
+// the key's hash.  Clients route and replicate with this ring (§IV-A
+// Fig. 7: "a client is directly responsible for replicating an item to a
+// set of nodes associated with the item's key").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace retro::kv {
+
+class Ring {
+ public:
+  /// `nodes` physical nodes, each projected onto `virtualsPerNode`
+  /// positions of the hash circle.
+  Ring(size_t nodes, size_t virtualsPerNode = 64, uint64_t seed = 0x52494e47);
+
+  /// First `replicas` distinct nodes responsible for `key`.
+  std::vector<NodeId> preferenceList(const Key& key, size_t replicas) const;
+
+  /// The primary (first preference) node for `key`.
+  NodeId primary(const Key& key) const;
+
+  size_t nodeCount() const { return nodeCount_; }
+
+  static uint64_t hashKey(const Key& key);
+
+ private:
+  struct Point {
+    uint64_t hash;
+    NodeId node;
+  };
+
+  size_t nodeCount_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace retro::kv

@@ -1,0 +1,518 @@
+#include "kvstore/server.hpp"
+
+#include <cmath>
+
+namespace retro::kv {
+
+VoldemortServer::VoldemortServer(NodeId id, sim::SimEnv& env,
+                                 sim::Network& network,
+                                 sim::SkewedClock& clock, ServerConfig config)
+    : id_(id),
+      env_(&env),
+      network_(&network),
+      config_(std::move(config)),
+      disk_(std::make_unique<sim::SimDisk>(env, config_.disk)),
+      executor_(env),
+      retroscope_(clock, config_.logConfig),
+      bdb_(std::make_unique<store::BdbStore>(env, *disk_, config_.bdb)),
+      memory_(config_.memory) {
+  memory_.setOnOutOfMemory([this] { crash(); });
+  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+  if (config_.archive.enabled) {
+    archive_ = std::make_unique<log::LogArchive>(
+        log::ArchiveConfig{.maxBytes = config_.archive.maxBytes});
+    env_->scheduleDaemon(config_.archive.periodMicros,
+                         [this] { archiveTick(); });
+  }
+}
+
+void VoldemortServer::archiveTick() {
+  if (!alive_) return;
+  // Pause spilling while snapshots run: the live window must keep every
+  // entry a snapshot in flight may still need (it is unbounded anyway).
+  if (activeSnapshots_.empty() && pendingOnBase_.empty()) {
+    const int64_t cutoff =
+        retroscope_.now().l - config_.archive.keepInMemoryMillis;
+    if (cutoff > 0) {
+      const uint64_t bytes = archive_->archiveThrough(
+          retroscope_.getLog(kStoreLog), hlc::fromPhysicalMillis(cutoff));
+      if (bytes > 0) disk_->write(bytes, [] {});
+      updateMemoryModel();
+    }
+  }
+  env_->scheduleDaemon(config_.archive.periodMicros, [this] { archiveTick(); });
+}
+
+void VoldemortServer::preload(const Key& key, Value value) {
+  bdb_->put(key, std::move(value));
+  VersionVector v;
+  v.increment(id_);
+  versions_[key] = std::move(v);
+}
+
+void VoldemortServer::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  network_->disconnect(id_);
+}
+
+void VoldemortServer::restoreFromSnapshot(core::SnapshotId id,
+                                          std::function<void(Status)> done) {
+  auto materialized = snapshotStore_.materialize(id);
+  if (!materialized.isOk()) {
+    env_->schedule(0, [done = std::move(done),
+                       status = materialized.status()] { done(status); });
+    return;
+  }
+  // Size of the files to copy back into the environment.
+  uint64_t bytes = 0;
+  for (const auto& [k, v] : materialized.value()) bytes += k.size() + v.size();
+
+  disk_->read(bytes, [this, bytes, state = std::move(materialized).value(),
+                      done = std::move(done)]() mutable {
+    disk_->write(bytes, [this, state = std::move(state),
+                         done = std::move(done)]() mutable {
+      // Reopen on the restored files: rebuild the store and drop window
+      // log history (it describes the abandoned timeline).
+      bdb_ = std::make_unique<store::BdbStore>(*env_, *disk_, config_.bdb);
+      for (auto& [k, v] : state) bdb_->put(k, v);
+      retroscope_.getLog(kStoreLog).truncateThrough(retroscope_.now());
+      updateMemoryModel();
+      done(Status::ok());
+    });
+  });
+}
+
+void VoldemortServer::send(NodeId to, uint32_t type,
+                           const std::function<void(ByteWriter&)>& body) {
+  ByteWriter w;
+  retroscope_.wrapHLC(w);
+  body(w);
+  network_->send(sim::Message{id_, to, type, w.take()});
+}
+
+void VoldemortServer::onMessage(sim::Message&& msg) {
+  if (!alive_) return;
+  ByteReader r(msg.payload);
+  const hlc::Timestamp remoteTs = hlc::Timestamp::readFrom(r);
+  switch (msg.type) {
+    case kPutRequest: {
+      auto body = PutRequestBody::readFrom(r);
+      TimeMicros cost = config_.putServiceMicros;
+      if (config_.windowLogEnabled) {
+        cost += config_.logAppendMicros +
+                static_cast<TimeMicros>(config_.logGcCouplingMicros *
+                                        memory_.utilization());
+      }
+      executor_.submit(cost, [this, remoteTs, from = msg.from,
+                              body = std::move(body)]() mutable {
+        if (!alive_) return;
+        const hlc::Timestamp eventTs = retroscope_.timeTick(remoteTs);
+        handlePut(eventTs, from, std::move(body));
+      });
+      break;
+    }
+    case kGetRequest: {
+      auto body = GetRequestBody::readFrom(r);
+      executor_.submit(config_.getServiceMicros,
+                       [this, remoteTs, from = msg.from,
+                        body = std::move(body)]() mutable {
+                         if (!alive_) return;
+                         retroscope_.timeTick(remoteTs);
+                         handleGet(from, std::move(body));
+                       });
+      break;
+    }
+    case kSnapshotRequest: {
+      auto body = SnapshotRequestBody::readFrom(r);
+      executor_.submit(500, [this, remoteTs, from = msg.from,
+                             body = std::move(body)]() mutable {
+        if (!alive_) return;
+        retroscope_.timeTick(remoteTs);
+        handleSnapshotRequest(from, std::move(body));
+      });
+      break;
+    }
+    case kProgressRequest: {
+      auto body = ProgressRequestBody::readFrom(r);
+      executor_.submit(50, [this, remoteTs, from = msg.from, body]() {
+        if (!alive_) return;
+        retroscope_.timeTick(remoteTs);
+        handleProgressRequest(from, body);
+      });
+      break;
+    }
+    default:
+      break;  // unknown type: drop
+  }
+}
+
+void VoldemortServer::handlePut(hlc::Timestamp eventTs, NodeId from,
+                                PutRequestBody body) {
+  ++putsProcessed_;
+  bool conflict = false;
+
+  auto& stored = versions_[body.key];
+  const Occurred cmp = body.version.compare(stored);
+  if (cmp == Occurred::kConcurrent) {
+    // Conflict: resolve last-write-wins on HLC order (the write being
+    // applied now is the latest event this node has seen) and merge the
+    // vectors so causality is preserved going forward (§VIII).
+    ++conflictsDetected_;
+    conflict = true;
+    body.version.merge(stored);
+    stored = body.version;
+  } else if (cmp == Occurred::kBefore || cmp == Occurred::kEqual) {
+    // Stale write: ignore the data, report success (idempotent replay).
+    send(from, kPutResponse, [&](ByteWriter& w) {
+      PutResponseBody resp{body.requestId, true, false};
+      resp.writeTo(w);
+    });
+    return;
+  } else {
+    stored = body.version;
+  }
+
+  const OptValue old = bdb_->get(body.key);
+  bdb_->put(body.key, body.value);
+  if (config_.windowLogEnabled) {
+    retroscope_.appendToLog(kStoreLog, body.key, old, body.value, eventTs);
+  }
+  updateMemoryModel();
+  if (!alive_) return;  // the put that broke the heap's back
+
+  send(from, kPutResponse, [&](ByteWriter& w) {
+    PutResponseBody resp{body.requestId, true, conflict};
+    resp.writeTo(w);
+  });
+}
+
+void VoldemortServer::handleGet(NodeId from, GetRequestBody body) {
+  ++getsProcessed_;
+  GetResponseBody resp;
+  resp.requestId = body.requestId;
+  resp.value = bdb_->get(body.key);
+  auto it = versions_.find(body.key);
+  if (it != versions_.end()) resp.version = it->second;
+  send(from, kGetResponse, [&](ByteWriter& w) { resp.writeTo(w); });
+}
+
+void VoldemortServer::updateMemoryModel() {
+  const double dataBytes =
+      static_cast<double>(bdb_->liveDataBytes()) * config_.jvmOverheadFactor;
+  const uint64_t live = config_.baselineHeapBytes +
+                        static_cast<uint64_t>(dataBytes) +
+                        retroscope_.totalLogBytes();
+  memory_.setLiveBytes(live);
+  if (alive_) executor_.setSlowdownFactor(memory_.gcSlowdownFactor());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot execution (Fig. 8)
+// ---------------------------------------------------------------------------
+
+void VoldemortServer::handleSnapshotRequest(NodeId from,
+                                            SnapshotRequestBody body) {
+  ActiveSnapshot active;
+  active.request = body.request;
+  active.initiator = from;
+
+  // Reject immediately if the window-log has already slid past the
+  // requested time (partial snapshot, §III-A) — unless the disk archive
+  // still reaches it.
+  const log::WindowLog& wlog = retroscope_.getLog(kStoreLog);
+  const bool reachable =
+      wlog.covers(body.request.target) ||
+      (archive_ != nullptr && archive_->covers(body.request.target));
+  if (!reachable) {
+    finishSnapshot(body.request.id, core::LocalSnapshotStatus::kOutOfReach, 0);
+    SnapshotAckBody ack;
+    ack.ack = {body.request.id, id_, core::LocalSnapshotStatus::kOutOfReach, 0};
+    send(from, kSnapshotAck, [&](ByteWriter& w) { ack.writeTo(w); });
+    return;
+  }
+
+  // Concurrent-snapshot conversion (§III-A optimization): an incoming
+  // full snapshot close to an already-executing one is converted to an
+  // incremental snapshot against it, skipping the data-copy stage.
+  if (body.request.kind == core::SnapshotKind::kFull &&
+      config_.convertConcurrentSnapshots && !activeSnapshots_.empty()) {
+    const auto& running = activeSnapshots_.begin()->second;
+    if (std::llabs(running.request.target.l - body.request.target.l) <=
+        config_.conversionWindowMillis) {
+      active.request.kind = core::SnapshotKind::kIncremental;
+      active.request.baseId = running.request.id;
+      ++snapshotsConverted_;
+    }
+  }
+
+  startSnapshot(std::move(active));
+}
+
+void VoldemortServer::startSnapshot(ActiveSnapshot active) {
+  const core::SnapshotId id = active.request.id;
+  // Remove the bound on the window-log for the duration (§III-A).
+  retroscope_.getLog(kStoreLog).unbound();
+
+  // Semantic capture time: the store's state right now corresponds to
+  // every window-log append with ts <= the current HLC value.
+  active.captureTime = retroscope_.now();
+
+  if (active.request.kind == core::SnapshotKind::kFull) {
+    active.stateAtCapture = bdb_->data();  // what the closed segments hold
+    activeSnapshots_.emplace(id, std::move(active));
+    // Data-copy stage: disk copy of the closed segments plus the CPU it
+    // costs, both contending with foreground work.
+    uint64_t cpuBytes = bdb_->liveDataBytes();
+    bdb_->hotBackup([this, id](uint64_t bytesCopied) {
+      snapshotDataCopyDone(id, bytesCopied);
+    });
+    chargeCopyCpu(cpuBytes, [] {});
+  } else {
+    // Rolling/incremental: no data copy (Fig. 8's key saving).  If the
+    // base snapshot is itself still executing (concurrent-snapshot
+    // conversion), wait for it to land before computing the delta.
+    if (active.request.baseId &&
+        activeSnapshots_.contains(*active.request.baseId)) {
+      pendingOnBase_[*active.request.baseId].push_back(std::move(active));
+      return;
+    }
+    activeSnapshots_.emplace(id, std::move(active));
+    snapshotCompaction(id);
+  }
+}
+
+void VoldemortServer::chargeCopyCpu(uint64_t bytes, std::function<void()> done) {
+  const uint64_t chunk = config_.copyChunkBytes;
+  const double microsPerByte = config_.copyCpuMicrosPerMB / 1e6;
+  // Submit one executor task per chunk so foreground requests interleave
+  // between chunks instead of stalling behind one giant task.
+  auto state = std::make_shared<uint64_t>(bytes);
+  auto submit = std::make_shared<std::function<void()>>();
+  *submit = [this, state, chunk, microsPerByte, submit,
+             done = std::move(done)]() mutable {
+    if (*state == 0) {
+      done();
+      return;
+    }
+    const uint64_t thisChunk = std::min(*state, chunk);
+    *state -= thisChunk;
+    executor_.submit(
+        static_cast<TimeMicros>(std::llround(
+            static_cast<double>(thisChunk) * microsPerByte)),
+        [submit] { (*submit)(); });
+  };
+  (*submit)();
+}
+
+void VoldemortServer::snapshotDataCopyDone(core::SnapshotId id,
+                                           uint64_t /*bytesCopied*/) {
+  auto it = activeSnapshots_.find(id);
+  if (it == activeSnapshots_.end()) return;
+  it->second.stage = 1;
+  snapshotCompaction(id);
+}
+
+void VoldemortServer::snapshotCompaction(core::SnapshotId id) {
+  auto it = activeSnapshots_.find(id);
+  if (it == activeSnapshots_.end()) return;
+  ActiveSnapshot& active = it->second;
+  active.stage = 1;
+
+  const log::WindowLog& wlog = retroscope_.getLog(kStoreLog);
+  log::DiffStats stats;
+  size_t archivedEntries = 0;
+  uint64_t archivedBytes = 0;
+
+  const auto computeDelta = [&]() -> Result<log::DiffMap> {
+    switch (active.request.kind) {
+      case core::SnapshotKind::kFull: {
+        // Roll the captured state back from captureTime to the target.
+        if (wlog.covers(active.request.target) || archive_ == nullptr) {
+          return wlog.diffBackward(active.captureTime, active.request.target,
+                                   &stats);
+        }
+        // Deep retrospection through the disk archive (§III-A).
+        log::ArchiveDiffStats astats;
+        auto diff = archive_->diffBackward(wlog, active.captureTime,
+                                           active.request.target, &astats);
+        if (diff.isOk()) {
+          stats.entriesTraversed = astats.live.entriesTraversed;
+          stats.keysInDiff = astats.keysInDiff;
+          stats.diffDataBytes = astats.diffDataBytes;
+          archivedEntries = astats.archivedEntriesTraversed;
+          archivedBytes = astats.archivedBytesRead;
+        }
+        return diff;
+      }
+      case core::SnapshotKind::kRolling:
+      case core::SnapshotKind::kIncremental: {
+        const core::LocalSnapshot* base =
+            active.request.baseId
+                ? snapshotStore_.find(*active.request.baseId)
+                : nullptr;
+        if (base == nullptr) {
+          return Status(StatusCode::kFailedPrecondition, "missing base");
+        }
+        if (active.request.target >= base->target) {
+          return wlog.diffForward(base->target, active.request.target,
+                                  &stats);
+        }
+        return wlog.diffBackward(base->target, active.request.target, &stats);
+      }
+    }
+    return Status(StatusCode::kInvalidArgument, "unknown snapshot kind");
+  };
+  Result<log::DiffMap> diff = computeDelta();
+
+  if (!diff.isOk()) {
+    finishSnapshot(id,
+                   diff.status().code() == StatusCode::kOutOfRange
+                       ? core::LocalSnapshotStatus::kOutOfReach
+                       : core::LocalSnapshotStatus::kFailed,
+                   0);
+    return;
+  }
+
+  // Charge the compaction CPU (one pass over the traversed entries,
+  // plus the slower decode of any archived entries), then move to the
+  // application stage.  Archived history is paged in from disk first.
+  const auto cost = static_cast<TimeMicros>(std::llround(
+      static_cast<double>(stats.entriesTraversed) *
+          config_.compactionMicrosPerEntry +
+      static_cast<double>(archivedEntries) *
+          config_.archive.archivedEntryReadMicros));
+  auto proceed = [this, id, cost, diff = std::move(diff).value(),
+                  stats]() mutable {
+    executor_.submit(cost,
+                     [this, id, diff = std::move(diff), stats]() mutable {
+                       snapshotApply(id, std::move(diff), stats);
+                     });
+  };
+  if (archivedBytes > 0) {
+    disk_->read(archivedBytes, std::move(proceed));
+  } else {
+    proceed();
+  }
+}
+
+void VoldemortServer::snapshotApply(core::SnapshotId id, log::DiffMap diff,
+                                    log::DiffStats stats) {
+  auto it = activeSnapshots_.find(id);
+  if (it == activeSnapshots_.end()) return;
+  ActiveSnapshot& active = it->second;
+  active.stage = 2;
+
+  const auto cpuCost = static_cast<TimeMicros>(std::llround(
+      static_cast<double>(stats.keysInDiff) * config_.applyMicrosPerEntry));
+  const uint64_t diskBytes = stats.diffDataBytes;
+
+  const auto complete = [this, id, diff = std::move(diff), diskBytes]() mutable {
+    auto jt = activeSnapshots_.find(id);
+    if (jt == activeSnapshots_.end()) return;
+    ActiveSnapshot& act = jt->second;
+    act.stage = 3;
+
+    core::LocalSnapshot snap;
+    snap.id = act.request.id;
+    snap.kind = act.request.kind;
+    snap.target = act.request.target;
+    snap.node = id_;
+    snap.baseId = act.request.baseId;
+
+    size_t persisted = 0;
+    switch (act.request.kind) {
+      case core::SnapshotKind::kFull:
+        snap.state = std::move(act.stateAtCapture);
+        diff.applyTo(snap.state);
+        // On disk: the copied database files plus the applied changes.
+        snap.persistedBytes = bdb_->liveDataBytes() + diskBytes;
+        persisted = snap.persistedBytes;
+        snapshotStore_.put(std::move(snap));
+        break;
+      case core::SnapshotKind::kIncremental:
+        // Store only the delta; application deferred to retrieval time.
+        snap.delta = std::move(diff);
+        snap.persistedBytes = diskBytes;
+        persisted = diskBytes;
+        snapshotStore_.put(std::move(snap));
+        break;
+      case core::SnapshotKind::kRolling: {
+        const Status s = snapshotStore_.roll(*act.request.baseId,
+                                             act.request.id,
+                                             act.request.target, diff);
+        if (!s.isOk()) {
+          finishSnapshot(id, core::LocalSnapshotStatus::kFailed, 0);
+          return;
+        }
+        persisted = diskBytes;
+        break;
+      }
+    }
+    finishSnapshot(id, core::LocalSnapshotStatus::kComplete, persisted);
+  };
+
+  // Application writes the computed differences to the snapshot copy on
+  // disk, and costs CPU per modified key.
+  executor_.submit(cpuCost, [this, diskBytes, complete = std::move(complete)]() mutable {
+    disk_->write(diskBytes, std::move(complete));
+  });
+}
+
+void VoldemortServer::finishSnapshot(core::SnapshotId id,
+                                     core::LocalSnapshotStatus status,
+                                     size_t persistedBytes) {
+  auto it = activeSnapshots_.find(id);
+  NodeId initiator = 0;
+  bool haveInitiator = false;
+  if (it != activeSnapshots_.end()) {
+    initiator = it->second.initiator;
+    haveInitiator = true;
+    activeSnapshots_.erase(it);
+  }
+  // Release converted snapshots that were waiting for this base.
+  auto pending = pendingOnBase_.find(id);
+  if (pending != pendingOnBase_.end()) {
+    auto waiters = std::move(pending->second);
+    pendingOnBase_.erase(pending);
+    for (auto& waiter : waiters) {
+      const core::SnapshotId waiterId = waiter.request.id;
+      if (status == core::LocalSnapshotStatus::kComplete) {
+        activeSnapshots_.emplace(waiterId, std::move(waiter));
+        snapshotCompaction(waiterId);
+      } else {
+        // Base never materialized: the dependent snapshot fails too.
+        activeSnapshots_.emplace(waiterId, std::move(waiter));
+        finishSnapshot(waiterId, core::LocalSnapshotStatus::kFailed, 0);
+      }
+    }
+  }
+  if (activeSnapshots_.empty() && pendingOnBase_.empty()) {
+    retroscope_.getLog(kStoreLog).rebound();
+  }
+  if (status == core::LocalSnapshotStatus::kComplete) ++snapshotsCompleted_;
+  if (haveInitiator) {
+    SnapshotAckBody ack;
+    ack.ack = {id, id_, status, persistedBytes};
+    send(initiator, kSnapshotAck, [&](ByteWriter& w) { ack.writeTo(w); });
+  }
+}
+
+void VoldemortServer::handleProgressRequest(NodeId from,
+                                            ProgressRequestBody body) {
+  ProgressReplyBody reply;
+  reply.snapshotId = body.snapshotId;
+  auto it = activeSnapshots_.find(body.snapshotId);
+  if (it != activeSnapshots_.end()) {
+    reply.status = core::LocalSnapshotStatus::kPending;
+    reply.stage = it->second.stage;
+  } else if (snapshotStore_.contains(body.snapshotId)) {
+    reply.status = core::LocalSnapshotStatus::kComplete;
+    reply.stage = 3;
+  } else {
+    reply.status = core::LocalSnapshotStatus::kFailed;
+  }
+  send(from, kProgressReply, [&](ByteWriter& w) { reply.writeTo(w); });
+}
+
+}  // namespace retro::kv

@@ -1,0 +1,198 @@
+// A Voldemort-like storage node (§IV-A): BDB-JE-like storage engine
+// underneath, Retroscope window-log + HLC instrumentation on the write
+// path, and the three-stage snapshot execution of Fig. 8 (data copy ->
+// window-log compaction -> window-log application) for full, rolling and
+// incremental snapshots.
+//
+// Simulation cost model: request handling occupies the node's Executor
+// for a configurable service time; snapshot work (copy CPU, compaction,
+// application) shares the same executor and the same disk as foreground
+// traffic, so the throughput dips of Fig. 12 emerge from contention.
+// A synthetic JVM-heap model converts window-log growth into GC slowdown
+// and, past the limit, an OutOfMemory crash (Fig. 13).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/retroscope.hpp"
+#include "core/snapshot.hpp"
+#include "core/snapshot_store.hpp"
+#include "log/archive.hpp"
+#include "kvstore/messages.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/disk.hpp"
+#include "sim/executor.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/network.hpp"
+#include "storage/bdb_store.hpp"
+
+namespace retro::kv {
+
+struct ServerConfig {
+  /// Master switch for Retroscope instrumentation (HLC stays on — the
+  /// protocol needs timestamps — but window-log appends are skipped),
+  /// used for the "unmodified Voldemort" baselines of Figs. 10/11.
+  bool windowLogEnabled = true;
+
+  log::WindowLogConfig logConfig{
+      .maxEntries = 0,
+      .maxBytes = 1536ull << 20,  // default retention budget
+      .maxAgeMillis = 0,
+  };
+
+  // --- request costs ---
+  TimeMicros putServiceMicros = 200;
+  TimeMicros getServiceMicros = 140;
+  /// Extra CPU per put for the window-log append + HLC bookkeeping.
+  TimeMicros logAppendMicros = 8;
+  /// Extra append CPU proportional to heap utilization: each window-log
+  /// allocation costs more GC work when the heap holds more live data
+  /// (the reason the paper's instrumentation overhead grows from ~1.8%
+  /// on a 100 K-item store to ~10% at 10 M items, Fig. 10). 0 disables.
+  double logGcCouplingMicros = 0;
+
+  // --- snapshot costs ---
+  /// CPU charged while copying the database, per MB (checksumming,
+  /// page-cache churn); submitted in chunks so foreground ops interleave.
+  double copyCpuMicrosPerMB = 3200;
+  uint64_t copyChunkBytes = 4ull << 20;
+  double compactionMicrosPerEntry = 0.4;
+  double applyMicrosPerEntry = 1.0;
+
+  // --- concurrent-snapshot optimization (§III-A) ---
+  /// Convert an incoming full snapshot to an incremental one when
+  /// another snapshot is already executing or recently completed nearby.
+  bool convertConcurrentSnapshots = true;
+  /// How close (HLC millis) a base must be for conversion.
+  int64_t conversionWindowMillis = 60'000;
+
+  // --- memory model ---
+  sim::MemoryModelConfig memory{.heapLimitBytes = 8ull << 30};
+  /// JVM object bloat applied to raw index bytes.
+  double jvmOverheadFactor = 2.2;
+  /// Heap used by the process before any data.
+  uint64_t baselineHeapBytes = 200ull << 20;
+
+  store::BdbConfig bdb;
+  sim::DiskConfig disk{.readMBps = 90, .writeMBps = 70, .seekMicros = 150};
+
+  // --- window-log disk persistence (§III-A extension) ---
+  struct ArchiveOptions {
+    bool enabled = false;
+    /// How often the background task spills old entries to disk.
+    TimeMicros periodMicros = 5 * kMicrosPerSecond;
+    /// Entries younger than this stay in memory.
+    int64_t keepInMemoryMillis = 10'000;
+    /// On-disk budget for archived history (0 = unbounded).
+    uint64_t maxBytes = 0;
+    /// CPU per archived entry when traversing from disk (slower than
+    /// the in-memory walk: decode + page-in).
+    double archivedEntryReadMicros = 3.0;
+  };
+  ArchiveOptions archive;
+};
+
+class VoldemortServer {
+ public:
+  VoldemortServer(NodeId id, sim::SimEnv& env, sim::Network& network,
+                  sim::SkewedClock& clock, ServerConfig config);
+
+  NodeId id() const { return id_; }
+  bool isAlive() const { return alive_; }
+
+  core::Retroscope& retroscope() { return retroscope_; }
+  const core::Retroscope& retroscope() const { return retroscope_; }
+  store::BdbStore& bdb() { return *bdb_; }
+  const store::BdbStore& bdb() const { return *bdb_; }
+  core::SnapshotStore& snapshots() { return snapshotStore_; }
+  const core::SnapshotStore& snapshots() const { return snapshotStore_; }
+  sim::MemoryModel& memory() { return memory_; }
+  sim::Executor& executor() { return executor_; }
+  sim::SimDisk& disk() { return *disk_; }
+
+  /// Name of the window-log used for the data store.
+  static constexpr const char* kStoreLog = "store";
+
+  /// Bulk-load an item without network/timing (test & bench setup).
+  void preload(const Key& key, Value value);
+
+  /// Crash the node (drops all messages from now on).
+  void crash();
+
+  /// Consistent reset (§IX): replace the live database with the contents
+  /// of a stored snapshot — "the database needs to be closed, the BDB
+  /// files copied from the snapshot location into the environment
+  /// location, and the database reopened".  Most of the (simulated) time
+  /// is the file copy.  `done` fires when the store is serving again.
+  void restoreFromSnapshot(core::SnapshotId id,
+                           std::function<void(Status)> done);
+
+  /// The disk archive of spilled window-log history (null unless
+  /// config.archive.enabled).
+  const log::LogArchive* archive() const { return archive_.get(); }
+
+  uint64_t putsProcessed() const { return putsProcessed_; }
+  uint64_t getsProcessed() const { return getsProcessed_; }
+  uint64_t conflictsDetected() const { return conflictsDetected_; }
+  uint64_t snapshotsCompleted() const { return snapshotsCompleted_; }
+  uint64_t snapshotsConverted() const { return snapshotsConverted_; }
+
+ private:
+  struct ActiveSnapshot {
+    core::SnapshotRequest request;
+    NodeId initiator = 0;
+    /// Semantic capture of the database contents at Tr (the closed
+    /// segments hold exactly this state in the real system).
+    std::unordered_map<Key, Value> stateAtCapture;
+    hlc::Timestamp captureTime;
+    uint8_t stage = 0;  // 0 copy, 1 compaction, 2 application, 3 done
+  };
+
+  void onMessage(sim::Message&& msg);
+  void handlePut(hlc::Timestamp eventTs, NodeId from, PutRequestBody body);
+  void handleGet(NodeId from, GetRequestBody body);
+  void handleSnapshotRequest(NodeId from, SnapshotRequestBody body);
+  void handleProgressRequest(NodeId from, ProgressRequestBody body);
+
+  void startSnapshot(ActiveSnapshot active);
+  void snapshotDataCopyDone(core::SnapshotId id, uint64_t bytesCopied);
+  void snapshotCompaction(core::SnapshotId id);
+  void snapshotApply(core::SnapshotId id, log::DiffMap diff,
+                     log::DiffStats stats);
+  void finishSnapshot(core::SnapshotId id, core::LocalSnapshotStatus status,
+                      size_t persistedBytes);
+  void chargeCopyCpu(uint64_t bytes, std::function<void()> done);
+
+  void updateMemoryModel();
+  void archiveTick();
+  void send(NodeId to, uint32_t type, const std::function<void(ByteWriter&)>& body);
+
+  NodeId id_;
+  sim::SimEnv* env_;
+  sim::Network* network_;
+  ServerConfig config_;
+
+  std::unique_ptr<sim::SimDisk> disk_;
+  sim::Executor executor_;
+  core::Retroscope retroscope_;
+  std::unique_ptr<store::BdbStore> bdb_;
+  std::unordered_map<Key, VersionVector> versions_;
+  std::unique_ptr<log::LogArchive> archive_;
+  core::SnapshotStore snapshotStore_;
+  sim::MemoryModel memory_;
+
+  std::map<core::SnapshotId, ActiveSnapshot> activeSnapshots_;
+  /// Converted concurrent snapshots waiting for their base to complete.
+  std::map<core::SnapshotId, std::vector<ActiveSnapshot>> pendingOnBase_;
+  bool alive_ = true;
+
+  uint64_t putsProcessed_ = 0;
+  uint64_t getsProcessed_ = 0;
+  uint64_t conflictsDetected_ = 0;
+  uint64_t snapshotsCompleted_ = 0;
+  uint64_t snapshotsConverted_ = 0;
+};
+
+}  // namespace retro::kv

@@ -1,0 +1,45 @@
+// Version vectors for optimistic replication (§IV-A: Voldemort "uses
+// version vectors along with physical clock timestamps to detect and
+// resolve inconsistencies").  A version is a set of (writer, counter)
+// pairs; comparison yields BEFORE / AFTER / EQUAL / CONCURRENT, and
+// concurrent versions are resolved last-write-wins by HLC timestamp —
+// the paper's recommended substitution for NTP-based LWW (§VIII
+// "Conflict handling").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace retro::kv {
+
+enum class Occurred : uint8_t { kBefore, kAfter, kEqual, kConcurrent };
+
+class VersionVector {
+ public:
+  /// Increment the counter for `writer` (a client or node id).
+  void increment(uint32_t writer);
+
+  uint64_t counterOf(uint32_t writer) const;
+
+  /// Compare this version against another.
+  Occurred compare(const VersionVector& other) const;
+
+  /// Merge (pairwise max) — used on read repair / reconciliation.
+  void merge(const VersionVector& other);
+
+  size_t entryCount() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  void writeTo(ByteWriter& w) const;
+  static VersionVector readFrom(ByteReader& r);
+
+  bool operator==(const VersionVector& other) const = default;
+
+ private:
+  // Sorted by writer id; small vectors beat maps at these sizes.
+  std::vector<std::pair<uint32_t, uint64_t>> entries_;
+};
+
+}  // namespace retro::kv

@@ -1,0 +1,98 @@
+#include "log/archive.hpp"
+
+#include <algorithm>
+
+namespace retro::log {
+
+uint64_t LogArchive::archiveThrough(WindowLog& live, hlc::Timestamp upTo) {
+  // The archive must stay contiguous: it can only absorb history the
+  // live log still holds.
+  uint64_t appended = 0;
+  live.forEach([&](const Entry& e) {
+    if (e.ts > upTo) return;
+    if (!entries_.empty() && e.ts < entries_.back().ts) return;  // already have it
+    entries_.push_back(e);
+    const uint64_t bytes = e.dataBytes();
+    payloadBytes_ += bytes;
+    appended += bytes;
+  });
+  live.truncateThrough(upTo);
+  coveredThrough_ = std::max(coveredThrough_, upTo);
+  trimToBudget();
+  return appended;
+}
+
+void LogArchive::trimToBudget() {
+  if (config_.maxBytes == 0) return;
+  while (payloadBytes_ > config_.maxBytes && !entries_.empty()) {
+    payloadBytes_ -= entries_.front().dataBytes();
+    floor_ = entries_.front().ts;
+    entries_.pop_front();
+  }
+}
+
+Result<DiffMap> LogArchive::diffToPast(const WindowLog& live,
+                                       hlc::Timestamp target,
+                                       ArchiveDiffStats* stats) const {
+  return diffBackward(live, live.latest(), target, stats);
+}
+
+Result<DiffMap> LogArchive::diffBackward(const WindowLog& live,
+                                         hlc::Timestamp end,
+                                         hlc::Timestamp start,
+                                         ArchiveDiffStats* stats) const {
+  if (live.covers(start)) {
+    // Entirely in memory: no archive involvement.
+    DiffStats liveStats;
+    auto diff = live.diffBackward(end, start, &liveStats);
+    if (diff.isOk() && stats) {
+      *stats = {};
+      stats->live = liveStats;
+      stats->keysInDiff = diff.value().size();
+      stats->diffDataBytes = diff.value().dataBytes();
+    }
+    return diff;
+  }
+  if (!covers(start)) {
+    return Status(StatusCode::kOutOfRange,
+                  "archive no longer reaches " + start.toString() +
+                      " (archive floor " + floor_.toString() + ")");
+  }
+  if (coveredThrough_ < live.floor()) {
+    // Gap between archive and live window: history was lost before it
+    // could be archived.
+    return Status(StatusCode::kFailedPrecondition,
+                  "archive is not contiguous with the live window-log");
+  }
+
+  // 1. Undo the in-memory segment (end back to the live floor).
+  DiffStats liveStats;
+  auto diff = live.diffBackward(end, live.floor(), &liveStats);
+  if (!diff.isOk()) return diff;
+
+  // 2. Continue backward through the archive; set() keeps overwriting so
+  //    the earliest entry after `start` wins, exactly as in the live
+  //    walk.  Entries the live log still covers are skipped (they were
+  //    already undone in step 1), as are entries after `end`.
+  size_t traversed = 0;
+  uint64_t bytesRead = 0;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->ts > live.floor() || it->ts > end) continue;
+    if (it->ts <= start) break;
+    diff.value().set(it->key, it->oldValue);
+    ++traversed;
+    bytesRead += it->dataBytes();
+  }
+
+  if (stats) {
+    *stats = {};
+    stats->live = liveStats;
+    stats->archivedEntriesTraversed = traversed;
+    stats->archivedBytesRead = bytesRead;
+    stats->keysInDiff = diff.value().size();
+    stats->diffDataBytes = diff.value().dataBytes();
+  }
+  return diff;
+}
+
+}  // namespace retro::log

@@ -1,0 +1,78 @@
+// Disk archive for window-log history (§III-A: "It is also possible to
+// persist the window-log to disk to allow going further in the past").
+//
+// A background task periodically moves the oldest window-log entries
+// into the archive (a disk write, charged by the host system); a
+// retrospective snapshot whose target has slid out of the in-memory
+// window can then be served by continuing the backward traversal through
+// archived entries (a disk read).  The archive preserves the exact
+// entry sequence, so diffs spanning the memory/disk boundary compose
+// seamlessly.
+#pragma once
+
+#include <deque>
+
+#include "common/status.hpp"
+#include "log/window_log.hpp"
+
+namespace retro::log {
+
+struct ArchiveConfig {
+  /// Cap on archived payload bytes; oldest entries are dropped past it.
+  /// 0 = unbounded.
+  uint64_t maxBytes = 0;
+};
+
+/// Work/IO accounting for an archive-assisted diff.
+struct ArchiveDiffStats {
+  DiffStats live;                     ///< in-memory portion
+  size_t archivedEntriesTraversed = 0;
+  uint64_t archivedBytesRead = 0;     ///< payload bytes paged in
+  size_t keysInDiff = 0;
+  size_t diffDataBytes = 0;
+};
+
+class LogArchive {
+ public:
+  explicit LogArchive(ArchiveConfig config = {}) : config_(config) {}
+
+  /// Move every entry with ts <= upTo from `live` into the archive
+  /// (oldest first), truncating the live log.  Returns payload bytes
+  /// appended to the archive — the host charges this as a disk write.
+  uint64_t archiveThrough(WindowLog& live, hlc::Timestamp upTo);
+
+  /// Earliest reconstructible time using archive + live log together.
+  hlc::Timestamp floor() const { return floor_; }
+  bool covers(hlc::Timestamp t) const { return t >= floor_; }
+
+  size_t entryCount() const { return entries_.size(); }
+  uint64_t payloadBytes() const { return payloadBytes_; }
+
+  /// Compute the diff from the *current* state back to `target`,
+  /// walking the live window first and continuing through the archive.
+  /// Requires that the archive is contiguous with the live log (i.e.
+  /// archiveThrough has kept up with the live log's trimming).
+  Result<DiffMap> diffToPast(const WindowLog& live, hlc::Timestamp target,
+                             ArchiveDiffStats* stats = nullptr) const;
+
+  /// General backward diff between two points: applying the result to
+  /// the state at `end` yields the state at `start`, spanning the
+  /// memory/disk boundary as needed (used by the snapshot machinery,
+  /// whose capture time `end` may predate the latest log entry).
+  Result<DiffMap> diffBackward(const WindowLog& live, hlc::Timestamp end,
+                               hlc::Timestamp start,
+                               ArchiveDiffStats* stats = nullptr) const;
+
+ private:
+  void trimToBudget();
+
+  ArchiveConfig config_;
+  std::deque<Entry> entries_;  // ascending ts
+  uint64_t payloadBytes_ = 0;
+  hlc::Timestamp floor_{};
+  /// Upper bound of archived history: everything in (floor_,
+  /// coveredThrough_] is reconstructible from the archive.
+  hlc::Timestamp coveredThrough_{};
+};
+
+}  // namespace retro::log

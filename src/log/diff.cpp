@@ -1,0 +1,44 @@
+#include "log/diff.hpp"
+
+namespace retro::log {
+
+namespace {
+size_t entryBytes(const Key& key, const OptValue& value) {
+  return key.size() + (value ? value->size() : 0);
+}
+}  // namespace
+
+void DiffMap::set(const Key& key, OptValue value) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    dataBytes_ += entryBytes(key, value);
+    map_.emplace(key, std::move(value));
+  } else {
+    dataBytes_ -= entryBytes(key, it->second);
+    dataBytes_ += entryBytes(key, value);
+    it->second = std::move(value);
+  }
+}
+
+void DiffMap::setIfAbsent(const Key& key, OptValue value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) return;
+  dataBytes_ += entryBytes(key, value);
+  map_.emplace(key, std::move(value));
+}
+
+void DiffMap::applyTo(std::unordered_map<Key, Value>& state) const {
+  for (const auto& [key, value] : map_) {
+    if (value) {
+      state[key] = *value;
+    } else {
+      state.erase(key);
+    }
+  }
+}
+
+void DiffMap::compose(const DiffMap& later) {
+  for (const auto& [key, value] : later.map_) set(key, value);
+}
+
+}  // namespace retro::log

@@ -1,0 +1,47 @@
+// A compacted difference between two points of a window-log (Fig. 6):
+// per key, only the value that matters at the target point survives —
+// all shadowed intermediate operations are eliminated.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "hlc/timestamp.hpp"
+
+namespace retro::log {
+
+class DiffMap {
+ public:
+  using Map = std::unordered_map<Key, OptValue>;
+
+  /// Set/overwrite the target value for `key`; nullopt means the key is
+  /// absent (deleted / not yet created) at the target point.
+  void set(const Key& key, OptValue value);
+
+  /// Set only if the key is not already present (used when walking
+  /// backward and the earliest entry must win without overwrites).
+  void setIfAbsent(const Key& key, OptValue value);
+
+  bool contains(const Key& key) const { return map_.contains(key); }
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  const Map& entries() const { return map_; }
+
+  /// Bytes of payload data carried (keys + surviving values).
+  size_t dataBytes() const { return dataBytes_; }
+
+  /// Apply this diff onto a materialized key-value state.
+  void applyTo(std::unordered_map<Key, Value>& state) const;
+
+  /// Compose: apply `later` on top of this diff (entries in `later`
+  /// overwrite).  Used to merge incremental snapshot deltas in a chain.
+  void compose(const DiffMap& later);
+
+ private:
+  Map map_;
+  size_t dataBytes_ = 0;
+};
+
+}  // namespace retro::log

@@ -1,0 +1,23 @@
+#include "log/estimator.hpp"
+
+namespace retro::log {
+
+namespace {
+double perEntryBytes(const EstimatorParams& p) {
+  return 2 * p.avgItemBytes + p.avgKeyBytes + p.hlcBytes + p.overheadBytes;
+}
+}  // namespace
+
+double estimateLogBytes(const EstimatorParams& params,
+                        double durationSeconds) {
+  return durationSeconds * params.appendsPerSecond * perEntryBytes(params);
+}
+
+double estimateReachSeconds(const EstimatorParams& params,
+                            double budgetBytes) {
+  const double ratePerSec = params.appendsPerSecond * perEntryBytes(params);
+  if (ratePerSec <= 0) return 0;
+  return budgetBytes / ratePerSec;
+}
+
+}  // namespace retro::log

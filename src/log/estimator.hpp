@@ -1,0 +1,30 @@
+// The paper's window-log memory-estimate formula (§IV):
+//
+//   St = Δt · Ra · (2·Si + Sk + S_HLC + S_o)
+//
+// St — total log size; Ra — appends/second; Si — average item size;
+// Sk — average key size; S_HLC = 8 bytes; S_o >= 152 bytes of
+// implementation overhead.  Fig. 13 plots this projection against the
+// measured memory consumption.
+#pragma once
+
+#include <cstddef>
+
+namespace retro::log {
+
+struct EstimatorParams {
+  double appendsPerSecond = 0;       ///< Ra
+  double avgItemBytes = 0;           ///< Si (old and new values each)
+  double avgKeyBytes = 0;            ///< Sk
+  double hlcBytes = 8;               ///< S_HLC
+  double overheadBytes = 152;        ///< S_o
+};
+
+/// Estimated log bytes after `durationSeconds` of appends (Δt).
+double estimateLogBytes(const EstimatorParams& params, double durationSeconds);
+
+/// Inverse: how many seconds of history fit in `budgetBytes`?  Used to
+/// predict the reach of retrospection (Figs. 13, 18).
+double estimateReachSeconds(const EstimatorParams& params, double budgetBytes);
+
+}  // namespace retro::log

@@ -1,0 +1,27 @@
+// One recorded state change in a window-log: "item K: oldV -> newV at
+// HLC time ts" (Table I appendToLog).  Absent optionals encode creation
+// (no oldValue) and deletion (no newValue).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "hlc/timestamp.hpp"
+
+namespace retro::log {
+
+struct Entry {
+  Key key;
+  OptValue oldValue;  ///< value before the change; nullopt if key was absent
+  OptValue newValue;  ///< value after the change; nullopt if key was deleted
+  hlc::Timestamp ts;  ///< HLC time of the change (unique per node)
+
+  /// Payload bytes: key + old + new values (the 2*Si + Sk part of the
+  /// paper's memory-estimate formula).
+  size_t dataBytes() const {
+    return key.size() + (oldValue ? oldValue->size() : 0) +
+           (newValue ? newValue->size() : 0);
+  }
+};
+
+}  // namespace retro::log

@@ -1,0 +1,70 @@
+#include "log/message_log.hpp"
+
+#include <algorithm>
+
+namespace retro::log {
+
+void MessageLog::recordSend(NodeId to, uint64_t messageId, hlc::Timestamp ts,
+                            size_t payloadBytes) {
+  append(MessageRecord{true, to, messageId, ts, payloadBytes});
+}
+
+void MessageLog::recordReceive(NodeId from, uint64_t messageId,
+                               hlc::Timestamp ts, size_t payloadBytes) {
+  append(MessageRecord{false, from, messageId, ts, payloadBytes});
+}
+
+void MessageLog::append(MessageRecord record) {
+  accountedBytes_ += record.payloadBytes + config_.perRecordOverheadBytes;
+  ++totalRecorded_;
+  records_.push_back(record);
+  trim();
+}
+
+void MessageLog::trim() {
+  if (config_.maxAgeMillis <= 0 || records_.empty()) return;
+  const int64_t newest = records_.back().ts.l;
+  while (!records_.empty() &&
+         records_.front().ts.l < newest - config_.maxAgeMillis) {
+    accountedBytes_ -= records_.front().payloadBytes +
+                       config_.perRecordOverheadBytes;
+    records_.pop_front();
+  }
+}
+
+std::vector<uint64_t> MessageLog::sentThrough(NodeId peer,
+                                              hlc::Timestamp cut) const {
+  std::vector<uint64_t> out;
+  for (const MessageRecord& r : records_) {
+    if (r.ts > cut) break;
+    if (r.isSend && r.peer == peer) out.push_back(r.messageId);
+  }
+  return out;
+}
+
+std::vector<uint64_t> MessageLog::receivedThrough(NodeId peer,
+                                                  hlc::Timestamp cut) const {
+  std::vector<uint64_t> out;
+  for (const MessageRecord& r : records_) {
+    if (r.ts > cut) break;
+    if (!r.isSend && r.peer == peer) out.push_back(r.messageId);
+  }
+  return out;
+}
+
+std::vector<uint64_t> MessageLog::inFlightAt(const MessageLog& senderLog,
+                                             const MessageLog& receiverLog,
+                                             NodeId sender, NodeId receiver,
+                                             hlc::Timestamp senderCut,
+                                             hlc::Timestamp receiverCut) {
+  auto sent = senderLog.sentThrough(receiver, senderCut);
+  auto received = receiverLog.receivedThrough(sender, receiverCut);
+  std::sort(sent.begin(), sent.end());
+  std::sort(received.begin(), received.end());
+  std::vector<uint64_t> inFlight;
+  std::set_difference(sent.begin(), sent.end(), received.begin(),
+                      received.end(), std::back_inserter(inFlight));
+  return inFlight;
+}
+
+}  // namespace retro::log

@@ -1,0 +1,178 @@
+#include "log/window_log.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace retro::log {
+
+namespace {
+size_t accountedEntryBytes(const Entry& e, const WindowLogConfig& cfg) {
+  return e.dataBytes() + cfg.hlcBytes + cfg.perEntryOverheadBytes;
+}
+}  // namespace
+
+WindowLog::WindowLog(WindowLogConfig config) : config_(config) {}
+
+void WindowLog::append(Entry entry) {
+  if (!entries_.empty() && entry.ts < entries_.back().ts) {
+    throw std::invalid_argument(
+        "WindowLog::append: timestamps must be non-decreasing (got " +
+        entry.ts.toString() + " after " + entries_.back().ts.toString() + ")");
+  }
+  accountedBytes_ += accountedEntryBytes(entry, config_);
+  entries_.push_back(std::move(entry));
+  if (bounded_) trimToBounds();
+}
+
+void WindowLog::append(Key key, OptValue oldValue, OptValue newValue,
+                       hlc::Timestamp ts) {
+  append(Entry{std::move(key), std::move(oldValue), std::move(newValue), ts});
+}
+
+void WindowLog::unbound() { bounded_ = false; }
+
+void WindowLog::rebound() {
+  bounded_ = true;
+  trimToBounds();
+}
+
+hlc::Timestamp WindowLog::latest() const {
+  return entries_.empty() ? floor_ : entries_.back().ts;
+}
+
+void WindowLog::trimFront() {
+  const Entry& e = entries_.front();
+  accountedBytes_ -= accountedEntryBytes(e, config_);
+  // Once the change at e.ts is dropped we can no longer reconstruct any
+  // state strictly before e.ts; state *at* e.ts (inclusive of the
+  // change) remains reconstructible.
+  floor_ = e.ts;
+  entries_.pop_front();
+  ++trimmed_;
+}
+
+void WindowLog::trimToBounds() {
+  if (config_.maxEntries > 0) {
+    while (entries_.size() > config_.maxEntries) trimFront();
+  }
+  if (config_.maxBytes > 0) {
+    while (entries_.size() > 1 && accountedBytes_ > config_.maxBytes) {
+      trimFront();
+    }
+  }
+  if (config_.maxAgeMillis > 0 && !entries_.empty()) {
+    const int64_t newestL = entries_.back().ts.l;
+    while (!entries_.empty() &&
+           entries_.front().ts.l < newestL - config_.maxAgeMillis) {
+      trimFront();
+    }
+  }
+}
+
+void WindowLog::truncateThrough(hlc::Timestamp t) {
+  while (!entries_.empty() && entries_.front().ts <= t) trimFront();
+  // Even with nothing trimmed, the caller is declaring history before t
+  // unreachable (it has been folded into a checkpoint).
+  floor_ = std::max(floor_, t);
+}
+
+Result<DiffMap> WindowLog::diffToPast(hlc::Timestamp timeInPast,
+                                      DiffStats* stats) const {
+  if (!covers(timeInPast)) {
+    return Status(StatusCode::kOutOfRange,
+                  "window-log no longer reaches " + timeInPast.toString() +
+                      " (floor " + floor_.toString() + ")");
+  }
+  DiffMap diff;
+  size_t traversed = 0;
+  // Walk newest -> oldest over entries with ts > timeInPast.  Overwrites
+  // mean the *earliest* entry after the target wins, so each key maps to
+  // its value as of timeInPast (operation shadowing compaction, Fig. 6).
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->ts <= timeInPast) break;
+    diff.set(it->key, it->oldValue);
+    ++traversed;
+  }
+  if (stats) {
+    stats->entriesTraversed = traversed;
+    stats->keysInDiff = diff.size();
+    stats->diffDataBytes = diff.dataBytes();
+  }
+  return diff;
+}
+
+Result<DiffMap> WindowLog::diffForward(hlc::Timestamp start,
+                                       hlc::Timestamp end,
+                                       DiffStats* stats) const {
+  if (end < start) {
+    return Status(StatusCode::kInvalidArgument,
+                  "diffForward: end precedes start");
+  }
+  if (!covers(start)) {
+    return Status(StatusCode::kOutOfRange,
+                  "window-log no longer reaches " + start.toString() +
+                      " (floor " + floor_.toString() + ")");
+  }
+  DiffMap diff;
+  size_t traversed = 0;
+  // Walk oldest -> newest over entries with start < ts <= end; the last
+  // write per key wins, producing the state delta start -> end.
+  for (const Entry& e : entries_) {
+    if (e.ts <= start) continue;
+    if (e.ts > end) break;
+    diff.set(e.key, e.newValue);
+    ++traversed;
+  }
+  if (stats) {
+    stats->entriesTraversed = traversed;
+    stats->keysInDiff = diff.size();
+    stats->diffDataBytes = diff.dataBytes();
+  }
+  return diff;
+}
+
+Result<DiffMap> WindowLog::diffBackward(hlc::Timestamp end,
+                                        hlc::Timestamp start,
+                                        DiffStats* stats) const {
+  if (end < start) {
+    return Status(StatusCode::kInvalidArgument,
+                  "diffBackward: end precedes start");
+  }
+  if (!covers(start)) {
+    return Status(StatusCode::kOutOfRange,
+                  "window-log no longer reaches " + start.toString() +
+                      " (floor " + floor_.toString() + ")");
+  }
+  DiffMap diff;
+  size_t traversed = 0;
+  // Walk newest -> oldest over entries with start < ts <= end; the
+  // earliest entry per key wins (its oldValue is the value at `start`).
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->ts > end) continue;
+    if (it->ts <= start) break;
+    diff.set(it->key, it->oldValue);
+    ++traversed;
+  }
+  if (stats) {
+    stats->entriesTraversed = traversed;
+    stats->keysInDiff = diff.size();
+    stats->diffDataBytes = diff.dataBytes();
+  }
+  return diff;
+}
+
+void WindowLog::setConfig(WindowLogConfig config) {
+  // Recompute byte accounting under the new overhead constants.
+  config_ = config;
+  accountedBytes_ = 0;
+  for (const Entry& e : entries_) {
+    accountedBytes_ += accountedEntryBytes(e, config_);
+  }
+  if (bounded_) trimToBounds();
+}
+
+void WindowLog::forEach(const std::function<void(const Entry&)>& fn) const {
+  for (const Entry& e : entries_) fn(e);
+}
+
+}  // namespace retro::log

@@ -1,0 +1,120 @@
+// The sliding window-log (§III, §IV): a bounded, HLC-timestamped record
+// of recent state changes on one node.  Bounds are configurable by entry
+// count, payload bytes, or age ("truncating the state history after a
+// given duration or erasing the old history when the size of the log
+// reaches a given threshold", §IV).  During a snapshot the bound is
+// lifted so the log keeps growing until the snapshot finishes (§III-A).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "log/diff.hpp"
+#include "log/log_entry.hpp"
+
+namespace retro::log {
+
+struct WindowLogConfig {
+  /// Maximum number of entries retained; 0 = unbounded.
+  size_t maxEntries = 0;
+  /// Maximum accounted bytes retained; 0 = unbounded.
+  size_t maxBytes = 0;
+  /// Maximum entry age relative to the newest entry, in HLC physical
+  /// milliseconds; 0 = unbounded.
+  int64_t maxAgeMillis = 0;
+  /// Fixed per-entry overhead S_o of the paper's estimate formula
+  /// (>= 152 bytes in the Java implementation; configurable because §VII
+  /// points out a C implementation can shrink it).
+  size_t perEntryOverheadBytes = 152;
+  /// S_HLC: bytes accounted for the timestamp per entry.
+  size_t hlcBytes = 8;
+};
+
+/// Statistics of a computeDiff call, used by the simulation substrates
+/// to charge CPU time proportional to the work actually performed.
+struct DiffStats {
+  size_t entriesTraversed = 0;  ///< log entries walked
+  size_t keysInDiff = 0;        ///< surviving keys after compaction
+  size_t diffDataBytes = 0;     ///< payload bytes of the compacted diff
+};
+
+class WindowLog {
+ public:
+  explicit WindowLog(WindowLogConfig config = {});
+
+  /// Record a state change. Timestamps must be appended in
+  /// non-decreasing order (HLC at a node is monotonic); out-of-order
+  /// appends throw std::invalid_argument.
+  void append(Entry entry);
+  void append(Key key, OptValue oldValue, OptValue newValue,
+              hlc::Timestamp ts);
+
+  /// Remove the growth bound (snapshot in progress) / restore it.
+  /// rebound() re-applies the configured bounds, trimming as needed.
+  void unbound();
+  void rebound();
+  bool isBounded() const { return bounded_; }
+
+  /// Compute the compacted difference between the *current* state and
+  /// the state at `timeInPast`: applying the result to the current state
+  /// rolls it back to `timeInPast` (Table I computeDiff(logName, t)).
+  Result<DiffMap> diffToPast(hlc::Timestamp timeInPast,
+                             DiffStats* stats = nullptr) const;
+
+  /// Compacted difference between two past points (Table I
+  /// computeDiff(logName, start, end)): applying the result to the state
+  /// at `start` produces the state at `end` (forward-incremental).
+  Result<DiffMap> diffForward(hlc::Timestamp start, hlc::Timestamp end,
+                              DiffStats* stats = nullptr) const;
+
+  /// Reverse direction: applying the result to the state at `end`
+  /// produces the state at `start` (backward-incremental, Fig. 5).
+  Result<DiffMap> diffBackward(hlc::Timestamp end, hlc::Timestamp start,
+                               DiffStats* stats = nullptr) const;
+
+  /// True if the log retains enough history to reconstruct state at `t`
+  /// (i.e. every change after `t` is still in the window).
+  bool covers(hlc::Timestamp t) const { return t >= floor_; }
+
+  /// Earliest reachable time: state can be reconstructed at any t with
+  /// floor() <= t <= latest().
+  hlc::Timestamp floor() const { return floor_; }
+  hlc::Timestamp latest() const;
+
+  size_t entryCount() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Accounted bytes: sum over entries of (2*Si + Sk + S_HLC + S_o) —
+  /// the live instantiation of the paper's estimate formula.
+  size_t accountedBytes() const { return accountedBytes_; }
+
+  /// Total entries ever trimmed (for stats/tests).
+  uint64_t trimmedCount() const { return trimmed_; }
+
+  /// Explicitly drop all entries with ts <= t (periodic compaction
+  /// support, §VII: a background task can fold old history into a
+  /// checkpoint and truncate).
+  void truncateThrough(hlc::Timestamp t);
+
+  const WindowLogConfig& config() const { return config_; }
+  void setConfig(WindowLogConfig config);
+
+  /// Iterate entries (oldest -> newest); read-only access for
+  /// persistence and debugging tools.
+  void forEach(const std::function<void(const Entry&)>& fn) const;
+
+ private:
+  void trimToBounds();
+  void trimFront();
+
+  WindowLogConfig config_;
+  std::deque<Entry> entries_;
+  size_t accountedBytes_ = 0;
+  hlc::Timestamp floor_{};  // earliest reconstructible time
+  bool bounded_ = true;
+  uint64_t trimmed_ = 0;
+};
+
+}  // namespace retro::log

@@ -1,0 +1,78 @@
+#include "sim/causality.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace retro::sim {
+
+void CausalityRecorder::record(NodeId node, EventRecord record) {
+  if (node >= events_.size()) {
+    throw std::out_of_range("CausalityRecorder: node out of range");
+  }
+  events_[node].push_back(record);
+}
+
+uint64_t CausalityRecorder::totalEvents() const {
+  uint64_t n = 0;
+  for (const auto& v : events_) n += v.size();
+  return n;
+}
+
+std::optional<uint64_t> CausalityRecorder::findViolation(const Cut& cut) const {
+  if (cut.size() != events_.size()) {
+    throw std::invalid_argument("CausalityRecorder: cut dimension mismatch");
+  }
+  // Messages whose send event lies OUTSIDE the cut.
+  std::unordered_map<uint64_t, bool> sentOutside;
+  for (NodeId n = 0; n < events_.size(); ++n) {
+    for (size_t i = cut[n]; i < events_[n].size(); ++i) {
+      const EventRecord& e = events_[n][i];
+      if (e.type == EventType::kSend) sentOutside[e.messageId] = true;
+    }
+  }
+  // A receive INSIDE the cut for such a message is a violation.
+  for (NodeId n = 0; n < events_.size(); ++n) {
+    const uint64_t limit = std::min<uint64_t>(cut[n], events_[n].size());
+    for (size_t i = 0; i < limit; ++i) {
+      const EventRecord& e = events_[n][i];
+      if (e.type == EventType::kRecv && sentOutside.contains(e.messageId)) {
+        return e.messageId;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Cut CausalityRecorder::cutByHlc(hlc::Timestamp t) const {
+  Cut cut(events_.size(), 0);
+  for (NodeId n = 0; n < events_.size(); ++n) {
+    uint64_t k = 0;
+    for (const EventRecord& e : events_[n]) {
+      if (e.hlcTs <= t) {
+        ++k;
+      } else {
+        break;
+      }
+    }
+    cut[n] = k;
+  }
+  return cut;
+}
+
+Cut CausalityRecorder::cutByPerceivedTime(TimeMicros t) const {
+  Cut cut(events_.size(), 0);
+  for (NodeId n = 0; n < events_.size(); ++n) {
+    uint64_t k = 0;
+    for (const EventRecord& e : events_[n]) {
+      if (e.perceivedMicros <= t) {
+        ++k;
+      } else {
+        break;
+      }
+    }
+    cut[n] = k;
+  }
+  return cut;
+}
+
+}  // namespace retro::sim

@@ -1,0 +1,52 @@
+#include "sim/clock_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retro::sim {
+
+SkewedClock::SkewedClock(SimEnv& env, const ClockModelConfig& config, Rng rng)
+    : env_(&env), config_(config), rng_(rng) {
+  resync(0);
+}
+
+void SkewedClock::resync(TimeMicros trueNow) {
+  // NTP disciplines the clock to within the skew bound but not to zero:
+  // sample a fresh offset uniformly within +/- maxSkew.
+  const auto bound = config_.maxSkewMicros;
+  offsetAtResync_ =
+      bound == 0 ? 0 : rng_.nextInt(-bound, bound);
+  driftSign_ = rng_.nextBool(0.5) ? 1.0 : -1.0;
+  lastResyncAt_ = trueNow;
+}
+
+TimeMicros SkewedClock::offsetAt(TimeMicros trueNow) {
+  if (config_.resyncPeriodMicros > 0 &&
+      trueNow - lastResyncAt_ >= config_.resyncPeriodMicros) {
+    resync(trueNow);
+  }
+  const double elapsed = static_cast<double>(trueNow - lastResyncAt_);
+  const double drift = driftSign_ * config_.driftPpm * 1e-6 * elapsed;
+  const auto rawOffset =
+      offsetAtResync_ + static_cast<TimeMicros>(std::llround(drift));
+  // The skew bound is a hard invariant of the model (NTP kicks in).
+  return std::clamp(rawOffset, -config_.maxSkewMicros,
+                    config_.maxSkewMicros);
+}
+
+TimeMicros SkewedClock::nowMicros() {
+  const TimeMicros trueNow = env_->now();
+  // Perceived time is monotone in true time because drift rate << 1.
+  return std::max<TimeMicros>(0, trueNow + offsetAt(trueNow));
+}
+
+ClockFleet::ClockFleet(SimEnv& env, const ClockModelConfig& config,
+                       size_t nodes) {
+  clocks_.reserve(nodes);
+  for (size_t i = 0; i < nodes; ++i) {
+    clocks_.push_back(std::make_unique<SkewedClock>(
+        env, config, env.rng().fork(0x1000 + i)));
+  }
+}
+
+}  // namespace retro::sim

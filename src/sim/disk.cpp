@@ -1,0 +1,30 @@
+#include "sim/disk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retro::sim {
+
+SimDisk::SimDisk(SimEnv& env, DiskConfig config)
+    : env_(&env), config_(config) {}
+
+void SimDisk::submit(uint64_t bytes, double mbps, std::function<void()> done) {
+  const double seconds = static_cast<double>(bytes) / (mbps * 1e6);
+  const auto transfer =
+      static_cast<TimeMicros>(std::llround(seconds * kMicrosPerSecond));
+  const TimeMicros start = std::max(busyUntil_, env_->now());
+  busyUntil_ = start + config_.seekMicros + transfer;
+  env_->scheduleAt(busyUntil_, std::move(done));
+}
+
+void SimDisk::read(uint64_t bytes, std::function<void()> done) {
+  bytesRead_ += bytes;
+  submit(bytes, config_.readMBps, std::move(done));
+}
+
+void SimDisk::write(uint64_t bytes, std::function<void()> done) {
+  bytesWritten_ += bytes;
+  submit(bytes, config_.writeMBps, std::move(done));
+}
+
+}  // namespace retro::sim

@@ -1,0 +1,49 @@
+// Simulated disk: a serial resource with seek latency and bandwidth.
+// Snapshot data-copy, BDB log flushes/cleaning, and snapshot persistence
+// all contend for the node's disk — that contention produces the
+// throughput dips of Figs. 12/17/18 rather than having them scripted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/sim_env.hpp"
+
+namespace retro::sim {
+
+struct DiskConfig {
+  double readMBps = 180.0;    ///< sequential read bandwidth
+  double writeMBps = 120.0;   ///< sequential write bandwidth
+  TimeMicros seekMicros = 120;  ///< fixed per-operation latency
+};
+
+class SimDisk {
+ public:
+  SimDisk(SimEnv& env, DiskConfig config);
+
+  /// Queue an asynchronous read/write of `bytes`; `done` runs when the
+  /// operation completes. Operations execute serially in FIFO order.
+  void read(uint64_t bytes, std::function<void()> done);
+  void write(uint64_t bytes, std::function<void()> done);
+
+  /// Virtual time at which the disk becomes idle.
+  TimeMicros busyUntil() const { return busyUntil_; }
+  bool busy() const { return busyUntil_ > env_->now(); }
+
+  uint64_t bytesRead() const { return bytesRead_; }
+  uint64_t bytesWritten() const { return bytesWritten_; }
+
+  const DiskConfig& config() const { return config_; }
+
+ private:
+  void submit(uint64_t bytes, double mbps, std::function<void()> done);
+
+  SimEnv* env_;
+  DiskConfig config_;
+  TimeMicros busyUntil_ = 0;
+  uint64_t bytesRead_ = 0;
+  uint64_t bytesWritten_ = 0;
+};
+
+}  // namespace retro::sim

@@ -1,0 +1,17 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retro::sim {
+
+void Executor::submit(TimeMicros serviceMicros, std::function<void()> task) {
+  const auto scaled = static_cast<TimeMicros>(
+      std::llround(static_cast<double>(serviceMicros) * slowdown_));
+  const TimeMicros start = std::max(busyUntil_, env_->now());
+  busyUntil_ = start + scaled;
+  totalBusy_ += scaled;
+  env_->scheduleAt(busyUntil_, std::move(task));
+}
+
+}  // namespace retro::sim

@@ -1,0 +1,43 @@
+// Per-node CPU resource: tasks execute serially, each occupying the CPU
+// for its service time.  Foreground request handling and background
+// snapshot work (log compaction, state copying) share the executor, so
+// snapshot activity slows request processing the way it does on a real
+// node.  A slowdown-factor hook lets the memory model inject GC-style
+// degradation (Fig. 13).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/sim_env.hpp"
+
+namespace retro::sim {
+
+class Executor {
+ public:
+  explicit Executor(SimEnv& env) : env_(&env) {}
+
+  /// Run `task` after occupying the CPU for `serviceMicros` (scaled by
+  /// the slowdown factor). Tasks run in submission order.
+  void submit(TimeMicros serviceMicros, std::function<void()> task);
+
+  /// Multiplier applied to every service time (>= 1). The memory model
+  /// raises this as heap pressure grows.
+  void setSlowdownFactor(double factor) { slowdown_ = factor < 1 ? 1 : factor; }
+  double slowdownFactor() const { return slowdown_; }
+
+  TimeMicros busyUntil() const { return busyUntil_; }
+  bool busy() const { return busyUntil_ > env_->now(); }
+
+  /// Total CPU time consumed (utilization accounting).
+  TimeMicros totalBusyMicros() const { return totalBusy_; }
+
+ private:
+  SimEnv* env_;
+  TimeMicros busyUntil_ = 0;
+  TimeMicros totalBusy_ = 0;
+  double slowdown_ = 1.0;
+};
+
+}  // namespace retro::sim

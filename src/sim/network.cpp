@@ -1,0 +1,61 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace retro::sim {
+
+Network::Network(SimEnv& env, NetworkConfig config)
+    : env_(&env), config_(config), rng_(env.rng().fork(0x4e455457)) {}
+
+void Network::registerNode(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void Network::disconnect(NodeId node) { handlers_.erase(node); }
+
+bool Network::isConnected(NodeId node) const {
+  return handlers_.contains(node);
+}
+
+TimeMicros Network::sampleLatency() {
+  TimeMicros latency = config_.baseLatencyMicros;
+  if (config_.jitterMeanMicros > 0) {
+    latency += static_cast<TimeMicros>(rng_.nextExponential(
+        static_cast<double>(config_.jitterMeanMicros)));
+  }
+  return latency;
+}
+
+uint64_t Network::send(Message message) {
+  message.msgId = nextMsgId_++;
+  ++messagesSent_;
+  bytesSent_ += message.payload.size() + config_.headerBytes;
+
+  if (config_.dropProbability > 0 &&
+      rng_.nextBool(config_.dropProbability)) {
+    ++messagesDropped_;
+    return message.msgId;
+  }
+
+  TimeMicros deliverAt = env_->now() + sampleLatency();
+  if (config_.fifoChannels) {
+    auto& last = lastDelivery_[{message.from, message.to}];
+    deliverAt = std::max(deliverAt, last + 1);
+    last = deliverAt;
+  }
+
+  const uint64_t id = message.msgId;
+  env_->scheduleAt(deliverAt, [this, msg = std::move(message)]() mutable {
+    auto it = handlers_.find(msg.to);
+    if (it == handlers_.end()) {
+      ++messagesDropped_;  // destination crashed/disconnected
+      return;
+    }
+    ++messagesDelivered_;
+    it->second(std::move(msg));
+  });
+  return id;
+}
+
+}  // namespace retro::sim

@@ -1,0 +1,57 @@
+#include "sim/sim_env.hpp"
+
+#include <stdexcept>
+
+namespace retro::sim {
+
+SimEnv::SimEnv(uint64_t seed) : rng_(seed) {}
+
+void SimEnv::push(TimeMicros when, std::function<void()> fn, bool daemon) {
+  if (when < now_) {
+    throw std::invalid_argument("SimEnv: scheduling into the past");
+  }
+  queue_.push(Event{when, seq_++, std::move(fn), daemon});
+  if (!daemon) ++nonDaemonPending_;
+}
+
+void SimEnv::schedule(TimeMicros delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("SimEnv::schedule: negative delay");
+  push(now_ + delay, std::move(fn), /*daemon=*/false);
+}
+
+void SimEnv::scheduleAt(TimeMicros when, std::function<void()> fn) {
+  push(when, std::move(fn), /*daemon=*/false);
+}
+
+void SimEnv::scheduleDaemon(TimeMicros delay, std::function<void()> fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("SimEnv::scheduleDaemon: negative delay");
+  }
+  push(now_ + delay, std::move(fn), /*daemon=*/true);
+}
+
+bool SimEnv::step() {
+  if (queue_.empty()) return false;
+  // Move the event out before popping so the closure survives.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  if (!ev.daemon) --nonDaemonPending_;
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void SimEnv::run() {
+  while (nonDaemonPending_ > 0 && step()) {
+  }
+}
+
+void SimEnv::runUntil(TimeMicros deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace retro::sim

@@ -1,0 +1,79 @@
+// Deterministic discrete-event simulation environment: a virtual clock
+// and an event queue.  All substrates (network, disks, servers, clients)
+// schedule closures here; a run is a deterministic function of the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace retro::sim {
+
+class SimEnv {
+ public:
+  explicit SimEnv(uint64_t seed);
+
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+
+  /// Current virtual time (microseconds since simulation start).
+  TimeMicros now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` microseconds from now (delay >= 0).
+  void schedule(TimeMicros delay, std::function<void()> fn);
+
+  /// Schedule `fn` at an absolute virtual time (>= now).
+  void scheduleAt(TimeMicros when, std::function<void()> fn);
+
+  /// Daemon events: periodic background work (heartbeats, cleaner
+  /// timers) that must not keep the simulation alive — run() returns
+  /// once only daemon events remain, like a JVM exiting with daemon
+  /// threads still scheduled.
+  void scheduleDaemon(TimeMicros delay, std::function<void()> fn);
+
+  /// Run the next event; returns false if the queue is empty.
+  bool step();
+
+  /// Run events until only daemon events (or nothing) remain.
+  void run();
+
+  /// Run events with time <= `deadline`; afterwards now() == deadline
+  /// (even if the queue drained earlier).
+  void runUntil(TimeMicros deadline);
+
+  /// Root RNG; components should fork() substreams for determinism that
+  /// is robust to event reordering.
+  Rng& rng() { return rng_; }
+
+  size_t pendingEvents() const { return queue_.size(); }
+  uint64_t executedEvents() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeMicros when;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::function<void()> fn;
+    bool daemon = false;
+  };
+
+  void push(TimeMicros when, std::function<void()> fn, bool daemon);
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  TimeMicros now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t executed_ = 0;
+  size_t nonDaemonPending_ = 0;
+  Rng rng_;
+};
+
+}  // namespace retro::sim

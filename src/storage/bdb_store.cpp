@@ -1,0 +1,172 @@
+#include "storage/bdb_store.hpp"
+
+namespace retro::store {
+
+BdbStore::BdbStore(sim::SimEnv& env, sim::SimDisk& disk, BdbConfig config)
+    : env_(&env), disk_(&disk), config_(config) {
+  segments_.push_back(Segment{});
+  maybeScheduleCleaner();
+}
+
+uint64_t BdbStore::recordBytes(const Key& key, const Value* value) const {
+  return key.size() + (value ? value->size() : 0) +
+         config_.recordOverheadBytes;
+}
+
+void BdbStore::put(const Key& key, Value value) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    liveBytes_ -= key.size() + it->second.size();
+    it->second = std::move(value);
+  } else {
+    it = index_.emplace(key, std::move(value)).first;
+  }
+  liveBytes_ += key.size() + it->second.size();
+  appendRecord(recordBytes(key, &it->second), key);
+}
+
+OptValue BdbStore::get(const Key& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void BdbStore::remove(const Key& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  liveBytes_ -= key.size() + it->second.size();
+  index_.erase(it);
+  appendRecord(recordBytes(key, nullptr), key);  // tombstone record
+}
+
+void BdbStore::appendRecord(uint64_t bytes, const Key& key) {
+  Segment& active = segments_.back();
+  active.bytes += bytes;
+  writeBufferBytes_ += bytes;
+
+  // The record this key previously pointed at becomes dead.
+  auto prev = lastRecordBytes_.find(key);
+  if (prev != lastRecordBytes_.end()) {
+    // Dead bytes are attributed to the aggregate pool: individual
+    // record->segment tracking is not needed for the timing model.
+    segments_.front().deadBytes += prev->second;
+    prev->second = bytes;
+  } else {
+    lastRecordBytes_.emplace(key, bytes);
+  }
+
+  if (active.bytes >= config_.segmentMaxBytes) closeActiveSegment();
+  if (writeBufferBytes_ >= config_.writeBufferFlushBytes && !flushInFlight_) {
+    flushWriteBuffer([] {});
+  }
+}
+
+void BdbStore::closeActiveSegment() {
+  segments_.back().closed = true;
+  segments_.push_back(Segment{});
+}
+
+void BdbStore::flushWriteBuffer(std::function<void()> done) {
+  const uint64_t bytes = writeBufferBytes_;
+  writeBufferBytes_ = 0;
+  if (bytes == 0) {
+    env_->schedule(0, std::move(done));
+    return;
+  }
+  flushInFlight_ = true;
+  disk_->write(bytes, [this, done = std::move(done)] {
+    flushInFlight_ = false;
+    done();
+  });
+}
+
+uint64_t BdbStore::totalSegmentBytes() const {
+  uint64_t total = 0;
+  for (const Segment& s : segments_) total += s.bytes;
+  return total;
+}
+
+void BdbStore::hotBackup(std::function<void(uint64_t)> done) {
+  if (cleanerRunning_) {
+    // The cleaner keeps the data files open; the backup must wait
+    // (§V-C: "a system must wait for cleaning to complete").
+    backupsWaitingForCleaner_.push_back(
+        [this, done = std::move(done)]() mutable { hotBackup(std::move(done)); });
+    return;
+  }
+  // Step 1: flush all changes to disk and close the active segment so no
+  // further mutations land in the files being copied.
+  flushWriteBuffer([this, done = std::move(done)]() mutable {
+    closeActiveSegment();
+    uint64_t closedBytes = 0;
+    for (const Segment& s : segments_) {
+      if (s.closed) closedBytes += s.bytes;
+    }
+    // Step 2: copy the closed files — a read plus a write of their bytes.
+    disk_->read(closedBytes, [this, closedBytes, done = std::move(done)] {
+      disk_->write(closedBytes, [closedBytes, done = std::move(done)] {
+        done(closedBytes);
+      });
+    });
+  });
+}
+
+void BdbStore::maybeScheduleCleaner() {
+  if (!config_.cleanerEnabled || cleanerScheduled_) return;
+  cleanerScheduled_ = true;
+  env_->scheduleDaemon(config_.cleanerCheckPeriodMicros, [this] {
+    cleanerScheduled_ = false;
+    cleanerTick();
+    maybeScheduleCleaner();
+  });
+}
+
+void BdbStore::cleanerTick() {
+  if (cleanerRunning_) return;
+  const uint64_t total = totalSegmentBytes();
+  const uint64_t dead = segments_.front().deadBytes;
+  if (total == 0) return;
+  if (static_cast<double>(dead) / static_cast<double>(total) >=
+      config_.cleanerWakeupDeadFraction) {
+    startCleaning();
+  }
+}
+
+void BdbStore::runCleanerNow() {
+  if (!cleanerRunning_) startCleaning();
+}
+
+void BdbStore::startCleaning() {
+  cleanerRunning_ = true;
+  ++cleanerRuns_;
+  // Cleaning reads the dirty segments and rewrites the live records: a
+  // read of the dead+live bytes being processed plus a write of the
+  // surviving live bytes.
+  const uint64_t dead = segments_.front().deadBytes;
+  const uint64_t processed = dead * 2;  // segments are ~half dead when cleaned
+  disk_->read(processed, [this, dead, processed] {
+    disk_->write(processed > dead ? processed - dead : 0, [this, dead] {
+      // Drop the reclaimed bytes from the oldest closed segments.
+      uint64_t toReclaim = dead;
+      while (toReclaim > 0 && segments_.size() > 1 && segments_.front().closed) {
+        Segment& s = segments_.front();
+        const uint64_t cut = std::min(toReclaim, s.bytes);
+        s.bytes -= cut;
+        toReclaim -= cut;
+        if (s.bytes == 0) {
+          segments_.pop_front();
+        } else {
+          break;
+        }
+      }
+      if (!segments_.empty()) segments_.front().deadBytes = 0;
+      cleanerRunning_ = false;
+      // Release any backups that queued behind the cleaner.
+      auto waiting = std::move(backupsWaitingForCleaner_);
+      backupsWaitingForCleaner_.clear();
+      for (auto& resume : waiting) env_->schedule(0, std::move(resume));
+    });
+  });
+}
+
+}  // namespace retro::store

@@ -1,0 +1,110 @@
+// A Berkeley-DB-Java-Edition-like storage engine (§IV-A substrate): all
+// data and changes are captured in a succession of append-only log
+// segments (".jdb files"); an in-memory index maps keys to live values.
+//
+// Reproduced behaviours the paper's evaluation depends on:
+//  * hot backup = flush the write buffer, close the active segment, and
+//    copy the closed segments — no locking of the live store;
+//  * log cleaning rewrites segments to drop shadowed records; while the
+//    cleaner holds the data files open a hot backup must wait (the
+//    ~15-second stalls behind Fig. 14's variance);
+//  * writes are buffered in memory and flushed to the simulated disk
+//    asynchronously.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "sim/disk.hpp"
+#include "sim/sim_env.hpp"
+
+namespace retro::store {
+
+struct BdbConfig {
+  /// Segment ("jdb file") size; the active segment closes past this.
+  uint64_t segmentMaxBytes = 10ull << 20;
+  /// Flush the write buffer when it reaches this many bytes.
+  uint64_t writeBufferFlushBytes = 4ull << 20;
+  /// Per-record on-disk overhead (headers, checksums).
+  size_t recordOverheadBytes = 32;
+  /// Run the cleaner when dead bytes exceed this fraction of the total.
+  double cleanerWakeupDeadFraction = 0.5;
+  /// How often the cleaner checks utilization.
+  TimeMicros cleanerCheckPeriodMicros = 5 * kMicrosPerSecond;
+  /// Cleaner on/off (off keeps timing experiments noise-free).
+  bool cleanerEnabled = true;
+};
+
+class BdbStore {
+ public:
+  BdbStore(sim::SimEnv& env, sim::SimDisk& disk, BdbConfig config = {});
+
+  // --- data path (in-memory index + buffered log append) ---
+  void put(const Key& key, Value value);
+  OptValue get(const Key& key) const;
+  void remove(const Key& key);
+
+  uint64_t itemCount() const { return index_.size(); }
+  /// Bytes of live key+value data.
+  uint64_t liveDataBytes() const { return liveBytes_; }
+  /// Bytes across all on-disk segments (live + dead).
+  uint64_t totalSegmentBytes() const;
+
+  /// Read-only view of the current state (the simulator's stand-in for
+  /// scanning the store).
+  const std::unordered_map<Key, Value>& data() const { return index_; }
+
+  // --- hot backup (Oracle BDB procedure, §IV-A "Data copy") ---
+  /// Flush pending changes, close the active segment, then copy every
+  /// closed segment through the disk. `done(bytesCopied)` fires when the
+  /// copy completes. If the cleaner is running, the backup waits for it
+  /// to finish first (it keeps the data files open).
+  void hotBackup(std::function<void(uint64_t bytesCopied)> done);
+
+  // --- cleaner ---
+  bool cleanerRunning() const { return cleanerRunning_; }
+  uint64_t cleanerRuns() const { return cleanerRuns_; }
+  /// Force a cleaning pass now (tests / Fig. 14 variance experiments).
+  void runCleanerNow();
+
+  const BdbConfig& config() const { return config_; }
+
+ private:
+  struct Segment {
+    uint64_t bytes = 0;
+    uint64_t deadBytes = 0;
+    bool closed = false;
+  };
+
+  uint64_t recordBytes(const Key& key, const Value* value) const;
+  void appendRecord(uint64_t bytes, const Key& key);
+  void flushWriteBuffer(std::function<void()> done);
+  void closeActiveSegment();
+  void maybeScheduleCleaner();
+  void cleanerTick();
+  void startCleaning();
+
+  sim::SimEnv* env_;
+  sim::SimDisk* disk_;
+  BdbConfig config_;
+
+  std::unordered_map<Key, Value> index_;
+  uint64_t liveBytes_ = 0;
+  /// Maps key -> bytes of its latest on-disk record, to account dead
+  /// bytes when overwritten.
+  std::unordered_map<Key, uint64_t> lastRecordBytes_;
+
+  std::deque<Segment> segments_;  // back() is the active segment
+  uint64_t writeBufferBytes_ = 0;
+  bool flushInFlight_ = false;
+
+  bool cleanerRunning_ = false;
+  bool cleanerScheduled_ = false;
+  uint64_t cleanerRuns_ = 0;
+  std::deque<std::function<void()>> backupsWaitingForCleaner_;
+};
+
+}  // namespace retro::store

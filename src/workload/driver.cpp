@@ -1,0 +1,47 @@
+#include "workload/driver.hpp"
+
+namespace retro::workload {
+
+ClosedLoopDriver::ClosedLoopDriver(sim::SimEnv& env,
+                                   std::vector<ClientHandle> clients,
+                                   std::function<Key(uint64_t)> keyName,
+                                   DriverConfig config)
+    : env_(&env),
+      clients_(std::move(clients)),
+      keyName_(std::move(keyName)),
+      config_(config),
+      recorder_(config.recordWindowMicros) {
+  Rng root(config_.seed);
+  generators_.reserve(clients_.size());
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    generators_.emplace_back(config_.workload, root.fork(i + 1));
+  }
+}
+
+void ClosedLoopDriver::start(TimeMicros deadline) {
+  deadline_ = deadline;
+  for (size_t i = 0; i < clients_.size(); ++i) issueNext(i);
+}
+
+void ClosedLoopDriver::issueNext(size_t clientIdx) {
+  if (env_->now() >= deadline_) return;
+  const Op op = generators_[clientIdx].next();
+  const Key key = keyName_(op.keyIndex);
+  ++opsIssued_;
+
+  const auto onDone = [this, clientIdx](bool ok, TimeMicros latency) {
+    if (!ok) ++opsFailed_;
+    recorder_.record(env_->now(), latency);
+    issueNext(clientIdx);
+  };
+
+  if (op.isWrite) {
+    ++writesIssued_;
+    clients_[clientIdx].put(key, generators_[clientIdx].makeValue(opsIssued_),
+                            onDone);
+  } else {
+    clients_[clientIdx].get(key, onDone);
+  }
+}
+
+}  // namespace retro::workload

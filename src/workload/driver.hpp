@@ -1,0 +1,66 @@
+// Closed-loop client driver: each simulated client issues one operation,
+// waits for its completion, records the latency, and immediately issues
+// the next — the YCSB-style load pattern of the paper's micro-benchmarks.
+// Substrate-agnostic: the kvstore and grid clusters plug in their client
+// handles as callables.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "sim/sim_env.hpp"
+#include "workload/generator.hpp"
+
+namespace retro::workload {
+
+/// How a driver issues operations against a substrate.
+struct ClientHandle {
+  /// put(key, value, done(ok, latency))
+  std::function<void(const Key&, Value,
+                     std::function<void(bool, TimeMicros)>)>
+      put;
+  /// get(key, done(ok, latency))
+  std::function<void(const Key&, std::function<void(bool, TimeMicros)>)> get;
+};
+
+struct DriverConfig {
+  WorkloadConfig workload;
+  /// Metric window for the throughput/latency series.
+  TimeMicros recordWindowMicros = kMicrosPerSecond;
+  uint64_t seed = 99;
+};
+
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(sim::SimEnv& env, std::vector<ClientHandle> clients,
+                   std::function<Key(uint64_t)> keyName, DriverConfig config);
+
+  /// Start all clients; they stop issuing once env.now() >= deadline.
+  void start(TimeMicros deadline);
+  /// Extend or shorten the run while it is in progress.
+  void setDeadline(TimeMicros deadline) { deadline_ = deadline; }
+
+  TimeSeriesRecorder& recorder() { return recorder_; }
+  const TimeSeriesRecorder& recorder() const { return recorder_; }
+
+  uint64_t opsIssued() const { return opsIssued_; }
+  uint64_t opsFailed() const { return opsFailed_; }
+  uint64_t writesIssued() const { return writesIssued_; }
+
+ private:
+  void issueNext(size_t clientIdx);
+
+  sim::SimEnv* env_;
+  std::vector<ClientHandle> clients_;
+  std::function<Key(uint64_t)> keyName_;
+  DriverConfig config_;
+  std::vector<OpGenerator> generators_;
+  TimeSeriesRecorder recorder_;
+  TimeMicros deadline_ = 0;
+  uint64_t opsIssued_ = 0;
+  uint64_t opsFailed_ = 0;
+  uint64_t writesIssued_ = 0;
+};
+
+}  // namespace retro::workload

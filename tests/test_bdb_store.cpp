@@ -1,0 +1,176 @@
+#include "storage/bdb_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::store {
+namespace {
+
+struct Fixture {
+  Fixture() : env(1), disk(env, sim::DiskConfig{}) {}
+  sim::SimEnv env;
+  sim::SimDisk disk;
+};
+
+TEST(BdbStore, PutGetRemove) {
+  Fixture f;
+  BdbStore db(f.env, f.disk);
+  db.put("a", "1");
+  db.put("b", "2");
+  EXPECT_EQ(db.get("a"), Value("1"));
+  EXPECT_EQ(db.itemCount(), 2u);
+  db.put("a", "3");
+  EXPECT_EQ(db.get("a"), Value("3"));
+  EXPECT_EQ(db.itemCount(), 2u);
+  db.remove("a");
+  EXPECT_EQ(db.get("a"), std::nullopt);
+  EXPECT_EQ(db.itemCount(), 1u);
+  db.remove("missing");  // no-op
+}
+
+TEST(BdbStore, LiveBytesTracksData) {
+  Fixture f;
+  BdbStore db(f.env, f.disk);
+  db.put("key", std::string(100, 'v'));
+  EXPECT_EQ(db.liveDataBytes(), 103u);
+  db.put("key", std::string(50, 'v'));
+  EXPECT_EQ(db.liveDataBytes(), 53u);
+  db.remove("key");
+  EXPECT_EQ(db.liveDataBytes(), 0u);
+}
+
+TEST(BdbStore, SegmentsRollOver) {
+  Fixture f;
+  BdbConfig cfg;
+  cfg.segmentMaxBytes = 1000;
+  cfg.cleanerEnabled = false;
+  BdbStore db(f.env, f.disk, cfg);
+  for (int i = 0; i < 100; ++i) {
+    db.put("k" + std::to_string(i), std::string(50, 'v'));
+  }
+  // ~100 * (52 + 32) bytes = ~8400 bytes across >= 8 segments.
+  EXPECT_GT(db.totalSegmentBytes(), 8000u);
+}
+
+TEST(BdbStore, HotBackupCopiesClosedSegments) {
+  Fixture f;
+  BdbConfig cfg;
+  cfg.cleanerEnabled = false;
+  BdbStore db(f.env, f.disk, cfg);
+  for (int i = 0; i < 50; ++i) {
+    db.put("k" + std::to_string(i), std::string(100, 'v'));
+  }
+  uint64_t copied = 0;
+  db.hotBackup([&](uint64_t bytes) { copied = bytes; });
+  f.env.run();
+  // All records written so far are in closed segments after the flush.
+  EXPECT_EQ(copied, db.totalSegmentBytes());
+  EXPECT_GT(copied, 0u);
+}
+
+TEST(BdbStore, BackupDoesNotBlockWrites) {
+  Fixture f;
+  BdbConfig cfg;
+  cfg.cleanerEnabled = false;
+  BdbStore db(f.env, f.disk, cfg);
+  db.put("a", "1");
+  bool done = false;
+  db.hotBackup([&](uint64_t) { done = true; });
+  // Writes proceed while the copy is in flight.
+  db.put("b", "2");
+  EXPECT_EQ(db.get("b"), Value("2"));
+  f.env.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(BdbStore, BackupWaitsForCleaner) {
+  Fixture f;
+  BdbConfig cfg;
+  cfg.cleanerEnabled = false;  // manual trigger
+  cfg.segmentMaxBytes = 500;
+  BdbStore db(f.env, f.disk, cfg);
+  // Generate dead bytes by overwriting.
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      db.put("k" + std::to_string(i), std::string(40, 'v'));
+    }
+  }
+  db.runCleanerNow();
+  EXPECT_TRUE(db.cleanerRunning());
+  TimeMicros backupDoneAt = -1;
+  db.hotBackup([&](uint64_t) { backupDoneAt = f.env.now(); });
+  // Find when cleaning finished.
+  while (db.cleanerRunning()) {
+    ASSERT_TRUE(f.env.step());
+  }
+  const TimeMicros cleanerDoneAt = f.env.now();
+  f.env.run();
+  EXPECT_GT(backupDoneAt, cleanerDoneAt);
+  EXPECT_EQ(db.cleanerRuns(), 1u);
+}
+
+TEST(BdbStore, CleanerWakesUpOnDeadFraction) {
+  Fixture f;
+  BdbConfig cfg;
+  cfg.cleanerEnabled = true;
+  cfg.cleanerWakeupDeadFraction = 0.3;
+  cfg.cleanerCheckPeriodMicros = 1000;
+  BdbStore db(f.env, f.disk, cfg);
+  for (int round = 0; round < 50; ++round) {
+    db.put("samekey", std::string(100, 'v'));  // every put shadows the last
+  }
+  f.env.runUntil(50'000);
+  EXPECT_GE(db.cleanerRuns(), 1u);
+}
+
+TEST(BdbStore, WriteBufferFlushesAtThreshold) {
+  Fixture f;
+  BdbConfig cfg;
+  cfg.writeBufferFlushBytes = 1000;
+  cfg.cleanerEnabled = false;
+  BdbStore db(f.env, f.disk, cfg);
+  // ~132 accounted bytes per record: the 8th put crosses the threshold.
+  for (int i = 0; i < 10; ++i) {
+    db.put("k" + std::to_string(i), std::string(100, 'v'));
+  }
+  f.env.run();
+  EXPECT_GT(f.disk.bytesWritten(), 0u);
+}
+
+TEST(BdbStore, BackupOfEmptyStore) {
+  Fixture f;
+  BdbConfig cfg;
+  cfg.cleanerEnabled = false;
+  BdbStore db(f.env, f.disk, cfg);
+  uint64_t copied = 12345;
+  db.hotBackup([&](uint64_t bytes) { copied = bytes; });
+  f.env.run();
+  EXPECT_EQ(copied, 0u);
+}
+
+TEST(BdbStore, ConsecutiveBackupsBothComplete) {
+  Fixture f;
+  BdbConfig cfg;
+  cfg.cleanerEnabled = false;
+  BdbStore db(f.env, f.disk, cfg);
+  for (int i = 0; i < 20; ++i) {
+    db.put("k" + std::to_string(i), std::string(50, 'v'));
+  }
+  int completed = 0;
+  db.hotBackup([&](uint64_t) { ++completed; });
+  db.hotBackup([&](uint64_t) { ++completed; });
+  f.env.run();
+  EXPECT_EQ(completed, 2);
+}
+
+TEST(BdbStore, DataViewMatchesIndex) {
+  Fixture f;
+  BdbStore db(f.env, f.disk);
+  db.put("x", "1");
+  db.put("y", "2");
+  const auto& data = db.data();
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.at("x"), "1");
+}
+
+}  // namespace
+}  // namespace retro::store

@@ -1,0 +1,108 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace retro {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.writeU8(0xab);
+  w.writeU16(0xbeef);
+  w.writeU32(0xdeadbeef);
+  w.writeU64(0x0123456789abcdefULL);
+  w.writeI64(-42);
+
+  const std::string data = w.take();
+  EXPECT_EQ(data.size(), 1u + 2 + 4 + 8 + 8);
+
+  ByteReader r(data);
+  EXPECT_EQ(r.readU8(), 0xab);
+  EXPECT_EQ(r.readU16(), 0xbeef);
+  EXPECT_EQ(r.readU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.readU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.readI64(), -42);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.writeU32(0x01020304);
+  const std::string data = w.view();
+  EXPECT_EQ(static_cast<uint8_t>(data[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(data[3]), 0x04);
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             1ull << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  ByteWriter w;
+  for (uint64_t v : values) w.writeVarU64(v);
+  ByteReader r(w.view());
+  for (uint64_t v : values) EXPECT_EQ(r.readVarU64(), v);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Bytes, VarintIsCompact) {
+  ByteWriter w;
+  w.writeVarU64(5);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.writeVarU64(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Bytes, LengthPrefixedStrings) {
+  ByteWriter w;
+  w.writeBytes("hello");
+  w.writeBytes("");
+  w.writeBytes(std::string(1000, 'z'));
+  ByteReader r(w.view());
+  EXPECT_EQ(r.readBytes(), "hello");
+  EXPECT_EQ(r.readBytes(), "");
+  EXPECT_EQ(r.readBytes(), std::string(1000, 'z'));
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.writeU16(7);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.readU8(), 0);
+  EXPECT_EQ(r.readU8(), 7);
+  EXPECT_THROW(r.readU8(), std::out_of_range);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.writeVarU64(100);  // claims 100 bytes follow
+  w.writeRaw("abc");
+  ByteReader r(w.view());
+  EXPECT_THROW(r.readBytes(), std::out_of_range);
+}
+
+TEST(Bytes, OverlongVarintThrows) {
+  std::string bad(11, static_cast<char>(0x80));
+  ByteReader r(bad);
+  EXPECT_THROW(r.readVarU64(), std::out_of_range);
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  ByteWriter w;
+  w.writeU32(1);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.remaining(), 4u);
+  r.readU16();
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace retro

@@ -1,0 +1,100 @@
+#include "sim/causality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::sim {
+namespace {
+
+EventRecord ev(EventType type, uint64_t msgId, int64_t hlcL,
+               TimeMicros perceived) {
+  EventRecord e;
+  e.type = type;
+  e.messageId = msgId;
+  e.hlcTs = {hlcL, 0};
+  e.perceivedMicros = perceived;
+  return e;
+}
+
+TEST(Causality, ConsistentCutPasses) {
+  CausalityRecorder rec(2);
+  // Node 0 sends msg 1; node 1 receives it. Cut includes both.
+  rec.record(0, ev(EventType::kSend, 1, 10, 10));
+  rec.record(1, ev(EventType::kRecv, 1, 11, 11));
+  EXPECT_TRUE(rec.isConsistent({1, 1}));
+  // Cut excluding both is also consistent.
+  EXPECT_TRUE(rec.isConsistent({0, 0}));
+  // Send inside, receive outside: consistent (message in flight).
+  EXPECT_TRUE(rec.isConsistent({1, 0}));
+}
+
+TEST(Causality, ReceiveWithoutSendIsViolation) {
+  CausalityRecorder rec(2);
+  rec.record(0, ev(EventType::kSend, 1, 10, 10));
+  rec.record(1, ev(EventType::kRecv, 1, 11, 11));
+  // Receive inside the cut, send outside: inconsistent.
+  const auto violation = rec.findViolation({0, 1});
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(*violation, 1u);
+}
+
+TEST(Causality, CutByHlcIsPrefix) {
+  CausalityRecorder rec(1);
+  rec.record(0, ev(EventType::kLocal, 0, 5, 5));
+  rec.record(0, ev(EventType::kLocal, 0, 7, 7));
+  rec.record(0, ev(EventType::kLocal, 0, 9, 9));
+  EXPECT_EQ(rec.cutByHlc({7, 0}), (Cut{2}));
+  EXPECT_EQ(rec.cutByHlc({4, 0}), (Cut{0}));
+  EXPECT_EQ(rec.cutByHlc({100, 0}), (Cut{3}));
+}
+
+TEST(Causality, CutByPerceivedTime) {
+  CausalityRecorder rec(2);
+  rec.record(0, ev(EventType::kLocal, 0, 1, 100));
+  rec.record(0, ev(EventType::kLocal, 0, 2, 300));
+  rec.record(1, ev(EventType::kLocal, 0, 1, 250));
+  EXPECT_EQ(rec.cutByPerceivedTime(260), (Cut{1, 1}));
+}
+
+TEST(Causality, HlcCutsAreConsistentOnCausalChain) {
+  // Build a chain: n0 send(m1) -> n1 recv(m1), send(m2) -> n2 recv(m2),
+  // with HLC values satisfying the logical clock condition.
+  CausalityRecorder rec(3);
+  rec.record(0, ev(EventType::kSend, 1, 10, 0));
+  rec.record(1, ev(EventType::kRecv, 1, 11, 0));
+  rec.record(1, ev(EventType::kSend, 2, 12, 0));
+  rec.record(2, ev(EventType::kRecv, 2, 13, 0));
+  // Every HLC cut must be consistent.
+  for (int64_t t = 8; t <= 15; ++t) {
+    EXPECT_TRUE(rec.isConsistent(rec.cutByHlc({t, 0}))) << "t=" << t;
+  }
+}
+
+TEST(Causality, NtpCutCanBeInconsistent) {
+  // Fig. 1: sender's clock ahead of receiver's. Message sent at
+  // perceived 100 (sender), received at perceived 90 (receiver behind).
+  CausalityRecorder rec(2);
+  rec.record(0, ev(EventType::kSend, 1, 10, 100));
+  rec.record(1, ev(EventType::kRecv, 1, 11, 90));
+  const Cut ntpCut = rec.cutByPerceivedTime(95);
+  // Cut includes the receive (90 <= 95) but not the send (100 > 95).
+  EXPECT_FALSE(rec.isConsistent(ntpCut));
+}
+
+TEST(Causality, DimensionChecks) {
+  CausalityRecorder rec(2);
+  EXPECT_THROW(rec.record(5, ev(EventType::kLocal, 0, 1, 1)),
+               std::out_of_range);
+  EXPECT_THROW(rec.findViolation(Cut{1}), std::invalid_argument);
+}
+
+TEST(Causality, TotalEvents) {
+  CausalityRecorder rec(2);
+  rec.record(0, ev(EventType::kLocal, 0, 1, 1));
+  rec.record(1, ev(EventType::kLocal, 0, 1, 1));
+  rec.record(1, ev(EventType::kLocal, 0, 2, 2));
+  EXPECT_EQ(rec.totalEvents(), 3u);
+  EXPECT_EQ(rec.eventsOf(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace retro::sim

@@ -1,0 +1,200 @@
+// The paper's central claims, proven against the recorded causality
+// graph (Fig. 1 / §II):
+//   * cuts at identical HLC times are ALWAYS consistent, under any skew;
+//   * naive NTP-time cuts are INCONSISTENT once clock skew exceeds the
+//     message latency;
+//   * vector clocks fix the NTP cut only by retreating it (staleness),
+//     and cost Theta(n) bytes per message;
+//   * the HLC logical component c stays small and the l-pt drift stays
+//     within the skew bound.
+#include <gtest/gtest.h>
+
+#include "baselines/clock_harness.hpp"
+#include "baselines/vc_snapshot.hpp"
+
+namespace retro::baselines {
+namespace {
+
+TEST(ClockBaselines, HlcCutsAlwaysConsistent) {
+  ClockHarnessConfig cfg;
+  cfg.nodes = 6;
+  cfg.clocks.maxSkewMicros = 20'000;  // 20 ms skew >> 0.45 ms latency
+  ClockHarness harness(cfg);
+  harness.run(3 * kMicrosPerSecond);
+
+  const auto& rec = harness.recorder();
+  ASSERT_GT(rec.totalEvents(), 1000u);
+  // Probe HLC cuts across the whole run (millisecond grain).
+  for (int64_t t = 0; t <= 3000; t += 37) {
+    const auto cut =
+        rec.cutByHlc({t, hlc::Timestamp::kMaxLogical});  // end of ms t
+    EXPECT_TRUE(rec.isConsistent(cut)) << "HLC cut at " << t;
+  }
+}
+
+TEST(ClockBaselines, NtpCutsInconsistentUnderSkew) {
+  ClockHarnessConfig cfg;
+  cfg.nodes = 6;
+  cfg.clocks.maxSkewMicros = 20'000;
+  cfg.network.baseLatencyMicros = 300;
+  ClockHarness harness(cfg);
+  harness.run(3 * kMicrosPerSecond);
+
+  const auto& rec = harness.recorder();
+  int violations = 0;
+  int probes = 0;
+  for (TimeMicros t = 100'000; t <= 2'900'000; t += 37'000) {
+    ++probes;
+    if (!rec.isConsistent(rec.cutByPerceivedTime(t))) ++violations;
+  }
+  // With skew 40x the latency, most NTP cuts catch a message received
+  // "before" it was sent (Fig. 1).
+  EXPECT_GT(violations, probes / 4);
+}
+
+TEST(ClockBaselines, NtpCutsFineWhenSkewBelowLatency) {
+  ClockHarnessConfig cfg;
+  cfg.nodes = 6;
+  cfg.clocks.maxSkewMicros = 50;  // skew << 300 us base latency
+  cfg.network.baseLatencyMicros = 300;
+  ClockHarness harness(cfg);
+  harness.run(2 * kMicrosPerSecond);
+  const auto& rec = harness.recorder();
+  for (TimeMicros t = 100'000; t <= 1'900'000; t += 91'000) {
+    EXPECT_TRUE(rec.isConsistent(rec.cutByPerceivedTime(t)));
+  }
+}
+
+TEST(ClockBaselines, VcFixupProducesConsistentButStaleCut) {
+  ClockHarnessConfig cfg;
+  cfg.nodes = 6;
+  cfg.clocks.maxSkewMicros = 20'000;
+  ClockHarness harness(cfg);
+  harness.run(3 * kMicrosPerSecond);
+  const auto& rec = harness.recorder();
+
+  uint64_t totalLag = 0;
+  int fixed = 0;
+  for (TimeMicros t = 200'000; t <= 2'800'000; t += 131'000) {
+    const auto ntpCut = rec.cutByPerceivedTime(t);
+    const auto result = maximalConsistentCutBefore(rec, ntpCut);
+    EXPECT_TRUE(rec.isConsistent(result.cut));
+    // Pointwise <= the starting cut.
+    for (size_t n = 0; n < ntpCut.size(); ++n) {
+      EXPECT_LE(result.cut[n], ntpCut[n]);
+    }
+    if (result.retreats > 0) ++fixed;
+    totalLag += cutLag(ntpCut, result.cut);
+  }
+  // Under heavy skew the fixups must actually retreat somewhere.
+  EXPECT_GT(fixed, 0);
+  EXPECT_GT(totalLag, 0u);
+}
+
+TEST(ClockBaselines, WireOverheadHlcConstantVcLinear) {
+  for (size_t n : {4u, 8u, 16u}) {
+    ClockHarnessConfig cfg;
+    cfg.nodes = n;
+    ClockHarness harness(cfg);
+    harness.run(kMicrosPerSecond);
+    EXPECT_EQ(harness.hlcBytesPerMessage(), 8.0);
+    EXPECT_GE(harness.vcBytesPerMessage(), static_cast<double>(n) * 8);
+  }
+}
+
+TEST(ClockBaselines, HlcLogicalComponentStaysSmall) {
+  ClockHarnessConfig cfg;
+  cfg.nodes = 8;
+  cfg.sendPeriodMicros = 500;  // busy traffic
+  ClockHarness harness(cfg);
+  harness.run(5 * kMicrosPerSecond);
+  // The paper: c < 10 in practice. Allow some slack but keep it tiny
+  // relative to the 16-bit bound.
+  EXPECT_LT(harness.maxHlcLogical(), 64u);
+}
+
+TEST(ClockBaselines, HlcDriftBoundedByEpsilon) {
+  ClockHarnessConfig cfg;
+  cfg.nodes = 8;
+  cfg.clocks.maxSkewMicros = 30'000;  // 30 ms
+  ClockHarness harness(cfg);
+  harness.run(3 * kMicrosPerSecond);
+  // l - pt is bounded by the skew between fastest and slowest clocks
+  // (2 * eps in our symmetric-offset model), plus a millisecond of
+  // rounding.
+  EXPECT_LE(harness.maxHlcDriftMillis(), 2 * 30 + 1);
+}
+
+// Property sweep: HLC cuts must be consistent for ANY combination of
+// cluster size, skew, message rate, and seed — including message drops
+// and non-FIFO delivery.
+struct HlcSweepParam {
+  size_t nodes;
+  TimeMicros skew;
+  TimeMicros sendPeriod;
+  double dropProbability;
+  uint64_t seed;
+};
+
+class HlcConsistencySweep : public ::testing::TestWithParam<HlcSweepParam> {};
+
+TEST_P(HlcConsistencySweep, AllHlcCutsConsistent) {
+  const HlcSweepParam p = GetParam();
+  ClockHarnessConfig cfg;
+  cfg.nodes = p.nodes;
+  cfg.clocks.maxSkewMicros = p.skew;
+  cfg.sendPeriodMicros = p.sendPeriod;
+  cfg.network.dropProbability = p.dropProbability;
+  cfg.seed = p.seed;
+  ClockHarness harness(cfg);
+  harness.run(2 * kMicrosPerSecond);
+  const auto& rec = harness.recorder();
+  ASSERT_GT(rec.totalEvents(), 100u);
+  for (int64_t t = 0; t <= 2000; t += 73) {
+    EXPECT_TRUE(rec.isConsistent(
+        rec.cutByHlc({t, hlc::Timestamp::kMaxLogical})))
+        << "nodes=" << p.nodes << " skew=" << p.skew << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HlcConsistencySweep,
+    ::testing::Values(HlcSweepParam{2, 0, 1000, 0.0, 1},
+                      HlcSweepParam{3, 100'000, 500, 0.0, 2},
+                      HlcSweepParam{8, 50'000, 2000, 0.0, 3},
+                      HlcSweepParam{8, 5'000, 300, 0.3, 4},   // heavy loss
+                      HlcSweepParam{16, 20'000, 1000, 0.05, 5},
+                      HlcSweepParam{4, 1'000'000, 5000, 0.0, 6},  // 1 s skew
+                      HlcSweepParam{12, 10'000, 200, 0.1, 7}));
+
+TEST(ClockBaselines, SweepSkewVsConsistency) {
+  // As skew crosses the message latency, NTP cuts go from consistent to
+  // broken while HLC cuts never break.
+  struct Row {
+    TimeMicros skew;
+    int ntpViolations;
+  };
+  std::vector<Row> rows;
+  for (TimeMicros skew : {0ll, 100ll, 1'000ll, 10'000ll, 50'000ll}) {
+    ClockHarnessConfig cfg;
+    cfg.nodes = 5;
+    cfg.clocks.maxSkewMicros = skew;
+    cfg.seed = 17;
+    ClockHarness harness(cfg);
+    harness.run(2 * kMicrosPerSecond);
+    const auto& rec = harness.recorder();
+    int ntpBad = 0;
+    for (TimeMicros t = 100'000; t <= 1'900'000; t += 61'000) {
+      if (!rec.isConsistent(rec.cutByPerceivedTime(t))) ++ntpBad;
+      EXPECT_TRUE(rec.isConsistent(
+          rec.cutByHlc({t / 1000, hlc::Timestamp::kMaxLogical})))
+          << "skew " << skew;
+    }
+    rows.push_back({skew, ntpBad});
+  }
+  EXPECT_EQ(rows.front().ntpViolations, 0);      // no skew: NTP fine
+  EXPECT_GT(rows.back().ntpViolations, 0);       // heavy skew: NTP broken
+}
+
+}  // namespace
+}  // namespace retro::baselines

@@ -1,0 +1,91 @@
+#include "sim/clock_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace retro::sim {
+namespace {
+
+TEST(SkewedClock, OffsetStaysWithinEpsilon) {
+  SimEnv env(1);
+  ClockModelConfig cfg;
+  cfg.maxSkewMicros = 5000;
+  SkewedClock clock(env, cfg, Rng(7));
+  for (int i = 0; i < 2000; ++i) {
+    env.runUntil(env.now() + 1000);
+    const TimeMicros perceived = clock.nowMicros();
+    EXPECT_LE(std::llabs(perceived - env.now()), cfg.maxSkewMicros);
+  }
+}
+
+TEST(SkewedClock, PerceivedTimeAdvances) {
+  SimEnv env(1);
+  ClockModelConfig cfg;
+  SkewedClock clock(env, cfg, Rng(9));
+  TimeMicros prev = clock.nowMicros();
+  for (int i = 0; i < 500; ++i) {
+    env.runUntil(env.now() + 10'000);
+    const TimeMicros now = clock.nowMicros();
+    EXPECT_GE(now, prev);  // drift rate << 1 keeps perceived time monotone
+    prev = now;
+  }
+}
+
+TEST(SkewedClock, ZeroSkewIsExact) {
+  SimEnv env(1);
+  ClockModelConfig cfg;
+  cfg.maxSkewMicros = 0;
+  cfg.driftPpm = 0;
+  SkewedClock clock(env, cfg, Rng(3));
+  env.runUntil(123456);
+  EXPECT_EQ(clock.nowMicros(), 123456);
+  EXPECT_EQ(clock.nowMillis(), 123);
+}
+
+TEST(SkewedClock, DifferentNodesDisagree) {
+  SimEnv env(1);
+  ClockModelConfig cfg;
+  cfg.maxSkewMicros = 50'000;
+  ClockFleet fleet(env, cfg, 8);
+  env.runUntil(kMicrosPerSecond);
+  bool anyDifferent = false;
+  const TimeMicros first = fleet.clock(0).nowMicros();
+  for (NodeId n = 1; n < 8; ++n) {
+    if (fleet.clock(n).nowMicros() != first) anyDifferent = true;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(SkewedClock, ResyncRefreshesOffset) {
+  SimEnv env(1);
+  ClockModelConfig cfg;
+  cfg.maxSkewMicros = 10'000;
+  cfg.resyncPeriodMicros = kMicrosPerSecond;
+  SkewedClock clock(env, cfg, Rng(5));
+  // Sample offsets over many resync periods: they should not be constant.
+  TimeMicros firstOffset = clock.currentOffset();
+  bool changed = false;
+  for (int i = 0; i < 50; ++i) {
+    env.runUntil(env.now() + 2 * kMicrosPerSecond);
+    if (clock.currentOffset() != firstOffset) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(ClockFleet, SizeAndIndependence) {
+  SimEnv env(1);
+  ClockFleet fleet(env, ClockModelConfig{}, 5);
+  EXPECT_EQ(fleet.size(), 5u);
+}
+
+TEST(SkewedClock, NeverNegative) {
+  SimEnv env(1);
+  ClockModelConfig cfg;
+  cfg.maxSkewMicros = 1'000'000;  // skew larger than early sim time
+  SkewedClock clock(env, cfg, Rng(11));
+  EXPECT_GE(clock.nowMicros(), 0);
+}
+
+}  // namespace
+}  // namespace retro::sim

@@ -1,0 +1,73 @@
+#include "core/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::core {
+namespace {
+
+SnapshotRequest req(SnapshotId id) {
+  SnapshotRequest r;
+  r.id = id;
+  r.target = hlc::fromPhysicalMillis(100);
+  return r;
+}
+
+TEST(SnapshotSession, CompletesWhenAllAck) {
+  SnapshotSession s(req(1), {0, 1, 2}, 1000);
+  EXPECT_FALSE(s.isDone());
+  EXPECT_FALSE(s.onAck({1, 0, LocalSnapshotStatus::kComplete, 10}, 2000));
+  EXPECT_FALSE(s.onAck({1, 1, LocalSnapshotStatus::kComplete, 20}, 3000));
+  EXPECT_TRUE(s.onAck({1, 2, LocalSnapshotStatus::kComplete, 30}, 4000));
+  EXPECT_EQ(s.state(), GlobalSnapshotState::kComplete);
+  EXPECT_EQ(s.latencyMicros(), 3000);
+  EXPECT_EQ(s.totalPersistedBytes(), 60u);
+}
+
+TEST(SnapshotSession, PartialWhenNodeOutOfReach) {
+  SnapshotSession s(req(1), {0, 1}, 0);
+  s.onAck({1, 0, LocalSnapshotStatus::kComplete, 0}, 10);
+  s.onAck({1, 1, LocalSnapshotStatus::kOutOfReach, 0}, 20);
+  EXPECT_EQ(s.state(), GlobalSnapshotState::kPartial);
+  EXPECT_EQ(s.failedNodes(), (std::vector<NodeId>{1}));
+}
+
+TEST(SnapshotSession, UnavailableNodeMakesPartial) {
+  SnapshotSession s(req(1), {0, 1}, 0);
+  s.onAck({1, 0, LocalSnapshotStatus::kComplete, 0}, 10);
+  EXPECT_TRUE(s.onNodeUnavailable(1, 50));
+  EXPECT_EQ(s.state(), GlobalSnapshotState::kPartial);
+}
+
+TEST(SnapshotSession, IgnoresWrongIdAndDuplicates) {
+  SnapshotSession s(req(1), {0, 1}, 0);
+  EXPECT_FALSE(s.onAck({2, 0, LocalSnapshotStatus::kComplete, 0}, 10));
+  EXPECT_FALSE(s.onAck({1, 0, LocalSnapshotStatus::kComplete, 5}, 10));
+  // Duplicate ack from node 0 must not count for node 1.
+  EXPECT_FALSE(s.onAck({1, 0, LocalSnapshotStatus::kComplete, 5}, 20));
+  EXPECT_FALSE(s.isDone());
+  EXPECT_EQ(s.pendingNodes(), (std::vector<NodeId>{1}));
+}
+
+TEST(SnapshotSession, PendingNodes) {
+  SnapshotSession s(req(1), {0, 1, 2}, 0);
+  s.onAck({1, 1, LocalSnapshotStatus::kComplete, 0}, 10);
+  EXPECT_EQ(s.pendingNodes(), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(SnapshotSession, AcksAfterDoneIgnored) {
+  SnapshotSession s(req(1), {0}, 0);
+  EXPECT_TRUE(s.onAck({1, 0, LocalSnapshotStatus::kComplete, 0}, 10));
+  EXPECT_FALSE(s.onAck({1, 0, LocalSnapshotStatus::kFailed, 0}, 20));
+  EXPECT_EQ(s.state(), GlobalSnapshotState::kComplete);
+}
+
+TEST(SnapshotIdAllocator, MonotonicAndTagged) {
+  SnapshotIdAllocator a(3);
+  const auto id1 = a.next();
+  const auto id2 = a.next();
+  EXPECT_LT(id1, id2);
+  EXPECT_EQ(id1 >> 32, 3u);
+}
+
+}  // namespace
+}  // namespace retro::core

@@ -1,0 +1,65 @@
+#include "log/diff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::log {
+namespace {
+
+TEST(DiffMap, SetAndApply) {
+  DiffMap d;
+  d.set("a", Value("1"));
+  d.set("b", std::nullopt);  // delete marker
+  std::unordered_map<Key, Value> state{{"b", "old"}, {"c", "keep"}};
+  d.applyTo(state);
+  EXPECT_EQ(state.at("a"), "1");
+  EXPECT_FALSE(state.contains("b"));
+  EXPECT_EQ(state.at("c"), "keep");
+}
+
+TEST(DiffMap, SetOverwrites) {
+  DiffMap d;
+  d.set("a", Value("1"));
+  d.set("a", Value("2"));
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.entries().at("a"), Value("2"));
+}
+
+TEST(DiffMap, SetIfAbsentKeepsFirst) {
+  DiffMap d;
+  d.setIfAbsent("a", Value("first"));
+  d.setIfAbsent("a", Value("second"));
+  EXPECT_EQ(d.entries().at("a"), Value("first"));
+}
+
+TEST(DiffMap, ByteAccounting) {
+  DiffMap d;
+  d.set("key", Value("12345"));  // 3 + 5
+  EXPECT_EQ(d.dataBytes(), 8u);
+  d.set("key", Value("1"));  // 3 + 1
+  EXPECT_EQ(d.dataBytes(), 4u);
+  d.set("key", std::nullopt);  // 3 + 0
+  EXPECT_EQ(d.dataBytes(), 3u);
+}
+
+TEST(DiffMap, ComposeLaterWins) {
+  DiffMap base;
+  base.set("a", Value("1"));
+  base.set("b", Value("2"));
+  DiffMap later;
+  later.set("b", Value("3"));
+  later.set("c", std::nullopt);
+  base.compose(later);
+  EXPECT_EQ(base.entries().at("a"), Value("1"));
+  EXPECT_EQ(base.entries().at("b"), Value("3"));
+  EXPECT_EQ(base.entries().at("c"), std::nullopt);
+}
+
+TEST(DiffMap, EmptyApplyIsNoop) {
+  DiffMap d;
+  std::unordered_map<Key, Value> state{{"x", "1"}};
+  d.applyTo(state);
+  EXPECT_EQ(state.size(), 1u);
+}
+
+}  // namespace
+}  // namespace retro::log

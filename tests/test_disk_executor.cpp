@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/disk.hpp"
+#include "sim/executor.hpp"
+
+namespace retro::sim {
+namespace {
+
+TEST(SimDisk, TransferTimeMatchesBandwidth) {
+  SimEnv env(1);
+  DiskConfig cfg;
+  cfg.readMBps = 100;  // 100 MB/s => 10 MB in 100 ms
+  cfg.seekMicros = 0;
+  SimDisk disk(env, cfg);
+  TimeMicros doneAt = -1;
+  disk.read(10ull << 20, [&] { doneAt = env.now(); });
+  env.run();
+  EXPECT_NEAR(static_cast<double>(doneAt), 104'857.6, 1000.0);
+}
+
+TEST(SimDisk, SeekLatencyAdds) {
+  SimEnv env(1);
+  DiskConfig cfg;
+  cfg.writeMBps = 1000;
+  cfg.seekMicros = 500;
+  SimDisk disk(env, cfg);
+  TimeMicros doneAt = -1;
+  disk.write(0, [&] { doneAt = env.now(); });
+  env.run();
+  EXPECT_EQ(doneAt, 500);
+}
+
+TEST(SimDisk, OperationsSerialize) {
+  SimEnv env(1);
+  DiskConfig cfg;
+  cfg.readMBps = 100;
+  cfg.seekMicros = 0;
+  SimDisk disk(env, cfg);
+  std::vector<TimeMicros> completions;
+  disk.read(10ull << 20, [&] { completions.push_back(env.now()); });
+  disk.read(10ull << 20, [&] { completions.push_back(env.now()); });
+  env.run();
+  ASSERT_EQ(completions.size(), 2u);
+  // The second op starts only after the first finishes.
+  EXPECT_NEAR(static_cast<double>(completions[1]),
+              2.0 * static_cast<double>(completions[0]), 1000.0);
+}
+
+TEST(SimDisk, TracksBytes) {
+  SimEnv env(1);
+  SimDisk disk(env, DiskConfig{});
+  disk.read(100, [] {});
+  disk.write(200, [] {});
+  EXPECT_EQ(disk.bytesRead(), 100u);
+  EXPECT_EQ(disk.bytesWritten(), 200u);
+}
+
+TEST(SimDisk, BusyReflectsQueue) {
+  SimEnv env(1);
+  SimDisk disk(env, DiskConfig{});
+  EXPECT_FALSE(disk.busy());
+  disk.write(10ull << 20, [] {});
+  EXPECT_TRUE(disk.busy());
+  env.run();
+  EXPECT_FALSE(disk.busy());
+}
+
+TEST(Executor, TasksRunAfterServiceTime) {
+  SimEnv env(1);
+  Executor ex(env);
+  TimeMicros ranAt = -1;
+  ex.submit(250, [&] { ranAt = env.now(); });
+  env.run();
+  EXPECT_EQ(ranAt, 250);
+}
+
+TEST(Executor, TasksSerialize) {
+  SimEnv env(1);
+  Executor ex(env);
+  std::vector<TimeMicros> times;
+  ex.submit(100, [&] { times.push_back(env.now()); });
+  ex.submit(100, [&] { times.push_back(env.now()); });
+  ex.submit(100, [&] { times.push_back(env.now()); });
+  env.run();
+  EXPECT_EQ(times, (std::vector<TimeMicros>{100, 200, 300}));
+  EXPECT_EQ(ex.totalBusyMicros(), 300);
+}
+
+TEST(Executor, SlowdownScalesServiceTime) {
+  SimEnv env(1);
+  Executor ex(env);
+  ex.setSlowdownFactor(3.0);
+  TimeMicros ranAt = -1;
+  ex.submit(100, [&] { ranAt = env.now(); });
+  env.run();
+  EXPECT_EQ(ranAt, 300);
+}
+
+TEST(Executor, SlowdownFloorIsOne) {
+  SimEnv env(1);
+  Executor ex(env);
+  ex.setSlowdownFactor(0.1);
+  EXPECT_EQ(ex.slowdownFactor(), 1.0);
+}
+
+TEST(Executor, IdleGapThenNewTask) {
+  SimEnv env(1);
+  Executor ex(env);
+  ex.submit(10, [] {});
+  env.run();
+  EXPECT_EQ(env.now(), 10);
+  // Executor idle; new task starts from now, not from old busyUntil.
+  TimeMicros ranAt = -1;
+  ex.submit(10, [&] { ranAt = env.now(); });
+  env.run();
+  EXPECT_EQ(ranAt, 20);
+}
+
+}  // namespace
+}  // namespace retro::sim

@@ -1,0 +1,60 @@
+#include "log/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "log/window_log.hpp"
+
+namespace retro::log {
+namespace {
+
+TEST(Estimator, MatchesPaperFormula) {
+  // St = Δt * Ra * (2*Si + Sk + S_HLC + S_o)
+  EstimatorParams p;
+  p.appendsPerSecond = 5000;
+  p.avgItemBytes = 100;
+  p.avgKeyBytes = 14;
+  p.hlcBytes = 8;
+  p.overheadBytes = 152;
+  const double perEntry = 2 * 100 + 14 + 8 + 152;  // 374
+  EXPECT_DOUBLE_EQ(estimateLogBytes(p, 60.0), 60.0 * 5000 * perEntry);
+}
+
+TEST(Estimator, ReachIsInverse) {
+  EstimatorParams p;
+  p.appendsPerSecond = 1000;
+  p.avgItemBytes = 100;
+  p.avgKeyBytes = 14;
+  const double budget = 2.0 * (1ull << 30);
+  const double reach = estimateReachSeconds(p, budget);
+  EXPECT_NEAR(estimateLogBytes(p, reach), budget, 1.0);
+}
+
+TEST(Estimator, ZeroRateHasZeroReach) {
+  EstimatorParams p;
+  EXPECT_EQ(estimateReachSeconds(p, 1e9), 0.0);
+}
+
+TEST(Estimator, PredictsActualWindowLogAccounting) {
+  // The live WindowLog byte accounting must agree with the formula when
+  // fed a uniform workload — this is the Fig. 13 "projected log size".
+  WindowLogConfig cfg;
+  cfg.perEntryOverheadBytes = 152;
+  cfg.hlcBytes = 8;
+  WindowLog wlog(cfg);
+  const size_t itemBytes = 100;
+  const size_t keyBytes = 14;
+  const int appends = 5000;
+  for (int i = 0; i < appends; ++i) {
+    wlog.append(Key(keyBytes, 'k'), Value(itemBytes, 'o'),
+                Value(itemBytes, 'n'), hlc::Timestamp{i + 1, 0});
+  }
+  EstimatorParams p;
+  p.appendsPerSecond = appends;  // 1 second's worth
+  p.avgItemBytes = itemBytes;
+  p.avgKeyBytes = keyBytes;
+  EXPECT_DOUBLE_EQ(estimateLogBytes(p, 1.0),
+                   static_cast<double>(wlog.accountedBytes()));
+}
+
+}  // namespace
+}  // namespace retro::log

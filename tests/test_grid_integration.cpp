@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "grid/grid_cluster.hpp"
+#include "workload/driver.hpp"
+
+namespace retro::grid {
+namespace {
+
+GridConfig smallGrid(uint64_t seed = 1, Mode mode = Mode::kFull) {
+  GridConfig cfg;
+  cfg.members = 3;
+  cfg.clients = 4;
+  cfg.seed = seed;
+  cfg.member.mode = mode;
+  return cfg;
+}
+
+std::vector<workload::ClientHandle> handlesOf(GridCluster& cluster) {
+  std::vector<workload::ClientHandle> handles;
+  for (size_t i = 0; i < cluster.clientCount(); ++i) {
+    GridClient* c = &cluster.client(i);
+    workload::ClientHandle h;
+    h.put = [c](const Key& k, Value v,
+                std::function<void(bool, TimeMicros)> done) {
+      c->put(k, std::move(v), std::move(done));
+    };
+    h.get = [c](const Key& k, std::function<void(bool, TimeMicros)> done) {
+      c->get(k, [done = std::move(done)](bool ok, TimeMicros lat, OptValue) {
+        done(ok, lat);
+      });
+    };
+    handles.push_back(std::move(h));
+  }
+  return handles;
+}
+
+TEST(PartitionTableBasics, KeysCoverAllPartitions) {
+  PartitionTable table(3, 271, 1);
+  std::vector<bool> hit(271, false);
+  for (int i = 0; i < 100000; ++i) {
+    hit[table.partitionOf("key" + std::to_string(i))] = true;
+  }
+  for (uint32_t p = 0; p < 271; ++p) EXPECT_TRUE(hit[p]) << p;
+}
+
+TEST(PartitionTableBasics, OwnershipPartitionsEvenly) {
+  PartitionTable table(3, 271, 1);
+  size_t total = 0;
+  for (NodeId m = 0; m < 3; ++m) {
+    const auto owned = table.partitionsOwnedBy(m);
+    EXPECT_GE(owned.size(), 271u / 3);
+    EXPECT_LE(owned.size(), 271u / 3 + 1);
+    total += owned.size();
+  }
+  EXPECT_EQ(total, 271u);
+}
+
+TEST(PartitionTableBasics, BackupsExcludeOwner) {
+  PartitionTable table(3, 271, 1);
+  for (uint32_t p = 0; p < 271; ++p) {
+    const auto backups = table.backupsOf(p);
+    ASSERT_EQ(backups.size(), 1u);
+    EXPECT_NE(backups[0], table.ownerOf(p));
+  }
+}
+
+TEST(PartitionTableBasics, BackupsClampedToMembers) {
+  PartitionTable table(2, 271, 5);
+  EXPECT_EQ(table.backupCount(), 1u);
+}
+
+TEST(GridBasics, PutThenGet) {
+  GridCluster cluster(smallGrid());
+  bool ok = false;
+  cluster.client(0).put("hello", "world", [&](bool o, TimeMicros) { ok = o; });
+  cluster.env().run();
+  EXPECT_TRUE(ok);
+  OptValue got;
+  cluster.client(1).get("hello", [&](bool, TimeMicros, OptValue v) { got = v; });
+  cluster.env().run();
+  EXPECT_EQ(got, Value("world"));
+}
+
+TEST(GridBasics, OwnerHoldsPrimaryCopy) {
+  GridCluster cluster(smallGrid());
+  cluster.client(0).put("bk", "v", [](bool, TimeMicros) {});
+  cluster.env().run();
+  const uint32_t p = cluster.partitionTable().partitionOf("bk");
+  const NodeId owner = cluster.partitionTable().ownerOf(p);
+  const auto* data = cluster.member(owner).partitionData(p);
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->at("bk"), "v");
+}
+
+TEST(GridBasics, PreloadAndCounts) {
+  GridCluster cluster(smallGrid());
+  cluster.preload(1000, 50);
+  EXPECT_EQ(cluster.totalPrimaryItems(), 1000u);
+  OptValue got;
+  cluster.client(0).get(GridCluster::keyOf(7),
+                        [&](bool, TimeMicros, OptValue v) { got = v; });
+  cluster.env().run();
+  EXPECT_EQ(got, Value(std::string(50, 'g')));
+}
+
+TEST(GridBasics, DriverLoad) {
+  GridCluster cluster(smallGrid());
+  cluster.preload(2000, 100);
+  workload::DriverConfig dcfg;
+  dcfg.workload.keySpace = 2000;
+  dcfg.workload.valueBytes = 100;
+  workload::ClosedLoopDriver driver(cluster.env(), handlesOf(cluster),
+                                    GridCluster::keyOf, dcfg);
+  driver.start(2 * kMicrosPerSecond);
+  cluster.env().run();
+  EXPECT_GT(driver.opsIssued(), 2000u);
+  EXPECT_EQ(driver.opsFailed(), 0u);
+}
+
+TEST(GridBasics, HeartbeatsFlowWithHlc) {
+  GridCluster cluster(smallGrid());
+  cluster.env().runUntil(5 * kMicrosPerSecond);
+  // With no client traffic at all, the members' HLCs must still advance
+  // via heartbeats (HLC is implanted in health monitoring too, §IV-B).
+  for (size_t m = 0; m < cluster.memberCount(); ++m) {
+    EXPECT_GT(cluster.member(m).retroscope().now().l, 3000);
+  }
+}
+
+TEST(GridBasics, OriginalModeHasNoHlcOrLogs) {
+  GridCluster cluster(smallGrid(2, Mode::kOriginal));
+  cluster.client(0).put("k", "v", [](bool, TimeMicros) {});
+  cluster.env().runUntil(3 * kMicrosPerSecond);
+  for (size_t m = 0; m < cluster.memberCount(); ++m) {
+    EXPECT_EQ(cluster.member(m).retroscope().now(), hlc::kZero);
+    EXPECT_EQ(cluster.member(m).retroscope().appendCount(), 0u);
+  }
+}
+
+TEST(GridBasics, HlcOnlyModeSkipsWindowLog) {
+  GridCluster cluster(smallGrid(3, Mode::kHlcOnly));
+  cluster.client(0).put("k", "v", [](bool, TimeMicros) {});
+  cluster.env().runUntil(2 * kMicrosPerSecond);
+  bool hlcAdvanced = false;
+  for (size_t m = 0; m < cluster.memberCount(); ++m) {
+    if (cluster.member(m).retroscope().now().l > 0) hlcAdvanced = true;
+    EXPECT_EQ(cluster.member(m).retroscope().appendCount(), 0u);
+  }
+  EXPECT_TRUE(hlcAdvanced);
+}
+
+TEST(GridBasics, FullModeAppendsToPartitionLog) {
+  GridConfig cfg = smallGrid();
+  cfg.heartbeats = false;
+  GridCluster cluster(cfg);
+  cluster.client(0).put("logged", "v", [](bool, TimeMicros) {});
+  cluster.env().run();
+  const uint32_t p = cluster.partitionTable().partitionOf("logged");
+  const NodeId owner = cluster.partitionTable().ownerOf(p);
+  auto& rs = cluster.member(owner).retroscope();
+  EXPECT_TRUE(rs.hasLog(GridMember::partitionLogName(p)));
+  EXPECT_EQ(rs.getLog(GridMember::partitionLogName(p)).entryCount(), 1u);
+}
+
+TEST(GridBasics, WireBytesShrinkInOriginalMode) {
+  // HLC costs exactly 8 bytes per message; original mode must send less.
+  const auto bytesFor = [](Mode mode) {
+    GridConfig cfg = smallGrid(4, mode);
+    cfg.heartbeats = false;
+    GridCluster cluster(cfg);
+    for (int i = 0; i < 100; ++i) {
+      cluster.client(0).put("k" + std::to_string(i), "v",
+                            [](bool, TimeMicros) {});
+    }
+    cluster.env().run();
+    return std::make_pair(cluster.network().bytesSent(),
+                          cluster.network().messagesSent());
+  };
+  const auto [fullBytes, fullMsgs] = bytesFor(Mode::kFull);
+  const auto [origBytes, origMsgs] = bytesFor(Mode::kOriginal);
+  ASSERT_EQ(fullMsgs, origMsgs);
+  EXPECT_EQ(fullBytes - origBytes, fullMsgs * 8);
+}
+
+TEST(GridBasics, ModesAreDeterministic) {
+  const auto run = [] {
+    GridCluster cluster(smallGrid(55));
+    cluster.preload(500, 50);
+    workload::DriverConfig dcfg;
+    dcfg.workload.keySpace = 500;
+    workload::ClosedLoopDriver driver(cluster.env(), handlesOf(cluster),
+                                      GridCluster::keyOf, dcfg);
+    driver.start(kMicrosPerSecond);
+    cluster.env().run();
+    return driver.opsIssued();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace retro::grid

@@ -1,0 +1,103 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace retro {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.99), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_NEAR(h.mean(), 1000, 0.01);
+  // ~1/32 relative bucket error expected.
+  EXPECT_NEAR(h.percentile(0.5), 1000, 1000 * 0.05);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+}
+
+TEST(Histogram, PercentilesApproximateSortedData) {
+  Rng rng(1);
+  Histogram h;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = static_cast<int64_t>(rng.nextExponential(2000.0));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const int64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const int64_t approx = h.percentile(q);
+    // HDR-style histograms have bounded relative error.
+    EXPECT_NEAR(approx, exact, std::max<int64_t>(exact * 0.07, 2))
+        << "quantile " << q;
+  }
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, RecordNWeights) {
+  Histogram h;
+  h.recordN(10, 5);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.mean(), 10.0, 1.0);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(100);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  h.record(7);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_GT(a.percentile(0.99), 500);
+  EXPECT_LT(a.percentile(0.25), 50);
+}
+
+TEST(Histogram, LargeValues) {
+  Histogram h;
+  const int64_t big = 1ll << 40;
+  h.record(big);
+  EXPECT_EQ(h.max(), big);
+  EXPECT_NEAR(static_cast<double>(h.percentile(1.0)),
+              static_cast<double>(big), static_cast<double>(big) * 0.05);
+}
+
+}  // namespace
+}  // namespace retro

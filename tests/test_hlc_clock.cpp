@@ -1,0 +1,161 @@
+#include "hlc/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace retro::hlc {
+namespace {
+
+/// A scripted physical clock for exercising the HLC algorithm.
+class FakePhysicalClock final : public PhysicalClock {
+ public:
+  int64_t nowMillis() override { return now_; }
+  void set(int64_t t) { now_ = t; }
+  void advance(int64_t d) { now_ += d; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+TEST(HlcClock, LocalTickFollowsPhysicalClock) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(100);
+  EXPECT_EQ(clock.tick(), (Timestamp{100, 0}));
+  pt.set(105);
+  EXPECT_EQ(clock.tick(), (Timestamp{105, 0}));
+}
+
+TEST(HlcClock, StalledPhysicalClockIncrementsLogical) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(50);
+  EXPECT_EQ(clock.tick(), (Timestamp{50, 0}));
+  EXPECT_EQ(clock.tick(), (Timestamp{50, 1}));
+  EXPECT_EQ(clock.tick(), (Timestamp{50, 2}));
+  pt.set(51);
+  EXPECT_EQ(clock.tick(), (Timestamp{51, 0}));  // c resets when l advances
+}
+
+TEST(HlcClock, ReceiveFromFutureAdoptsRemoteL) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(10);
+  clock.tick();
+  // Remote node is 5 ms ahead.
+  EXPECT_EQ(clock.tick(Timestamp{15, 2}), (Timestamp{15, 3}));
+  // Local physical clock still behind: logical keeps counting.
+  EXPECT_EQ(clock.tick(), (Timestamp{15, 4}));
+  // Once pt passes l, physical resumes driving.
+  pt.set(16);
+  EXPECT_EQ(clock.tick(), (Timestamp{16, 0}));
+}
+
+TEST(HlcClock, ReceiveFromPastKeepsLocal) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(100);
+  clock.tick();
+  EXPECT_EQ(clock.tick(Timestamp{40, 9}), (Timestamp{100, 1}));
+}
+
+TEST(HlcClock, ReceiveWithEqualLTakesMaxC) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(10);
+  clock.tick();  // (10,0)
+  clock.tick();  // (10,1)
+  EXPECT_EQ(clock.tick(Timestamp{10, 7}), (Timestamp{10, 8}));
+  EXPECT_EQ(clock.tick(Timestamp{10, 2}), (Timestamp{10, 9}));
+}
+
+TEST(HlcClock, PaperFigure2Scenario) {
+  // Reproduce the shape of Fig. 2: three processes with skewed physical
+  // clocks; messages carry timestamps; HLC must stay strictly increasing
+  // along every causal chain.
+  FakePhysicalClock p0;
+  FakePhysicalClock p1;
+  FakePhysicalClock p2;
+  Clock c0(p0);
+  Clock c1(p1);
+  Clock c2(p2);
+  p0.set(12);  // p0 runs ahead
+  p1.set(10);
+  p2.set(8);   // p2 runs behind (eps = 4)
+
+  const Timestamp send0 = c0.tick();          // send on fast node
+  const Timestamp recv1 = c1.tick(send0);     // receive on middle node
+  EXPECT_GT(recv1, send0);
+  const Timestamp send1 = c1.tick();          // forward
+  EXPECT_GT(send1, recv1);
+  const Timestamp recv2 = c2.tick(send1);     // receive on slow node
+  EXPECT_GT(recv2, send1);
+  // The slow node's l has been pulled up to the fast node's clock.
+  EXPECT_GE(recv2.l, send0.l);
+}
+
+TEST(HlcClock, MonotonicAcrossMixedEvents) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  Timestamp prev = clock.current();
+  pt.set(1);
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp t;
+    if (i % 3 == 0) {
+      t = clock.tick(Timestamp{pt.nowMillis() + (i % 7), static_cast<uint32_t>(i % 5)});
+    } else {
+      t = clock.tick();
+    }
+    EXPECT_GT(t, prev);
+    prev = t;
+    if (i % 4 == 0) pt.advance(1);
+  }
+}
+
+TEST(HlcClock, DriftIsBoundedByRemoteLead) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(100);
+  clock.tick(Timestamp{110, 0});  // remote 10ms ahead
+  EXPECT_LE(clock.maxDriftMillis(), 10);
+  EXPECT_GE(clock.maxDriftMillis(), 10);
+}
+
+TEST(HlcClock, WrapUnwrapRoundTrip) {
+  FakePhysicalClock ptA;
+  FakePhysicalClock ptB;
+  Clock a(ptA);
+  Clock b(ptB);
+  ptA.set(500);
+  ptB.set(490);
+
+  ByteWriter w;
+  const Timestamp sent = wrapHlc(a, w);
+  w.writeBytes("payload");
+
+  ByteReader r(w.view());
+  const Timestamp received = unwrapHlc(b, r);
+  EXPECT_GT(received, sent);          // logical clock condition
+  EXPECT_EQ(r.readBytes(), "payload");  // payload intact after header
+}
+
+TEST(HlcClock, CurrentDoesNotAdvance) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(5);
+  const Timestamp t = clock.tick();
+  EXPECT_EQ(clock.current(), t);
+  EXPECT_EQ(clock.current(), t);
+}
+
+TEST(HlcClock, WallClockTicksForward) {
+  WallPhysicalClock wall;
+  const int64_t a = wall.nowMillis();
+  const int64_t b = wall.nowMillis();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 1'500'000'000'000ll);  // after 2017, sanity
+}
+
+}  // namespace
+}  // namespace retro::hlc

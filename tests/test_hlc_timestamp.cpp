@@ -1,0 +1,78 @@
+#include "hlc/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace retro::hlc {
+namespace {
+
+TEST(HlcTimestamp, DefaultIsZero) {
+  Timestamp t;
+  EXPECT_TRUE(t.isZero());
+  EXPECT_EQ(t, kZero);
+}
+
+TEST(HlcTimestamp, Ordering) {
+  EXPECT_LT((Timestamp{5, 0}), (Timestamp{6, 0}));
+  EXPECT_LT((Timestamp{5, 1}), (Timestamp{5, 2}));
+  EXPECT_LT((Timestamp{5, 9}), (Timestamp{6, 0}));
+  EXPECT_EQ((Timestamp{5, 1}), (Timestamp{5, 1}));
+}
+
+TEST(HlcTimestamp, PackUnpackRoundTrip) {
+  const Timestamp cases[] = {
+      {0, 0}, {1, 0}, {0, 1}, {123456789, 42}, {(1ll << 48) - 1, 0xffff}};
+  for (const Timestamp& t : cases) {
+    const Timestamp back = Timestamp::unpack(t.pack());
+    EXPECT_EQ(back, t) << t.toString();
+  }
+}
+
+TEST(HlcTimestamp, PackedOrderEqualsTimestampOrder) {
+  // The paper's key encoding property: the 64-bit packed value compares
+  // exactly like (l, c), so HLC can replace an NTP timestamp anywhere
+  // integer timestamps are ordered.
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    Timestamp a{rng.nextInt(0, 1ll << 40),
+                static_cast<uint32_t>(rng.nextBounded(1 << 16))};
+    Timestamp b{rng.nextInt(0, 1ll << 40),
+                static_cast<uint32_t>(rng.nextBounded(1 << 16))};
+    EXPECT_EQ(a < b, a.pack() < b.pack());
+    EXPECT_EQ(a == b, a.pack() == b.pack());
+  }
+}
+
+TEST(HlcTimestamp, WireFormatIsEightBytes) {
+  ByteWriter w;
+  Timestamp{77, 3}.writeTo(w);
+  EXPECT_EQ(w.size(), Timestamp::kWireSize);
+  ByteReader r(w.view());
+  EXPECT_EQ(Timestamp::readFrom(r), (Timestamp{77, 3}));
+}
+
+TEST(HlcTimestamp, PackRejectsOutOfRange) {
+  EXPECT_THROW((Timestamp{-1, 0}).pack(), std::invalid_argument);
+  EXPECT_THROW((Timestamp{1ll << 48, 0}).pack(), std::invalid_argument);
+  EXPECT_THROW((Timestamp{0, 1 << 16}).pack(), std::invalid_argument);
+}
+
+TEST(HlcTimestamp, FortyEightBitsCoverCenturies) {
+  // 2^48 ms ~ 8925 years: comfortably NTP-era compatible.
+  const int64_t year3000Millis = 32503680000000ll;
+  EXPECT_NO_THROW((Timestamp{year3000Millis, 0}).pack());
+}
+
+TEST(HlcTimestamp, ToStringMatchesPaperFormat) {
+  EXPECT_EQ((Timestamp{3, 2}).toString(), "3,2");
+}
+
+TEST(HlcTimestamp, FromPhysicalMillis) {
+  const Timestamp t = fromPhysicalMillis(555);
+  EXPECT_EQ(t.l, 555);
+  EXPECT_EQ(t.c, 0u);
+}
+
+}  // namespace
+}  // namespace retro::hlc

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "kvstore/cluster.hpp"
+#include "workload/driver.hpp"
+
+namespace retro::kv {
+namespace {
+
+ClusterConfig smallConfig(uint64_t seed = 1) {
+  ClusterConfig cfg;
+  cfg.servers = 4;
+  cfg.clients = 4;
+  cfg.seed = seed;
+  cfg.server.logConfig.maxBytes = 0;  // unbounded for oracle checks
+  cfg.server.bdb.cleanerEnabled = false;
+  return cfg;
+}
+
+std::vector<workload::ClientHandle> handlesOf(VoldemortCluster& cluster) {
+  std::vector<workload::ClientHandle> handles;
+  for (size_t i = 0; i < cluster.clientCount(); ++i) {
+    VoldemortClient* c = &cluster.client(i);
+    workload::ClientHandle h;
+    h.put = [c](const Key& k, Value v, std::function<void(bool, TimeMicros)> done) {
+      c->put(k, std::move(v), std::move(done));
+    };
+    h.get = [c](const Key& k, std::function<void(bool, TimeMicros)> done) {
+      c->get(k, [done = std::move(done)](bool ok, TimeMicros lat, OptValue) {
+        done(ok, lat);
+      });
+    };
+    handles.push_back(std::move(h));
+  }
+  return handles;
+}
+
+TEST(KvCluster, PutThenGetRoundTrip) {
+  VoldemortCluster cluster(smallConfig());
+  bool putOk = false;
+  cluster.client(0).put("mykey", "myvalue", [&](bool ok, TimeMicros) {
+    putOk = ok;
+  });
+  cluster.env().run();
+  EXPECT_TRUE(putOk);
+
+  OptValue got;
+  cluster.client(1).get("mykey", [&](bool, TimeMicros, OptValue v) {
+    got = std::move(v);
+  });
+  cluster.env().run();
+  EXPECT_EQ(got, Value("myvalue"));
+}
+
+TEST(KvCluster, ReplicationPlacesCopies) {
+  VoldemortCluster cluster(smallConfig());
+  cluster.client(0).put("repl", "x", [](bool, TimeMicros) {});
+  cluster.env().run();
+  int copies = 0;
+  for (size_t s = 0; s < cluster.serverCount(); ++s) {
+    if (cluster.server(s).bdb().get("repl")) ++copies;
+  }
+  EXPECT_EQ(copies, 2);  // replication factor 2
+  // Placement matches the ring's preference list.
+  for (NodeId n : cluster.ring().preferenceList("repl", 2)) {
+    EXPECT_TRUE(cluster.server(n).bdb().get("repl").has_value());
+  }
+}
+
+TEST(KvCluster, MissingKeyReturnsNullopt) {
+  VoldemortCluster cluster(smallConfig());
+  OptValue got = Value("sentinel");
+  cluster.client(0).get("nosuchkey", [&](bool ok, TimeMicros, OptValue v) {
+    EXPECT_TRUE(ok);
+    got = std::move(v);
+  });
+  cluster.env().run();
+  EXPECT_EQ(got, std::nullopt);
+}
+
+TEST(KvCluster, PreloadIsVisible) {
+  VoldemortCluster cluster(smallConfig());
+  cluster.preload(100, 50);
+  OptValue got;
+  cluster.client(0).get(VoldemortCluster::keyOf(42),
+                        [&](bool, TimeMicros, OptValue v) { got = v; });
+  cluster.env().run();
+  EXPECT_EQ(got, Value(std::string(50, 'v')));
+  EXPECT_EQ(cluster.totalStoredItems(), 200u);  // 100 keys x 2 replicas
+}
+
+TEST(KvCluster, DriverGeneratesLoad) {
+  VoldemortCluster cluster(smallConfig());
+  cluster.preload(1000, 20);
+  workload::DriverConfig dcfg;
+  dcfg.workload.writeFraction = 0.5;
+  dcfg.workload.keySpace = 1000;
+  dcfg.workload.valueBytes = 20;
+  workload::ClosedLoopDriver driver(cluster.env(), handlesOf(cluster),
+                                    VoldemortCluster::keyOf, dcfg);
+  driver.start(2 * kMicrosPerSecond);
+  cluster.env().run();
+  EXPECT_GT(driver.opsIssued(), 1000u);
+  EXPECT_EQ(driver.opsFailed(), 0u);
+  // Write fraction close to configured.
+  const double wf = static_cast<double>(driver.writesIssued()) /
+                    static_cast<double>(driver.opsIssued());
+  EXPECT_NEAR(wf, 0.5, 0.05);
+  // Recorder produced per-second points with sane latencies.
+  driver.recorder().flush(cluster.env().now());
+  ASSERT_GE(driver.recorder().points().size(), 2u);
+  EXPECT_GT(driver.recorder().points()[1].throughputOpsPerSec, 100.0);
+  EXPECT_GT(driver.recorder().points()[1].meanLatencyMicros, 100.0);
+}
+
+TEST(KvCluster, HlcPropagatesThroughClients) {
+  // Servers never talk to each other directly, yet their HLCs must stay
+  // causally related through client traffic (§IV-A).
+  VoldemortCluster cluster(smallConfig());
+  cluster.preload(50, 10);
+  workload::DriverConfig dcfg;
+  dcfg.workload.keySpace = 50;
+  dcfg.workload.valueBytes = 10;
+  workload::ClosedLoopDriver driver(cluster.env(), handlesOf(cluster),
+                                    VoldemortCluster::keyOf, dcfg);
+  driver.start(kMicrosPerSecond);
+  cluster.env().run();
+  // All server HLCs should be within (skew + message latency) of each
+  // other, far tighter than unsynchronized clocks would allow.
+  int64_t minL = INT64_MAX;
+  int64_t maxL = 0;
+  for (size_t s = 0; s < cluster.serverCount(); ++s) {
+    const int64_t l = cluster.server(s).retroscope().now().l;
+    minL = std::min(minL, l);
+    maxL = std::max(maxL, l);
+  }
+  EXPECT_LE(maxL - minL, 50);  // millis
+}
+
+TEST(KvCluster, SecondWriteBySameClientWins) {
+  VoldemortCluster cluster(smallConfig());
+  cluster.client(0).put("k", "v1", [](bool, TimeMicros) {});
+  cluster.env().run();
+  const NodeId primary = cluster.ring().preferenceList("k", 2)[0];
+  EXPECT_EQ(cluster.server(primary).bdb().get("k"), Value("v1"));
+  cluster.client(0).put("k", "v2", [](bool, TimeMicros) {});
+  cluster.env().run();
+  EXPECT_EQ(cluster.server(primary).bdb().get("k"), Value("v2"));
+}
+
+TEST(KvCluster, ConcurrentWritesDetectConflict) {
+  VoldemortCluster cluster(smallConfig());
+  // Two clients blind-write the same key: versions {c1:1} vs {c2:1} are
+  // concurrent, so the later arrival at each replica counts a conflict.
+  cluster.client(0).put("contested", "a", [](bool, TimeMicros) {});
+  cluster.client(1).put("contested", "b", [](bool, TimeMicros) {});
+  cluster.env().run();
+  uint64_t conflicts = 0;
+  for (size_t s = 0; s < cluster.serverCount(); ++s) {
+    conflicts += cluster.server(s).conflictsDetected();
+  }
+  EXPECT_GE(conflicts, 1u);
+}
+
+TEST(KvCluster, CrashedServerTimesOutOps) {
+  ClusterConfig cfg = smallConfig();
+  cfg.client.opTimeoutMicros = 200'000;
+  VoldemortCluster cluster(cfg);
+  // Crash every server: all ops must fail by timeout, not hang.
+  for (size_t s = 0; s < cluster.serverCount(); ++s) cluster.server(s).crash();
+  bool failed = false;
+  cluster.client(0).put("k", "v", [&](bool ok, TimeMicros) { failed = !ok; });
+  cluster.env().run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(cluster.client(0).opsTimedOut(), 1u);
+}
+
+TEST(KvCluster, WindowLogDisabledModeSkipsAppends) {
+  ClusterConfig cfg = smallConfig();
+  cfg.server.windowLogEnabled = false;
+  VoldemortCluster cluster(cfg);
+  cluster.client(0).put("k", "v", [](bool, TimeMicros) {});
+  cluster.env().run();
+  for (size_t s = 0; s < cluster.serverCount(); ++s) {
+    EXPECT_EQ(cluster.server(s).retroscope().appendCount(), 0u);
+  }
+}
+
+TEST(KvCluster, DeterministicAcrossIdenticalRuns) {
+  const auto run = [] {
+    VoldemortCluster cluster(smallConfig(77));
+    cluster.preload(200, 20);
+    workload::DriverConfig dcfg;
+    dcfg.workload.keySpace = 200;
+    workload::ClosedLoopDriver driver(cluster.env(), handlesOf(cluster),
+                                      VoldemortCluster::keyOf, dcfg);
+    driver.start(kMicrosPerSecond);
+    cluster.env().run();
+    uint64_t puts = 0;
+    for (size_t s = 0; s < cluster.serverCount(); ++s) {
+      puts += cluster.server(s).putsProcessed();
+    }
+    return std::make_pair(driver.opsIssued(), puts);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace retro::kv

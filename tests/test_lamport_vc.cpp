@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "hlc/lamport.hpp"
+#include "hlc/vector_clock.hpp"
+
+namespace retro::hlc {
+namespace {
+
+TEST(Lamport, LocalTickIncrements) {
+  LamportClock lc;
+  EXPECT_EQ(lc.tick(), 1u);
+  EXPECT_EQ(lc.tick(), 2u);
+  EXPECT_EQ(lc.current(), 2u);
+}
+
+TEST(Lamport, ReceiveJumpsPastRemote) {
+  LamportClock lc;
+  lc.tick();
+  EXPECT_EQ(lc.tick(10), 11u);
+  EXPECT_EQ(lc.tick(5), 12u);  // older remote doesn't move us back
+}
+
+TEST(Lamport, LogicalClockCondition) {
+  // e hb f across a message => LC.e < LC.f.
+  LamportClock a;
+  LamportClock b;
+  const uint64_t sendTs = a.tick();
+  const uint64_t recvTs = b.tick(sendTs);
+  EXPECT_LT(sendTs, recvTs);
+}
+
+TEST(VectorClock, TickIncrementsOwnSlot) {
+  VectorClock v(1, 3);
+  v.tick();
+  v.tick();
+  EXPECT_EQ(v.current(), (std::vector<uint64_t>{0, 2, 0}));
+}
+
+TEST(VectorClock, ReceiveTakesPointwiseMax) {
+  VectorClock v(0, 3);
+  v.tick();  // {1,0,0}
+  v.tick(std::vector<uint64_t>{0, 5, 2});
+  EXPECT_EQ(v.current(), (std::vector<uint64_t>{2, 5, 2}));
+}
+
+TEST(VectorClock, HappenedBefore) {
+  const std::vector<uint64_t> a{1, 2, 0};
+  const std::vector<uint64_t> b{1, 3, 1};
+  EXPECT_TRUE(VectorClock::happenedBefore(a, b));
+  EXPECT_FALSE(VectorClock::happenedBefore(b, a));
+  EXPECT_FALSE(VectorClock::happenedBefore(a, a));
+}
+
+TEST(VectorClock, Concurrent) {
+  const std::vector<uint64_t> a{2, 0};
+  const std::vector<uint64_t> b{0, 2};
+  EXPECT_TRUE(VectorClock::concurrent(a, b));
+  EXPECT_FALSE(VectorClock::concurrent(a, a));
+}
+
+TEST(VectorClock, CausalChainThroughMessages) {
+  VectorClock a(0, 3);
+  VectorClock b(1, 3);
+  VectorClock c(2, 3);
+  const auto sentA = a.tick();
+  const auto recvB = b.tick(sentA);
+  const auto sentB = b.tick();
+  const auto recvC = c.tick(sentB);
+  EXPECT_TRUE(VectorClock::happenedBefore(sentA, recvC));
+  (void)recvB;
+}
+
+TEST(VectorClock, WireSizeIsThetaN) {
+  // The paper's core complaint: VC costs Theta(n) per message.
+  for (size_t n : {3u, 10u, 64u}) {
+    VectorClock v(0, n);
+    EXPECT_EQ(v.wireSize(), n * 8);
+    ByteWriter w;
+    v.writeTo(w);
+    EXPECT_GE(w.size(), n * 8);  // plus the length prefix
+  }
+}
+
+TEST(VectorClock, SerializationRoundTrip) {
+  VectorClock v(2, 4);
+  v.tick();
+  v.tick(std::vector<uint64_t>{9, 0, 0, 3});
+  ByteWriter w;
+  v.writeTo(w);
+  ByteReader r(w.view());
+  EXPECT_EQ(VectorClock::readFrom(r), v.current());
+}
+
+TEST(VectorClock, DimensionMismatchThrows) {
+  VectorClock v(0, 3);
+  EXPECT_THROW(v.tick(std::vector<uint64_t>{1, 2}), std::invalid_argument);
+  EXPECT_THROW(
+      VectorClock::happenedBefore({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace retro::hlc

@@ -1,0 +1,131 @@
+// Randomized interleaving test: window-log appends, age/size trimming,
+// archiving, periodic compaction and diff queries interleaved in random
+// orders, all checked against a brute-force forward oracle.  This is the
+// closest thing to a model-checking pass over the retrospection stack.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.hpp"
+#include "core/optimizations.hpp"
+#include "log/archive.hpp"
+#include "log/window_log.hpp"
+
+namespace retro::log {
+namespace {
+
+hlc::Timestamp ts(int64_t l) { return {l, 0}; }
+
+class LogFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LogFuzz, RandomInterleavingsMatchOracle) {
+  Rng rng(GetParam());
+  WindowLog wlog;  // unbounded live log; the archive drives truncation
+  ArchiveConfig acfg;
+  LogArchive archive(acfg);
+  std::unordered_map<Key, Value> state;
+  // Oracle: state after each timestamp (dense; timestamps == op index).
+  std::vector<std::unordered_map<Key, Value>> history;
+  history.push_back(state);
+
+  const int keySpace = static_cast<int>(5 + rng.nextBounded(50));
+  const int ops = 1500;
+  int64_t now = 0;
+  int64_t archivedThrough = 0;
+
+  for (int round = 0; round < ops; ++round) {
+    const uint64_t action = rng.nextBounded(100);
+    if (action < 70 || now < 10) {
+      // Append a change.
+      ++now;
+      const Key key = "k" + std::to_string(rng.nextBounded(keySpace));
+      OptValue old;
+      if (auto it = state.find(key); it != state.end()) old = it->second;
+      OptValue next;
+      if (!rng.nextBool(0.2)) next = "v" + std::to_string(now);
+      wlog.append(key, old, next, ts(now));
+      if (next) {
+        state[key] = *next;
+      } else {
+        state.erase(key);
+      }
+      history.push_back(state);
+    } else if (action < 85) {
+      // Archive a random prefix of the live window.
+      const int64_t cut =
+          archivedThrough +
+          static_cast<int64_t>(rng.nextBounded(
+              static_cast<uint64_t>(now - archivedThrough) + 1));
+      archive.archiveThrough(wlog, ts(cut));
+      archivedThrough = std::max(archivedThrough, cut);
+    } else {
+      // Query a random past time through the archive-aware path.
+      const auto target = static_cast<int64_t>(rng.nextBounded(now + 1));
+      auto diff = archive.diffToPast(wlog, ts(target));
+      ASSERT_TRUE(diff.isOk())
+          << "target " << target << ": " << diff.status().toString();
+      auto rolled = state;
+      diff.value().applyTo(rolled);
+      ASSERT_EQ(rolled, history[target]) << "target " << target;
+    }
+  }
+
+  // Final dense sweep over every reconstructible time.
+  for (int64_t target = 0; target <= now; target += 37) {
+    auto diff = archive.diffToPast(wlog, ts(target));
+    ASSERT_TRUE(diff.isOk()) << target;
+    auto rolled = state;
+    diff.value().applyTo(rolled);
+    ASSERT_EQ(rolled, history[target]) << target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class CompactorFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompactorFuzz, RandomCompactionPointsMatchOracle) {
+  Rng rng(GetParam());
+  WindowLog wlog;
+  std::unordered_map<Key, Value> state;
+  std::vector<std::unordered_map<Key, Value>> history;
+  history.push_back(state);
+
+  const int keySpace = static_cast<int>(3 + rng.nextBounded(40));
+  const int64_t period = static_cast<int64_t>(20 + rng.nextBounded(200));
+  core::PeriodicCompactor compactor(wlog, period);
+
+  int64_t now = 0;
+  for (int round = 0; round < 1200; ++round) {
+    if (rng.nextBounded(10) < 8 || now < 5) {
+      ++now;
+      const Key key = "k" + std::to_string(rng.nextBounded(keySpace));
+      OptValue old;
+      if (auto it = state.find(key); it != state.end()) old = it->second;
+      const Value next = "v" + std::to_string(now);
+      wlog.append(key, old, next, ts(now));
+      state[key] = next;
+      history.push_back(state);
+    } else {
+      compactor.compactUpTo(ts(now));
+      // Probe a random target; the effective target must be exact w.r.t.
+      // the oracle.
+      const auto target = static_cast<int64_t>(rng.nextBounded(now + 1));
+      hlc::Timestamp effective;
+      auto diff = compactor.diffToPast(ts(target), &effective);
+      ASSERT_TRUE(diff.isOk());
+      ASSERT_GE(effective, ts(target));  // rounded up, never down
+      auto rolled = state;
+      diff.value().applyTo(rolled);
+      ASSERT_EQ(rolled, history[effective.l])
+          << "target " << target << " effective " << effective.l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactorFuzz,
+                         ::testing::Values(7, 11, 19, 23, 42));
+
+}  // namespace
+}  // namespace retro::log

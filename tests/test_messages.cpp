@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "grid/messages.hpp"
+#include "kvstore/messages.hpp"
+
+namespace retro {
+namespace {
+
+TEST(KvMessages, PutRequestRoundTrip) {
+  kv::PutRequestBody b;
+  b.requestId = 77;
+  b.key = "user:1";
+  b.value = std::string(200, 'v');
+  b.version.increment(3);
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = kv::PutRequestBody::readFrom(r);
+  EXPECT_EQ(back.requestId, 77u);
+  EXPECT_EQ(back.key, "user:1");
+  EXPECT_EQ(back.value, b.value);
+  EXPECT_EQ(back.version, b.version);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(KvMessages, PutResponseRoundTrip) {
+  kv::PutResponseBody b{9, false, true};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = kv::PutResponseBody::readFrom(r);
+  EXPECT_EQ(back.requestId, 9u);
+  EXPECT_FALSE(back.ok);
+  EXPECT_TRUE(back.conflictDetected);
+}
+
+TEST(KvMessages, GetRoundTrip) {
+  kv::GetRequestBody req{5, "k"};
+  ByteWriter w;
+  req.writeTo(w);
+  ByteReader r(w.view());
+  EXPECT_EQ(kv::GetRequestBody::readFrom(r).key, "k");
+
+  kv::GetResponseBody resp;
+  resp.requestId = 5;
+  resp.value = Value("data");
+  ByteWriter w2;
+  resp.writeTo(w2);
+  ByteReader r2(w2.view());
+  const auto back = kv::GetResponseBody::readFrom(r2);
+  EXPECT_EQ(back.value, Value("data"));
+
+  kv::GetResponseBody miss;
+  miss.requestId = 6;
+  ByteWriter w3;
+  miss.writeTo(w3);
+  ByteReader r3(w3.view());
+  EXPECT_EQ(kv::GetResponseBody::readFrom(r3).value, std::nullopt);
+}
+
+TEST(KvMessages, SnapshotRequestRoundTrip) {
+  core::SnapshotRequest req;
+  req.id = 42;
+  req.target = {123456, 7};
+  req.kind = core::SnapshotKind::kRolling;
+  req.baseId = 41;
+  req.storeName = "store";
+  kv::SnapshotRequestBody b{req};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = kv::SnapshotRequestBody::readFrom(r);
+  EXPECT_EQ(back.request.id, 42u);
+  EXPECT_EQ(back.request.target, (hlc::Timestamp{123456, 7}));
+  EXPECT_EQ(back.request.kind, core::SnapshotKind::kRolling);
+  EXPECT_EQ(back.request.baseId, std::optional<core::SnapshotId>(41));
+  EXPECT_EQ(back.request.storeName, "store");
+}
+
+TEST(KvMessages, SnapshotRequestNoBase) {
+  core::SnapshotRequest req;
+  req.id = 1;
+  kv::SnapshotRequestBody b{req};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  EXPECT_FALSE(kv::SnapshotRequestBody::readFrom(r).request.baseId.has_value());
+}
+
+TEST(KvMessages, SnapshotAckRoundTrip) {
+  kv::SnapshotAckBody b;
+  b.ack = {11, 3, core::LocalSnapshotStatus::kOutOfReach, 999};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = kv::SnapshotAckBody::readFrom(r);
+  EXPECT_EQ(back.ack.id, 11u);
+  EXPECT_EQ(back.ack.node, 3u);
+  EXPECT_EQ(back.ack.status, core::LocalSnapshotStatus::kOutOfReach);
+  EXPECT_EQ(back.ack.persistedBytes, 999u);
+}
+
+TEST(KvMessages, ProgressRoundTrip) {
+  kv::ProgressReplyBody b{7, core::LocalSnapshotStatus::kPending, 2};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = kv::ProgressReplyBody::readFrom(r);
+  EXPECT_EQ(back.stage, 2);
+  EXPECT_EQ(back.status, core::LocalSnapshotStatus::kPending);
+}
+
+TEST(GridMessages, MapPutRoundTrip) {
+  grid::MapPutBody b{3, "key", "value"};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = grid::MapPutBody::readFrom(r);
+  EXPECT_EQ(back.requestId, 3u);
+  EXPECT_EQ(back.key, "key");
+  EXPECT_EQ(back.value, "value");
+}
+
+TEST(GridMessages, MapResponseWithAndWithoutValue) {
+  grid::MapResponseBody b{1, true, Value("v")};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  EXPECT_EQ(grid::MapResponseBody::readFrom(r).value, Value("v"));
+
+  grid::MapResponseBody miss{2, false, std::nullopt};
+  ByteWriter w2;
+  miss.writeTo(w2);
+  ByteReader r2(w2.view());
+  const auto back = grid::MapResponseBody::readFrom(r2);
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.value, std::nullopt);
+}
+
+TEST(GridMessages, BackupReplicateRoundTrip) {
+  grid::BackupReplicateBody b{137, "k", "v"};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = grid::BackupReplicateBody::readFrom(r);
+  EXPECT_EQ(back.partition, 137u);
+}
+
+TEST(GridMessages, SnapshotStartRoundTrip) {
+  core::SnapshotRequest req;
+  req.id = 5;
+  req.target = {999, 1};
+  grid::GridSnapshotStartBody b{req};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  EXPECT_EQ(grid::GridSnapshotStartBody::readFrom(r).request.target,
+            (hlc::Timestamp{999, 1}));
+}
+
+}  // namespace
+}  // namespace retro

@@ -1,0 +1,72 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro {
+namespace {
+
+TEST(TimeSeriesRecorder, BucketsByWindow) {
+  TimeSeriesRecorder rec(kMicrosPerSecond);
+  // 10 ops in second 0, 20 ops in second 1.
+  for (int i = 0; i < 10; ++i) rec.record(i * 1000, 500);
+  for (int i = 0; i < 20; ++i) rec.record(kMicrosPerSecond + i * 1000, 700);
+  rec.flush(2 * kMicrosPerSecond);
+
+  ASSERT_GE(rec.points().size(), 2u);
+  EXPECT_EQ(rec.points()[0].operations, 10u);
+  EXPECT_EQ(rec.points()[0].throughputOpsPerSec, 10.0);
+  EXPECT_EQ(rec.points()[1].operations, 20u);
+  EXPECT_NEAR(rec.points()[1].meanLatencyMicros, 700, 1);
+}
+
+TEST(TimeSeriesRecorder, EmptyWindowsAreEmitted) {
+  TimeSeriesRecorder rec(kMicrosPerSecond);
+  rec.record(100, 10);
+  rec.record(3 * kMicrosPerSecond + 100, 10);
+  rec.flush(4 * kMicrosPerSecond);
+  ASSERT_GE(rec.points().size(), 4u);
+  EXPECT_EQ(rec.points()[1].operations, 0u);
+  EXPECT_EQ(rec.points()[2].operations, 0u);
+}
+
+TEST(TimeSeriesRecorder, OverallStats) {
+  TimeSeriesRecorder rec(kMicrosPerSecond);
+  for (int i = 0; i < 100; ++i) rec.record(i * 10000, 1000);
+  EXPECT_EQ(rec.totalOperations(), 100u);
+  EXPECT_NEAR(rec.overallThroughput(0, kMicrosPerSecond), 100.0, 0.01);
+  EXPECT_NEAR(rec.overallLatency().mean(), 1000, 50);
+}
+
+TEST(TimeSeriesRecorder, FirstWindowAlignsToWindowBoundary) {
+  TimeSeriesRecorder rec(kMicrosPerSecond);
+  rec.record(1'500'000, 42);  // lands in window [1s, 2s)
+  rec.flush(2 * kMicrosPerSecond);
+  ASSERT_FALSE(rec.points().empty());
+  EXPECT_EQ(rec.points()[0].windowStart, kMicrosPerSecond);
+  EXPECT_EQ(rec.points()[0].operations, 1u);
+}
+
+TEST(TimeSeriesRecorder, BytesThroughput) {
+  TimeSeriesRecorder rec(kMicrosPerSecond);
+  rec.record(0, 100, 1024);
+  rec.record(1000, 100, 1024);
+  rec.flush(kMicrosPerSecond);
+  EXPECT_EQ(rec.points()[0].bytes, 2048u);
+  EXPECT_NEAR(rec.points()[0].throughputBytesPerSec, 2048.0, 0.1);
+}
+
+TEST(Counters, AddAndGet) {
+  Counters c;
+  c.add("puts");
+  c.add("puts", 4);
+  c.add("gets", 2);
+  EXPECT_EQ(c.get("puts"), 5u);
+  EXPECT_EQ(c.get("gets"), 2u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  const auto sorted = c.sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, "gets");
+}
+
+}  // namespace
+}  // namespace retro

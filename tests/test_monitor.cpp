@@ -1,0 +1,82 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::core {
+namespace {
+
+hlc::Timestamp ts(int64_t l) { return {l, 0}; }
+
+std::unordered_map<Key, Value> stateWithBalance(long balance) {
+  return {{"acct-1", std::to_string(balance)}, {"cfg", "x"}};
+}
+
+TEST(IntegrityMonitor, HealthySnapshotsProduceNoViolations) {
+  IntegrityMonitor mon;
+  ASSERT_TRUE(mon.addZeroMatchCheck("no-negatives", "COUNT WHERE value < 0")
+                  .isOk());
+  EXPECT_EQ(mon.onSnapshot(ts(10), stateWithBalance(100)), 0u);
+  EXPECT_EQ(mon.violationsObserved(), 0u);
+  EXPECT_EQ(mon.lastFullyHealthyAt(), std::optional<hlc::Timestamp>(ts(10)));
+}
+
+TEST(IntegrityMonitor, EdgeTriggeredCallbacks) {
+  IntegrityMonitor mon;
+  ASSERT_TRUE(mon.addZeroMatchCheck("no-negatives", "COUNT WHERE value < 0")
+                  .isOk());
+  int violations = 0;
+  int recoveries = 0;
+  mon.setOnViolation([&](const std::string& name, hlc::Timestamp,
+                         const QueryResult&) {
+    EXPECT_EQ(name, "no-negatives");
+    ++violations;
+  });
+  mon.setOnRecovery([&](const std::string&, hlc::Timestamp,
+                        const QueryResult&) { ++recoveries; });
+
+  mon.onSnapshot(ts(10), stateWithBalance(100));
+  mon.onSnapshot(ts(20), stateWithBalance(-5));  // violation edge
+  mon.onSnapshot(ts(30), stateWithBalance(-9));  // still violated: no edge
+  mon.onSnapshot(ts(40), stateWithBalance(50));  // recovery edge
+  mon.onSnapshot(ts(50), stateWithBalance(-1));  // violation edge again
+
+  EXPECT_EQ(violations, 2);
+  EXPECT_EQ(recoveries, 1);
+  EXPECT_EQ(mon.violationsObserved(), 3u);  // every violated observation
+  EXPECT_EQ(mon.lastFullyHealthyAt(), std::optional<hlc::Timestamp>(ts(40)));
+}
+
+TEST(IntegrityMonitor, MultipleChecks) {
+  IntegrityMonitor mon;
+  ASSERT_TRUE(mon.addZeroMatchCheck("no-negatives", "COUNT WHERE value < 0")
+                  .isOk());
+  // Custom check: total must stay >= 100.
+  auto q = SnapshotQuery::parse("SUM WHERE key PREFIX 'acct-'");
+  ASSERT_TRUE(q.isOk());
+  mon.addCheck({"total-floor", std::move(q).value(),
+                [](const QueryResult& r) { return r.value >= 100; }});
+
+  // balance 50: non-negative but below the floor -> 1 of 2 violated.
+  EXPECT_EQ(mon.onSnapshot(ts(10), stateWithBalance(50)), 1u);
+  // balance -5: both violated.
+  EXPECT_EQ(mon.onSnapshot(ts(20), stateWithBalance(-5)), 2u);
+  // balance 200: all healthy.
+  EXPECT_EQ(mon.onSnapshot(ts(30), stateWithBalance(200)), 0u);
+}
+
+TEST(IntegrityMonitor, HistoryBounded) {
+  IntegrityMonitor mon(/*historyLimit=*/5);
+  ASSERT_TRUE(mon.addZeroMatchCheck("c", "COUNT WHERE value < 0").isOk());
+  for (int i = 1; i <= 20; ++i) mon.onSnapshot(ts(i), stateWithBalance(i));
+  EXPECT_EQ(mon.history().size(), 5u);
+  EXPECT_EQ(mon.history().back().at, ts(20));
+}
+
+TEST(IntegrityMonitor, BadQueryRejected) {
+  IntegrityMonitor mon;
+  EXPECT_FALSE(mon.addZeroMatchCheck("bad", "FROBNICATE everything").isOk());
+  EXPECT_EQ(mon.checkCount(), 0u);
+}
+
+}  // namespace
+}  // namespace retro::core

@@ -1,0 +1,129 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace retro::sim {
+namespace {
+
+TEST(Network, DeliversMessages) {
+  SimEnv env(1);
+  Network net(env, NetworkConfig{});
+  std::vector<std::string> received;
+  net.registerNode(1, [&](Message&& m) { received.push_back(m.payload); });
+  net.send(Message{0, 1, 7, "hello"});
+  env.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hello");
+  EXPECT_EQ(net.messagesDelivered(), 1u);
+}
+
+TEST(Network, LatencyAtLeastBase) {
+  SimEnv env(1);
+  NetworkConfig cfg;
+  cfg.baseLatencyMicros = 500;
+  cfg.jitterMeanMicros = 100;
+  Network net(env, cfg);
+  TimeMicros deliveredAt = -1;
+  net.registerNode(1, [&](Message&&) { deliveredAt = env.now(); });
+  net.send(Message{0, 1, 0, "x"});
+  env.run();
+  EXPECT_GE(deliveredAt, 500);
+}
+
+TEST(Network, FifoOrderingPerChannel) {
+  SimEnv env(1);
+  NetworkConfig cfg;
+  cfg.fifoChannels = true;
+  cfg.jitterMeanMicros = 5000;  // heavy jitter would reorder without FIFO
+  Network net(env, cfg);
+  std::vector<int> order;
+  net.registerNode(1, [&](Message&& m) {
+    order.push_back(static_cast<int>(m.type));
+  });
+  for (int i = 0; i < 50; ++i) net.send(Message{0, 1, static_cast<uint32_t>(i), ""});
+  env.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Network, NonFifoCanReorder) {
+  SimEnv env(1);
+  NetworkConfig cfg;
+  cfg.fifoChannels = false;
+  cfg.jitterMeanMicros = 5000;
+  Network net(env, cfg);
+  std::vector<int> order;
+  net.registerNode(1, [&](Message&& m) {
+    order.push_back(static_cast<int>(m.type));
+  });
+  for (int i = 0; i < 200; ++i) {
+    net.send(Message{0, 1, static_cast<uint32_t>(i), ""});
+  }
+  env.run();
+  bool reordered = false;
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Network, DropsMessages) {
+  SimEnv env(1);
+  NetworkConfig cfg;
+  cfg.dropProbability = 0.5;
+  Network net(env, cfg);
+  int received = 0;
+  net.registerNode(1, [&](Message&&) { ++received; });
+  for (int i = 0; i < 1000; ++i) net.send(Message{0, 1, 0, ""});
+  env.run();
+  EXPECT_GT(received, 300);
+  EXPECT_LT(received, 700);
+  EXPECT_EQ(net.messagesDropped() + net.messagesDelivered(), 1000u);
+}
+
+TEST(Network, DisconnectDropsPendingAndFuture) {
+  SimEnv env(1);
+  Network net(env, NetworkConfig{});
+  int received = 0;
+  net.registerNode(1, [&](Message&&) { ++received; });
+  net.send(Message{0, 1, 0, ""});
+  net.disconnect(1);
+  net.send(Message{0, 1, 0, ""});
+  env.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_FALSE(net.isConnected(1));
+}
+
+TEST(Network, ByteAccountingIncludesHeader) {
+  SimEnv env(1);
+  NetworkConfig cfg;
+  cfg.headerBytes = 40;
+  Network net(env, cfg);
+  net.registerNode(1, [](Message&&) {});
+  net.send(Message{0, 1, 0, std::string(100, 'x')});
+  EXPECT_EQ(net.bytesSent(), 140u);
+}
+
+TEST(Network, MessageIdsUnique) {
+  SimEnv env(1);
+  Network net(env, NetworkConfig{});
+  net.registerNode(1, [](Message&&) {});
+  const uint64_t a = net.send(Message{0, 1, 0, ""});
+  const uint64_t b = net.send(Message{0, 1, 0, ""});
+  EXPECT_NE(a, b);
+}
+
+TEST(Network, DeliveredMessageCarriesId) {
+  SimEnv env(1);
+  Network net(env, NetworkConfig{});
+  uint64_t deliveredId = 0;
+  net.registerNode(1, [&](Message&& m) { deliveredId = m.msgId; });
+  const uint64_t sentId = net.send(Message{0, 1, 0, ""});
+  env.run();
+  EXPECT_EQ(deliveredId, sentId);
+}
+
+}  // namespace
+}  // namespace retro::sim

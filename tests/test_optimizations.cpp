@@ -1,0 +1,150 @@
+#include "core/optimizations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace retro::core {
+namespace {
+
+hlc::Timestamp ts(int64_t l) { return {l, 0}; }
+
+/// Random workload shared by the compactor tests, with a forward oracle.
+struct Scenario {
+  Scenario(uint64_t seed, int ops, int keySpace) {
+    Rng rng(seed);
+    history.push_back(state);
+    for (int i = 1; i <= ops; ++i) {
+      const Key key = "k" + std::to_string(rng.nextBounded(keySpace));
+      OptValue old;
+      if (auto it = state.find(key); it != state.end()) old = it->second;
+      const Value next = "v" + std::to_string(i);
+      wlog.append(key, old, next, ts(i));
+      state[key] = next;
+      history.push_back(state);
+    }
+  }
+
+  log::WindowLog wlog;
+  std::unordered_map<Key, Value> state;
+  std::vector<std::unordered_map<Key, Value>> history;
+};
+
+TEST(PeriodicCompactor, MatchesRawDiffAtBoundaries) {
+  Scenario sc(1, 1000, 30);
+  PeriodicCompactor compactor(sc.wlog, 100);  // boundaries at 100,200,...
+  compactor.compactUpTo(ts(1000));
+  EXPECT_GE(compactor.checkpointCount(), 8u);
+
+  for (int64_t boundary = 100; boundary <= 900; boundary += 100) {
+    hlc::Timestamp effective;
+    auto diff = compactor.diffToPast(ts(boundary), &effective);
+    ASSERT_TRUE(diff.isOk());
+    EXPECT_EQ(effective, ts(boundary));
+    auto rolled = sc.state;
+    diff.value().applyTo(rolled);
+    EXPECT_EQ(rolled, sc.history[boundary]) << "boundary " << boundary;
+  }
+}
+
+TEST(PeriodicCompactor, RoundsTargetUpToBoundary) {
+  Scenario sc(2, 600, 10);
+  PeriodicCompactor compactor(sc.wlog, 100);
+  compactor.compactUpTo(ts(600));
+
+  hlc::Timestamp effective;
+  auto diff = compactor.diffToPast(ts(142), &effective);
+  ASSERT_TRUE(diff.isOk());
+  EXPECT_EQ(effective, ts(200));  // granularity restriction (§VII)
+  auto rolled = sc.state;
+  diff.value().applyTo(rolled);
+  EXPECT_EQ(rolled, sc.history[200]);
+}
+
+TEST(PeriodicCompactor, RecentTargetsUseRawTail) {
+  Scenario sc(3, 500, 10);
+  PeriodicCompactor compactor(sc.wlog, 100);
+  compactor.compactUpTo(ts(500));
+  hlc::Timestamp effective;
+  auto diff = compactor.diffToPast(ts(473), &effective);
+  ASSERT_TRUE(diff.isOk());
+  EXPECT_EQ(effective, ts(473));  // exact: not in the cached region
+  auto rolled = sc.state;
+  diff.value().applyTo(rolled);
+  EXPECT_EQ(rolled, sc.history[473]);
+}
+
+TEST(PeriodicCompactor, ReducesTraversalWork) {
+  // Hot keys: raw traversal walks every entry; the compacted path
+  // composes per-period diffs of at most keySpace keys each.
+  Scenario sc(4, 5000, 5);
+  PeriodicCompactor compactor(sc.wlog, 500);
+  compactor.compactUpTo(ts(5000));
+
+  log::DiffStats rawStats;
+  auto raw = sc.wlog.diffToPast(ts(500), &rawStats);
+  ASSERT_TRUE(raw.isOk());
+
+  log::DiffStats fastStats;
+  hlc::Timestamp effective;
+  auto fast = compactor.diffToPast(ts(500), &effective, &fastStats);
+  ASSERT_TRUE(fast.isOk());
+  EXPECT_EQ(effective, ts(500));
+  EXPECT_LT(fastStats.entriesTraversed, rawStats.entriesTraversed / 10);
+
+  // And both reconstruct the same state.
+  auto a = sc.state;
+  auto b = sc.state;
+  raw.value().applyTo(a);
+  fast.value().applyTo(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PeriodicCompactor, IncrementalCompactionCalls) {
+  Scenario sc(5, 1000, 10);
+  PeriodicCompactor compactor(sc.wlog, 100);
+  // Compact in dribs and drabs, as a background timer would.
+  for (int64_t t = 50; t <= 1000; t += 130) compactor.compactUpTo(ts(t));
+  compactor.compactUpTo(ts(1000));
+  hlc::Timestamp effective;
+  auto diff = compactor.diffToPast(ts(300), &effective);
+  ASSERT_TRUE(diff.isOk());
+  auto rolled = sc.state;
+  diff.value().applyTo(rolled);
+  EXPECT_EQ(rolled, sc.history[300]);
+}
+
+TEST(SpeculativePlanning, UsesNearbyBase) {
+  SnapshotStore store;
+  LocalSnapshot snap;
+  snap.id = 9;
+  snap.kind = SnapshotKind::kFull;
+  snap.target = hlc::fromPhysicalMillis(1000);
+  store.put(snap);
+
+  const auto plan = planSnapshot(store, hlc::fromPhysicalMillis(1200), 500);
+  EXPECT_EQ(plan.kind, SnapshotKind::kRolling);
+  EXPECT_EQ(plan.baseId, std::optional<SnapshotId>(9));
+}
+
+TEST(SpeculativePlanning, FallsBackToFullWhenFar) {
+  SnapshotStore store;
+  LocalSnapshot snap;
+  snap.id = 9;
+  snap.kind = SnapshotKind::kFull;
+  snap.target = hlc::fromPhysicalMillis(1000);
+  store.put(snap);
+
+  const auto plan = planSnapshot(store, hlc::fromPhysicalMillis(9000), 500);
+  EXPECT_EQ(plan.kind, SnapshotKind::kFull);
+  EXPECT_FALSE(plan.baseId.has_value());
+}
+
+TEST(SpeculativePlanning, EmptyStoreMeansFull) {
+  SnapshotStore store;
+  const auto plan = planSnapshot(store, hlc::fromPhysicalMillis(100), 1000);
+  EXPECT_EQ(plan.kind, SnapshotKind::kFull);
+}
+
+}  // namespace
+}  // namespace retro::core

@@ -1,0 +1,86 @@
+#include "core/predicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::core {
+namespace {
+
+TEST(Predicate, ConjunctiveAllHold) {
+  std::vector<std::unordered_map<Key, Value>> states = {
+      {{"x", "1"}}, {{"x", "2"}}};
+  const LocalPredicate nonEmpty = [](const auto& s) { return !s.empty(); };
+  EXPECT_TRUE(evaluateConjunctive(states, nonEmpty));
+}
+
+TEST(Predicate, ConjunctiveOneFails) {
+  std::vector<std::unordered_map<Key, Value>> states = {{{"x", "1"}}, {}};
+  const LocalPredicate nonEmpty = [](const auto& s) { return !s.empty(); };
+  EXPECT_FALSE(evaluateConjunctive(states, nonEmpty));
+}
+
+TEST(Predicate, MergeStates) {
+  std::vector<std::unordered_map<Key, Value>> states = {
+      {{"a", "1"}}, {{"b", "2"}}, {{"a", "3"}}};
+  const auto merged = mergeStates(states);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.at("a"), "3");  // later node wins
+  EXPECT_EQ(merged.at("b"), "2");
+}
+
+TEST(Predicate, FindLatestCleanTime) {
+  // State becomes "dirty" (violates x <= 5) from t=70 onward.
+  const auto materialize = [](hlc::Timestamp t) {
+    std::unordered_map<Key, Value> s;
+    s["x"] = t.l >= 70 ? "9" : "3";
+    return s;
+  };
+  const GlobalPredicate clean = [](const auto& s) {
+    return s.at("x") <= Value("5");
+  };
+  const auto found = findLatestCleanTime(hlc::fromPhysicalMillis(0),
+                                         hlc::fromPhysicalMillis(100), 10,
+                                         materialize, clean);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->l, 60);
+}
+
+TEST(Predicate, FindLatestCleanTimeNeverClean) {
+  const auto materialize = [](hlc::Timestamp) {
+    return std::unordered_map<Key, Value>{{"x", "9"}};
+  };
+  const GlobalPredicate clean = [](const auto&) { return false; };
+  EXPECT_FALSE(findLatestCleanTime(hlc::fromPhysicalMillis(0),
+                                   hlc::fromPhysicalMillis(50), 10,
+                                   materialize, clean)
+                   .has_value());
+}
+
+TEST(Predicate, FindLatestCleanTimeBadArgs) {
+  const auto materialize = [](hlc::Timestamp) {
+    return std::unordered_map<Key, Value>{};
+  };
+  const GlobalPredicate any = [](const auto&) { return true; };
+  EXPECT_FALSE(findLatestCleanTime(hlc::fromPhysicalMillis(10),
+                                   hlc::fromPhysicalMillis(0), 10,
+                                   materialize, any)
+                   .has_value());
+  EXPECT_FALSE(findLatestCleanTime(hlc::fromPhysicalMillis(0),
+                                   hlc::fromPhysicalMillis(10), 0, materialize,
+                                   any)
+                   .has_value());
+}
+
+TEST(Predicate, CleanTimeAtUpperBound) {
+  const auto materialize = [](hlc::Timestamp) {
+    return std::unordered_map<Key, Value>{{"x", "1"}};
+  };
+  const GlobalPredicate clean = [](const auto&) { return true; };
+  const auto found = findLatestCleanTime(hlc::fromPhysicalMillis(0),
+                                         hlc::fromPhysicalMillis(100), 7,
+                                         materialize, clean);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->l, 100);  // the very latest probed time is clean
+}
+
+}  // namespace
+}  // namespace retro::core

@@ -1,0 +1,136 @@
+#include "core/query.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::core {
+namespace {
+
+std::unordered_map<Key, Value> sampleState() {
+  return {
+      {"acct-001", "100"}, {"acct-002", "-40"}, {"acct-003", "250"},
+      {"user-alice", "admin"}, {"user-bob", "guest"}, {"cfg-mode", "fast"},
+  };
+}
+
+TEST(Query, CountAll) {
+  auto q = SnapshotQuery::parse("COUNT");
+  ASSERT_TRUE(q.isOk());
+  const auto r = q.value().execute(sampleState());
+  EXPECT_EQ(r.matched, 6u);
+  EXPECT_EQ(r.value, 6.0);
+}
+
+TEST(Query, CountWithPrefix) {
+  auto q = SnapshotQuery::parse("COUNT WHERE key PREFIX 'acct-'");
+  ASSERT_TRUE(q.isOk());
+  EXPECT_EQ(q.value().execute(sampleState()).matched, 3u);
+}
+
+TEST(Query, SumOverNumericValues) {
+  auto q = SnapshotQuery::parse("SUM WHERE key PREFIX 'acct-'");
+  ASSERT_TRUE(q.isOk());
+  const auto r = q.value().execute(sampleState());
+  EXPECT_EQ(r.matched, 3u);
+  EXPECT_DOUBLE_EQ(r.value, 100 - 40 + 250);
+}
+
+TEST(Query, NumericComparisons) {
+  auto q = SnapshotQuery::parse("COUNT WHERE value < 0");
+  ASSERT_TRUE(q.isOk());
+  EXPECT_EQ(q.value().execute(sampleState()).matched, 1u);
+
+  auto q2 = SnapshotQuery::parse("COUNT WHERE value >= 100 AND value <= 250");
+  ASSERT_TRUE(q2.isOk());
+  EXPECT_EQ(q2.value().execute(sampleState()).matched, 2u);
+}
+
+TEST(Query, MinMaxAvg) {
+  const auto state = sampleState();
+  auto qmin = SnapshotQuery::parse("MIN WHERE key PREFIX 'acct-'");
+  auto qmax = SnapshotQuery::parse("MAX WHERE key PREFIX 'acct-'");
+  auto qavg = SnapshotQuery::parse("AVG WHERE key PREFIX 'acct-'");
+  ASSERT_TRUE(qmin.isOk() && qmax.isOk() && qavg.isOk());
+  EXPECT_DOUBLE_EQ(qmin.value().execute(state).value, -40);
+  EXPECT_DOUBLE_EQ(qmax.value().execute(state).value, 250);
+  EXPECT_NEAR(qavg.value().execute(state).value, 310.0 / 3, 1e-9);
+}
+
+TEST(Query, StringEquality) {
+  auto q = SnapshotQuery::parse("COUNT WHERE value = 'admin'");
+  ASSERT_TRUE(q.isOk());
+  EXPECT_EQ(q.value().execute(sampleState()).matched, 1u);
+
+  auto q2 = SnapshotQuery::parse(
+      "COUNT WHERE key PREFIX 'user-' AND value != 'admin'");
+  ASSERT_TRUE(q2.isOk());
+  EXPECT_EQ(q2.value().execute(sampleState()).matched, 1u);
+}
+
+TEST(Query, UnquotedNumericEquality) {
+  auto q = SnapshotQuery::parse("COUNT WHERE value = 100");
+  ASSERT_TRUE(q.isOk());
+  EXPECT_EQ(q.value().execute(sampleState()).matched, 1u);
+}
+
+TEST(Query, KeyEquality) {
+  auto q = SnapshotQuery::parse("COUNT WHERE key = 'cfg-mode'");
+  ASSERT_TRUE(q.isOk());
+  EXPECT_EQ(q.value().execute(sampleState()).matched, 1u);
+}
+
+TEST(Query, EmptyMatchSemantics) {
+  auto q = SnapshotQuery::parse("MIN WHERE key PREFIX 'nope-'");
+  ASSERT_TRUE(q.isOk());
+  const auto r = q.value().execute(sampleState());
+  EXPECT_EQ(r.matched, 0u);
+  EXPECT_FALSE(r.hasValue);
+}
+
+TEST(Query, NonNumericValuesSkippedInAggregates) {
+  auto q = SnapshotQuery::parse("SUM");
+  ASSERT_TRUE(q.isOk());
+  // Only the three numeric account values contribute.
+  EXPECT_DOUBLE_EQ(q.value().execute(sampleState()).value, 310);
+}
+
+TEST(Query, CaseInsensitiveKeywords) {
+  auto q = SnapshotQuery::parse("count where KEY prefix 'acct-' AND Value > 0");
+  ASSERT_TRUE(q.isOk());
+  EXPECT_EQ(q.value().execute(sampleState()).matched, 2u);
+}
+
+TEST(Query, ParseErrors) {
+  EXPECT_FALSE(SnapshotQuery::parse("FROB").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT WHEN key = 'x'").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT WHERE banana = 'x'").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT WHERE key ~ 'x'").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT WHERE key < 'x'").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT WHERE value PREFIX 'x'").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT WHERE value >").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT WHERE value > banana").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT WHERE key = 'unterminated").isOk());
+  EXPECT_FALSE(
+      SnapshotQuery::parse("COUNT WHERE key = 'a' OR key = 'b'").isOk());
+}
+
+TEST(Query, OverTimeSweep) {
+  // A balance drifts over time; the query detects when it goes negative.
+  const auto materialize = [](hlc::Timestamp t) {
+    std::unordered_map<Key, Value> s;
+    s["acct-1"] = std::to_string(100 - t.l);  // negative from t=101
+    return s;
+  };
+  auto q = SnapshotQuery::parse("COUNT WHERE value < 0");
+  ASSERT_TRUE(q.isOk());
+  std::vector<hlc::Timestamp> times;
+  for (int64_t t = 0; t <= 200; t += 50) times.push_back({t, 0});
+  const auto series = queryOverTime(q.value(), times, materialize);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_EQ(series[0].second.matched, 0u);  // t=0
+  EXPECT_EQ(series[2].second.matched, 0u);  // t=100
+  EXPECT_EQ(series[3].second.matched, 1u);  // t=150
+  EXPECT_EQ(series[4].second.matched, 1u);  // t=200
+}
+
+}  // namespace
+}  // namespace retro::core

@@ -1,0 +1,138 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace retro {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng root(7);
+  Rng c1 = root.fork(1);
+  Rng c2 = root.fork(2);
+  Rng c1again = root.fork(1);
+  EXPECT_EQ(c1.next(), c1again.next());
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.nextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.nextBounded(0), std::invalid_argument);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = rng.nextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) sawLo = true;
+    if (v == 3) sawHi = true;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(11);
+  int count = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.nextBool(0.3)) ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.nextExponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sumSq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.nextGaussian(10.0, 2.0);
+    sum += v;
+    sumSq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Zipf, SkewsTowardLowIndexes) {
+  Rng rng(19);
+  ZipfGenerator zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.next(rng)];
+  // Rank 0 should be much hotter than rank 500.
+  EXPECT_GT(counts[0], counts[500] * 10);
+  // And every draw stays in range (counts vector indexing proves it).
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, n);
+}
+
+TEST(Hotspot, EightyTwentySplit) {
+  Rng rng(23);
+  HotspotGenerator hot(1000, 0.2, 0.8);
+  const int n = 100000;
+  int hotCount = 0;
+  for (int i = 0; i < n; ++i) {
+    if (hot.next(rng) < 200) ++hotCount;
+  }
+  EXPECT_NEAR(static_cast<double>(hotCount) / n, 0.8, 0.02);
+}
+
+TEST(Hotspot, InvalidFractionThrows) {
+  EXPECT_THROW(HotspotGenerator(100, 0.0, 0.8), std::invalid_argument);
+  EXPECT_THROW(HotspotGenerator(100, 1.5, 0.8), std::invalid_argument);
+  EXPECT_THROW(HotspotGenerator(0, 0.2, 0.8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace retro

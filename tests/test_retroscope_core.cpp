@@ -1,0 +1,153 @@
+#include "core/retroscope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::core {
+namespace {
+
+class FakePhysicalClock final : public hlc::PhysicalClock {
+ public:
+  int64_t nowMillis() override { return now_; }
+  void set(int64_t t) { now_ = t; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+TEST(Retroscope, TimeTickAdvances) {
+  FakePhysicalClock pt;
+  Retroscope rs(pt);
+  pt.set(10);
+  const auto t1 = rs.timeTick();
+  const auto t2 = rs.timeTick();
+  EXPECT_GT(t2, t1);
+  EXPECT_EQ(rs.now(), t2);
+}
+
+TEST(Retroscope, RemoteTickAdoptsCausality) {
+  FakePhysicalClock pt;
+  Retroscope rs(pt);
+  pt.set(10);
+  const auto t = rs.timeTick(hlc::Timestamp{99, 4});
+  EXPECT_GT(t, (hlc::Timestamp{99, 4}));
+}
+
+TEST(Retroscope, WrapUnwrapThroughMessage) {
+  FakePhysicalClock ptA;
+  FakePhysicalClock ptB;
+  Retroscope a(ptA);
+  Retroscope b(ptB);
+  ptA.set(100);
+  ptB.set(90);
+
+  ByteWriter w;
+  const auto sent = a.wrapHLC(w);
+  w.writeBytes("body");
+  ByteReader r(w.view());
+  const auto received = b.unwrapHLC(r);
+  EXPECT_GT(received, sent);
+  EXPECT_EQ(r.readBytes(), "body");
+}
+
+TEST(Retroscope, AppendCreatesNamedLog) {
+  FakePhysicalClock pt;
+  Retroscope rs(pt);
+  pt.set(1);
+  rs.timeTick();
+  EXPECT_FALSE(rs.hasLog("users"));
+  rs.appendToLog("users", "alice", std::nullopt, Value("1"));
+  EXPECT_TRUE(rs.hasLog("users"));
+  EXPECT_EQ(rs.getLog("users").entryCount(), 1u);
+  EXPECT_EQ(rs.appendCount(), 1u);
+}
+
+TEST(Retroscope, SeparateLogsAreIndependent) {
+  FakePhysicalClock pt;
+  Retroscope rs(pt);
+  pt.set(1);
+  rs.timeTick();
+  rs.appendToLog("a", "k", std::nullopt, Value("1"));
+  rs.appendToLog("b", "k", std::nullopt, Value("2"));
+  EXPECT_EQ(rs.getLog("a").entryCount(), 1u);
+  EXPECT_EQ(rs.getLog("b").entryCount(), 1u);
+}
+
+TEST(Retroscope, ComputeDiffSingleTime) {
+  FakePhysicalClock pt;
+  Retroscope rs(pt);
+  pt.set(1);
+  rs.timeTick();
+  const auto before = rs.now();
+  pt.set(2);
+  rs.timeTick();
+  rs.appendToLog("s", "k", std::nullopt, Value("v"));
+
+  auto diff = rs.computeDiff("s", before);
+  ASSERT_TRUE(diff.isOk());
+  EXPECT_EQ(diff.value().entries().at("k"), std::nullopt);
+}
+
+TEST(Retroscope, ComputeDiffRange) {
+  FakePhysicalClock pt;
+  Retroscope rs(pt);
+  pt.set(1);
+  rs.timeTick();
+  const auto t0 = rs.now();
+  pt.set(2);
+  rs.timeTick();
+  rs.appendToLog("s", "k", std::nullopt, Value("v1"));
+  const auto t1 = rs.now();
+  pt.set(3);
+  rs.timeTick();
+  rs.appendToLog("s", "k", Value("v1"), Value("v2"));
+
+  auto diff = rs.computeDiff("s", t0, t1);
+  ASSERT_TRUE(diff.isOk());
+  EXPECT_EQ(diff.value().entries().at("k"), Value("v1"));
+}
+
+TEST(Retroscope, ComputeDiffUnknownLog) {
+  FakePhysicalClock pt;
+  Retroscope rs(pt);
+  auto diff = rs.computeDiff("nope", hlc::kZero);
+  EXPECT_FALSE(diff.isOk());
+  EXPECT_EQ(diff.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Retroscope, ExplicitTimestampAppend) {
+  FakePhysicalClock pt;
+  Retroscope rs(pt);
+  rs.appendToLog("s", "k", std::nullopt, Value("v"), hlc::Timestamp{42, 1});
+  EXPECT_EQ(rs.getLog("s").latest(), (hlc::Timestamp{42, 1}));
+}
+
+TEST(Retroscope, TotalLogBytesSumsAcrossLogs) {
+  FakePhysicalClock pt;
+  log::WindowLogConfig cfg;
+  cfg.perEntryOverheadBytes = 10;
+  cfg.hlcBytes = 8;
+  Retroscope rs(pt, cfg);
+  pt.set(1);
+  rs.timeTick();
+  rs.appendToLog("a", "k", std::nullopt, Value("v"));
+  rs.appendToLog("b", "k", std::nullopt, Value("v"));
+  EXPECT_EQ(rs.totalLogBytes(),
+            rs.getLog("a").accountedBytes() + rs.getLog("b").accountedBytes());
+  EXPECT_GT(rs.totalLogBytes(), 0u);
+}
+
+TEST(Retroscope, DefaultLogConfigApplies) {
+  FakePhysicalClock pt;
+  log::WindowLogConfig cfg;
+  cfg.maxEntries = 2;
+  Retroscope rs(pt, cfg);
+  pt.set(1);
+  rs.timeTick();
+  for (int i = 0; i < 5; ++i) {
+    rs.appendToLog("s", "k" + std::to_string(i), std::nullopt, Value("v"));
+  }
+  EXPECT_EQ(rs.getLog("s").entryCount(), 2u);
+}
+
+}  // namespace
+}  // namespace retro::core

@@ -1,0 +1,71 @@
+#include "kvstore/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace retro::kv {
+namespace {
+
+TEST(Ring, PreferenceListDistinctNodes) {
+  Ring ring(10);
+  for (int i = 0; i < 1000; ++i) {
+    const auto prefs = ring.preferenceList("key" + std::to_string(i), 3);
+    ASSERT_EQ(prefs.size(), 3u);
+    const std::set<NodeId> uniq(prefs.begin(), prefs.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(Ring, StableForSameKey) {
+  Ring ring(10);
+  const auto a = ring.preferenceList("somekey", 3);
+  const auto b = ring.preferenceList("somekey", 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Ring, ReplicasClampedToNodeCount) {
+  Ring ring(3);
+  const auto prefs = ring.preferenceList("k", 10);
+  EXPECT_EQ(prefs.size(), 3u);
+}
+
+TEST(Ring, PrimaryIsFirstPreference) {
+  Ring ring(5);
+  for (int i = 0; i < 100; ++i) {
+    const Key k = "k" + std::to_string(i);
+    EXPECT_EQ(ring.primary(k), ring.preferenceList(k, 2)[0]);
+  }
+}
+
+TEST(Ring, LoadIsRoughlyBalanced) {
+  Ring ring(10, 128);
+  std::map<NodeId, int> counts;
+  const int keys = 20000;
+  for (int i = 0; i < keys; ++i) {
+    ++counts[ring.primary("key" + std::to_string(i))];
+  }
+  // Every node should be primary for something in [3%, 25%] of keys.
+  for (NodeId n = 0; n < 10; ++n) {
+    EXPECT_GT(counts[n], keys * 3 / 100) << "node " << n;
+    EXPECT_LT(counts[n], keys * 25 / 100) << "node " << n;
+  }
+}
+
+TEST(Ring, SingleNodeOwnsEverything) {
+  Ring ring(1);
+  EXPECT_EQ(ring.primary("anything"), 0u);
+}
+
+TEST(Ring, ZeroNodesThrows) {
+  EXPECT_THROW(Ring(0), std::invalid_argument);
+}
+
+TEST(Ring, HashIsDeterministic) {
+  EXPECT_EQ(Ring::hashKey("abc"), Ring::hashKey("abc"));
+  EXPECT_NE(Ring::hashKey("abc"), Ring::hashKey("abd"));
+}
+
+}  // namespace
+}  // namespace retro::kv

@@ -1,0 +1,121 @@
+#include "sim/sim_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace retro::sim {
+namespace {
+
+TEST(SimEnv, EventsRunInTimeOrder) {
+  SimEnv env(1);
+  std::vector<int> order;
+  env.schedule(30, [&] { order.push_back(3); });
+  env.schedule(10, [&] { order.push_back(1); });
+  env.schedule(20, [&] { order.push_back(2); });
+  env.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(env.now(), 30);
+}
+
+TEST(SimEnv, SameTimeEventsFifo) {
+  SimEnv env(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    env.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  env.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimEnv, NestedScheduling) {
+  SimEnv env(1);
+  TimeMicros firedAt = -1;
+  env.schedule(10, [&] {
+    env.schedule(15, [&] { firedAt = env.now(); });
+  });
+  env.run();
+  EXPECT_EQ(firedAt, 25);
+}
+
+TEST(SimEnv, RunUntilStopsAndAdvancesClock) {
+  SimEnv env(1);
+  int fired = 0;
+  env.schedule(10, [&] { ++fired; });
+  env.schedule(100, [&] { ++fired; });
+  env.runUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(env.now(), 50);
+  EXPECT_EQ(env.pendingEvents(), 1u);
+  env.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEnv, RunUntilWithEmptyQueueAdvances) {
+  SimEnv env(1);
+  env.runUntil(1000);
+  EXPECT_EQ(env.now(), 1000);
+}
+
+TEST(SimEnv, NegativeDelayThrows) {
+  SimEnv env(1);
+  EXPECT_THROW(env.schedule(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(env.scheduleAt(-5, [] {}), std::invalid_argument);
+}
+
+TEST(SimEnv, StepReturnsFalseWhenEmpty) {
+  SimEnv env(1);
+  EXPECT_FALSE(env.step());
+  env.schedule(1, [] {});
+  EXPECT_TRUE(env.step());
+  EXPECT_FALSE(env.step());
+  EXPECT_EQ(env.executedEvents(), 1u);
+}
+
+TEST(SimEnv, DaemonEventsDoNotKeepRunAlive) {
+  SimEnv env(1);
+  int daemonFired = 0;
+  int normalFired = 0;
+  // A self-rescheduling daemon (like a heartbeat timer).
+  std::function<void()> tick = [&] {
+    ++daemonFired;
+    env.scheduleDaemon(100, tick);
+  };
+  env.scheduleDaemon(100, tick);
+  env.schedule(350, [&] { ++normalFired; });
+  env.run();  // must terminate despite the immortal daemon
+  EXPECT_EQ(normalFired, 1);
+  // The daemon ran while normal work was pending, then run() stopped.
+  EXPECT_EQ(daemonFired, 3);
+  EXPECT_EQ(env.now(), 350);
+}
+
+TEST(SimEnv, RunUntilDrivesDaemons) {
+  SimEnv env(1);
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    env.scheduleDaemon(100, tick);
+  };
+  env.scheduleDaemon(100, tick);
+  env.runUntil(1000);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimEnv, DeterministicAcrossRuns) {
+  const auto trace = [](uint64_t seed) {
+    SimEnv env(seed);
+    std::vector<uint64_t> out;
+    for (int i = 0; i < 100; ++i) {
+      env.schedule(static_cast<TimeMicros>(env.rng().nextBounded(1000)) + 1,
+                   [&out, &env] { out.push_back(env.now()); });
+    }
+    env.run();
+    return out;
+  };
+  EXPECT_EQ(trace(42), trace(42));
+  EXPECT_NE(trace(42), trace(43));
+}
+
+}  // namespace
+}  // namespace retro::sim

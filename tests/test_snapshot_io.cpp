@@ -1,0 +1,121 @@
+#include "core/snapshot_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace retro::core {
+namespace {
+
+LocalSnapshot sample() {
+  LocalSnapshot s;
+  s.id = 42;
+  s.kind = SnapshotKind::kFull;
+  s.target = {123456, 7};
+  s.node = 3;
+  s.persistedBytes = 999;
+  s.state = {{"alice", "100"}, {"bob", "250"}, {"empty", ""}};
+  return s;
+}
+
+LocalSnapshot sampleIncremental() {
+  LocalSnapshot s;
+  s.id = 43;
+  s.kind = SnapshotKind::kIncremental;
+  s.target = {123500, 0};
+  s.node = 1;
+  s.baseId = 42;
+  s.delta.set("alice", Value("75"));
+  s.delta.set("carol", std::nullopt);  // deletion marker
+  return s;
+}
+
+void expectEqual(const LocalSnapshot& a, const LocalSnapshot& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.node, b.node);
+  EXPECT_EQ(a.baseId, b.baseId);
+  EXPECT_EQ(a.persistedBytes, b.persistedBytes);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.delta.entries(), b.delta.entries());
+}
+
+TEST(SnapshotIo, RoundTripFull) {
+  const LocalSnapshot s = sample();
+  auto back = deserializeSnapshot(serializeSnapshot(s));
+  ASSERT_TRUE(back.isOk()) << back.status().toString();
+  expectEqual(back.value(), s);
+}
+
+TEST(SnapshotIo, RoundTripIncrementalWithDeletes) {
+  const LocalSnapshot s = sampleIncremental();
+  auto back = deserializeSnapshot(serializeSnapshot(s));
+  ASSERT_TRUE(back.isOk());
+  expectEqual(back.value(), s);
+}
+
+TEST(SnapshotIo, RoundTripEmpty) {
+  LocalSnapshot s;
+  auto back = deserializeSnapshot(serializeSnapshot(s));
+  ASSERT_TRUE(back.isOk());
+  expectEqual(back.value(), s);
+}
+
+TEST(SnapshotIo, RejectsBadMagic) {
+  std::string blob = serializeSnapshot(sample());
+  blob[0] = 'X';
+  EXPECT_FALSE(deserializeSnapshot(blob).isOk());
+}
+
+TEST(SnapshotIo, RejectsCorruptPayload) {
+  std::string blob = serializeSnapshot(sample());
+  blob[blob.size() / 2] ^= 0x40;  // flip a payload bit
+  auto r = deserializeSnapshot(blob);
+  ASSERT_FALSE(r.isOk());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SnapshotIo, RejectsTruncation) {
+  const std::string blob = serializeSnapshot(sample());
+  for (size_t cut : {size_t{3}, blob.size() / 2, blob.size() - 1}) {
+    EXPECT_FALSE(deserializeSnapshot(blob.substr(0, cut)).isOk())
+        << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotIo, RejectsTrailingGarbage) {
+  std::string blob = serializeSnapshot(sample());
+  blob += "extra";
+  EXPECT_FALSE(deserializeSnapshot(blob).isOk());
+}
+
+TEST(SnapshotIo, FileRoundTrip) {
+  const std::string path = "/tmp/retro_snapshot_io_test.snap";
+  const LocalSnapshot s = sample();
+  ASSERT_TRUE(saveSnapshotToFile(s, path).isOk());
+  auto back = loadSnapshotFromFile(path);
+  ASSERT_TRUE(back.isOk()) << back.status().toString();
+  expectEqual(back.value(), s);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, MissingFile) {
+  auto r = loadSnapshotFromFile("/tmp/retro_no_such_file_12345.snap");
+  EXPECT_FALSE(r.isOk());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotIo, LargeSnapshot) {
+  LocalSnapshot s;
+  s.id = 1;
+  for (int i = 0; i < 50'000; ++i) {
+    s.state.emplace("key-" + std::to_string(i), Value(100, 'v'));
+  }
+  auto back = deserializeSnapshot(serializeSnapshot(s));
+  ASSERT_TRUE(back.isOk());
+  EXPECT_EQ(back.value().state.size(), 50'000u);
+}
+
+}  // namespace
+}  // namespace retro::core

@@ -1,0 +1,149 @@
+#include "core/snapshot_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::core {
+namespace {
+
+LocalSnapshot makeFull(SnapshotId id, int64_t targetMillis,
+                       std::unordered_map<Key, Value> state) {
+  LocalSnapshot s;
+  s.id = id;
+  s.kind = SnapshotKind::kFull;
+  s.target = hlc::fromPhysicalMillis(targetMillis);
+  s.state = std::move(state);
+  s.persistedBytes = 100;
+  return s;
+}
+
+LocalSnapshot makeIncremental(SnapshotId id, SnapshotId base,
+                              int64_t targetMillis, log::DiffMap delta) {
+  LocalSnapshot s;
+  s.id = id;
+  s.kind = SnapshotKind::kIncremental;
+  s.target = hlc::fromPhysicalMillis(targetMillis);
+  s.baseId = base;
+  s.delta = std::move(delta);
+  s.persistedBytes = 10;
+  return s;
+}
+
+TEST(SnapshotStore, PutAndFind) {
+  SnapshotStore store;
+  store.put(makeFull(1, 100, {{"a", "1"}}));
+  EXPECT_TRUE(store.contains(1));
+  ASSERT_NE(store.find(1), nullptr);
+  EXPECT_EQ(store.find(1)->state.at("a"), "1");
+  EXPECT_EQ(store.find(2), nullptr);
+}
+
+TEST(SnapshotStore, MaterializeFullIsState) {
+  SnapshotStore store;
+  store.put(makeFull(1, 100, {{"a", "1"}, {"b", "2"}}));
+  auto state = store.materialize(1);
+  ASSERT_TRUE(state.isOk());
+  EXPECT_EQ(state.value().at("b"), "2");
+}
+
+TEST(SnapshotStore, MaterializeIncrementalChain) {
+  SnapshotStore store;
+  store.put(makeFull(1, 100, {{"a", "1"}}));
+  log::DiffMap d1;
+  d1.set("a", Value("2"));
+  d1.set("b", Value("9"));
+  store.put(makeIncremental(2, 1, 200, d1));
+  log::DiffMap d2;
+  d2.set("b", std::nullopt);
+  d2.set("c", Value("3"));
+  store.put(makeIncremental(3, 2, 300, d2));
+
+  auto state = store.materialize(3);
+  ASSERT_TRUE(state.isOk());
+  EXPECT_EQ(state.value().at("a"), "2");
+  EXPECT_FALSE(state.value().contains("b"));
+  EXPECT_EQ(state.value().at("c"), "3");
+}
+
+TEST(SnapshotStore, MaterializeOrphanFails) {
+  SnapshotStore store;
+  log::DiffMap d;
+  d.set("x", Value("1"));
+  store.put(makeIncremental(5, 4, 100, d));  // base 4 never stored
+  auto state = store.materialize(5);
+  EXPECT_FALSE(state.isOk());
+}
+
+TEST(SnapshotStore, RemoveProtectsBases) {
+  SnapshotStore store;
+  store.put(makeFull(1, 100, {}));
+  store.put(makeIncremental(2, 1, 200, {}));
+  const Status s = store.remove(1);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(store.remove(2).isOk());
+  EXPECT_TRUE(store.remove(1).isOk());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(SnapshotStore, RemoveMissing) {
+  SnapshotStore store;
+  EXPECT_EQ(store.remove(9).code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotStore, RollReplacesBase) {
+  SnapshotStore store;
+  store.put(makeFull(1, 100, {{"a", "1"}}));
+  log::DiffMap d;
+  d.set("a", Value("2"));
+  const Status s = store.roll(1, 7, hlc::fromPhysicalMillis(150), d);
+  ASSERT_TRUE(s.isOk());
+  EXPECT_FALSE(store.contains(1));  // base consumed
+  ASSERT_TRUE(store.contains(7));
+  EXPECT_EQ(store.find(7)->state.at("a"), "2");
+  EXPECT_EQ(store.find(7)->kind, SnapshotKind::kRolling);
+  EXPECT_EQ(store.find(7)->target.l, 150);
+}
+
+TEST(SnapshotStore, RollRefusesWhenBaseHasDependents) {
+  SnapshotStore store;
+  store.put(makeFull(1, 100, {}));
+  store.put(makeIncremental(2, 1, 200, {}));
+  log::DiffMap d;
+  EXPECT_EQ(store.roll(1, 3, hlc::fromPhysicalMillis(150), d).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotStore, RollMissingBase) {
+  SnapshotStore store;
+  log::DiffMap d;
+  EXPECT_EQ(store.roll(1, 2, hlc::fromPhysicalMillis(1), d).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotStore, NearestPicksClosestMaterialized) {
+  SnapshotStore store;
+  store.put(makeFull(1, 100, {}));
+  store.put(makeFull(2, 500, {}));
+  log::DiffMap d;
+  store.put(makeIncremental(3, 2, 480, d));  // incremental: not a base
+  auto n = store.nearest(hlc::fromPhysicalMillis(460));
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_FALSE(SnapshotStore{}.nearest(hlc::fromPhysicalMillis(1)).has_value());
+}
+
+TEST(SnapshotStore, TotalPersistedBytes) {
+  SnapshotStore store;
+  store.put(makeFull(1, 100, {}));
+  store.put(makeIncremental(2, 1, 200, {}));
+  EXPECT_EQ(store.totalPersistedBytes(), 110u);
+}
+
+TEST(SnapshotStore, IdsSorted) {
+  SnapshotStore store;
+  store.put(makeFull(5, 1, {}));
+  store.put(makeFull(2, 1, {}));
+  EXPECT_EQ(store.ids(), (std::vector<SnapshotId>{2, 5}));
+}
+
+}  // namespace
+}  // namespace retro::core

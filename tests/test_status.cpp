@@ -1,0 +1,64 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.isOk());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(StatusCode::kOutOfRange, "too far back");
+  EXPECT_FALSE(s.isOk());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.message(), "too far back");
+  EXPECT_EQ(s.toString(), "OUT_OF_RANGE: too far back");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (auto code : {StatusCode::kOk, StatusCode::kNotFound,
+                    StatusCode::kOutOfRange, StatusCode::kUnavailable,
+                    StatusCode::kFailedPrecondition,
+                    StatusCode::kResourceExhausted, StatusCode::kAborted,
+                    StatusCode::kInvalidArgument}) {
+    EXPECT_NE(std::string(statusCodeName(code)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().isOk());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status(StatusCode::kNotFound, "nope"));
+  EXPECT_FALSE(r.isOk());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, OkStatusWithoutValueIsLogicError) {
+  EXPECT_THROW(Result<int>(Status::ok()), std::logic_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1});
+  r.value().push_back(2);
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace retro

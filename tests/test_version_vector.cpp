@@ -1,0 +1,90 @@
+#include "kvstore/version_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retro::kv {
+namespace {
+
+TEST(VersionVector, EmptyEqualsEmpty) {
+  VersionVector a;
+  VersionVector b;
+  EXPECT_EQ(a.compare(b), Occurred::kEqual);
+}
+
+TEST(VersionVector, IncrementCreatesAfter) {
+  VersionVector a;
+  VersionVector b;
+  a.increment(1);
+  EXPECT_EQ(a.compare(b), Occurred::kAfter);
+  EXPECT_EQ(b.compare(a), Occurred::kBefore);
+}
+
+TEST(VersionVector, Concurrent) {
+  VersionVector a;
+  VersionVector b;
+  a.increment(1);
+  b.increment(2);
+  EXPECT_EQ(a.compare(b), Occurred::kConcurrent);
+  EXPECT_EQ(b.compare(a), Occurred::kConcurrent);
+}
+
+TEST(VersionVector, DescendantChain) {
+  VersionVector a;
+  a.increment(1);
+  VersionVector b = a;
+  b.increment(2);
+  b.increment(1);
+  EXPECT_EQ(b.compare(a), Occurred::kAfter);
+  EXPECT_EQ(a.compare(b), Occurred::kBefore);
+}
+
+TEST(VersionVector, CounterOf) {
+  VersionVector v;
+  v.increment(3);
+  v.increment(3);
+  v.increment(1);
+  EXPECT_EQ(v.counterOf(3), 2u);
+  EXPECT_EQ(v.counterOf(1), 1u);
+  EXPECT_EQ(v.counterOf(9), 0u);
+  EXPECT_EQ(v.entryCount(), 2u);
+}
+
+TEST(VersionVector, MergeTakesMax) {
+  VersionVector a;
+  a.increment(1);
+  a.increment(1);  // {1:2}
+  VersionVector b;
+  b.increment(1);
+  b.increment(2);  // {1:1, 2:1}
+  a.merge(b);
+  EXPECT_EQ(a.counterOf(1), 2u);
+  EXPECT_EQ(a.counterOf(2), 1u);
+  // Merge result descends both inputs.
+  EXPECT_NE(a.compare(b), Occurred::kBefore);
+  EXPECT_NE(a.compare(b), Occurred::kConcurrent);
+}
+
+TEST(VersionVector, SerializationRoundTrip) {
+  VersionVector v;
+  v.increment(7);
+  v.increment(42);
+  v.increment(7);
+  ByteWriter w;
+  v.writeTo(w);
+  ByteReader r(w.view());
+  const VersionVector back = VersionVector::readFrom(r);
+  EXPECT_EQ(back, v);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(VersionVector, MergeIdempotent) {
+  VersionVector a;
+  a.increment(1);
+  a.increment(2);
+  VersionVector before = a;
+  a.merge(before);
+  EXPECT_EQ(a, before);
+}
+
+}  // namespace
+}  // namespace retro::kv

@@ -1,0 +1,272 @@
+#include "log/window_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace retro::log {
+namespace {
+
+hlc::Timestamp ts(int64_t l, uint32_t c = 0) { return {l, c}; }
+
+TEST(WindowLog, AppendAndCount) {
+  WindowLog wlog;
+  wlog.append("a", std::nullopt, "1", ts(1));
+  wlog.append("b", std::nullopt, "2", ts(2));
+  EXPECT_EQ(wlog.entryCount(), 2u);
+  EXPECT_EQ(wlog.latest(), ts(2));
+  EXPECT_EQ(wlog.floor(), hlc::kZero);
+}
+
+TEST(WindowLog, RejectsOutOfOrderAppends) {
+  WindowLog wlog;
+  wlog.append("a", std::nullopt, "1", ts(5));
+  EXPECT_THROW(wlog.append("b", std::nullopt, "2", ts(4)),
+               std::invalid_argument);
+  // Equal timestamps are allowed (different keys in the same tick).
+  EXPECT_NO_THROW(wlog.append("b", std::nullopt, "2", ts(5)));
+}
+
+TEST(WindowLog, DiffToPastUndoesChanges) {
+  WindowLog wlog;
+  wlog.append("x", std::nullopt, "v1", ts(1));
+  wlog.append("x", Value("v1"), "v2", ts(2));
+  wlog.append("y", std::nullopt, "w1", ts(3));
+
+  // Current state: x=v2, y=w1. Roll back to t=1: x=v1, y absent.
+  auto diff = wlog.diffToPast(ts(1));
+  ASSERT_TRUE(diff.isOk());
+  std::unordered_map<Key, Value> state{{"x", "v2"}, {"y", "w1"}};
+  diff.value().applyTo(state);
+  EXPECT_EQ(state.size(), 1u);
+  EXPECT_EQ(state.at("x"), "v1");
+}
+
+TEST(WindowLog, DiffCompactsShadowedOperations) {
+  // Fig. 6: many ops on one key compact to a single change.
+  WindowLog wlog;
+  for (int i = 1; i <= 100; ++i) {
+    wlog.append("hot", Value("v" + std::to_string(i - 1)),
+                Value("v" + std::to_string(i)), ts(i));
+  }
+  DiffStats stats;
+  auto diff = wlog.diffToPast(ts(0), &stats);
+  ASSERT_TRUE(diff.isOk());
+  EXPECT_EQ(stats.entriesTraversed, 100u);
+  EXPECT_EQ(stats.keysInDiff, 1u);  // compaction eliminated 99 redundancies
+  EXPECT_EQ(diff.value().entries().at("hot"), Value("v0"));
+}
+
+TEST(WindowLog, DiffForwardReplaysChanges) {
+  WindowLog wlog;
+  wlog.append("a", std::nullopt, "1", ts(1));
+  wlog.append("a", Value("1"), "2", ts(2));
+  wlog.append("b", std::nullopt, "9", ts(3));
+  wlog.append("a", Value("2"), std::nullopt, ts(4));  // delete
+
+  auto diff = wlog.diffForward(ts(1), ts(3));
+  ASSERT_TRUE(diff.isOk());
+  std::unordered_map<Key, Value> state{{"a", "1"}};  // state at ts(1)
+  diff.value().applyTo(state);
+  EXPECT_EQ(state.at("a"), "2");
+  EXPECT_EQ(state.at("b"), "9");
+
+  auto diff2 = wlog.diffForward(ts(3), ts(4));
+  ASSERT_TRUE(diff2.isOk());
+  diff2.value().applyTo(state);
+  EXPECT_FALSE(state.contains("a"));
+}
+
+TEST(WindowLog, DiffBackwardBetweenTwoPoints) {
+  WindowLog wlog;
+  wlog.append("a", std::nullopt, "1", ts(1));
+  wlog.append("a", Value("1"), "2", ts(2));
+  wlog.append("a", Value("2"), "3", ts(3));
+
+  // From state at ts(3) back to state at ts(1).
+  auto diff = wlog.diffBackward(ts(3), ts(1));
+  ASSERT_TRUE(diff.isOk());
+  std::unordered_map<Key, Value> state{{"a", "3"}};
+  diff.value().applyTo(state);
+  EXPECT_EQ(state.at("a"), "1");
+}
+
+TEST(WindowLog, MaxEntriesBoundTrims) {
+  WindowLog wlog(WindowLogConfig{.maxEntries = 3});
+  for (int i = 1; i <= 10; ++i) {
+    wlog.append("k" + std::to_string(i), std::nullopt, "v", ts(i));
+  }
+  EXPECT_EQ(wlog.entryCount(), 3u);
+  EXPECT_EQ(wlog.trimmedCount(), 7u);
+  EXPECT_EQ(wlog.floor(), ts(7));
+  EXPECT_FALSE(wlog.covers(ts(6)));
+  EXPECT_TRUE(wlog.covers(ts(7)));
+}
+
+TEST(WindowLog, MaxBytesBoundTrims) {
+  WindowLogConfig cfg;
+  cfg.maxBytes = 1000;
+  cfg.perEntryOverheadBytes = 152;
+  WindowLog wlog(cfg);
+  // Each entry: ~3 + 1 + 1 + 8 + 152 = 165 accounted bytes.
+  for (int i = 1; i <= 20; ++i) {
+    wlog.append("key", Value("a"), Value("b"), ts(i));
+  }
+  EXPECT_LE(wlog.accountedBytes(), 1000u + 200u);
+  EXPECT_LT(wlog.entryCount(), 20u);
+  EXPECT_GT(wlog.trimmedCount(), 0u);
+}
+
+TEST(WindowLog, MaxAgeBoundTrims) {
+  WindowLogConfig cfg;
+  cfg.maxAgeMillis = 100;
+  WindowLog wlog(cfg);
+  wlog.append("a", std::nullopt, "1", ts(1));
+  wlog.append("b", std::nullopt, "2", ts(150));
+  wlog.append("c", std::nullopt, "3", ts(200));  // "a" is now > 100ms old
+  EXPECT_EQ(wlog.entryCount(), 2u);
+  EXPECT_FALSE(wlog.covers(ts(0)));
+}
+
+TEST(WindowLog, OutOfRangeDiffReturnsStatus) {
+  WindowLog wlog(WindowLogConfig{.maxEntries = 2});
+  for (int i = 1; i <= 5; ++i) {
+    wlog.append("k", Value("v"), Value("w"), ts(i));
+  }
+  auto diff = wlog.diffToPast(ts(1));
+  EXPECT_FALSE(diff.isOk());
+  EXPECT_EQ(diff.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(WindowLog, UnboundSuspendsTrimming) {
+  WindowLog wlog(WindowLogConfig{.maxEntries = 2});
+  wlog.unbound();
+  for (int i = 1; i <= 10; ++i) {
+    wlog.append("k" + std::to_string(i), std::nullopt, "v", ts(i));
+  }
+  EXPECT_EQ(wlog.entryCount(), 10u);  // grows past the bound
+  wlog.rebound();
+  EXPECT_EQ(wlog.entryCount(), 2u);  // bound re-applied
+}
+
+TEST(WindowLog, TruncateThrough) {
+  WindowLog wlog;
+  for (int i = 1; i <= 10; ++i) {
+    wlog.append("k" + std::to_string(i), std::nullopt, "v", ts(i));
+  }
+  wlog.truncateThrough(ts(4));
+  EXPECT_EQ(wlog.entryCount(), 6u);
+  EXPECT_EQ(wlog.floor(), ts(4));
+  EXPECT_TRUE(wlog.covers(ts(4)));
+  EXPECT_FALSE(wlog.covers(ts(3)));
+}
+
+TEST(WindowLog, ByteAccountingMatchesFormulaTerms) {
+  WindowLogConfig cfg;
+  cfg.perEntryOverheadBytes = 152;
+  cfg.hlcBytes = 8;
+  WindowLog wlog(cfg);
+  // 2*Si + Sk + S_HLC + S_o with Si=100, Sk=14.
+  wlog.append(Key(14, 'k'), Value(100, 'a'), Value(100, 'b'), ts(1));
+  EXPECT_EQ(wlog.accountedBytes(), 2u * 100 + 14 + 8 + 152);
+}
+
+TEST(WindowLog, EmptyLogDiffIsEmpty) {
+  WindowLog wlog;
+  auto diff = wlog.diffToPast(hlc::kZero);
+  ASSERT_TRUE(diff.isOk());
+  EXPECT_TRUE(diff.value().empty());
+}
+
+TEST(WindowLog, ForEachVisitsInOrder) {
+  WindowLog wlog;
+  for (int i = 1; i <= 5; ++i) {
+    wlog.append("k", std::nullopt, std::to_string(i), ts(i));
+  }
+  std::vector<int64_t> seen;
+  wlog.forEach([&](const Entry& e) { seen.push_back(e.ts.l); });
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random workloads against a brute-force forward oracle.
+// The log's backward diffs must reproduce the oracle state at every
+// probed time, across workload shapes.
+// ---------------------------------------------------------------------------
+
+struct SweepParam {
+  uint64_t seed;
+  int keySpace;
+  int ops;
+};
+
+class WindowLogProperty : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(WindowLogProperty, BackwardDiffMatchesForwardReplay) {
+  const SweepParam p = GetParam();
+  Rng rng(p.seed);
+  WindowLog wlog;
+  std::unordered_map<Key, Value> current;
+  // history[i] = state after i ops; entry i applied at time i+1.
+  std::vector<std::unordered_map<Key, Value>> history;
+  history.push_back(current);
+
+  for (int i = 0; i < p.ops; ++i) {
+    const Key key = "k" + std::to_string(rng.nextBounded(p.keySpace));
+    OptValue old;
+    auto it = current.find(key);
+    if (it != current.end()) old = it->second;
+    OptValue next;
+    if (!rng.nextBool(0.2)) {  // 80% writes, 20% deletes
+      next = "v" + std::to_string(i);
+    }
+    wlog.append(key, old, next, ts(i + 1));
+    if (next) {
+      current[key] = *next;
+    } else {
+      current.erase(key);
+    }
+    history.push_back(current);
+  }
+
+  // Probe a spread of past times.
+  for (int probe = 0; probe <= p.ops; probe += std::max(1, p.ops / 17)) {
+    auto diff = wlog.diffToPast(ts(probe));
+    ASSERT_TRUE(diff.isOk());
+    auto state = current;
+    diff.value().applyTo(state);
+    EXPECT_EQ(state, history[probe]) << "probe " << probe;
+  }
+
+  // And forward diffs between pairs of past times.
+  for (int a = 0; a <= p.ops; a += std::max(1, p.ops / 7)) {
+    for (int b = a; b <= p.ops; b += std::max(1, p.ops / 7)) {
+      auto diff = wlog.diffForward(ts(a), ts(b));
+      ASSERT_TRUE(diff.isOk());
+      auto state = history[a];
+      diff.value().applyTo(state);
+      EXPECT_EQ(state, history[b]) << a << "->" << b;
+
+      auto back = wlog.diffBackward(ts(b), ts(a));
+      ASSERT_TRUE(back.isOk());
+      auto state2 = history[b];
+      back.value().applyTo(state2);
+      EXPECT_EQ(state2, history[a]) << b << "->" << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, WindowLogProperty,
+    ::testing::Values(SweepParam{1, 5, 200},     // hot keys, heavy shadowing
+                      SweepParam{2, 100, 300},   // moderate reuse
+                      SweepParam{3, 1000, 300},  // mostly unique keys
+                      SweepParam{4, 1, 100},     // single key
+                      SweepParam{5, 50, 1000}    // long history
+                      ));
+
+}  // namespace
+}  // namespace retro::log

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "workload/driver.hpp"
+#include "workload/generator.hpp"
+
+namespace retro::workload {
+namespace {
+
+TEST(OpGenerator, WriteFraction) {
+  WorkloadConfig cfg;
+  cfg.writeFraction = 0.3;
+  cfg.keySpace = 100;
+  OpGenerator gen(cfg, Rng(1));
+  int writes = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.next().isWrite) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / n, 0.3, 0.02);
+}
+
+TEST(OpGenerator, KeysInRange) {
+  for (auto dist : {KeyDistribution::kUniform, KeyDistribution::kZipfian,
+                    KeyDistribution::kHotspot}) {
+    WorkloadConfig cfg;
+    cfg.keySpace = 500;
+    cfg.distribution = dist;
+    OpGenerator gen(cfg, Rng(2));
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_LT(gen.next().keyIndex, 500u);
+    }
+  }
+}
+
+TEST(OpGenerator, HotspotConcentrates) {
+  WorkloadConfig cfg;
+  cfg.keySpace = 1000;
+  cfg.distribution = KeyDistribution::kHotspot;
+  cfg.hotKeyFraction = 0.2;
+  cfg.hotOpFraction = 0.8;
+  OpGenerator gen(cfg, Rng(3));
+  int hot = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.next().keyIndex < 200) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.8, 0.02);
+}
+
+TEST(OpGenerator, ValueSizeAndSalt) {
+  WorkloadConfig cfg;
+  cfg.valueBytes = 64;
+  OpGenerator gen(cfg, Rng(4));
+  const Value a = gen.makeValue(1);
+  const Value b = gen.makeValue(2);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Driver, ClosedLoopAgainstSyntheticBackend) {
+  // A synthetic backend with fixed 1 ms completion: N clients in closed
+  // loop must produce ~N ops per ms.
+  sim::SimEnv env(1);
+  std::vector<ClientHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    ClientHandle h;
+    h.put = [&env](const Key&, Value,
+                   std::function<void(bool, TimeMicros)> done) {
+      env.schedule(1000, [done = std::move(done)] { done(true, 1000); });
+    };
+    h.get = [&env](const Key&, std::function<void(bool, TimeMicros)> done) {
+      env.schedule(1000, [done = std::move(done)] { done(true, 1000); });
+    };
+    handles.push_back(std::move(h));
+  }
+  DriverConfig cfg;
+  cfg.workload.keySpace = 10;
+  ClosedLoopDriver driver(env, std::move(handles),
+                          [](uint64_t i) { return "k" + std::to_string(i); },
+                          cfg);
+  driver.start(kMicrosPerSecond);
+  env.run();
+  // 4 clients x 1000 ops/s for 1 s.
+  EXPECT_NEAR(static_cast<double>(driver.opsIssued()), 4000.0, 10.0);
+  driver.recorder().flush(env.now());
+  ASSERT_FALSE(driver.recorder().points().empty());
+  EXPECT_NEAR(driver.recorder().points()[0].meanLatencyMicros, 1000.0, 1.0);
+}
+
+TEST(Driver, StopsAtDeadline) {
+  sim::SimEnv env(1);
+  std::vector<ClientHandle> handles(1);
+  handles[0].put = [&env](const Key&, Value,
+                          std::function<void(bool, TimeMicros)> done) {
+    env.schedule(100, [done = std::move(done)] { done(true, 100); });
+  };
+  // `get` stays unset: a 100%-write workload never issues reads.
+  DriverConfig cfg;
+  cfg.workload.writeFraction = 1.0;
+  cfg.workload.keySpace = 10;
+  ClosedLoopDriver driver(env, std::move(handles),
+                          [](uint64_t i) { return std::to_string(i); }, cfg);
+  driver.start(50'000);
+  env.run();
+  EXPECT_LE(env.now(), 51'000);
+  EXPECT_NEAR(static_cast<double>(driver.opsIssued()), 500.0, 3.0);
+}
+
+TEST(Driver, FailuresCounted) {
+  sim::SimEnv env(1);
+  std::vector<ClientHandle> handles(1);
+  handles[0].put = [&env](const Key&, Value,
+                          std::function<void(bool, TimeMicros)> done) {
+    env.schedule(100, [done = std::move(done)] { done(false, 100); });
+  };
+  DriverConfig cfg;
+  cfg.workload.writeFraction = 1.0;
+  cfg.workload.keySpace = 10;
+  ClosedLoopDriver driver(env, std::move(handles),
+                          [](uint64_t i) { return std::to_string(i); }, cfg);
+  driver.start(10'000);
+  env.run();
+  EXPECT_GT(driver.opsFailed(), 0u);
+  EXPECT_EQ(driver.opsFailed(), driver.opsIssued());
+}
+
+}  // namespace
+}  // namespace retro::workload
