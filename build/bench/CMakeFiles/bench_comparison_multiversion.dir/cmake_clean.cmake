@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparison_multiversion.dir/bench_comparison_multiversion.cpp.o"
+  "CMakeFiles/bench_comparison_multiversion.dir/bench_comparison_multiversion.cpp.o.d"
+  "bench_comparison_multiversion"
+  "bench_comparison_multiversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparison_multiversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_voldemort_overhead.dir/bench_fig10_11_voldemort_overhead.cpp.o"
+  "CMakeFiles/bench_fig10_11_voldemort_overhead.dir/bench_fig10_11_voldemort_overhead.cpp.o.d"
+  "bench_fig10_11_voldemort_overhead"
+  "bench_fig10_11_voldemort_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_voldemort_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_hazelcast_overhead.cpp" "bench/CMakeFiles/bench_fig16_hazelcast_overhead.dir/bench_fig16_hazelcast_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_fig16_hazelcast_overhead.dir/bench_fig16_hazelcast_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvstore/CMakeFiles/retro_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/retro_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/retro_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/retro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/retro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/retro_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/retro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/retro_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlc/CMakeFiles/retro_hlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/retro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

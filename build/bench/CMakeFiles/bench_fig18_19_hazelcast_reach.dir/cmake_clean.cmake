@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_19_hazelcast_reach.dir/bench_fig18_19_hazelcast_reach.cpp.o"
+  "CMakeFiles/bench_fig18_19_hazelcast_reach.dir/bench_fig18_19_hazelcast_reach.cpp.o.d"
+  "bench_fig18_19_hazelcast_reach"
+  "bench_fig18_19_hazelcast_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_19_hazelcast_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

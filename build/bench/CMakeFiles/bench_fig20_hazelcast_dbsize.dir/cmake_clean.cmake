@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_hazelcast_dbsize.dir/bench_fig20_hazelcast_dbsize.cpp.o"
+  "CMakeFiles/bench_fig20_hazelcast_dbsize.dir/bench_fig20_hazelcast_dbsize.cpp.o.d"
+  "bench_fig20_hazelcast_dbsize"
+  "bench_fig20_hazelcast_dbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_hazelcast_dbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_api_micro.cpp" "bench/CMakeFiles/bench_table1_api_micro.dir/bench_table1_api_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_api_micro.dir/bench_table1_api_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/retro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/retro_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlc/CMakeFiles/retro_hlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/retro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecase_reset.dir/bench_usecase_reset.cpp.o"
+  "CMakeFiles/bench_usecase_reset.dir/bench_usecase_reset.cpp.o.d"
+  "bench_usecase_reset"
+  "bench_usecase_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecase_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_monitoring.dir/grid_monitoring.cpp.o"
+  "CMakeFiles/grid_monitoring.dir/grid_monitoring.cpp.o.d"
+  "grid_monitoring"
+  "grid_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

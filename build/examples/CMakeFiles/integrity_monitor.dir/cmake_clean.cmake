@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_monitor.dir/integrity_monitor.cpp.o"
+  "CMakeFiles/integrity_monitor.dir/integrity_monitor.cpp.o.d"
+  "integrity_monitor"
+  "integrity_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

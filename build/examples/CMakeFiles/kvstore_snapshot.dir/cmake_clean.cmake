@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_snapshot.dir/kvstore_snapshot.cpp.o"
+  "CMakeFiles/kvstore_snapshot.dir/kvstore_snapshot.cpp.o.d"
+  "kvstore_snapshot"
+  "kvstore_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootcause_reset.dir/rootcause_reset.cpp.o"
+  "CMakeFiles/rootcause_reset.dir/rootcause_reset.cpp.o.d"
+  "rootcause_reset"
+  "rootcause_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootcause_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

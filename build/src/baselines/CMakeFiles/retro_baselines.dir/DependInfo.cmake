@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/chandy_lamport.cpp" "src/baselines/CMakeFiles/retro_baselines.dir/chandy_lamport.cpp.o" "gcc" "src/baselines/CMakeFiles/retro_baselines.dir/chandy_lamport.cpp.o.d"
+  "/root/repo/src/baselines/clock_harness.cpp" "src/baselines/CMakeFiles/retro_baselines.dir/clock_harness.cpp.o" "gcc" "src/baselines/CMakeFiles/retro_baselines.dir/clock_harness.cpp.o.d"
+  "/root/repo/src/baselines/multiversion.cpp" "src/baselines/CMakeFiles/retro_baselines.dir/multiversion.cpp.o" "gcc" "src/baselines/CMakeFiles/retro_baselines.dir/multiversion.cpp.o.d"
+  "/root/repo/src/baselines/vc_snapshot.cpp" "src/baselines/CMakeFiles/retro_baselines.dir/vc_snapshot.cpp.o" "gcc" "src/baselines/CMakeFiles/retro_baselines.dir/vc_snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/retro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlc/CMakeFiles/retro_hlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/retro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

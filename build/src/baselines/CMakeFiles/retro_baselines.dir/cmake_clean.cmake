@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_baselines.dir/chandy_lamport.cpp.o"
+  "CMakeFiles/retro_baselines.dir/chandy_lamport.cpp.o.d"
+  "CMakeFiles/retro_baselines.dir/clock_harness.cpp.o"
+  "CMakeFiles/retro_baselines.dir/clock_harness.cpp.o.d"
+  "CMakeFiles/retro_baselines.dir/multiversion.cpp.o"
+  "CMakeFiles/retro_baselines.dir/multiversion.cpp.o.d"
+  "CMakeFiles/retro_baselines.dir/vc_snapshot.cpp.o"
+  "CMakeFiles/retro_baselines.dir/vc_snapshot.cpp.o.d"
+  "libretro_baselines.a"
+  "libretro_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_common.dir/bytes.cpp.o"
+  "CMakeFiles/retro_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/retro_common.dir/histogram.cpp.o"
+  "CMakeFiles/retro_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/retro_common.dir/metrics.cpp.o"
+  "CMakeFiles/retro_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/retro_common.dir/random.cpp.o"
+  "CMakeFiles/retro_common.dir/random.cpp.o.d"
+  "libretro_common.a"
+  "libretro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

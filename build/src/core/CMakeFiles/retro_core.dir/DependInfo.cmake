@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coordinator.cpp" "src/core/CMakeFiles/retro_core.dir/coordinator.cpp.o" "gcc" "src/core/CMakeFiles/retro_core.dir/coordinator.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/retro_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/retro_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/optimizations.cpp" "src/core/CMakeFiles/retro_core.dir/optimizations.cpp.o" "gcc" "src/core/CMakeFiles/retro_core.dir/optimizations.cpp.o.d"
+  "/root/repo/src/core/predicate.cpp" "src/core/CMakeFiles/retro_core.dir/predicate.cpp.o" "gcc" "src/core/CMakeFiles/retro_core.dir/predicate.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/core/CMakeFiles/retro_core.dir/query.cpp.o" "gcc" "src/core/CMakeFiles/retro_core.dir/query.cpp.o.d"
+  "/root/repo/src/core/retroscope.cpp" "src/core/CMakeFiles/retro_core.dir/retroscope.cpp.o" "gcc" "src/core/CMakeFiles/retro_core.dir/retroscope.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/retro_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/retro_core.dir/snapshot.cpp.o.d"
+  "/root/repo/src/core/snapshot_io.cpp" "src/core/CMakeFiles/retro_core.dir/snapshot_io.cpp.o" "gcc" "src/core/CMakeFiles/retro_core.dir/snapshot_io.cpp.o.d"
+  "/root/repo/src/core/snapshot_store.cpp" "src/core/CMakeFiles/retro_core.dir/snapshot_store.cpp.o" "gcc" "src/core/CMakeFiles/retro_core.dir/snapshot_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/log/CMakeFiles/retro_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlc/CMakeFiles/retro_hlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/retro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_core.dir/coordinator.cpp.o"
+  "CMakeFiles/retro_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/retro_core.dir/monitor.cpp.o"
+  "CMakeFiles/retro_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/retro_core.dir/optimizations.cpp.o"
+  "CMakeFiles/retro_core.dir/optimizations.cpp.o.d"
+  "CMakeFiles/retro_core.dir/predicate.cpp.o"
+  "CMakeFiles/retro_core.dir/predicate.cpp.o.d"
+  "CMakeFiles/retro_core.dir/query.cpp.o"
+  "CMakeFiles/retro_core.dir/query.cpp.o.d"
+  "CMakeFiles/retro_core.dir/retroscope.cpp.o"
+  "CMakeFiles/retro_core.dir/retroscope.cpp.o.d"
+  "CMakeFiles/retro_core.dir/snapshot.cpp.o"
+  "CMakeFiles/retro_core.dir/snapshot.cpp.o.d"
+  "CMakeFiles/retro_core.dir/snapshot_io.cpp.o"
+  "CMakeFiles/retro_core.dir/snapshot_io.cpp.o.d"
+  "CMakeFiles/retro_core.dir/snapshot_store.cpp.o"
+  "CMakeFiles/retro_core.dir/snapshot_store.cpp.o.d"
+  "libretro_core.a"
+  "libretro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid_client.cpp" "src/grid/CMakeFiles/retro_grid.dir/grid_client.cpp.o" "gcc" "src/grid/CMakeFiles/retro_grid.dir/grid_client.cpp.o.d"
+  "/root/repo/src/grid/grid_cluster.cpp" "src/grid/CMakeFiles/retro_grid.dir/grid_cluster.cpp.o" "gcc" "src/grid/CMakeFiles/retro_grid.dir/grid_cluster.cpp.o.d"
+  "/root/repo/src/grid/member.cpp" "src/grid/CMakeFiles/retro_grid.dir/member.cpp.o" "gcc" "src/grid/CMakeFiles/retro_grid.dir/member.cpp.o.d"
+  "/root/repo/src/grid/messages.cpp" "src/grid/CMakeFiles/retro_grid.dir/messages.cpp.o" "gcc" "src/grid/CMakeFiles/retro_grid.dir/messages.cpp.o.d"
+  "/root/repo/src/grid/partition_table.cpp" "src/grid/CMakeFiles/retro_grid.dir/partition_table.cpp.o" "gcc" "src/grid/CMakeFiles/retro_grid.dir/partition_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/retro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/retro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/retro_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlc/CMakeFiles/retro_hlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/retro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_grid.dir/grid_client.cpp.o"
+  "CMakeFiles/retro_grid.dir/grid_client.cpp.o.d"
+  "CMakeFiles/retro_grid.dir/grid_cluster.cpp.o"
+  "CMakeFiles/retro_grid.dir/grid_cluster.cpp.o.d"
+  "CMakeFiles/retro_grid.dir/member.cpp.o"
+  "CMakeFiles/retro_grid.dir/member.cpp.o.d"
+  "CMakeFiles/retro_grid.dir/messages.cpp.o"
+  "CMakeFiles/retro_grid.dir/messages.cpp.o.d"
+  "CMakeFiles/retro_grid.dir/partition_table.cpp.o"
+  "CMakeFiles/retro_grid.dir/partition_table.cpp.o.d"
+  "libretro_grid.a"
+  "libretro_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

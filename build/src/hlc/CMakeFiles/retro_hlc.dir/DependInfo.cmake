@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hlc/clock.cpp" "src/hlc/CMakeFiles/retro_hlc.dir/clock.cpp.o" "gcc" "src/hlc/CMakeFiles/retro_hlc.dir/clock.cpp.o.d"
+  "/root/repo/src/hlc/lamport.cpp" "src/hlc/CMakeFiles/retro_hlc.dir/lamport.cpp.o" "gcc" "src/hlc/CMakeFiles/retro_hlc.dir/lamport.cpp.o.d"
+  "/root/repo/src/hlc/timestamp.cpp" "src/hlc/CMakeFiles/retro_hlc.dir/timestamp.cpp.o" "gcc" "src/hlc/CMakeFiles/retro_hlc.dir/timestamp.cpp.o.d"
+  "/root/repo/src/hlc/vector_clock.cpp" "src/hlc/CMakeFiles/retro_hlc.dir/vector_clock.cpp.o" "gcc" "src/hlc/CMakeFiles/retro_hlc.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/retro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_hlc.dir/clock.cpp.o"
+  "CMakeFiles/retro_hlc.dir/clock.cpp.o.d"
+  "CMakeFiles/retro_hlc.dir/lamport.cpp.o"
+  "CMakeFiles/retro_hlc.dir/lamport.cpp.o.d"
+  "CMakeFiles/retro_hlc.dir/timestamp.cpp.o"
+  "CMakeFiles/retro_hlc.dir/timestamp.cpp.o.d"
+  "CMakeFiles/retro_hlc.dir/vector_clock.cpp.o"
+  "CMakeFiles/retro_hlc.dir/vector_clock.cpp.o.d"
+  "libretro_hlc.a"
+  "libretro_hlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_hlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

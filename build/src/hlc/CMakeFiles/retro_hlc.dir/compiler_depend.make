@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for retro_hlc.
+# This may be replaced when dependencies are built.

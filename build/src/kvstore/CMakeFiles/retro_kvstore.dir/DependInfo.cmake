@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/admin.cpp" "src/kvstore/CMakeFiles/retro_kvstore.dir/admin.cpp.o" "gcc" "src/kvstore/CMakeFiles/retro_kvstore.dir/admin.cpp.o.d"
+  "/root/repo/src/kvstore/client.cpp" "src/kvstore/CMakeFiles/retro_kvstore.dir/client.cpp.o" "gcc" "src/kvstore/CMakeFiles/retro_kvstore.dir/client.cpp.o.d"
+  "/root/repo/src/kvstore/cluster.cpp" "src/kvstore/CMakeFiles/retro_kvstore.dir/cluster.cpp.o" "gcc" "src/kvstore/CMakeFiles/retro_kvstore.dir/cluster.cpp.o.d"
+  "/root/repo/src/kvstore/messages.cpp" "src/kvstore/CMakeFiles/retro_kvstore.dir/messages.cpp.o" "gcc" "src/kvstore/CMakeFiles/retro_kvstore.dir/messages.cpp.o.d"
+  "/root/repo/src/kvstore/ring.cpp" "src/kvstore/CMakeFiles/retro_kvstore.dir/ring.cpp.o" "gcc" "src/kvstore/CMakeFiles/retro_kvstore.dir/ring.cpp.o.d"
+  "/root/repo/src/kvstore/server.cpp" "src/kvstore/CMakeFiles/retro_kvstore.dir/server.cpp.o" "gcc" "src/kvstore/CMakeFiles/retro_kvstore.dir/server.cpp.o.d"
+  "/root/repo/src/kvstore/version_vector.cpp" "src/kvstore/CMakeFiles/retro_kvstore.dir/version_vector.cpp.o" "gcc" "src/kvstore/CMakeFiles/retro_kvstore.dir/version_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/retro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/retro_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/retro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/retro_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlc/CMakeFiles/retro_hlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/retro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

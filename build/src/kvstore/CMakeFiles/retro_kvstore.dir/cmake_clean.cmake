@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_kvstore.dir/admin.cpp.o"
+  "CMakeFiles/retro_kvstore.dir/admin.cpp.o.d"
+  "CMakeFiles/retro_kvstore.dir/client.cpp.o"
+  "CMakeFiles/retro_kvstore.dir/client.cpp.o.d"
+  "CMakeFiles/retro_kvstore.dir/cluster.cpp.o"
+  "CMakeFiles/retro_kvstore.dir/cluster.cpp.o.d"
+  "CMakeFiles/retro_kvstore.dir/messages.cpp.o"
+  "CMakeFiles/retro_kvstore.dir/messages.cpp.o.d"
+  "CMakeFiles/retro_kvstore.dir/ring.cpp.o"
+  "CMakeFiles/retro_kvstore.dir/ring.cpp.o.d"
+  "CMakeFiles/retro_kvstore.dir/server.cpp.o"
+  "CMakeFiles/retro_kvstore.dir/server.cpp.o.d"
+  "CMakeFiles/retro_kvstore.dir/version_vector.cpp.o"
+  "CMakeFiles/retro_kvstore.dir/version_vector.cpp.o.d"
+  "libretro_kvstore.a"
+  "libretro_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/archive.cpp" "src/log/CMakeFiles/retro_log.dir/archive.cpp.o" "gcc" "src/log/CMakeFiles/retro_log.dir/archive.cpp.o.d"
+  "/root/repo/src/log/diff.cpp" "src/log/CMakeFiles/retro_log.dir/diff.cpp.o" "gcc" "src/log/CMakeFiles/retro_log.dir/diff.cpp.o.d"
+  "/root/repo/src/log/estimator.cpp" "src/log/CMakeFiles/retro_log.dir/estimator.cpp.o" "gcc" "src/log/CMakeFiles/retro_log.dir/estimator.cpp.o.d"
+  "/root/repo/src/log/message_log.cpp" "src/log/CMakeFiles/retro_log.dir/message_log.cpp.o" "gcc" "src/log/CMakeFiles/retro_log.dir/message_log.cpp.o.d"
+  "/root/repo/src/log/window_log.cpp" "src/log/CMakeFiles/retro_log.dir/window_log.cpp.o" "gcc" "src/log/CMakeFiles/retro_log.dir/window_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hlc/CMakeFiles/retro_hlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/retro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_log.dir/archive.cpp.o"
+  "CMakeFiles/retro_log.dir/archive.cpp.o.d"
+  "CMakeFiles/retro_log.dir/diff.cpp.o"
+  "CMakeFiles/retro_log.dir/diff.cpp.o.d"
+  "CMakeFiles/retro_log.dir/estimator.cpp.o"
+  "CMakeFiles/retro_log.dir/estimator.cpp.o.d"
+  "CMakeFiles/retro_log.dir/message_log.cpp.o"
+  "CMakeFiles/retro_log.dir/message_log.cpp.o.d"
+  "CMakeFiles/retro_log.dir/window_log.cpp.o"
+  "CMakeFiles/retro_log.dir/window_log.cpp.o.d"
+  "libretro_log.a"
+  "libretro_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/causality.cpp" "src/sim/CMakeFiles/retro_sim.dir/causality.cpp.o" "gcc" "src/sim/CMakeFiles/retro_sim.dir/causality.cpp.o.d"
+  "/root/repo/src/sim/clock_model.cpp" "src/sim/CMakeFiles/retro_sim.dir/clock_model.cpp.o" "gcc" "src/sim/CMakeFiles/retro_sim.dir/clock_model.cpp.o.d"
+  "/root/repo/src/sim/disk.cpp" "src/sim/CMakeFiles/retro_sim.dir/disk.cpp.o" "gcc" "src/sim/CMakeFiles/retro_sim.dir/disk.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/retro_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/retro_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/memory_model.cpp" "src/sim/CMakeFiles/retro_sim.dir/memory_model.cpp.o" "gcc" "src/sim/CMakeFiles/retro_sim.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/retro_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/retro_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/sim_env.cpp" "src/sim/CMakeFiles/retro_sim.dir/sim_env.cpp.o" "gcc" "src/sim/CMakeFiles/retro_sim.dir/sim_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hlc/CMakeFiles/retro_hlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/retro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_sim.dir/causality.cpp.o"
+  "CMakeFiles/retro_sim.dir/causality.cpp.o.d"
+  "CMakeFiles/retro_sim.dir/clock_model.cpp.o"
+  "CMakeFiles/retro_sim.dir/clock_model.cpp.o.d"
+  "CMakeFiles/retro_sim.dir/disk.cpp.o"
+  "CMakeFiles/retro_sim.dir/disk.cpp.o.d"
+  "CMakeFiles/retro_sim.dir/executor.cpp.o"
+  "CMakeFiles/retro_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/retro_sim.dir/memory_model.cpp.o"
+  "CMakeFiles/retro_sim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/retro_sim.dir/network.cpp.o"
+  "CMakeFiles/retro_sim.dir/network.cpp.o.d"
+  "CMakeFiles/retro_sim.dir/sim_env.cpp.o"
+  "CMakeFiles/retro_sim.dir/sim_env.cpp.o.d"
+  "libretro_sim.a"
+  "libretro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_storage.dir/bdb_store.cpp.o"
+  "CMakeFiles/retro_storage.dir/bdb_store.cpp.o.d"
+  "libretro_storage.a"
+  "libretro_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

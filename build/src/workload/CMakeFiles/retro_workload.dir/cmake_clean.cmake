@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retro_workload.dir/driver.cpp.o"
+  "CMakeFiles/retro_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/retro_workload.dir/generator.cpp.o"
+  "CMakeFiles/retro_workload.dir/generator.cpp.o.d"
+  "libretro_workload.a"
+  "libretro_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retro_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdb_store.dir/test_bdb_store.cpp.o"
+  "CMakeFiles/test_bdb_store.dir/test_bdb_store.cpp.o.d"
+  "test_bdb_store"
+  "test_bdb_store.pdb"
+  "test_bdb_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdb_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

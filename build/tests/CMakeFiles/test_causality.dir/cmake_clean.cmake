@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_causality.dir/test_causality.cpp.o"
+  "CMakeFiles/test_causality.dir/test_causality.cpp.o.d"
+  "test_causality"
+  "test_causality.pdb"
+  "test_causality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

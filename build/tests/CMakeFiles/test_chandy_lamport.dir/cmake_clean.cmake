@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chandy_lamport.dir/test_chandy_lamport.cpp.o"
+  "CMakeFiles/test_chandy_lamport.dir/test_chandy_lamport.cpp.o.d"
+  "test_chandy_lamport"
+  "test_chandy_lamport.pdb"
+  "test_chandy_lamport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chandy_lamport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_baselines.dir/test_clock_baselines.cpp.o"
+  "CMakeFiles/test_clock_baselines.dir/test_clock_baselines.cpp.o.d"
+  "test_clock_baselines"
+  "test_clock_baselines.pdb"
+  "test_clock_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

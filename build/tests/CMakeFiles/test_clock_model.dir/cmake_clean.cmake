@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_model.dir/test_clock_model.cpp.o"
+  "CMakeFiles/test_clock_model.dir/test_clock_model.cpp.o.d"
+  "test_clock_model"
+  "test_clock_model.pdb"
+  "test_clock_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_executor.dir/test_disk_executor.cpp.o"
+  "CMakeFiles/test_disk_executor.dir/test_disk_executor.cpp.o.d"
+  "test_disk_executor"
+  "test_disk_executor.pdb"
+  "test_disk_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

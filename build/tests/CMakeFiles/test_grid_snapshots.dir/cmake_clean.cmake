@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_snapshots.dir/test_grid_snapshots.cpp.o"
+  "CMakeFiles/test_grid_snapshots.dir/test_grid_snapshots.cpp.o.d"
+  "test_grid_snapshots"
+  "test_grid_snapshots.pdb"
+  "test_grid_snapshots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hlc_timestamp.dir/test_hlc_timestamp.cpp.o"
+  "CMakeFiles/test_hlc_timestamp.dir/test_hlc_timestamp.cpp.o.d"
+  "test_hlc_timestamp"
+  "test_hlc_timestamp.pdb"
+  "test_hlc_timestamp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hlc_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

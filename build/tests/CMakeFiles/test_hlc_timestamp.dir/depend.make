@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hlc_timestamp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvstore_snapshots.dir/test_kvstore_snapshots.cpp.o"
+  "CMakeFiles/test_kvstore_snapshots.dir/test_kvstore_snapshots.cpp.o.d"
+  "test_kvstore_snapshots"
+  "test_kvstore_snapshots.pdb"
+  "test_kvstore_snapshots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvstore_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

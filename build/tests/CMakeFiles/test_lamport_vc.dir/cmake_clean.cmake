@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lamport_vc.dir/test_lamport_vc.cpp.o"
+  "CMakeFiles/test_lamport_vc.dir/test_lamport_vc.cpp.o.d"
+  "test_lamport_vc"
+  "test_lamport_vc.pdb"
+  "test_lamport_vc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lamport_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_fuzz.dir/test_log_fuzz.cpp.o"
+  "CMakeFiles/test_log_fuzz.dir/test_log_fuzz.cpp.o.d"
+  "test_log_fuzz"
+  "test_log_fuzz.pdb"
+  "test_log_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_log.dir/test_message_log.cpp.o"
+  "CMakeFiles/test_message_log.dir/test_message_log.cpp.o.d"
+  "test_message_log"
+  "test_message_log.pdb"
+  "test_message_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiversion.dir/test_multiversion.cpp.o"
+  "CMakeFiles/test_multiversion.dir/test_multiversion.cpp.o.d"
+  "test_multiversion"
+  "test_multiversion.pdb"
+  "test_multiversion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

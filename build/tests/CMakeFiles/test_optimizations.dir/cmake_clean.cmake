@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizations.dir/test_optimizations.cpp.o"
+  "CMakeFiles/test_optimizations.dir/test_optimizations.cpp.o.d"
+  "test_optimizations"
+  "test_optimizations.pdb"
+  "test_optimizations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retroscope_core.dir/test_retroscope_core.cpp.o"
+  "CMakeFiles/test_retroscope_core.dir/test_retroscope_core.cpp.o.d"
+  "test_retroscope_core"
+  "test_retroscope_core.pdb"
+  "test_retroscope_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retroscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

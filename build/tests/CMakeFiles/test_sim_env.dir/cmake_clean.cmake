@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_env.dir/test_sim_env.cpp.o"
+  "CMakeFiles/test_sim_env.dir/test_sim_env.cpp.o.d"
+  "test_sim_env"
+  "test_sim_env.pdb"
+  "test_sim_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

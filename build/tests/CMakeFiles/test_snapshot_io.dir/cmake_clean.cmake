@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshot_io.dir/test_snapshot_io.cpp.o"
+  "CMakeFiles/test_snapshot_io.dir/test_snapshot_io.cpp.o.d"
+  "test_snapshot_io"
+  "test_snapshot_io.pdb"
+  "test_snapshot_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshot_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshot_store.dir/test_snapshot_store.cpp.o"
+  "CMakeFiles/test_snapshot_store.dir/test_snapshot_store.cpp.o.d"
+  "test_snapshot_store"
+  "test_snapshot_store.pdb"
+  "test_snapshot_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshot_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

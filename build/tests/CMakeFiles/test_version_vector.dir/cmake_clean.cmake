@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_version_vector.dir/test_version_vector.cpp.o"
+  "CMakeFiles/test_version_vector.dir/test_version_vector.cpp.o.d"
+  "test_version_vector"
+  "test_version_vector.pdb"
+  "test_version_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_version_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_log.dir/test_window_log.cpp.o"
+  "CMakeFiles/test_window_log.dir/test_window_log.cpp.o.d"
+  "test_window_log"
+  "test_window_log.pdb"
+  "test_window_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
