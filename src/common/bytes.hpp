@@ -55,7 +55,10 @@ class ByteReader {
 
  private:
   void require(size_t n) const {
-    if (pos_ + n > data_.size()) {
+    // Compare against remaining() rather than pos_ + n, which would wrap
+    // for an adversarial length prefix near SIZE_MAX and let a truncated
+    // read through.
+    if (n > data_.size() - pos_) {
       throw std::out_of_range("ByteReader: truncated input");
     }
   }

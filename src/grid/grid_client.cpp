@@ -23,11 +23,13 @@ void GridClient::put(const Key& key, Value value, PutCallback done) {
   pending_.emplace(reqId, std::move(op));
 
   ByteWriter w;
-  if (hlcEnabled_) hlc::wrapHlc(clock_, w);
+  hlc::Timestamp ts;
+  if (hlcEnabled_) ts = hlc::wrapHlc(clock_, w);
   MapPutBody body{reqId, key, std::move(value)};
   body.writeTo(w);
-  network_->send(
+  const uint64_t msgId = network_->send(
       sim::Message{id_, table_->ownerOfKey(key), kMapPut, w.take()});
+  if (trace_ && hlcEnabled_) trace_->onSend(id_, msgId, ts);
 }
 
 void GridClient::get(const Key& key, GetCallback done) {
@@ -39,16 +41,21 @@ void GridClient::get(const Key& key, GetCallback done) {
   pending_.emplace(reqId, std::move(op));
 
   ByteWriter w;
-  if (hlcEnabled_) hlc::wrapHlc(clock_, w);
+  hlc::Timestamp ts;
+  if (hlcEnabled_) ts = hlc::wrapHlc(clock_, w);
   MapGetBody body{reqId, key};
   body.writeTo(w);
-  network_->send(
+  const uint64_t msgId = network_->send(
       sim::Message{id_, table_->ownerOfKey(key), kMapGet, w.take()});
+  if (trace_ && hlcEnabled_) trace_->onSend(id_, msgId, ts);
 }
 
 void GridClient::onMessage(sim::Message&& msg) {
   ByteReader r(msg.payload);
-  if (hlcEnabled_) hlc::unwrapHlc(clock_, r);
+  if (hlcEnabled_) {
+    const hlc::Timestamp ts = hlc::unwrapHlc(clock_, r);
+    if (trace_) trace_->onRecv(id_, msg.msgId, ts);
+  }
   if (msg.type != kMapResponse) return;
   auto body = MapResponseBody::readFrom(r);
   auto it = pending_.find(body.requestId);

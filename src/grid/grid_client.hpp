@@ -11,6 +11,7 @@
 #include "hlc/clock.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
+#include "sim/trace.hpp"
 
 namespace retro::grid {
 
@@ -32,6 +33,10 @@ class GridClient {
 
   uint64_t opsCompleted() const { return opsCompleted_; }
 
+  /// Attach a causality trace (fuzz harness); null disables recording.
+  /// Only meaningful when hlcEnabled.
+  void setTrace(sim::CausalityTrace* trace) { trace_ = trace; }
+
  private:
   struct PendingOp {
     bool isPut = false;
@@ -48,6 +53,7 @@ class GridClient {
   hlc::Clock clock_;
   const PartitionTable* table_;
   bool hlcEnabled_;
+  sim::CausalityTrace* trace_ = nullptr;
 
   uint64_t nextRequestId_ = 1;
   std::unordered_map<uint64_t, PendingOp> pending_;

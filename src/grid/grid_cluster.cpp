@@ -27,6 +27,32 @@ GridCluster::GridCluster(GridConfig config)
   }
 }
 
+sim::CausalityTrace& GridCluster::enableCausalityTrace() {
+  if (!trace_) {
+    const size_t totalNodes = config_.members + config_.clients;
+    trace_ = std::make_unique<sim::CausalityTrace>(env_, *clocks_, totalNodes);
+    for (auto& m : members_) m->setTrace(trace_.get());
+    for (auto& c : clients_) c->setTrace(trace_.get());
+  }
+  return *trace_;
+}
+
+void GridCluster::setEpsilonDetection(int64_t epsilonMillis) {
+  for (auto& m : members_) {
+    m->retroscope().clock().setEpsilonMillis(epsilonMillis);
+  }
+  for (auto& c : clients_) c->clock().setEpsilonMillis(epsilonMillis);
+}
+
+uint64_t GridCluster::totalEpsilonViolations() const {
+  uint64_t total = 0;
+  for (const auto& m : members_) {
+    total += m->retroscope().clock().epsilonViolations();
+  }
+  for (const auto& c : clients_) total += c->clock().epsilonViolations();
+  return total;
+}
+
 Key GridCluster::keyOf(uint64_t i) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "gkey-%09llu",

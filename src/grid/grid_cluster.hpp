@@ -11,6 +11,7 @@
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
 #include "sim/sim_env.hpp"
+#include "sim/trace.hpp"
 
 namespace retro::grid {
 
@@ -45,6 +46,18 @@ class GridCluster {
 
   static Key keyOf(uint64_t i);
 
+  /// Start recording every HLC send/recv/local event into a causality
+  /// trace (fuzz harness).  Idempotent; returns the trace.  Requires a
+  /// non-kOriginal member mode (HLC must be on).
+  sim::CausalityTrace& enableCausalityTrace();
+  const sim::CausalityTrace* trace() const { return trace_.get(); }
+
+  /// Arm ε-violation detection on every node's HLC.
+  void setEpsilonDetection(int64_t epsilonMillis);
+
+  /// Sum of per-node HLC ε-violation counters.
+  uint64_t totalEpsilonViolations() const;
+
   /// Load `items` of `valueBytes` each into owners and backups directly.
   void preload(uint64_t items, size_t valueBytes);
 
@@ -58,6 +71,7 @@ class GridCluster {
   std::unique_ptr<PartitionTable> table_;
   std::vector<std::unique_ptr<GridMember>> members_;
   std::vector<std::unique_ptr<GridClient>> clients_;
+  std::unique_ptr<sim::CausalityTrace> trace_;
 };
 
 }  // namespace retro::grid

@@ -69,17 +69,20 @@ hlc::Timestamp GridMember::readHeader(ByteReader& r) {
   return hlc::Timestamp::readFrom(r);
 }
 
-void GridMember::writeHeader(ByteWriter& w) {
-  if (config_.mode == Mode::kOriginal) return;
-  retroscope_.wrapHLC(w);
+hlc::Timestamp GridMember::writeHeader(ByteWriter& w) {
+  if (config_.mode == Mode::kOriginal) return {};
+  return retroscope_.wrapHLC(w);
 }
 
 void GridMember::send(NodeId to, uint32_t type,
                       const std::function<void(ByteWriter&)>& body) {
   ByteWriter w;
-  writeHeader(w);
+  const hlc::Timestamp ts = writeHeader(w);
   body(w);
-  network_->send(sim::Message{id_, to, type, w.take()});
+  const uint64_t msgId = network_->send(sim::Message{id_, to, type, w.take()});
+  if (trace_ && config_.mode != Mode::kOriginal) {
+    trace_->onSend(id_, msgId, ts);
+  }
 }
 
 void GridMember::onMessage(sim::Message&& msg) {
@@ -95,8 +98,12 @@ void GridMember::onMessage(sim::Message&& msg) {
           config_.putServiceMicros + hlcCost +
           (config_.mode == Mode::kFull ? config_.logAppendMicros : 0);
       executor_.submit(cost, [this, remoteTs, from = msg.from,
+                              msgId = msg.msgId,
                               body = std::move(body)]() mutable {
-        if (config_.mode != Mode::kOriginal) retroscope_.timeTick(remoteTs);
+        if (config_.mode != Mode::kOriginal) {
+          const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+          if (trace_) trace_->onRecv(id_, msgId, ts);
+        }
         handlePut(from, std::move(body));
       });
       break;
@@ -104,10 +111,12 @@ void GridMember::onMessage(sim::Message&& msg) {
     case kMapGet: {
       auto body = MapGetBody::readFrom(r);
       executor_.submit(config_.getServiceMicros + hlcCost,
-                       [this, remoteTs, from = msg.from,
+                       [this, remoteTs, from = msg.from, msgId = msg.msgId,
                         body = std::move(body)]() mutable {
                          if (config_.mode != Mode::kOriginal) {
-                           retroscope_.timeTick(remoteTs);
+                           const hlc::Timestamp ts =
+                               retroscope_.timeTick(remoteTs);
+                           if (trace_) trace_->onRecv(id_, msgId, ts);
                          }
                          handleGet(from, std::move(body));
                        });
@@ -116,9 +125,12 @@ void GridMember::onMessage(sim::Message&& msg) {
     case kBackupReplicate: {
       auto body = BackupReplicateBody::readFrom(r);
       executor_.submit(config_.backupApplyMicros + hlcCost,
-                       [this, remoteTs, body = std::move(body)]() mutable {
+                       [this, remoteTs, msgId = msg.msgId,
+                        body = std::move(body)]() mutable {
                          if (config_.mode != Mode::kOriginal) {
-                           retroscope_.timeTick(remoteTs);
+                           const hlc::Timestamp ts =
+                               retroscope_.timeTick(remoteTs);
+                           if (trace_) trace_->onRecv(id_, msgId, ts);
                          }
                          handleBackup(std::move(body));
                        });
@@ -126,24 +138,35 @@ void GridMember::onMessage(sim::Message&& msg) {
     }
     case kHeartbeat: {
       // Health monitoring also goes through the HLC-injecting RPC layer.
-      executor_.submit(5 + hlcCost, [this, remoteTs] {
-        if (config_.mode != Mode::kOriginal) retroscope_.timeTick(remoteTs);
+      executor_.submit(5 + hlcCost, [this, remoteTs, msgId = msg.msgId] {
+        if (config_.mode != Mode::kOriginal) {
+          const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+          if (trace_) trace_->onRecv(id_, msgId, ts);
+        }
       });
       break;
     }
     case kSnapshotStart: {
       auto body = GridSnapshotStartBody::readFrom(r);
       executor_.submit(200 + hlcCost, [this, remoteTs, from = msg.from,
+                                       msgId = msg.msgId,
                                        body = std::move(body)]() mutable {
-        if (config_.mode != Mode::kOriginal) retroscope_.timeTick(remoteTs);
+        if (config_.mode != Mode::kOriginal) {
+          const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+          if (trace_) trace_->onRecv(id_, msgId, ts);
+        }
         handleSnapshotStart(from, std::move(body));
       });
       break;
     }
     case kSnapshotAck: {
       auto body = GridSnapshotAckBody::readFrom(r);
-      executor_.submit(20 + hlcCost, [this, remoteTs, body]() {
-        if (config_.mode != Mode::kOriginal) retroscope_.timeTick(remoteTs);
+      executor_.submit(20 + hlcCost, [this, remoteTs, msgId = msg.msgId,
+                                      body]() {
+        if (config_.mode != Mode::kOriginal) {
+          const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+          if (trace_) trace_->onRecv(id_, msgId, ts);
+        }
         handleSnapshotAck(body);
       });
       break;
@@ -277,7 +300,9 @@ core::SnapshotId GridMember::initiateSnapshot(hlc::Timestamp target,
 }
 
 core::SnapshotId GridMember::initiateSnapshotNow(SnapshotCallback done) {
-  return initiateSnapshot(retroscope_.timeTick(), std::move(done));
+  const hlc::Timestamp now = retroscope_.timeTick();
+  if (trace_ && config_.mode != Mode::kOriginal) trace_->onLocal(id_, now);
+  return initiateSnapshot(now, std::move(done));
 }
 
 void GridMember::handleSnapshotStart(NodeId from, GridSnapshotStartBody body) {

@@ -24,6 +24,7 @@
 #include "sim/disk.hpp"
 #include "sim/executor.hpp"
 #include "sim/network.hpp"
+#include "sim/trace.hpp"
 
 namespace retro::grid {
 
@@ -101,6 +102,10 @@ class GridMember {
   /// Primary data of one owned partition (tests).
   const std::unordered_map<Key, Value>* partitionData(uint32_t p) const;
 
+  /// Attach a causality trace (fuzz harness); null disables recording.
+  /// Only meaningful outside Mode::kOriginal (no HLC there).
+  void setTrace(sim::CausalityTrace* trace) { trace_ = trace; }
+
  private:
   struct PartitionState {
     std::unordered_map<Key, Value> data;
@@ -123,7 +128,7 @@ class GridMember {
 
   void onMessage(sim::Message&& msg);
   hlc::Timestamp readHeader(ByteReader& r);
-  void writeHeader(ByteWriter& w);
+  hlc::Timestamp writeHeader(ByteWriter& w);
   void send(NodeId to, uint32_t type,
             const std::function<void(ByteWriter&)>& body);
 
@@ -145,6 +150,7 @@ class GridMember {
   sim::Network* network_;
   const PartitionTable* table_;
   MemberConfig config_;
+  sim::CausalityTrace* trace_ = nullptr;
 
   std::unique_ptr<sim::SimDisk> disk_;
   sim::Executor executor_;

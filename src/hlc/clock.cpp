@@ -15,6 +15,19 @@ void Clock::observe(const Timestamp& t) {
   maxC_ = std::max(maxC_, t.c);
 }
 
+// The logical counter occupies 16 bits on the wire (Timestamp::pack);
+// letting c exceed kMaxLogical would corrupt packed timestamps and, on
+// wraparound, break monotonicity.  Promote the overflow into l instead:
+// (l, 2^16) -> (l+1, 0) stays strictly increasing and keeps l >= pt.
+// Reachable in practice only via an adversarial or corrupt remote
+// timestamp carrying a near-max c.
+void Clock::promoteOnOverflow() {
+  if (now_.c > Timestamp::kMaxLogical) {
+    ++now_.l;
+    now_.c = 0;
+  }
+}
+
 Timestamp Clock::tick() {
   const int64_t pt = physical_->nowMillis();
   if (pt > now_.l) {
@@ -22,6 +35,7 @@ Timestamp Clock::tick() {
     now_.c = 0;
   } else {
     ++now_.c;
+    promoteOnOverflow();
   }
   maxDrift_ = std::max(maxDrift_, now_.l - pt);
   observe(now_);
@@ -30,6 +44,10 @@ Timestamp Clock::tick() {
 
 Timestamp Clock::tick(const Timestamp& m) {
   const int64_t pt = physical_->nowMillis();
+  maxRemoteAhead_ = std::max(maxRemoteAhead_, m.l - pt);
+  if (epsilonMillis_ > 0 && m.l - pt > epsilonMillis_) {
+    ++epsilonViolations_;
+  }
   const int64_t newL = std::max({now_.l, m.l, pt});
   uint32_t newC;
   if (newL == now_.l && newL == m.l) {
@@ -43,6 +61,7 @@ Timestamp Clock::tick(const Timestamp& m) {
   }
   now_.l = newL;
   now_.c = newC;
+  promoteOnOverflow();
   maxDrift_ = std::max(maxDrift_, now_.l - pt);
   observe(now_);
   return now_;

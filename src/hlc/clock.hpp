@@ -61,13 +61,34 @@ class Clock {
   /// Maximum observed drift l - pt (bounded by the NTP skew eps).
   int64_t maxDriftMillis() const { return maxDrift_; }
 
+  // --- epsilon-violation detection (§II) ---
+  // Under a skew bound of eps, no remote timestamp can legitimately run
+  // more than eps ahead of the local physical clock.  With a bound
+  // configured, tick(m) counts remote timestamps that violate it —
+  // evidence of a misbehaving clock somewhere in the cluster (the
+  // GentleRain-style anomaly).  Detection only; the tick still proceeds
+  // so HLC's guarantees are preserved even for anomalous inputs.
+
+  /// Enable detection with the given bound (0 disables).  `eps` is the
+  /// worst-case perceived-clock difference between two nodes: for clocks
+  /// within +/-d of true time, pass 2*d (plus rounding margin).
+  void setEpsilonMillis(int64_t eps) { epsilonMillis_ = eps; }
+  int64_t epsilonMillis() const { return epsilonMillis_; }
+  uint64_t epsilonViolations() const { return epsilonViolations_; }
+  /// Largest m.l - pt observed across all remote ticks.
+  int64_t maxRemoteAheadMillis() const { return maxRemoteAhead_; }
+
  private:
   void observe(const Timestamp& t);
+  void promoteOnOverflow();
 
   PhysicalClock* physical_;
   Timestamp now_{};
   uint32_t maxC_ = 0;
   int64_t maxDrift_ = 0;
+  int64_t epsilonMillis_ = 0;
+  uint64_t epsilonViolations_ = 0;
+  int64_t maxRemoteAhead_ = 0;
 };
 
 /// Convenience for messaging layers (Table I wrapHLC/unwrapHLC): tick the

@@ -47,13 +47,16 @@ core::SnapshotId AdminClient::doSnapshot(hlc::Timestamp target,
 }
 
 core::SnapshotId AdminClient::snapshotNow(SnapshotCallback done) {
-  return doSnapshot(clock_.tick(), core::SnapshotKind::kFull, std::nullopt,
+  const hlc::Timestamp now = clock_.tick();
+  if (trace_) trace_->onLocal(id_, now);
+  return doSnapshot(now, core::SnapshotKind::kFull, std::nullopt,
                     std::move(done));
 }
 
 core::SnapshotId AdminClient::snapshotPast(int64_t deltaMillis,
                                            SnapshotCallback done) {
   const hlc::Timestamp now = clock_.tick();
+  if (trace_) trace_->onLocal(id_, now);
   return doSnapshot(hlc::fromPhysicalMillis(now.l - deltaMillis),
                     core::SnapshotKind::kFull, std::nullopt, std::move(done));
 }
@@ -61,10 +64,12 @@ core::SnapshotId AdminClient::snapshotPast(int64_t deltaMillis,
 void AdminClient::sendRequest(NodeId server,
                               const core::SnapshotRequest& request) {
   ByteWriter w;
-  hlc::wrapHlc(clock_, w);
+  const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
   SnapshotRequestBody body{request};
   body.writeTo(w);
-  network_->send(sim::Message{id_, server, kSnapshotRequest, w.take()});
+  const uint64_t msgId =
+      network_->send(sim::Message{id_, server, kSnapshotRequest, w.take()});
+  if (trace_) trace_->onSend(id_, msgId, ts);
 }
 
 void AdminClient::checkProgress(
@@ -73,10 +78,12 @@ void AdminClient::checkProgress(
   progressHandler_ = std::move(onReply);
   for (NodeId server : servers_) {
     ByteWriter w;
-    hlc::wrapHlc(clock_, w);
+    const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
     ProgressRequestBody body{id};
     body.writeTo(w);
-    network_->send(sim::Message{id_, server, kProgressRequest, w.take()});
+    const uint64_t msgId =
+        network_->send(sim::Message{id_, server, kProgressRequest, w.take()});
+    if (trace_) trace_->onSend(id_, msgId, ts);
   }
 }
 
@@ -114,7 +121,8 @@ const core::SnapshotSession* AdminClient::findSession(
 
 void AdminClient::onMessage(sim::Message&& msg) {
   ByteReader r(msg.payload);
-  hlc::unwrapHlc(clock_, r);
+  const hlc::Timestamp ts = hlc::unwrapHlc(clock_, r);
+  if (trace_) trace_->onRecv(id_, msg.msgId, ts);
 
   if (msg.type == kSnapshotAck) {
     auto body = SnapshotAckBody::readFrom(r);

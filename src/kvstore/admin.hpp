@@ -21,6 +21,7 @@
 #include "kvstore/messages.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
+#include "sim/trace.hpp"
 
 namespace retro::kv {
 
@@ -73,6 +74,9 @@ class AdminClient {
   const core::SnapshotSession* findSession(core::SnapshotId id) const;
   hlc::Clock& clock() { return clock_; }
 
+  /// Attach a causality trace (fuzz harness); null disables recording.
+  void setTrace(sim::CausalityTrace* trace) { trace_ = trace; }
+
  private:
   void onMessage(sim::Message&& msg);
   void sendRequest(NodeId server, const core::SnapshotRequest& request);
@@ -83,6 +87,7 @@ class AdminClient {
   hlc::Clock clock_;
   std::vector<NodeId> servers_;
   AdminConfig config_;
+  sim::CausalityTrace* trace_ = nullptr;
   core::SnapshotIdAllocator idAlloc_;
 
   std::map<core::SnapshotId, core::SnapshotSession> sessions_;

@@ -43,9 +43,11 @@ void VoldemortClient::put(const Key& key, Value value, PutCallback done) {
   // The client replicates the item itself: one message per replica.
   for (NodeId server : replicas) {
     ByteWriter w;
-    hlc::wrapHlc(clock_, w);
+    const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
     body.writeTo(w);
-    network_->send(sim::Message{id_, server, kPutRequest, w.take()});
+    const uint64_t msgId =
+        network_->send(sim::Message{id_, server, kPutRequest, w.take()});
+    if (trace_) trace_->onSend(id_, msgId, ts);
   }
   armTimeout(reqId);
 }
@@ -69,9 +71,11 @@ void VoldemortClient::get(const Key& key, GetCallback done) {
   body.key = key;
   for (size_t i = 0; i < toAsk; ++i) {
     ByteWriter w;
-    hlc::wrapHlc(clock_, w);
+    const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
     body.writeTo(w);
-    network_->send(sim::Message{id_, replicas[i], kGetRequest, w.take()});
+    const uint64_t msgId =
+        network_->send(sim::Message{id_, replicas[i], kGetRequest, w.take()});
+    if (trace_) trace_->onSend(id_, msgId, ts);
   }
   armTimeout(reqId);
 }
@@ -94,7 +98,15 @@ void VoldemortClient::armTimeout(uint64_t reqId) {
 
 void VoldemortClient::onMessage(sim::Message&& msg) {
   ByteReader r(msg.payload);
-  hlc::unwrapHlc(clock_, r);  // receive-event tick: causality via client
+  if (config_.faultInjection.skipReceiveTick) {
+    // Injected bug: consume the header but drop the causality update.
+    hlc::Timestamp::readFrom(r);
+    if (trace_) trace_->onRecv(id_, msg.msgId, clock_.current());
+  } else {
+    // receive-event tick: causality via client
+    const hlc::Timestamp ts = hlc::unwrapHlc(clock_, r);
+    if (trace_) trace_->onRecv(id_, msg.msgId, ts);
+  }
 
   if (msg.type == kPutResponse) {
     auto body = PutResponseBody::readFrom(r);

@@ -14,6 +14,7 @@
 #include "kvstore/ring.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
+#include "sim/trace.hpp"
 
 namespace retro::kv {
 
@@ -26,6 +27,15 @@ struct ClientConfig {
   TimeMicros opTimeoutMicros = 0;
   /// Cap on the client's per-key version cache (cleared when exceeded).
   size_t versionCacheCap = 200'000;
+
+  /// Deliberate protocol bugs for harness self-tests: the fuzz checker
+  /// must catch each of these, never ship them enabled.
+  struct FaultInjectionConfig {
+    /// Strip the HLC header on receive without ticking the clock —
+    /// breaks causality propagation through the client.
+    bool skipReceiveTick = false;
+  };
+  FaultInjectionConfig faultInjection;
 };
 
 class VoldemortClient {
@@ -43,6 +53,9 @@ class VoldemortClient {
 
   void put(const Key& key, Value value, PutCallback done);
   void get(const Key& key, GetCallback done);
+
+  /// Attach a causality trace (fuzz harness); null disables recording.
+  void setTrace(sim::CausalityTrace* trace) { trace_ = trace; }
 
   uint64_t opsCompleted() const { return opsCompleted_; }
   uint64_t opsTimedOut() const { return opsTimedOut_; }
@@ -72,6 +85,7 @@ class VoldemortClient {
   hlc::Clock clock_;
   const Ring* ring_;
   ClientConfig config_;
+  sim::CausalityTrace* trace_ = nullptr;
 
   uint64_t nextRequestId_ = 1;
   std::unordered_map<uint64_t, PendingOp> pending_;

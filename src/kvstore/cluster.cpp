@@ -27,6 +27,35 @@ VoldemortCluster::VoldemortCluster(ClusterConfig config)
                                          config_.admin);
 }
 
+sim::CausalityTrace& VoldemortCluster::enableCausalityTrace() {
+  if (!trace_) {
+    const size_t totalNodes = config_.servers + config_.clients + 1;
+    trace_ = std::make_unique<sim::CausalityTrace>(env_, *clocks_, totalNodes);
+    for (auto& s : servers_) s->setTrace(trace_.get());
+    for (auto& c : clients_) c->setTrace(trace_.get());
+    admin_->setTrace(trace_.get());
+  }
+  return *trace_;
+}
+
+void VoldemortCluster::setEpsilonDetection(int64_t epsilonMillis) {
+  for (auto& s : servers_) {
+    s->retroscope().clock().setEpsilonMillis(epsilonMillis);
+  }
+  for (auto& c : clients_) c->clock().setEpsilonMillis(epsilonMillis);
+  admin_->clock().setEpsilonMillis(epsilonMillis);
+}
+
+uint64_t VoldemortCluster::totalEpsilonViolations() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    total += s->retroscope().clock().epsilonViolations();
+  }
+  for (const auto& c : clients_) total += c->clock().epsilonViolations();
+  total += admin_->clock().epsilonViolations();
+  return total;
+}
+
 std::vector<NodeId> VoldemortCluster::serverIds() const {
   std::vector<NodeId> ids;
   ids.reserve(servers_.size());

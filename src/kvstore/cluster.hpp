@@ -13,6 +13,7 @@
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
 #include "sim/sim_env.hpp"
+#include "sim/trace.hpp"
 
 namespace retro::kv {
 
@@ -44,6 +45,22 @@ class VoldemortCluster {
 
   std::vector<NodeId> serverIds() const;
 
+  /// The physical clock behind `node` (fault injection in the fuzz
+  /// harness: skew spikes, stepping).
+  sim::SkewedClock& clockOf(NodeId node) { return clocks_->clock(node); }
+
+  /// Start recording every HLC send/recv/local event into a causality
+  /// trace (fuzz harness).  Idempotent; returns the trace.
+  sim::CausalityTrace& enableCausalityTrace();
+  const sim::CausalityTrace* trace() const { return trace_.get(); }
+
+  /// Arm ε-violation detection on every node's HLC with the given
+  /// threshold (remote timestamp more than ε ms ahead of local physical).
+  void setEpsilonDetection(int64_t epsilonMillis);
+
+  /// Sum of per-node HLC ε-violation counters.
+  uint64_t totalEpsilonViolations() const;
+
   /// Key naming shared by benches/tests: "key-<i>" zero-padded so all
   /// keys have equal length (stable byte accounting).
   static Key keyOf(uint64_t i);
@@ -65,6 +82,7 @@ class VoldemortCluster {
   std::vector<std::unique_ptr<VoldemortServer>> servers_;
   std::vector<std::unique_ptr<VoldemortClient>> clients_;
   std::unique_ptr<AdminClient> admin_;
+  std::unique_ptr<sim::CausalityTrace> trace_;
 };
 
 }  // namespace retro::kv

@@ -86,9 +86,10 @@ void VoldemortServer::restoreFromSnapshot(core::SnapshotId id,
 void VoldemortServer::send(NodeId to, uint32_t type,
                            const std::function<void(ByteWriter&)>& body) {
   ByteWriter w;
-  retroscope_.wrapHLC(w);
+  const hlc::Timestamp ts = retroscope_.wrapHLC(w);
   body(w);
-  network_->send(sim::Message{id_, to, type, w.take()});
+  const uint64_t msgId = network_->send(sim::Message{id_, to, type, w.take()});
+  if (trace_) trace_->onSend(id_, msgId, ts);
 }
 
 void VoldemortServer::onMessage(sim::Message&& msg) {
@@ -105,9 +106,11 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
                                         memory_.utilization());
       }
       executor_.submit(cost, [this, remoteTs, from = msg.from,
+                              msgId = msg.msgId,
                               body = std::move(body)]() mutable {
         if (!alive_) return;
         const hlc::Timestamp eventTs = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, eventTs);
         handlePut(eventTs, from, std::move(body));
       });
       break;
@@ -115,10 +118,12 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
     case kGetRequest: {
       auto body = GetRequestBody::readFrom(r);
       executor_.submit(config_.getServiceMicros,
-                       [this, remoteTs, from = msg.from,
+                       [this, remoteTs, from = msg.from, msgId = msg.msgId,
                         body = std::move(body)]() mutable {
                          if (!alive_) return;
-                         retroscope_.timeTick(remoteTs);
+                         const hlc::Timestamp ts =
+                             retroscope_.timeTick(remoteTs);
+                         if (trace_) trace_->onRecv(id_, msgId, ts);
                          handleGet(from, std::move(body));
                        });
       break;
@@ -126,18 +131,22 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
     case kSnapshotRequest: {
       auto body = SnapshotRequestBody::readFrom(r);
       executor_.submit(500, [this, remoteTs, from = msg.from,
+                             msgId = msg.msgId,
                              body = std::move(body)]() mutable {
         if (!alive_) return;
-        retroscope_.timeTick(remoteTs);
+        const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, ts);
         handleSnapshotRequest(from, std::move(body));
       });
       break;
     }
     case kProgressRequest: {
       auto body = ProgressRequestBody::readFrom(r);
-      executor_.submit(50, [this, remoteTs, from = msg.from, body]() {
+      executor_.submit(50, [this, remoteTs, from = msg.from,
+                            msgId = msg.msgId, body]() {
         if (!alive_) return;
-        retroscope_.timeTick(remoteTs);
+        const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, ts);
         handleProgressRequest(from, body);
       });
       break;
@@ -289,7 +298,11 @@ void VoldemortServer::chargeCopyCpu(uint64_t bytes, std::function<void()> done) 
   // between chunks instead of stalling behind one giant task.
   auto state = std::make_shared<uint64_t>(bytes);
   auto submit = std::make_shared<std::function<void()>>();
-  *submit = [this, state, chunk, microsPerByte, submit,
+  // The continuation holds only a weak self-reference; each pending
+  // executor task holds the strong one.  A strong self-capture would be
+  // a shared_ptr cycle that outlives the copy (leak).
+  std::weak_ptr<std::function<void()>> weakSubmit = submit;
+  *submit = [this, state, chunk, microsPerByte, weakSubmit,
              done = std::move(done)]() mutable {
     if (*state == 0) {
       done();
@@ -300,7 +313,7 @@ void VoldemortServer::chargeCopyCpu(uint64_t bytes, std::function<void()> done) 
     executor_.submit(
         static_cast<TimeMicros>(std::llround(
             static_cast<double>(thisChunk) * microsPerByte)),
-        [submit] { (*submit)(); });
+        [strong = weakSubmit.lock()] { (*strong)(); });
   };
   (*submit)();
 }

@@ -26,6 +26,7 @@
 #include "sim/executor.hpp"
 #include "sim/memory_model.hpp"
 #include "sim/network.hpp"
+#include "sim/trace.hpp"
 #include "storage/bdb_store.hpp"
 
 namespace retro::kv {
@@ -133,6 +134,9 @@ class VoldemortServer {
   /// config.archive.enabled).
   const log::LogArchive* archive() const { return archive_.get(); }
 
+  /// Attach a causality trace (fuzz harness); null disables recording.
+  void setTrace(sim::CausalityTrace* trace) { trace_ = trace; }
+
   uint64_t putsProcessed() const { return putsProcessed_; }
   uint64_t getsProcessed() const { return getsProcessed_; }
   uint64_t conflictsDetected() const { return conflictsDetected_; }
@@ -173,6 +177,7 @@ class VoldemortServer {
   sim::SimEnv* env_;
   sim::Network* network_;
   ServerConfig config_;
+  sim::CausalityTrace* trace_ = nullptr;
 
   std::unique_ptr<sim::SimDisk> disk_;
   sim::Executor executor_;

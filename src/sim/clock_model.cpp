@@ -36,8 +36,10 @@ TimeMicros SkewedClock::offsetAt(TimeMicros trueNow) {
 
 TimeMicros SkewedClock::nowMicros() {
   const TimeMicros trueNow = env_->now();
-  // Perceived time is monotone in true time because drift rate << 1.
-  return std::max<TimeMicros>(0, trueNow + offsetAt(trueNow));
+  // Perceived time is monotone in true time because drift rate << 1 —
+  // except across NTP resyncs and injected anomalies, which may step it
+  // backwards (HLC must absorb both).
+  return std::max<TimeMicros>(0, trueNow + offsetAt(trueNow) + anomalyOffset_);
 }
 
 ClockFleet::ClockFleet(SimEnv& env, const ClockModelConfig& config,

@@ -40,7 +40,15 @@ class SkewedClock final : public hlc::PhysicalClock {
   int64_t nowMillis() override { return nowMicros() / kMicrosPerMilli; }
 
   /// Current offset from true time (for tests / diagnostics).
-  TimeMicros currentOffset() { return offsetAt(env_->now()); }
+  TimeMicros currentOffset() { return offsetAt(env_->now()) + anomalyOffset_; }
+
+  /// Inject a clock anomaly: shift this node's perceived time by `delta`
+  /// on top of (and *outside*) the modeled NTP skew bound — the
+  /// GentleRain-style misbehaving-clock case.  Deltas accumulate; inject
+  /// the negative to end a spike.  Unlike the NTP skew, an anomaly is
+  /// NOT clamped to maxSkewMicros.
+  void injectOffset(TimeMicros delta) { anomalyOffset_ += delta; }
+  TimeMicros anomalyOffset() const { return anomalyOffset_; }
 
  private:
   TimeMicros offsetAt(TimeMicros trueNow);
@@ -51,6 +59,7 @@ class SkewedClock final : public hlc::PhysicalClock {
   Rng rng_;
   TimeMicros lastResyncAt_ = 0;
   TimeMicros offsetAtResync_ = 0;
+  TimeMicros anomalyOffset_ = 0;
   double driftSign_ = 1.0;
 };
 

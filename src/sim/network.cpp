@@ -19,7 +19,7 @@ bool Network::isConnected(NodeId node) const {
 }
 
 TimeMicros Network::sampleLatency() {
-  TimeMicros latency = config_.baseLatencyMicros;
+  TimeMicros latency = config_.baseLatencyMicros + extraLatency_;
   if (config_.jitterMeanMicros > 0) {
     latency += static_cast<TimeMicros>(rng_.nextExponential(
         static_cast<double>(config_.jitterMeanMicros)));
@@ -32,6 +32,11 @@ uint64_t Network::send(Message message) {
   ++messagesSent_;
   bytesSent_ += message.payload.size() + config_.headerBytes;
 
+  if (blocked_.contains({message.from, message.to})) {
+    ++messagesBlocked_;
+    ++messagesDropped_;
+    return message.msgId;
+  }
   if (config_.dropProbability > 0 &&
       rng_.nextBool(config_.dropProbability)) {
     ++messagesDropped_;
@@ -47,15 +52,59 @@ uint64_t Network::send(Message message) {
 
   const uint64_t id = message.msgId;
   env_->scheduleAt(deliverAt, [this, msg = std::move(message)]() mutable {
-    auto it = handlers_.find(msg.to);
-    if (it == handlers_.end()) {
-      ++messagesDropped_;  // destination crashed/disconnected
-      return;
-    }
-    ++messagesDelivered_;
-    it->second(std::move(msg));
+    deliver(std::move(msg));
   });
   return id;
+}
+
+void Network::deliver(Message&& msg) {
+  auto paused = paused_.find(msg.to);
+  if (paused != paused_.end()) {
+    paused->second.push_back(std::move(msg));
+    return;
+  }
+  auto it = handlers_.find(msg.to);
+  if (it == handlers_.end()) {
+    ++messagesDropped_;  // destination crashed/disconnected
+    return;
+  }
+  ++messagesDelivered_;
+  it->second(std::move(msg));
+}
+
+void Network::isolate(NodeId node) {
+  for (const auto& [other, handler] : handlers_) {
+    (void)handler;
+    if (other == node) continue;
+    blocked_.insert({node, other});
+    blocked_.insert({other, node});
+  }
+}
+
+void Network::heal(NodeId node) {
+  for (auto it = blocked_.begin(); it != blocked_.end();) {
+    if (it->first == node || it->second == node) {
+      it = blocked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Network::pauseNode(NodeId node) { paused_[node]; }
+
+void Network::resumeNode(NodeId node) {
+  auto it = paused_.find(node);
+  if (it == paused_.end()) return;
+  auto held = std::move(it->second);
+  paused_.erase(it);
+  for (auto& msg : held) {
+    // Re-deliver in arrival order; same-time events preserve FIFO via
+    // the event queue's sequence tie-break.
+    env_->schedule(0, [this, msg = std::move(msg)]() mutable {
+      deliver(std::move(msg));
+    });
+  }
 }
 
 }  // namespace retro::sim

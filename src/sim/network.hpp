@@ -3,10 +3,18 @@
 // ordering per directed channel (Chandy-Lamport requires FIFO; the
 // Retroscope protocols do not).  Every message's bytes are counted so
 // clock-scheme wire overheads are measured, not asserted.
+//
+// Runtime fault injection (for the simulation-fuzz harness): drop
+// probability and extra latency can change mid-run, directed links can
+// be blocked (partitions), and a node can be paused — deliveries buffer
+// while it is frozen and flush in order on resume, modeling a long GC
+// or OS-level stall.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,10 +63,32 @@ class Network {
   /// message is later dropped, so causality bookkeeping stays simple).
   uint64_t send(Message message);
 
+  // --- Runtime fault injection (adversarial schedules) ---
+
+  /// Change the loss rate mid-run (a lossy window in a fault schedule).
+  void setDropProbability(double p) { config_.dropProbability = p; }
+  /// Extra one-way latency added to every subsequent send (congestion
+  /// spike). 0 restores the configured distribution.
+  void setExtraLatency(TimeMicros extra) { extraLatency_ = extra; }
+  /// Block / unblock one directed link; blocked sends are dropped.
+  void blockLink(NodeId from, NodeId to) { blocked_.insert({from, to}); }
+  void unblockLink(NodeId from, NodeId to) { blocked_.erase({from, to}); }
+  /// Partition `node` away from every currently registered node (both
+  /// directions); heal() removes every blocked link involving `node`.
+  void isolate(NodeId node);
+  void heal(NodeId node);
+  /// Freeze a node: messages addressed to it buffer instead of being
+  /// handled; resume flushes the buffer in arrival order.  Models a
+  /// stop-the-world GC pause or scheduler stall.
+  void pauseNode(NodeId node);
+  void resumeNode(NodeId node);
+  bool isPaused(NodeId node) const { return paused_.contains(node); }
+
   // Wire statistics.
   uint64_t messagesSent() const { return messagesSent_; }
   uint64_t messagesDelivered() const { return messagesDelivered_; }
   uint64_t messagesDropped() const { return messagesDropped_; }
+  uint64_t messagesBlocked() const { return messagesBlocked_; }
   uint64_t bytesSent() const { return bytesSent_; }
 
   const NetworkConfig& config() const { return config_; }
@@ -66,6 +96,7 @@ class Network {
 
  private:
   TimeMicros sampleLatency();
+  void deliver(Message&& msg);
 
   SimEnv* env_;
   NetworkConfig config_;
@@ -74,10 +105,15 @@ class Network {
   /// Per directed channel: virtual time of the latest scheduled
   /// delivery, to enforce FIFO.
   std::map<std::pair<NodeId, NodeId>, TimeMicros> lastDelivery_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;
+  /// Deliveries held while the destination is paused, in arrival order.
+  std::map<NodeId, std::deque<Message>> paused_;
+  TimeMicros extraLatency_ = 0;
   uint64_t nextMsgId_ = 1;
   uint64_t messagesSent_ = 0;
   uint64_t messagesDelivered_ = 0;
   uint64_t messagesDropped_ = 0;
+  uint64_t messagesBlocked_ = 0;
   uint64_t bytesSent_ = 0;
 };
 

@@ -1,0 +1,63 @@
+// Cluster-wide causality tracing: a thin recording facade that the
+// simulated substrates (kvstore servers/clients/admin, grid members/
+// clients) call at every HLC tick site.  It stamps each event with the
+// node's perceived physical time and the simulator truth and appends it
+// to a CausalityRecorder, so the fuzz harness can *prove* that every
+// HLC-derived cut taken during a run is a consistent cut — the paper's
+// central guarantee — instead of trusting the snapshot machinery.
+//
+// Tracing is strictly opt-in (a null pointer in every component by
+// default) so benches and production-path tests pay nothing for it.
+#pragma once
+
+#include "hlc/timestamp.hpp"
+#include "sim/causality.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/sim_env.hpp"
+
+namespace retro::sim {
+
+class CausalityTrace {
+ public:
+  /// `env` and `clocks` must outlive the trace; `nodes` is the total
+  /// node-id space (every id components will record with).
+  CausalityTrace(SimEnv& env, ClockFleet& clocks, size_t nodes)
+      : env_(&env), clocks_(&clocks), recorder_(nodes) {}
+
+  /// Record a send event: `ts` is the HLC value *after* the send tick,
+  /// `msgId` the network's id for the message just sent.
+  void onSend(NodeId node, uint64_t msgId, hlc::Timestamp ts) {
+    record(node, EventType::kSend, msgId, ts);
+  }
+
+  /// Record a receive event: `ts` is the HLC value *after* the receive
+  /// tick (per Table I's timeTick(HLCTime)).
+  void onRecv(NodeId node, uint64_t msgId, hlc::Timestamp ts) {
+    record(node, EventType::kRecv, msgId, ts);
+  }
+
+  /// Record a local event (e.g. a snapshot-target tick at an initiator).
+  void onLocal(NodeId node, hlc::Timestamp ts) {
+    record(node, EventType::kLocal, 0, ts);
+  }
+
+  const CausalityRecorder& recorder() const { return recorder_; }
+
+ private:
+  void record(NodeId node, EventType type, uint64_t msgId,
+              hlc::Timestamp ts) {
+    EventRecord rec;
+    rec.type = type;
+    rec.messageId = msgId;
+    rec.hlcTs = ts;
+    rec.perceivedMicros = clocks_->clock(node).nowMicros();
+    rec.trueMicros = env_->now();
+    recorder_.record(node, rec);
+  }
+
+  SimEnv* env_;
+  ClockFleet* clocks_;
+  CausalityRecorder recorder_;
+};
+
+}  // namespace retro::sim

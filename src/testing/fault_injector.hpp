@@ -1,0 +1,59 @@
+// Applies a Scenario's fault schedule to a live simulation: each
+// FaultEvent becomes a pair of scheduled closures (start / end) against
+// the network's runtime fault-injection API or a node's physical clock.
+// Substrate-agnostic — both cluster runners share it.
+#pragma once
+
+#include <functional>
+
+#include "sim/clock_model.hpp"
+#include "sim/network.hpp"
+#include "sim/sim_env.hpp"
+#include "testing/scenario.hpp"
+
+namespace retro::testing {
+
+inline void scheduleFaults(
+    sim::SimEnv& env, sim::Network& net,
+    const std::function<sim::SkewedClock&(NodeId)>& clockOf,
+    const Scenario& s) {
+  for (const FaultEvent& f : s.faults) {
+    const TimeMicros endAt = f.startMicros + f.durationMicros;
+    switch (f.kind) {
+      case FaultKind::kDropWindow:
+        env.scheduleAt(f.startMicros,
+                       [&net, p = f.magnitude] { net.setDropProbability(p); });
+        env.scheduleAt(endAt, [&net, base = s.baseDropProbability] {
+          net.setDropProbability(base);
+        });
+        break;
+      case FaultKind::kLatencySpike:
+        env.scheduleAt(f.startMicros, [&net, e = f.magnitude] {
+          net.setExtraLatency(static_cast<TimeMicros>(e));
+        });
+        env.scheduleAt(endAt, [&net] { net.setExtraLatency(0); });
+        break;
+      case FaultKind::kPartition:
+        env.scheduleAt(f.startMicros, [&net, n = f.node] { net.isolate(n); });
+        env.scheduleAt(endAt, [&net, n = f.node] { net.heal(n); });
+        break;
+      case FaultKind::kNodeStall:
+        env.scheduleAt(f.startMicros,
+                       [&net, n = f.node] { net.pauseNode(n); });
+        env.scheduleAt(endAt, [&net, n = f.node] { net.resumeNode(n); });
+        break;
+      case FaultKind::kSkewSpike:
+        // clockOf copied into the closures: the caller's std::function is
+        // a temporary, but the events fire much later.
+        env.scheduleAt(f.startMicros, [clockOf, n = f.node, d = f.magnitude] {
+          clockOf(n).injectOffset(static_cast<TimeMicros>(d));
+        });
+        env.scheduleAt(endAt, [clockOf, n = f.node, d = f.magnitude] {
+          clockOf(n).injectOffset(-static_cast<TimeMicros>(d));
+        });
+        break;
+    }
+  }
+}
+
+}  // namespace retro::testing

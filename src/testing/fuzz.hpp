@@ -1,0 +1,59 @@
+// Scenario runners for the simulation-fuzz harness: build the cluster a
+// Scenario describes, drive it (workload + fault schedule + snapshot
+// plans) through the discrete-event simulator, then hand the recorded
+// causality graph to the CutChecker and cross-check every completed
+// snapshot against a straight-line forward-replay oracle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "testing/cut_checker.hpp"
+#include "testing/scenario.hpp"
+
+namespace retro::testing {
+
+struct FuzzResult {
+  Scenario scenario;
+  CheckReport report;
+  uint64_t snapshotsRequested = 0;
+  uint64_t snapshotsCompleted = 0;
+  uint64_t oracleChecks = 0;
+  uint64_t epsilonViolations = 0;
+  uint64_t opsIssued = 0;
+  uint64_t eventsRecorded = 0;
+
+  bool passed() const { return report.ok(); }
+  /// Multi-line diagnosis: scenario description, failures, replay command.
+  std::string failureSummary() const;
+};
+
+/// Run one scenario end to end on its substrate.
+FuzzResult runScenario(const Scenario& s);
+FuzzResult runKvScenario(const Scenario& s);
+FuzzResult runGridScenario(const Scenario& s);
+
+/// Chandy–Lamport baseline cross-check: run the marker algorithm (FIFO,
+/// lossless — its preconditions) under a seed-derived topology/workload
+/// and assert token conservation in every completed snapshot.
+struct ClCheckResult {
+  uint64_t seed = 0;
+  bool ok = false;
+  std::string detail;
+};
+ClCheckResult runChandyLamportScenario(uint64_t seed);
+
+/// Number of seeds a sweep test should run: RETRO_FUZZ_SEEDS if set,
+/// else `defaultCount`.
+int seedCountFromEnv(int defaultCount);
+
+/// Single-seed replay override: RETRO_FUZZ_SEED if set.
+std::optional<uint64_t> seedOverrideFromEnv();
+
+/// ε threshold (ms) under which a clean run must report zero violations:
+/// perceived clocks are each within maxSkew of truth, so any remote
+/// timestamp arrives at most 2×maxSkew (plus ms rounding) ahead.
+int64_t cleanEpsilonMillis(TimeMicros maxSkewMicros);
+
+}  // namespace retro::testing

@@ -1,0 +1,64 @@
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "testing/fuzz.hpp"
+
+namespace retro::testing {
+
+std::string FuzzResult::failureSummary() const {
+  std::ostringstream out;
+  out << "scenario: " << describeScenario(scenario) << "\n"
+      << report.summary() << "\n"
+      << "snapshots " << snapshotsCompleted << "/" << snapshotsRequested
+      << " complete, " << oracleChecks << " oracle checks, " << opsIssued
+      << " ops, " << eventsRecorded << " trace events\n"
+      << "replay: " << replayCommand(scenario);
+  return out.str();
+}
+
+FuzzResult runScenario(const Scenario& s) {
+  return s.substrate == Substrate::kKvStore ? runKvScenario(s)
+                                            : runGridScenario(s);
+}
+
+int seedCountFromEnv(int defaultCount) {
+  const char* env = std::getenv("RETRO_FUZZ_SEEDS");
+  if (env == nullptr || *env == '\0') return defaultCount;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed <= 0) {
+    std::fprintf(stderr,
+                 "RETRO_FUZZ_SEEDS='%s' is not a positive integer; "
+                 "using default %d\n",
+                 env, defaultCount);
+    return defaultCount;
+  }
+  return static_cast<int>(parsed);
+}
+
+std::optional<uint64_t> seedOverrideFromEnv() {
+  const char* env = std::getenv("RETRO_FUZZ_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const uint64_t seed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') {
+    // A typo'd seed must not silently replay seed 0 (or silently fall
+    // back to a sweep the caller did not ask for).
+    std::fprintf(stderr,
+                 "RETRO_FUZZ_SEED='%s' is not an integer; "
+                 "running the full sweep instead\n",
+                 env);
+    return std::nullopt;
+  }
+  return seed;
+}
+
+int64_t cleanEpsilonMillis(TimeMicros maxSkewMicros) {
+  // Pairwise perceived-clock difference is bounded by 2×maxSkew (each
+  // clock is within maxSkew of truth); +2 ms absorbs millisecond
+  // rounding on both ends.
+  return 2 * (maxSkewMicros / 1000) + 2;
+}
+
+}  // namespace retro::testing

@@ -1,0 +1,194 @@
+// Scenario runner for the Hazelcast-like grid substrate: per-partition
+// snapshots, member-initiated, verified per member against the
+// forward-replay oracle over its partition window-logs.
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "grid/grid_cluster.hpp"
+#include "testing/fault_injector.hpp"
+#include "testing/fuzz.hpp"
+#include "workload/driver.hpp"
+
+namespace retro::testing {
+namespace {
+
+std::vector<workload::ClientHandle> gridHandles(grid::GridCluster& cluster) {
+  std::vector<workload::ClientHandle> handles;
+  for (size_t i = 0; i < cluster.clientCount(); ++i) {
+    grid::GridClient* c = &cluster.client(i);
+    workload::ClientHandle h;
+    h.put = [c](const Key& k, Value v,
+                std::function<void(bool, TimeMicros)> done) {
+      c->put(k, std::move(v), std::move(done));
+    };
+    h.get = [c](const Key& k, std::function<void(bool, TimeMicros)> done) {
+      c->get(k, [done = std::move(done)](bool ok, TimeMicros lat, OptValue) {
+        done(ok, lat);
+      });
+    };
+    handles.push_back(std::move(h));
+  }
+  return handles;
+}
+
+/// Forward-replay oracle over every partition log a member owns.
+std::unordered_map<Key, Value> gridOracleAt(
+    grid::GridCluster& cluster, NodeId memberId,
+    const std::unordered_map<Key, Value>& initial, hlc::Timestamp target) {
+  auto state = initial;
+  auto& member = cluster.member(memberId);
+  for (uint32_t p :
+       cluster.partitionTable().partitionsOwnedBy(memberId)) {
+    const auto* wlog =
+        member.retroscope().findLog(grid::GridMember::partitionLogName(p));
+    if (wlog == nullptr) continue;
+    wlog->forEach([&](const log::Entry& e) {
+      if (e.ts > target) return;
+      if (e.newValue) {
+        state[e.key] = *e.newValue;
+      } else {
+        state.erase(e.key);
+      }
+    });
+  }
+  return state;
+}
+
+struct PlannedSnapshot {
+  SnapshotPlan plan;
+  core::SnapshotId id = 0;
+  hlc::Timestamp target;
+  bool requested = false;
+  bool complete = false;
+};
+
+}  // namespace
+
+FuzzResult runGridScenario(const Scenario& s) {
+  FuzzResult result;
+  result.scenario = s;
+
+  grid::GridConfig cfg;
+  cfg.members = s.servers;
+  cfg.clients = s.clients;
+  cfg.seed = s.seed;
+  cfg.member.mode = grid::Mode::kFull;
+  cfg.member.logBudgetBytes = 0;  // unbounded: oracle needs full history
+  cfg.network.baseLatencyMicros = s.baseLatencyMicros;
+  cfg.network.jitterMeanMicros = s.jitterMeanMicros;
+  cfg.network.dropProbability = s.baseDropProbability;
+  cfg.clocks.maxSkewMicros = s.maxSkewMicros;
+  cfg.clocks.driftPpm = s.driftPpm;
+  cfg.clocks.resyncPeriodMicros = s.clockResyncPeriodMicros;
+
+  grid::GridCluster cluster(cfg);
+  auto& trace = cluster.enableCausalityTrace();
+  cluster.setEpsilonDetection(cleanEpsilonMillis(s.maxSkewMicros));
+
+  cluster.preload(std::min<uint64_t>(s.keySpace, 1'500), s.valueBytes);
+  std::vector<std::unordered_map<Key, Value>> initialStates;
+  for (size_t m = 0; m < cluster.memberCount(); ++m) {
+    std::unordered_map<Key, Value> initial;
+    for (uint32_t p : cluster.partitionTable().partitionsOwnedBy(
+             static_cast<NodeId>(m))) {
+      const auto* data = cluster.member(m).partitionData(p);
+      if (data) initial.insert(data->begin(), data->end());
+    }
+    initialStates.push_back(std::move(initial));
+  }
+
+  workload::DriverConfig dcfg;
+  dcfg.workload.writeFraction = s.writeFraction;
+  dcfg.workload.keySpace = s.keySpace;
+  dcfg.workload.valueBytes = s.valueBytes;
+  dcfg.workload.distribution = s.distribution;
+  dcfg.seed = s.seed ^ 0x961dULL;
+  workload::ClosedLoopDriver driver(cluster.env(), gridHandles(cluster),
+                                    grid::GridCluster::keyOf, dcfg);
+  driver.start(s.durationMicros);
+
+  scheduleFaults(
+      cluster.env(), cluster.network(),
+      [&cluster](NodeId n) -> sim::SkewedClock& { return cluster.clockOf(n); },
+      s);
+
+  std::vector<PlannedSnapshot> planned(s.snapshots.size());
+  for (size_t i = 0; i < s.snapshots.size(); ++i) {
+    planned[i].plan = s.snapshots[i];
+  }
+
+  for (size_t i = 0; i < planned.size(); ++i) {
+    // Any member can initiate (§IV-B); rotate deterministically.
+    const auto initiator =
+        static_cast<NodeId>((s.seed + i) % cluster.memberCount());
+    cluster.env().scheduleAt(
+        planned[i].plan.atMicros, [&cluster, &planned, initiator, i] {
+          PlannedSnapshot& ps = planned[i];
+          ps.requested = true;
+          auto& member = cluster.member(initiator);
+          const hlc::Timestamp now = member.retroscope().timeTick();
+          ps.target = ps.plan.pastDeltaMillis > 0
+                          ? hlc::fromPhysicalMillis(now.l -
+                                                    ps.plan.pastDeltaMillis)
+                          : now;
+          ps.id = member.initiateSnapshot(
+              ps.target, [&ps](const core::SnapshotSession& sess) {
+                ps.complete =
+                    sess.state() == core::GlobalSnapshotState::kComplete;
+              });
+        });
+  }
+
+  cluster.env().run();
+
+  result.opsIssued = driver.opsIssued();
+  result.eventsRecorded = trace.recorder().totalEvents();
+  result.epsilonViolations = cluster.totalEpsilonViolations();
+
+  CutChecker checker(trace.recorder());
+  checker.checkMonotonicity(result.report);
+  for (const auto& ps : planned) {
+    if (!ps.requested) continue;
+    ++result.snapshotsRequested;
+    checker.checkCutAt(ps.target, result.report);
+  }
+  checker.checkRandomProbes(s.seed, 32, result.report);
+  if (!s.clockAnomalies) {
+    checker.checkSkewBound(s.maxSkewMicros, result.report);
+    if (result.epsilonViolations > 0) {
+      std::ostringstream out;
+      out << result.epsilonViolations
+          << " epsilon violations reported in a run without clock anomalies";
+      result.report.fail(out.str());
+    }
+  }
+
+  for (const auto& ps : planned) {
+    if (!ps.complete) continue;
+    ++result.snapshotsCompleted;
+    for (size_t m = 0; m < cluster.memberCount(); ++m) {
+      const auto* snap = cluster.member(m).snapshots().find(ps.id);
+      if (snap == nullptr) {
+        std::ostringstream out;
+        out << "member " << m << " is missing completed snapshot " << ps.id;
+        result.report.fail(out.str());
+        continue;
+      }
+      const auto expected = gridOracleAt(cluster, static_cast<NodeId>(m),
+                                         initialStates[m], ps.target);
+      ++result.oracleChecks;
+      if (snap->state != expected) {
+        std::ostringstream out;
+        out << "member " << m << " snapshot " << ps.id << " at "
+            << ps.target.toString() << " diverges from forward-replay oracle ("
+            << snap->state.size() << " vs " << expected.size() << " keys)";
+        result.report.fail(out.str());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace retro::testing

@@ -1,0 +1,194 @@
+// Scenario runner for the Voldemort-like kvstore substrate.
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "kvstore/cluster.hpp"
+#include "testing/fault_injector.hpp"
+#include "testing/fuzz.hpp"
+#include "workload/driver.hpp"
+
+namespace retro::testing {
+namespace {
+
+std::vector<workload::ClientHandle> kvHandles(kv::VoldemortCluster& cluster) {
+  std::vector<workload::ClientHandle> handles;
+  for (size_t i = 0; i < cluster.clientCount(); ++i) {
+    kv::VoldemortClient* c = &cluster.client(i);
+    workload::ClientHandle h;
+    h.put = [c](const Key& k, Value v,
+                std::function<void(bool, TimeMicros)> done) {
+      c->put(k, std::move(v), std::move(done));
+    };
+    h.get = [c](const Key& k, std::function<void(bool, TimeMicros)> done) {
+      c->get(k, [done = std::move(done)](bool ok, TimeMicros lat, OptValue) {
+        done(ok, lat);
+      });
+    };
+    handles.push_back(std::move(h));
+  }
+  return handles;
+}
+
+/// Straight-line re-execution oracle: initial state plus every
+/// window-log entry with ts <= target, applied oldest-first.
+std::unordered_map<Key, Value> kvOracleAt(
+    kv::VoldemortServer& server,
+    const std::unordered_map<Key, Value>& initial, hlc::Timestamp target) {
+  auto state = initial;
+  server.retroscope()
+      .getLog(kv::VoldemortServer::kStoreLog)
+      .forEach([&](const log::Entry& e) {
+        if (e.ts > target) return;
+        if (e.newValue) {
+          state[e.key] = *e.newValue;
+        } else {
+          state.erase(e.key);
+        }
+      });
+  return state;
+}
+
+struct PlannedSnapshot {
+  SnapshotPlan plan;
+  core::SnapshotId id = 0;
+  hlc::Timestamp target;
+  bool requested = false;
+  bool complete = false;
+};
+
+}  // namespace
+
+FuzzResult runKvScenario(const Scenario& s) {
+  FuzzResult result;
+  result.scenario = s;
+
+  kv::ClusterConfig cfg;
+  cfg.servers = s.servers;
+  cfg.clients = s.clients;
+  cfg.seed = s.seed;
+  // Unbounded window-logs: the forward-replay oracle needs full history.
+  cfg.server.logConfig.maxBytes = 0;
+  cfg.server.bdb.cleanerEnabled = false;
+  cfg.network.baseLatencyMicros = s.baseLatencyMicros;
+  cfg.network.jitterMeanMicros = s.jitterMeanMicros;
+  cfg.network.dropProbability = s.baseDropProbability;
+  cfg.clocks.maxSkewMicros = s.maxSkewMicros;
+  cfg.clocks.driftPpm = s.driftPpm;
+  cfg.clocks.resyncPeriodMicros = s.clockResyncPeriodMicros;
+  // Dropped responses must not wedge the closed-loop clients.
+  cfg.client.opTimeoutMicros = 250'000;
+  cfg.client.faultInjection.skipReceiveTick = s.injectSkipRecvTick;
+
+  kv::VoldemortCluster cluster(cfg);
+  auto& trace = cluster.enableCausalityTrace();
+  cluster.setEpsilonDetection(cleanEpsilonMillis(s.maxSkewMicros));
+
+  const uint64_t preloadItems = std::min<uint64_t>(s.keySpace, 1'500);
+  cluster.preload(preloadItems, s.valueBytes);
+  std::vector<std::unordered_map<Key, Value>> initialStates;
+  for (size_t i = 0; i < cluster.serverCount(); ++i) {
+    initialStates.push_back(cluster.server(i).bdb().data());
+  }
+
+  workload::DriverConfig dcfg;
+  dcfg.workload.writeFraction = s.writeFraction;
+  dcfg.workload.keySpace = s.keySpace;
+  dcfg.workload.valueBytes = s.valueBytes;
+  dcfg.workload.distribution = s.distribution;
+  dcfg.seed = s.seed ^ 0xd21e3ULL;
+  workload::ClosedLoopDriver driver(cluster.env(), kvHandles(cluster),
+                                    kv::VoldemortCluster::keyOf, dcfg);
+  driver.start(s.durationMicros);
+
+  scheduleFaults(
+      cluster.env(), cluster.network(),
+      [&cluster](NodeId n) -> sim::SkewedClock& { return cluster.clockOf(n); },
+      s);
+
+  std::vector<PlannedSnapshot> planned(s.snapshots.size());
+  for (size_t i = 0; i < s.snapshots.size(); ++i) {
+    planned[i].plan = s.snapshots[i];
+  }
+  core::SnapshotId lastCompletedId = 0;
+
+  for (size_t i = 0; i < planned.size(); ++i) {
+    cluster.env().scheduleAt(planned[i].plan.atMicros, [&cluster, &planned,
+                                                        &lastCompletedId, i] {
+      PlannedSnapshot& ps = planned[i];
+      ps.requested = true;
+      auto onDone = [&ps, &lastCompletedId](const core::SnapshotSession& sess) {
+        ps.complete = sess.state() == core::GlobalSnapshotState::kComplete;
+        if (ps.complete) lastCompletedId = ps.id;
+      };
+      kv::AdminClient& admin = cluster.admin();
+      if (ps.plan.incremental && lastCompletedId != 0) {
+        // Chain onto the most recently completed snapshot.
+        ps.id = admin.doSnapshot(admin.clock().tick(),
+                                 core::SnapshotKind::kIncremental,
+                                 lastCompletedId, onDone);
+      } else if (ps.plan.pastDeltaMillis > 0) {
+        ps.id = admin.snapshotPast(ps.plan.pastDeltaMillis, onDone);
+      } else {
+        ps.id = admin.snapshotNow(onDone);
+      }
+      ps.target = admin.findSession(ps.id)->request().target;
+    });
+  }
+
+  cluster.env().run();
+
+  result.opsIssued = driver.opsIssued();
+  result.eventsRecorded = trace.recorder().totalEvents();
+  result.epsilonViolations = cluster.totalEpsilonViolations();
+
+  // --- adversarial cut checking over the recorded causality graph ---
+  CutChecker checker(trace.recorder());
+  checker.checkMonotonicity(result.report);
+  for (const auto& ps : planned) {
+    if (!ps.requested) continue;
+    ++result.snapshotsRequested;
+    checker.checkCutAt(ps.target, result.report);
+  }
+  checker.checkRandomProbes(s.seed, 32, result.report);
+  if (!s.clockAnomalies) {
+    checker.checkSkewBound(s.maxSkewMicros, result.report);
+    if (!s.injectSkipRecvTick && result.epsilonViolations > 0) {
+      std::ostringstream out;
+      out << result.epsilonViolations
+          << " epsilon violations reported in a run without clock anomalies";
+      result.report.fail(out.str());
+    }
+  }
+
+  // --- oracle agreement for every snapshot that completed ---
+  for (const auto& ps : planned) {
+    if (!ps.complete) continue;
+    ++result.snapshotsCompleted;
+    for (size_t srv = 0; srv < cluster.serverCount(); ++srv) {
+      auto& server = cluster.server(srv);
+      auto materialized = server.snapshots().materialize(ps.id);
+      if (!materialized.isOk()) {
+        std::ostringstream out;
+        out << "server " << srv << " cannot materialize completed snapshot "
+            << ps.id << ": " << materialized.status().toString();
+        result.report.fail(out.str());
+        continue;
+      }
+      const auto expected = kvOracleAt(server, initialStates[srv], ps.target);
+      ++result.oracleChecks;
+      if (materialized.value() != expected) {
+        std::ostringstream out;
+        out << "server " << srv << " snapshot " << ps.id << " at "
+            << ps.target.toString() << " diverges from forward-replay oracle ("
+            << materialized.value().size() << " vs " << expected.size()
+            << " keys)";
+        result.report.fail(out.str());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace retro::testing

@@ -1,0 +1,105 @@
+// Deterministic scenario generation for the simulation-fuzz harness: a
+// single 64-bit seed expands into a full multi-node scenario — cluster
+// topology, workload mix, an adversarial fault schedule (drop windows,
+// latency spikes, partitions, node stalls, clock-skew spikes) and a set
+// of snapshot requests.  Replaying the same Scenario is bit-identical,
+// which is what makes shrinking and seed-based repro possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/generator.hpp"
+
+namespace retro::testing {
+
+enum class Substrate : uint8_t { kKvStore, kGrid };
+
+enum class FaultKind : uint8_t {
+  kDropWindow,    ///< raise the network drop probability for a window
+  kLatencySpike,  ///< add extra one-way latency for a window
+  kPartition,     ///< isolate one node from everyone for a window
+  kNodeStall,     ///< freeze deliveries to one node (GC pause) for a window
+  kSkewSpike,     ///< clock anomaly: shift one node's clock for a window
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDropWindow;
+  TimeMicros startMicros = 0;
+  TimeMicros durationMicros = 0;
+  /// Target node for kPartition / kNodeStall / kSkewSpike.
+  NodeId node = 0;
+  /// kDropWindow: probability; kLatencySpike: extra micros;
+  /// kSkewSpike: offset micros (negative steps the clock backwards).
+  double magnitude = 0.0;
+};
+
+struct SnapshotPlan {
+  /// Virtual time at which the request is issued.
+  TimeMicros atMicros = 0;
+  /// 0 = instant snapshot; >0 = retrospective, this many ms in the past.
+  int64_t pastDeltaMillis = 0;
+  /// Chain onto the previously completed snapshot (kvstore only).
+  bool incremental = false;
+};
+
+struct Scenario {
+  uint64_t seed = 0;
+  Substrate substrate = Substrate::kKvStore;
+
+  // --- topology ---
+  size_t servers = 3;  ///< kv servers or grid members
+  size_t clients = 3;
+
+  // --- workload ---
+  TimeMicros durationMicros = 3 * kMicrosPerSecond;
+  double writeFraction = 1.0;
+  uint64_t keySpace = 500;
+  size_t valueBytes = 40;
+  workload::KeyDistribution distribution = workload::KeyDistribution::kUniform;
+
+  // --- environment ---
+  TimeMicros maxSkewMicros = 5'000;
+  double driftPpm = 50.0;
+  TimeMicros clockResyncPeriodMicros = 10 * kMicrosPerSecond;
+  TimeMicros baseLatencyMicros = 300;
+  TimeMicros jitterMeanMicros = 150;
+  double baseDropProbability = 0.0;
+
+  /// Scenario includes kSkewSpike faults that break the NTP skew bound;
+  /// skew-bound assertions are skipped and ε-detection is expected to
+  /// fire instead.
+  bool clockAnomalies = false;
+
+  /// Deliberate protocol bug (client skips its receive-event HLC tick) —
+  /// the harness must FAIL on such a scenario; used for self-tests.
+  bool injectSkipRecvTick = false;
+
+  std::vector<FaultEvent> faults;
+  std::vector<SnapshotPlan> snapshots;
+};
+
+struct ScenarioOptions {
+  /// Permit kSkewSpike faults outside the NTP bound (sets clockAnomalies).
+  bool clockAnomalies = false;
+  /// Generate drop/latency/partition/stall faults at all.
+  bool faultsEnabled = true;
+};
+
+/// Expand a seed into a concrete scenario.  Pure function of
+/// (seed, substrate, opts).
+Scenario generateScenario(uint64_t seed, Substrate substrate,
+                          ScenarioOptions opts = {});
+
+/// One-line human summary (topology, workload, fault/snapshot counts).
+std::string describeScenario(const Scenario& s);
+
+/// Shell command that replays this scenario's seed through the matching
+/// ctest binary.
+std::string replayCommand(const Scenario& s);
+
+const char* faultKindName(FaultKind kind);
+
+}  // namespace retro::testing

@@ -1,0 +1,84 @@
+#include "testing/shrinker.hpp"
+
+#include <algorithm>
+
+namespace retro::testing {
+
+namespace {
+
+/// ddmin-style reduction of a vector-valued field: try dropping chunks
+/// (halves, then quarters, ...) while the scenario keeps failing.
+template <typename T>
+void minimizeVector(Scenario& current, std::vector<T> Scenario::* field,
+                    const std::function<bool(const Scenario&)>& stillFails,
+                    int& budget) {
+  size_t chunk = std::max<size_t>(1, (current.*field).size() / 2);
+  while (chunk >= 1 && budget > 0) {
+    bool removedAny = false;
+    for (size_t start = 0;
+         start < (current.*field).size() && budget > 0;) {
+      Scenario candidate = current;
+      auto& vec = candidate.*field;
+      const size_t end = std::min(start + chunk, vec.size());
+      vec.erase(vec.begin() + static_cast<ptrdiff_t>(start),
+                vec.begin() + static_cast<ptrdiff_t>(end));
+      --budget;
+      if (stillFails(candidate)) {
+        current = std::move(candidate);
+        removedAny = true;
+        // Same start index now holds the next chunk.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !removedAny) break;
+    chunk = std::max<size_t>(1, chunk / 2);
+    if (chunk == 1 && removedAny) continue;
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrinkScenario(
+    const Scenario& failing,
+    const std::function<FuzzResult(const Scenario&)>& run, int maxRuns) {
+  ShrinkResult result;
+  int budget = maxRuns;
+  std::string lastFailure;
+
+  const auto stillFails = [&](const Scenario& candidate) {
+    FuzzResult r = run(candidate);
+    if (!r.passed()) lastFailure = r.report.summary();
+    return !r.passed();
+  };
+
+  Scenario current = failing;
+
+  // 1. Minimize the fault schedule (usually the largest lever).
+  minimizeVector<FaultEvent>(current, &Scenario::faults, stillFails, budget);
+
+  // 2. Minimize the snapshot plan (may go empty: monotonicity and probe
+  //    checks run regardless of requested snapshots).
+  minimizeVector<SnapshotPlan>(current, &Scenario::snapshots, stillFails,
+                               budget);
+
+  // 3. Shorten the run: halve the workload duration while the scenario
+  //    still fails (faults and snapshot requests keep their times).
+  while (budget > 0 && current.durationMicros > kMicrosPerSecond) {
+    Scenario candidate = current;
+    candidate.durationMicros /= 2;
+    --budget;
+    if (!stillFails(candidate)) break;
+    current = std::move(candidate);
+  }
+
+  result.minimal = std::move(current);
+  result.runs = maxRuns - budget;
+  result.finalFailure = lastFailure;
+  result.faultsRemoved = failing.faults.size() - result.minimal.faults.size();
+  result.snapshotsRemoved =
+      failing.snapshots.size() - result.minimal.snapshots.size();
+  return result;
+}
+
+}  // namespace retro::testing

@@ -1,0 +1,33 @@
+// Scenario shrinking: when a fuzz scenario fails, bisect its fault
+// schedule and snapshot plan (delta-debugging style) down to a minimal
+// scenario that still reproduces the failure, then report the seed and
+// the replay command.  Replay is exact because a run is a pure function
+// of the Scenario struct.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "testing/fuzz.hpp"
+#include "testing/scenario.hpp"
+
+namespace retro::testing {
+
+struct ShrinkResult {
+  Scenario minimal;
+  /// Scenario evaluations spent shrinking.
+  int runs = 0;
+  /// Failure report of the minimal scenario.
+  std::string finalFailure;
+  /// Faults/snapshots removed relative to the original.
+  size_t faultsRemoved = 0;
+  size_t snapshotsRemoved = 0;
+};
+
+/// Shrink `failing` (which `run` must evaluate as failed) to a minimal
+/// still-failing scenario.  Deterministic; bounded by `maxRuns`.
+ShrinkResult shrinkScenario(const Scenario& failing,
+                            const std::function<FuzzResult(const Scenario&)>& run,
+                            int maxRuns = 200);
+
+}  // namespace retro::testing

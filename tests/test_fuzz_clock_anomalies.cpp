@@ -1,0 +1,104 @@
+// Clock-anomaly fuzzing: scenarios inject skew spikes far outside the
+// NTP bound (GentleRain-style misbehaving clocks), including negative
+// spikes that step a node's clock backwards.  The snapshots' cuts must
+// REMAIN consistent — HLC tolerates arbitrary skew — while the ε-bound
+// detector must notice that the deployment's skew assumption was broken.
+//
+// RETRO_FUZZ_SEEDS=N   widens the sweep.
+// RETRO_FUZZ_SEED=S    replays a single seed.
+#include <gtest/gtest.h>
+
+#include "testing/fuzz.hpp"
+
+namespace retro::testing {
+namespace {
+
+constexpr int kDefaultSeeds = 16;
+
+ScenarioOptions anomalyOpts() {
+  ScenarioOptions opts;
+  opts.clockAnomalies = true;
+  return opts;
+}
+
+TEST(ClockAnomalyFuzz, KvCutsSurviveClockAnomalies) {
+  if (auto seed = seedOverrideFromEnv()) {
+    const Scenario s =
+        generateScenario(*seed, Substrate::kKvStore, anomalyOpts());
+    const FuzzResult r = runKvScenario(s);
+    EXPECT_TRUE(r.passed()) << r.failureSummary();
+    return;
+  }
+  const int seeds = seedCountFromEnv(kDefaultSeeds);
+  uint64_t totalViolationsDetected = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const Scenario s = generateScenario(static_cast<uint64_t>(seed),
+                                        Substrate::kKvStore, anomalyOpts());
+    const FuzzResult r = runKvScenario(s);
+    ASSERT_TRUE(r.passed()) << r.failureSummary();
+    totalViolationsDetected += r.epsilonViolations;
+  }
+  // Consistency must hold through every anomaly, AND the ε detector must
+  // have fired somewhere in the sweep — otherwise it is a dead feature.
+  EXPECT_GT(totalViolationsDetected, 0u);
+}
+
+TEST(ClockAnomalyFuzz, GridCutsSurviveClockAnomalies) {
+  if (auto seed = seedOverrideFromEnv()) {
+    const Scenario s = generateScenario(*seed, Substrate::kGrid, anomalyOpts());
+    const FuzzResult r = runGridScenario(s);
+    EXPECT_TRUE(r.passed()) << r.failureSummary();
+    return;
+  }
+  const int seeds = seedCountFromEnv(kDefaultSeeds);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const Scenario s = generateScenario(static_cast<uint64_t>(seed),
+                                        Substrate::kGrid, anomalyOpts());
+    const FuzzResult r = runGridScenario(s);
+    ASSERT_TRUE(r.passed()) << r.failureSummary();
+  }
+}
+
+// Directed case: one large positive spike on a busy server must trip the
+// ε detector (remote timestamps arrive far ahead of local physical
+// time) without ever breaking cut consistency.
+TEST(ClockAnomalyFuzz, DirectedSpikeTripsEpsilonDetector) {
+  Scenario s = generateScenario(2, Substrate::kKvStore);
+  s.clockAnomalies = true;
+  s.faults.clear();
+  s.baseDropProbability = 0.0;
+  FaultEvent spike;
+  spike.kind = FaultKind::kSkewSpike;
+  spike.node = 0;  // a server: chatty in both directions
+  spike.startMicros = s.durationMicros / 4;
+  spike.durationMicros = s.durationMicros / 2;
+  spike.magnitude = 400'000;  // +400 ms, far beyond any modeled skew
+  s.faults.push_back(spike);
+
+  const FuzzResult r = runKvScenario(s);
+  EXPECT_TRUE(r.passed()) << r.failureSummary();
+  EXPECT_GT(r.epsilonViolations, 0u)
+      << "a +400ms spike on a server went undetected";
+}
+
+// A negative spike steps the node's perceived clock backwards; HLC must
+// absorb it (l holds, c grows) and cuts stay consistent.
+TEST(ClockAnomalyFuzz, BackwardsClockStepKeepsCutsConsistent) {
+  Scenario s = generateScenario(4, Substrate::kKvStore);
+  s.clockAnomalies = true;
+  s.faults.clear();
+  FaultEvent spike;
+  spike.kind = FaultKind::kSkewSpike;
+  spike.node = 0;
+  spike.startMicros = s.durationMicros / 3;
+  spike.durationMicros = s.durationMicros / 3;
+  spike.magnitude = -300'000;  // -300 ms step
+  s.faults.push_back(spike);
+
+  const FuzzResult r = runKvScenario(s);
+  EXPECT_TRUE(r.passed()) << r.failureSummary();
+  EXPECT_GT(r.eventsRecorded, 0u);
+}
+
+}  // namespace
+}  // namespace retro::testing

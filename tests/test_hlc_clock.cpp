@@ -149,6 +149,83 @@ TEST(HlcClock, CurrentDoesNotAdvance) {
   EXPECT_EQ(clock.current(), t);
 }
 
+// --- edge cases: logical overflow, backwards clock steps, ε detection ---
+
+TEST(HlcClock, LogicalOverflowPromotesIntoPhysical) {
+  // An adversarial remote timestamp carries c at the 16-bit wire maximum;
+  // the next increment must promote into l instead of overflowing the
+  // packed representation.
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(100);
+  const Timestamp t =
+      clock.tick(Timestamp{200, Timestamp::kMaxLogical});
+  EXPECT_EQ(t, (Timestamp{201, 0}));
+  // Strictly after the remote timestamp despite the c reset.
+  EXPECT_GT(t, (Timestamp{200, Timestamp::kMaxLogical}));
+}
+
+TEST(HlcClock, LocalTickOverflowAlsoPromotes) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(50);
+  clock.tick(Timestamp{90, Timestamp::kMaxLogical - 1});  // (90, max)
+  ASSERT_EQ(clock.current(), (Timestamp{90, Timestamp::kMaxLogical}));
+  // Physical clock still behind l: the stalled-clock branch increments c,
+  // which must promote rather than wrap.
+  EXPECT_EQ(clock.tick(), (Timestamp{91, 0}));
+}
+
+TEST(HlcClock, PhysicalClockStepsBackwardsAfterResync) {
+  // NTP resync steps the node's physical clock backwards; l must hold
+  // its high-water mark and only the logical component may grow.
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(1000);
+  Timestamp prev = clock.tick();  // (1000, 0)
+  pt.set(700);                    // 300 ms backwards step
+  for (int i = 1; i <= 5; ++i) {
+    const Timestamp t = clock.tick();
+    EXPECT_GT(t, prev);
+    EXPECT_EQ(t, (Timestamp{1000, static_cast<uint32_t>(i)}));
+    prev = t;
+  }
+  // Once the physical clock passes the high-water mark, it drives again.
+  pt.set(1001);
+  EXPECT_EQ(clock.tick(), (Timestamp{1001, 0}));
+  // The backwards step is visible as drift: l ran 300 ms ahead of pt.
+  EXPECT_GE(clock.maxDriftMillis(), 300);
+}
+
+TEST(HlcClock, EpsilonViolationDetection) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  clock.setEpsilonMillis(10);
+  pt.set(1000);
+
+  clock.tick(Timestamp{1005, 0});  // 5 ms ahead: within bound
+  clock.tick(Timestamp{1010, 0});  // exactly at bound: not a violation
+  EXPECT_EQ(clock.epsilonViolations(), 0u);
+
+  clock.tick(Timestamp{1011, 0});  // 11 ms ahead: violation
+  EXPECT_EQ(clock.epsilonViolations(), 1u);
+  clock.tick(Timestamp{1500, 3});  // way ahead: violation
+  EXPECT_EQ(clock.epsilonViolations(), 2u);
+  EXPECT_EQ(clock.maxRemoteAheadMillis(), 500);
+
+  // Detection never blocks the tick: HLC still adopted the remote l.
+  EXPECT_GE(clock.current().l, 1500);
+}
+
+TEST(HlcClock, EpsilonDisabledByDefault) {
+  FakePhysicalClock pt;
+  Clock clock(pt);
+  pt.set(0);
+  clock.tick(Timestamp{1'000'000, 0});  // absurdly far ahead
+  EXPECT_EQ(clock.epsilonViolations(), 0u);
+  EXPECT_EQ(clock.maxRemoteAheadMillis(), 1'000'000);
+}
+
 TEST(HlcClock, WallClockTicksForward) {
   WallPhysicalClock wall;
   const int64_t a = wall.nowMillis();

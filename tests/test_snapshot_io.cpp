@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "common/bytes.hpp"
+
 namespace retro::core {
 namespace {
 
@@ -115,6 +117,78 @@ TEST(SnapshotIo, LargeSnapshot) {
   auto back = deserializeSnapshot(serializeSnapshot(s));
   ASSERT_TRUE(back.isOk());
   EXPECT_EQ(back.value().state.size(), 50'000u);
+}
+
+// --- adversarial inputs: every failure must be an error Status, never a
+// crash, hang or unbounded allocation ---
+
+TEST(SnapshotIo, TruncationAtEveryBoundary) {
+  const std::string blob = serializeSnapshot(sample());
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    EXPECT_FALSE(deserializeSnapshot(blob.substr(0, cut)).isOk())
+        << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotIo, EmptyInput) {
+  EXPECT_FALSE(deserializeSnapshot("").isOk());
+}
+
+TEST(SnapshotIo, MaxLengthKeysRoundTrip) {
+  LocalSnapshot s;
+  s.id = 7;
+  s.state.emplace(Key(64 * 1024, 'k'), Value(256 * 1024, 'v'));
+  s.state.emplace(Key(1, '\0'), Value{});  // NUL key, empty value
+  s.delta.set(Key(32 * 1024, 'd'), std::nullopt);
+  auto back = deserializeSnapshot(serializeSnapshot(s));
+  ASSERT_TRUE(back.isOk()) << back.status().toString();
+  expectEqual(back.value(), s);
+}
+
+// An adversarial state/delta count must be rejected up front, before it
+// can drive a huge reserve() — regression test for the count validation.
+TEST(SnapshotIo, HugeCountRejectedWithoutAllocation) {
+  // Build a payload whose stateCount varint claims ~2^60 entries.
+  ByteWriter payload;
+  payload.writeVarU64(1);                         // id
+  payload.writeU8(0);                             // kind
+  hlc::Timestamp{100, 0}.writeTo(payload);        // target
+  payload.writeU32(0);                            // node
+  payload.writeU8(0);                             // no baseId
+  payload.writeVarU64(0);                         // persistedBytes
+  payload.writeVarU64(1ull << 60);                // stateCount: absurd
+
+  ByteWriter out;
+  out.writeU32(0x52545343);
+  out.writeU16(1);
+  // Recompute the checksum the same way the serializer does.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : payload.view()) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  out.writeU64(h);
+  out.writeVarU64(payload.size());
+  out.writeRaw(payload.view());
+
+  auto r = deserializeSnapshot(out.view());
+  ASSERT_FALSE(r.isOk());
+  EXPECT_NE(r.status().message().find("count"), std::string::npos)
+      << r.status().toString();
+}
+
+TEST(SnapshotIo, ByteFlipFuzzNeverCrashes) {
+  const std::string blob = serializeSnapshot(sampleIncremental());
+  for (size_t i = 0; i < blob.size(); ++i) {
+    for (uint8_t bit : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string mutated = blob;
+      mutated[i] = static_cast<char>(mutated[i] ^ bit);
+      // Any outcome (parse or error Status) is acceptable; crashing,
+      // throwing past the API boundary or allocating wildly is not.
+      (void)deserializeSnapshot(mutated);
+    }
+  }
+  SUCCEED();
 }
 
 }  // namespace
