@@ -22,6 +22,10 @@ struct DepthRow {
 struct MixRun {
   std::vector<DepthRow> rows;
   uint64_t cleanerRuns = 0;
+  // Fault-tolerant collection accounting (all sessions in the run).
+  uint64_t snapshotRetries = 0;
+  uint64_t replicaFallbacks = 0;
+  uint64_t requestTimeouts = 0;
 };
 
 MixRun runMix(double writeFraction, bool cleaner) {
@@ -32,6 +36,12 @@ MixRun runMix(double writeFraction, bool cleaner) {
   cfg.server.logConfig.maxBytes = 2ull << 30;
   cfg.server.compactionMicrosPerEntry = 2.0;  // JVM-ish traversal cost
   cfg.server.bdb.cleanerEnabled = cleaner;
+  // Fault-tolerant collection on, as deployed.  The timeout must sit
+  // well above the worst legitimate execution time: retries measure
+  // failures, and a timeout below execution time would re-request
+  // healthy-but-busy nodes and distort the very latencies this bench
+  // reports.
+  cfg.admin.requestTimeoutMicros = 600 * kMicrosPerSecond;
   kv::VoldemortCluster cluster(cfg);
   cluster.preload(200'000, 100);
 
@@ -46,17 +56,20 @@ MixRun runMix(double writeFraction, bool cleaner) {
   // Build up 70 s of history, then snapshot at increasing depths,
   // issuing each snapshot after the previous completes.
   std::vector<DepthRow> rows;
+  auto run = std::make_shared<MixRun>();
   const std::vector<int64_t> depths = {0, 12, 24, 36, 48, 60};
   auto next = std::make_shared<std::function<void(size_t)>>();
-  *next = [&cluster, &rows, depths, next, &driver](size_t idx) {
+  *next = [&cluster, &rows, depths, next, &driver, run](size_t idx) {
     if (idx >= depths.size()) {
       driver.setDeadline(cluster.env().now());  // wind down the load
       return;
     }
     cluster.admin().snapshotPast(
-        depths[idx] * 1000, [&rows, depths, idx, next,
-                             &cluster](const core::SnapshotSession& s) {
+        depths[idx] * 1000, [&rows, depths, idx, next, &cluster,
+                             run](const core::SnapshotSession& s) {
           rows.push_back({depths[idx], s.latencyMicros() / 1e6});
+          run->snapshotRetries += s.totalRetries();
+          run->replicaFallbacks += s.replicaFallbacks();
           // Brief gap so runs don't overlap (concurrent conversion is
           // measured elsewhere).
           cluster.env().schedule(2 * kMicrosPerSecond,
@@ -65,12 +78,12 @@ MixRun runMix(double writeFraction, bool cleaner) {
   };
   cluster.env().scheduleAt(70 * kMicrosPerSecond, [next] { (*next)(0); });
   cluster.env().run();
-  MixRun run;
-  run.rows = std::move(rows);
+  run->rows = std::move(rows);
   for (size_t s = 0; s < cluster.serverCount(); ++s) {
-    run.cleanerRuns += cluster.server(s).bdb().cleanerRuns();
+    run->cleanerRuns += cluster.server(s).bdb().cleanerRuns();
   }
-  return run;
+  run->requestTimeouts = cluster.admin().counters().get("snapshot.timeouts");
+  return *run;
 }
 
 }  // namespace
@@ -81,9 +94,11 @@ int main() {
   bench::ShapeChecker shape;
 
   std::vector<double> mixes = {0.1, 0.5, 1.0};
+  std::vector<MixRun> mixRuns;
   std::vector<std::vector<DepthRow>> results;
   for (double wf : mixes) {
-    results.push_back(runMix(wf, /*cleaner=*/false).rows);
+    mixRuns.push_back(runMix(wf, /*cleaner=*/false));
+    results.push_back(mixRuns.back().rows);
   }
 
   std::printf("%10s %12s %12s %12s\n", "depth(s)", "10% write", "50% write",
@@ -145,6 +160,25 @@ int main() {
               "BDB log cleaning kicked in under the write-heavy workload");
   shape.check(withCleaner.rows.size() == 6,
               "snapshots complete despite cleaner interference");
+
+  // Fault-tolerant collection accounting: the retry machinery is armed
+  // for every session above, and on this healthy cluster it must stay
+  // quiet — retries/fallbacks measure failures, not steady state.
+  uint64_t retries = withCleaner.snapshotRetries;
+  uint64_t fallbacks = withCleaner.replicaFallbacks;
+  uint64_t timeouts = withCleaner.requestTimeouts;
+  for (const auto& run : mixRuns) {
+    retries += run.snapshotRetries;
+    fallbacks += run.replicaFallbacks;
+    timeouts += run.requestTimeouts;
+  }
+  std::printf("collection protocol: %llu retries, %llu replica fallbacks, "
+              "%llu request timeouts across all sessions\n\n",
+              static_cast<unsigned long long>(retries),
+              static_cast<unsigned long long>(fallbacks),
+              static_cast<unsigned long long>(timeouts));
+  shape.check(retries == 0 && fallbacks == 0,
+              "healthy cluster needs no snapshot retries or fallbacks");
 
   return shape.finish("bench_fig14_snapshot_depth");
 }

@@ -4,54 +4,98 @@
 
 namespace retro::core {
 
+const char* failureReasonName(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kTimedOut: return "timed-out";
+    case FailureReason::kLogTruncated: return "log-truncated";
+    case FailureReason::kCrashed: return "crashed";
+    case FailureReason::kRecoveredViaReplica: return "recovered-via-replica";
+    case FailureReason::kFailed: return "failed";
+  }
+  return "?";
+}
+
 SnapshotSession::SnapshotSession(SnapshotRequest request,
                                  std::vector<NodeId> participants,
                                  TimeMicros startedAt)
-    : request_(std::move(request)),
-      participants_(std::move(participants)),
-      startedAt_(startedAt) {
-  participants2_.reserve(participants_.size());
-  for (NodeId n : participants_) participants2_.push_back({n, std::nullopt});
+    : request_(std::move(request)), startedAt_(startedAt) {
+  participants_.reserve(participants.size());
+  for (NodeId n : participants) {
+    participants_.push_back({n, std::nullopt, FailureReason::kNone, n, 0});
+  }
+}
+
+SnapshotSession::Participant* SnapshotSession::find(NodeId node) {
+  for (auto& p : participants_) {
+    if (p.node == node) return &p;
+  }
+  return nullptr;
+}
+
+const SnapshotSession::Participant* SnapshotSession::findParticipant(
+    NodeId node) const {
+  for (const auto& p : participants_) {
+    if (p.node == node) return &p;
+  }
+  return nullptr;
 }
 
 bool SnapshotSession::onAck(const SnapshotAck& ack, TimeMicros now) {
   if (ack.id != request_.id || isDone()) return false;
-  for (auto& p : participants2_) {
-    if (p.node == ack.node && !p.status) {
-      p.status = ack.status;
-      if (ack.status == LocalSnapshotStatus::kComplete) {
-        persistedBytes_ += ack.persistedBytes;
-      }
-      maybeFinish(now);
-      return isDone();
-    }
+  Participant* p = find(ack.node);
+  if (p == nullptr || p->status) return false;
+  p->status = ack.status;
+  switch (ack.status) {
+    case LocalSnapshotStatus::kComplete:
+      persistedBytes_ += ack.persistedBytes;
+      break;
+    case LocalSnapshotStatus::kOutOfReach:
+      p->reason = FailureReason::kLogTruncated;
+      break;
+    default:
+      p->reason = FailureReason::kFailed;
+      break;
   }
-  return false;
+  maybeFinish(now);
+  return isDone();
 }
 
-bool SnapshotSession::onNodeUnavailable(NodeId node, TimeMicros now) {
+bool SnapshotSession::onNodeUnavailable(NodeId node, TimeMicros now,
+                                        FailureReason reason) {
   if (isDone()) return false;
-  for (auto& p : participants2_) {
-    if (p.node == node && !p.status) {
-      p.status = LocalSnapshotStatus::kFailed;
-      maybeFinish(now);
-      return isDone();
-    }
-  }
-  return false;
+  Participant* p = find(node);
+  if (p == nullptr || p->status) return false;
+  p->status = LocalSnapshotStatus::kFailed;
+  p->reason = reason;
+  maybeFinish(now);
+  return isDone();
+}
+
+bool SnapshotSession::resolveViaReplica(NodeId node, NodeId replica,
+                                        size_t persistedBytes,
+                                        TimeMicros now) {
+  if (isDone()) return false;
+  Participant* p = find(node);
+  if (p == nullptr || p->status) return false;
+  p->status = LocalSnapshotStatus::kComplete;
+  p->reason = FailureReason::kRecoveredViaReplica;
+  p->servedBy = replica;
+  persistedBytes_ += persistedBytes;
+  maybeFinish(now);
+  return isDone();
+}
+
+void SnapshotSession::noteRetry(NodeId node) {
+  if (Participant* p = find(node)) ++p->retries;
 }
 
 void SnapshotSession::maybeFinish(TimeMicros now) {
-  bool allAnswered = true;
   bool allComplete = true;
-  for (const auto& p : participants2_) {
-    if (!p.status) {
-      allAnswered = false;
-      break;
-    }
+  for (const auto& p : participants_) {
+    if (!p.status) return;  // still pending
     if (*p.status != LocalSnapshotStatus::kComplete) allComplete = false;
   }
-  if (!allAnswered) return;
   state_ = allComplete ? GlobalSnapshotState::kComplete
                        : GlobalSnapshotState::kPartial;
   finishedAt_ = now;
@@ -59,7 +103,7 @@ void SnapshotSession::maybeFinish(TimeMicros now) {
 
 std::vector<NodeId> SnapshotSession::pendingNodes() const {
   std::vector<NodeId> out;
-  for (const auto& p : participants2_) {
+  for (const auto& p : participants_) {
     if (!p.status) out.push_back(p.node);
   }
   return out;
@@ -67,12 +111,26 @@ std::vector<NodeId> SnapshotSession::pendingNodes() const {
 
 std::vector<NodeId> SnapshotSession::failedNodes() const {
   std::vector<NodeId> out;
-  for (const auto& p : participants2_) {
+  for (const auto& p : participants_) {
     if (p.status && *p.status != LocalSnapshotStatus::kComplete) {
       out.push_back(p.node);
     }
   }
   return out;
+}
+
+uint64_t SnapshotSession::totalRetries() const {
+  uint64_t total = 0;
+  for (const auto& p : participants_) total += p.retries;
+  return total;
+}
+
+uint64_t SnapshotSession::replicaFallbacks() const {
+  uint64_t total = 0;
+  for (const auto& p : participants_) {
+    if (p.reason == FailureReason::kRecoveredViaReplica) ++total;
+  }
+  return total;
 }
 
 }  // namespace retro::core

@@ -1,9 +1,9 @@
 // Transport-agnostic initiator-side bookkeeping for a distributed
 // snapshot (§III-A): track which nodes have acked, detect partial
 // snapshots (a node's window-log moved past the requested time, or a
-// node never answered), and support restarting.  The substrates
-// (kvstore admin client, grid snapshot service) own the actual
-// messaging; this class owns the protocol state.
+// node never answered), and support retries, replica fallback and
+// restarting.  The substrates (kvstore admin client, grid snapshot
+// service) own the actual messaging; this class owns the protocol state.
 #pragma once
 
 #include <optional>
@@ -16,12 +16,37 @@ namespace retro::core {
 
 enum class GlobalSnapshotState : uint8_t {
   kInProgress,
-  kComplete,  ///< all nodes reported kComplete
-  kPartial,   ///< every node answered but some were out of reach/failed
+  kComplete,  ///< every node reported kComplete (locally or via replica)
+  kPartial,   ///< every node resolved but some were out of reach/failed
 };
+
+/// Structured per-node reason a participant did not complete its own
+/// local snapshot.  kRecoveredViaReplica still counts as a completed
+/// participant (a replica covering the same key range answered).
+enum class FailureReason : uint8_t {
+  kNone,                ///< completed locally (or still pending)
+  kTimedOut,            ///< retries exhausted, node never answered
+  kLogTruncated,        ///< window-log no longer covers the target time
+  kCrashed,             ///< node observed down (connection refused)
+  kRecoveredViaReplica, ///< a replica answered for this node's key range
+  kFailed,              ///< node answered with a generic failure
+};
+
+const char* failureReasonName(FailureReason reason);
 
 class SnapshotSession {
  public:
+  struct Participant {
+    NodeId node = 0;
+    std::optional<LocalSnapshotStatus> status;
+    FailureReason reason = FailureReason::kNone;
+    /// Which node actually produced the local snapshot counted for this
+    /// participant (== node unless recovered via replica fallback).
+    NodeId servedBy = 0;
+    /// Request (re)transmissions beyond the first.
+    uint32_t retries = 0;
+  };
+
   SnapshotSession() = default;
   SnapshotSession(SnapshotRequest request, std::vector<NodeId> participants,
                   TimeMicros startedAt);
@@ -29,19 +54,37 @@ class SnapshotSession {
   /// Record a node's ack; returns true if this ack finished the session.
   bool onAck(const SnapshotAck& ack, TimeMicros now);
 
-  /// Mark a node as unreachable (timeout / lost message).
-  bool onNodeUnavailable(NodeId node, TimeMicros now);
+  /// Mark a node as unreachable / failed with a structured reason
+  /// (timeout, crash, truncated log after all fallbacks were exhausted).
+  bool onNodeUnavailable(NodeId node, TimeMicros now,
+                         FailureReason reason = FailureReason::kTimedOut);
+
+  /// Resolve `node` through `replica`: a replica covering the same key
+  /// range completed the snapshot, so the global snapshot is still
+  /// complete even though `node` itself never produced a local copy.
+  bool resolveViaReplica(NodeId node, NodeId replica, size_t persistedBytes,
+                         TimeMicros now);
+
+  /// Count a request retransmission towards `node` (retry accounting).
+  void noteRetry(NodeId node);
 
   GlobalSnapshotState state() const { return state_; }
   bool isDone() const { return state_ != GlobalSnapshotState::kInProgress; }
 
   const SnapshotRequest& request() const { return request_; }
-  const std::vector<NodeId>& participants() const { return participants_; }
+  const std::vector<Participant>& participants() const {
+    return participants_;
+  }
+  const Participant* findParticipant(NodeId node) const;
 
-  /// Nodes that have not yet answered.
+  /// Nodes that have not yet resolved.
   std::vector<NodeId> pendingNodes() const;
-  /// Nodes that answered with out-of-reach/failure (partial snapshot).
+  /// Nodes that resolved with out-of-reach/failure (partial snapshot).
   std::vector<NodeId> failedNodes() const;
+
+  /// Sum of per-node retries / count of replica-resolved participants.
+  uint64_t totalRetries() const;
+  uint64_t replicaFallbacks() const;
 
   TimeMicros startedAt() const { return startedAt_; }
   TimeMicros finishedAt() const { return finishedAt_; }
@@ -51,16 +94,11 @@ class SnapshotSession {
   size_t totalPersistedBytes() const { return persistedBytes_; }
 
  private:
-  struct Participant {
-    NodeId node = 0;
-    std::optional<LocalSnapshotStatus> status;
-  };
-
+  Participant* find(NodeId node);
   void maybeFinish(TimeMicros now);
 
   SnapshotRequest request_;
-  std::vector<Participant> participants2_;
-  std::vector<NodeId> participants_;
+  std::vector<Participant> participants_;
   GlobalSnapshotState state_ = GlobalSnapshotState::kInProgress;
   TimeMicros startedAt_ = 0;
   TimeMicros finishedAt_ = 0;

@@ -289,6 +289,9 @@ core::SnapshotId GridMember::initiateSnapshot(hlc::Timestamp target,
     if (m == id_) {
       GridSnapshotStartBody body{request};
       handleSnapshotStart(id_, body);
+    } else if (config_.snapshotRequestTimeoutMicros > 0) {
+      pendingStarts_[{request.id, m}] = PendingStart{};
+      sendSnapshotStart(request.id, m);
     } else {
       send(m, kSnapshotStart, [&](ByteWriter& w) {
         GridSnapshotStartBody body{request};
@@ -299,6 +302,58 @@ core::SnapshotId GridMember::initiateSnapshot(hlc::Timestamp target,
   return request.id;
 }
 
+void GridMember::sendSnapshotStart(core::SnapshotId id, NodeId member) {
+  auto it = pendingStarts_.find({id, member});
+  if (it == pendingStarts_.end()) return;
+  auto sess = sessions_.find(id);
+  if (sess == sessions_.end() || sess->second.isDone()) {
+    pendingStarts_.erase(it);
+    return;
+  }
+  PendingStart& ps = it->second;
+  ++ps.attempts;
+  if (ps.attempts > 1) sess->second.noteRetry(member);
+  send(member, kSnapshotStart, [&](ByteWriter& w) {
+    GridSnapshotStartBody body{sess->second.request()};
+    body.writeTo(w);
+  });
+  const uint64_t gen = ++ps.generation;
+  env_->schedule(config_.snapshotRequestTimeoutMicros, [this, id, member, gen] {
+    onStartTimeout(id, member, gen);
+  });
+}
+
+void GridMember::onStartTimeout(core::SnapshotId id, NodeId member,
+                                uint64_t generation) {
+  auto it = pendingStarts_.find({id, member});
+  if (it == pendingStarts_.end() || it->second.generation != generation) return;
+  auto sess = sessions_.find(id);
+  if (sess == sessions_.end() || sess->second.isDone()) {
+    pendingStarts_.erase(it);
+    return;
+  }
+  if (it->second.attempts < config_.snapshotMaxAttempts) {
+    sendSnapshotStart(id, member);
+    return;
+  }
+  pendingStarts_.erase(it);
+  if (sess->second.onNodeUnavailable(member, env_->now(),
+                                     core::FailureReason::kTimedOut)) {
+    finishSession(id, sess->second);
+  }
+}
+
+void GridMember::finishSession(core::SnapshotId id,
+                               core::SnapshotSession& session) {
+  pendingStarts_.erase(pendingStarts_.lower_bound({id, 0}),
+                       pendingStarts_.lower_bound({id + 1, 0}));
+  auto cb = callbacks_.find(id);
+  if (cb != callbacks_.end()) {
+    if (cb->second) cb->second(session);
+    callbacks_.erase(cb);
+  }
+}
+
 core::SnapshotId GridMember::initiateSnapshotNow(SnapshotCallback done) {
   const hlc::Timestamp now = retroscope_.timeTick();
   if (trace_ && config_.mode != Mode::kOriginal) trace_->onLocal(id_, now);
@@ -306,6 +361,28 @@ core::SnapshotId GridMember::initiateSnapshotNow(SnapshotCallback done) {
 }
 
 void GridMember::handleSnapshotStart(NodeId from, GridSnapshotStartBody body) {
+  // Idempotency under initiator retries: a snapshot already resolved is
+  // re-acked with the original outcome, one still executing is left to
+  // finish (its ack is on the way).
+  if (auto cached = completedAcks_.find(body.request.id);
+      cached != completedAcks_.end()) {
+    ++duplicateSnapshotStarts_;
+    if (from == id_) {
+      GridSnapshotAckBody ackBody{cached->second};
+      handleSnapshotAck(ackBody);
+    } else {
+      send(from, kSnapshotAck, [&](ByteWriter& w) {
+        GridSnapshotAckBody ackBody{cached->second};
+        ackBody.writeTo(w);
+      });
+    }
+    return;
+  }
+  if (activeSnapshots_.contains(body.request.id)) {
+    ++duplicateSnapshotStarts_;
+    return;
+  }
+
   ActiveSnapshot active;
   active.request = body.request;
   active.initiator = from;
@@ -421,6 +498,7 @@ void GridMember::memberSnapshotDone(core::SnapshotId id) {
                           outOfReach ? core::LocalSnapshotStatus::kOutOfReach
                                      : core::LocalSnapshotStatus::kComplete,
                           bytes};
+    completedAcks_[id] = ack;
     if (!outOfReach) ++snapshotsCompleted_;
     if (initiator == id_) {
       GridSnapshotAckBody body{ack};
@@ -453,12 +531,10 @@ void GridMember::memberSnapshotDone(core::SnapshotId id) {
 void GridMember::handleSnapshotAck(GridSnapshotAckBody body) {
   auto it = sessions_.find(body.ack.id);
   if (it == sessions_.end()) return;
+  // Cancel any pending resend timer for the answering member.
+  pendingStarts_.erase({body.ack.id, body.ack.node});
   if (it->second.onAck(body.ack, env_->now())) {
-    auto cb = callbacks_.find(body.ack.id);
-    if (cb != callbacks_.end()) {
-      if (cb->second) cb->second(it->second);
-      callbacks_.erase(cb);
-    }
+    finishSession(body.ack.id, it->second);
   }
 }
 

@@ -63,6 +63,14 @@ struct MemberConfig {
 
   TimeMicros heartbeatPeriodMicros = kMicrosPerSecond;
   sim::DiskConfig disk{.readMBps = 200, .writeMBps = 160, .seekMicros = 100};
+
+  // --- snapshot-collection fault tolerance (initiator side) ---
+  /// Per-member ack timeout before the start message is re-sent
+  /// (0 = legacy fire-and-forget collection).
+  TimeMicros snapshotRequestTimeoutMicros = 0;
+  /// Total kSnapshotStart transmissions per member before the initiator
+  /// marks it unavailable (kTimedOut) and settles for a partial snapshot.
+  uint32_t snapshotMaxAttempts = 3;
 };
 
 class GridMember {
@@ -98,6 +106,10 @@ class GridMember {
   uint64_t putsProcessed() const { return putsProcessed_; }
   uint64_t queuedBehindLock() const { return queuedBehindLock_; }
   uint64_t snapshotsCompleted() const { return snapshotsCompleted_; }
+  /// Snapshot-start messages answered from the completed-ack cache or
+  /// ignored because the snapshot is already executing (initiator
+  /// retries are idempotent).
+  uint64_t duplicateSnapshotStarts() const { return duplicateSnapshotStarts_; }
 
   /// Primary data of one owned partition (tests).
   const std::unordered_map<Key, Value>* partitionData(uint32_t p) const;
@@ -142,6 +154,9 @@ class GridMember {
   void runNextPartitionSnapshot(core::SnapshotId id);
   void runPartitionSnapshot(core::SnapshotId id, uint32_t partition);
   void memberSnapshotDone(core::SnapshotId id);
+  void sendSnapshotStart(core::SnapshotId id, NodeId member);
+  void onStartTimeout(core::SnapshotId id, NodeId member, uint64_t generation);
+  void finishSession(core::SnapshotId id, core::SnapshotSession& session);
 
   void heartbeatTick();
 
@@ -164,6 +179,16 @@ class GridMember {
   // Initiator-side session tracking (any member can initiate).
   std::map<core::SnapshotId, core::SnapshotSession> sessions_;
   std::map<core::SnapshotId, SnapshotCallback> callbacks_;
+  /// Per-(session, member) retry state while awaiting a snapshot ack;
+  /// generation counts invalidate stale timeout events.
+  struct PendingStart {
+    uint32_t attempts = 0;
+    uint64_t generation = 0;
+  };
+  std::map<std::pair<core::SnapshotId, NodeId>, PendingStart> pendingStarts_;
+  /// Resolved snapshots, kept to answer duplicate start messages
+  /// idempotently with the original outcome.
+  std::map<core::SnapshotId, core::SnapshotAck> completedAcks_;
   core::SnapshotIdAllocator idAlloc_;
 
   uint64_t heartbeatSeq_ = 0;
@@ -172,6 +197,7 @@ class GridMember {
   uint64_t putsProcessed_ = 0;
   uint64_t queuedBehindLock_ = 0;
   uint64_t snapshotsCompleted_ = 0;
+  uint64_t duplicateSnapshotStarts_ = 0;
 };
 
 }  // namespace retro::grid

@@ -28,6 +28,13 @@ void Clock::promoteOnOverflow() {
   }
 }
 
+void Clock::restore(const Timestamp& persisted) {
+  if (persisted > now_) {
+    now_ = persisted;
+    observe(now_);
+  }
+}
+
 Timestamp Clock::tick() {
   const int64_t pt = physical_->nowMillis();
   if (pt > now_.l) {

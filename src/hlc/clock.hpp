@@ -50,6 +50,13 @@ class Clock {
   /// Current HLC value without advancing it (no event).
   Timestamp current() const { return now_; }
 
+  /// Crash recovery: re-seed the clock from a persisted HLC value so a
+  /// restarted node never issues a timestamp below one it issued before
+  /// the crash, even when its physical clock restarts behind (stale
+  /// battery clock, NTP not yet converged).  now' = max(now, persisted);
+  /// the next tick() then produces a value strictly above `persisted`.
+  void restore(const Timestamp& persisted);
+
   /// The physical clock this HLC is driven by.
   PhysicalClock& physicalClock() const { return *physical_; }
 

@@ -1,16 +1,21 @@
 #include "kvstore/admin.hpp"
 
+#include <algorithm>
+
+#include "common/random.hpp"
+
 namespace retro::kv {
 
 AdminClient::AdminClient(NodeId id, sim::SimEnv& env, sim::Network& network,
                          sim::SkewedClock& clock, std::vector<NodeId> servers,
-                         AdminConfig config)
+                         AdminConfig config, const Ring* ring)
     : id_(id),
       env_(&env),
       network_(&network),
       clock_(clock),
       servers_(std::move(servers)),
       config_(config),
+      ring_(ring),
       idAlloc_(id) {
   network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
 }
@@ -30,7 +35,7 @@ core::SnapshotId AdminClient::doSnapshot(hlc::Timestamp target,
   callbacks_.emplace(request.id, std::move(done));
 
   if (config_.deferStepMicros <= 0) {
-    for (NodeId server : servers_) sendRequest(server, request);
+    for (NodeId server : servers_) beginAttempt(request.id, server);
   } else {
     // Deferred snapshots (§VII): group i starts i*Δt after the first.
     const size_t k = config_.deferOverlap == 0 ? 1 : config_.deferOverlap;
@@ -38,8 +43,8 @@ core::SnapshotId AdminClient::doSnapshot(hlc::Timestamp target,
       const TimeMicros delay =
           static_cast<TimeMicros>(i / k) * config_.deferStepMicros;
       const NodeId server = servers_[i];
-      env_->schedule(delay, [this, server, request] {
-        sendRequest(server, request);
+      env_->schedule(delay, [this, server, id = request.id] {
+        beginAttempt(id, server);
       });
     }
   }
@@ -72,6 +77,236 @@ void AdminClient::sendRequest(NodeId server,
   if (trace_) trace_->onSend(id_, msgId, ts);
 }
 
+// ---------------------------------------------------------------------------
+// Fault-tolerant collection: per-participant retries with capped
+// exponential backoff, crash detection, and replica fallback.
+// ---------------------------------------------------------------------------
+
+std::vector<NodeId> AdminClient::fallbackCandidates(NodeId participant) const {
+  if (config_.replicaFallbacks == 0) return {};
+  std::vector<NodeId> out;
+  if (ring_ != nullptr) {
+    // The ring successors hold the replicas of the key ranges this
+    // participant is primary for (client-side replication writes each
+    // item to the first N distinct clockwise nodes).
+    for (NodeId n : ring_->successorsOf(participant, config_.replicaFallbacks)) {
+      if (std::find(servers_.begin(), servers_.end(), n) != servers_.end()) {
+        out.push_back(n);
+      }
+    }
+  } else {
+    for (NodeId n : servers_) {
+      if (out.size() >= config_.replicaFallbacks) break;
+      if (n != participant) out.push_back(n);
+    }
+  }
+  return out;
+}
+
+void AdminClient::beginAttempt(core::SnapshotId id, NodeId participant) {
+  if (!retriesEnabled()) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end() || it->second.isDone()) return;
+    sendRequest(participant, it->second.request());
+    return;
+  }
+  Attempt a;
+  a.target = participant;
+  a.fallbackQueue = fallbackCandidates(participant);
+  attempts_[{id, participant}] = std::move(a);
+  trySend(id, participant);
+}
+
+void AdminClient::trySend(core::SnapshotId id, NodeId participant) {
+  auto it = attempts_.find({id, participant});
+  if (it == attempts_.end()) return;
+  auto sess = sessions_.find(id);
+  if (sess == sessions_.end() || sess->second.isDone()) return;
+  Attempt& a = it->second;
+  ++a.attemptsOnTarget;
+  ++a.totalSends;
+  if (a.totalSends > 1) {
+    sess->second.noteRetry(participant);
+    counters_.add("snapshot.retries");
+  }
+  if (!network_->isConnected(a.target)) {
+    // Connection refused — the target is down right now.  Remember the
+    // crash (it becomes the participant's failure reason if nothing else
+    // resolves it) but keep retrying: the node may restart and recover.
+    if (a.target == participant) {
+      a.pendingReason = core::FailureReason::kCrashed;
+    }
+    counters_.add("snapshot.target_down");
+    scheduleNext(id, participant);
+    return;
+  }
+  sendRequest(a.target, sess->second.request());
+  const uint64_t gen = ++a.generation;
+  env_->schedule(config_.requestTimeoutMicros, [this, id, participant, gen] {
+    onAttemptTimeout(id, participant, gen);
+  });
+}
+
+void AdminClient::onAttemptTimeout(core::SnapshotId id, NodeId participant,
+                                   uint64_t generation) {
+  auto it = attempts_.find({id, participant});
+  if (it == attempts_.end() || it->second.generation != generation) return;
+  auto sess = sessions_.find(id);
+  if (sess == sessions_.end() || sess->second.isDone()) return;
+  if (it->second.target == participant) {
+    it->second.pendingReason = core::FailureReason::kTimedOut;
+  }
+  counters_.add("snapshot.timeouts");
+  scheduleNext(id, participant);
+}
+
+void AdminClient::scheduleNext(core::SnapshotId id, NodeId participant) {
+  auto it = attempts_.find({id, participant});
+  if (it == attempts_.end()) return;
+  Attempt& a = it->second;
+  if (a.attemptsOnTarget < config_.maxAttemptsPerNode) {
+    const TimeMicros delay = backoffDelay(id, participant, a.attemptsOnTarget);
+    const uint64_t gen = ++a.generation;
+    env_->schedule(delay, [this, id, participant, gen] {
+      auto jt = attempts_.find({id, participant});
+      if (jt == attempts_.end() || jt->second.generation != gen) return;
+      trySend(id, participant);
+    });
+    return;
+  }
+  advanceToFallback(id, participant);
+}
+
+void AdminClient::advanceToFallback(core::SnapshotId id, NodeId participant) {
+  auto it = attempts_.find({id, participant});
+  if (it == attempts_.end()) return;
+  auto sess = sessions_.find(id);
+  if (sess == sessions_.end() || sess->second.isDone()) return;
+  Attempt& a = it->second;
+  // Only replicas that already completed their own local snapshot can
+  // vouch for this participant's key range (the cached ack they re-send
+  // covers the same target time); skip the rest.
+  while (!a.fallbackQueue.empty()) {
+    const NodeId candidate = a.fallbackQueue.front();
+    a.fallbackQueue.erase(a.fallbackQueue.begin());
+    const core::SnapshotSession::Participant* p =
+        sess->second.findParticipant(candidate);
+    if (p != nullptr && p->status &&
+        *p->status == core::LocalSnapshotStatus::kComplete &&
+        p->reason == core::FailureReason::kNone) {
+      a.target = candidate;
+      a.attemptsOnTarget = 0;
+      ++a.generation;
+      counters_.add("snapshot.fallback_attempts");
+      trySend(id, participant);
+      return;
+    }
+  }
+  resolveFailure(id, participant);
+}
+
+void AdminClient::resolveFailure(core::SnapshotId id, NodeId participant) {
+  auto it = attempts_.find({id, participant});
+  if (it == attempts_.end()) return;
+  const core::FailureReason reason = it->second.pendingReason;
+  attempts_.erase(it);
+  counters_.add("snapshot.exhausted");
+  auto sess = sessions_.find(id);
+  if (sess == sessions_.end()) return;
+  if (sess->second.onNodeUnavailable(participant, env_->now(), reason)) {
+    finishSession(id, sess->second);
+  }
+}
+
+TimeMicros AdminClient::backoffDelay(core::SnapshotId id, NodeId participant,
+                                     uint32_t attempt) const {
+  TimeMicros d = config_.retryBackoffBaseMicros;
+  for (uint32_t i = 1; i < attempt && d < config_.retryBackoffCapMicros; ++i) {
+    d *= 2;
+  }
+  d = std::min(d, config_.retryBackoffCapMicros);
+  if (config_.retryJitter > 0) {
+    // Deterministic jitter: hash of (session, participant, attempt) so
+    // simulation runs replay identically for a given seed.
+    SplitMix64 sm(id * 0x9e3779b97f4a7c15ULL ^
+                  (static_cast<uint64_t>(participant) << 32) ^ attempt);
+    const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    d += static_cast<TimeMicros>(static_cast<double>(d) *
+                                 config_.retryJitter * u);
+  }
+  return d;
+}
+
+void AdminClient::finishSession(core::SnapshotId id,
+                                core::SnapshotSession& session) {
+  // Cancel all remaining per-participant retry state for the session.
+  attempts_.erase(attempts_.lower_bound({id, 0}),
+                  attempts_.lower_bound({id + 1, 0}));
+  auto cb = callbacks_.find(id);
+  if (cb != callbacks_.end()) {
+    if (cb->second) cb->second(session);
+    callbacks_.erase(cb);
+  }
+}
+
+void AdminClient::handleAck(const core::SnapshotAck& ack) {
+  auto it = sessions_.find(ack.id);
+  if (it == sessions_.end() || it->second.isDone()) return;
+  core::SnapshotSession& session = it->second;
+
+  if (!retriesEnabled()) {
+    if (session.onAck(ack, env_->now())) finishSession(ack.id, session);
+    return;
+  }
+
+  // Direct answer from the participant itself (even if we had already
+  // moved on to a fallback target — a recovered node's own completion is
+  // always preferred).
+  auto direct = attempts_.find({ack.id, ack.node});
+  if (direct != attempts_.end()) {
+    Attempt& a = direct->second;
+    if (ack.status == core::LocalSnapshotStatus::kComplete) {
+      attempts_.erase(direct);
+      if (session.onAck(ack, env_->now())) finishSession(ack.id, session);
+      return;
+    }
+    if (a.target == ack.node) {
+      // The node answered but could not serve (log slid past the target,
+      // or a generic failure): try its replicas before settling.
+      a.pendingReason = ack.status == core::LocalSnapshotStatus::kOutOfReach
+                            ? core::FailureReason::kLogTruncated
+                            : core::FailureReason::kFailed;
+      advanceToFallback(ack.id, ack.node);
+      return;
+    }
+    // A late failure ack while a fallback is already in flight: let the
+    // fallback run its course.
+    return;
+  }
+
+  // Otherwise this may be a replica re-acking on behalf of a fallen
+  // participant (the request we re-issued carried the same snapshot id,
+  // so the replica answered from its completed-ack cache).
+  for (auto at = attempts_.lower_bound({ack.id, 0});
+       at != attempts_.end() && at->first.first == ack.id; ++at) {
+    if (at->second.target != ack.node) continue;
+    const NodeId participant = at->first.second;
+    if (ack.status == core::LocalSnapshotStatus::kComplete) {
+      attempts_.erase(at);
+      counters_.add("snapshot.replica_fallbacks");
+      // persistedBytes = 0: the replica's copy was already counted when
+      // it acked for itself.
+      if (session.resolveViaReplica(participant, ack.node, 0, env_->now())) {
+        finishSession(ack.id, session);
+      }
+    } else {
+      advanceToFallback(ack.id, participant);
+    }
+    return;
+  }
+  // Stale ack for an already-resolved participant: ignore.
+}
+
 void AdminClient::checkProgress(
     core::SnapshotId id,
     std::function<void(NodeId, ProgressReplyBody)> onReply) {
@@ -98,18 +333,17 @@ Result<core::SnapshotId> AdminClient::restartSnapshot(core::SnapshotId id,
   // Abandon the stale session: late acks for it will be ignored.
   callbacks_.erase(id);
   sessions_.erase(it);
+  attempts_.erase(attempts_.lower_bound({id, 0}),
+                  attempts_.lower_bound({id + 1, 0}));
   return doSnapshot(old.target, old.kind, old.baseId, std::move(done));
 }
 
 void AdminClient::markNodeUnavailable(core::SnapshotId id, NodeId node) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;
+  attempts_.erase({id, node});
   if (it->second.onNodeUnavailable(node, env_->now())) {
-    auto cb = callbacks_.find(id);
-    if (cb != callbacks_.end()) {
-      if (cb->second) cb->second(it->second);
-      callbacks_.erase(cb);
-    }
+    finishSession(id, it->second);
   }
 }
 
@@ -126,15 +360,7 @@ void AdminClient::onMessage(sim::Message&& msg) {
 
   if (msg.type == kSnapshotAck) {
     auto body = SnapshotAckBody::readFrom(r);
-    auto it = sessions_.find(body.ack.id);
-    if (it == sessions_.end()) return;
-    if (it->second.onAck(body.ack, env_->now())) {
-      auto cb = callbacks_.find(body.ack.id);
-      if (cb != callbacks_.end()) {
-        if (cb->second) cb->second(it->second);
-        callbacks_.erase(cb);
-      }
-    }
+    handleAck(body.ack);
   } else if (msg.type == kProgressReply) {
     auto body = ProgressReplyBody::readFrom(r);
     if (progressHandler_) progressHandler_(msg.from, body);

@@ -15,10 +15,12 @@
 #include <map>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/status.hpp"
 #include "core/coordinator.hpp"
 #include "hlc/clock.hpp"
 #include "kvstore/messages.hpp"
+#include "kvstore/ring.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -32,15 +34,33 @@ struct AdminConfig {
   /// How many nodes may start simultaneously when deferring (the paper's
   /// "no more than k nodes fully overlap").
   size_t deferOverlap = 1;
+
+  // --- fault-tolerant collection (retries, backoff, replica fallback) ---
+  /// Per-request ack timeout. 0 disables the whole retry machinery
+  /// (legacy fire-and-forget collection: a silent node leaves the
+  /// session in-progress until markNodeUnavailable).
+  TimeMicros requestTimeoutMicros = 0;
+  /// Send attempts per target node (first transmission included).
+  uint32_t maxAttemptsPerNode = 4;
+  /// Capped exponential backoff between attempts: base * 2^(n-1).
+  TimeMicros retryBackoffBaseMicros = 50'000;
+  TimeMicros retryBackoffCapMicros = 800'000;
+  /// Deterministic jitter fraction added on top of each backoff [0..1).
+  double retryJitter = 0.2;
+  /// Ring successors to try as replicas when a node cannot answer
+  /// (crashed for good, or its window-log no longer reaches the target).
+  size_t replicaFallbacks = 2;
 };
 
 class AdminClient {
  public:
   using SnapshotCallback = std::function<void(const core::SnapshotSession&)>;
 
+  /// `ring` enables replica fallback along ring successors; without it
+  /// fallbacks use the remaining servers in id order.
   AdminClient(NodeId id, sim::SimEnv& env, sim::Network& network,
               sim::SkewedClock& clock, std::vector<NodeId> servers,
-              AdminConfig config = {});
+              AdminConfig config = {}, const Ring* ring = nullptr);
 
   /// Take a snapshot at HLC time `target` (defaults: the initiator's
   /// current HLC time = an instant snapshot).  `baseId` selects
@@ -74,12 +94,47 @@ class AdminClient {
   const core::SnapshotSession* findSession(core::SnapshotId id) const;
   hlc::Clock& clock() { return clock_; }
 
+  /// Collection-protocol counters: "snapshot.retries",
+  /// "snapshot.timeouts", "snapshot.target_down",
+  /// "snapshot.fallback_attempts", "snapshot.replica_fallbacks",
+  /// "snapshot.exhausted".
+  const Counters& counters() const { return counters_; }
+
   /// Attach a causality trace (fuzz harness); null disables recording.
   void setTrace(sim::CausalityTrace* trace) { trace_ = trace; }
 
  private:
+  /// Per-(session, participant) retry state.  `target` is the node the
+  /// request is currently aimed at: the participant itself, or — after
+  /// its attempts are exhausted — successive replicas off the ring.
+  struct Attempt {
+    NodeId target = 0;
+    uint32_t attemptsOnTarget = 0;
+    uint32_t totalSends = 0;
+    std::vector<NodeId> fallbackQueue;
+    core::FailureReason pendingReason = core::FailureReason::kTimedOut;
+    /// Bumped on every state transition; scheduled timeout/resend events
+    /// carry the value they were armed with and ignore themselves if it
+    /// moved on (classic generation-count timer cancellation).
+    uint64_t generation = 0;
+  };
+  using AttemptKey = std::pair<core::SnapshotId, NodeId>;
+
   void onMessage(sim::Message&& msg);
   void sendRequest(NodeId server, const core::SnapshotRequest& request);
+  bool retriesEnabled() const { return config_.requestTimeoutMicros > 0; }
+  std::vector<NodeId> fallbackCandidates(NodeId participant) const;
+  void beginAttempt(core::SnapshotId id, NodeId participant);
+  void trySend(core::SnapshotId id, NodeId participant);
+  void onAttemptTimeout(core::SnapshotId id, NodeId participant,
+                        uint64_t generation);
+  void scheduleNext(core::SnapshotId id, NodeId participant);
+  void advanceToFallback(core::SnapshotId id, NodeId participant);
+  void resolveFailure(core::SnapshotId id, NodeId participant);
+  TimeMicros backoffDelay(core::SnapshotId id, NodeId participant,
+                          uint32_t attempt) const;
+  void finishSession(core::SnapshotId id, core::SnapshotSession& session);
+  void handleAck(const core::SnapshotAck& ack);
 
   NodeId id_;
   sim::SimEnv* env_;
@@ -87,11 +142,14 @@ class AdminClient {
   hlc::Clock clock_;
   std::vector<NodeId> servers_;
   AdminConfig config_;
+  const Ring* ring_ = nullptr;
   sim::CausalityTrace* trace_ = nullptr;
   core::SnapshotIdAllocator idAlloc_;
+  Counters counters_;
 
   std::map<core::SnapshotId, core::SnapshotSession> sessions_;
   std::map<core::SnapshotId, SnapshotCallback> callbacks_;
+  std::map<AttemptKey, Attempt> attempts_;
   std::function<void(NodeId, ProgressReplyBody)> progressHandler_;
 };
 

@@ -1,5 +1,7 @@
 #include "kvstore/client.hpp"
 
+#include <algorithm>
+
 namespace retro::kv {
 
 VoldemortClient::VoldemortClient(NodeId id, sim::SimEnv& env,
@@ -32,6 +34,9 @@ void VoldemortClient::put(const Key& key, Value value, PutCallback done) {
   op.startedAt = env_->now();
   op.key = key;
   op.putDone = std::move(done);
+  op.version = version;
+  if (config_.opTimeoutMicros > 0) op.retriesLeft = config_.maxRetries;
+  if (op.retriesLeft > 0) op.putValue = value;
   pending_.emplace(reqId, std::move(op));
 
   PutRequestBody body;
@@ -64,6 +69,8 @@ void VoldemortClient::get(const Key& key, GetCallback done) {
   op.startedAt = env_->now();
   op.key = key;
   op.getDone = std::move(done);
+  op.replicasAsked = toAsk;
+  if (config_.opTimeoutMicros > 0) op.retriesLeft = config_.maxRetries;
   pending_.emplace(reqId, std::move(op));
 
   GetRequestBody body;
@@ -85,6 +92,13 @@ void VoldemortClient::armTimeout(uint64_t reqId) {
   env_->schedule(config_.opTimeoutMicros, [this, reqId] {
     auto it = pending_.find(reqId);
     if (it == pending_.end() || it->second.completed) return;
+    if (it->second.retriesLeft > 0) {
+      --it->second.retriesLeft;
+      ++opsRetried_;
+      retryOp(reqId, it->second);
+      armTimeout(reqId);
+      return;
+    }
     ++opsTimedOut_;
     PendingOp op = std::move(it->second);
     pending_.erase(it);
@@ -94,6 +108,43 @@ void VoldemortClient::armTimeout(uint64_t reqId) {
       completeGet(reqId, op, /*ok=*/false);
     }
   });
+}
+
+void VoldemortClient::retryOp(uint64_t reqId, PendingOp& op) {
+  auto replicas = ring_->preferenceList(op.key, config_.replicas);
+  if (op.isPut) {
+    // Re-send to every replica: servers treat a version they have seen
+    // as a stale write and ack success without re-applying.
+    PutRequestBody body;
+    body.requestId = reqId;
+    body.key = op.key;
+    body.value = op.putValue;
+    body.version = op.version;
+    op.outstanding += replicas.size();
+    for (NodeId server : replicas) {
+      ByteWriter w;
+      const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
+      body.writeTo(w);
+      const uint64_t msgId =
+          network_->send(sim::Message{id_, server, kPutRequest, w.take()});
+      if (trace_) trace_->onSend(id_, msgId, ts);
+    }
+  } else {
+    // Ask a replica deeper in the preference list than any tried so far
+    // (wrap to the head once the list is exhausted).
+    const NodeId server = replicas[op.replicasAsked % replicas.size()];
+    ++op.replicasAsked;
+    ++op.outstanding;
+    GetRequestBody body;
+    body.requestId = reqId;
+    body.key = op.key;
+    ByteWriter w;
+    const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
+    body.writeTo(w);
+    const uint64_t msgId =
+        network_->send(sim::Message{id_, server, kGetRequest, w.take()});
+    if (trace_) trace_->onSend(id_, msgId, ts);
+  }
 }
 
 void VoldemortClient::onMessage(sim::Message&& msg) {
@@ -113,12 +164,20 @@ void VoldemortClient::onMessage(sim::Message&& msg) {
     auto it = pending_.find(body.requestId);
     if (it == pending_.end()) return;
     PendingOp& op = it->second;
-    --op.outstanding;
-    if (!op.completed && --op.needed == 0) {
-      op.completed = true;
-      completePut(body.requestId, op, /*ok=*/true);
+    if (op.outstanding > 0) --op.outstanding;
+    // Dedup by server: with retry re-sends the same replica may ack the
+    // put twice, and two acks from one server are still one durable copy.
+    if (std::find(op.ackedFrom.begin(), op.ackedFrom.end(), msg.from) ==
+        op.ackedFrom.end()) {
+      op.ackedFrom.push_back(msg.from);
+      if (!op.completed && op.ackedFrom.size() >= op.needed) {
+        op.completed = true;
+        completePut(body.requestId, op, /*ok=*/true);
+      }
     }
-    if (op.outstanding == 0) pending_.erase(it);
+    if (op.outstanding == 0 && (op.completed || op.retriesLeft == 0)) {
+      pending_.erase(it);
+    }
   } else if (msg.type == kGetResponse) {
     auto body = GetResponseBody::readFrom(r);
     auto it = pending_.find(body.requestId);

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "hlc/clock.hpp"
 #include "kvstore/messages.hpp"
@@ -25,6 +26,11 @@ struct ClientConfig {
   /// Abort an operation after this long (0 = never). Needed only for
   /// failure-injection experiments.
   TimeMicros opTimeoutMicros = 0;
+  /// Bounded retries before a timed-out operation fails: a get is
+  /// re-sent to a replica not asked yet (deeper in the preference list),
+  /// a put is re-sent to all replicas (version vectors make the replay
+  /// idempotent).  Only effective with opTimeoutMicros > 0.
+  uint32_t maxRetries = 1;
   /// Cap on the client's per-key version cache (cleared when exceeded).
   size_t versionCacheCap = 200'000;
 
@@ -59,6 +65,8 @@ class VoldemortClient {
 
   uint64_t opsCompleted() const { return opsCompleted_; }
   uint64_t opsTimedOut() const { return opsTimedOut_; }
+  /// Operations that were re-sent at least once after a timeout.
+  uint64_t opsRetried() const { return opsRetried_; }
 
  private:
   struct PendingOp {
@@ -72,12 +80,22 @@ class VoldemortClient {
     OptValue bestValue;
     VersionVector bestVersion;
     bool completed = false;
+    uint32_t retriesLeft = 0;
+    /// Kept for put re-sends after a timeout.
+    Value putValue;
+    VersionVector version;
+    /// Distinct servers that acked this put (a replayed put may be acked
+    /// twice by the same server; it must not count twice).
+    std::vector<NodeId> ackedFrom;
+    /// How far down the preference list the get has asked.
+    size_t replicasAsked = 0;
   };
 
   void onMessage(sim::Message&& msg);
   void completePut(uint64_t reqId, PendingOp& op, bool ok);
   void completeGet(uint64_t reqId, PendingOp& op, bool ok);
   void armTimeout(uint64_t reqId);
+  void retryOp(uint64_t reqId, PendingOp& op);
 
   NodeId id_;
   sim::SimEnv* env_;
@@ -92,6 +110,7 @@ class VoldemortClient {
   std::unordered_map<Key, VersionVector> versionCache_;
   uint64_t opsCompleted_ = 0;
   uint64_t opsTimedOut_ = 0;
+  uint64_t opsRetried_ = 0;
 };
 
 }  // namespace retro::kv

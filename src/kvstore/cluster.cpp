@@ -24,7 +24,7 @@ VoldemortCluster::VoldemortCluster(ClusterConfig config)
   const auto adminId = static_cast<NodeId>(config_.servers + config_.clients);
   admin_ = std::make_unique<AdminClient>(adminId, env_, *network_,
                                          clocks_->clock(adminId), serverIds(),
-                                         config_.admin);
+                                         config_.admin, ring_.get());
 }
 
 sim::CausalityTrace& VoldemortCluster::enableCausalityTrace() {

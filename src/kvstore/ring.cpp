@@ -59,4 +59,27 @@ NodeId Ring::primary(const Key& key) const {
   return preferenceList(key, 1).front();
 }
 
+std::vector<NodeId> Ring::successorsOf(NodeId node, size_t count) const {
+  count = std::min(count, nodeCount_ > 0 ? nodeCount_ - 1 : 0);
+  std::vector<NodeId> out;
+  if (count == 0) return out;
+  out.reserve(count);
+  // Walk clockwise from each of `node`'s virtual points; collect the
+  // first distinct other nodes encountered, in discovery order.
+  for (size_t i = 0; i < points_.size() && out.size() < count; ++i) {
+    if (points_[i].node != node) continue;
+    size_t scanned = 0;
+    for (size_t j = (i + 1) % points_.size();
+         scanned < points_.size() && out.size() < count;
+         j = (j + 1) % points_.size(), ++scanned) {
+      const NodeId n = points_[j].node;
+      if (n == node) break;  // next virtual point of `node`; move on
+      if (std::find(out.begin(), out.end(), n) == out.end()) {
+        out.push_back(n);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace retro::kv

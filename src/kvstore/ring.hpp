@@ -24,6 +24,12 @@ class Ring {
   /// The primary (first preference) node for `key`.
   NodeId primary(const Key& key) const;
 
+  /// Up to `count` distinct nodes (excluding `node` itself) that follow
+  /// `node`'s virtual points clockwise — the nodes most likely to hold
+  /// replicas of key ranges `node` is primary for.  Used as the fallback
+  /// order when `node` cannot answer a snapshot request.
+  std::vector<NodeId> successorsOf(NodeId node, size_t count) const;
+
   size_t nodeCount() const { return nodeCount_; }
 
   static uint64_t hashKey(const Key& key);

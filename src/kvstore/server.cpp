@@ -24,13 +24,17 @@ VoldemortServer::VoldemortServer(NodeId id, sim::SimEnv& env,
     env_->scheduleDaemon(config_.archive.periodMicros,
                          [this] { archiveTick(); });
   }
+  if (config_.recovery.persistWindowLog) {
+    env_->scheduleDaemon(config_.recovery.checkpointPeriodMicros,
+                         [this] { checkpointTick(); });
+  }
 }
 
 void VoldemortServer::archiveTick() {
-  if (!alive_) return;
+  // Reschedules even while crashed so the daemon survives a restart.
   // Pause spilling while snapshots run: the live window must keep every
   // entry a snapshot in flight may still need (it is unbounded anyway).
-  if (activeSnapshots_.empty() && pendingOnBase_.empty()) {
+  if (alive_ && activeSnapshots_.empty() && pendingOnBase_.empty()) {
     const int64_t cutoff =
         retroscope_.now().l - config_.archive.keepInMemoryMillis;
     if (cutoff > 0) {
@@ -43,6 +47,29 @@ void VoldemortServer::archiveTick() {
   env_->scheduleDaemon(config_.archive.periodMicros, [this] { archiveTick(); });
 }
 
+void VoldemortServer::checkpointTick() {
+  if (alive_) {
+    // Fold the journal tail into an on-disk checkpoint of the window-log
+    // so a restart replays only the appends made since this point.
+    const log::WindowLog& wlog = retroscope_.getLog(kStoreLog);
+    const uint64_t appends = retroscope_.appendCount();
+    if (appends != lastCheckpointAppendCount_) {
+      // Fold only the journal tail — the bytes appended since the last
+      // checkpoint, sized via the log's mean entry size.  Rewriting the
+      // whole window-log every period would saturate the (serial) disk
+      // under write-heavy load and stall snapshot copies behind it.
+      const uint64_t tail = appends - lastCheckpointAppendCount_;
+      const uint64_t entryBytes =
+          wlog.entryCount() > 0 ? wlog.accountedBytes() / wlog.entryCount()
+                                : 64;
+      disk_->write(tail * entryBytes, [] {});
+      lastCheckpointAppendCount_ = appends;
+    }
+  }
+  env_->scheduleDaemon(config_.recovery.checkpointPeriodMicros,
+                       [this] { checkpointTick(); });
+}
+
 void VoldemortServer::preload(const Key& key, Value value) {
   bdb_->put(key, std::move(value));
   VersionVector v;
@@ -53,7 +80,57 @@ void VoldemortServer::preload(const Key& key, Value value) {
 void VoldemortServer::crash() {
   if (!alive_) return;
   alive_ = false;
+  ++incarnation_;
+  // The HLC value rides along with every journaled append, so the
+  // maximum issued before the crash is durable.
+  maxHlcAtCrash_ = std::max(maxHlcAtCrash_, retroscope_.now());
+  // In-flight snapshot executions die with the process; initiator-side
+  // retries re-request them after recovery (idempotently).
+  activeSnapshots_.clear();
+  pendingOnBase_.clear();
   network_->disconnect(id_);
+}
+
+void VoldemortServer::restart(std::function<void()> done) {
+  if (alive_) {
+    if (done) env_->schedule(0, std::move(done));
+    return;
+  }
+  const uint64_t inc = incarnation_;
+  // Recovery cost 1: re-open the store — BDB-JE recovers its in-memory
+  // index by reading the log segments back from disk.
+  const uint64_t segmentBytes = bdb_->totalSegmentBytes();
+  // Recovery cost 2: reload the last window-log checkpoint, then replay
+  // the journal tail written since.
+  uint64_t logBytes = 0;
+  TimeMicros replayCpu = 0;
+  if (config_.recovery.persistWindowLog) {
+    logBytes = retroscope_.getLog(kStoreLog).accountedBytes();
+    const uint64_t tail =
+        retroscope_.appendCount() - lastCheckpointAppendCount_;
+    replayCpu = static_cast<TimeMicros>(std::llround(
+        static_cast<double>(tail) * config_.recovery.replayMicrosPerEntry));
+  }
+  disk_->read(segmentBytes + logBytes, [this, inc, replayCpu,
+                                        done = std::move(done)]() mutable {
+    env_->schedule(replayCpu, [this, inc, done = std::move(done)] {
+      if (alive_ || incarnation_ != inc) return;  // crashed again meanwhile
+      if (!config_.recovery.persistWindowLog) {
+        // Nothing journaled: the window restarts empty and history before
+        // the recovery point becomes unreachable (kOutOfReach on request).
+        retroscope_.getLog(kStoreLog).resetForRecovery(maxHlcAtCrash_);
+      }
+      // Never issue a timestamp below one issued before the crash, even
+      // if the physical clock restarted behind.
+      retroscope_.clock().restore(maxHlcAtCrash_);
+      alive_ = true;
+      ++recoveries_;
+      network_->registerNode(
+          id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+      updateMemoryModel();
+      if (done) done();
+    });
+  });
 }
 
 void VoldemortServer::restoreFromSnapshot(core::SnapshotId id,
@@ -94,6 +171,10 @@ void VoldemortServer::send(NodeId to, uint32_t type,
 
 void VoldemortServer::onMessage(sim::Message&& msg) {
   if (!alive_) return;
+  // Tasks queued behind the executor check the incarnation as well as
+  // liveness: a message accepted before a crash must not execute inside a
+  // later incarnation after restart.
+  const uint64_t inc = incarnation_;
   ByteReader r(msg.payload);
   const hlc::Timestamp remoteTs = hlc::Timestamp::readFrom(r);
   switch (msg.type) {
@@ -105,10 +186,10 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
                 static_cast<TimeMicros>(config_.logGcCouplingMicros *
                                         memory_.utilization());
       }
-      executor_.submit(cost, [this, remoteTs, from = msg.from,
+      executor_.submit(cost, [this, inc, remoteTs, from = msg.from,
                               msgId = msg.msgId,
                               body = std::move(body)]() mutable {
-        if (!alive_) return;
+        if (!alive_ || incarnation_ != inc) return;
         const hlc::Timestamp eventTs = retroscope_.timeTick(remoteTs);
         if (trace_) trace_->onRecv(id_, msgId, eventTs);
         handlePut(eventTs, from, std::move(body));
@@ -118,9 +199,9 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
     case kGetRequest: {
       auto body = GetRequestBody::readFrom(r);
       executor_.submit(config_.getServiceMicros,
-                       [this, remoteTs, from = msg.from, msgId = msg.msgId,
-                        body = std::move(body)]() mutable {
-                         if (!alive_) return;
+                       [this, inc, remoteTs, from = msg.from,
+                        msgId = msg.msgId, body = std::move(body)]() mutable {
+                         if (!alive_ || incarnation_ != inc) return;
                          const hlc::Timestamp ts =
                              retroscope_.timeTick(remoteTs);
                          if (trace_) trace_->onRecv(id_, msgId, ts);
@@ -130,10 +211,10 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
     }
     case kSnapshotRequest: {
       auto body = SnapshotRequestBody::readFrom(r);
-      executor_.submit(500, [this, remoteTs, from = msg.from,
+      executor_.submit(500, [this, inc, remoteTs, from = msg.from,
                              msgId = msg.msgId,
                              body = std::move(body)]() mutable {
-        if (!alive_) return;
+        if (!alive_ || incarnation_ != inc) return;
         const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
         if (trace_) trace_->onRecv(id_, msgId, ts);
         handleSnapshotRequest(from, std::move(body));
@@ -142,9 +223,9 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
     }
     case kProgressRequest: {
       auto body = ProgressRequestBody::readFrom(r);
-      executor_.submit(50, [this, remoteTs, from = msg.from,
+      executor_.submit(50, [this, inc, remoteTs, from = msg.from,
                             msgId = msg.msgId, body]() {
-        if (!alive_) return;
+        if (!alive_ || incarnation_ != inc) return;
         const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
         if (trace_) trace_->onRecv(id_, msgId, ts);
         handleProgressRequest(from, body);
@@ -222,6 +303,31 @@ void VoldemortServer::updateMemoryModel() {
 
 void VoldemortServer::handleSnapshotRequest(NodeId from,
                                             SnapshotRequestBody body) {
+  // Idempotency under initiator retries: a request already resolved is
+  // re-acked with the original outcome; one still executing is left
+  // alone (its ack reaches the initiator when it finishes).
+  if (auto cached = completedAcks_.find(body.request.id);
+      cached != completedAcks_.end()) {
+    ++duplicateSnapshotRequests_;
+    SnapshotAckBody ack;
+    ack.ack = {body.request.id, id_, cached->second.first,
+               cached->second.second};
+    send(from, kSnapshotAck, [&](ByteWriter& w) { ack.writeTo(w); });
+    return;
+  }
+  if (activeSnapshots_.contains(body.request.id)) {
+    ++duplicateSnapshotRequests_;
+    return;
+  }
+  for (const auto& [base, waiters] : pendingOnBase_) {
+    for (const auto& waiter : waiters) {
+      if (waiter.request.id == body.request.id) {
+        ++duplicateSnapshotRequests_;
+        return;
+      }
+    }
+  }
+
   ActiveSnapshot active;
   active.request = body.request;
   active.initiator = from;
@@ -504,6 +610,7 @@ void VoldemortServer::finishSnapshot(core::SnapshotId id,
     retroscope_.getLog(kStoreLog).rebound();
   }
   if (status == core::LocalSnapshotStatus::kComplete) ++snapshotsCompleted_;
+  completedAcks_[id] = {status, persistedBytes};
   if (haveInitiator) {
     SnapshotAckBody ack;
     ack.ack = {id, id_, status, persistedBytes};

@@ -93,6 +93,21 @@ struct ServerConfig {
     double archivedEntryReadMicros = 3.0;
   };
   ArchiveOptions archive;
+
+  // --- crash recovery ---
+  struct RecoveryOptions {
+    /// Journal window-log appends durably (WAL semantics, folded into
+    /// logAppendMicros) and checkpoint the log periodically, so a
+    /// restarted node recovers its full window-log with a bounded tail
+    /// replay.  Off: the window-log restarts empty and the floor rises to
+    /// the recovery point — pre-crash targets become out-of-reach.
+    bool persistWindowLog = true;
+    /// How often the checkpoint daemon folds the journal tail.
+    TimeMicros checkpointPeriodMicros = 2 * kMicrosPerSecond;
+    /// CPU per journal-tail entry replayed at restart.
+    double replayMicrosPerEntry = 1.5;
+  };
+  RecoveryOptions recovery;
 };
 
 class VoldemortServer {
@@ -119,8 +134,17 @@ class VoldemortServer {
   /// Bulk-load an item without network/timing (test & bench setup).
   void preload(const Key& key, Value value);
 
-  /// Crash the node (drops all messages from now on).
+  /// Crash the node (drops all messages from now on).  In-flight
+  /// snapshot executions are abandoned; the persisted max-HLC is
+  /// captured so a restart never regresses the clock.
   void crash();
+
+  /// Recover from a crash: replay durable state (BDB segments from disk;
+  /// window-log checkpoint + journal tail when recovery.persistWindowLog)
+  /// at simulated disk/CPU cost, re-seed the HLC from the persisted
+  /// maximum, reconnect, and resume serving.  `done` fires when the node
+  /// is serving again; no-op if the node is already alive.
+  void restart(std::function<void()> done = {});
 
   /// Consistent reset (§IX): replace the live database with the contents
   /// of a stored snapshot — "the database needs to be closed, the BDB
@@ -142,6 +166,12 @@ class VoldemortServer {
   uint64_t conflictsDetected() const { return conflictsDetected_; }
   uint64_t snapshotsCompleted() const { return snapshotsCompleted_; }
   uint64_t snapshotsConverted() const { return snapshotsConverted_; }
+  uint64_t recoveries() const { return recoveries_; }
+  /// Snapshot requests answered from the completed-ack cache (duplicate
+  /// deliveries from initiator retries).
+  uint64_t duplicateSnapshotRequests() const {
+    return duplicateSnapshotRequests_;
+  }
 
  private:
   struct ActiveSnapshot {
@@ -171,6 +201,7 @@ class VoldemortServer {
 
   void updateMemoryModel();
   void archiveTick();
+  void checkpointTick();
   void send(NodeId to, uint32_t type, const std::function<void(ByteWriter&)>& body);
 
   NodeId id_;
@@ -192,12 +223,27 @@ class VoldemortServer {
   /// Converted concurrent snapshots waiting for their base to complete.
   std::map<core::SnapshotId, std::vector<ActiveSnapshot>> pendingOnBase_;
   bool alive_ = true;
+  /// Bumped on every crash; executor/env tasks queued before a crash
+  /// capture the value and refuse to act in a later incarnation.
+  uint64_t incarnation_ = 0;
+  /// HLC value at the moment of the crash (journaled with every append,
+  /// so durable); restart() re-seeds the clock from it.
+  hlc::Timestamp maxHlcAtCrash_{};
+  /// appendToLog count at the last window-log checkpoint; the difference
+  /// to the current count is the journal tail replayed at restart.
+  uint64_t lastCheckpointAppendCount_ = 0;
+  /// Resolved snapshot requests, kept so duplicate deliveries (initiator
+  /// retries) are answered idempotently with the original outcome.
+  std::map<core::SnapshotId, std::pair<core::LocalSnapshotStatus, size_t>>
+      completedAcks_;
 
   uint64_t putsProcessed_ = 0;
   uint64_t getsProcessed_ = 0;
   uint64_t conflictsDetected_ = 0;
   uint64_t snapshotsCompleted_ = 0;
   uint64_t snapshotsConverted_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t duplicateSnapshotRequests_ = 0;
 };
 
 }  // namespace retro::kv

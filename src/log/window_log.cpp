@@ -76,6 +76,14 @@ void WindowLog::truncateThrough(hlc::Timestamp t) {
   floor_ = std::max(floor_, t);
 }
 
+void WindowLog::resetForRecovery(hlc::Timestamp floor) {
+  trimmed_ += entries_.size();
+  entries_.clear();
+  accountedBytes_ = 0;
+  floor_ = std::max(floor_, floor);
+  bounded_ = true;
+}
+
 Result<DiffMap> WindowLog::diffToPast(hlc::Timestamp timeInPast,
                                       DiffStats* stats) const {
   if (!covers(timeInPast)) {

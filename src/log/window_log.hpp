@@ -98,6 +98,13 @@ class WindowLog {
   /// checkpoint and truncate).
   void truncateThrough(hlc::Timestamp t);
 
+  /// Crash recovery without a persisted window-log: drop every entry and
+  /// raise the floor to `floor` (the recovery point).  History before the
+  /// restart is unreachable — snapshot requests targeting it get
+  /// kOutOfRange from the diff calls, surfacing as log-truncated to the
+  /// initiator.
+  void resetForRecovery(hlc::Timestamp floor);
+
   const WindowLogConfig& config() const { return config_; }
   void setConfig(WindowLogConfig config);
 

@@ -1,6 +1,7 @@
 // Applies a Scenario's fault schedule to a live simulation: each
 // FaultEvent becomes a pair of scheduled closures (start / end) against
-// the network's runtime fault-injection API or a node's physical clock.
+// the network's runtime fault-injection API, a node's physical clock, or
+// — for kCrashRestart — the substrate's crash/restart hooks.
 // Substrate-agnostic — both cluster runners share it.
 #pragma once
 
@@ -13,10 +14,17 @@
 
 namespace retro::testing {
 
-inline void scheduleFaults(
-    sim::SimEnv& env, sim::Network& net,
-    const std::function<sim::SkewedClock&(NodeId)>& clockOf,
-    const Scenario& s) {
+/// Substrate callbacks the injector drives.  `crash`/`restart` may be
+/// left empty when the substrate has no crash–recovery support (grid);
+/// kCrashRestart events are then ignored.
+struct FaultHooks {
+  std::function<sim::SkewedClock&(NodeId)> clockOf;
+  std::function<void(NodeId)> crash;
+  std::function<void(NodeId)> restart;
+};
+
+inline void scheduleFaults(sim::SimEnv& env, sim::Network& net,
+                           const FaultHooks& hooks, const Scenario& s) {
   for (const FaultEvent& f : s.faults) {
     const TimeMicros endAt = f.startMicros + f.durationMicros;
     switch (f.kind) {
@@ -43,17 +51,39 @@ inline void scheduleFaults(
         env.scheduleAt(endAt, [&net, n = f.node] { net.resumeNode(n); });
         break;
       case FaultKind::kSkewSpike:
-        // clockOf copied into the closures: the caller's std::function is
-        // a temporary, but the events fire much later.
-        env.scheduleAt(f.startMicros, [clockOf, n = f.node, d = f.magnitude] {
-          clockOf(n).injectOffset(static_cast<TimeMicros>(d));
-        });
-        env.scheduleAt(endAt, [clockOf, n = f.node, d = f.magnitude] {
-          clockOf(n).injectOffset(-static_cast<TimeMicros>(d));
-        });
+        // hooks.clockOf copied into the closures: the caller's FaultHooks
+        // may be a temporary, but the events fire much later.
+        env.scheduleAt(f.startMicros,
+                       [clockOf = hooks.clockOf, n = f.node, d = f.magnitude] {
+                         clockOf(n).injectOffset(static_cast<TimeMicros>(d));
+                       });
+        env.scheduleAt(endAt,
+                       [clockOf = hooks.clockOf, n = f.node, d = f.magnitude] {
+                         clockOf(n).injectOffset(-static_cast<TimeMicros>(d));
+                       });
+        break;
+      case FaultKind::kCrashRestart:
+        if (!hooks.crash || !hooks.restart) break;
+        env.scheduleAt(f.startMicros,
+                       [crash = hooks.crash, n = f.node] { crash(n); });
+        // A window extending past the run's end never fires within it —
+        // the node stays down permanently (the generator uses this for
+        // ~25% of crash faults).
+        env.scheduleAt(endAt,
+                       [restart = hooks.restart, n = f.node] { restart(n); });
         break;
     }
   }
+}
+
+/// Back-compat overload for substrates without crash–recovery hooks.
+inline void scheduleFaults(
+    sim::SimEnv& env, sim::Network& net,
+    const std::function<sim::SkewedClock&(NodeId)>& clockOf,
+    const Scenario& s) {
+  FaultHooks hooks;
+  hooks.clockOf = clockOf;
+  scheduleFaults(env, net, hooks, s);
 }
 
 }  // namespace retro::testing

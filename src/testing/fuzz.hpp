@@ -23,6 +23,12 @@ struct FuzzResult {
   uint64_t epsilonViolations = 0;
   uint64_t opsIssued = 0;
   uint64_t eventsRecorded = 0;
+  // --- fault-tolerance accounting (crash/restart scenarios) ---
+  uint64_t snapshotsPartial = 0;    ///< sessions that resolved kPartial
+  uint64_t snapshotRetries = 0;     ///< request retransmissions, all sessions
+  uint64_t replicaFallbacks = 0;    ///< participants resolved via a replica
+  uint64_t crashesInjected = 0;     ///< kCrashRestart faults in the schedule
+  uint64_t serverRecoveries = 0;    ///< successful crash->restart recoveries
 
   bool passed() const { return report.ok(); }
   /// Multi-line diagnosis: scenario description, failures, replay command.

@@ -12,8 +12,14 @@ std::string FuzzResult::failureSummary() const {
       << report.summary() << "\n"
       << "snapshots " << snapshotsCompleted << "/" << snapshotsRequested
       << " complete, " << oracleChecks << " oracle checks, " << opsIssued
-      << " ops, " << eventsRecorded << " trace events\n"
-      << "replay: " << replayCommand(scenario);
+      << " ops, " << eventsRecorded << " trace events\n";
+  if (crashesInjected > 0 || snapshotRetries > 0 || replicaFallbacks > 0) {
+    out << "fault tolerance: " << crashesInjected << " crashes, "
+        << serverRecoveries << " recoveries, " << snapshotRetries
+        << " snapshot retries, " << replicaFallbacks << " replica fallbacks, "
+        << snapshotsPartial << " partial\n";
+  }
+  out << "replay: " << replayCommand(scenario);
   return out.str();
 }
 

@@ -62,6 +62,8 @@ struct PlannedSnapshot {
   hlc::Timestamp target;
   bool requested = false;
   bool complete = false;
+  bool partial = false;
+  uint64_t retries = 0;
 };
 
 }  // namespace
@@ -76,6 +78,10 @@ FuzzResult runGridScenario(const Scenario& s) {
   cfg.seed = s.seed;
   cfg.member.mode = grid::Mode::kFull;
   cfg.member.logBudgetBytes = 0;  // unbounded: oracle needs full history
+  // Re-send lost snapshot-start messages (drop windows / partitions)
+  // instead of wedging the session; members answer retries idempotently.
+  cfg.member.snapshotRequestTimeoutMicros = 400'000;
+  cfg.member.snapshotMaxAttempts = 4;
   cfg.network.baseLatencyMicros = s.baseLatencyMicros;
   cfg.network.jitterMeanMicros = s.jitterMeanMicros;
   cfg.network.dropProbability = s.baseDropProbability;
@@ -137,6 +143,9 @@ FuzzResult runGridScenario(const Scenario& s) {
               ps.target, [&ps](const core::SnapshotSession& sess) {
                 ps.complete =
                     sess.state() == core::GlobalSnapshotState::kComplete;
+                ps.partial =
+                    sess.state() == core::GlobalSnapshotState::kPartial;
+                ps.retries = sess.totalRetries();
               });
         });
   }
@@ -152,6 +161,8 @@ FuzzResult runGridScenario(const Scenario& s) {
   for (const auto& ps : planned) {
     if (!ps.requested) continue;
     ++result.snapshotsRequested;
+    result.snapshotRetries += ps.retries;
+    if (ps.partial) ++result.snapshotsPartial;
     checker.checkCutAt(ps.target, result.report);
   }
   checker.checkRandomProbes(s.seed, 32, result.report);

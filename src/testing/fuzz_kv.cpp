@@ -56,6 +56,13 @@ struct PlannedSnapshot {
   hlc::Timestamp target;
   bool requested = false;
   bool complete = false;
+  bool partial = false;
+  /// Copied from the session at resolution: which servers completed
+  /// locally vs. via a replica vs. not at all — the oracle only checks
+  /// servers that produced their own local snapshot.
+  std::vector<core::SnapshotSession::Participant> participants;
+  uint64_t retries = 0;
+  uint64_t fallbacks = 0;
 };
 
 }  // namespace
@@ -80,6 +87,18 @@ FuzzResult runKvScenario(const Scenario& s) {
   // Dropped responses must not wedge the closed-loop clients.
   cfg.client.opTimeoutMicros = 250'000;
   cfg.client.faultInjection.skipReceiveTick = s.injectSkipRecvTick;
+  // Fault-tolerant snapshot collection: per-node timeouts generous enough
+  // that a slow-but-alive server (stalls run up to 400 ms) is never
+  // misclassified, with capped-backoff retries and replica fallback for
+  // servers that crash mid-collection.
+  cfg.admin.requestTimeoutMicros = 400'000;
+  cfg.admin.maxAttemptsPerNode = 4;
+  cfg.admin.retryBackoffBaseMicros = 100'000;
+  cfg.admin.retryBackoffCapMicros = 800'000;
+  cfg.admin.replicaFallbacks = 2;
+  // Crash recovery replays a journaled window-log, so a restarted server
+  // still satisfies the forward-replay oracle over its full history.
+  cfg.server.recovery.persistWindowLog = true;
 
   kv::VoldemortCluster cluster(cfg);
   auto& trace = cluster.enableCausalityTrace();
@@ -102,10 +121,17 @@ FuzzResult runKvScenario(const Scenario& s) {
                                     kv::VoldemortCluster::keyOf, dcfg);
   driver.start(s.durationMicros);
 
-  scheduleFaults(
-      cluster.env(), cluster.network(),
-      [&cluster](NodeId n) -> sim::SkewedClock& { return cluster.clockOf(n); },
-      s);
+  FaultHooks hooks;
+  hooks.clockOf = [&cluster](NodeId n) -> sim::SkewedClock& {
+    return cluster.clockOf(n);
+  };
+  hooks.crash = [&cluster](NodeId n) {
+    if (n < cluster.serverCount()) cluster.server(n).crash();
+  };
+  hooks.restart = [&cluster](NodeId n) {
+    if (n < cluster.serverCount()) cluster.server(n).restart();
+  };
+  scheduleFaults(cluster.env(), cluster.network(), hooks, s);
 
   std::vector<PlannedSnapshot> planned(s.snapshots.size());
   for (size_t i = 0; i < s.snapshots.size(); ++i) {
@@ -120,6 +146,10 @@ FuzzResult runKvScenario(const Scenario& s) {
       ps.requested = true;
       auto onDone = [&ps, &lastCompletedId](const core::SnapshotSession& sess) {
         ps.complete = sess.state() == core::GlobalSnapshotState::kComplete;
+        ps.partial = sess.state() == core::GlobalSnapshotState::kPartial;
+        ps.participants = sess.participants();
+        ps.retries = sess.totalRetries();
+        ps.fallbacks = sess.replicaFallbacks();
         if (ps.complete) lastCompletedId = ps.id;
       };
       kv::AdminClient& admin = cluster.admin();
@@ -162,11 +192,38 @@ FuzzResult runKvScenario(const Scenario& s) {
     }
   }
 
+  // --- fault-tolerance accounting ---
+  for (const auto& f : s.faults) {
+    if (f.kind == FaultKind::kCrashRestart) ++result.crashesInjected;
+  }
+  for (size_t i = 0; i < cluster.serverCount(); ++i) {
+    result.serverRecoveries += cluster.server(i).recoveries();
+  }
+  for (const auto& ps : planned) {
+    if (!ps.requested) continue;
+    result.snapshotRetries += ps.retries;
+    result.replicaFallbacks += ps.fallbacks;
+    if (ps.partial) ++result.snapshotsPartial;
+  }
+
   // --- oracle agreement for every snapshot that completed ---
   for (const auto& ps : planned) {
     if (!ps.complete) continue;
     ++result.snapshotsCompleted;
     for (size_t srv = 0; srv < cluster.serverCount(); ++srv) {
+      // Only servers that produced their own local snapshot are checked:
+      // a participant resolved via replica fallback (kRecoveredViaReplica)
+      // holds no local copy of this snapshot id.
+      const auto* part =
+          [&]() -> const core::SnapshotSession::Participant* {
+        for (const auto& p : ps.participants) {
+          if (p.node == static_cast<NodeId>(srv)) return &p;
+        }
+        return nullptr;
+      }();
+      if (part == nullptr || part->reason != core::FailureReason::kNone) {
+        continue;
+      }
       auto& server = cluster.server(srv);
       auto materialized = server.snapshots().materialize(ps.id);
       if (!materialized.isOk()) {

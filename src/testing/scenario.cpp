@@ -24,9 +24,26 @@ FaultEvent makeFault(Rng& rng, const Scenario& s, bool anomalies) {
   const size_t totalNodes = s.servers + s.clients;
 
   // Skew spikes only appear in anomaly scenarios; the other four kinds
-  // are always in the pool.
-  const int kinds = anomalies ? 5 : 4;
-  switch (rng.nextBounded(kinds)) {
+  // are always in the pool.  Crash/restart faults join the pool on the
+  // kv substrate (its servers implement the crash–recovery protocol) and
+  // always occupy the highest index so adding them never reshuffles how
+  // an existing seed maps to the other kinds.
+  const bool crashes = s.substrate == Substrate::kKvStore;
+  const int kinds = (anomalies ? 5 : 4) + (crashes ? 1 : 0);
+  const int pick = static_cast<int>(rng.nextBounded(kinds));
+  if (crashes && pick == kinds - 1) {
+    f.kind = FaultKind::kCrashRestart;
+    // Servers only: clients/admin have no durable state to recover.
+    f.node = static_cast<NodeId>(rng.nextBounded(s.servers));
+    if (rng.nextBool(0.25)) {
+      // Permanent crash: the restart lands past the end of the run, so
+      // collection must settle via replica fallback or degrade to
+      // kPartial.
+      f.durationMicros = s.durationMicros * 2;
+    }
+    return f;
+  }
+  switch (pick) {
     case 0:
       f.kind = FaultKind::kDropWindow;
       f.magnitude = 0.02 + rng.nextDouble() * 0.28;  // 2% .. 30% loss
@@ -159,6 +176,7 @@ const char* faultKindName(FaultKind kind) {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kNodeStall: return "node-stall";
     case FaultKind::kSkewSpike: return "skew-spike";
+    case FaultKind::kCrashRestart: return "crash-restart";
   }
   return "?";
 }
@@ -176,8 +194,13 @@ std::string describeScenario(const Scenario& s) {
     if (i) out << ",";
     out << faultKindName(f.kind) << "@" << f.startMicros / 1000 << "ms";
     if (f.kind == FaultKind::kPartition || f.kind == FaultKind::kNodeStall ||
-        f.kind == FaultKind::kSkewSpike) {
+        f.kind == FaultKind::kSkewSpike ||
+        f.kind == FaultKind::kCrashRestart) {
       out << "/n" << f.node;
+      if (f.kind == FaultKind::kCrashRestart &&
+          f.startMicros + f.durationMicros > s.durationMicros) {
+        out << "(perm)";
+      }
     }
   }
   out << "] snaps=[";

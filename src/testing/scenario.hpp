@@ -23,13 +23,16 @@ enum class FaultKind : uint8_t {
   kPartition,     ///< isolate one node from everyone for a window
   kNodeStall,     ///< freeze deliveries to one node (GC pause) for a window
   kSkewSpike,     ///< clock anomaly: shift one node's clock for a window
+  kCrashRestart,  ///< crash one server; restart it when the window ends
+                  ///< (kv substrate only; a window past the run end means
+                  ///< the node stays down permanently)
 };
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kDropWindow;
   TimeMicros startMicros = 0;
   TimeMicros durationMicros = 0;
-  /// Target node for kPartition / kNodeStall / kSkewSpike.
+  /// Target node for kPartition / kNodeStall / kSkewSpike / kCrashRestart.
   NodeId node = 0;
   /// kDropWindow: probability; kLatencySpike: extra micros;
   /// kSkewSpike: offset micros (negative steps the clock backwards).

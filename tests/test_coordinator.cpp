@@ -61,6 +61,55 @@ TEST(SnapshotSession, AcksAfterDoneIgnored) {
   EXPECT_EQ(s.state(), GlobalSnapshotState::kComplete);
 }
 
+TEST(SnapshotSession, FailureReasonsAreStructured) {
+  SnapshotSession s(req(1), {0, 1, 2}, 0);
+  s.onAck({1, 0, LocalSnapshotStatus::kOutOfReach, 0}, 10);
+  s.onNodeUnavailable(1, 20, FailureReason::kCrashed);
+  s.onNodeUnavailable(2, 30, FailureReason::kTimedOut);
+  EXPECT_EQ(s.state(), GlobalSnapshotState::kPartial);
+  EXPECT_EQ(s.findParticipant(0)->reason, FailureReason::kLogTruncated);
+  EXPECT_EQ(s.findParticipant(1)->reason, FailureReason::kCrashed);
+  EXPECT_EQ(s.findParticipant(2)->reason, FailureReason::kTimedOut);
+  EXPECT_STREQ(failureReasonName(FailureReason::kLogTruncated),
+               "log-truncated");
+  EXPECT_STREQ(failureReasonName(FailureReason::kRecoveredViaReplica),
+               "recovered-via-replica");
+}
+
+TEST(SnapshotSession, ReplicaFallbackKeepsSnapshotComplete) {
+  SnapshotSession s(req(1), {0, 1, 2}, 0);
+  s.onAck({1, 0, LocalSnapshotStatus::kComplete, 10}, 10);
+  s.onAck({1, 2, LocalSnapshotStatus::kComplete, 30}, 20);
+  // Node 1 crashed; node 2 covers its key range.
+  EXPECT_TRUE(s.resolveViaReplica(1, 2, 0, 50));
+  EXPECT_EQ(s.state(), GlobalSnapshotState::kComplete);
+  const auto* p = s.findParticipant(1);
+  EXPECT_EQ(p->reason, FailureReason::kRecoveredViaReplica);
+  EXPECT_EQ(p->servedBy, 2u);
+  EXPECT_EQ(s.replicaFallbacks(), 1u);
+  EXPECT_TRUE(s.failedNodes().empty());
+  EXPECT_EQ(s.totalPersistedBytes(), 40u);
+}
+
+TEST(SnapshotSession, ReplicaFallbackIgnoredOnceResolved) {
+  SnapshotSession s(req(1), {0, 1}, 0);
+  s.onAck({1, 1, LocalSnapshotStatus::kComplete, 0}, 10);
+  // Node 1 already acked for itself: a late fallback must not double it.
+  EXPECT_FALSE(s.resolveViaReplica(1, 0, 0, 20));
+  EXPECT_EQ(s.replicaFallbacks(), 0u);
+}
+
+TEST(SnapshotSession, RetryAccounting) {
+  SnapshotSession s(req(1), {0, 1}, 0);
+  s.noteRetry(0);
+  s.noteRetry(0);
+  s.noteRetry(1);
+  s.noteRetry(99);  // unknown node: ignored
+  EXPECT_EQ(s.findParticipant(0)->retries, 2u);
+  EXPECT_EQ(s.findParticipant(1)->retries, 1u);
+  EXPECT_EQ(s.totalRetries(), 3u);
+}
+
 TEST(SnapshotIdAllocator, MonotonicAndTagged) {
   SnapshotIdAllocator a(3);
   const auto id1 = a.next();

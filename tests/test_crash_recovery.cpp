@@ -1,0 +1,391 @@
+// Crash–recovery and fault-tolerant snapshot collection, end to end:
+// a server crash abandons in-flight work, restart() replays durable
+// state (BDB segments + journaled window-log) and re-seeds the HLC, and
+// the admin's retry/backoff/replica-fallback machinery keeps snapshot
+// sessions live across the outage — completing via retry when the node
+// returns, via a ring-successor replica when it does not, and degrading
+// to a partial snapshot with a structured reason only when no replica
+// can answer.
+#include <gtest/gtest.h>
+
+#include "kvstore/cluster.hpp"
+#include "workload/driver.hpp"
+
+namespace retro::kv {
+namespace {
+
+ClusterConfig recoveryConfig(uint64_t seed = 3) {
+  ClusterConfig cfg;
+  cfg.servers = 4;
+  cfg.clients = 4;
+  cfg.seed = seed;
+  cfg.server.logConfig.maxBytes = 0;  // unbounded: oracle needs full history
+  cfg.server.bdb.cleanerEnabled = false;
+  // Fault-tolerant collection on: per-node timeout, capped-backoff
+  // retries, two ring successors as fallback replicas.
+  cfg.admin.requestTimeoutMicros = 200'000;
+  cfg.admin.maxAttemptsPerNode = 6;
+  cfg.admin.retryBackoffBaseMicros = 100'000;
+  cfg.admin.retryBackoffCapMicros = 400'000;
+  cfg.admin.replicaFallbacks = 2;
+  return cfg;
+}
+
+std::vector<workload::ClientHandle> handlesOf(VoldemortCluster& cluster) {
+  std::vector<workload::ClientHandle> handles;
+  for (size_t i = 0; i < cluster.clientCount(); ++i) {
+    VoldemortClient* c = &cluster.client(i);
+    workload::ClientHandle h;
+    h.put = [c](const Key& k, Value v,
+                std::function<void(bool, TimeMicros)> done) {
+      c->put(k, std::move(v), std::move(done));
+    };
+    h.get = [c](const Key& k, std::function<void(bool, TimeMicros)> done) {
+      c->get(k, [done = std::move(done)](bool ok, TimeMicros lat, OptValue) {
+        done(ok, lat);
+      });
+    };
+    handles.push_back(std::move(h));
+  }
+  return handles;
+}
+
+std::unordered_map<Key, Value> oracleStateAt(
+    VoldemortServer& server, const std::unordered_map<Key, Value>& initial,
+    hlc::Timestamp target) {
+  auto state = initial;
+  server.retroscope().getLog(VoldemortServer::kStoreLog).forEach(
+      [&](const log::Entry& e) {
+        if (e.ts > target) return;
+        if (e.newValue) {
+          state[e.key] = *e.newValue;
+        } else {
+          state.erase(e.key);
+        }
+      });
+  return state;
+}
+
+struct Testbed {
+  explicit Testbed(ClusterConfig cfg) : cluster(cfg) {
+    cluster.preload(2000, 40);
+    for (size_t s = 0; s < cluster.serverCount(); ++s) {
+      initialStates.push_back(cluster.server(s).bdb().data());
+    }
+    workload::DriverConfig dcfg;
+    dcfg.workload.keySpace = 2000;
+    dcfg.workload.valueBytes = 40;
+    driver = std::make_unique<workload::ClosedLoopDriver>(
+        cluster.env(), handlesOf(cluster), VoldemortCluster::keyOf, dcfg);
+  }
+
+  VoldemortCluster cluster;
+  std::vector<std::unordered_map<Key, Value>> initialStates;
+  std::unique_ptr<workload::ClosedLoopDriver> driver;
+};
+
+TEST(CrashRecovery, RestartRecoversDurableStateAndServes) {
+  Testbed bed{recoveryConfig(3)};
+  bed.driver->start(3 * kMicrosPerSecond);
+
+  std::unordered_map<Key, Value> dataAtCrash;
+  uint64_t logEntriesAtCrash = 0;
+  bed.cluster.env().scheduleAt(kMicrosPerSecond, [&] {
+    auto& srv = bed.cluster.server(0);
+    dataAtCrash = srv.bdb().data();
+    logEntriesAtCrash =
+        srv.retroscope().getLog(VoldemortServer::kStoreLog).entryCount();
+    srv.crash();
+    EXPECT_FALSE(srv.isAlive());
+  });
+  bool restarted = false;
+  bed.cluster.env().scheduleAt(kMicrosPerSecond + 500'000, [&] {
+    bed.cluster.server(0).restart([&] {
+      restarted = true;
+      auto& srv = bed.cluster.server(0);
+      EXPECT_TRUE(srv.isAlive());
+      // Everything applied before the crash is durable (WAL semantics):
+      // the recovered index and the journaled window-log are intact.
+      EXPECT_EQ(srv.bdb().data(), dataAtCrash);
+      EXPECT_GE(
+          srv.retroscope().getLog(VoldemortServer::kStoreLog).entryCount(),
+          logEntriesAtCrash);
+    });
+  });
+  bed.cluster.env().run();
+
+  ASSERT_TRUE(restarted);
+  EXPECT_EQ(bed.cluster.server(0).recoveries(), 1u);
+  // The node resumed serving: it processed puts after the restart.
+  EXPECT_GT(bed.cluster.server(0).putsProcessed(), 0u);
+}
+
+TEST(CrashRecovery, SnapshotCompletesViaRetryAfterRestart) {
+  Testbed bed{recoveryConfig(5)};
+  bed.driver->start(3 * kMicrosPerSecond);
+
+  core::SnapshotId snapId = 0;
+  hlc::Timestamp target;
+  bool done = false;
+  core::GlobalSnapshotState state{};
+  uint64_t retries = 0;
+  core::FailureReason reason0{};
+  // Crash server 0, then request the snapshot while it is down; the
+  // admin's first sends to it fail, backoff retries span the outage, and
+  // the attempt after the restart succeeds.
+  bed.cluster.env().scheduleAt(kMicrosPerSecond, [&] {
+    bed.cluster.server(0).crash();
+  });
+  bed.cluster.env().scheduleAt(kMicrosPerSecond + 50'000, [&] {
+    snapId = bed.cluster.admin().snapshotNow(
+        [&](const core::SnapshotSession& s) {
+          done = true;
+          state = s.state();
+          retries = s.totalRetries();
+          reason0 = s.findParticipant(0)->reason;
+        });
+    target = bed.cluster.admin().findSession(snapId)->request().target;
+  });
+  bed.cluster.env().scheduleAt(kMicrosPerSecond + 500'000, [&] {
+    bed.cluster.server(0).restart();
+  });
+  bed.cluster.env().run();
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(state, core::GlobalSnapshotState::kComplete);
+  EXPECT_GT(retries, 0u);
+  // Server 0 answered for itself once it came back.
+  EXPECT_EQ(reason0, core::FailureReason::kNone);
+  EXPECT_EQ(bed.cluster.server(0).recoveries(), 1u);
+  EXPECT_GT(bed.cluster.admin().counters().get("snapshot.retries"), 0u);
+  // The recovered node's snapshot is exact: journaled window-log replay
+  // kept its full history, so the forward-replay oracle agrees.
+  for (size_t s = 0; s < bed.cluster.serverCount(); ++s) {
+    auto& server = bed.cluster.server(s);
+    auto materialized = server.snapshots().materialize(snapId);
+    ASSERT_TRUE(materialized.isOk())
+        << "server " << s << ": " << materialized.status().toString();
+    EXPECT_EQ(materialized.value(),
+              oracleStateAt(server, bed.initialStates[s], target))
+        << "server " << s;
+  }
+}
+
+TEST(CrashRecovery, PermanentCrashResolvesViaReplicaFallback) {
+  Testbed bed{recoveryConfig(7)};
+  bed.driver->start(3 * kMicrosPerSecond);
+
+  bool done = false;
+  core::GlobalSnapshotState state{};
+  core::SnapshotSession::Participant part0;
+  uint64_t fallbacks = 0;
+  bed.cluster.env().scheduleAt(kMicrosPerSecond, [&] {
+    bed.cluster.server(0).crash();  // never restarted
+  });
+  bed.cluster.env().scheduleAt(kMicrosPerSecond + 50'000, [&] {
+    bed.cluster.admin().snapshotNow([&](const core::SnapshotSession& s) {
+      done = true;
+      state = s.state();
+      part0 = *s.findParticipant(0);
+      fallbacks = s.replicaFallbacks();
+    });
+  });
+  bed.cluster.env().run();
+
+  ASSERT_TRUE(done);
+  // A ring successor covering node 0's key range answered for it: the
+  // global snapshot is still complete.
+  EXPECT_EQ(state, core::GlobalSnapshotState::kComplete);
+  EXPECT_EQ(part0.reason, core::FailureReason::kRecoveredViaReplica);
+  EXPECT_NE(part0.servedBy, 0u);
+  EXPECT_EQ(fallbacks, 1u);
+  EXPECT_GT(bed.cluster.admin().counters().get("snapshot.replica_fallbacks"),
+            0u);
+  // The fallback request hit the replica's completed-ack cache (it had
+  // already executed this snapshot id for itself) — idempotent re-ack.
+  uint64_t duplicates = 0;
+  for (size_t s = 0; s < bed.cluster.serverCount(); ++s) {
+    duplicates += bed.cluster.server(s).duplicateSnapshotRequests();
+  }
+  EXPECT_GT(duplicates, 0u);
+}
+
+TEST(CrashRecovery, NoReplicasLeavesPartialWithCrashReason) {
+  ClusterConfig cfg = recoveryConfig(9);
+  cfg.admin.replicaFallbacks = 0;  // no fallback: must degrade to partial
+  Testbed bed{cfg};
+  bed.driver->start(3 * kMicrosPerSecond);
+
+  bool done = false;
+  core::GlobalSnapshotState state{};
+  core::FailureReason reason0{};
+  bed.cluster.env().scheduleAt(kMicrosPerSecond, [&] {
+    bed.cluster.server(0).crash();  // never restarted
+  });
+  bed.cluster.env().scheduleAt(kMicrosPerSecond + 50'000, [&] {
+    bed.cluster.admin().snapshotNow([&](const core::SnapshotSession& s) {
+      done = true;
+      state = s.state();
+      reason0 = s.findParticipant(0)->reason;
+    });
+  });
+  bed.cluster.env().run();
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(state, core::GlobalSnapshotState::kPartial);
+  // Structured reason: the node was observed down, not merely silent.
+  EXPECT_EQ(reason0, core::FailureReason::kCrashed);
+  EXPECT_GT(bed.cluster.admin().counters().get("snapshot.exhausted"), 0u);
+}
+
+TEST(CrashRecovery, UnpersistedWindowLogYieldsLogTruncated) {
+  ClusterConfig cfg = recoveryConfig(11);
+  cfg.server.recovery.persistWindowLog = false;
+  cfg.admin.replicaFallbacks = 0;
+  Testbed bed{cfg};
+  bed.driver->start(4 * kMicrosPerSecond);
+
+  // Crash + immediately restart server 0 at t=2s: without a journaled
+  // window-log its recovered log starts empty with the floor raised to
+  // the recovery point.
+  bed.cluster.env().scheduleAt(2 * kMicrosPerSecond, [&] {
+    bed.cluster.server(0).crash();
+    bed.cluster.server(0).restart();
+  });
+
+  bool done = false;
+  core::GlobalSnapshotState state{};
+  core::FailureReason reason0{};
+  hlc::Timestamp target;
+  core::SnapshotId snapId = 0;
+  // Retrospective snapshot targeting a pre-crash time: reachable for the
+  // healthy servers, out of reach for the recovered one.
+  bed.cluster.env().scheduleAt(3 * kMicrosPerSecond + 500'000, [&] {
+    snapId = bed.cluster.admin().snapshotPast(
+        2000, [&](const core::SnapshotSession& s) {
+          done = true;
+          state = s.state();
+          reason0 = s.findParticipant(0)->reason;
+        });
+    target = bed.cluster.admin().findSession(snapId)->request().target;
+  });
+  bed.cluster.env().run();
+
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(bed.cluster.server(0)
+                   .retroscope()
+                   .getLog(VoldemortServer::kStoreLog)
+                   .covers(target));
+  EXPECT_EQ(state, core::GlobalSnapshotState::kPartial);
+  EXPECT_EQ(reason0, core::FailureReason::kLogTruncated);
+  // The healthy servers still answered with complete local snapshots.
+  for (size_t s = 1; s < bed.cluster.serverCount(); ++s) {
+    EXPECT_TRUE(bed.cluster.server(s).snapshots().contains(snapId))
+        << "server " << s;
+  }
+}
+
+TEST(CrashRecovery, DuplicateRequestsAnsweredIdempotently) {
+  ClusterConfig cfg = recoveryConfig(13);
+  // Timeout far below the ack round-trip: the admin re-sends while the
+  // first request is still executing (or already resolved), exercising
+  // both duplicate paths on the server.
+  cfg.admin.requestTimeoutMicros = 500;
+  cfg.admin.retryBackoffBaseMicros = 500;
+  cfg.admin.retryBackoffCapMicros = 2'000;
+  Testbed bed{cfg};
+  bed.driver->start(2 * kMicrosPerSecond);
+
+  bool done = false;
+  core::GlobalSnapshotState state{};
+  bed.cluster.env().scheduleAt(kMicrosPerSecond, [&] {
+    bed.cluster.admin().snapshotNow([&](const core::SnapshotSession& s) {
+      done = true;
+      state = s.state();
+    });
+  });
+  bed.cluster.env().run();
+
+  ASSERT_TRUE(done);
+  // Duplicates must not corrupt the protocol: still one snapshot per
+  // server, session complete.
+  EXPECT_EQ(state, core::GlobalSnapshotState::kComplete);
+  uint64_t duplicates = 0;
+  for (size_t s = 0; s < bed.cluster.serverCount(); ++s) {
+    duplicates += bed.cluster.server(s).duplicateSnapshotRequests();
+  }
+  EXPECT_GT(duplicates, 0u);
+}
+
+TEST(CrashRecovery, ClientRetriesRerouteAroundDeadReplica) {
+  ClusterConfig cfg = recoveryConfig(15);
+  cfg.client.opTimeoutMicros = 100'000;
+  cfg.client.maxRetries = 1;
+  cfg.client.requiredReads = 1;
+  Testbed bed{cfg};
+  // Read-heavy mix so gets (which re-route to an untried replica) are
+  // exercised against the dead node.
+  workload::DriverConfig dcfg;
+  dcfg.workload.keySpace = 2000;
+  dcfg.workload.valueBytes = 40;
+  dcfg.workload.writeFraction = 0.2;
+  bed.driver = std::make_unique<workload::ClosedLoopDriver>(
+      bed.cluster.env(), handlesOf(bed.cluster), VoldemortCluster::keyOf,
+      dcfg);
+  bed.driver->start(3 * kMicrosPerSecond);
+
+  bed.cluster.env().scheduleAt(500'000, [&] {
+    bed.cluster.server(0).crash();  // stays down
+  });
+  bed.cluster.env().run();
+
+  uint64_t retried = 0, completed = 0;
+  for (size_t c = 0; c < bed.cluster.clientCount(); ++c) {
+    retried += bed.cluster.client(c).opsRetried();
+    completed += bed.cluster.client(c).opsCompleted();
+  }
+  // Ops aimed at the dead replica timed out once, were re-sent to
+  // another replica, and the workload kept flowing.
+  EXPECT_GT(retried, 0u);
+  EXPECT_GT(completed, 0u);
+}
+
+TEST(CrashRecovery, HlcNeverRegressesAcrossRestart) {
+  Testbed bed{recoveryConfig(17)};
+  bed.driver->start(3 * kMicrosPerSecond);
+
+  hlc::Timestamp preCrash{};
+  bed.cluster.env().scheduleAt(kMicrosPerSecond, [&] {
+    preCrash = bed.cluster.server(0).retroscope().clock().current();
+    bed.cluster.server(0).crash();
+  });
+  bool checked = false;
+  bed.cluster.env().scheduleAt(kMicrosPerSecond + 200'000, [&] {
+    bed.cluster.server(0).restart([&] {
+      checked = true;
+      // The restored clock starts at (or above) the persisted maximum:
+      // no timestamp issued after recovery can fall below one issued
+      // before the crash.
+      EXPECT_GE(bed.cluster.server(0).retroscope().clock().current(),
+                preCrash);
+      EXPECT_GT(bed.cluster.server(0).retroscope().clock().tick(), preCrash);
+    });
+  });
+  bed.cluster.env().run();
+  ASSERT_TRUE(checked);
+}
+
+TEST(CrashRecovery, RestartWhileAliveIsNoOp) {
+  Testbed bed{recoveryConfig(19)};
+  bed.driver->start(kMicrosPerSecond);
+  bool called = false;
+  bed.cluster.env().scheduleAt(500'000, [&] {
+    bed.cluster.server(0).restart([&] { called = true; });
+  });
+  bed.cluster.env().run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(bed.cluster.server(0).recoveries(), 0u);
+}
+
+}  // namespace
+}  // namespace retro::kv

@@ -40,6 +40,43 @@ TEST(KvFuzz, SeedSweep) {
   EXPECT_GT(totalOracle, 0u);
 }
 
+// Crash–recovery sweep: every seed gets a crash fault aimed squarely at
+// its first planned snapshot (the node goes down just before the request
+// lands).  Collection must survive the outage — completing via backoff
+// retries once the node restarts, or via replica fallback when it stays
+// down — and every recovered node's snapshots must still agree with the
+// forward-replay oracle.
+TEST(KvFuzz, CrashRecoverySweep) {
+  const int seeds = seedCountFromEnv(kDefaultSeeds);
+  uint64_t recoveries = 0, retries = 0, fallbacks = 0, completed = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    Scenario s = generateScenario(static_cast<uint64_t>(seed),
+                                  Substrate::kKvStore);
+    FaultEvent f;
+    f.kind = FaultKind::kCrashRestart;
+    f.node = static_cast<NodeId>(static_cast<uint64_t>(seed) % s.servers);
+    const TimeMicros firstSnap = s.snapshots.front().atMicros;
+    f.startMicros = firstSnap > 100'000 ? firstSnap - 100'000 : 1;
+    // Every fourth seed crashes permanently (replica-fallback path); the
+    // rest restart mid-collection (retry path).
+    f.durationMicros = (seed % 4 == 0) ? s.durationMicros * 2 : 600'000;
+    s.faults.push_back(f);
+
+    const FuzzResult r = runKvScenario(s);
+    ASSERT_TRUE(r.passed()) << r.failureSummary();
+    ASSERT_GT(r.crashesInjected, 0u);
+    recoveries += r.serverRecoveries;
+    retries += r.snapshotRetries;
+    fallbacks += r.replicaFallbacks;
+    completed += r.snapshotsCompleted;
+  }
+  // The sweep must exercise both recovery paths, not vacuously pass.
+  EXPECT_GT(recoveries, 0u);
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(fallbacks, 0u);
+  EXPECT_GT(completed, 0u);
+}
+
 // Harness self-test: a deliberately injected consistency bug (the client
 // strips the HLC header on receive without ticking) must be caught and
 // shrunk to a minimal reproducing scenario.
