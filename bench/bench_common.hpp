@@ -1,21 +1,167 @@
 // Shared helpers for the figure-reproduction bench binaries: client
-// handle adapters, series printers, and shape-check assertions.  Each
-// bench prints the paper-style rows plus PASS/FAIL lines for the shape
-// claims it reproduces; absolute numbers are simulator-calibrated and
-// documented in EXPERIMENTS.md.
+// handle adapters, series printers, shape-check assertions, and the
+// machine-readable BenchReport writer.  Each bench prints the
+// paper-style rows plus PASS/FAIL lines for the shape claims it
+// reproduces AND emits a BENCH_<name>.json report (ops/s, latency
+// percentiles, DiffStats totals, snapshot durations, shape-check
+// outcomes) so runs can be diffed over time; the JSON schema is
+// documented in EXPERIMENTS.md.  Absolute numbers are
+// simulator-calibrated.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "grid/grid_cluster.hpp"
 #include "kvstore/cluster.hpp"
+#include "log/window_log.hpp"
 #include "workload/driver.hpp"
 
 namespace retro::bench {
+
+/// Duration/size multiplier for smoke runs: RETRO_BENCH_SCALE in (0, 1]
+/// shrinks the simulated experiment (CI's bench-smoke job runs at 0.25).
+/// Benches multiply their durations, preload sizes and depth sweeps by
+/// this; shape checks are written to hold at any scale.
+inline double benchScale() {
+  if (const char* env = std::getenv("RETRO_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0 && v <= 1.0) return v;
+  }
+  return 1.0;
+}
+
+inline int64_t scaled(int64_t n) {
+  const auto s = static_cast<int64_t>(static_cast<double>(n) * benchScale());
+  return s > 0 ? s : 1;
+}
+
+/// Machine-readable run report, written as BENCH_<name>.json into
+/// $RETRO_BENCH_OUT (default: the working directory).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Free-form run description (cluster size, workload shape, ...).
+  void setMeta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, value);
+  }
+
+  /// One named scalar (ops/s, p99 micros, snapshot seconds, ...).
+  void addMetric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Fold a DiffStats (per-call or accumulated totals) into the metrics
+  /// under `prefix`.
+  void addDiffStats(const std::string& prefix, const log::DiffStats& s) {
+    addMetric(prefix + ".entries_traversed",
+              static_cast<double>(s.entriesTraversed));
+    addMetric(prefix + ".keys_in_diff", static_cast<double>(s.keysInDiff));
+    addMetric(prefix + ".diff_data_bytes",
+              static_cast<double>(s.diffDataBytes));
+    addMetric(prefix + ".index_seeks", static_cast<double>(s.indexSeeks));
+    addMetric(prefix + ".keys_examined",
+              static_cast<double>(s.keysExamined));
+  }
+
+  /// Throughput/latency summary of a recorder window [fromSec, toSec).
+  void addSeriesSummary(const std::string& prefix,
+                        const TimeSeriesRecorder& rec) {
+    const Histogram& lat = rec.overallLatency();
+    addMetric(prefix + ".operations",
+              static_cast<double>(rec.totalOperations()));
+    addMetric(prefix + ".p50_latency_micros",
+              static_cast<double>(lat.percentile(0.50)));
+    addMetric(prefix + ".p99_latency_micros",
+              static_cast<double>(lat.percentile(0.99)));
+  }
+
+  void addCheck(const std::string& claim, bool ok) {
+    checks_.emplace_back(claim, ok);
+    if (!ok) ++failures_;
+  }
+
+  int failures() const { return failures_; }
+
+  /// Print the PASS/FAIL summary, write BENCH_<name>.json and return
+  /// the process exit code (0 iff every shape check passed).
+  int finish() {
+    std::printf("\nbench_%s: %s (%d shape check(s) failed)\n", name_.c_str(),
+                failures_ == 0 ? "ALL SHAPE CHECKS PASS"
+                               : "SHAPE CHECKS FAILED",
+                failures_);
+    writeJson();
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  void writeJson() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("RETRO_BENCH_OUT")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", escape(name_).c_str());
+    std::fprintf(f, "  \"scale\": %.6g,\n", benchScale());
+    std::fprintf(f, "  \"meta\": {");
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", i ? "," : "",
+                   escape(meta_[i].first).c_str(),
+                   escape(meta_[i].second).c_str());
+    }
+    std::fprintf(f, "%s},\n", meta_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"metrics\": {");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.10g", i ? "," : "",
+                   escape(metrics_[i].first).c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "%s},\n", metrics_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"checks\": [");
+    for (size_t i = 0; i < checks_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"claim\": \"%s\", \"pass\": %s}",
+                   i ? "," : "", escape(checks_[i].first).c_str(),
+                   checks_[i].second ? "true" : "false");
+    }
+    std::fprintf(f, "%s],\n", checks_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"failures\": %d,\n", failures_);
+    std::fprintf(f, "  \"passed\": %s\n", failures_ == 0 ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("report: %s\n", path.c_str());
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, bool>> checks_;
+  int failures_ = 0;
+};
 
 inline std::vector<workload::ClientHandle> kvHandles(
     kv::VoldemortCluster& cluster) {
@@ -86,23 +232,20 @@ inline double meanLatency(const TimeSeriesRecorder& rec, int64_t fromSec,
   return n == 0 ? 0 : sum / n;
 }
 
+/// Prints one PASS/FAIL line per shape claim and records the outcome in
+/// the run's BenchReport; the report's finish() is the process exit.
 class ShapeChecker {
  public:
+  explicit ShapeChecker(BenchReport& report) : report_(&report) {}
+
   void check(bool ok, const std::string& claim) {
     std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
-    if (!ok) ++failures_;
+    report_->addCheck(claim, ok);
   }
-  int failures() const { return failures_; }
-
-  int finish(const char* benchName) const {
-    std::printf("\n%s: %s (%d shape check(s) failed)\n", benchName,
-                failures_ == 0 ? "ALL SHAPE CHECKS PASS" : "SHAPE CHECKS FAILED",
-                failures_);
-    return failures_ == 0 ? 0 : 1;
-  }
+  int failures() const { return report_->failures(); }
 
  private:
-  int failures_ = 0;
+  BenchReport* report_;
 };
 
 }  // namespace retro::bench

@@ -21,7 +21,8 @@ int main() {
   std::printf("=== window-log vs multiversion storage cost ===\n");
   std::printf("100%% write stream, 5 K keys, 100 B values, 5 K updates/s, "
               "window budget = 60 s of history\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("comparison_multiversion");
+  bench::ShapeChecker shape(report);
 
   const int updatesPerSec = 5000;
   const int seconds = 300;
@@ -104,6 +105,11 @@ int main() {
                 "both mechanisms reconstruct the identical state");
   }
 
+  report.addMetric("window_log_mb_at_120s", wlAt120);
+  report.addMetric("window_log_mb_at_300s", wlAt300);
+  report.addMetric("multiversion_mb_at_120s", mvAt120);
+  report.addMetric("multiversion_mb_at_300s", mvAt300);
+
   std::printf("\n");
-  return shape.finish("bench_comparison_multiversion");
+  return report.finish();
 }

@@ -17,7 +17,8 @@ using namespace retro;
 int main() {
   std::printf("=== Fig. 1 / clock-scheme baselines ===\n");
   std::printf("8 nodes, 450 us mean message latency, 3 s runs\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("fig01_clock_baselines");
+  bench::ShapeChecker shape(report);
 
   // --- Sweep clock skew: NTP cut consistency vs HLC cut consistency ---
   std::printf("skew sweep (cut consistency, 50 probes per run):\n");
@@ -100,7 +101,17 @@ int main() {
                 "HLC logical component c stays small (paper: < 10)");
     shape.check(harness.maxHlcDriftMillis() <= 3,
                 "HLC drift l - pt bounded by the clock skew");
+    report.addMetric("hlc_max_logical",
+                     static_cast<double>(harness.maxHlcLogical()));
+    report.addMetric("hlc_max_drift_millis",
+                     static_cast<double>(harness.maxHlcDriftMillis()));
   }
 
-  return shape.finish("bench_fig01_clock_baselines");
+  report.setMeta("workload", "8 nodes, 450 us mean latency, skew sweep");
+  report.addMetric("ntp_bad_cuts_at_zero_skew",
+                   static_cast<double>(ntpBadAtZeroSkew));
+  report.addMetric("ntp_bad_cuts_at_100ms_skew",
+                   static_cast<double>(ntpBadAtHighSkew));
+  report.addMetric("vc_bytes_per_message_64_nodes", vc64);
+  return report.finish();
 }

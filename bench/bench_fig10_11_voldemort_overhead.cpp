@@ -64,7 +64,8 @@ int main() {
               "Voldemort ===\n");
   std::printf("10 nodes, 33 closed-loop client connections, 100 B items, 6 s "
               "runs (sizes scaled 1:10 vs paper)\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("fig10_11_voldemort_overhead");
+  bench::ShapeChecker shape(report);
 
   struct Row {
     uint64_t items;
@@ -135,5 +136,17 @@ int main() {
                                 "% write");
   }
 
-  return shape.finish("bench_fig10_11_voldemort_overhead");
+  report.setMeta("workload", "10 nodes, 33 clients, 100B items, 6 s runs");
+  for (const Row& r : rows) {
+    const std::string tag = std::to_string(r.items) + "_items.write_" +
+                            std::to_string(static_cast<int>(
+                                r.writeFraction * 100));
+    report.addMetric("ops_per_sec_off." + tag, r.off.throughput);
+    report.addMetric("ops_per_sec_on." + tag, r.on.throughput);
+    report.addMetric("mean_latency_ms_off." + tag, r.off.meanLatencyMs);
+    report.addMetric("mean_latency_ms_on." + tag, r.on.meanLatencyMs);
+  }
+  report.addMetric("mean_overhead_small_db", smallOvh);
+  report.addMetric("mean_overhead_large_db", largeOvh);
+  return report.finish();
 }

@@ -13,7 +13,8 @@ int main() {
   std::printf("=== Fig. 12: performance during an instant snapshot ===\n");
   std::printf("10 nodes, 1 M x 100 B items (scaled 1:10), 50%% write, "
               "repl=2, snapshot at t=10 s\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("fig12_voldemort_snapshot_impact");
+  bench::ShapeChecker shape(report);
 
   kv::ClusterConfig cfg;
   cfg.servers = 10;
@@ -102,5 +103,21 @@ int main() {
   }
   shape.check(p99During > p99Before, "p99 latency spikes during snapshot");
 
-  return shape.finish("bench_fig12_voldemort_snapshot_impact");
+  report.setMeta("workload", "10 nodes, 1M x 100B, 50% write, repl=2");
+  report.addMetric("snapshot_duration_seconds", snapshotLatency / 1e6);
+  report.addMetric("persisted_bytes", static_cast<double>(persisted));
+  report.addMetric("ops_per_sec_before", before);
+  report.addMetric("ops_per_sec_during", during);
+  report.addMetric("ops_per_sec_after", after);
+  report.addMetric("mean_latency_micros_before", latBefore);
+  report.addMetric("mean_latency_micros_during", latDuring);
+  report.addMetric("p99_latency_micros_before", static_cast<double>(p99Before));
+  report.addMetric("p99_latency_micros_during", static_cast<double>(p99During));
+  report.addSeriesSummary("driver", driver.recorder());
+  log::DiffStats diffTotals;
+  for (size_t s = 0; s < cluster.serverCount(); ++s) {
+    diffTotals.accumulate(cluster.server(s).diffTotals());
+  }
+  report.addDiffStats("diff_totals", diffTotals);
+  return report.finish();
 }

@@ -17,7 +17,8 @@ int main() {
   std::printf("=== Fig. 13: single-node memory growth under write load ===\n");
   std::printf("1 node, 20 clients, 100%% write, 100 B items, unbounded "
               "window-log, 128 MB heap (scaled 1:16)\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("fig13_voldemort_memory");
+  bench::ShapeChecker shape(report);
 
   kv::ClusterConfig cfg;
   cfg.servers = 1;
@@ -138,5 +139,13 @@ int main() {
   shape.check(late < early * 0.6,
               "throughput collapses under GC pressure before death");
 
-  return shape.finish("bench_fig13_voldemort_memory");
+  report.setMeta("workload", "1 node, unbounded window-log until OOM");
+  report.addMetric("died_at_seconds", diedAt / 1e6);
+  report.addMetric("ops_per_sec_unpressured", early);
+  report.addMetric("ops_per_sec_final", late);
+  if (!samples.empty()) {
+    report.addMetric("final_log_mb", samples.back().actualLogMB);
+    report.addMetric("final_projected_mb", samples.back().projectedMB);
+  }
+  return report.finish();
 }

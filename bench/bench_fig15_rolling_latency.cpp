@@ -92,7 +92,8 @@ int main() {
   std::printf("=== Fig. 15: rolling-snapshot latency vs interval ===\n");
   std::printf("4 nodes, 200 K x 75 B items, rolling backward from a full "
               "snapshot\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("fig15_rolling_latency");
+  bench::ShapeChecker shape(report);
 
   const MixResult uniform100 = runMix(1.0, workload::KeyDistribution::kUniform);
   const MixResult uniform50 = runMix(0.5, workload::KeyDistribution::kUniform);
@@ -138,5 +139,18 @@ int main() {
                   uniform100.fullLatencySec / 5,
               "incremental snapshot near a base is far cheaper than full");
 
-  return shape.finish("bench_fig15_rolling_latency");
+  report.setMeta("workload", "rolling snapshots, interval sweep 0..30 s");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const std::string depth = std::to_string(rows[i].intervalSec);
+    report.addMetric("rolling_latency_seconds.write_10.interval_" + depth,
+                     uniform10.rows[i].latencySec);
+    report.addMetric("rolling_latency_seconds.write_100.interval_" + depth,
+                     uniform100.rows[i].latencySec);
+    report.addMetric("rolling_latency_seconds.hotspot_100.interval_" + depth,
+                     hotspot100.rows[i].latencySec);
+  }
+  report.addMetric("full_snapshot_seconds", uniform100.fullLatencySec);
+  report.addMetric("incremental_snapshot_seconds",
+                   uniform100.incrementalLatencySec);
+  return report.finish();
 }

@@ -53,7 +53,8 @@ int main() {
   std::printf("=== Fig. 16: Retroscope overhead in Hazelcast ===\n");
   std::printf("3 members, 10 clients, 100%% write, 100 B values, 1 M keys "
               "(scaled 1:10), 60 s runs\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("fig16_hazelcast_overhead");
+  bench::ShapeChecker shape(report);
 
   const ModeResult original = runMode(grid::Mode::kOriginal);
   const ModeResult off = runMode(grid::Mode::kHlcOnly);
@@ -90,5 +91,13 @@ int main() {
   shape.check(on.meanLatencyMs < original.meanLatencyMs * 1.25,
               "latency degradation stays small");
 
-  return shape.finish("bench_fig16_hazelcast_overhead");
+  report.setMeta("workload", "3 members, 10 clients, 100% write, 60 s");
+  report.addMetric("ops_per_sec_original", original.throughput);
+  report.addMetric("ops_per_sec_hlc_only", off.throughput);
+  report.addMetric("ops_per_sec_full", on.throughput);
+  report.addMetric("overhead_pct_hlc_only", offOvh);
+  report.addMetric("overhead_pct_full", onOvh);
+  report.addMetric("mean_latency_ms_original", original.meanLatencyMs);
+  report.addMetric("mean_latency_ms_full", on.meanLatencyMs);
+  return report.finish();
 }

@@ -13,7 +13,8 @@ int main() {
   std::printf("=== Fig. 17: throughput during an ongoing Hazelcast "
               "snapshot ===\n");
   std::printf("3 members, 10 clients, 100%% write, snapshot() at t=30 s\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("fig17_hazelcast_snapshot_impact");
+  bench::ShapeChecker shape(report);
 
   grid::GridConfig cfg;
   cfg.members = 3;
@@ -108,5 +109,20 @@ int main() {
     shape.check(driver2.opsFailed() == 0, "no operation lost while blocked");
   }
 
-  return shape.finish("bench_fig17_hazelcast_snapshot_impact");
+  report.setMeta("workload", "3 members, snapshot at t=30 s, 60 s run");
+  report.addMetric("snapshot_duration_seconds", snapLatency / 1e6);
+  report.addMetric("ops_per_sec_before", before);
+  report.addMetric("ops_per_sec_during", during);
+  report.addMetric("ops_per_sec_after", after);
+  report.addMetric("throughput_drop_pct", dropPct);
+  report.addSeriesSummary("driver", driver.recorder());
+  log::DiffStats diffTotals;
+  uint64_t diffCalls = 0;
+  for (size_t m = 0; m < cluster.memberCount(); ++m) {
+    diffTotals.accumulate(cluster.member(m).diffTotals());
+    diffCalls += cluster.member(m).diffCalls();
+  }
+  report.addDiffStats("diff_totals", diffTotals);
+  report.addMetric("diff_calls", static_cast<double>(diffCalls));
+  return report.finish();
 }

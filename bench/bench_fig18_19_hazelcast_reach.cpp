@@ -75,7 +75,8 @@ int main() {
   std::printf("=== Figs. 18 & 19: snapshot reach and write-mix impact ===\n");
   std::printf("3 members, 10 clients, snapshot of t0 every 30 s "
               "(time scaled 1:10, log budget 256 MB/member)\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("fig18_19_hazelcast_reach");
+  bench::ShapeChecker shape(report);
 
   const ReachRun full = runMix(1.0);
   const ReachRun light = runMix(0.1);
@@ -93,9 +94,17 @@ int main() {
   shape.check(full.snapshotLatenciesSec.size() == 5,
               "every periodic snapshot of t0 completed (t0 stays in reach)");
   if (full.snapshotLatenciesSec.size() == 5) {
+    // The paper's Fig. 18 latency is linear in reach because its diff
+    // walks the whole log segment.  The indexed diff engine bounds that
+    // walk by the live key count, so latency still grows with reach
+    // (more keys written since t0 as the run ages) but stays far below
+    // the paper's linear trend — both halves are asserted.
     shape.check(full.snapshotLatenciesSec.back() >
-                    full.snapshotLatenciesSec.front() * 2,
+                    full.snapshotLatenciesSec.front() * 1.1,
                 "latency grows with back-in-time reach (Fig. 18)");
+    shape.check(full.snapshotLatenciesSec.back() <
+                    full.snapshotLatenciesSec.front() * 3,
+                "indexed diff engine flattens the paper's linear growth");
   }
 
   std::printf("Fig. 19 — throughput dip per snapshot, 100%% vs 10%% write:\n");
@@ -117,5 +126,14 @@ int main() {
   shape.check(light.logMB < full.logMB,
               "lighter write mix grows the window-log slower");
 
-  return shape.finish("bench_fig18_19_hazelcast_reach");
+  report.setMeta("workload", "3 members, snapshot of t0 every 30 s");
+  for (size_t k = 0; k < full.snapshotLatenciesSec.size(); ++k) {
+    report.addMetric("snapshot_seconds.reach_" + std::to_string(30 * (k + 1)),
+                     full.snapshotLatenciesSec[k]);
+  }
+  report.addMetric("mean_dip_pct_write_100", fullDip);
+  report.addMetric("mean_dip_pct_write_10", lightDip);
+  report.addMetric("log_mb_write_100", full.logMB);
+  report.addMetric("log_mb_write_10", light.logMB);
+  return report.finish();
 }

@@ -15,7 +15,8 @@ int main() {
   std::printf("=== Fig. 20: snapshot latency vs database size ===\n");
   std::printf("3 members, database grown in 50 K-key steps (1000 B values "
               "per the paper)\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("fig20_hazelcast_dbsize");
+  bench::ShapeChecker shape(report);
 
   grid::GridConfig cfg;
   cfg.members = 3;
@@ -77,5 +78,11 @@ int main() {
   shape.check(rows.back().latencyMs > 10 && rows.back().latencyMs < 250,
               "top-size snapshot completes in the ~100 ms regime");
 
-  return shape.finish("bench_fig20_hazelcast_dbsize");
+  report.setMeta("workload", "3 members, DB grown in 50 K-key steps");
+  for (const auto& r : rows) {
+    report.addMetric("snapshot_ms." + std::to_string(r.keys) + "_keys",
+                     r.latencyMs);
+  }
+  report.addMetric("latency_ratio_500k_vs_50k", ratio);
+  return report.finish();
 }

@@ -2,9 +2,19 @@
 // HLC ticks, message wrap/unwrap, window-log appends, and computeDiff
 // at several window sizes — measured with google-benchmark on the real
 // (non-simulated) library code.
+//
+// A second section compares the indexed diff engine against the
+// retained naive linear scanner (NaiveWindowLog) at snapshot depths
+// 10^3..10^6 and writes the traversal counts to
+// BENCH_table1_api_micro.json; the depth-10^5 row must show a >=10x
+// reduction in entries traversed.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_common.hpp"
 #include "core/retroscope.hpp"
+#include "log/naive_window_log.hpp"
 
 namespace retro {
 namespace {
@@ -77,6 +87,19 @@ void BM_AppendToLog(benchmark::State& state) {
 }
 BENCHMARK(BM_AppendToLog)->Arg(16)->Arg(100)->Arg(1024);
 
+// Shared builder for the indexed-vs-naive rows: `entries` writes over
+// 1000 distinct keys, each timestamp one logical tick apart.
+template <typename Log>
+hlc::Timestamp fillLog(Log& log, uint64_t entries) {
+  const Value value(100, 'v');
+  const hlc::Timestamp start{1, 0};
+  for (uint64_t i = 0; i < entries; ++i) {
+    log.append("key-" + std::to_string(i % 1000), value, value,
+               hlc::Timestamp{static_cast<int64_t>(i + 2), 0});
+  }
+  return start;
+}
+
 void BM_ComputeDiff(benchmark::State& state) {
   // Diff over a window of `range` entries touching 1000 distinct keys —
   // measures the operation-shadowing compaction walk (Fig. 6).
@@ -98,6 +121,38 @@ void BM_ComputeDiff(benchmark::State& state) {
                           static_cast<int64_t>(entries));
 }
 BENCHMARK(BM_ComputeDiff)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ComputeDiffNaive(benchmark::State& state) {
+  log::WindowLogConfig cfg;
+  cfg.maxEntries = 0;
+  cfg.maxBytes = 0;
+  log::NaiveWindowLog log(cfg);
+  const hlc::Timestamp start =
+      fillLog(log, static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto diff = log.diffToPast(start);
+    benchmark::DoNotOptimize(diff.isOk());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ComputeDiffNaive)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ComputeDiffIndexed(benchmark::State& state) {
+  log::WindowLogConfig cfg;
+  cfg.maxEntries = 0;
+  cfg.maxBytes = 0;
+  log::WindowLog log(cfg);
+  const hlc::Timestamp start =
+      fillLog(log, static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto diff = log.diffToPast(start);
+    benchmark::DoNotOptimize(diff.isOk());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ComputeDiffIndexed)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_ComputeDiffRange(benchmark::State& state) {
   FakePhysicalClock pt;
@@ -125,7 +180,82 @@ void BM_PackUnpack(benchmark::State& state) {
 }
 BENCHMARK(BM_PackUnpack);
 
+// Direct indexed-vs-naive comparison at snapshot depths 10^3..10^6,
+// reported to BENCH_table1_api_micro.json.  Depths above 10^5 are
+// skipped under RETRO_BENCH_SCALE < 1 to keep smoke runs fast.
+int runDiffComparison() {
+  bench::BenchReport report("table1_api_micro");
+  bench::ShapeChecker shape(report);
+  report.setMeta("workload",
+                 "diffToPast over N entries, 1000 distinct keys");
+
+  std::printf("\n=== indexed vs naive diffToPast (1000 keys) ===\n");
+  std::printf("%10s %14s %14s %9s %12s\n", "depth", "naive walk",
+              "indexed walk", "speedup", "indexed us");
+
+  std::vector<uint64_t> depths = {1'000, 10'000, 100'000};
+  if (bench::benchScale() >= 1.0) depths.push_back(1'000'000);
+
+  double reductionAt1e5 = 0;
+  for (const uint64_t depth : depths) {
+    log::WindowLogConfig cfg;
+    cfg.maxEntries = 0;
+    cfg.maxBytes = 0;
+
+    log::NaiveWindowLog naive(cfg);
+    const hlc::Timestamp start = fillLog(naive, depth);
+    log::WindowLog indexed(cfg);
+    fillLog(indexed, depth);
+
+    log::DiffStats nstats;
+    auto ndiff = naive.diffToPast(start, &nstats);
+    log::DiffStats istats;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto idiff = indexed.diffToPast(start, &istats);
+    const auto elapsedUs =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    shape.check(ndiff.isOk() && idiff.isOk(),
+                "both engines diff at depth " + std::to_string(depth));
+    if (ndiff.isOk() && idiff.isOk()) {
+      shape.check(ndiff.value().entries() == idiff.value().entries(),
+                  "identical DiffMap at depth " + std::to_string(depth));
+    }
+    const double speedup =
+        static_cast<double>(nstats.entriesTraversed) /
+        static_cast<double>(std::max<size_t>(istats.entriesTraversed, 1));
+    if (depth == 100'000) reductionAt1e5 = speedup;
+    std::printf("%10llu %14zu %14zu %8.0fx %11lld\n",
+                static_cast<unsigned long long>(depth),
+                nstats.entriesTraversed, istats.entriesTraversed, speedup,
+                static_cast<long long>(elapsedUs));
+
+    const std::string tag = "depth_" + std::to_string(depth);
+    report.addMetric("naive_entries_traversed." + tag,
+                     static_cast<double>(nstats.entriesTraversed));
+    report.addMetric("indexed_entries_traversed." + tag,
+                     static_cast<double>(istats.entriesTraversed));
+    report.addMetric("indexed_index_seeks." + tag,
+                     static_cast<double>(istats.indexSeeks));
+    report.addMetric("indexed_keys_examined." + tag,
+                     static_cast<double>(istats.keysExamined));
+    report.addMetric("traversal_reduction." + tag, speedup);
+  }
+
+  report.addMetric("traversal_reduction_at_1e5", reductionAt1e5);
+  shape.check(reductionAt1e5 >= 10.0,
+              "indexed engine traverses >=10x fewer entries at depth 1e5");
+  return report.finish();
+}
+
 }  // namespace
 }  // namespace retro
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return retro::runDiffComparison();
+}

@@ -55,7 +55,8 @@ double runResetForSize(uint64_t items, size_t valueBytes) {
 int main() {
   std::printf("=== §IX use case: clean-snapshot search + consistent reset "
               "===\n\n");
-  bench::ShapeChecker shape;
+  bench::BenchReport report("usecase_reset");
+  bench::ShapeChecker shape(report);
 
   // ---- part 1: reset latency vs store size (paper: ~8 s at 1 GB) ----
   std::printf("consistent reset latency vs store size:\n");
@@ -157,8 +158,10 @@ int main() {
                 "clean time lands just before the corruption window "
                 "(minimal lost updates)");
     shape.check(*steps >= 15, "the walk stepped through the dirty interval");
+    report.addMetric("search.clean_at_ms", static_cast<double>(*cleanAtMs));
+    report.addMetric("search.rolling_steps", static_cast<double>(*steps));
   }
 
   std::printf("\n");
-  return shape.finish("bench_usecase_reset");
+  return report.finish();
 }

@@ -458,6 +458,8 @@ void GridMember::runPartitionSnapshot(core::SnapshotId id, uint32_t p) {
     if (config_.mode == Mode::kFull) {
       const auto& wlog = retroscope_.getLog(partitionLogName(p));
       auto diff = wlog.diffBackward(captureTime, active.request.target, &stats);
+      diffTotals_.accumulate(stats);
+      ++diffCalls_;
       if (!diff.isOk()) {
         active.outOfReach = true;
       } else {
@@ -472,7 +474,9 @@ void GridMember::runPartitionSnapshot(core::SnapshotId id, uint32_t p) {
 
     const auto traverseCost = static_cast<TimeMicros>(std::llround(
         static_cast<double>(stats.entriesTraversed) *
-        config_.traverseMicrosPerEntry));
+            config_.traverseMicrosPerEntry +
+        static_cast<double>(stats.indexSeeks + stats.keysExamined) *
+            config_.indexProbeMicros));
     executor_.submit(traverseCost,
                      [this, id] { runNextPartitionSnapshot(id); });
   });

@@ -53,6 +53,9 @@ struct MemberConfig {
   double copyMicrosPerEntry = 0.3;
   /// Per-entry CPU for traversing the window-log back to the target.
   double traverseMicrosPerEntry = 2.0;
+  /// CPU per index probe of the indexed diff engine (sparse-index /
+  /// key-chain binary searches and candidate keys examined).
+  double indexProbeMicros = 0.05;
 
   /// Total window-log budget on this member, divided across the
   /// partition logs it owns (the paper's "bounded by a user-specified
@@ -110,6 +113,11 @@ class GridMember {
   /// ignored because the snapshot is already executing (initiator
   /// retries are idempotent).
   uint64_t duplicateSnapshotStarts() const { return duplicateSnapshotStarts_; }
+
+  /// Running totals over every partition window-log diff computed on
+  /// this member, and the number of diff calls folded in.
+  const log::DiffStats& diffTotals() const { return diffTotals_; }
+  uint64_t diffCalls() const { return diffCalls_; }
 
   /// Primary data of one owned partition (tests).
   const std::unordered_map<Key, Value>* partitionData(uint32_t p) const;
@@ -198,6 +206,8 @@ class GridMember {
   uint64_t queuedBehindLock_ = 0;
   uint64_t snapshotsCompleted_ = 0;
   uint64_t duplicateSnapshotStarts_ = 0;
+  log::DiffStats diffTotals_;
+  uint64_t diffCalls_ = 0;
 };
 
 }  // namespace retro::grid

@@ -456,7 +456,7 @@ void VoldemortServer::snapshotCompaction(core::SnapshotId id) {
         auto diff = archive_->diffBackward(wlog, active.captureTime,
                                            active.request.target, &astats);
         if (diff.isOk()) {
-          stats.entriesTraversed = astats.live.entriesTraversed;
+          stats = astats.live;
           stats.keysInDiff = astats.keysInDiff;
           stats.diffDataBytes = astats.diffDataBytes;
           archivedEntries = astats.archivedEntriesTraversed;
@@ -493,12 +493,19 @@ void VoldemortServer::snapshotCompaction(core::SnapshotId id) {
     return;
   }
 
-  // Charge the compaction CPU (one pass over the traversed entries,
-  // plus the slower decode of any archived entries), then move to the
-  // application stage.  Archived history is paged in from disk first.
+  diffTotals_.accumulate(stats);
+  ++diffCalls_;
+
+  // Charge the compaction CPU: the entries the diff engine actually
+  // materialized, the index/key-chain probes it spent finding them
+  // (much cheaper per unit), plus the slower decode of any archived
+  // entries.  Then move to the application stage; archived history is
+  // paged in from disk first.
   const auto cost = static_cast<TimeMicros>(std::llround(
       static_cast<double>(stats.entriesTraversed) *
           config_.compactionMicrosPerEntry +
+      static_cast<double>(stats.indexSeeks + stats.keysExamined) *
+          config_.indexProbeMicros +
       static_cast<double>(archivedEntries) *
           config_.archive.archivedEntryReadMicros));
   auto proceed = [this, id, cost, diff = std::move(diff).value(),

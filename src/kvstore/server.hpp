@@ -61,6 +61,11 @@ struct ServerConfig {
   uint64_t copyChunkBytes = 4ull << 20;
   double compactionMicrosPerEntry = 0.4;
   double applyMicrosPerEntry = 1.0;
+  /// CPU per index probe of the indexed diff engine: one sparse-index or
+  /// key-chain binary search, plus one per candidate key examined.  Far
+  /// cheaper than materializing an entry, but not free — keeps the
+  /// simulated latencies honest about the new traversal's overhead.
+  double indexProbeMicros = 0.05;
 
   // --- concurrent-snapshot optimization (§III-A) ---
   /// Convert an incoming full snapshot to an incremental one when
@@ -173,6 +178,12 @@ class VoldemortServer {
     return duplicateSnapshotRequests_;
   }
 
+  /// Running totals over every window-log diff computed for snapshots on
+  /// this node, and the number of diff calls folded in (bench/metrics
+  /// reporting: simulated snapshot CPU is charged from exactly these).
+  const log::DiffStats& diffTotals() const { return diffTotals_; }
+  uint64_t diffCalls() const { return diffCalls_; }
+
  private:
   struct ActiveSnapshot {
     core::SnapshotRequest request;
@@ -244,6 +255,8 @@ class VoldemortServer {
   uint64_t snapshotsConverted_ = 0;
   uint64_t recoveries_ = 0;
   uint64_t duplicateSnapshotRequests_ = 0;
+  log::DiffStats diffTotals_;
+  uint64_t diffCalls_ = 0;
 };
 
 }  // namespace retro::kv

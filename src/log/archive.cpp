@@ -72,16 +72,26 @@ Result<DiffMap> LogArchive::diffBackward(const WindowLog& live,
 
   // 2. Continue backward through the archive; set() keeps overwriting so
   //    the earliest entry after `start` wins, exactly as in the live
-  //    walk.  Entries the live log still covers are skipped (they were
-  //    already undone in step 1), as are entries after `end`.
+  //    walk.  Entries the live log still covers were already undone in
+  //    step 1, and entries after `end` are outside the diff, so the
+  //    relevant range is start < ts <= min(live.floor(), end) — found by
+  //    binary search instead of filtering a full reverse scan (the same
+  //    boundary search the window-log's indexed engine uses).
+  const hlc::Timestamp upper = std::min(live.floor(), end);
+  const auto tsLess = [](hlc::Timestamp v, const Entry& e) {
+    return v < e.ts;
+  };
+  const auto lo =
+      std::upper_bound(entries_.begin(), entries_.end(), start, tsLess);
+  const auto hi =
+      std::upper_bound(entries_.begin(), entries_.end(), upper, tsLess);
   size_t traversed = 0;
   uint64_t bytesRead = 0;
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (it->ts > live.floor() || it->ts > end) continue;
-    if (it->ts <= start) break;
-    diff.value().set(it->key, it->oldValue);
+  for (auto it = hi; it != lo; --it) {
+    const Entry& e = *std::prev(it);
+    diff.value().set(e.key, e.oldValue);
     ++traversed;
-    bytesRead += it->dataBytes();
+    bytesRead += e.dataBytes();
   }
 
   if (stats) {

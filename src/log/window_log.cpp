@@ -11,7 +11,9 @@ size_t accountedEntryBytes(const Entry& e, const WindowLogConfig& cfg) {
 }
 }  // namespace
 
-WindowLog::WindowLog(WindowLogConfig config) : config_(config) {}
+WindowLog::WindowLog(WindowLogConfig config) : config_(config) {
+  if (config_.indexStrideEntries == 0) config_.indexStrideEntries = 1;
+}
 
 void WindowLog::append(Entry entry) {
   if (!entries_.empty() && entry.ts < entries_.back().ts) {
@@ -19,6 +21,11 @@ void WindowLog::append(Entry entry) {
         "WindowLog::append: timestamps must be non-decreasing (got " +
         entry.ts.toString() + " after " + entries_.back().ts.toString() + ")");
   }
+  const uint64_t seq = baseSeq_ + entries_.size();
+  if (seq % config_.indexStrideEntries == 0) {
+    index_.push_back({entry.ts, seq});
+  }
+  keyChains_[entry.key].push_back(seq);
   accountedBytes_ += accountedEntryBytes(entry, config_);
   entries_.push_back(std::move(entry));
   if (bounded_) trimToBounds();
@@ -47,7 +54,12 @@ void WindowLog::trimFront() {
   // state strictly before e.ts; state *at* e.ts (inclusive of the
   // change) remains reconstructible.
   floor_ = e.ts;
+  auto chain = keyChains_.find(e.key);
+  chain->second.pop_front();  // front of the chain is this entry's seq
+  if (chain->second.empty()) keyChains_.erase(chain);
+  if (!index_.empty() && index_.front().seq <= baseSeq_) index_.pop_front();
   entries_.pop_front();
+  ++baseSeq_;
   ++trimmed_;
 }
 
@@ -70,7 +82,11 @@ void WindowLog::trimToBounds() {
 }
 
 void WindowLog::truncateThrough(hlc::Timestamp t) {
-  while (!entries_.empty() && entries_.front().ts <= t) trimFront();
+  // The boundary is found by binary search; the trim itself is
+  // O(trimmed) to keep the key chains and sparse index coherent.
+  size_t seeks = 0;
+  const size_t boundary = upperBoundOffset(t, &seeks);
+  for (size_t i = 0; i < boundary; ++i) trimFront();
   // Even with nothing trimmed, the caller is declaring history before t
   // unreachable (it has been folded into a checkpoint).
   floor_ = std::max(floor_, t);
@@ -78,10 +94,39 @@ void WindowLog::truncateThrough(hlc::Timestamp t) {
 
 void WindowLog::resetForRecovery(hlc::Timestamp floor) {
   trimmed_ += entries_.size();
+  baseSeq_ += entries_.size();
   entries_.clear();
+  index_.clear();
+  keyChains_.clear();
   accountedBytes_ = 0;
   floor_ = std::max(floor_, floor);
   bounded_ = true;
+}
+
+size_t WindowLog::upperBoundOffset(hlc::Timestamp t, size_t* seeks) const {
+  if (entries_.empty()) return 0;
+  // Narrow to one index stride: the last mark with ts <= t starts the
+  // refinement window, the following mark bounds it.
+  size_t lo = 0;
+  size_t hi = entries_.size();
+  auto mark = std::upper_bound(
+      index_.begin(), index_.end(), t,
+      [](hlc::Timestamp v, const IndexMark& m) { return v < m.ts; });
+  if (mark != index_.begin()) {
+    lo = static_cast<size_t>(std::prev(mark)->seq - baseSeq_);
+  }
+  if (mark != index_.end()) {
+    hi = static_cast<size_t>(mark->seq - baseSeq_);
+  }
+  // Refine within the stride.  Equal timestamps are legal (several
+  // events in one HLC tick), so upper_bound semantics: first entry
+  // strictly after t.
+  auto it = std::upper_bound(
+      entries_.begin() + static_cast<ptrdiff_t>(lo),
+      entries_.begin() + static_cast<ptrdiff_t>(hi), t,
+      [](hlc::Timestamp v, const Entry& e) { return v < e.ts; });
+  if (seeks) ++*seeks;
+  return static_cast<size_t>(it - entries_.begin());
 }
 
 Result<DiffMap> WindowLog::diffToPast(hlc::Timestamp timeInPast,
@@ -91,21 +136,39 @@ Result<DiffMap> WindowLog::diffToPast(hlc::Timestamp timeInPast,
                   "window-log no longer reaches " + timeInPast.toString() +
                       " (floor " + floor_.toString() + ")");
   }
+  DiffStats local;
+  const size_t boundary = upperBoundOffset(timeInPast, &local.indexSeeks);
+  const size_t inRange = entries_.size() - boundary;
+  const uint64_t boundarySeq = baseSeq_ + boundary;
   DiffMap diff;
-  size_t traversed = 0;
-  // Walk newest -> oldest over entries with ts > timeInPast.  Overwrites
-  // mean the *earliest* entry after the target wins, so each key maps to
-  // its value as of timeInPast (operation shadowing compaction, Fig. 6).
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (it->ts <= timeInPast) break;
-    diff.set(it->key, it->oldValue);
-    ++traversed;
+  if (inRange <= keyChains_.size()) {
+    // Bounded reverse scan: cheaper than probing every live key.
+    // Overwrites mean the *earliest* entry after the target wins, so
+    // each key maps to its value as of timeInPast (operation-shadowing
+    // compaction, Fig. 6).
+    for (size_t i = entries_.size(); i > boundary; --i) {
+      const Entry& e = entries_[i - 1];
+      diff.set(e.key, e.oldValue);
+      ++local.entriesTraversed;
+    }
+  } else {
+    // Key-chain strategy: for each live key, binary-search its chain
+    // for the earliest write after the boundary — one entry visited per
+    // surviving key instead of every entry in the range.
+    local.usedKeyChains = true;
+    for (const auto& [key, chain] : keyChains_) {
+      ++local.keysExamined;
+      if (chain.back() < boundarySeq) continue;  // untouched since target
+      auto it = std::lower_bound(chain.begin(), chain.end(), boundarySeq);
+      ++local.indexSeeks;
+      const Entry& e = entries_[static_cast<size_t>(*it - baseSeq_)];
+      diff.set(key, e.oldValue);
+      ++local.entriesTraversed;
+    }
   }
-  if (stats) {
-    stats->entriesTraversed = traversed;
-    stats->keysInDiff = diff.size();
-    stats->diffDataBytes = diff.dataBytes();
-  }
+  local.keysInDiff = diff.size();
+  local.diffDataBytes = diff.dataBytes();
+  if (stats) *stats = local;
   return diff;
 }
 
@@ -121,21 +184,39 @@ Result<DiffMap> WindowLog::diffForward(hlc::Timestamp start,
                   "window-log no longer reaches " + start.toString() +
                       " (floor " + floor_.toString() + ")");
   }
+  DiffStats local;
+  const size_t lo = upperBoundOffset(start, &local.indexSeeks);
+  const size_t hi = upperBoundOffset(end, &local.indexSeeks);
+  const uint64_t loSeq = baseSeq_ + lo;
+  const uint64_t hiSeq = baseSeq_ + hi;
   DiffMap diff;
-  size_t traversed = 0;
-  // Walk oldest -> newest over entries with start < ts <= end; the last
-  // write per key wins, producing the state delta start -> end.
-  for (const Entry& e : entries_) {
-    if (e.ts <= start) continue;
-    if (e.ts > end) break;
-    diff.set(e.key, e.newValue);
-    ++traversed;
+  if (hi - lo <= keyChains_.size()) {
+    // Bounded forward scan over start < ts <= end; the last write per
+    // key wins, producing the state delta start -> end.
+    for (size_t i = lo; i < hi; ++i) {
+      const Entry& e = entries_[i];
+      diff.set(e.key, e.newValue);
+      ++local.entriesTraversed;
+    }
+  } else {
+    // Per key: the *last* write inside (loSeq, hiSeq) wins.
+    local.usedKeyChains = true;
+    for (const auto& [key, chain] : keyChains_) {
+      ++local.keysExamined;
+      if (chain.front() >= hiSeq || chain.back() < loSeq) continue;
+      auto it = std::lower_bound(chain.begin(), chain.end(), hiSeq);
+      ++local.indexSeeks;
+      if (it == chain.begin()) continue;
+      const uint64_t seq = *std::prev(it);
+      if (seq < loSeq) continue;  // key's last write predates the range
+      const Entry& e = entries_[static_cast<size_t>(seq - baseSeq_)];
+      diff.set(key, e.newValue);
+      ++local.entriesTraversed;
+    }
   }
-  if (stats) {
-    stats->entriesTraversed = traversed;
-    stats->keysInDiff = diff.size();
-    stats->diffDataBytes = diff.dataBytes();
-  }
+  local.keysInDiff = diff.size();
+  local.diffDataBytes = diff.dataBytes();
+  if (stats) *stats = local;
   return diff;
 }
 
@@ -151,36 +232,107 @@ Result<DiffMap> WindowLog::diffBackward(hlc::Timestamp end,
                   "window-log no longer reaches " + start.toString() +
                       " (floor " + floor_.toString() + ")");
   }
+  DiffStats local;
+  const size_t lo = upperBoundOffset(start, &local.indexSeeks);
+  const size_t hi = upperBoundOffset(end, &local.indexSeeks);
+  const uint64_t loSeq = baseSeq_ + lo;
+  const uint64_t hiSeq = baseSeq_ + hi;
   DiffMap diff;
-  size_t traversed = 0;
-  // Walk newest -> oldest over entries with start < ts <= end; the
-  // earliest entry per key wins (its oldValue is the value at `start`).
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (it->ts > end) continue;
-    if (it->ts <= start) break;
-    diff.set(it->key, it->oldValue);
-    ++traversed;
+  if (hi - lo <= keyChains_.size()) {
+    // Bounded reverse scan over start < ts <= end; the earliest entry
+    // per key wins (its oldValue is the value at `start`).
+    for (size_t i = hi; i > lo; --i) {
+      const Entry& e = entries_[i - 1];
+      diff.set(e.key, e.oldValue);
+      ++local.entriesTraversed;
+    }
+  } else {
+    // Per key: the *earliest* write inside (loSeq, hiSeq) wins.
+    local.usedKeyChains = true;
+    for (const auto& [key, chain] : keyChains_) {
+      ++local.keysExamined;
+      if (chain.front() >= hiSeq || chain.back() < loSeq) continue;
+      auto it = std::lower_bound(chain.begin(), chain.end(), loSeq);
+      ++local.indexSeeks;
+      if (it == chain.end() || *it >= hiSeq) continue;
+      const Entry& e = entries_[static_cast<size_t>(*it - baseSeq_)];
+      diff.set(key, e.oldValue);
+      ++local.entriesTraversed;
+    }
   }
-  if (stats) {
-    stats->entriesTraversed = traversed;
-    stats->keysInDiff = diff.size();
-    stats->diffDataBytes = diff.dataBytes();
-  }
+  local.keysInDiff = diff.size();
+  local.diffDataBytes = diff.dataBytes();
+  if (stats) *stats = local;
   return diff;
 }
 
 void WindowLog::setConfig(WindowLogConfig config) {
-  // Recompute byte accounting under the new overhead constants.
+  // Recompute byte accounting under the new overhead constants and
+  // rebuild the sparse index under the (possibly changed) stride.
   config_ = config;
+  if (config_.indexStrideEntries == 0) config_.indexStrideEntries = 1;
   accountedBytes_ = 0;
   for (const Entry& e : entries_) {
     accountedBytes_ += accountedEntryBytes(e, config_);
   }
+  rebuildIndex();
   if (bounded_) trimToBounds();
+}
+
+void WindowLog::rebuildIndex() {
+  index_.clear();
+  keyChains_.clear();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const uint64_t seq = baseSeq_ + i;
+    if (seq % config_.indexStrideEntries == 0) {
+      index_.push_back({entries_[i].ts, seq});
+    }
+    keyChains_[entries_[i].key].push_back(seq);
+  }
 }
 
 void WindowLog::forEach(const std::function<void(const Entry&)>& fn) const {
   for (const Entry& e : entries_) fn(e);
+}
+
+bool WindowLog::validateIndex() const {
+  // Sparse index: marks ascending, on-stride, matching the deque.
+  uint64_t prevSeq = 0;
+  bool first = true;
+  for (const IndexMark& m : index_) {
+    if (m.seq < baseSeq_ || m.seq >= baseSeq_ + entries_.size()) return false;
+    if (m.seq % config_.indexStrideEntries != 0) return false;
+    if (!first && m.seq <= prevSeq) return false;
+    if (entries_[static_cast<size_t>(m.seq - baseSeq_)].ts != m.ts) {
+      return false;
+    }
+    prevSeq = m.seq;
+    first = false;
+  }
+  // Every retained on-stride sequence must have a mark.
+  size_t expectedMarks = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if ((baseSeq_ + i) % config_.indexStrideEntries == 0) ++expectedMarks;
+  }
+  if (expectedMarks != index_.size()) return false;
+  // Key chains: exact partition of the sequence space by key.
+  size_t chained = 0;
+  for (const auto& [key, chain] : keyChains_) {
+    if (chain.empty()) return false;
+    uint64_t prev = 0;
+    bool firstSeq = true;
+    for (uint64_t seq : chain) {
+      if (seq < baseSeq_ || seq >= baseSeq_ + entries_.size()) return false;
+      if (!firstSeq && seq <= prev) return false;
+      if (entries_[static_cast<size_t>(seq - baseSeq_)].key != key) {
+        return false;
+      }
+      prev = seq;
+      firstSeq = false;
+      ++chained;
+    }
+  }
+  return chained == entries_.size();
 }
 
 }  // namespace retro::log

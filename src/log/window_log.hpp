@@ -4,10 +4,29 @@
 // given duration or erasing the old history when the size of the log
 // reaches a given threshold", §IV).  During a snapshot the bound is
 // lifted so the log keeps growing until the snapshot finishes (§III-A).
+//
+// Diff engine: the append-ordered deque stays the source of truth, but
+// two auxiliary structures make the retrospective traversals sublinear
+// in the window size (§VII: a C implementation should shrink exactly
+// this cost):
+//
+//   * a sparse HLC->sequence index (one mark every `indexStrideEntries`
+//     appends) so the boundary of a `timeInPast` query is found by
+//     binary search instead of a reverse scan;
+//   * a per-key last-write chain (the ascending sequence numbers of
+//     every surviving entry for that key) so a diff can visit one entry
+//     per key that survives operation-shadowing compaction instead of
+//     every entry in the range.
+//
+// Each diff call picks the cheaper of the two strategies (bounded scan
+// vs. key-chain probing) from the range size and the live key count;
+// either way the result is byte-identical to the naive linear walk
+// (tests/test_window_log_index.cpp pins this over randomized histories).
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <unordered_map>
 
 #include "common/status.hpp"
 #include "common/types.hpp"
@@ -30,14 +49,31 @@ struct WindowLogConfig {
   size_t perEntryOverheadBytes = 152;
   /// S_HLC: bytes accounted for the timestamp per entry.
   size_t hlcBytes = 8;
+  /// One sparse HLC->sequence index mark is kept every this many
+  /// appends.  Larger strides cost less memory but widen the final
+  /// refinement window of a boundary search.
+  size_t indexStrideEntries = 64;
 };
 
 /// Statistics of a computeDiff call, used by the simulation substrates
 /// to charge CPU time proportional to the work actually performed.
 struct DiffStats {
-  size_t entriesTraversed = 0;  ///< log entries walked
+  size_t entriesTraversed = 0;  ///< log entries materialized/walked
   size_t keysInDiff = 0;        ///< surviving keys after compaction
   size_t diffDataBytes = 0;     ///< payload bytes of the compacted diff
+  size_t indexSeeks = 0;        ///< binary-search probes (sparse index + chains)
+  size_t keysExamined = 0;      ///< candidate keys inspected via key chains
+  bool usedKeyChains = false;   ///< true if the per-key chain strategy ran
+
+  /// Fold another call's stats into a running total (bench reporting).
+  void accumulate(const DiffStats& o) {
+    entriesTraversed += o.entriesTraversed;
+    keysInDiff += o.keysInDiff;
+    diffDataBytes += o.diffDataBytes;
+    indexSeeks += o.indexSeeks;
+    keysExamined += o.keysExamined;
+    usedKeyChains = usedKeyChains || o.usedKeyChains;
+  }
 };
 
 class WindowLog {
@@ -93,6 +129,12 @@ class WindowLog {
   /// Total entries ever trimmed (for stats/tests).
   uint64_t trimmedCount() const { return trimmed_; }
 
+  /// Distinct keys with at least one surviving entry.
+  size_t liveKeyCount() const { return keyChains_.size(); }
+
+  /// Sparse index marks currently held (tests/introspection).
+  size_t indexMarkCount() const { return index_.size(); }
+
   /// Explicitly drop all entries with ts <= t (periodic compaction
   /// support, §VII: a background task can fold old history into a
   /// checkpoint and truncate).
@@ -112,9 +154,24 @@ class WindowLog {
   /// persistence and debugging tools.
   void forEach(const std::function<void(const Entry&)>& fn) const;
 
+  /// Full invariant check of the index structures against the deque
+  /// (O(n); differential tests call this after every mutation batch).
+  bool validateIndex() const;
+
  private:
+  struct IndexMark {
+    hlc::Timestamp ts;
+    uint64_t seq;
+  };
+
   void trimToBounds();
   void trimFront();
+  void rebuildIndex();
+
+  /// Offset (into entries_) of the first entry with ts > t, found via
+  /// the sparse index plus a bounded binary search.  `seeks` counts the
+  /// binary-search probe as one logical index seek.
+  size_t upperBoundOffset(hlc::Timestamp t, size_t* seeks) const;
 
   WindowLogConfig config_;
   std::deque<Entry> entries_;
@@ -122,6 +179,17 @@ class WindowLog {
   hlc::Timestamp floor_{};  // earliest reconstructible time
   bool bounded_ = true;
   uint64_t trimmed_ = 0;
+
+  /// Sequence number of entries_.front(); entry at offset i has
+  /// sequence baseSeq_ + i.  Sequence numbers never reset, so key
+  /// chains and index marks survive front-trimming untouched except
+  /// for their own front elements.
+  uint64_t baseSeq_ = 0;
+  /// Sparse HLC->sequence marks, ascending; one every
+  /// config_.indexStrideEntries appends.
+  std::deque<IndexMark> index_;
+  /// Per-key ascending sequence chain of surviving entries.
+  std::unordered_map<Key, std::deque<uint64_t>> keyChains_;
 };
 
 }  // namespace retro::log

@@ -139,5 +139,49 @@ TEST(LogArchive, DoubleArchiveIsIdempotent) {
   EXPECT_EQ(archive.entryCount(), 50u);
 }
 
+// Regression for the binary-search boundary port: every diff served
+// through the archive must be identical — contents and traversal
+// accounting — to the diff the live log produced for the same target
+// before any entries were spilled to disk.
+TEST(LogArchive, ArchivedLookupsAgreeWithPreArchiveResults) {
+  Scenario sc(7, 500, 20, 0);
+
+  struct Baseline {
+    int64_t target;
+    DiffMap::Map entries;
+    size_t dataBytes;
+  };
+  std::vector<Baseline> baselines;
+  for (int64_t target : {0, 50, 149, 150, 151, 300, 420, 499}) {
+    auto diff = sc.wlog.diffToPast(ts(target));
+    ASSERT_TRUE(diff.isOk()) << target;
+    baselines.push_back(
+        {target, diff.value().entries(), diff.value().dataBytes()});
+  }
+
+  LogArchive archive;
+  archive.archiveThrough(sc.wlog, ts(150));
+
+  for (const Baseline& base : baselines) {
+    ArchiveDiffStats stats;
+    auto diff = archive.diffToPast(sc.wlog, ts(base.target), &stats);
+    ASSERT_TRUE(diff.isOk()) << base.target;
+    EXPECT_EQ(diff.value().entries(), base.entries)
+        << "target " << base.target;
+    EXPECT_EQ(diff.value().dataBytes(), base.dataBytes)
+        << "target " << base.target;
+    // The bounded walk touches exactly the in-range archived entries:
+    // (target, live floor], i.e. 150 - target of the one-op-per-tick
+    // history — never the full archive.
+    const size_t expectArchived =
+        base.target < 150 ? static_cast<size_t>(150 - base.target) : 0;
+    EXPECT_EQ(stats.archivedEntriesTraversed, expectArchived)
+        << "target " << base.target;
+    auto rolled = sc.state;
+    diff.value().applyTo(rolled);
+    EXPECT_EQ(rolled, sc.history[base.target]) << "target " << base.target;
+  }
+}
+
 }  // namespace
 }  // namespace retro::log
