@@ -70,6 +70,14 @@ class BenchReport {
               static_cast<double>(s.keysExamined));
   }
 
+  /// Fold every counter in `c` into the metrics under `prefix`
+  /// (storage.* integrity counters, snapshot.* session counters, ...).
+  void addCounters(const std::string& prefix, const Counters& c) {
+    for (const auto& [name, value] : c.sorted()) {
+      addMetric(prefix + "." + name, static_cast<double>(value));
+    }
+  }
+
   /// Throughput/latency summary of a recorder window [fromSec, toSec).
   void addSeriesSummary(const std::string& prefix,
                         const TimeSeriesRecorder& rec) {

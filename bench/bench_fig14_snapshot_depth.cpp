@@ -29,9 +29,11 @@ struct MixRun {
   // Diff-engine work across all servers in the run.
   log::DiffStats diffTotals;
   uint64_t diffCalls = 0;
+  // storage.* integrity counters summed across servers.
+  Counters storage;
 };
 
-MixRun runMix(double writeFraction, bool cleaner) {
+MixRun runMix(double writeFraction, bool cleaner, bool checksums = true) {
   kv::ClusterConfig cfg;
   cfg.servers = 4;
   cfg.clients = 12;
@@ -45,6 +47,9 @@ MixRun runMix(double writeFraction, bool cleaner) {
   // healthy-but-busy nodes and distort the very latencies this bench
   // reports.
   cfg.admin.requestTimeoutMicros = 600 * kMicrosPerSecond;
+  // CRC32C framing on every durable record, as deployed; the off run
+  // measures what the integrity layer costs.
+  cfg.server.integrity.checksums = checksums;
   kv::VoldemortCluster cluster(cfg);
   // RETRO_BENCH_SCALE < 1 shrinks the store and the depth sweep together
   // (CI smoke runs); the shape claims are depth-relative and hold at any
@@ -94,6 +99,10 @@ MixRun runMix(double writeFraction, bool cleaner) {
     run->cleanerRuns += cluster.server(s).bdb().cleanerRuns();
     run->diffTotals.accumulate(cluster.server(s).diffTotals());
     run->diffCalls += cluster.server(s).diffCalls();
+    for (const auto& [name, value] :
+         cluster.server(s).storageCounters().sorted()) {
+      run->storage.add(name, value);
+    }
   }
   run->requestTimeouts = cluster.admin().counters().get("snapshot.timeouts");
   return *run;
@@ -176,6 +185,23 @@ int main() {
   shape.check(withCleaner.rows.size() == 6,
               "snapshots complete despite cleaner interference");
 
+  // What does end-to-end integrity cost?  The same write-heavy run with
+  // CRC32C framing disabled: the only delta is the checksum CPU charged
+  // on the copy path and the recovery/replay scans.  The paper's
+  // lightweight-snapshots claim must survive the integrity layer.
+  const MixRun noCrc = runMix(1.0, /*cleaner=*/false, /*checksums=*/false);
+  double sumOn = 0, sumOff = 0;
+  for (const auto& r : results[2]) sumOn += r.latencySec;
+  for (const auto& r : noCrc.rows) sumOff += r.latencySec;
+  const double checksumOverhead = sumOff > 0 ? (sumOn - sumOff) / sumOff : 0;
+  std::printf("checksum overhead: %.2f s with CRC32C vs %.2f s without "
+              "(+%.2f%% across the 100%%-write depth sweep)\n",
+              sumOn, sumOff, 100.0 * checksumOverhead);
+  shape.check(noCrc.rows.size() == results[2].size(),
+              "checksum-off control completed every depth");
+  shape.check(checksumOverhead < 0.05,
+              "CRC32C framing adds < 5% snapshot latency");
+
   // Fault-tolerant collection accounting: the retry machinery is armed
   // for every session above, and on this healthy cluster it must stay
   // quiet — retries/fallbacks measure failures, not steady state.
@@ -213,5 +239,22 @@ int main() {
   report.addMetric("snapshot_retries", static_cast<double>(retries));
   report.addMetric("replica_fallbacks", static_cast<double>(fallbacks));
   report.addMetric("request_timeouts", static_cast<double>(timeouts));
+  report.addMetric("checksum_overhead_fraction", checksumOverhead);
+  // storage.* integrity counters across every run: a healthy bench must
+  // detect nothing — these rows exist so corruption in a future run is
+  // visible in the report diff.
+  Counters storage;
+  for (const auto& run : mixRuns) {
+    for (const auto& [name, value] : run.storage.sorted()) {
+      storage.add(name, value);
+    }
+  }
+  for (const auto& [name, value] : withCleaner.storage.sorted()) {
+    storage.add(name, value);
+  }
+  report.addCounters("counters", storage);
+  shape.check(storage.get("storage.corruptions_detected") == 0 &&
+                  storage.get("storage.keys_quarantined") == 0,
+              "healthy cluster detects no corruption");
   return report.finish();
 }

@@ -1,0 +1,90 @@
+#include "common/checksum.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace retro {
+
+namespace {
+
+// Table-driven byte-at-a-time CRC32C; the table is computed once from
+// the reflected polynomial so the check value is pinned by tests rather
+// than by 256 magic constants.
+std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> table{};
+  constexpr uint32_t kPoly = 0x82F63B78u;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+uint32_t loadLE32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap32(v);
+#endif
+  return v;
+}
+
+void storeLE32(std::string& out, uint32_t v) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap32(v);
+#endif
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+}  // namespace
+
+uint32_t crc32c(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = makeTable();
+  uint32_t crc = ~seed;
+  for (unsigned char c : data) {
+    crc = kTable[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+size_t appendFrame(std::string& out, std::string_view payload) {
+  storeLE32(out, static_cast<uint32_t>(payload.size()));
+  storeLE32(out, crc32c(payload));
+  out.append(payload);
+  return kFrameHeaderBytes + payload.size();
+}
+
+FrameView readFrame(std::string_view data, size_t offset) {
+  FrameView v;
+  if (offset > data.size() || data.size() - offset < kFrameHeaderBytes) {
+    v.status = FrameStatus::kTruncated;
+    return v;
+  }
+  const uint32_t length = loadLE32(data.data() + offset);
+  const uint32_t storedCrc = loadLE32(data.data() + offset + 4);
+  constexpr uint32_t kSaneMaxPayload = 1u << 30;
+  if (length > kSaneMaxPayload) {
+    // A length header this large never came from appendFrame; the
+    // header itself rotted and the scan cannot resynchronize.
+    v.status = FrameStatus::kBadLength;
+    return v;
+  }
+  if (length > data.size() - offset - kFrameHeaderBytes) {
+    // The stream ends inside this frame's payload: a torn write.
+    v.status = FrameStatus::kTruncated;
+    return v;
+  }
+  v.payload = data.substr(offset + kFrameHeaderBytes, length);
+  v.frameBytes = kFrameHeaderBytes + length;
+  v.status = crc32c(v.payload) == storedCrc ? FrameStatus::kOk
+                                            : FrameStatus::kBadChecksum;
+  if (!v.ok()) v.payload = {};
+  return v;
+}
+
+}  // namespace retro

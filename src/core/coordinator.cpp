@@ -12,6 +12,7 @@ const char* failureReasonName(FailureReason reason) {
     case FailureReason::kCrashed: return "crashed";
     case FailureReason::kRecoveredViaReplica: return "recovered-via-replica";
     case FailureReason::kFailed: return "failed";
+    case FailureReason::kCorrupted: return "corrupted";
   }
   return "?";
 }
@@ -52,6 +53,9 @@ bool SnapshotSession::onAck(const SnapshotAck& ack, TimeMicros now) {
       break;
     case LocalSnapshotStatus::kOutOfReach:
       p->reason = FailureReason::kLogTruncated;
+      break;
+    case LocalSnapshotStatus::kCorrupted:
+      p->reason = FailureReason::kCorrupted;
       break;
     default:
       p->reason = FailureReason::kFailed;

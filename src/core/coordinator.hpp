@@ -30,6 +30,8 @@ enum class FailureReason : uint8_t {
   kCrashed,             ///< node observed down (connection refused)
   kRecoveredViaReplica, ///< a replica answered for this node's key range
   kFailed,              ///< node answered with a generic failure
+  kCorrupted,           ///< node quarantined corrupt storage and refused
+                        ///< to answer rather than risk a wrong cut
 };
 
 const char* failureReasonName(FailureReason reason);

@@ -67,6 +67,9 @@ enum class LocalSnapshotStatus : uint8_t {
   kOutOfReach,  ///< window-log moved past the requested time (§III-A
                 ///< "Partial snapshot")
   kFailed,
+  kCorrupted,  ///< node's store has quarantined (corrupt) records; it
+               ///< refuses to serve snapshots until repaired from
+               ///< replicas rather than returning possibly wrong data
 };
 
 struct SnapshotAck {

@@ -4,16 +4,21 @@
 #include <memory>
 
 #include "common/bytes.hpp"
+#include "common/checksum.hpp"
 
 namespace retro::core {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x52545343;  // "RTSC"
-constexpr uint16_t kVersion = 1;
+// v1 framed the payload with an FNV-1a sum; v2 uses the shared CRC32C
+// (common/checksum) like every other durable format.  v1 archives are
+// still accepted — the version field selects the checksum to verify.
+constexpr uint16_t kVersionFnv = 1;
+constexpr uint16_t kVersion = 2;
 
-/// FNV-1a over a byte range — integrity check for the payload section.
-uint64_t checksum(std::string_view data) {
+/// FNV-1a over a byte range — the v1 payload integrity check.
+uint64_t checksumFnv(std::string_view data) {
   uint64_t h = 0xcbf29ce484222325ULL;
   for (unsigned char c : data) {
     h ^= c;
@@ -59,7 +64,7 @@ std::string serializeSnapshot(const LocalSnapshot& snapshot) {
   ByteWriter out;
   out.writeU32(kMagic);
   out.writeU16(kVersion);
-  out.writeU64(checksum(payload.view()));
+  out.writeU64(crc32c(payload.view()));
   out.writeVarU64(payload.size());
   out.writeRaw(payload.view());
   return out.take();
@@ -72,7 +77,7 @@ Result<LocalSnapshot> deserializeSnapshot(std::string_view data) {
       return Status(StatusCode::kInvalidArgument, "bad snapshot magic");
     }
     const uint16_t version = r.readU16();
-    if (version != kVersion) {
+    if (version != kVersion && version != kVersionFnv) {
       return Status(StatusCode::kInvalidArgument,
                     "unsupported snapshot version " + std::to_string(version));
     }
@@ -83,7 +88,10 @@ Result<LocalSnapshot> deserializeSnapshot(std::string_view data) {
                     "snapshot payload length mismatch");
     }
     const std::string_view payloadView = data.substr(data.size() - payloadLen);
-    if (checksum(payloadView) != expectedSum) {
+    const uint64_t actualSum = version == kVersionFnv
+                                   ? checksumFnv(payloadView)
+                                   : crc32c(payloadView);
+    if (actualSum != expectedSum) {
       return Status(StatusCode::kInvalidArgument,
                     "snapshot checksum mismatch (corrupt file?)");
     }

@@ -272,10 +272,19 @@ void AdminClient::handleAck(const core::SnapshotAck& ack) {
     }
     if (a.target == ack.node) {
       // The node answered but could not serve (log slid past the target,
-      // or a generic failure): try its replicas before settling.
-      a.pendingReason = ack.status == core::LocalSnapshotStatus::kOutOfReach
-                            ? core::FailureReason::kLogTruncated
-                            : core::FailureReason::kFailed;
+      // quarantined corrupt records, or a generic failure): try its
+      // replicas before settling.
+      switch (ack.status) {
+        case core::LocalSnapshotStatus::kOutOfReach:
+          a.pendingReason = core::FailureReason::kLogTruncated;
+          break;
+        case core::LocalSnapshotStatus::kCorrupted:
+          a.pendingReason = core::FailureReason::kCorrupted;
+          break;
+        default:
+          a.pendingReason = core::FailureReason::kFailed;
+          break;
+      }
       advanceToFallback(ack.id, ack.node);
       return;
     }

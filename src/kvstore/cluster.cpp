@@ -16,6 +16,11 @@ VoldemortCluster::VoldemortCluster(ClusterConfig config)
         static_cast<NodeId>(i), env_, *network_,
         clocks_->clock(static_cast<NodeId>(i)), config_.server));
   }
+  // Repair topology: each server can rebuild quarantined keys from the
+  // replicas the clients wrote them to.
+  for (auto& s : servers_) {
+    s->setRepairTopology(ring_.get(), serverIds(), config_.client.replicas);
+  }
   for (size_t i = 0; i < config_.clients; ++i) {
     const auto id = static_cast<NodeId>(config_.servers + i);
     clients_.push_back(std::make_unique<VoldemortClient>(

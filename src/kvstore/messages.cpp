@@ -118,4 +118,46 @@ ProgressReplyBody ProgressReplyBody::readFrom(ByteReader& r) {
   return b;
 }
 
+void RepairRequestBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(requestId);
+  w.writeVarU64(keys.size());
+  for (const Key& k : keys) w.writeBytes(k);
+}
+
+RepairRequestBody RepairRequestBody::readFrom(ByteReader& r) {
+  RepairRequestBody b;
+  b.requestId = r.readVarU64();
+  const uint64_t count = r.readVarU64();
+  b.keys.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) b.keys.push_back(r.readBytes());
+  return b;
+}
+
+void RepairResponseBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(requestId);
+  w.writeVarU64(items.size());
+  for (const Item& it : items) {
+    w.writeBytes(it.key);
+    w.writeU8(it.known ? 1 : 0);
+    if (it.known) w.writeBytes(it.value);
+    it.version.writeTo(w);
+  }
+}
+
+RepairResponseBody RepairResponseBody::readFrom(ByteReader& r) {
+  RepairResponseBody b;
+  b.requestId = r.readVarU64();
+  const uint64_t count = r.readVarU64();
+  b.items.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Item it;
+    it.key = r.readBytes();
+    it.known = r.readU8() != 0;
+    if (it.known) it.value = r.readBytes();
+    it.version = VersionVector::readFrom(r);
+    b.items.push_back(std::move(it));
+  }
+  return b;
+}
+
 }  // namespace retro::kv

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
@@ -26,6 +27,8 @@ enum MsgType : uint32_t {
   kSnapshotAck,
   kProgressRequest,
   kProgressReply,
+  kRepairRequest,
+  kRepairResponse,
 };
 
 // All bodies are serialized *after* the leading HLC timestamp, which the
@@ -97,6 +100,34 @@ struct ProgressReplyBody {
 
   void writeTo(ByteWriter& w) const;
   static ProgressReplyBody readFrom(ByteReader& r);
+};
+
+/// Anti-entropy repair: a server that quarantined corrupt records asks a
+/// ring replica for its copies of the affected keys.
+struct RepairRequestBody {
+  uint64_t requestId = 0;
+  std::vector<Key> keys;
+
+  void writeTo(ByteWriter& w) const;
+  static RepairRequestBody readFrom(ByteReader& r);
+};
+
+struct RepairResponseBody {
+  struct Item {
+    Key key;
+    /// True if the replica holds the key; false is a vote that the key
+    /// does not exist on this replica (distinct from "no answer" — keys
+    /// the replica itself has quarantined are omitted entirely).
+    bool known = false;
+    Value value;
+    VersionVector version;
+  };
+
+  uint64_t requestId = 0;
+  std::vector<Item> items;
+
+  void writeTo(ByteWriter& w) const;
+  static RepairResponseBody readFrom(ByteReader& r);
 };
 
 }  // namespace retro::kv

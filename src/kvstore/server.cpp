@@ -2,7 +2,19 @@
 
 #include <cmath>
 
+#include "common/random.hpp"
+
 namespace retro::kv {
+
+namespace {
+/// Per-node corruption fault stream: one shared scenario seed, distinct
+/// deterministic streams per server.
+sim::StorageFaultConfig nodeFaultConfig(sim::StorageFaultConfig cfg,
+                                        NodeId id) {
+  cfg.seed ^= 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(id) + 1);
+  return cfg;
+}
+}  // namespace
 
 VoldemortServer::VoldemortServer(NodeId id, sim::SimEnv& env,
                                  sim::Network& network,
@@ -11,11 +23,17 @@ VoldemortServer::VoldemortServer(NodeId id, sim::SimEnv& env,
       env_(&env),
       network_(&network),
       config_(std::move(config)),
+      faults_(std::make_unique<sim::StorageFaultModel>(
+          nodeFaultConfig(config_.storageFaults, id))),
       disk_(std::make_unique<sim::SimDisk>(env, config_.disk)),
       executor_(env),
       retroscope_(clock, config_.logConfig),
       bdb_(std::make_unique<store::BdbStore>(env, *disk_, config_.bdb)),
       memory_(config_.memory) {
+  disk_->attachFaults(faults_.get());
+  if (config_.recovery.persistWindowLog) {
+    wal_ = std::make_unique<log::WalJournal>();
+  }
   memory_.setOnOutOfMemory([this] { crash(); });
   network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
   if (config_.archive.enabled) {
@@ -64,6 +82,9 @@ void VoldemortServer::checkpointTick() {
                                 : 64;
       disk_->write(tail * entryBytes, [] {});
       lastCheckpointAppendCount_ = appends;
+      // The journal tail's frames are absorbed into the checkpoint
+      // image; the journal file is truncated.
+      if (wal_) wal_->foldIntoCheckpoint();
     }
   }
   env_->scheduleDaemon(config_.recovery.checkpointPeriodMicros,
@@ -88,6 +109,19 @@ void VoldemortServer::crash() {
   // retries re-request them after recovery (idempotently).
   activeSnapshots_.clear();
   pendingOnBase_.clear();
+  // Crash-point storage physics against the journal's real bytes: any
+  // frame whose fsync lied (and everything after it) never reached the
+  // platter, and the last surviving frame may be torn mid-write.
+  if (wal_) {
+    const size_t lost = wal_->dropUnsyncedFrames();
+    if (lost > 0) {
+      storageCounters_.add("storage.wal_frames_lost_fsync", lost);
+    }
+    if (faults_->tearOnCrash() &&
+        wal_->tearLastFrame(static_cast<size_t>(faults_->pick(1u << 12)))) {
+      storageCounters_.add("storage.wal_frames_torn");
+    }
+  }
   network_->disconnect(id_);
 }
 
@@ -111,15 +145,18 @@ void VoldemortServer::restart(std::function<void()> done) {
     replayCpu = static_cast<TimeMicros>(std::llround(
         static_cast<double>(tail) * config_.recovery.replayMicrosPerEntry));
   }
+  // Recovery cost 3: verifying the CRC32C of every record and journal
+  // frame read back (hardware CRC runs at GB/s — cheap, not free).
+  if (config_.integrity.checksums) {
+    replayCpu += static_cast<TimeMicros>(std::llround(
+        static_cast<double>(segmentBytes + logBytes) *
+        config_.integrity.checksumMicrosPerMB / 1e6));
+  }
   disk_->read(segmentBytes + logBytes, [this, inc, replayCpu,
                                         done = std::move(done)]() mutable {
     env_->schedule(replayCpu, [this, inc, done = std::move(done)] {
       if (alive_ || incarnation_ != inc) return;  // crashed again meanwhile
-      if (!config_.recovery.persistWindowLog) {
-        // Nothing journaled: the window restarts empty and history before
-        // the recovery point becomes unreachable (kOutOfReach on request).
-        retroscope_.getLog(kStoreLog).resetForRecovery(maxHlcAtCrash_);
-      }
+      recoverStorage();
       // Never issue a timestamp below one issued before the crash, even
       // if the physical clock restarted behind.
       retroscope_.clock().restore(maxHlcAtCrash_);
@@ -128,6 +165,7 @@ void VoldemortServer::restart(std::function<void()> done) {
       network_->registerNode(
           id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
       updateMemoryModel();
+      if (!quarantine_.empty()) startScrub();
       if (done) done();
     });
   });
@@ -154,6 +192,13 @@ void VoldemortServer::restoreFromSnapshot(core::SnapshotId id,
       bdb_ = std::make_unique<store::BdbStore>(*env_, *disk_, config_.bdb);
       for (auto& [k, v] : state) bdb_->put(k, v);
       retroscope_.getLog(kStoreLog).truncateThrough(retroscope_.now());
+      // The restored files are fresh, checksummed copies; any quarantine
+      // belongs to the abandoned timeline.
+      quarantine_.clear();
+      absentFrom_.clear();
+      scrubActive_ = false;
+      ++repairGeneration_;
+      if (wal_) wal_->reset(retroscope_.getLog(kStoreLog).nextSeq());
       updateMemoryModel();
       done(Status::ok());
     });
@@ -232,6 +277,30 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
       });
       break;
     }
+    case kRepairRequest: {
+      auto body = RepairRequestBody::readFrom(r);
+      executor_.submit(200, [this, inc, remoteTs, from = msg.from,
+                             msgId = msg.msgId,
+                             body = std::move(body)]() mutable {
+        if (!alive_ || incarnation_ != inc) return;
+        const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, ts);
+        handleRepairRequest(from, std::move(body));
+      });
+      break;
+    }
+    case kRepairResponse: {
+      auto body = RepairResponseBody::readFrom(r);
+      executor_.submit(200, [this, inc, remoteTs, from = msg.from,
+                             msgId = msg.msgId,
+                             body = std::move(body)]() mutable {
+        if (!alive_ || incarnation_ != inc) return;
+        const hlc::Timestamp eventTs = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, eventTs);
+        handleRepairResponse(eventTs, from, std::move(body));
+      });
+      break;
+    }
     default:
       break;  // unknown type: drop
   }
@@ -266,7 +335,14 @@ void VoldemortServer::handlePut(hlc::Timestamp eventTs, NodeId from,
   const OptValue old = bdb_->get(body.key);
   bdb_->put(body.key, body.value);
   if (config_.windowLogEnabled) {
-    retroscope_.appendToLog(kStoreLog, body.key, old, body.value, eventTs);
+    logAppend(body.key, old, body.value, eventTs);
+  }
+  // A fresh client write supersedes a quarantined record: the key's
+  // durable state is trustworthy again without a replica round-trip.
+  if (!quarantine_.empty() && quarantine_.erase(body.key) > 0) {
+    storageCounters_.add("storage.keys_superseded");
+    absentFrom_.erase(body.key);
+    if (quarantine_.empty()) completeScrub();
   }
   updateMemoryModel();
   if (!alive_) return;  // the put that broke the heap's back
@@ -326,6 +402,18 @@ void VoldemortServer::handleSnapshotRequest(NodeId from,
         return;
       }
     }
+  }
+
+  // Quarantined records make any cut through this node untrustworthy:
+  // refuse loudly (kCorrupted) rather than serve a silently wrong
+  // snapshot.  Deliberately not cached in completedAcks_, so an
+  // initiator retry after the scrub repairs the keys can succeed.
+  if (!quarantine_.empty()) {
+    storageCounters_.add("storage.snapshot_refusals");
+    SnapshotAckBody ack;
+    ack.ack = {body.request.id, id_, core::LocalSnapshotStatus::kCorrupted, 0};
+    send(from, kSnapshotAck, [&](ByteWriter& w) { ack.writeTo(w); });
+    return;
   }
 
   ActiveSnapshot active;
@@ -399,7 +487,12 @@ void VoldemortServer::startSnapshot(ActiveSnapshot active) {
 
 void VoldemortServer::chargeCopyCpu(uint64_t bytes, std::function<void()> done) {
   const uint64_t chunk = config_.copyChunkBytes;
-  const double microsPerByte = config_.copyCpuMicrosPerMB / 1e6;
+  // Checksumming the copied pages rides on the same per-byte CPU charge.
+  const double microsPerByte =
+      (config_.copyCpuMicrosPerMB +
+       (config_.integrity.checksums ? config_.integrity.checksumMicrosPerMB
+                                    : 0)) /
+      1e6;
   // Submit one executor task per chunk so foreground requests interleave
   // between chunks instead of stalling behind one giant task.
   auto state = std::make_shared<uint64_t>(bytes);
@@ -623,6 +716,304 @@ void VoldemortServer::finishSnapshot(core::SnapshotId id,
     ack.ack = {id, id_, status, persistedBytes};
     send(initiator, kSnapshotAck, [&](ByteWriter& w) { ack.writeTo(w); });
   }
+}
+
+// ---------------------------------------------------------------------------
+// Storage integrity: WAL-coupled appends, corruption-aware recovery, scrub
+// ---------------------------------------------------------------------------
+
+void VoldemortServer::logAppend(const Key& key, OptValue oldValue,
+                                OptValue newValue, hlc::Timestamp ts) {
+  if (appendObserver_) {
+    appendObserver_(log::Entry{key, oldValue, newValue, ts});
+  }
+  if (wal_) {
+    // A lying fsync acks the frame but leaves it volatile: it survives
+    // until the next crash, then vanishes with everything after it.
+    wal_->append(log::Entry{key, oldValue, newValue, ts},
+                 !faults_->fsyncLies());
+  }
+  retroscope_.appendToLog(kStoreLog, key, std::move(oldValue),
+                          std::move(newValue), ts);
+}
+
+void VoldemortServer::setRepairTopology(const Ring* ring,
+                                        std::vector<NodeId> peers,
+                                        size_t replicas) {
+  ring_ = ring;
+  repairPeers_ = std::move(peers);
+  replicationFactor_ = replicas;
+}
+
+void VoldemortServer::recoverStorage() {
+  // Cold-block rot sat latent until this restart read the bytes back.
+  for (double fraction : faults_->takeRotEpisodes()) applyRotEpisode(fraction);
+
+  log::WindowLog& wlog = retroscope_.getLog(kStoreLog);
+  if (!config_.recovery.persistWindowLog) {
+    // Nothing journaled: the window restarts empty and history before
+    // the recovery point becomes unreachable (kOutOfReach on request).
+    wlog.resetForRecovery(maxHlcAtCrash_);
+  } else if (wal_) {
+    replayWal(wlog);
+  }
+
+  // Scan the store's segment records against their stored CRCs; failing
+  // records are quarantined (dropped from the index — the durable bytes
+  // are unreadable) for the scrub to rebuild from ring replicas.
+  const auto report = bdb_->verifyRecords(config_.integrity.checksums);
+  storageCounters_.add("storage.records_checked", report.recordsChecked);
+  if (!report.quarantined.empty()) {
+    storageCounters_.add("storage.corruptions_detected",
+                         report.quarantined.size());
+    storageCounters_.add("storage.segments_quarantined");
+    storageCounters_.add("storage.keys_quarantined",
+                         report.quarantined.size());
+    for (const Key& k : report.quarantined) {
+      versions_.erase(k);
+      quarantine_.insert(k);
+    }
+  }
+}
+
+void VoldemortServer::applyRotEpisode(double fraction) {
+  // The journal gets one rotted frame (the tail is the coldest data a
+  // crashed node has), or a rotted checkpoint image when there is no
+  // tail to hit.
+  if (wal_) {
+    if (wal_->tailFrames() > 0) {
+      wal_->rotFrame(faults_->pick(1ull << 32), faults_->pick(1ull << 32));
+    } else if (wal_->hasCheckpoint() && faults_->pick(2) == 0) {
+      wal_->corruptCheckpoint();
+    }
+  }
+  // Segment records: an order-independent per-record predicate decides
+  // which rot, so unordered-map iteration order cannot perturb the
+  // outcome for a given seed.
+  const uint64_t salt = faults_->pick(1ull << 62) | 1;
+  for (const auto& [key, value] : bdb_->data()) {
+    if (sim::StorageFaultModel::rots(Ring::hashKey(key), salt, fraction)) {
+      bdb_->corruptRecordValue(key,
+                               SplitMix64(Ring::hashKey(key) ^ salt).next());
+    }
+  }
+}
+
+void VoldemortServer::replayWal(log::WindowLog& wlog) {
+  const log::WalReplayResult r = wal_->replay(config_.integrity.checksums);
+  storageCounters_.add("storage.frames_checked", r.framesChecked);
+  if (r.corruptFrames > 0) {
+    storageCounters_.add("storage.corruptions_detected", r.corruptFrames);
+  }
+
+  const uint64_t expectedNext = wlog.nextSeq();
+  bool reset = false;
+  if (r.orderViolation) {
+    // HLC went backwards across frames that passed their CRCs: the
+    // journal cannot be trusted at all.  Fail recovery loudly — reset
+    // the log so every pre-crash target refuses with kOutOfReach.
+    storageCounters_.add("storage.wal_order_violations");
+    reset = true;
+  } else if (r.tornTail || r.parsedEndSeq < expectedNext) {
+    // Torn or missing tail frames (crashed write / lying fsync): the
+    // newest changes never became durable.
+    storageCounters_.add("storage.wal_tail_truncated");
+    reset = true;
+  }
+
+  // A corrupt frame mid-tail keeps the contiguous good suffix; a corrupt
+  // checkpoint image keeps the whole tail but loses everything below it.
+  uint64_t usableFrom = r.usableFromSeq;
+  if (r.checkpointCorrupt) {
+    storageCounters_.add("storage.checkpoint_corrupt");
+    usableFrom = std::max(usableFrom, r.checkpointEndSeq);
+  }
+
+  if (reset) {
+    wlog.resetForRecovery(maxHlcAtCrash_);
+  } else if (usableFrom > wlog.frontSeq()) {
+    const uint64_t dropped =
+        std::min(usableFrom, wlog.nextSeq()) - wlog.frontSeq();
+    wlog.dropBelowSeq(usableFrom);
+    storageCounters_.add("storage.wal_entries_dropped", dropped);
+  }
+  wal_->reset(wlog.nextSeq());
+}
+
+void VoldemortServer::startScrub() {
+  if (scrubActive_ || quarantine_.empty() || !alive_) return;
+  if (ring_ == nullptr && repairPeers_.empty()) {
+    // No topology to repair from: stay quarantined.  Refusing snapshots
+    // is safe; serving silently wrong ones is not.
+    storageCounters_.add("storage.repair_no_peers");
+    return;
+  }
+  scrubActive_ = true;
+  scrubRound_ = 0;
+  absentFrom_.clear();
+  scrubStep();
+}
+
+void VoldemortServer::scrubStep() {
+  if (!alive_) {
+    scrubActive_ = false;
+    return;
+  }
+  if (quarantine_.empty()) {
+    completeScrub();
+    return;
+  }
+  if (scrubRound_ >= config_.integrity.repairMaxRounds) {
+    // Give the cluster time to heal (a crashed replica restarting) and
+    // retry; quarantined keys keep refusing snapshots meanwhile.  A
+    // daemon so an otherwise-quiesced simulation can still terminate.
+    scrubActive_ = false;
+    storageCounters_.add("storage.repair_rounds_exhausted");
+    const uint64_t inc = incarnation_;
+    env_->scheduleDaemon(config_.integrity.repairRetryMicros, [this, inc] {
+      if (alive_ && incarnation_ == inc) startScrub();
+    });
+    return;
+  }
+  ++scrubRound_;
+  const uint64_t generation = ++repairGeneration_;
+  // Batch by target replica; std::map so batch order is deterministic.
+  std::map<NodeId, std::vector<Key>> batches;
+  for (const Key& k : quarantine_) {
+    const NodeId target = repairTargetFor(k);
+    if (target != id_) batches[target].push_back(k);
+  }
+  if (batches.empty()) {
+    scrubActive_ = false;
+    storageCounters_.add("storage.repair_no_peers");
+    return;
+  }
+  pendingRepairReplies_ = batches.size();
+  for (const auto& [peer, keys] : batches) {
+    storageCounters_.add("storage.repair_requests");
+    RepairRequestBody req;
+    req.requestId = generation;
+    req.keys = keys;
+    send(peer, kRepairRequest, [&](ByteWriter& w) { req.writeTo(w); });
+  }
+  const uint64_t inc = incarnation_;
+  env_->schedule(config_.integrity.repairTimeoutMicros,
+                 [this, inc, generation] {
+                   if (alive_ && incarnation_ == inc && scrubActive_ &&
+                       repairGeneration_ == generation) {
+                     scrubStep();
+                   }
+                 });
+}
+
+void VoldemortServer::completeScrub() {
+  scrubActive_ = false;
+  absentFrom_.clear();
+  ++repairGeneration_;
+  // Repaired values have no trustworthy history below the repair point:
+  // raise the window-log floor so a backward diff through the corrupted
+  // range refuses (kOutOfReach) instead of reconstructing wrong state.
+  log::WindowLog& wlog = retroscope_.getLog(kStoreLog);
+  wlog.truncateThrough(retroscope_.now());
+  if (wal_) wal_->reset(wlog.nextSeq());
+  storageCounters_.add("storage.ranges_repaired");
+  updateMemoryModel();
+}
+
+NodeId VoldemortServer::repairTargetFor(const Key& key) const {
+  std::vector<NodeId> candidates;
+  if (ring_ != nullptr && replicationFactor_ > 0) {
+    for (NodeId n : ring_->preferenceList(key, replicationFactor_)) {
+      if (n != id_) candidates.push_back(n);
+    }
+  }
+  if (candidates.empty()) {
+    for (NodeId n : repairPeers_) {
+      if (n != id_) candidates.push_back(n);
+    }
+  }
+  if (candidates.empty()) return id_;
+  // Rotate through the candidates across rounds so a crashed or
+  // corrupted-too replica doesn't starve the repair.
+  return candidates[(scrubRound_ - 1) % candidates.size()];
+}
+
+size_t VoldemortServer::repairCandidateCount(const Key& key) const {
+  size_t count = 0;
+  if (ring_ != nullptr && replicationFactor_ > 0) {
+    for (NodeId n : ring_->preferenceList(key, replicationFactor_)) {
+      if (n != id_) ++count;
+    }
+  }
+  if (count == 0) {
+    for (NodeId n : repairPeers_) {
+      if (n != id_) ++count;
+    }
+  }
+  return count;
+}
+
+void VoldemortServer::handleRepairRequest(NodeId from,
+                                          RepairRequestBody body) {
+  storageCounters_.add("storage.repair_requests_served");
+  RepairResponseBody resp;
+  resp.requestId = body.requestId;
+  for (const Key& k : body.keys) {
+    // Our own quarantined copy is exactly as untrustworthy as the
+    // requester's: omit the key entirely (no answer, not an absent vote).
+    if (quarantine_.count(k) > 0) continue;
+    RepairResponseBody::Item item;
+    item.key = k;
+    if (OptValue v = bdb_->get(k)) {
+      item.known = true;
+      item.value = std::move(*v);
+      if (auto it = versions_.find(k); it != versions_.end()) {
+        item.version = it->second;
+      }
+    }
+    resp.items.push_back(std::move(item));
+  }
+  send(from, kRepairResponse, [&](ByteWriter& w) { resp.writeTo(w); });
+}
+
+void VoldemortServer::handleRepairResponse(hlc::Timestamp eventTs, NodeId from,
+                                           RepairResponseBody body) {
+  if (!scrubActive_ || body.requestId != repairGeneration_) return;
+  for (auto& item : body.items) {
+    if (quarantine_.count(item.key) == 0) continue;
+    if (item.known) {
+      // Rebuild the record from the replica's copy; the repair is a
+      // logged state change so later diffs see it.
+      const OptValue old = bdb_->get(item.key);
+      bdb_->put(item.key, item.value);
+      versions_[item.key] = item.version;
+      if (config_.windowLogEnabled) {
+        logAppend(item.key, old, item.value, eventTs);
+      }
+      quarantine_.erase(item.key);
+      absentFrom_.erase(item.key);
+      storageCounters_.add("storage.keys_repaired");
+    } else {
+      // One replica's "does not exist" is not proof — another candidate
+      // may hold the key.  Tombstone only when every candidate voted.
+      auto& votes = absentFrom_[item.key];
+      votes.insert(from);
+      if (votes.size() >= repairCandidateCount(item.key)) {
+        if (config_.windowLogEnabled) {
+          logAppend(item.key, std::nullopt, std::nullopt, eventTs);
+        }
+        quarantine_.erase(item.key);
+        absentFrom_.erase(item.key);
+        storageCounters_.add("storage.keys_unrecoverable");
+      }
+    }
+  }
+  if (quarantine_.empty()) {
+    completeScrub();
+  } else if (pendingRepairReplies_ > 0 && --pendingRepairReplies_ == 0) {
+    scrubStep();
+  }
+  updateMemoryModel();
 }
 
 void VoldemortServer::handleProgressRequest(NodeId from,

@@ -15,17 +15,22 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 
+#include "common/metrics.hpp"
 #include "core/retroscope.hpp"
 #include "core/snapshot.hpp"
 #include "core/snapshot_store.hpp"
 #include "log/archive.hpp"
+#include "log/wal.hpp"
 #include "kvstore/messages.hpp"
+#include "kvstore/ring.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/disk.hpp"
 #include "sim/executor.hpp"
 #include "sim/memory_model.hpp"
 #include "sim/network.hpp"
+#include "sim/storage_faults.hpp"
 #include "sim/trace.hpp"
 #include "storage/bdb_store.hpp"
 
@@ -113,6 +118,31 @@ struct ServerConfig {
     double replayMicrosPerEntry = 1.5;
   };
   RecoveryOptions recovery;
+
+  // --- storage integrity (checksummed durable formats + repair) ---
+  struct IntegrityOptions {
+    /// CRC32C-frame every durable record (WAL journal frames, BDB
+    /// segment records, checkpoint images) and verify them during
+    /// recovery.  Off, injected corruption goes undetected and replays
+    /// into recovered state — the fuzz harness's negative control for
+    /// the "detected or correct, never silently wrong" oracle.
+    bool checksums = true;
+    /// Simulated CPU per MB for computing/verifying checksums (charged
+    /// on the snapshot copy path and the recovery scan; hardware CRC32C
+    /// runs at several GB/s).
+    double checksumMicrosPerMB = 150;
+    /// Scrub/anti-entropy: how many request rounds to attempt before
+    /// pausing (quarantined keys keep refusing snapshots — the safe
+    /// state — and the scrub retries after repairRetryMicros).
+    size_t repairMaxRounds = 6;
+    TimeMicros repairTimeoutMicros = 300'000;
+    TimeMicros repairRetryMicros = 2 * kMicrosPerSecond;
+  };
+  IntegrityOptions integrity;
+
+  /// Corruption fault model (all probabilities default to zero).  The
+  /// per-server model derives its stream from this seed and the node id.
+  sim::StorageFaultConfig storageFaults;
 };
 
 class VoldemortServer {
@@ -166,6 +196,35 @@ class VoldemortServer {
   /// Attach a causality trace (fuzz harness); null disables recording.
   void setTrace(sim::CausalityTrace* trace) { trace_ = trace; }
 
+  /// Observer invoked for every window-log append on this node,
+  /// including repair/tombstone appends (the fuzz harness's shadow
+  /// history: a god-view record that stays sound across log resets).
+  void setAppendObserver(std::function<void(const log::Entry&)> observer) {
+    appendObserver_ = std::move(observer);
+  }
+
+  /// Repair topology: the ring (for per-key preference lists) and the
+  /// peer servers a scrub may ask to rebuild quarantined keys.
+  /// `replicas` is the replication factor keys were written with.
+  void setRepairTopology(const Ring* ring, std::vector<NodeId> peers,
+                         size_t replicas);
+
+  /// This node's corruption fault model (fuzz fault injector arms it).
+  sim::StorageFaultModel& storageFaults() { return *faults_; }
+  const sim::StorageFaultModel& storageFaults() const { return *faults_; }
+
+  /// storage.* integrity counters: frames checked, corruptions
+  /// detected, segments quarantined, keys/ranges repaired, ...
+  const Counters& storageCounters() const { return storageCounters_; }
+
+  /// Keys quarantined by the recovery scrub and not yet repaired; while
+  /// non-empty the node refuses snapshot requests with kCorrupted.
+  size_t quarantinedKeyCount() const { return quarantine_.size(); }
+
+  /// The durable journal behind the window-log (tests / fault hooks);
+  /// null unless recovery.persistWindowLog.
+  log::WalJournal* wal() { return wal_.get(); }
+
   uint64_t putsProcessed() const { return putsProcessed_; }
   uint64_t getsProcessed() const { return getsProcessed_; }
   uint64_t conflictsDetected() const { return conflictsDetected_; }
@@ -200,6 +259,24 @@ class VoldemortServer {
   void handleGet(NodeId from, GetRequestBody body);
   void handleSnapshotRequest(NodeId from, SnapshotRequestBody body);
   void handleProgressRequest(NodeId from, ProgressRequestBody body);
+  void handleRepairRequest(NodeId from, RepairRequestBody body);
+  void handleRepairResponse(hlc::Timestamp eventTs, NodeId from,
+                            RepairResponseBody body);
+
+  /// Append one change to the window-log, the WAL journal and the
+  /// shadow-history observer together (the state==log invariant).
+  void logAppend(const Key& key, OptValue oldValue, OptValue newValue,
+                 hlc::Timestamp ts);
+
+  // --- corruption-aware recovery + scrub (storage integrity) ---
+  void recoverStorage();
+  void applyRotEpisode(double fraction);
+  void replayWal(log::WindowLog& wlog);
+  void startScrub();
+  void scrubStep();
+  void completeScrub();
+  NodeId repairTargetFor(const Key& key) const;
+  size_t repairCandidateCount(const Key& key) const;
 
   void startSnapshot(ActiveSnapshot active);
   void snapshotDataCopyDone(core::SnapshotId id, uint64_t bytesCopied);
@@ -221,14 +298,33 @@ class VoldemortServer {
   ServerConfig config_;
   sim::CausalityTrace* trace_ = nullptr;
 
+  std::unique_ptr<sim::StorageFaultModel> faults_;
   std::unique_ptr<sim::SimDisk> disk_;
   sim::Executor executor_;
   core::Retroscope retroscope_;
   std::unique_ptr<store::BdbStore> bdb_;
   std::unordered_map<Key, VersionVector> versions_;
   std::unique_ptr<log::LogArchive> archive_;
+  std::unique_ptr<log::WalJournal> wal_;
   core::SnapshotStore snapshotStore_;
   sim::MemoryModel memory_;
+  std::function<void(const log::Entry&)> appendObserver_;
+
+  // --- quarantine / scrub state ---
+  /// Keys whose durable records failed their CRC and were dropped from
+  /// the index; ordered so repair batches are deterministic.
+  std::set<Key> quarantine_;
+  /// Replicas that answered "key does not exist" (per key); when every
+  /// candidate voted absent the key is tombstoned as unrecoverable.
+  std::map<Key, std::set<NodeId>> absentFrom_;
+  const Ring* ring_ = nullptr;
+  std::vector<NodeId> repairPeers_;
+  size_t replicationFactor_ = 0;
+  bool scrubActive_ = false;
+  size_t scrubRound_ = 0;
+  uint64_t repairGeneration_ = 0;
+  size_t pendingRepairReplies_ = 0;
+  Counters storageCounters_;
 
   std::map<core::SnapshotId, ActiveSnapshot> activeSnapshots_;
   /// Converted concurrent snapshots waiting for their base to complete.

@@ -1,0 +1,153 @@
+#include "log/wal.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "common/checksum.hpp"
+
+namespace retro::log {
+
+namespace {
+
+std::string encodeEntry(const Entry& e) {
+  ByteWriter w;
+  e.ts.writeTo(w);
+  w.writeBytes(e.key);
+  w.writeU8(e.oldValue ? 1 : 0);
+  if (e.oldValue) w.writeBytes(*e.oldValue);
+  w.writeU8(e.newValue ? 1 : 0);
+  if (e.newValue) w.writeBytes(*e.newValue);
+  return w.take();
+}
+
+}  // namespace
+
+void WalJournal::append(const Entry& entry, bool durableAck) {
+  FrameRef ref;
+  ref.offset = buf_.size();
+  ref.length = appendFrame(buf_, encodeEntry(entry));
+  ref.durable = durableAck;
+  frames_.push_back(ref);
+  ++nextSeq_;
+}
+
+void WalJournal::foldIntoCheckpoint() {
+  checkpointEndSeq_ = nextSeq_;
+  hasCheckpoint_ = true;
+  buf_.clear();
+  frames_.clear();
+}
+
+void WalJournal::reset(uint64_t nextSeq) {
+  checkpointEndSeq_ = nextSeq;
+  nextSeq_ = nextSeq;
+  hasCheckpoint_ = true;
+  checkpointIntact_ = true;
+  buf_.clear();
+  frames_.clear();
+}
+
+void WalJournal::dropFramesFrom(size_t frameIndex) {
+  if (frameIndex >= frames_.size()) return;
+  buf_.resize(frames_[frameIndex].offset);
+  frames_.resize(frameIndex);
+}
+
+size_t WalJournal::dropUnsyncedFrames() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].durable) {
+      const size_t dropped = frames_.size() - i;
+      dropFramesFrom(i);
+      return dropped;
+    }
+  }
+  return 0;
+}
+
+bool WalJournal::tearLastFrame(size_t keepBytes) {
+  if (frames_.empty()) return false;
+  const FrameRef last = frames_.back();
+  keepBytes = std::min(keepBytes, last.length - 1);
+  buf_.resize(last.offset + keepBytes);
+  frames_.pop_back();
+  return true;
+}
+
+bool WalJournal::rotFrame(uint64_t frameDraw, uint64_t bitDraw) {
+  if (frames_.empty()) return false;
+  const FrameRef& f = frames_[frameDraw % frames_.size()];
+  const size_t payloadBytes = f.length - kFrameHeaderBytes;
+  if (payloadBytes == 0) return false;
+  const size_t bit = static_cast<size_t>(bitDraw % (payloadBytes * 8));
+  buf_[f.offset + kFrameHeaderBytes + bit / 8] ^=
+      static_cast<char>(1u << (bit % 8));
+  return true;
+}
+
+void WalJournal::swapFramesForTest(size_t i, size_t j) {
+  if (i >= frames_.size() || j >= frames_.size() || i == j) return;
+  auto payloadOf = [&](const FrameRef& f) {
+    return buf_.substr(f.offset + kFrameHeaderBytes,
+                       f.length - kFrameHeaderBytes);
+  };
+  std::vector<std::string> payloads;
+  payloads.reserve(frames_.size());
+  for (const FrameRef& f : frames_) payloads.push_back(payloadOf(f));
+  std::swap(payloads[i], payloads[j]);
+  std::string rebuilt;
+  std::vector<FrameRef> refs;
+  refs.reserve(frames_.size());
+  for (size_t k = 0; k < payloads.size(); ++k) {
+    FrameRef ref;
+    ref.offset = rebuilt.size();
+    ref.length = appendFrame(rebuilt, payloads[k]);
+    ref.durable = frames_[k].durable;
+    refs.push_back(ref);
+  }
+  buf_ = std::move(rebuilt);
+  frames_ = std::move(refs);
+}
+
+WalReplayResult WalJournal::replay(bool verifyChecksums) const {
+  WalReplayResult r;
+  r.checkpointEndSeq = checkpointEndSeq_;
+  r.bytesScanned = buf_.size();
+  if (verifyChecksums && hasCheckpoint_ && !checkpointIntact_) {
+    r.checkpointCorrupt = true;
+    r.usableFromSeq = checkpointEndSeq_;
+  }
+  uint64_t seq = checkpointEndSeq_;
+  size_t offset = 0;
+  hlc::Timestamp prevGood{};
+  bool havePrevGood = false;
+  while (offset < buf_.size()) {
+    const FrameView f = readFrame(buf_, offset);
+    if (f.status == FrameStatus::kTruncated ||
+        f.status == FrameStatus::kBadLength) {
+      // Torn write (or a rotted length header): the scan cannot
+      // continue past this point — visible even without checksums.
+      r.tornTail = true;
+      break;
+    }
+    if (verifyChecksums) {
+      ++r.framesChecked;
+      if (f.status == FrameStatus::kBadChecksum) {
+        ++r.corruptFrames;
+        r.usableFromSeq = seq + 1;
+      }
+    }
+    if (f.ok()) {
+      ByteReader reader(f.payload);
+      const hlc::Timestamp ts = hlc::Timestamp::readFrom(reader);
+      if (havePrevGood && ts < prevGood) r.orderViolation = true;
+      prevGood = ts;
+      havePrevGood = true;
+    }
+    offset += f.frameBytes;
+    ++seq;
+  }
+  r.parsedEndSeq = seq;
+  return r;
+}
+
+}  // namespace retro::log

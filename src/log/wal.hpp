@@ -1,0 +1,116 @@
+// The durable journal behind a persisted window-log (PR 2's recovery
+// fiction, now with real bytes where it matters): every append since the
+// last checkpoint is encoded as a CRC32C frame ([len][crc][payload])
+// into an in-memory byte tail that stands in for the on-disk journal
+// file.  Older history lives in a checkpoint image, modeled as a
+// (endSeq, intact) pair — its contents are the entries the window-log
+// already holds, so only the boundary and integrity bit need tracking.
+//
+// Corruption faults mutate the *actual tail bytes* (tear the last frame,
+// flip a payload bit, drop unsynced frames), and replay() verifies the
+// actual CRCs — detection exercises the same framing code every durable
+// format shares, not a simulated boolean.
+//
+// Replay policy is decided by the caller (the kv server):
+//   * torn / missing tail frames  -> the newest changes are unrecoverable;
+//     the log resets and the floor rises to the crash point;
+//   * a corrupt frame mid-tail    -> the contiguous good suffix survives;
+//     everything at or below the bad frame is dropped and the floor
+//     rises to the last dropped change;
+//   * corrupt checkpoint image    -> the tail survives, checkpointed
+//     history is unreachable;
+//   * HLC order violation across good frames -> the journal cannot be
+//     trusted at all; recovery fails loudly (reset + metric).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "log/log_entry.hpp"
+
+namespace retro::log {
+
+struct WalReplayResult {
+  uint64_t framesChecked = 0;  ///< frames whose CRC32C was verified
+  uint64_t corruptFrames = 0;  ///< CRC mismatches among parsed frames
+  bool tornTail = false;       ///< stream ends inside a frame (torn write)
+  bool checkpointCorrupt = false;  ///< checkpoint image failed its CRC
+  bool orderViolation = false;  ///< HLC went backwards across good frames
+  /// Sequence numbers below this are folded into the checkpoint image.
+  uint64_t checkpointEndSeq = 0;
+  /// checkpointEndSeq + fully parsed tail frames; compare against the
+  /// expected next sequence to detect a missing tail (lying fsync).
+  uint64_t parsedEndSeq = 0;
+  /// First sequence of the trustworthy contiguous suffix: 0 when the
+  /// whole journal is intact, otherwise (last bad seq + 1).
+  uint64_t usableFromSeq = 0;
+  uint64_t bytesScanned = 0;
+};
+
+class WalJournal {
+ public:
+  explicit WalJournal(uint64_t firstSeq = 0)
+      : checkpointEndSeq_(firstSeq), nextSeq_(firstSeq) {}
+
+  /// Frame one append.  `durableAck` false models a lying fsync: the
+  /// frame (and everything after it) vanishes at the next crash.
+  void append(const Entry& entry, bool durableAck);
+
+  /// Checkpoint fold: the tail is absorbed into the checkpoint image and
+  /// its bytes are released (the journal file is truncated).
+  void foldIntoCheckpoint();
+
+  /// Rebuild the journal from scratch (restart / restore-from-snapshot):
+  /// a fresh, intact checkpoint at `nextSeq` and an empty tail.
+  void reset(uint64_t nextSeq);
+
+  // --- crash-point fault application (decisions made by the caller) ---
+  /// Drop the first never-synced frame and everything after it.
+  size_t dropUnsyncedFrames();
+  /// Torn write: only `keepBytes` of the last frame's encoding survive.
+  /// Returns false if there is no tail frame to tear.
+  bool tearLastFrame(size_t keepBytes);
+  /// Bit rot: flip payload bit `bitDraw` of tail frame `frameDraw`
+  /// (both reduced modulo the valid range).  False if the tail is empty.
+  bool rotFrame(uint64_t frameDraw, uint64_t bitDraw);
+  /// Bit rot in the checkpoint image.
+  void corruptCheckpoint() { checkpointIntact_ = false; }
+
+  /// Scan and verify the journal.  With `verifyChecksums` false the CRCs
+  /// are not consulted (negative-control mode): rot goes undetected,
+  /// though physical truncation (torn/missing frames) is still visible
+  /// from the framing alone, as in any length-prefixed log.
+  WalReplayResult replay(bool verifyChecksums) const;
+
+  uint64_t nextSeq() const { return nextSeq_; }
+  uint64_t checkpointEndSeq() const { return checkpointEndSeq_; }
+  size_t tailFrames() const { return frames_.size(); }
+  size_t tailBytes() const { return buf_.size(); }
+  bool hasCheckpoint() const { return hasCheckpoint_; }
+  bool checkpointIntact() const { return checkpointIntact_; }
+
+  // --- test hooks ---
+  /// Swap two tail frames in place (re-framed, CRCs stay valid): builds
+  /// an out-of-order journal that only the HLC monotonicity assertion
+  /// can catch.
+  void swapFramesForTest(size_t i, size_t j);
+
+ private:
+  struct FrameRef {
+    size_t offset = 0;
+    size_t length = 0;  ///< full frame size (header + payload)
+    bool durable = true;
+  };
+
+  void dropFramesFrom(size_t frameIndex);
+
+  std::string buf_;
+  std::vector<FrameRef> frames_;
+  uint64_t checkpointEndSeq_ = 0;
+  uint64_t nextSeq_ = 0;
+  bool hasCheckpoint_ = false;
+  bool checkpointIntact_ = true;
+};
+
+}  // namespace retro::log

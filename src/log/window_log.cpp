@@ -92,6 +92,10 @@ void WindowLog::truncateThrough(hlc::Timestamp t) {
   floor_ = std::max(floor_, t);
 }
 
+void WindowLog::dropBelowSeq(uint64_t seq) {
+  while (!entries_.empty() && baseSeq_ < seq) trimFront();
+}
+
 void WindowLog::resetForRecovery(hlc::Timestamp floor) {
   trimmed_ += entries_.size();
   baseSeq_ += entries_.size();

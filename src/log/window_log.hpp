@@ -147,6 +147,17 @@ class WindowLog {
   /// initiator.
   void resetForRecovery(hlc::Timestamp floor);
 
+  /// Sequence number the next append will receive; entries currently
+  /// held span [frontSeq(), nextSeq()).
+  uint64_t nextSeq() const { return baseSeq_ + entries_.size(); }
+  uint64_t frontSeq() const { return baseSeq_; }
+
+  /// Corruption-aware recovery: entries below `seq` are no longer backed
+  /// by readable durable frames (a rotted WAL frame or checkpoint), so
+  /// drop them; the floor rises to the last dropped change exactly as
+  /// with bound-trimming.  No-op when `seq` <= frontSeq().
+  void dropBelowSeq(uint64_t seq);
+
   const WindowLogConfig& config() const { return config_; }
   void setConfig(WindowLogConfig config);
 

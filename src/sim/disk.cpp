@@ -18,6 +18,13 @@ void SimDisk::submit(uint64_t bytes, double mbps, std::function<void()> done) {
 }
 
 void SimDisk::read(uint64_t bytes, std::function<void()> done) {
+  if (faults_ != nullptr && faults_->transientReadError()) {
+    // The first attempt fails partway through: charge a wasted pass,
+    // then the retry carries the completion.
+    ++readRetries_;
+    bytesRead_ += bytes;
+    submit(bytes, config_.readMBps, [] {});
+  }
   bytesRead_ += bytes;
   submit(bytes, config_.readMBps, std::move(done));
 }

@@ -9,6 +9,7 @@
 
 #include "common/types.hpp"
 #include "sim/sim_env.hpp"
+#include "sim/storage_faults.hpp"
 
 namespace retro::sim {
 
@@ -36,11 +37,21 @@ class SimDisk {
 
   const DiskConfig& config() const { return config_; }
 
+  /// Attach a corruption fault model (not owned).  With a model
+  /// attached, each read may fail transiently: the disk re-reads the
+  /// same bytes (an extra seek + transfer) before completing, which is
+  /// how flaky-media latency reaches recovery timings.
+  void attachFaults(StorageFaultModel* faults) { faults_ = faults; }
+
+  uint64_t readRetries() const { return readRetries_; }
+
  private:
   void submit(uint64_t bytes, double mbps, std::function<void()> done);
 
   SimEnv* env_;
   DiskConfig config_;
+  StorageFaultModel* faults_ = nullptr;
+  uint64_t readRetries_ = 0;
   TimeMicros busyUntil_ = 0;
   uint64_t bytesRead_ = 0;
   uint64_t bytesWritten_ = 0;

@@ -1,6 +1,14 @@
 #include "storage/bdb_store.hpp"
 
+#include "common/checksum.hpp"
+
 namespace retro::store {
+
+namespace {
+uint32_t recordChecksum(const Key& key, const Value& value) {
+  return crc32c(value, crc32c(key));
+}
+}  // namespace
 
 BdbStore::BdbStore(sim::SimEnv& env, sim::SimDisk& disk, BdbConfig config)
     : env_(&env), disk_(&disk), config_(config) {
@@ -22,6 +30,7 @@ void BdbStore::put(const Key& key, Value value) {
     it = index_.emplace(key, std::move(value)).first;
   }
   liveBytes_ += key.size() + it->second.size();
+  recordCrcs_[key] = recordChecksum(key, it->second);
   appendRecord(recordBytes(key, &it->second), key);
 }
 
@@ -36,7 +45,46 @@ void BdbStore::remove(const Key& key) {
   if (it == index_.end()) return;
   liveBytes_ -= key.size() + it->second.size();
   index_.erase(it);
+  recordCrcs_.erase(key);
   appendRecord(recordBytes(key, nullptr), key);  // tombstone record
+}
+
+uint32_t BdbStore::recordCrc(const Key& key) const {
+  auto it = recordCrcs_.find(key);
+  return it == recordCrcs_.end() ? 0 : it->second;
+}
+
+bool BdbStore::corruptRecordValue(const Key& key, uint64_t bitDraw) {
+  auto it = index_.find(key);
+  if (it == index_.end() || it->second.empty()) return false;
+  const size_t bit = static_cast<size_t>(bitDraw % (it->second.size() * 8));
+  it->second[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  return true;
+}
+
+BdbStore::VerifyReport BdbStore::verifyRecords(bool checksumsEnabled) {
+  VerifyReport report;
+  if (!checksumsEnabled) return report;
+  for (const auto& [key, value] : index_) {
+    ++report.recordsChecked;
+    if (recordCrc(key) != recordChecksum(key, value)) {
+      report.quarantined.push_back(key);
+    }
+  }
+  for (const Key& key : report.quarantined) {
+    auto it = index_.find(key);
+    liveBytes_ -= key.size() + it->second.size();
+    index_.erase(it);
+    recordCrcs_.erase(key);
+    // The unreadable record's bytes stay in its segment as garbage for
+    // the cleaner, like any shadowed record.
+    auto prev = lastRecordBytes_.find(key);
+    if (prev != lastRecordBytes_.end()) {
+      segments_.front().deadBytes += prev->second;
+      lastRecordBytes_.erase(prev);
+    }
+  }
+  return report;
 }
 
 void BdbStore::appendRecord(uint64_t bytes, const Key& key) {

@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 #include "sim/disk.hpp"
@@ -64,6 +65,29 @@ class BdbStore {
   /// to finish first (it keeps the data files open).
   void hotBackup(std::function<void(uint64_t bytesCopied)> done);
 
+  // --- record integrity (CRC32C per segment record) ---
+  /// The checksum stored with `key`'s latest record; 0 if absent.
+  uint32_t recordCrc(const Key& key) const;
+
+  /// Storage-fault injection: flip one bit of `key`'s stored value (a
+  /// cold segment block rotted).  The stored CRC, written when the
+  /// record was intact, now disagrees with the bytes — exactly what the
+  /// recovery scrub must catch.  Returns false if the key is absent or
+  /// its value is empty.
+  bool corruptRecordValue(const Key& key, uint64_t bitDraw);
+
+  struct VerifyReport {
+    uint64_t recordsChecked = 0;
+    std::vector<Key> quarantined;
+  };
+  /// Recovery scrub: recompute every live record's CRC32C against the
+  /// stored one.  Mismatching records are quarantined — dropped from the
+  /// index (the durable record is unreadable) and returned so the server
+  /// can repair them from ring replicas.  With `checksumsEnabled` false
+  /// the scan is skipped entirely and corruption stays in place
+  /// undetected (the fuzz harness's negative control).
+  VerifyReport verifyRecords(bool checksumsEnabled);
+
   // --- cleaner ---
   bool cleanerRunning() const { return cleanerRunning_; }
   uint64_t cleanerRuns() const { return cleanerRuns_; }
@@ -92,6 +116,10 @@ class BdbStore {
   BdbConfig config_;
 
   std::unordered_map<Key, Value> index_;
+  /// CRC32C(key + value) of each live record, written on the put path —
+  /// the per-record checksum of the segment format (the
+  /// recordOverheadBytes already account for its on-disk size).
+  std::unordered_map<Key, uint32_t> recordCrcs_;
   uint64_t liveBytes_ = 0;
   /// Maps key -> bytes of its latest on-disk record, to account dead
   /// bytes when overwritten.

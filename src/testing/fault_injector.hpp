@@ -10,17 +10,20 @@
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
 #include "sim/sim_env.hpp"
+#include "sim/storage_faults.hpp"
 #include "testing/scenario.hpp"
 
 namespace retro::testing {
 
 /// Substrate callbacks the injector drives.  `crash`/`restart` may be
 /// left empty when the substrate has no crash–recovery support (grid);
-/// kCrashRestart events are then ignored.
+/// kCrashRestart events are then ignored.  `storageFaultsOf` (null ok)
+/// exposes a node's corruption fault model for kTornWrite/kBitRot.
 struct FaultHooks {
   std::function<sim::SkewedClock&(NodeId)> clockOf;
   std::function<void(NodeId)> crash;
   std::function<void(NodeId)> restart;
+  std::function<sim::StorageFaultModel*(NodeId)> storageFaultsOf;
 };
 
 inline void scheduleFaults(sim::SimEnv& env, sim::Network& net,
@@ -71,6 +74,27 @@ inline void scheduleFaults(sim::SimEnv& env, sim::Network& net,
         // ~25% of crash faults).
         env.scheduleAt(endAt,
                        [restart = hooks.restart, n = f.node] { restart(n); });
+        break;
+      case FaultKind::kTornWrite:
+        // Window of elevated torn-write/lying-fsync probability; only a
+        // crash inside (or shortly after) the window makes it bite.
+        if (!hooks.storageFaultsOf) break;
+        env.scheduleAt(f.startMicros, [sf = hooks.storageFaultsOf, n = f.node,
+                                       p = f.magnitude] {
+          if (auto* m = sf(n)) m->armTornWrites(p, p * 0.5);
+        });
+        env.scheduleAt(endAt, [sf = hooks.storageFaultsOf, n = f.node] {
+          if (auto* m = sf(n)) m->disarmTornWrites();
+        });
+        break;
+      case FaultKind::kBitRot:
+        // Queue a cold-block rot episode; the node's next restart
+        // discovers it during the recovery scrub.
+        if (!hooks.storageFaultsOf) break;
+        env.scheduleAt(f.startMicros, [sf = hooks.storageFaultsOf, n = f.node,
+                                       frac = f.magnitude] {
+          if (auto* m = sf(n)) m->injectBitRot(frac);
+        });
         break;
     }
   }

@@ -29,11 +29,28 @@ struct FuzzResult {
   uint64_t replicaFallbacks = 0;    ///< participants resolved via a replica
   uint64_t crashesInjected = 0;     ///< kCrashRestart faults in the schedule
   uint64_t serverRecoveries = 0;    ///< successful crash->restart recoveries
+  // --- storage-integrity accounting (corruption scenarios) ---
+  uint64_t corruptionsDetected = 0;  ///< CRC mismatches caught in recovery
+  uint64_t keysQuarantined = 0;      ///< records dropped pending repair
+  uint64_t keysRepaired = 0;         ///< rebuilt from a ring replica
+  uint64_t keysUnrecoverable = 0;    ///< tombstoned (no replica had them)
+  uint64_t walTailTruncations = 0;   ///< journal tails lost to torn/lying io
+  uint64_t snapshotRefusals = 0;     ///< kCorrupted acks while quarantined
+  uint64_t tornWritesInjected = 0;   ///< fault-model decisions that fired
+  uint64_t rotEpisodesInjected = 0;
+  uint64_t readRetries = 0;          ///< transient read errors retried
 
   bool passed() const { return report.ok(); }
   /// Multi-line diagnosis: scenario description, failures, replay command.
   std::string failureSummary() const;
 };
+
+/// Persist a failing run's repro recipe (and optionally the ddmin-shrunk
+/// scenario) as fuzz-repro-seed<N>.txt under $RETRO_FUZZ_ARTIFACT_DIR
+/// (default: the working directory), for CI artifact upload.  Returns
+/// the path written, or "" on I/O failure.
+std::string writeFailureArtifact(const FuzzResult& failure,
+                                 const Scenario* shrunk = nullptr);
 
 /// Run one scenario end to end on its substrate.
 FuzzResult runScenario(const Scenario& s);

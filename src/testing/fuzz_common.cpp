@@ -19,8 +19,38 @@ std::string FuzzResult::failureSummary() const {
         << " snapshot retries, " << replicaFallbacks << " replica fallbacks, "
         << snapshotsPartial << " partial\n";
   }
+  if (corruptionsDetected > 0 || keysQuarantined > 0 ||
+      walTailTruncations > 0 || tornWritesInjected > 0 ||
+      rotEpisodesInjected > 0) {
+    out << "storage integrity: " << corruptionsDetected << " detected, "
+        << keysQuarantined << " quarantined, " << keysRepaired
+        << " repaired, " << keysUnrecoverable << " unrecoverable, "
+        << walTailTruncations << " wal truncations, " << snapshotRefusals
+        << " refusals (" << tornWritesInjected << " torn writes, "
+        << rotEpisodesInjected << " rot episodes, " << readRetries
+        << " read retries injected)\n";
+  }
   out << "replay: " << replayCommand(scenario);
   return out.str();
+}
+
+std::string writeFailureArtifact(const FuzzResult& failure,
+                                 const Scenario* shrunk) {
+  const char* dir = std::getenv("RETRO_FUZZ_ARTIFACT_DIR");
+  std::ostringstream path;
+  if (dir != nullptr && *dir != '\0') path << dir << "/";
+  path << "fuzz-repro-seed" << failure.scenario.seed << ".txt";
+
+  std::FILE* f = std::fopen(path.str().c_str(), "w");
+  if (f == nullptr) return "";
+  std::fprintf(f, "%s\n", failure.failureSummary().c_str());
+  if (shrunk != nullptr) {
+    std::fprintf(f, "\nshrunk scenario: %s\nshrunk replay: %s\n",
+                 describeScenario(*shrunk).c_str(),
+                 replayCommand(*shrunk).c_str());
+  }
+  std::fclose(f);
+  return path.str();
 }
 
 FuzzResult runScenario(const Scenario& s) {

@@ -31,22 +31,24 @@ std::vector<workload::ClientHandle> kvHandles(kv::VoldemortCluster& cluster) {
   return handles;
 }
 
-/// Straight-line re-execution oracle: initial state plus every
-/// window-log entry with ts <= target, applied oldest-first.
+/// Straight-line re-execution oracle over the *shadow history*: a
+/// god-view record of every append on the server (including repair and
+/// tombstone appends), captured via setAppendObserver.  Unlike the live
+/// window-log, the shadow survives the recovery-time log resets and
+/// truncations that corruption handling performs, so the oracle stays
+/// sound for any snapshot the server agreed to serve.
 std::unordered_map<Key, Value> kvOracleAt(
-    kv::VoldemortServer& server,
+    const std::vector<log::Entry>& shadow,
     const std::unordered_map<Key, Value>& initial, hlc::Timestamp target) {
   auto state = initial;
-  server.retroscope()
-      .getLog(kv::VoldemortServer::kStoreLog)
-      .forEach([&](const log::Entry& e) {
-        if (e.ts > target) return;
-        if (e.newValue) {
-          state[e.key] = *e.newValue;
-        } else {
-          state.erase(e.key);
-        }
-      });
+  for (const log::Entry& e : shadow) {
+    if (e.ts > target) continue;
+    if (e.newValue) {
+      state[e.key] = *e.newValue;
+    } else {
+      state.erase(e.key);
+    }
+  }
   return state;
 }
 
@@ -99,10 +101,28 @@ FuzzResult runKvScenario(const Scenario& s) {
   // Crash recovery replays a journaled window-log, so a restarted server
   // still satisfies the forward-replay oracle over its full history.
   cfg.server.recovery.persistWindowLog = true;
+  // Storage integrity: the negative control disables checksums so
+  // injected corruption replays into recovered state silently wrong —
+  // which the oracle below must catch.
+  cfg.server.integrity.checksums = !s.injectSilentCorruption;
+  cfg.server.storageFaults.seed = s.seed;
+  if (s.storageFaults) {
+    // Background nuisance: recovery reads occasionally fail transiently
+    // (retried at the cost of an extra disk pass).
+    cfg.server.storageFaults.readErrorProbability = 0.02;
+  }
 
   kv::VoldemortCluster cluster(cfg);
   auto& trace = cluster.enableCausalityTrace();
   cluster.setEpsilonDetection(cleanEpsilonMillis(s.maxSkewMicros));
+
+  // Shadow histories, one per server (preload happens before any append,
+  // so attaching now captures every logged change).
+  std::vector<std::vector<log::Entry>> shadows(cluster.serverCount());
+  for (size_t i = 0; i < cluster.serverCount(); ++i) {
+    cluster.server(i).setAppendObserver(
+        [&shadows, i](const log::Entry& e) { shadows[i].push_back(e); });
+  }
 
   const uint64_t preloadItems = std::min<uint64_t>(s.keySpace, 1'500);
   cluster.preload(preloadItems, s.valueBytes);
@@ -130,6 +150,10 @@ FuzzResult runKvScenario(const Scenario& s) {
   };
   hooks.restart = [&cluster](NodeId n) {
     if (n < cluster.serverCount()) cluster.server(n).restart();
+  };
+  hooks.storageFaultsOf = [&cluster](NodeId n) -> sim::StorageFaultModel* {
+    return n < cluster.serverCount() ? &cluster.server(n).storageFaults()
+                                     : nullptr;
   };
   scheduleFaults(cluster.env(), cluster.network(), hooks, s);
 
@@ -199,6 +223,21 @@ FuzzResult runKvScenario(const Scenario& s) {
   for (size_t i = 0; i < cluster.serverCount(); ++i) {
     result.serverRecoveries += cluster.server(i).recoveries();
   }
+
+  // --- storage-integrity accounting ---
+  for (size_t i = 0; i < cluster.serverCount(); ++i) {
+    const auto& sc = cluster.server(i).storageCounters();
+    result.corruptionsDetected += sc.get("storage.corruptions_detected");
+    result.keysQuarantined += sc.get("storage.keys_quarantined");
+    result.keysRepaired += sc.get("storage.keys_repaired");
+    result.keysUnrecoverable += sc.get("storage.keys_unrecoverable");
+    result.walTailTruncations += sc.get("storage.wal_tail_truncated");
+    result.snapshotRefusals += sc.get("storage.snapshot_refusals");
+    const auto& injected = cluster.server(i).storageFaults().injected();
+    result.tornWritesInjected += injected.tornWrites;
+    result.rotEpisodesInjected += injected.rotEpisodes;
+    result.readRetries += cluster.server(i).disk().readRetries();
+  }
   for (const auto& ps : planned) {
     if (!ps.requested) continue;
     result.snapshotRetries += ps.retries;
@@ -233,7 +272,8 @@ FuzzResult runKvScenario(const Scenario& s) {
         result.report.fail(out.str());
         continue;
       }
-      const auto expected = kvOracleAt(server, initialStates[srv], ps.target);
+      const auto expected =
+          kvOracleAt(shadows[srv], initialStates[srv], ps.target);
       ++result.oracleChecks;
       if (materialized.value() != expected) {
         std::ostringstream out;

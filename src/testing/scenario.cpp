@@ -25,13 +25,31 @@ FaultEvent makeFault(Rng& rng, const Scenario& s, bool anomalies) {
 
   // Skew spikes only appear in anomaly scenarios; the other four kinds
   // are always in the pool.  Crash/restart faults join the pool on the
-  // kv substrate (its servers implement the crash–recovery protocol) and
-  // always occupy the highest index so adding them never reshuffles how
-  // an existing seed maps to the other kinds.
+  // kv substrate (its servers implement the crash–recovery protocol),
+  // and storage-corruption faults join above them when the scenario opts
+  // in.  New kinds always occupy the highest indices so adding them
+  // never reshuffles how an existing seed maps to the other kinds.
   const bool crashes = s.substrate == Substrate::kKvStore;
-  const int kinds = (anomalies ? 5 : 4) + (crashes ? 1 : 0);
+  const bool storage = crashes && s.storageFaults;
+  const int kinds =
+      (anomalies ? 5 : 4) + (crashes ? 1 : 0) + (storage ? 2 : 0);
   const int pick = static_cast<int>(rng.nextBounded(kinds));
-  if (crashes && pick == kinds - 1) {
+  if (storage && pick >= kinds - 2) {
+    // Servers only — the faults target durable state.
+    f.node = static_cast<NodeId>(rng.nextBounded(s.servers));
+    if (pick == kinds - 1) {
+      f.kind = FaultKind::kBitRot;
+      // Fraction of cold records rotted; bites at the next restart.
+      f.magnitude = 0.002 + rng.nextDouble() * 0.02;
+      f.durationMicros = 0;
+    } else {
+      f.kind = FaultKind::kTornWrite;
+      // Torn-write probability while armed (fsync lies ride at half).
+      f.magnitude = 0.2 + rng.nextDouble() * 0.6;
+    }
+    return f;
+  }
+  if (crashes && pick == kinds - 1 - (storage ? 2 : 0)) {
     f.kind = FaultKind::kCrashRestart;
     // Servers only: clients/admin have no durable state to recover.
     f.node = static_cast<NodeId>(rng.nextBounded(s.servers));
@@ -91,6 +109,7 @@ Scenario generateScenario(uint64_t seed, Substrate substrate,
   s.seed = seed;
   s.substrate = substrate;
   s.clockAnomalies = opts.clockAnomalies;
+  s.storageFaults = opts.storageFaults;
 
   // --- topology ---
   if (substrate == Substrate::kKvStore) {
@@ -177,6 +196,8 @@ const char* faultKindName(FaultKind kind) {
     case FaultKind::kNodeStall: return "node-stall";
     case FaultKind::kSkewSpike: return "skew-spike";
     case FaultKind::kCrashRestart: return "crash-restart";
+    case FaultKind::kTornWrite: return "torn-write";
+    case FaultKind::kBitRot: return "bit-rot";
   }
   return "?";
 }
@@ -195,7 +216,8 @@ std::string describeScenario(const Scenario& s) {
     out << faultKindName(f.kind) << "@" << f.startMicros / 1000 << "ms";
     if (f.kind == FaultKind::kPartition || f.kind == FaultKind::kNodeStall ||
         f.kind == FaultKind::kSkewSpike ||
-        f.kind == FaultKind::kCrashRestart) {
+        f.kind == FaultKind::kCrashRestart ||
+        f.kind == FaultKind::kTornWrite || f.kind == FaultKind::kBitRot) {
       out << "/n" << f.node;
       if (f.kind == FaultKind::kCrashRestart &&
           f.startMicros + f.durationMicros > s.durationMicros) {
@@ -213,7 +235,9 @@ std::string describeScenario(const Scenario& s) {
   }
   out << "]";
   if (s.clockAnomalies) out << " anomalies";
+  if (s.storageFaults) out << " storage-faults";
   if (s.injectSkipRecvTick) out << " BUG:skip-recv-tick";
+  if (s.injectSilentCorruption) out << " BUG:silent-corruption";
   return out.str();
 }
 

@@ -26,6 +26,10 @@ enum class FaultKind : uint8_t {
   kCrashRestart,  ///< crash one server; restart it when the window ends
                   ///< (kv substrate only; a window past the run end means
                   ///< the node stays down permanently)
+  kTornWrite,     ///< storage: arm torn-write/lying-fsync probabilities on
+                  ///< one server for a window (bites at the next crash)
+  kBitRot,        ///< storage: queue a bit-rot episode on one server,
+                  ///< discovered at its next restart's recovery scrub
 };
 
 struct FaultEvent {
@@ -80,6 +84,16 @@ struct Scenario {
   /// the harness must FAIL on such a scenario; used for self-tests.
   bool injectSkipRecvTick = false;
 
+  /// Storage-corruption faults (kTornWrite/kBitRot) are in the fault
+  /// pool, and servers run with a low transient-read-error probability.
+  bool storageFaults = false;
+
+  /// Deliberate integrity bug: record/frame checksums disabled, so
+  /// injected corruption replays into recovered state undetected.  The
+  /// harness must FAIL on such a scenario (the forward-replay oracle
+  /// sees the silently wrong cut); used for self-tests.
+  bool injectSilentCorruption = false;
+
   std::vector<FaultEvent> faults;
   std::vector<SnapshotPlan> snapshots;
 };
@@ -89,6 +103,8 @@ struct ScenarioOptions {
   bool clockAnomalies = false;
   /// Generate drop/latency/partition/stall faults at all.
   bool faultsEnabled = true;
+  /// Add storage-corruption faults to the pool (sets storageFaults).
+  bool storageFaults = false;
 };
 
 /// Expand a seed into a concrete scenario.  Pure function of

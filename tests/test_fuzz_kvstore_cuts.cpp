@@ -77,6 +77,122 @@ TEST(KvFuzz, CrashRecoverySweep) {
   EXPECT_GT(completed, 0u);
 }
 
+// Crash–corruption sweep: every seed crashes a node into deliberately
+// damaged storage — a torn-write window covering the crash point, a
+// latent bit-rot episode its restart will discover, or both — on top of
+// the background read-error nuisance (s.storageFaults).  The integrity
+// machinery must hold the line: corruption is detected by the recovery
+// CRC scan, quarantined keys refuse snapshots until the scrub rebuilds
+// them from ring replicas, and every snapshot that does complete still
+// agrees with the shadow-history oracle.  Detected or correct — never
+// silently wrong.
+TEST(KvFuzz, CrashCorruptionSweep) {
+  const int seeds = seedCountFromEnv(kDefaultSeeds);
+  uint64_t detected = 0, quarantined = 0, repaired = 0, truncations = 0,
+           torn = 0, rotted = 0, completed = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    Scenario s = generateScenario(static_cast<uint64_t>(seed),
+                                  Substrate::kKvStore);
+    s.storageFaults = true;
+    FaultEvent crash;
+    crash.kind = FaultKind::kCrashRestart;
+    crash.node = static_cast<NodeId>(static_cast<uint64_t>(seed) % s.servers);
+    const TimeMicros firstSnap = s.snapshots.front().atMicros;
+    crash.startMicros = firstSnap > 100'000 ? firstSnap - 100'000 : 1;
+    crash.durationMicros = (seed % 4 == 0) ? s.durationMicros * 2 : 600'000;
+
+    if (seed % 3 != 1) {
+      // Elevated torn-write/lying-fsync probability across the crash
+      // point: the journal tail loses or tears its newest frames.
+      FaultEvent tw;
+      tw.kind = FaultKind::kTornWrite;
+      tw.node = crash.node;
+      tw.startMicros =
+          crash.startMicros > 300'000 ? crash.startMicros - 300'000 : 1;
+      tw.durationMicros = 400'000;
+      tw.magnitude = 0.9;
+      s.faults.push_back(tw);
+    }
+    if (seed % 3 != 2) {
+      // Latent cold-block rot, discovered by the post-crash recovery scan.
+      FaultEvent rot;
+      rot.kind = FaultKind::kBitRot;
+      rot.node = crash.node;
+      rot.startMicros = crash.startMicros / 2 + 1;
+      rot.magnitude = 0.05 + (seed % 5) * 0.03;
+      s.faults.push_back(rot);
+    }
+    s.faults.push_back(crash);
+
+    const FuzzResult r = runKvScenario(s);
+    if (!r.passed()) {
+      const ShrinkResult shrunk =
+          shrinkScenario(s, runKvScenario, /*maxRuns=*/60);
+      const std::string artifact = writeFailureArtifact(r, &shrunk.minimal);
+      FAIL() << r.failureSummary() << "\nartifact: " << artifact;
+    }
+    detected += r.corruptionsDetected;
+    quarantined += r.keysQuarantined;
+    repaired += r.keysRepaired;
+    truncations += r.walTailTruncations;
+    torn += r.tornWritesInjected;
+    rotted += r.rotEpisodesInjected;
+    completed += r.snapshotsCompleted;
+  }
+  // The sweep must actually bite: faults fired, corruption was caught,
+  // quarantined keys were rebuilt from replicas, and snapshot collection
+  // still made progress.
+  EXPECT_GT(torn + rotted, 0u);
+  EXPECT_GT(detected, 0u);
+  EXPECT_GT(quarantined, 0u);
+  EXPECT_GT(repaired, 0u);
+  EXPECT_GT(truncations, 0u);
+  EXPECT_GT(completed, 0u);
+}
+
+// Harness self-test for the integrity oracle: with checksums disabled
+// (the negative control) an injected rot episode replays into recovered
+// state undetected, and the next snapshot serves silently wrong values —
+// which the shadow-history oracle must catch, and the shrinker must
+// reduce to a minimal reproducing scenario.
+TEST(KvFuzz, SilentCorruptionCaughtAndShrunk) {
+  Scenario s = generateScenario(2, Substrate::kKvStore);
+  s.injectSilentCorruption = true;  // checksums off on every server
+  s.faults.clear();
+  FaultEvent rot;
+  rot.kind = FaultKind::kBitRot;
+  rot.node = 0;
+  rot.startMicros = 200'000;
+  rot.magnitude = 0.5;  // rot enough records that divergence is certain
+  s.faults.push_back(rot);
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrashRestart;
+  crash.node = 0;
+  crash.startMicros = 300'000;
+  crash.durationMicros = 200'000;
+  s.faults.push_back(crash);
+  // One instant snapshot after the restart: it captures the silently
+  // corrupt recovered state (an instant target needs no pre-crash
+  // history, so nothing refuses).
+  s.snapshots.clear();
+  s.snapshots.push_back({/*atMicros=*/1'200'000, /*pastDeltaMillis=*/0});
+
+  const FuzzResult r = runKvScenario(s);
+  ASSERT_FALSE(r.passed())
+      << "oracle failed to catch silently corrupt snapshot state";
+  ASSERT_GT(r.rotEpisodesInjected, 0u);
+  EXPECT_EQ(r.corruptionsDetected, 0u);  // that's what makes it silent
+
+  const ShrinkResult shrunk = shrinkScenario(s, runKvScenario, /*maxRuns=*/60);
+  EXPECT_GT(shrunk.runs, 0);
+  EXPECT_FALSE(runKvScenario(shrunk.minimal).passed());
+  // The rot and the discovering crash are both load-bearing: ddmin must
+  // keep them while discarding everything else it can.
+  EXPECT_LE(shrunk.minimal.faults.size(), 2u);
+  const std::string artifact = writeFailureArtifact(r, &shrunk.minimal);
+  EXPECT_FALSE(artifact.empty());
+}
+
 // Harness self-test: a deliberately injected consistency bug (the client
 // strips the HLC header on receive without ticking) must be caught and
 // shrunk to a minimal reproducing scenario.

@@ -1,0 +1,259 @@
+// End-to-end storage integrity: a corrupt segment record is detected by
+// the recovery CRC scan and quarantined, a quarantined node refuses
+// snapshot requests with kCorrupted instead of serving silently wrong
+// state, the scrub rebuilds quarantined keys from ring replicas (or a
+// fresh client put supersedes them), and a WAL whose frames pass their
+// CRCs but violate HLC monotonicity fails recovery loudly.
+#include <gtest/gtest.h>
+
+#include "kvstore/cluster.hpp"
+#include "workload/driver.hpp"
+
+namespace retro::kv {
+namespace {
+
+ClusterConfig integrityConfig(uint64_t seed = 11) {
+  ClusterConfig cfg;
+  cfg.servers = 4;
+  cfg.clients = 2;
+  cfg.seed = seed;
+  cfg.server.logConfig.maxBytes = 0;
+  cfg.server.bdb.cleanerEnabled = false;
+  cfg.admin.requestTimeoutMicros = 200'000;
+  cfg.admin.maxAttemptsPerNode = 4;
+  cfg.admin.retryBackoffBaseMicros = 100'000;
+  cfg.admin.retryBackoffCapMicros = 400'000;
+  return cfg;
+}
+
+/// Any key the given server holds durably (unordered-map order is fine:
+/// every held key has replicationFactor-1 other replicas to repair from).
+Key heldKeyOf(VoldemortServer& srv) {
+  EXPECT_FALSE(srv.bdb().data().empty());
+  return srv.bdb().data().begin()->first;
+}
+
+TEST(StorageIntegrity, CorruptRecordQuarantinedThenRepairedFromReplica) {
+  auto cfg = integrityConfig();
+  cfg.admin.replicaFallbacks = 2;
+  VoldemortCluster cluster(cfg);
+  cluster.preload(800, 40);
+  const auto initial = cluster.server(0).bdb().data();
+  const Key victim = heldKeyOf(cluster.server(0));
+
+  bool restarted = false;
+  cluster.env().scheduleAt(kMicrosPerSecond, [&] {
+    auto& srv = cluster.server(0);
+    // Bit-rot on a cold record: the stored bytes change, the stored CRC
+    // does not.  Nothing notices until the restart scan reads them back.
+    ASSERT_TRUE(srv.bdb().corruptRecordValue(victim, 0xDEADBEEFu));
+    srv.crash();
+  });
+  cluster.env().scheduleAt(kMicrosPerSecond + 200'000, [&] {
+    cluster.server(0).restart([&] {
+      restarted = true;
+      auto& srv = cluster.server(0);
+      // The scan caught the rot and dropped the record pending repair.
+      EXPECT_EQ(srv.quarantinedKeyCount(), 1u);
+      EXPECT_GE(srv.storageCounters().get("storage.corruptions_detected"), 1u);
+      EXPECT_EQ(srv.storageCounters().get("storage.keys_quarantined"), 1u);
+      EXPECT_FALSE(srv.bdb().data().contains(victim));
+    });
+  });
+
+  // Well after the scrub's repair round-trip: the node serves snapshots
+  // again and its recovered state matches the pre-corruption contents.
+  bool done = false;
+  core::GlobalSnapshotState state{};
+  core::SnapshotId snapId = 0;
+  cluster.env().scheduleAt(4 * kMicrosPerSecond, [&] {
+    snapId = cluster.admin().snapshotNow([&](const core::SnapshotSession& s) {
+      done = true;
+      state = s.state();
+      EXPECT_EQ(s.findParticipant(0)->reason, core::FailureReason::kNone);
+    });
+  });
+  cluster.env().run();
+
+  ASSERT_TRUE(restarted);
+  auto& srv = cluster.server(0);
+  EXPECT_EQ(srv.quarantinedKeyCount(), 0u);
+  EXPECT_EQ(srv.storageCounters().get("storage.keys_repaired"), 1u);
+  EXPECT_GE(srv.storageCounters().get("storage.ranges_repaired"), 1u);
+  EXPECT_EQ(srv.storageCounters().get("storage.keys_unrecoverable"), 0u);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(state, core::GlobalSnapshotState::kComplete);
+  auto materialized = srv.snapshots().materialize(snapId);
+  ASSERT_TRUE(materialized.isOk()) << materialized.status().toString();
+  // No writes besides the preload: repair restored the replica's copy,
+  // so the snapshot equals the original durable state exactly.
+  EXPECT_EQ(materialized.value(), initial);
+}
+
+TEST(StorageIntegrity, QuarantineRefusesSnapshotsUntilSuperseded) {
+  auto cfg = integrityConfig(12);
+  cfg.admin.replicaFallbacks = 0;  // surface the refusal, don't mask it
+  VoldemortCluster cluster(cfg);
+  cluster.preload(800, 40);
+  auto& srv = cluster.server(0);
+  // No ring, no peers: the scrub has nowhere to repair from, so the
+  // quarantine persists and the node keeps refusing.
+  srv.setRepairTopology(nullptr, {}, 0);
+  const Key victim = heldKeyOf(srv);
+
+  cluster.env().scheduleAt(kMicrosPerSecond, [&] {
+    ASSERT_TRUE(srv.bdb().corruptRecordValue(victim, 0x5EEDu));
+    srv.crash();
+  });
+  cluster.env().scheduleAt(kMicrosPerSecond + 200'000, [&] {
+    srv.restart();
+  });
+
+  // Snapshot while quarantined: participant 0 must answer kCorrupted —
+  // a structured refusal, never silently wrong bytes.
+  bool refusedDone = false;
+  cluster.env().scheduleAt(2 * kMicrosPerSecond, [&] {
+    cluster.admin().snapshotNow([&](const core::SnapshotSession& s) {
+      refusedDone = true;
+      EXPECT_EQ(s.state(), core::GlobalSnapshotState::kPartial);
+      EXPECT_EQ(s.findParticipant(0)->reason, core::FailureReason::kCorrupted);
+    });
+  });
+
+  // A fresh client put overwrites the quarantined key with new, checksummed
+  // bytes — the quarantine entry is superseded and the node serves again.
+  bool putDone = false;
+  cluster.env().scheduleAt(3 * kMicrosPerSecond, [&] {
+    cluster.client(0).put(victim, Value("fresh-bytes"),
+                          [&](bool ok, TimeMicros) {
+                            putDone = true;
+                            EXPECT_TRUE(ok);
+                          });
+  });
+  bool healedDone = false;
+  cluster.env().scheduleAt(4 * kMicrosPerSecond, [&] {
+    cluster.admin().snapshotNow([&](const core::SnapshotSession& s) {
+      healedDone = true;
+      EXPECT_EQ(s.state(), core::GlobalSnapshotState::kComplete);
+      EXPECT_EQ(s.findParticipant(0)->reason, core::FailureReason::kNone);
+    });
+  });
+  cluster.env().run();
+
+  ASSERT_TRUE(refusedDone);
+  ASSERT_TRUE(putDone);
+  ASSERT_TRUE(healedDone);
+  EXPECT_EQ(srv.quarantinedKeyCount(), 0u);
+  EXPECT_GE(srv.storageCounters().get("storage.snapshot_refusals"), 1u);
+  EXPECT_GE(srv.storageCounters().get("storage.repair_no_peers"), 1u);
+  EXPECT_EQ(srv.storageCounters().get("storage.keys_superseded"), 1u);
+  EXPECT_EQ(srv.bdb().data().at(victim), Value("fresh-bytes"));
+}
+
+TEST(StorageIntegrity, WalOrderViolationFailsRecoveryLoudly) {
+  auto cfg = integrityConfig(13);
+  cfg.admin.replicaFallbacks = 0;
+  VoldemortCluster cluster(cfg);
+  cluster.preload(800, 40);
+
+  // Closed-loop writes build up a journal tail before the checkpoint
+  // daemon's first fold at 2 s.
+  std::vector<workload::ClientHandle> handles;
+  for (size_t i = 0; i < cluster.clientCount(); ++i) {
+    VoldemortClient* c = &cluster.client(i);
+    workload::ClientHandle h;
+    h.put = [c](const Key& k, Value v,
+                std::function<void(bool, TimeMicros)> done) {
+      c->put(k, std::move(v), std::move(done));
+    };
+    h.get = [c](const Key& k, std::function<void(bool, TimeMicros)> done) {
+      c->get(k, [done = std::move(done)](bool ok, TimeMicros lat, OptValue) {
+        done(ok, lat);
+      });
+    };
+    handles.push_back(std::move(h));
+  }
+  workload::DriverConfig dcfg;
+  dcfg.workload.keySpace = 800;
+  dcfg.workload.valueBytes = 40;
+  workload::ClosedLoopDriver driver(cluster.env(), handles,
+                                    VoldemortCluster::keyOf, dcfg);
+  driver.start(1'400'000);
+
+  bool restarted = false;
+  cluster.env().scheduleAt(1'500'000, [&] {
+    auto& srv = cluster.server(0);
+    ASSERT_GE(srv.wal()->tailFrames(), 2u);
+    // Reorder two journal frames, re-framing each so every CRC still
+    // passes: only the HLC monotonicity assertion can catch this.
+    srv.wal()->swapFramesForTest(0, 1);
+    srv.crash();
+    srv.restart([&] {
+      restarted = true;
+      EXPECT_GE(srv.storageCounters().get("storage.wal_order_violations"), 1u);
+      // The journal was untrustworthy, so the whole window-log was
+      // discarded rather than replayed out of order.
+      EXPECT_EQ(srv.retroscope().getLog(VoldemortServer::kStoreLog)
+                    .entryCount(),
+                0u);
+    });
+  });
+
+  // A pre-crash target must refuse kOutOfReach (reported as a truncated
+  // log), never reconstruct state from the reordered journal.
+  bool done = false;
+  cluster.env().scheduleAt(2'500'000, [&] {
+    cluster.admin().snapshotPast(2'000, [&](const core::SnapshotSession& s) {
+      done = true;
+      EXPECT_EQ(s.state(), core::GlobalSnapshotState::kPartial);
+      EXPECT_EQ(s.findParticipant(0)->reason,
+                core::FailureReason::kLogTruncated);
+    });
+  });
+  cluster.env().run();
+
+  ASSERT_TRUE(restarted);
+  ASSERT_TRUE(done);
+}
+
+TEST(StorageIntegrity, TornTailTruncatesJournalAtFirstBadFrame) {
+  auto cfg = integrityConfig(14);
+  VoldemortCluster cluster(cfg);
+  cluster.preload(400, 40);
+
+  bool putDone = false;
+  cluster.env().scheduleAt(100'000, [&] {
+    cluster.client(0).put(heldKeyOf(cluster.server(0)), Value("doomed"),
+                          [&](bool ok, TimeMicros) { putDone = ok; });
+  });
+  bool restarted = false;
+  cluster.env().scheduleAt(kMicrosPerSecond, [&] {
+    auto& srv = cluster.server(0);
+    ASSERT_GE(srv.wal()->tailFrames(), 1u);
+    // The last journal write was mid-flight at the crash.
+    ASSERT_TRUE(srv.wal()->tearLastFrame(3));
+    srv.crash();
+    srv.restart([&] {
+      restarted = true;
+      EXPECT_GE(srv.storageCounters().get("storage.wal_tail_truncated"), 1u);
+      // The store itself is intact — only pre-crash window history is
+      // gone, so the node serves fresh snapshots without quarantine.
+      EXPECT_EQ(srv.quarantinedKeyCount(), 0u);
+    });
+  });
+  bool done = false;
+  cluster.env().scheduleAt(2 * kMicrosPerSecond, [&] {
+    cluster.admin().snapshotNow([&](const core::SnapshotSession& s) {
+      done = true;
+      EXPECT_EQ(s.state(), core::GlobalSnapshotState::kComplete);
+    });
+  });
+  cluster.env().run();
+
+  ASSERT_TRUE(putDone);
+  ASSERT_TRUE(restarted);
+  ASSERT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace retro::kv
