@@ -1,5 +1,7 @@
 #include "core/predicate.hpp"
 
+#include <algorithm>
+
 namespace retro::core {
 
 bool evaluateConjunctive(
@@ -33,6 +35,44 @@ std::optional<hlc::Timestamp> findLatestCleanTime(
     if (predicate(materialize(ts))) return ts;
   }
   return std::nullopt;
+}
+
+std::vector<bool> conjunctiveSeries(
+    const std::vector<std::vector<bool>>& perNodeSeries) {
+  if (perNodeSeries.empty()) return {};
+  std::vector<bool> out(perNodeSeries.front().size(), true);
+  for (const auto& series : perNodeSeries) {
+    const size_t n = std::min(out.size(), series.size());
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!series[i]) out[i] = false;
+    }
+  }
+  return out;
+}
+
+bool reduceQuantified(const std::vector<bool>& series, TemporalQuant quant,
+                      size_t* firstIndex, size_t* lastIndex) {
+  bool any = false;
+  bool all = !series.empty();
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series[i]) {
+      if (!any && firstIndex) *firstIndex = i;
+      if (lastIndex) *lastIndex = i;
+      any = true;
+    } else {
+      all = false;
+    }
+  }
+  switch (quant) {
+    case TemporalQuant::kFirst:
+    case TemporalQuant::kLast:
+    case TemporalQuant::kEver:
+      return any;
+    case TemporalQuant::kAlways:
+      return all;
+  }
+  return false;
 }
 
 }  // namespace retro::core

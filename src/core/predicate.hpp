@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/query.hpp"
 #include "hlc/timestamp.hpp"
 
 namespace retro::core {
@@ -49,5 +50,20 @@ std::optional<hlc::Timestamp> findLatestCleanTime(
     const std::function<std::unordered_map<Key, Value>(hlc::Timestamp)>&
         materialize,
     const GlobalPredicate& predicate);
+
+/// Temporal extension of the §III-A discipline: each node reports one
+/// boolean per evaluation point ("my local predicate held at cut i");
+/// the global conjunctive verdict per step is the AND across nodes.
+/// Every series must have the same length; only booleans travel.
+std::vector<bool> conjunctiveSeries(
+    const std::vector<std::vector<bool>>& perNodeSeries);
+
+/// Reduce a per-step verdict series with a temporal quantifier: FIRST /
+/// LAST report whether any step held (the holding step's index lands in
+/// *firstIndex / *lastIndex when provided); ALWAYS / EVER are the usual
+/// universal/existential reductions.  An empty series satisfies nothing.
+bool reduceQuantified(const std::vector<bool>& series, TemporalQuant quant,
+                      size_t* firstIndex = nullptr,
+                      size_t* lastIndex = nullptr);
 
 }  // namespace retro::core

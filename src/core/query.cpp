@@ -7,13 +7,15 @@ namespace retro::core {
 
 namespace {
 
-/// Minimal tokenizer: words, quoted strings, comparison operators.
+/// Minimal tokenizer: words, quoted strings, comparison operators and
+/// the temporal-clause punctuation '[' ']' ','.
 class Lexer {
  public:
   explicit Lexer(std::string_view text) : text_(text) {}
 
   /// Next token; empty string at end. Quoted strings are returned
-  /// without quotes and flagged via wasQuoted().
+  /// without quotes and flagged via wasQuoted() (an empty quoted string
+  /// '' is a valid, distinct-from-end token).
   Result<std::string> next() {
     wasQuoted_ = false;
     while (pos_ < text_.size() &&
@@ -36,6 +38,10 @@ class Lexer {
       wasQuoted_ = true;
       return out;
     }
+    if (c == '[' || c == ']' || c == ',') {
+      ++pos_;
+      return std::string(1, c);
+    }
     if (c == '<' || c == '>' || c == '=' || c == '!') {
       std::string op(1, c);
       ++pos_;
@@ -49,7 +55,8 @@ class Lexer {
     while (pos_ < text_.size()) {
       const char d = text_[pos_];
       if (std::isspace(static_cast<unsigned char>(d)) || d == '\'' ||
-          d == '<' || d == '>' || d == '=' || d == '!') {
+          d == '<' || d == '>' || d == '=' || d == '!' || d == '[' ||
+          d == ']' || d == ',') {
         break;
       }
       out.push_back(d);
@@ -71,11 +78,277 @@ std::string upper(std::string s) {
   return s;
 }
 
-std::optional<int64_t> parseNumber(std::string_view s) {
+Status invalid(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+
+/// A keyword position filled by a quoted string ('WHERE', 'AND', ...)
+/// is a malformed query, not a keyword.
+bool isKeyword(const Lexer& lex, const std::string& token,
+               std::string_view keyword) {
+  return !lex.wasQuoted() && upper(token) == keyword;
+}
+
+std::optional<CmpOp> parseCmpOp(const std::string& op) {
+  if (op == "=" || op == "==") return CmpOp::kEq;
+  if (op == "!=") return CmpOp::kNe;
+  if (op == "<") return CmpOp::kLt;
+  if (op == "<=") return CmpOp::kLe;
+  if (op == ">") return CmpOp::kGt;
+  if (op == ">=") return CmpOp::kGe;
+  return std::nullopt;
+}
+
+/// Parse one signed 64-bit literal token for the temporal clause; a
+/// quoted token or an out-of-range number is rejected ("numeric
+/// overflow" rather than silent wrap, see the parser property tests).
+Result<int64_t> expectNumber(Lexer& lex, const char* what) {
+  auto tok = lex.next();
+  if (!tok.isOk()) return tok.status();
+  if (tok.value().empty() && !lex.wasQuoted()) {
+    return invalid(std::string("missing ") + what);
+  }
+  if (lex.wasQuoted()) {
+    return invalid(std::string("expected a number for ") + what +
+                   ", got a quoted string");
+  }
+  const auto n = SnapshotQuery::parseNumeric(tok.value());
+  if (!n) {
+    return invalid(std::string("expected a number for ") + what + ", got '" +
+                   tok.value() + "'");
+  }
+  return *n;
+}
+
+Result<std::string> expectToken(Lexer& lex, const char* literal) {
+  auto tok = lex.next();
+  if (!tok.isOk()) return tok.status();
+  if (lex.wasQuoted() || tok.value() != literal) {
+    return invalid(std::string("expected '") + literal + "', got '" +
+                   tok.value() + "'");
+  }
+  return tok;
+}
+
+}  // namespace
+
+const char* aggregateName(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kCount: return "COUNT";
+    case Aggregate::kSum: return "SUM";
+    case Aggregate::kMin: return "MIN";
+    case Aggregate::kMax: return "MAX";
+    case Aggregate::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+const char* cmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* temporalQuantName(TemporalQuant q) {
+  switch (q) {
+    case TemporalQuant::kFirst: return "FIRST";
+    case TemporalQuant::kLast: return "LAST";
+    case TemporalQuant::kAlways: return "ALWAYS";
+    case TemporalQuant::kEver: return "EVER";
+  }
+  return "?";
+}
+
+std::optional<int64_t> SnapshotQuery::parseNumeric(std::string_view s) {
   int64_t v = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
   return v;
+}
+
+// ---------------------------------------------------------------------------
+// PartialAggregate
+// ---------------------------------------------------------------------------
+
+void PartialAggregate::addMatch(std::optional<int64_t> numeric) {
+  ++matched;
+  if (!numeric) return;
+  if (numericCount == 0) {
+    minValue = maxValue = *numeric;
+  } else {
+    minValue = std::min(minValue, *numeric);
+    maxValue = std::max(maxValue, *numeric);
+  }
+  sumBits += static_cast<uint64_t>(*numeric);
+  ++numericCount;
+}
+
+void PartialAggregate::merge(const PartialAggregate& other) {
+  matched += other.matched;
+  sumBits += other.sumBits;
+  if (other.numericCount > 0) {
+    if (numericCount == 0) {
+      minValue = other.minValue;
+      maxValue = other.maxValue;
+    } else {
+      minValue = std::min(minValue, other.minValue);
+      maxValue = std::max(maxValue, other.maxValue);
+    }
+    numericCount += other.numericCount;
+  }
+}
+
+QueryResult PartialAggregate::finalize(Aggregate agg) const {
+  QueryResult result;
+  result.matched = matched;
+  switch (agg) {
+    case Aggregate::kCount:
+      result.value = static_cast<double>(matched);
+      result.hasValue = true;
+      break;
+    case Aggregate::kSum:
+      result.value = static_cast<double>(sum());
+      result.hasValue = true;
+      break;
+    case Aggregate::kMin:
+      result.hasValue = numericCount > 0;
+      result.value = result.hasValue ? static_cast<double>(minValue) : 0;
+      break;
+    case Aggregate::kMax:
+      result.hasValue = numericCount > 0;
+      result.value = result.hasValue ? static_cast<double>(maxValue) : 0;
+      break;
+    case Aggregate::kAvg:
+      result.hasValue = numericCount > 0;
+      result.value = result.hasValue
+                         ? static_cast<double>(sum()) /
+                               static_cast<double>(numericCount)
+                         : 0;
+      break;
+  }
+  return result;
+}
+
+void PartialAggregate::writeTo(ByteWriter& w) const {
+  w.writeVarU64(matched);
+  w.writeVarU64(numericCount);
+  w.writeU64(sumBits);
+  w.writeI64(minValue);
+  w.writeI64(maxValue);
+}
+
+PartialAggregate PartialAggregate::readFrom(ByteReader& r) {
+  PartialAggregate p;
+  p.matched = r.readVarU64();
+  p.numericCount = r.readVarU64();
+  p.sumBits = r.readU64();
+  p.minValue = r.readI64();
+  p.maxValue = r.readI64();
+  return p;
+}
+
+bool whenConditionHolds(const QueryResult& result, CmpOp op,
+                        int64_t operand) {
+  if (!result.hasValue) return false;
+  const double rhs = static_cast<double>(operand);
+  switch (op) {
+    case CmpOp::kEq: return result.value == rhs;
+    case CmpOp::kNe: return result.value != rhs;
+    case CmpOp::kLt: return result.value < rhs;
+    case CmpOp::kLe: return result.value <= rhs;
+    case CmpOp::kGt: return result.value > rhs;
+    case CmpOp::kGe: return result.value >= rhs;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// OVER '[' t1 ',' t2 ']' STEP s [ROLLING] [WHEN cmp n quant]; the OVER
+/// keyword itself has been consumed.
+Status parseTemporal(Lexer& lex, TemporalSpec& spec) {
+  if (auto t = expectToken(lex, "["); !t.isOk()) return t.status();
+  auto t1 = expectNumber(lex, "interval start");
+  if (!t1.isOk()) return t1.status();
+  if (auto t = expectToken(lex, ","); !t.isOk()) return t.status();
+  auto t2 = expectNumber(lex, "interval end");
+  if (!t2.isOk()) return t2.status();
+  if (auto t = expectToken(lex, "]"); !t.isOk()) return t.status();
+  spec.from = hlc::fromPhysicalMillis(t1.value());
+  spec.to = hlc::fromPhysicalMillis(t2.value());
+  if (spec.to < spec.from) {
+    return invalid("empty temporal interval [" + std::to_string(t1.value()) +
+                   ", " + std::to_string(t2.value()) +
+                   "]: end precedes start");
+  }
+
+  auto stepKw = lex.next();
+  if (!stepKw.isOk()) return stepKw.status();
+  if (!isKeyword(lex, stepKw.value(), "STEP")) {
+    return invalid("expected STEP, got '" + stepKw.value() + "'");
+  }
+  auto step = expectNumber(lex, "step");
+  if (!step.isOk()) return step.status();
+  if (step.value() <= 0) {
+    return invalid("STEP must be positive, got " +
+                   std::to_string(step.value()));
+  }
+  spec.stepMillis = step.value();
+
+  auto tok = lex.next();
+  if (!tok.isOk()) return tok.status();
+  if (isKeyword(lex, tok.value(), "ROLLING")) {
+    spec.rolling = true;
+    tok = lex.next();
+    if (!tok.isOk()) return tok.status();
+  }
+  if (isKeyword(lex, tok.value(), "WHEN")) {
+    TemporalSpec::When when;
+    auto opTok = lex.next();
+    if (!opTok.isOk()) return opTok.status();
+    const auto op = parseCmpOp(opTok.value());
+    if (lex.wasQuoted() || !op) {
+      return invalid("expected a comparison operator after WHEN, got '" +
+                     opTok.value() + "'");
+    }
+    when.op = *op;
+    auto operand = expectNumber(lex, "WHEN operand");
+    if (!operand.isOk()) return operand.status();
+    when.operand = operand.value();
+    auto quantTok = lex.next();
+    if (!quantTok.isOk()) return quantTok.status();
+    const std::string quant =
+        lex.wasQuoted() ? std::string{} : upper(quantTok.value());
+    if (quant == "FIRST") {
+      when.quant = TemporalQuant::kFirst;
+    } else if (quant == "LAST") {
+      when.quant = TemporalQuant::kLast;
+    } else if (quant == "ALWAYS") {
+      when.quant = TemporalQuant::kAlways;
+    } else if (quant == "EVER") {
+      when.quant = TemporalQuant::kEver;
+    } else {
+      return invalid("expected FIRST/LAST/ALWAYS/EVER, got '" +
+                     quantTok.value() + "'");
+    }
+    spec.when = when;
+    tok = lex.next();
+    if (!tok.isOk()) return tok.status();
+  }
+  if (!tok.value().empty() || lex.wasQuoted()) {
+    return invalid("unexpected trailing token '" + tok.value() + "'");
+  }
+  return Status::ok();
 }
 
 }  // namespace
@@ -86,7 +359,8 @@ Result<SnapshotQuery> SnapshotQuery::parse(std::string_view text) {
 
   auto aggTok = lex.next();
   if (!aggTok.isOk()) return aggTok.status();
-  const std::string agg = upper(aggTok.value());
+  const std::string agg =
+      lex.wasQuoted() ? std::string{} : upper(aggTok.value());
   if (agg == "COUNT") {
     query.aggregate_ = Aggregate::kCount;
   } else if (agg == "SUM") {
@@ -98,38 +372,41 @@ Result<SnapshotQuery> SnapshotQuery::parse(std::string_view text) {
   } else if (agg == "AVG") {
     query.aggregate_ = Aggregate::kAvg;
   } else {
-    return Status(StatusCode::kInvalidArgument,
-                  "expected aggregate (COUNT/SUM/MIN/MAX/AVG), got '" + agg +
-                      "'");
+    return invalid("expected aggregate (COUNT/SUM/MIN/MAX/AVG), got '" +
+                   aggTok.value() + "'");
   }
 
   auto tok = lex.next();
   if (!tok.isOk()) return tok.status();
-  if (tok.value().empty()) return query;  // no WHERE clause
-  if (upper(tok.value()) != "WHERE") {
-    return Status(StatusCode::kInvalidArgument,
-                  "expected WHERE, got '" + tok.value() + "'");
+  if (tok.value().empty() && !lex.wasQuoted()) return query;  // bare agg
+  if (isKeyword(lex, tok.value(), "OVER")) {
+    TemporalSpec spec;
+    if (Status s = parseTemporal(lex, spec); !s.isOk()) return s;
+    query.temporal_ = spec;
+    return query;
+  }
+  if (!isKeyword(lex, tok.value(), "WHERE")) {
+    return invalid("expected WHERE or OVER, got '" + tok.value() + "'");
   }
 
   for (;;) {
     // field
     auto fieldTok = lex.next();
     if (!fieldTok.isOk()) return fieldTok.status();
-    const std::string field = upper(fieldTok.value());
     Condition cond;
-    if (field == "KEY") {
+    if (isKeyword(lex, fieldTok.value(), "KEY")) {
       cond.field = Field::kKey;
-    } else if (field == "VALUE") {
+    } else if (isKeyword(lex, fieldTok.value(), "VALUE")) {
       cond.field = Field::kValue;
     } else {
-      return Status(StatusCode::kInvalidArgument,
-                    "expected KEY or VALUE, got '" + fieldTok.value() + "'");
+      return invalid("expected KEY or VALUE, got '" + fieldTok.value() + "'");
     }
 
     // operator
     auto opTok = lex.next();
     if (!opTok.isOk()) return opTok.status();
-    const std::string op = upper(opTok.value());
+    const std::string op =
+        lex.wasQuoted() ? std::string{} : upper(opTok.value());
     if (op == "PREFIX") {
       cond.op = Op::kPrefix;
     } else if (op == "=" || op == "==") {
@@ -145,34 +422,37 @@ Result<SnapshotQuery> SnapshotQuery::parse(std::string_view text) {
     } else if (op == ">=") {
       cond.op = Op::kGe;
     } else {
-      return Status(StatusCode::kInvalidArgument,
-                    "unknown operator '" + opTok.value() + "'");
+      return invalid("unknown operator '" + opTok.value() + "'");
     }
 
-    // operand
+    // operand — an empty *quoted* string '' is a legal operand; only a
+    // genuinely absent token is "missing" (parser property tests pin
+    // this distinction).
     auto valTok = lex.next();
     if (!valTok.isOk()) return valTok.status();
-    if (valTok.value().empty()) {
-      return Status(StatusCode::kInvalidArgument, "missing operand");
+    if (valTok.value().empty() && !lex.wasQuoted()) {
+      return invalid("missing operand");
     }
     const bool relational = cond.op == Op::kLt || cond.op == Op::kLe ||
                             cond.op == Op::kGt || cond.op == Op::kGe;
     if (relational) {
       if (cond.field == Field::kKey) {
-        return Status(StatusCode::kInvalidArgument,
-                      "relational operators apply to VALUE only");
+        return invalid("relational operators apply to VALUE only");
       }
-      const auto n = parseNumber(valTok.value());
+      if (lex.wasQuoted()) {
+        return invalid("expected a number, got quoted '" + valTok.value() +
+                       "'");
+      }
+      const auto n = parseNumeric(valTok.value());
       if (!n) {
-        return Status(StatusCode::kInvalidArgument,
-                      "expected a number, got '" + valTok.value() + "'");
+        return invalid("expected a number, got '" + valTok.value() + "'");
       }
       cond.numeric = true;
       cond.number = *n;
     } else if ((cond.op == Op::kEq || cond.op == Op::kNe) &&
                cond.field == Field::kValue && !lex.wasQuoted()) {
       // Unquoted equality operand on VALUE: numeric comparison.
-      const auto n = parseNumber(valTok.value());
+      const auto n = parseNumeric(valTok.value());
       if (n) {
         cond.numeric = true;
         cond.number = *n;
@@ -181,8 +461,7 @@ Result<SnapshotQuery> SnapshotQuery::parse(std::string_view text) {
       }
     } else {
       if (cond.op == Op::kPrefix && cond.field == Field::kValue) {
-        return Status(StatusCode::kInvalidArgument,
-                      "PREFIX applies to KEY only");
+        return invalid("PREFIX applies to KEY only");
       }
       cond.text = valTok.value();
     }
@@ -190,13 +469,54 @@ Result<SnapshotQuery> SnapshotQuery::parse(std::string_view text) {
 
     auto andTok = lex.next();
     if (!andTok.isOk()) return andTok.status();
-    if (andTok.value().empty()) break;
-    if (upper(andTok.value()) != "AND") {
-      return Status(StatusCode::kInvalidArgument,
-                    "expected AND, got '" + andTok.value() + "'");
+    if (andTok.value().empty() && !lex.wasQuoted()) break;
+    if (isKeyword(lex, andTok.value(), "OVER")) {
+      TemporalSpec spec;
+      if (Status s = parseTemporal(lex, spec); !s.isOk()) return s;
+      query.temporal_ = spec;
+      break;
+    }
+    if (!isKeyword(lex, andTok.value(), "AND")) {
+      return invalid("expected AND or OVER, got '" + andTok.value() + "'");
     }
   }
   return query;
+}
+
+std::string SnapshotQuery::toString() const {
+  std::string out = aggregateName(aggregate_);
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    const Condition& c = conditions_[i];
+    out += i == 0 ? " WHERE " : " AND ";
+    out += c.field == Field::kKey ? "KEY " : "VALUE ";
+    switch (c.op) {
+      case Op::kPrefix: out += "PREFIX"; break;
+      case Op::kEq: out += "="; break;
+      case Op::kNe: out += "!="; break;
+      case Op::kLt: out += "<"; break;
+      case Op::kLe: out += "<="; break;
+      case Op::kGt: out += ">"; break;
+      case Op::kGe: out += ">="; break;
+    }
+    out += " ";
+    if (c.numeric) {
+      out += std::to_string(c.number);
+    } else {
+      out += "'" + c.text + "'";
+    }
+  }
+  if (temporal_) {
+    const TemporalSpec& t = *temporal_;
+    out += " OVER [" + std::to_string(t.from.l) + ", " +
+           std::to_string(t.to.l) + "] STEP " + std::to_string(t.stepMillis);
+    if (t.rolling) out += " ROLLING";
+    if (t.when) {
+      out += std::string(" WHEN ") + cmpOpName(t.when->op) + " " +
+             std::to_string(t.when->operand) + " " +
+             temporalQuantName(t.when->quant);
+    }
+  }
+  return out;
 }
 
 bool SnapshotQuery::matches(const Key& key, const Value& value) const {
@@ -204,7 +524,7 @@ bool SnapshotQuery::matches(const Key& key, const Value& value) const {
     const std::string& subject = c.field == Field::kKey ? key : value;
     bool ok = false;
     if (c.numeric) {
-      const auto n = parseNumber(subject);
+      const auto n = parseNumeric(subject);
       if (!n) return false;  // non-numeric values never match numeric ops
       switch (c.op) {
         case Op::kEq: ok = *n == c.number; break;
@@ -228,54 +548,19 @@ bool SnapshotQuery::matches(const Key& key, const Value& value) const {
   return true;
 }
 
-QueryResult SnapshotQuery::execute(
+PartialAggregate SnapshotQuery::accumulate(
     const std::unordered_map<Key, Value>& state) const {
-  QueryResult result;
-  double sum = 0;
-  double minV = 0;
-  double maxV = 0;
-  uint64_t numericMatches = 0;
+  PartialAggregate partial;
   for (const auto& [key, value] : state) {
     if (!matches(key, value)) continue;
-    ++result.matched;
-    if (aggregate_ == Aggregate::kCount) continue;
-    const auto n = parseNumber(value);
-    if (!n) continue;  // aggregate over numeric values only
-    const auto v = static_cast<double>(*n);
-    if (numericMatches == 0) {
-      minV = maxV = v;
-    } else {
-      minV = std::min(minV, v);
-      maxV = std::max(maxV, v);
-    }
-    sum += v;
-    ++numericMatches;
+    partial.addMatch(parseNumeric(value));
   }
-  switch (aggregate_) {
-    case Aggregate::kCount:
-      result.value = static_cast<double>(result.matched);
-      result.hasValue = true;
-      break;
-    case Aggregate::kSum:
-      result.value = sum;
-      result.hasValue = true;
-      break;
-    case Aggregate::kMin:
-      result.value = minV;
-      result.hasValue = numericMatches > 0;
-      break;
-    case Aggregate::kMax:
-      result.value = maxV;
-      result.hasValue = numericMatches > 0;
-      break;
-    case Aggregate::kAvg:
-      result.hasValue = numericMatches > 0;
-      result.value = result.hasValue
-                         ? sum / static_cast<double>(numericMatches)
-                         : 0;
-      break;
-  }
-  return result;
+  return partial;
+}
+
+QueryResult SnapshotQuery::execute(
+    const std::unordered_map<Key, Value>& state) const {
+  return accumulate(state).finalize(aggregate_);
 }
 
 std::vector<std::pair<hlc::Timestamp, QueryResult>> queryOverTime(

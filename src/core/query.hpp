@@ -1,26 +1,39 @@
 // SQL-like querying over snapshots (§VIII future work: "Pivot tracing
 // employs a nice SQL-like querying interface... we plan to use a similar
 // interface to facilitate system operators to query distributed
-// snapshots").
+// snapshots"), extended with the temporal forms of the replay-clock line
+// of work (RepCl): a query can range over every consistent global state
+// in an HLC interval instead of one materialized snapshot.
 //
-// Grammar (case-insensitive keywords):
+// Grammar (case-insensitive keywords; keywords must be unquoted):
 //
-//   query      := agg [ WHERE condition { AND condition } ]
+//   query      := agg [ WHERE condition { AND condition } ] [ temporal ]
 //   agg        := COUNT | SUM | MIN | MAX | AVG
 //   condition  := KEY PREFIX <string>
 //               | KEY  (= | !=) <string>
 //               | VALUE (= | !=) <string>
 //               | VALUE (< | <= | > | >=) <number>
+//   temporal   := OVER '[' <number> ',' <number> ']' STEP <number>
+//                 [ ROLLING ] [ when ]
+//   when       := WHEN (= | != | < | <= | > | >=) <number> quant
+//   quant      := FIRST | LAST | ALWAYS | EVER
 //
 // Strings are single-quoted; numeric comparisons parse the stored value
 // as a signed integer (non-numeric values never match).  SUM/MIN/MAX/AVG
-// aggregate the numeric value of matching entries.
+// aggregate the numeric value of matching entries.  The OVER interval is
+// a pair of HLC physical milliseconds [t1, t2]; STEP is milliseconds
+// between evaluation points.  ROLLING selects the backward (rolling
+// snapshot) scan direction; the result is identical either way.  WHEN
+// compares the per-step aggregate against a number and reduces the step
+// series with a temporal quantifier ("when did X FIRST hold").
 //
 //   COUNT WHERE key PREFIX 'acct-'
 //   SUM   WHERE key PREFIX 'acct-' AND value >= 0
-//   MIN   WHERE value < 100
+//   COUNT WHERE value < 0 OVER [1000, 61000] STEP 500 WHEN > 0 FIRST
+//   AVG   WHERE key PREFIX 'acct-' OVER [0, 9000] STEP 1000 ROLLING
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -28,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "hlc/timestamp.hpp"
@@ -36,23 +50,113 @@ namespace retro::core {
 
 enum class Aggregate : uint8_t { kCount, kSum, kMin, kMax, kAvg };
 
+/// Comparison operator of a WHEN clause (applied to the per-step
+/// aggregate value).
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Temporal quantifier reducing the per-step WHEN verdicts.
+enum class TemporalQuant : uint8_t { kFirst, kLast, kAlways, kEver };
+
+const char* aggregateName(Aggregate agg);
+const char* cmpOpName(CmpOp op);
+const char* temporalQuantName(TemporalQuant q);
+
 struct QueryResult {
   uint64_t matched = 0;   ///< entries satisfying the WHERE clause
   double value = 0;       ///< the aggregate (COUNT repeats `matched`)
   bool hasValue = false;  ///< false when MIN/MAX/AVG matched nothing
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
 };
+
+/// Order-independent, exact-integer partial aggregate of one node's (or
+/// one evaluation's) matching entries.  Only these travel between nodes
+/// during a distributed query — never states — mirroring the paper's
+/// §III-A conjunctive-predicate discipline.  All arithmetic is integer
+/// (sums wrap in two's complement), so merging partials in any order and
+/// incrementally adding/removing entries both reproduce a full scan
+/// bit-identically.
+struct PartialAggregate {
+  uint64_t matched = 0;       ///< entries matching the WHERE clause
+  uint64_t numericCount = 0;  ///< matching entries with numeric values
+  uint64_t sumBits = 0;       ///< wrapping two's-complement sum
+  int64_t minValue = 0;       ///< valid iff numericCount > 0
+  int64_t maxValue = 0;       ///< valid iff numericCount > 0
+
+  int64_t sum() const { return static_cast<int64_t>(sumBits); }
+
+  /// Count one matching entry (numeric contribution when present).
+  void addMatch(std::optional<int64_t> numeric);
+
+  /// Fold another node's partial in (commutative, associative).
+  void merge(const PartialAggregate& other);
+
+  /// Produce the user-facing result for the given aggregate.
+  QueryResult finalize(Aggregate agg) const;
+
+  void writeTo(ByteWriter& w) const;
+  static PartialAggregate readFrom(ByteReader& r);
+
+  friend bool operator==(const PartialAggregate&,
+                         const PartialAggregate&) = default;
+};
+
+/// The temporal clause of a query: evaluate over every consistent cut in
+/// [from, to] at `stepMillis` granularity.
+struct TemporalSpec {
+  hlc::Timestamp from;     ///< interval start (inclusive grid origin)
+  hlc::Timestamp to;       ///< interval end (grid points never exceed it)
+  int64_t stepMillis = 0;  ///< > 0; distance between evaluation points
+  /// Backward (rolling snapshot) scan direction: materialize once at the
+  /// last grid point and roll the state backward (fig. 15 machinery).
+  bool rolling = false;
+
+  struct When {
+    CmpOp op = CmpOp::kGt;
+    int64_t operand = 0;
+    TemporalQuant quant = TemporalQuant::kFirst;
+
+    friend bool operator==(const When&, const When&) = default;
+  };
+  std::optional<When> when;
+
+  friend bool operator==(const TemporalSpec&, const TemporalSpec&) = default;
+};
+
+/// True iff `value op operand` holds; a result without a value (MIN/MAX/
+/// AVG over nothing) satisfies no condition.
+bool whenConditionHolds(const QueryResult& result, CmpOp op, int64_t operand);
 
 class SnapshotQuery {
  public:
   /// Parse a query; returns INVALID_ARGUMENT with a message on bad
-  /// syntax.
+  /// syntax (including empty `OVER` intervals and non-positive steps).
   static Result<SnapshotQuery> parse(std::string_view text);
+
+  /// Canonical rendering; parse(toString()) reproduces the query and
+  /// toString() is a fixed point under reparsing (round-trip tests).
+  std::string toString() const;
 
   /// Evaluate against a materialized snapshot state.
   QueryResult execute(const std::unordered_map<Key, Value>& state) const;
 
+  /// Scan `state` into an exact-integer partial aggregate;
+  /// execute() == accumulate().finalize(aggregate()).
+  PartialAggregate accumulate(
+      const std::unordered_map<Key, Value>& state) const;
+
+  /// True iff the entry satisfies every WHERE condition.
+  bool matches(const Key& key, const Value& value) const;
+
+  /// Numeric interpretation of a stored value (signed 64-bit decimal;
+  /// nullopt for non-numeric or out-of-range strings).
+  static std::optional<int64_t> parseNumeric(std::string_view s);
+
   Aggregate aggregate() const { return aggregate_; }
   size_t conditionCount() const { return conditions_.size(); }
+
+  const std::optional<TemporalSpec>& temporal() const { return temporal_; }
+  bool isTemporal() const { return temporal_.has_value(); }
 
  private:
   enum class Field : uint8_t { kKey, kValue };
@@ -66,15 +170,17 @@ class SnapshotQuery {
     bool numeric = false;
   };
 
-  bool matches(const Key& key, const Value& value) const;
-
   Aggregate aggregate_ = Aggregate::kCount;
   std::vector<Condition> conditions_;
+  std::optional<TemporalSpec> temporal_;
 };
 
 /// Evaluate a query at a sweep of snapshot times — the operator workflow
 /// of stepping a rolling snapshot through an interval and watching an
 /// aggregate evolve.  `materialize(t)` supplies the global state at t.
+/// This is the full-materialization path (one state build per point);
+/// the streaming replay engine in temporal_query.hpp produces identical
+/// results at per-step cost bounded by the diff size instead.
 std::vector<std::pair<hlc::Timestamp, QueryResult>> queryOverTime(
     const SnapshotQuery& query, const std::vector<hlc::Timestamp>& times,
     const std::function<std::unordered_map<Key, Value>(hlc::Timestamp)>&

@@ -1,0 +1,258 @@
+#include "core/temporal_query.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace retro::core {
+
+namespace {
+
+/// Exact-integer running aggregate over the currently-matching entries.
+/// A histogram of numeric values keeps MIN/MAX correct when the extreme
+/// entry is deleted; sums wrap in two's complement, so add/remove in any
+/// order reproduces a full scan bit-identically.
+class RunningAggregate {
+ public:
+  explicit RunningAggregate(const SnapshotQuery& query) : query_(query) {}
+
+  void seed(const std::unordered_map<Key, Value>& state) {
+    for (const auto& [key, value] : state) add(key, value);
+  }
+
+  void add(const Key& key, const Value& value) {
+    if (!query_.matches(key, value)) return;
+    ++matched_;
+    if (const auto n = SnapshotQuery::parseNumeric(value)) {
+      ++numericCount_;
+      sumBits_ += static_cast<uint64_t>(*n);
+      ++histogram_[*n];
+    }
+  }
+
+  void remove(const Key& key, const Value& value) {
+    if (!query_.matches(key, value)) return;
+    --matched_;
+    if (const auto n = SnapshotQuery::parseNumeric(value)) {
+      --numericCount_;
+      sumBits_ -= static_cast<uint64_t>(*n);
+      const auto it = histogram_.find(*n);
+      if (--it->second == 0) histogram_.erase(it);
+    }
+  }
+
+  PartialAggregate snapshot() const {
+    PartialAggregate p;
+    p.matched = matched_;
+    p.numericCount = numericCount_;
+    p.sumBits = sumBits_;
+    if (!histogram_.empty()) {
+      p.minValue = histogram_.begin()->first;
+      p.maxValue = histogram_.rbegin()->first;
+    }
+    return p;
+  }
+
+ private:
+  const SnapshotQuery& query_;
+  uint64_t matched_ = 0;
+  uint64_t numericCount_ = 0;
+  uint64_t sumBits_ = 0;
+  std::map<int64_t, uint64_t> histogram_;  // value -> matching entries
+};
+
+/// Apply one compacted diff to the state and the running aggregate.
+void applyDiff(const log::DiffMap& diff,
+               std::unordered_map<Key, Value>& state, RunningAggregate& agg,
+               ReplayStats* stats) {
+  if (stats) {
+    stats->replayedKeys += diff.size();
+    stats->replayedBytes += diff.dataBytes();
+  }
+  for (const auto& [key, target] : diff.entries()) {
+    const auto it = state.find(key);
+    if (it != state.end()) {
+      agg.remove(key, it->second);
+      if (target) {
+        agg.add(key, *target);
+        it->second = *target;
+      } else {
+        state.erase(it);
+      }
+    } else if (target) {
+      agg.add(key, *target);
+      state.emplace(key, *target);
+    }
+  }
+}
+
+Status validateSpec(const TemporalSpec& spec) {
+  if (spec.to < spec.from) {
+    return Status(StatusCode::kInvalidArgument,
+                  "empty temporal interval: end " + spec.to.toString() +
+                      " precedes start " + spec.from.toString());
+  }
+  if (spec.stepMillis <= 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "temporal step must be positive, got " +
+                      std::to_string(spec.stepMillis));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::vector<hlc::Timestamp> temporalGrid(const TemporalSpec& spec) {
+  std::vector<hlc::Timestamp> grid;
+  grid.push_back(spec.from);
+  uint64_t cur = static_cast<uint64_t>(spec.from.l);
+  for (;;) {
+    const uint64_t next = cur + static_cast<uint64_t>(spec.stepMillis);
+    const int64_t l = static_cast<int64_t>(next);
+    // Stop instead of wrapping past the signed maximum.
+    if (next < cur || (l < 0 && spec.from.l >= 0)) break;
+    const hlc::Timestamp t{l, spec.from.c};
+    if (spec.to < t) break;
+    grid.push_back(t);
+    cur = next;
+  }
+  return grid;
+}
+
+Result<std::vector<TemporalStep>> evalPartials(
+    const SnapshotQuery& query, const TemporalSpec& spec,
+    const std::unordered_map<Key, Value>& currentState,
+    const log::WindowLog& log, ReplayStats* stats) {
+  if (Status s = validateSpec(spec); !s.isOk()) return s;
+  if (!log.covers(spec.from)) {
+    // Structured refusal, never silent truncation: the caller learns the
+    // earliest reachable time and can re-issue a narrower query.
+    return Status(StatusCode::kOutOfRange,
+                  "interval start " + spec.from.toString() +
+                      " precedes the retained window floor " +
+                      log.floor().toString());
+  }
+
+  const std::vector<hlc::Timestamp> grid = temporalGrid(spec);
+  const hlc::Timestamp base = spec.rolling ? grid.back() : grid.front();
+
+  // The single full-state materialization of the whole evaluation.
+  std::unordered_map<Key, Value> state = currentState;
+  log::DiffStats baseStats;
+  auto toBase = log.diffToPast(base, &baseStats);
+  if (!toBase.isOk()) return toBase.status();
+  toBase.value().applyTo(state);
+  if (stats) {
+    ++stats->diffCalls;
+    stats->diffTotals.accumulate(baseStats);
+    stats->baseStateKeys += state.size();
+    stats->steps += grid.size();
+  }
+
+  RunningAggregate agg(query);
+  agg.seed(state);
+
+  std::vector<TemporalStep> series;
+  series.reserve(grid.size());
+  series.push_back({base, agg.snapshot()});
+
+  if (!spec.rolling) {
+    for (size_t i = 1; i < grid.size(); ++i) {
+      log::DiffStats ds;
+      auto diff = log.diffForward(grid[i - 1], grid[i], &ds);
+      if (!diff.isOk()) return diff.status();
+      if (stats) {
+        ++stats->diffCalls;
+        stats->diffTotals.accumulate(ds);
+      }
+      applyDiff(diff.value(), state, agg, stats);
+      series.push_back({grid[i], agg.snapshot()});
+    }
+    return series;
+  }
+
+  // Rolling scan: walk the grid backward from the newest point (fig. 15
+  // rolling-snapshot machinery), then flip the series forward.
+  for (size_t i = grid.size() - 1; i-- > 0;) {
+    log::DiffStats ds;
+    auto diff = log.diffBackward(grid[i + 1], grid[i], &ds);
+    if (!diff.isOk()) return diff.status();
+    if (stats) {
+      ++stats->diffCalls;
+      stats->diffTotals.accumulate(ds);
+    }
+    applyDiff(diff.value(), state, agg, stats);
+    series.push_back({grid[i], agg.snapshot()});
+  }
+  std::reverse(series.begin(), series.end());
+  return series;
+}
+
+Result<TemporalQueryResult> combinePartials(
+    const SnapshotQuery& query,
+    const std::vector<std::vector<TemporalStep>>& perNode) {
+  if (!query.isTemporal()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "combinePartials requires a temporal query");
+  }
+  if (perNode.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "no per-node series to combine");
+  }
+  const size_t steps = perNode.front().size();
+  for (const auto& series : perNode) {
+    if (series.size() != steps) {
+      return Status(StatusCode::kInvalidArgument,
+                    "per-node series lengths disagree");
+    }
+  }
+
+  TemporalQueryResult out;
+  out.series.reserve(steps);
+  for (size_t i = 0; i < steps; ++i) {
+    const hlc::Timestamp at = perNode.front()[i].at;
+    PartialAggregate merged;
+    for (const auto& series : perNode) {
+      if (series[i].at != at) {
+        return Status(StatusCode::kInvalidArgument,
+                      "per-node evaluation grids disagree at step " +
+                          std::to_string(i));
+      }
+      merged.merge(series[i].partial);
+    }
+    out.series.emplace_back(at, merged.finalize(query.aggregate()));
+  }
+
+  const TemporalSpec& spec = *query.temporal();
+  if (spec.when) {
+    TemporalQueryResult::Verdict verdict;
+    verdict.alwaysHeld = true;
+    for (const auto& [at, result] : out.series) {
+      const bool held =
+          whenConditionHolds(result, spec.when->op, spec.when->operand);
+      verdict.everHeld = verdict.everHeld || held;
+      verdict.alwaysHeld = verdict.alwaysHeld && held;
+      if (held) {
+        if (!verdict.firstHeld) verdict.firstHeld = at;
+        verdict.lastHeld = at;
+      }
+    }
+    out.verdict = verdict;
+  }
+  return out;
+}
+
+Result<TemporalQueryResult> evalOverLog(
+    const SnapshotQuery& query,
+    const std::unordered_map<Key, Value>& currentState,
+    const log::WindowLog& log, ReplayStats* stats) {
+  if (!query.isTemporal()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "evalOverLog requires a temporal query (OVER clause)");
+  }
+  auto partials =
+      evalPartials(query, *query.temporal(), currentState, log, stats);
+  if (!partials.isOk()) return partials.status();
+  return combinePartials(query, {std::move(partials.value())});
+}
+
+}  // namespace retro::core

@@ -1,0 +1,134 @@
+// Streaming temporal query engine (ROADMAP item 5; paper §VIII "SQL-like
+// querying" + the RepCl replay-clock execution model): evaluate a query's
+// aggregate over EVERY consistent state in an HLC interval [T1, T2] at a
+// fixed step, materializing the state only once.
+//
+// Execution model (forward scan):
+//
+//   1. roll the node's current state back to T1 with one
+//      WindowLog::diffToPast call (the only full-state materialization);
+//   2. seed a running exact-integer aggregate with one scan of that base
+//      state;
+//   3. for each subsequent grid point t_i, fetch the compacted per-key
+//      diff over (t_{i-1}, t_i] via diffForward and apply it to BOTH the
+//      state and the running aggregate — per-step cost is bounded by the
+//      diff size, never the state size.
+//
+// The ROLLING scan direction reuses the fig. 15 rolling-snapshot
+// machinery instead: materialize once at the LAST grid point and roll
+// backward via diffBackward, then reverse the series; the result is
+// bit-identical to the forward scan (pinned by tests).
+//
+// A running aggregate keeps a multiset (histogram) of the numeric values
+// of currently-matching entries, so MIN/MAX stay exact when the extreme
+// entry is deleted mid-interval.  All arithmetic is integer; the
+// differential suite asserts bit-identical results against naive
+// per-step full materialization over log::NaiveWindowLog.
+//
+// Distribution discipline (§III-A): only per-step PartialAggregates
+// leave a node.  evalPartials runs node-side; combinePartials merges any
+// number of per-node series into the final per-step QueryResults and the
+// WHEN verdict.  States never travel.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/query.hpp"
+#include "hlc/timestamp.hpp"
+#include "log/window_log.hpp"
+
+namespace retro::core {
+
+/// Work accounting for one evalPartials call; the simulated servers
+/// charge executor CPU proportional to these, and the bench shape checks
+/// assert replayedKeys tracks the write rate, not the store size.
+struct ReplayStats {
+  size_t steps = 0;           ///< grid points evaluated
+  size_t baseStateKeys = 0;   ///< keys in the one materialized base state
+  size_t diffCalls = 0;       ///< diffToPast + per-step diff calls
+  size_t replayedKeys = 0;    ///< per-key diff entries applied across steps
+  size_t replayedBytes = 0;   ///< payload bytes of those diffs
+  log::DiffStats diffTotals;  ///< accumulated underlying diff-engine stats
+
+  void accumulate(const ReplayStats& o) {
+    steps += o.steps;
+    baseStateKeys += o.baseStateKeys;
+    diffCalls += o.diffCalls;
+    replayedKeys += o.replayedKeys;
+    replayedBytes += o.replayedBytes;
+    diffTotals.accumulate(o.diffTotals);
+  }
+};
+
+/// One evaluation point of a temporal query on one node.
+struct TemporalStep {
+  hlc::Timestamp at;
+  PartialAggregate partial;
+
+  friend bool operator==(const TemporalStep&, const TemporalStep&) = default;
+};
+
+/// The evaluation grid of a temporal spec: from, from+s, from+2s, ...
+/// while <= to (always contains at least `from`; a step larger than the
+/// interval degenerates to the single point T1).  Stepping is
+/// overflow-safe: the grid ends rather than wrapping.
+std::vector<hlc::Timestamp> temporalGrid(const TemporalSpec& spec);
+
+/// Node-side streaming evaluation: per-grid-point partial aggregates of
+/// `query`'s WHERE clause over this node's state history.  `currentState`
+/// must be the live state the log's newest entries lead to (the server's
+/// backing store).  Fails with kOutOfRange (structured, names the floor)
+/// when T1 precedes the retained window — never silently truncates — and
+/// with kInvalidArgument for an inverted interval or non-positive step.
+Result<std::vector<TemporalStep>> evalPartials(
+    const SnapshotQuery& query, const TemporalSpec& spec,
+    const std::unordered_map<Key, Value>& currentState,
+    const log::WindowLog& log, ReplayStats* stats = nullptr);
+
+/// Result of a (possibly distributed) temporal query.
+struct TemporalQueryResult {
+  std::vector<std::pair<hlc::Timestamp, QueryResult>> series;
+
+  /// WHEN-clause reduction over the series (present iff the query has a
+  /// WHEN clause).
+  struct Verdict {
+    bool everHeld = false;
+    bool alwaysHeld = false;
+    std::optional<hlc::Timestamp> firstHeld;  ///< earliest step that held
+    std::optional<hlc::Timestamp> lastHeld;   ///< latest step that held
+
+    /// The answer for one quantifier (FIRST/LAST report whether a
+    /// holding step exists; its time is in firstHeld/lastHeld).
+    bool holds(TemporalQuant q) const {
+      switch (q) {
+        case TemporalQuant::kFirst: return firstHeld.has_value();
+        case TemporalQuant::kLast: return lastHeld.has_value();
+        case TemporalQuant::kAlways: return alwaysHeld;
+        case TemporalQuant::kEver: return everHeld;
+      }
+      return false;
+    }
+  };
+  std::optional<Verdict> verdict;
+};
+
+/// Coordinator-side merge: fold per-node step series (identical grids)
+/// into final per-step results and the WHEN verdict.  Only partial
+/// aggregates are consumed — this is the full extent of what travels.
+/// Fails with kInvalidArgument when the query is not temporal, no series
+/// are given, or the node grids disagree.
+Result<TemporalQueryResult> combinePartials(
+    const SnapshotQuery& query,
+    const std::vector<std::vector<TemporalStep>>& perNode);
+
+/// Single-node convenience: evalPartials + combinePartials over one log.
+Result<TemporalQueryResult> evalOverLog(
+    const SnapshotQuery& query,
+    const std::unordered_map<Key, Value>& currentState,
+    const log::WindowLog& log, ReplayStats* stats = nullptr);
+
+}  // namespace retro::core

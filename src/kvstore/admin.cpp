@@ -316,6 +316,120 @@ void AdminClient::handleAck(const core::SnapshotAck& ack) {
   // Stale ack for an already-resolved participant: ignore.
 }
 
+// ---------------------------------------------------------------------------
+// Distributed temporal queries
+// ---------------------------------------------------------------------------
+
+uint64_t AdminClient::doQuery(const std::string& text, QueryCallback done) {
+  const uint64_t queryId = nextQueryId_++;
+  // Fail fast on malformed input without burning a network round-trip;
+  // the servers re-parse the text themselves (they trust no initiator).
+  auto parsed = core::SnapshotQuery::parse(text);
+  Status bad;
+  if (!parsed.isOk()) {
+    bad = parsed.status();
+  } else if (!parsed.value().isTemporal()) {
+    bad = Status(StatusCode::kInvalidArgument,
+                 "query has no OVER clause; use execute() on a snapshot "
+                 "for point-in-time queries");
+  }
+  if (!bad.isOk()) {
+    QueryOutcome outcome;
+    outcome.queryId = queryId;
+    outcome.status = bad;
+    if (done) done(outcome);
+    return queryId;
+  }
+
+  QuerySession session;
+  session.query = std::move(parsed.value());
+  session.pending.insert(servers_.begin(), servers_.end());
+  session.done = std::move(done);
+  querySessions_.emplace(queryId, std::move(session));
+  counters_.add("query.started");
+
+  for (NodeId server : servers_) {
+    ByteWriter w;
+    const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
+    QueryRequestBody body{queryId, text};
+    body.writeTo(w);
+    const uint64_t msgId =
+        network_->send(sim::Message{id_, server, kQueryRequest, w.take()});
+    if (trace_) trace_->onSend(id_, msgId, ts);
+  }
+
+  env_->schedule(config_.queryTimeoutMicros, [this, queryId] {
+    auto it = querySessions_.find(queryId);
+    if (it == querySessions_.end()) return;
+    for (NodeId node : it->second.pending) {
+      it->second.failures[node] = core::FailureReason::kTimedOut;
+      counters_.add("query.timeouts");
+    }
+    it->second.pending.clear();
+    finishQuery(queryId, it->second);
+  });
+  return queryId;
+}
+
+void AdminClient::handleQueryReply(NodeId from, QueryReplyBody body) {
+  auto it = querySessions_.find(body.queryId);
+  if (it == querySessions_.end()) return;  // late reply after timeout
+  QuerySession& session = it->second;
+  if (session.pending.erase(from) == 0) return;  // duplicate
+
+  if (body.statusCode == StatusCode::kOk) {
+    session.partials.emplace(from, std::move(body.steps));
+  } else {
+    // Map node refusals onto the snapshot-collection vocabulary.
+    core::FailureReason reason = core::FailureReason::kFailed;
+    if (body.statusCode == StatusCode::kOutOfRange) {
+      reason = core::FailureReason::kLogTruncated;
+    } else if (body.statusCode == StatusCode::kFailedPrecondition) {
+      reason = core::FailureReason::kCorrupted;
+    }
+    session.failures[from] = reason;
+    session.failureDetails[from] = std::move(body.reason);
+    counters_.add("query.refusals");
+  }
+  if (session.pending.empty()) finishQuery(body.queryId, session);
+}
+
+void AdminClient::finishQuery(uint64_t queryId, QuerySession& session) {
+  QueryOutcome outcome;
+  outcome.queryId = queryId;
+  outcome.responded = session.partials.size() + session.failureDetails.size();
+  outcome.failures = std::move(session.failures);
+  outcome.failureDetails = std::move(session.failureDetails);
+
+  if (!outcome.failures.empty()) {
+    // A consistent global answer needs every node's cut: one refusal
+    // makes the whole query partial (the caller can narrow the interval
+    // using the structured details and retry).
+    outcome.status =
+        Status(StatusCode::kUnavailable,
+               std::to_string(outcome.failures.size()) + " of " +
+                   std::to_string(servers_.size()) +
+                   " nodes could not evaluate the query");
+  } else {
+    std::vector<std::vector<core::TemporalStep>> perNode;
+    perNode.reserve(session.partials.size());
+    for (auto& [node, steps] : session.partials) {
+      perNode.push_back(std::move(steps));
+    }
+    auto combined = core::combinePartials(session.query, perNode);
+    if (combined.isOk()) {
+      outcome.result = std::move(combined.value());
+      counters_.add("query.completed");
+    } else {
+      outcome.status = combined.status();
+    }
+  }
+
+  const QueryCallback done = std::move(session.done);
+  querySessions_.erase(queryId);
+  if (done) done(outcome);
+}
+
 void AdminClient::checkProgress(
     core::SnapshotId id,
     std::function<void(NodeId, ProgressReplyBody)> onReply) {
@@ -373,6 +487,9 @@ void AdminClient::onMessage(sim::Message&& msg) {
   } else if (msg.type == kProgressReply) {
     auto body = ProgressReplyBody::readFrom(r);
     if (progressHandler_) progressHandler_(msg.from, body);
+  } else if (msg.type == kQueryReply) {
+    auto body = QueryReplyBody::readFrom(r);
+    handleQueryReply(msg.from, std::move(body));
   }
 }
 

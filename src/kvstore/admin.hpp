@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -50,11 +51,32 @@ struct AdminConfig {
   /// Ring successors to try as replicas when a node cannot answer
   /// (crashed for good, or its window-log no longer reaches the target).
   size_t replicaFallbacks = 2;
+
+  /// Overall deadline for a distributed temporal query; nodes that have
+  /// not replied by then are recorded as timed out and the query settles
+  /// as partial.
+  TimeMicros queryTimeoutMicros = 2'000'000;
+};
+
+/// Outcome of a distributed temporal query (doQuery): merged per-step
+/// results when every node answered, plus per-node failure reasons
+/// otherwise (reusing the snapshot collection vocabulary — kLogTruncated
+/// when a node's window floor slid past T1, kCorrupted for quarantine,
+/// kTimedOut for silence).
+struct QueryOutcome {
+  uint64_t queryId = 0;
+  Status status = Status::ok();  ///< overall verdict (OK = result valid)
+  core::TemporalQueryResult result;
+  std::map<NodeId, core::FailureReason> failures;
+  /// Human-readable node refusal messages (e.g. the retained floor).
+  std::map<NodeId, std::string> failureDetails;
+  size_t responded = 0;  ///< nodes that sent any reply
 };
 
 class AdminClient {
  public:
   using SnapshotCallback = std::function<void(const core::SnapshotSession&)>;
+  using QueryCallback = std::function<void(const QueryOutcome&)>;
 
   /// `ring` enables replica fallback along ring successors; without it
   /// fallbacks use the remaining servers in id order.
@@ -74,6 +96,14 @@ class AdminClient {
 
   /// Retrospective snapshot `deltaMillis` in the past: t = tc - Δ.
   core::SnapshotId snapshotPast(int64_t deltaMillis, SnapshotCallback done);
+
+  /// Run a temporal query (OVER [t1,t2] STEP s ...) across the ring:
+  /// parse locally for fail-fast, fan the text out to every server,
+  /// collect per-step partial aggregates (only those travel, §III-A),
+  /// merge, and deliver the outcome.  Returns the query id; the callback
+  /// fires exactly once — when all nodes answered or the query timeout
+  /// expires.  A malformed or non-temporal query fails synchronously.
+  uint64_t doQuery(const std::string& text, QueryCallback done);
 
   /// Poll the progress of a snapshot on every participant.
   void checkProgress(core::SnapshotId id,
@@ -136,6 +166,18 @@ class AdminClient {
   void finishSession(core::SnapshotId id, core::SnapshotSession& session);
   void handleAck(const core::SnapshotAck& ack);
 
+  struct QuerySession {
+    core::SnapshotQuery query;
+    std::map<NodeId, std::vector<core::TemporalStep>> partials;
+    std::map<NodeId, core::FailureReason> failures;
+    std::map<NodeId, std::string> failureDetails;
+    std::set<NodeId> pending;
+    QueryCallback done;
+  };
+
+  void handleQueryReply(NodeId from, QueryReplyBody body);
+  void finishQuery(uint64_t queryId, QuerySession& session);
+
   NodeId id_;
   sim::SimEnv* env_;
   sim::Network* network_;
@@ -151,6 +193,8 @@ class AdminClient {
   std::map<core::SnapshotId, SnapshotCallback> callbacks_;
   std::map<AttemptKey, Attempt> attempts_;
   std::function<void(NodeId, ProgressReplyBody)> progressHandler_;
+  std::map<uint64_t, QuerySession> querySessions_;
+  uint64_t nextQueryId_ = 1;
 };
 
 }  // namespace retro::kv

@@ -160,4 +160,47 @@ RepairResponseBody RepairResponseBody::readFrom(ByteReader& r) {
   return b;
 }
 
+void QueryRequestBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(queryId);
+  w.writeBytes(queryText);
+}
+
+QueryRequestBody QueryRequestBody::readFrom(ByteReader& r) {
+  QueryRequestBody b;
+  b.queryId = r.readVarU64();
+  b.queryText = r.readBytes();
+  return b;
+}
+
+void QueryReplyBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(queryId);
+  w.writeU8(static_cast<uint8_t>(statusCode));
+  w.writeBytes(reason);
+  w.writeVarU64(steps.size());
+  for (const core::TemporalStep& s : steps) {
+    s.at.writeTo(w);
+    s.partial.writeTo(w);
+  }
+  w.writeVarU64(baseStateKeys);
+  w.writeVarU64(replayedKeys);
+}
+
+QueryReplyBody QueryReplyBody::readFrom(ByteReader& r) {
+  QueryReplyBody b;
+  b.queryId = r.readVarU64();
+  b.statusCode = static_cast<StatusCode>(r.readU8());
+  b.reason = r.readBytes();
+  const uint64_t count = r.readVarU64();
+  b.steps.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    core::TemporalStep s;
+    s.at = hlc::Timestamp::readFrom(r);
+    s.partial = core::PartialAggregate::readFrom(r);
+    b.steps.push_back(s);
+  }
+  b.baseStateKeys = r.readVarU64();
+  b.replayedKeys = r.readVarU64();
+  return b;
+}
+
 }  // namespace retro::kv

@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "core/snapshot.hpp"
+#include "core/temporal_query.hpp"
 #include "hlc/timestamp.hpp"
 #include "kvstore/version_vector.hpp"
 
@@ -29,6 +31,8 @@ enum MsgType : uint32_t {
   kProgressReply,
   kRepairRequest,
   kRepairResponse,
+  kQueryRequest,
+  kQueryReply,
 };
 
 // All bodies are serialized *after* the leading HLC timestamp, which the
@@ -128,6 +132,33 @@ struct RepairResponseBody {
 
   void writeTo(ByteWriter& w) const;
   static RepairResponseBody readFrom(ByteReader& r);
+};
+
+/// Temporal query fan-out (§III-A conjunctive-predicate discipline
+/// applied to querying): the initiator ships the query TEXT; every node
+/// evaluates it against its own window-log and replies with per-step
+/// partial aggregates.  States never travel.
+struct QueryRequestBody {
+  uint64_t queryId = 0;
+  std::string queryText;
+
+  void writeTo(ByteWriter& w) const;
+  static QueryRequestBody readFrom(ByteReader& r);
+};
+
+struct QueryReplyBody {
+  uint64_t queryId = 0;
+  /// Node-side evaluation status; non-OK replies carry a structured
+  /// reason (e.g. the retained-window floor) and no steps.
+  StatusCode statusCode = StatusCode::kOk;
+  std::string reason;
+  std::vector<core::TemporalStep> steps;
+  /// Replay accounting for the initiator's cost/metrics reporting.
+  uint64_t baseStateKeys = 0;
+  uint64_t replayedKeys = 0;
+
+  void writeTo(ByteWriter& w) const;
+  static QueryReplyBody readFrom(ByteReader& r);
 };
 
 }  // namespace retro::kv

@@ -266,6 +266,18 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
       });
       break;
     }
+    case kQueryRequest: {
+      auto body = QueryRequestBody::readFrom(r);
+      executor_.submit(300, [this, inc, remoteTs, from = msg.from,
+                             msgId = msg.msgId,
+                             body = std::move(body)]() mutable {
+        if (!alive_ || incarnation_ != inc) return;
+        const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, ts);
+        handleQueryRequest(from, std::move(body));
+      });
+      break;
+    }
     case kProgressRequest: {
       auto body = ProgressRequestBody::readFrom(r);
       executor_.submit(50, [this, inc, remoteTs, from = msg.from,
@@ -1031,6 +1043,78 @@ void VoldemortServer::handleProgressRequest(NodeId from,
     reply.status = core::LocalSnapshotStatus::kFailed;
   }
   send(from, kProgressReply, [&](ByteWriter& w) { reply.writeTo(w); });
+}
+
+// ---------------------------------------------------------------------------
+// Temporal queries (streaming replay over the window-log)
+// ---------------------------------------------------------------------------
+
+void VoldemortServer::handleQueryRequest(NodeId from, QueryRequestBody body) {
+  ++queriesServed_;
+  QueryReplyBody reply;
+  reply.queryId = body.queryId;
+
+  const auto refuse = [&](StatusCode code, std::string reason) {
+    reply.statusCode = code;
+    reply.reason = std::move(reason);
+    send(from, kQueryReply, [&](ByteWriter& w) { reply.writeTo(w); });
+  };
+
+  // Quarantined records poison every cut through this node: refuse
+  // loudly, mirroring the snapshot path.
+  if (!quarantine_.empty()) {
+    storageCounters_.add("storage.query_refusals");
+    refuse(StatusCode::kFailedPrecondition,
+           std::to_string(quarantine_.size()) +
+               " quarantined keys awaiting repair");
+    return;
+  }
+
+  auto parsed = core::SnapshotQuery::parse(body.queryText);
+  if (!parsed.isOk()) {
+    refuse(StatusCode::kInvalidArgument, parsed.status().message());
+    return;
+  }
+  const core::SnapshotQuery& query = parsed.value();
+  if (!query.isTemporal()) {
+    refuse(StatusCode::kInvalidArgument,
+           "query has no OVER clause; temporal evaluation requires one");
+    return;
+  }
+
+  const log::WindowLog& wlog = retroscope_.getLog(kStoreLog);
+  core::ReplayStats stats;
+  auto steps = core::evalPartials(query, *query.temporal(), bdb_->data(),
+                                  wlog, &stats);
+  if (!steps.isOk()) {
+    refuse(steps.status().code(), steps.status().message());
+    return;
+  }
+  queryReplayTotals_.accumulate(stats);
+  diffTotals_.accumulate(stats.diffTotals);
+  diffCalls_ += stats.diffCalls;
+
+  reply.steps = std::move(steps.value());
+  reply.baseStateKeys = stats.baseStateKeys;
+  reply.replayedKeys = stats.replayedKeys;
+
+  // Charge CPU proportional to the replay actually performed: the one
+  // base-state materialization, every diff entry applied, and the diff
+  // engine's traversal/probing — the same cost knobs the snapshot path
+  // uses, so replay cost shows up in foreground latency honestly.
+  const TimeMicros cost = static_cast<TimeMicros>(
+      config_.applyMicrosPerEntry *
+          static_cast<double>(stats.baseStateKeys + stats.replayedKeys) +
+      config_.compactionMicrosPerEntry *
+          static_cast<double>(stats.diffTotals.entriesTraversed) +
+      config_.indexProbeMicros *
+          static_cast<double>(stats.diffTotals.indexSeeks +
+                              stats.diffTotals.keysExamined));
+  const uint64_t inc = incarnation_;
+  executor_.submit(cost, [this, inc, from, reply = std::move(reply)] {
+    if (!alive_ || incarnation_ != inc) return;
+    send(from, kQueryReply, [&](ByteWriter& w) { reply.writeTo(w); });
+  });
 }
 
 }  // namespace retro::kv

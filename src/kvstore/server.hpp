@@ -21,6 +21,7 @@
 #include "core/retroscope.hpp"
 #include "core/snapshot.hpp"
 #include "core/snapshot_store.hpp"
+#include "core/temporal_query.hpp"
 #include "log/archive.hpp"
 #include "log/wal.hpp"
 #include "kvstore/messages.hpp"
@@ -227,6 +228,12 @@ class VoldemortServer {
 
   uint64_t putsProcessed() const { return putsProcessed_; }
   uint64_t getsProcessed() const { return getsProcessed_; }
+  /// Temporal query requests answered (successfully or with a refusal).
+  uint64_t queriesServed() const { return queriesServed_; }
+  /// Replay accounting accumulated over every temporal query served.
+  const core::ReplayStats& queryReplayTotals() const {
+    return queryReplayTotals_;
+  }
   uint64_t conflictsDetected() const { return conflictsDetected_; }
   uint64_t snapshotsCompleted() const { return snapshotsCompleted_; }
   uint64_t snapshotsConverted() const { return snapshotsConverted_; }
@@ -258,6 +265,7 @@ class VoldemortServer {
   void handlePut(hlc::Timestamp eventTs, NodeId from, PutRequestBody body);
   void handleGet(NodeId from, GetRequestBody body);
   void handleSnapshotRequest(NodeId from, SnapshotRequestBody body);
+  void handleQueryRequest(NodeId from, QueryRequestBody body);
   void handleProgressRequest(NodeId from, ProgressRequestBody body);
   void handleRepairRequest(NodeId from, RepairRequestBody body);
   void handleRepairResponse(hlc::Timestamp eventTs, NodeId from,
@@ -346,6 +354,8 @@ class VoldemortServer {
 
   uint64_t putsProcessed_ = 0;
   uint64_t getsProcessed_ = 0;
+  uint64_t queriesServed_ = 0;
+  core::ReplayStats queryReplayTotals_;
   uint64_t conflictsDetected_ = 0;
   uint64_t snapshotsCompleted_ = 0;
   uint64_t snapshotsConverted_ = 0;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/random.hpp"
+#include "testing/fuzz.hpp"
+
 namespace retro::core {
 namespace {
 
@@ -130,6 +135,149 @@ TEST(Query, OverTimeSweep) {
   EXPECT_EQ(series[2].second.matched, 0u);  // t=100
   EXPECT_EQ(series[3].second.matched, 1u);  // t=150
   EXPECT_EQ(series[4].second.matched, 1u);  // t=200
+}
+
+// --------------------------------------------------------------------------
+// Parser properties: arbitrary input never crashes, valid queries survive a
+// print→reparse round trip, and the repaired edge cases stay fixed.
+// --------------------------------------------------------------------------
+
+TEST(QueryParserProperties, TemporalClauseParsesAndPrints) {
+  auto q = SnapshotQuery::parse(
+      "sum where key prefix 'k' over [10, 90] step 5 rolling when >= 3 ever");
+  ASSERT_TRUE(q.isOk()) << q.status().toString();
+  ASSERT_TRUE(q.value().isTemporal());
+  const TemporalSpec& spec = *q.value().temporal();
+  EXPECT_EQ(spec.from.l, 10);
+  EXPECT_EQ(spec.to.l, 90);
+  EXPECT_EQ(spec.stepMillis, 5);
+  EXPECT_TRUE(spec.rolling);
+  ASSERT_TRUE(spec.when.has_value());
+  EXPECT_EQ(spec.when->quant, TemporalQuant::kEver);
+  EXPECT_EQ(q.value().toString(),
+            "SUM WHERE KEY PREFIX 'k' OVER [10, 90] STEP 5 ROLLING"
+            " WHEN >= 3 EVER");
+}
+
+TEST(QueryParserProperties, RoundTripIsStableOnGeneratedQueries) {
+  static const char* kAggs[] = {"COUNT", "SUM", "MIN", "MAX", "AVG"};
+  static const char* kQuants[] = {"FIRST", "LAST", "ALWAYS", "EVER"};
+  static const char* kCmps[] = {"=", "!=", "<", "<=", ">", ">="};
+  const int seeds = retro::testing::seedCountFromEnv(64);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(static_cast<uint64_t>(seed) * 31 + 5);
+    std::string text = kAggs[rng.nextBounded(5)];
+    const int conds = static_cast<int>(rng.nextBounded(3));
+    for (int c = 0; c < conds; ++c) {
+      text += c == 0 ? " WHERE " : " AND ";
+      if (rng.nextBool(0.4)) {
+        text += "key PREFIX 'p" + std::to_string(rng.nextBounded(9)) + "'";
+      } else if (rng.nextBool(0.5)) {
+        text += "value " + std::string(kCmps[2 + rng.nextBounded(4)]) + " " +
+                std::to_string(rng.nextInt(-100, 100));
+      } else {
+        text += "key = 'k" + std::to_string(rng.nextBounded(9)) + "'";
+      }
+    }
+    if (rng.nextBool(0.6)) {
+      const int64_t t1 = rng.nextInt(0, 1000);
+      text += " OVER [" + std::to_string(t1) + ", " +
+              std::to_string(t1 + rng.nextInt(0, 500)) + "] STEP " +
+              std::to_string(1 + rng.nextInt(0, 50));
+      if (rng.nextBool(0.5)) text += " ROLLING";
+      if (rng.nextBool(0.5)) {
+        text += " WHEN " + std::string(kCmps[rng.nextBounded(6)]) + " " +
+                std::to_string(rng.nextInt(-10, 10)) + " " +
+                kQuants[rng.nextBounded(4)];
+      }
+    }
+    auto first = SnapshotQuery::parse(text);
+    ASSERT_TRUE(first.isOk()) << text << ": " << first.status().toString();
+    const std::string printed = first.value().toString();
+    auto second = SnapshotQuery::parse(printed);
+    ASSERT_TRUE(second.isOk())
+        << printed << ": " << second.status().toString();
+    // Fixed point after one canonicalization.
+    EXPECT_EQ(second.value().toString(), printed) << "from: " << text;
+    // And semantically the same query.
+    EXPECT_EQ(first.value().execute(sampleState()),
+              second.value().execute(sampleState()));
+    EXPECT_EQ(first.value().temporal(), second.value().temporal());
+  }
+}
+
+TEST(QueryParserProperties, FuzzedInputNeverCrashes) {
+  // Mutations of a valid query plus raw byte soup: parse must always
+  // return a Status, never crash or hang.
+  const std::string base =
+      "SUM WHERE key PREFIX 'k' AND value >= 10 OVER [5, 50] STEP 5"
+      " ROLLING WHEN > 0 ALWAYS";
+  const int seeds = retro::testing::seedCountFromEnv(64) * 4;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 977 + 13);
+    std::string text;
+    if (rng.nextBool(0.5)) {
+      text = base;
+      const int edits = 1 + static_cast<int>(rng.nextBounded(6));
+      for (int e = 0; e < edits; ++e) {
+        if (text.empty()) break;
+        const size_t pos = rng.nextBounded(text.size());
+        switch (rng.nextBounded(3)) {
+          case 0: text[pos] = static_cast<char>(rng.nextBounded(256)); break;
+          case 1: text.erase(pos, 1 + rng.nextBounded(4)); break;
+          default:
+            text.insert(pos, 1, static_cast<char>(rng.nextBounded(256)));
+        }
+      }
+    } else {
+      const size_t len = rng.nextBounded(64);
+      for (size_t i = 0; i < len; ++i) {
+        text += static_cast<char>(rng.nextBounded(256));
+      }
+    }
+    auto r = SnapshotQuery::parse(text);
+    if (r.isOk()) {
+      // Whatever survived must round-trip through its canonical form.
+      auto again = SnapshotQuery::parse(r.value().toString());
+      EXPECT_TRUE(again.isOk()) << "canonical form of a parsed query must "
+                                << "reparse: " << r.value().toString();
+    }
+  }
+}
+
+TEST(QueryParserProperties, RepairedEdgeCasesStayFixed) {
+  // Unterminated quoted string: a Status, not an infinite loop.
+  auto unterminated = SnapshotQuery::parse("COUNT WHERE key = 'oops");
+  ASSERT_FALSE(unterminated.isOk());
+  EXPECT_EQ(unterminated.status().code(), StatusCode::kInvalidArgument);
+
+  // Empty quoted operand is a legal comparison subject...
+  auto emptyOperand = SnapshotQuery::parse("COUNT WHERE value = ''");
+  ASSERT_TRUE(emptyOperand.isOk()) << emptyOperand.status().toString();
+  EXPECT_EQ(emptyOperand.value().execute(sampleState()).matched, 0u);
+  // ...but a truly missing operand is not.
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT WHERE value =").isOk());
+
+  // Numeric overflow in operands and temporal bounds is a parse error,
+  // not UB or silent wrap.
+  EXPECT_FALSE(
+      SnapshotQuery::parse("COUNT WHERE value > 99999999999999999999").isOk());
+  EXPECT_FALSE(
+      SnapshotQuery::parse("COUNT OVER [99999999999999999999, 1] STEP 1")
+          .isOk());
+
+  // Quoted tokens never act as keywords.
+  EXPECT_FALSE(SnapshotQuery::parse("'COUNT'").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT 'WHERE' key = 'x'").isOk());
+
+  // Temporal validation: inverted interval and non-positive step.
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT OVER [9, 3] STEP 1").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT OVER [3, 9] STEP 0").isOk());
+  EXPECT_FALSE(SnapshotQuery::parse("COUNT OVER [3, 9] STEP -2").isOk());
+  // Trailing garbage after a complete query is rejected.
+  EXPECT_FALSE(
+      SnapshotQuery::parse("COUNT OVER [3, 9] STEP 1 EXTRA").isOk());
 }
 
 }  // namespace
