@@ -13,6 +13,7 @@ const char* failureReasonName(FailureReason reason) {
     case FailureReason::kRecoveredViaReplica: return "recovered-via-replica";
     case FailureReason::kFailed: return "failed";
     case FailureReason::kCorrupted: return "corrupted";
+    case FailureReason::kRebalancing: return "rebalancing";
   }
   return "?";
 }
@@ -56,6 +57,9 @@ bool SnapshotSession::onAck(const SnapshotAck& ack, TimeMicros now) {
       break;
     case LocalSnapshotStatus::kCorrupted:
       p->reason = FailureReason::kCorrupted;
+      break;
+    case LocalSnapshotStatus::kRebalancing:
+      p->reason = FailureReason::kRebalancing;
       break;
     default:
       p->reason = FailureReason::kFailed;

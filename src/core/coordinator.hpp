@@ -32,6 +32,8 @@ enum class FailureReason : uint8_t {
   kFailed,              ///< node answered with a generic failure
   kCorrupted,           ///< node quarantined corrupt storage and refused
                         ///< to answer rather than risk a wrong cut
+  kRebalancing,         ///< node refused because a membership rebalance
+                        ///< moved its history floor past the target
 };
 
 const char* failureReasonName(FailureReason reason);

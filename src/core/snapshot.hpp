@@ -40,6 +40,10 @@ struct SnapshotRequest {
   std::optional<SnapshotId> baseId;
   /// Which store/log the snapshot covers.
   std::string storeName = "default";
+  /// Membership view epoch the initiator believed current when it opened
+  /// the session; servers report it back so a cut can be tied to the
+  /// view it was taken under.
+  uint64_t viewEpoch = 0;
 };
 
 /// The node-local product of a snapshot (kept in situ; §III-A: "local
@@ -70,6 +74,10 @@ enum class LocalSnapshotStatus : uint8_t {
   kCorrupted,  ///< node's store has quarantined (corrupt) records; it
                ///< refuses to serve snapshots until repaired from
                ///< replicas rather than returning possibly wrong data
+  kRebalancing,  ///< the target lies below the node's rebalance floor: a
+                 ///< key-range transfer moved history it never received
+                 ///< (hand-off disabled or aborted), so it refuses
+                 ///< rather than serve a cut missing that history
 };
 
 struct SnapshotAck {

@@ -29,6 +29,9 @@ core::SnapshotId AdminClient::doSnapshot(hlc::Timestamp target,
   request.target = target;
   request.kind = kind;
   request.baseId = baseId;
+  // Stamp the view the cut is collected under: a node that rebalanced
+  // since (and refuses with kRebalancing) is attributable to the epoch.
+  request.viewEpoch = viewEpoch();
 
   sessions_.emplace(request.id, core::SnapshotSession(request, servers_,
                                                       env_->now()));
@@ -85,11 +88,12 @@ void AdminClient::sendRequest(NodeId server,
 std::vector<NodeId> AdminClient::fallbackCandidates(NodeId participant) const {
   if (config_.replicaFallbacks == 0) return {};
   std::vector<NodeId> out;
-  if (ring_ != nullptr) {
+  const Ring* ring = routingRing();
+  if (ring != nullptr && ring->contains(participant)) {
     // The ring successors hold the replicas of the key ranges this
     // participant is primary for (client-side replication writes each
     // item to the first N distinct clockwise nodes).
-    for (NodeId n : ring_->successorsOf(participant, config_.replicaFallbacks)) {
+    for (NodeId n : ring->successorsOf(participant, config_.replicaFallbacks)) {
       if (std::find(servers_.begin(), servers_.end(), n) != servers_.end()) {
         out.push_back(n);
       }
@@ -280,6 +284,9 @@ void AdminClient::handleAck(const core::SnapshotAck& ack) {
           break;
         case core::LocalSnapshotStatus::kCorrupted:
           a.pendingReason = core::FailureReason::kCorrupted;
+          break;
+        case core::LocalSnapshotStatus::kRebalancing:
+          a.pendingReason = core::FailureReason::kRebalancing;
           break;
         default:
           a.pendingReason = core::FailureReason::kFailed;
@@ -490,7 +497,22 @@ void AdminClient::onMessage(sim::Message&& msg) {
   } else if (msg.type == kQueryReply) {
     auto body = QueryReplyBody::readFrom(r);
     handleQueryReply(msg.from, std::move(body));
+  } else if (msg.type == kGossip) {
+    auto body = GossipBody::readFrom(r);
+    adoptView(body.view);
   }
+}
+
+void AdminClient::adoptView(const MembershipView& view) {
+  const uint64_t before = hasView_ ? view_.epoch() : 0;
+  view_.merge(view, id_);
+  hasView_ = true;
+  if (view_.epoch() <= before) return;
+  auto members = view_.routableMembers();
+  if (members.empty()) return;
+  counters_.add("membership.view_adopted");
+  servers_ = members;
+  ownRing_.emplace(std::move(members), config_.ringVirtualNodes);
 }
 
 }  // namespace retro::kv

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -56,6 +57,10 @@ struct AdminConfig {
   /// not replied by then are recorded as timed out and the query settles
   /// as partial.
   TimeMicros queryTimeoutMicros = 2'000'000;
+
+  /// Virtual nodes per member when re-deriving the ring from a gossiped
+  /// membership view; must match the servers' value.
+  size_t ringVirtualNodes = 64;
 };
 
 /// Outcome of a distributed temporal query (doQuery): merged per-step
@@ -133,6 +138,13 @@ class AdminClient {
   /// Attach a causality trace (fuzz harness); null disables recording.
   void setTrace(sim::CausalityTrace* trace) { trace_ = trace; }
 
+  /// Membership view epoch the initiator currently coordinates under
+  /// (0 until the first gossip digest arrives; every subsequent snapshot
+  /// request is stamped with it so refusals are attributable to a view).
+  uint64_t viewEpoch() const { return hasView_ ? view_.epoch() : 0; }
+  /// Nodes a new snapshot would currently be collected from.
+  const std::vector<NodeId>& participants() const { return servers_; }
+
  private:
   /// Per-(session, participant) retry state.  `target` is the node the
   /// request is currently aimed at: the participant itself, or — after
@@ -151,6 +163,11 @@ class AdminClient {
   using AttemptKey = std::pair<core::SnapshotId, NodeId>;
 
   void onMessage(sim::Message&& msg);
+  /// Merge a gossiped membership view: re-derive the participant list
+  /// (routable members) and the fallback ring for *future* sessions;
+  /// in-flight sessions keep the participant set they started with.
+  void adoptView(const MembershipView& view);
+  const Ring* routingRing() const { return ownRing_ ? &*ownRing_ : ring_; }
   void sendRequest(NodeId server, const core::SnapshotRequest& request);
   bool retriesEnabled() const { return config_.requestTimeoutMicros > 0; }
   std::vector<NodeId> fallbackCandidates(NodeId participant) const;
@@ -185,6 +202,11 @@ class AdminClient {
   std::vector<NodeId> servers_;
   AdminConfig config_;
   const Ring* ring_ = nullptr;
+  /// Gossip-learned membership: the latest merged view and the ring
+  /// re-derived from it (supersedes the injected static ring).
+  MembershipView view_;
+  bool hasView_ = false;
+  std::optional<Ring> ownRing_;
   sim::CausalityTrace* trace_ = nullptr;
   core::SnapshotIdAllocator idAlloc_;
   Counters counters_;

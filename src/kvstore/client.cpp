@@ -19,7 +19,7 @@ VoldemortClient::VoldemortClient(NodeId id, sim::SimEnv& env,
 
 void VoldemortClient::put(const Key& key, Value value, PutCallback done) {
   const uint64_t reqId = nextRequestId_++;
-  auto replicas = ring_->preferenceList(key, config_.replicas);
+  auto replicas = routingRing()->preferenceList(key, config_.replicas);
 
   // Client-side versioning: bump our slot on the last version we saw for
   // this key so replicas can order replayed/raced writes.
@@ -44,6 +44,7 @@ void VoldemortClient::put(const Key& key, Value value, PutCallback done) {
   body.key = key;
   body.value = std::move(value);
   body.version = version;
+  body.viewEpoch = viewEpoch_;
 
   // The client replicates the item itself: one message per replica.
   for (NodeId server : replicas) {
@@ -59,7 +60,7 @@ void VoldemortClient::put(const Key& key, Value value, PutCallback done) {
 
 void VoldemortClient::get(const Key& key, GetCallback done) {
   const uint64_t reqId = nextRequestId_++;
-  auto replicas = ring_->preferenceList(key, config_.replicas);
+  auto replicas = routingRing()->preferenceList(key, config_.replicas);
   const size_t toAsk = std::min(config_.requiredReads, replicas.size());
 
   PendingOp op;
@@ -76,6 +77,7 @@ void VoldemortClient::get(const Key& key, GetCallback done) {
   GetRequestBody body;
   body.requestId = reqId;
   body.key = key;
+  body.viewEpoch = viewEpoch_;
   for (size_t i = 0; i < toAsk; ++i) {
     ByteWriter w;
     const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
@@ -111,7 +113,9 @@ void VoldemortClient::armTimeout(uint64_t reqId) {
 }
 
 void VoldemortClient::retryOp(uint64_t reqId, PendingOp& op) {
-  auto replicas = ring_->preferenceList(op.key, config_.replicas);
+  // Recomputed against the *current* ring: a retry after a stale-view
+  // redirect naturally lands on the post-rebalance preference list.
+  auto replicas = routingRing()->preferenceList(op.key, config_.replicas);
   if (op.isPut) {
     // Re-send to every replica: servers treat a version they have seen
     // as a stale write and ack success without re-applying.
@@ -120,6 +124,7 @@ void VoldemortClient::retryOp(uint64_t reqId, PendingOp& op) {
     body.key = op.key;
     body.value = op.putValue;
     body.version = op.version;
+    body.viewEpoch = viewEpoch_;
     op.outstanding += replicas.size();
     for (NodeId server : replicas) {
       ByteWriter w;
@@ -138,6 +143,7 @@ void VoldemortClient::retryOp(uint64_t reqId, PendingOp& op) {
     GetRequestBody body;
     body.requestId = reqId;
     body.key = op.key;
+    body.viewEpoch = viewEpoch_;
     ByteWriter w;
     const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
     body.writeTo(w);
@@ -161,6 +167,7 @@ void VoldemortClient::onMessage(sim::Message&& msg) {
 
   if (msg.type == kPutResponse) {
     auto body = PutResponseBody::readFrom(r);
+    if (body.view) adoptView(*body.view, body.viewEpoch);
     auto it = pending_.find(body.requestId);
     if (it == pending_.end()) return;
     PendingOp& op = it->second;
@@ -180,6 +187,7 @@ void VoldemortClient::onMessage(sim::Message&& msg) {
     }
   } else if (msg.type == kGetResponse) {
     auto body = GetResponseBody::readFrom(r);
+    if (body.view) adoptView(*body.view, body.viewEpoch);
     auto it = pending_.find(body.requestId);
     if (it == pending_.end()) return;
     PendingOp& op = it->second;
@@ -198,6 +206,15 @@ void VoldemortClient::onMessage(sim::Message&& msg) {
     }
     if (op.outstanding == 0) pending_.erase(it);
   }
+}
+
+void VoldemortClient::adoptView(const MembershipView& view, uint64_t epoch) {
+  if (epoch <= viewEpoch_) return;
+  auto members = view.routableMembers();
+  if (members.empty()) return;
+  ownRing_.emplace(std::move(members), config_.ringVirtualNodes);
+  viewEpoch_ = epoch;
+  ++viewRefreshes_;
 }
 
 void VoldemortClient::completePut(uint64_t /*reqId*/, PendingOp& op, bool ok) {

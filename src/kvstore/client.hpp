@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +34,9 @@ struct ClientConfig {
   uint32_t maxRetries = 1;
   /// Cap on the client's per-key version cache (cleared when exceeded).
   size_t versionCacheCap = 200'000;
+  /// Virtual nodes per member when re-deriving the ring from a gossiped
+  /// membership view; must match the servers' value.
+  size_t ringVirtualNodes = 64;
 
   /// Deliberate protocol bugs for harness self-tests: the fuzz checker
   /// must catch each of these, never ship them enabled.
@@ -68,6 +72,12 @@ class VoldemortClient {
   /// Operations that were re-sent at least once after a timeout.
   uint64_t opsRetried() const { return opsRetried_; }
 
+  /// Membership view epoch this client currently routes under (0 until
+  /// the first stale-view redirect teaches it a newer view).
+  uint64_t viewEpoch() const { return viewEpoch_; }
+  /// Times the client rebuilt its ring from a piggybacked view.
+  uint64_t viewRefreshes() const { return viewRefreshes_; }
+
  private:
   struct PendingOp {
     bool isPut = false;
@@ -92,6 +102,10 @@ class VoldemortClient {
   };
 
   void onMessage(sim::Message&& msg);
+  /// Rebuild the routing ring from a view piggybacked on a response
+  /// (the server's stale-view redirect); newer epochs only.
+  void adoptView(const MembershipView& view, uint64_t epoch);
+  const Ring* routingRing() const { return ownRing_ ? &*ownRing_ : ring_; }
   void completePut(uint64_t reqId, PendingOp& op, bool ok);
   void completeGet(uint64_t reqId, PendingOp& op, bool ok);
   void armTimeout(uint64_t reqId);
@@ -104,6 +118,12 @@ class VoldemortClient {
   const Ring* ring_;
   ClientConfig config_;
   sim::CausalityTrace* trace_ = nullptr;
+
+  /// Ring re-derived from the latest gossiped view; the injected static
+  /// ring serves until a server teaches this client a newer view.
+  std::optional<Ring> ownRing_;
+  uint64_t viewEpoch_ = 0;
+  uint64_t viewRefreshes_ = 0;
 
   uint64_t nextRequestId_ = 1;
   std::unordered_map<uint64_t, PendingOp> pending_;

@@ -6,12 +6,18 @@ namespace retro::kv {
 
 VoldemortCluster::VoldemortCluster(ClusterConfig config)
     : config_(std::move(config)), env_(config_.seed) {
-  const size_t totalNodes = config_.servers + config_.clients + 1;
+  const size_t allServers = config_.servers + config_.spareServers;
+  const size_t totalNodes = allServers + config_.clients + 1;
   clocks_ = std::make_unique<sim::ClockFleet>(env_, config_.clocks, totalNodes);
   network_ = std::make_unique<sim::Network>(env_, config_.network);
+  // The static genesis ring covers the genesis members only; spares get
+  // routed to once membership gossips them in.
   ring_ = std::make_unique<Ring>(config_.servers, config_.ringVirtualNodes);
 
-  for (size_t i = 0; i < config_.servers; ++i) {
+  config_.client.ringVirtualNodes = config_.ringVirtualNodes;
+  config_.admin.ringVirtualNodes = config_.ringVirtualNodes;
+
+  for (size_t i = 0; i < allServers; ++i) {
     servers_.push_back(std::make_unique<VoldemortServer>(
         static_cast<NodeId>(i), env_, *network_,
         clocks_->clock(static_cast<NodeId>(i)), config_.server));
@@ -19,22 +25,39 @@ VoldemortCluster::VoldemortCluster(ClusterConfig config)
   // Repair topology: each server can rebuild quarantined keys from the
   // replicas the clients wrote them to.
   for (auto& s : servers_) {
-    s->setRepairTopology(ring_.get(), serverIds(), config_.client.replicas);
+    s->setRepairTopology(ring_.get(), initialServerIds(),
+                         config_.client.replicas);
   }
   for (size_t i = 0; i < config_.clients; ++i) {
-    const auto id = static_cast<NodeId>(config_.servers + i);
+    const auto id = static_cast<NodeId>(allServers + i);
     clients_.push_back(std::make_unique<VoldemortClient>(
         id, env_, *network_, clocks_->clock(id), *ring_, config_.client));
   }
-  const auto adminId = static_cast<NodeId>(config_.servers + config_.clients);
-  admin_ = std::make_unique<AdminClient>(adminId, env_, *network_,
-                                         clocks_->clock(adminId), serverIds(),
-                                         config_.admin, ring_.get());
+  const auto adminId = static_cast<NodeId>(allServers + config_.clients);
+  admin_ = std::make_unique<AdminClient>(
+      adminId, env_, *network_, clocks_->clock(adminId), initialServerIds(),
+      config_.admin, ring_.get());
+
+  if (config_.server.membership.enabled) {
+    // Spares share the genesis view too (so their gossip daemon exists)
+    // but are not members of it: they stay dormant until joinServer().
+    const MembershipView genesis(initialServerIds());
+    for (auto& s : servers_) {
+      s->configureMembership(genesis, adminId, config_.ringVirtualNodes);
+    }
+  }
 }
+
+void VoldemortCluster::joinServer(size_t i, NodeId seedMember) {
+  servers_[i]->beginJoin(seedMember);
+}
+
+void VoldemortCluster::leaveServer(size_t i) { servers_[i]->beginLeave(); }
 
 sim::CausalityTrace& VoldemortCluster::enableCausalityTrace() {
   if (!trace_) {
-    const size_t totalNodes = config_.servers + config_.clients + 1;
+    const size_t totalNodes =
+        config_.servers + config_.spareServers + config_.clients + 1;
     trace_ = std::make_unique<sim::CausalityTrace>(env_, *clocks_, totalNodes);
     for (auto& s : servers_) s->setTrace(trace_.get());
     for (auto& c : clients_) c->setTrace(trace_.get());
@@ -65,6 +88,15 @@ std::vector<NodeId> VoldemortCluster::serverIds() const {
   std::vector<NodeId> ids;
   ids.reserve(servers_.size());
   for (size_t i = 0; i < servers_.size(); ++i) {
+    ids.push_back(static_cast<NodeId>(i));
+  }
+  return ids;
+}
+
+std::vector<NodeId> VoldemortCluster::initialServerIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(config_.servers);
+  for (size_t i = 0; i < config_.servers; ++i) {
     ids.push_back(static_cast<NodeId>(i));
   }
   return ids;

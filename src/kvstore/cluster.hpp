@@ -20,6 +20,9 @@ namespace retro::kv {
 struct ClusterConfig {
   size_t servers = 10;
   size_t clients = 11;
+  /// Extra servers constructed but NOT part of the genesis membership:
+  /// they sit idle until joinServer() gossips them in (elastic ring).
+  size_t spareServers = 0;
   uint64_t seed = 1;
   size_t ringVirtualNodes = 64;
   ServerConfig server;
@@ -43,7 +46,16 @@ class VoldemortCluster {
   VoldemortClient& client(size_t i) { return *clients_[i]; }
   AdminClient& admin() { return *admin_; }
 
+  /// All constructed servers, spares included.
   std::vector<NodeId> serverIds() const;
+  /// The genesis members (the first `config.servers` ids).
+  std::vector<NodeId> initialServerIds() const;
+
+  /// Gossip server `i` (usually a spare) into the ring via `seed` (any
+  /// genesis member).  Requires membership enabled in the server config.
+  void joinServer(size_t i, NodeId seedMember = 0);
+  /// Start the drain-and-leave protocol on server `i`.
+  void leaveServer(size_t i);
 
   /// The physical clock behind `node` (fault injection in the fuzz
   /// harness: skew spikes, stepping).

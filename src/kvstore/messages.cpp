@@ -7,6 +7,7 @@ void PutRequestBody::writeTo(ByteWriter& w) const {
   w.writeBytes(key);
   w.writeBytes(value);
   version.writeTo(w);
+  w.writeVarU64(viewEpoch);
 }
 
 PutRequestBody PutRequestBody::readFrom(ByteReader& r) {
@@ -15,6 +16,7 @@ PutRequestBody PutRequestBody::readFrom(ByteReader& r) {
   b.key = r.readBytes();
   b.value = r.readBytes();
   b.version = VersionVector::readFrom(r);
+  b.viewEpoch = r.readVarU64();
   return b;
 }
 
@@ -22,6 +24,9 @@ void PutResponseBody::writeTo(ByteWriter& w) const {
   w.writeVarU64(requestId);
   w.writeU8(ok ? 1 : 0);
   w.writeU8(conflictDetected ? 1 : 0);
+  w.writeVarU64(viewEpoch);
+  w.writeU8(view ? 1 : 0);
+  if (view) view->writeTo(w);
 }
 
 PutResponseBody PutResponseBody::readFrom(ByteReader& r) {
@@ -29,18 +34,22 @@ PutResponseBody PutResponseBody::readFrom(ByteReader& r) {
   b.requestId = r.readVarU64();
   b.ok = r.readU8() != 0;
   b.conflictDetected = r.readU8() != 0;
+  b.viewEpoch = r.readVarU64();
+  if (r.readU8() != 0) b.view = MembershipView::readFrom(r);
   return b;
 }
 
 void GetRequestBody::writeTo(ByteWriter& w) const {
   w.writeVarU64(requestId);
   w.writeBytes(key);
+  w.writeVarU64(viewEpoch);
 }
 
 GetRequestBody GetRequestBody::readFrom(ByteReader& r) {
   GetRequestBody b;
   b.requestId = r.readVarU64();
   b.key = r.readBytes();
+  b.viewEpoch = r.readVarU64();
   return b;
 }
 
@@ -49,6 +58,9 @@ void GetResponseBody::writeTo(ByteWriter& w) const {
   w.writeU8(value ? 1 : 0);
   if (value) w.writeBytes(*value);
   version.writeTo(w);
+  w.writeVarU64(viewEpoch);
+  w.writeU8(view ? 1 : 0);
+  if (view) view->writeTo(w);
 }
 
 GetResponseBody GetResponseBody::readFrom(ByteReader& r) {
@@ -56,6 +68,8 @@ GetResponseBody GetResponseBody::readFrom(ByteReader& r) {
   b.requestId = r.readVarU64();
   if (r.readU8() != 0) b.value = r.readBytes();
   b.version = VersionVector::readFrom(r);
+  b.viewEpoch = r.readVarU64();
+  if (r.readU8() != 0) b.view = MembershipView::readFrom(r);
   return b;
 }
 
@@ -66,6 +80,7 @@ void SnapshotRequestBody::writeTo(ByteWriter& w) const {
   w.writeU8(request.baseId ? 1 : 0);
   if (request.baseId) w.writeVarU64(*request.baseId);
   w.writeBytes(request.storeName);
+  w.writeVarU64(request.viewEpoch);
 }
 
 SnapshotRequestBody SnapshotRequestBody::readFrom(ByteReader& r) {
@@ -75,6 +90,7 @@ SnapshotRequestBody SnapshotRequestBody::readFrom(ByteReader& r) {
   b.request.kind = static_cast<core::SnapshotKind>(r.readU8());
   if (r.readU8() != 0) b.request.baseId = r.readVarU64();
   b.request.storeName = r.readBytes();
+  b.request.viewEpoch = r.readVarU64();
   return b;
 }
 
@@ -157,6 +173,106 @@ RepairResponseBody RepairResponseBody::readFrom(ByteReader& r) {
     it.version = VersionVector::readFrom(r);
     b.items.push_back(std::move(it));
   }
+  return b;
+}
+
+void GossipBody::writeTo(ByteWriter& w) const { view.writeTo(w); }
+
+GossipBody GossipBody::readFrom(ByteReader& r) {
+  GossipBody b;
+  b.view = MembershipView::readFrom(r);
+  return b;
+}
+
+void JoinRequestBody::writeTo(ByteWriter& w) const { w.writeVarU64(node); }
+
+JoinRequestBody JoinRequestBody::readFrom(ByteReader& r) {
+  JoinRequestBody b;
+  b.node = static_cast<NodeId>(r.readVarU64());
+  return b;
+}
+
+void JoinResponseBody::writeTo(ByteWriter& w) const { view.writeTo(w); }
+
+JoinResponseBody JoinResponseBody::readFrom(ByteReader& r) {
+  JoinResponseBody b;
+  b.view = MembershipView::readFrom(r);
+  return b;
+}
+
+namespace {
+
+void writeLogEntry(ByteWriter& w, const log::Entry& e) {
+  w.writeBytes(e.key);
+  w.writeU8(e.oldValue ? 1 : 0);
+  if (e.oldValue) w.writeBytes(*e.oldValue);
+  w.writeU8(e.newValue ? 1 : 0);
+  if (e.newValue) w.writeBytes(*e.newValue);
+  e.ts.writeTo(w);
+}
+
+log::Entry readLogEntry(ByteReader& r) {
+  log::Entry e;
+  e.key = r.readBytes();
+  if (r.readU8() != 0) e.oldValue = r.readBytes();
+  if (r.readU8() != 0) e.newValue = r.readBytes();
+  e.ts = hlc::Timestamp::readFrom(r);
+  return e;
+}
+
+}  // namespace
+
+void TransferChunkBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(transferId);
+  w.writeVarU64(source);
+  w.writeVarU64(chunkSeq);
+  w.writeU8(done ? 1 : 0);
+  sourceFloor.writeTo(w);
+  w.writeVarU64(items.size());
+  for (const TransferItemWire& it : items) {
+    w.writeBytes(it.key);
+    w.writeBytes(it.value);
+    it.version.writeTo(w);
+    w.writeVarU64(it.history.size());
+    for (const log::Entry& e : it.history) writeLogEntry(w, e);
+  }
+}
+
+TransferChunkBody TransferChunkBody::readFrom(ByteReader& r) {
+  TransferChunkBody b;
+  b.transferId = r.readVarU64();
+  b.source = static_cast<NodeId>(r.readVarU64());
+  b.chunkSeq = r.readVarU64();
+  b.done = r.readU8() != 0;
+  b.sourceFloor = hlc::Timestamp::readFrom(r);
+  const uint64_t count = r.readVarU64();
+  b.items.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TransferItemWire it;
+    it.key = r.readBytes();
+    it.value = r.readBytes();
+    it.version = VersionVector::readFrom(r);
+    const uint64_t entries = r.readVarU64();
+    it.history.reserve(entries);
+    for (uint64_t j = 0; j < entries; ++j) {
+      it.history.push_back(readLogEntry(r));
+    }
+    b.items.push_back(std::move(it));
+  }
+  return b;
+}
+
+void TransferAckBody::writeTo(ByteWriter& w) const {
+  w.writeVarU64(transferId);
+  w.writeVarU64(chunkSeq);
+  w.writeU8(accepted ? 1 : 0);
+}
+
+TransferAckBody TransferAckBody::readFrom(ByteReader& r) {
+  TransferAckBody b;
+  b.transferId = r.readVarU64();
+  b.chunkSeq = r.readVarU64();
+  b.accepted = r.readU8() != 0;
   return b;
 }
 

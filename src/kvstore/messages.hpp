@@ -16,7 +16,9 @@
 #include "core/snapshot.hpp"
 #include "core/temporal_query.hpp"
 #include "hlc/timestamp.hpp"
+#include "kvstore/membership.hpp"
 #include "kvstore/version_vector.hpp"
+#include "log/log_entry.hpp"
 
 namespace retro::kv {
 
@@ -33,6 +35,12 @@ enum MsgType : uint32_t {
   kRepairResponse,
   kQueryRequest,
   kQueryReply,
+  // --- elastic membership (gossip, join/leave, key-range transfer) ---
+  kGossip,
+  kJoinRequest,
+  kJoinResponse,
+  kTransferChunk,
+  kTransferAck,
 };
 
 // All bodies are serialized *after* the leading HLC timestamp, which the
@@ -43,6 +51,8 @@ struct PutRequestBody {
   Key key;
   Value value;
   VersionVector version;
+  /// Membership view epoch the client routed under (0 = static ring).
+  uint64_t viewEpoch = 0;
 
   void writeTo(ByteWriter& w) const;
   static PutRequestBody readFrom(ByteReader& r);
@@ -52,6 +62,10 @@ struct PutResponseBody {
   uint64_t requestId = 0;
   bool ok = true;
   bool conflictDetected = false;
+  /// Server's current view epoch; when the request's epoch was stale the
+  /// full view rides along so the client can re-derive its ring.
+  uint64_t viewEpoch = 0;
+  std::optional<MembershipView> view;
 
   void writeTo(ByteWriter& w) const;
   static PutResponseBody readFrom(ByteReader& r);
@@ -60,6 +74,7 @@ struct PutResponseBody {
 struct GetRequestBody {
   uint64_t requestId = 0;
   Key key;
+  uint64_t viewEpoch = 0;
 
   void writeTo(ByteWriter& w) const;
   static GetRequestBody readFrom(ByteReader& r);
@@ -69,6 +84,8 @@ struct GetResponseBody {
   uint64_t requestId = 0;
   OptValue value;
   VersionVector version;
+  uint64_t viewEpoch = 0;
+  std::optional<MembershipView> view;
 
   void writeTo(ByteWriter& w) const;
   static GetResponseBody readFrom(ByteReader& r);
@@ -144,6 +161,68 @@ struct QueryRequestBody {
 
   void writeTo(ByteWriter& w) const;
   static QueryRequestBody readFrom(ByteReader& r);
+};
+
+/// Periodic (and change-triggered) membership digest: the sender's full
+/// view.  Receivers merge by dominance rules and re-gossip on change.
+struct GossipBody {
+  MembershipView view;
+
+  void writeTo(ByteWriter& w) const;
+  static GossipBody readFrom(ByteReader& r);
+};
+
+/// A spare node asks a seed member for admission.
+struct JoinRequestBody {
+  NodeId node = 0;
+
+  void writeTo(ByteWriter& w) const;
+  static JoinRequestBody readFrom(ByteReader& r);
+};
+
+/// The seed's reply: the view with the joiner admitted as kJoining.
+struct JoinResponseBody {
+  MembershipView view;
+
+  void writeTo(ByteWriter& w) const;
+  static JoinResponseBody readFrom(ByteReader& r);
+};
+
+/// One unit of a key-range transfer stream (join rebalance or leave
+/// drain): current value + version per key, plus the sender's surviving
+/// window-log history for that key so the receiver's `diffToPast` can
+/// still reach below the transfer point.
+struct TransferItemWire {
+  Key key;
+  Value value;
+  VersionVector version;
+  std::vector<log::Entry> history;
+};
+
+struct TransferChunkBody {
+  uint64_t transferId = 0;
+  NodeId source = 0;
+  uint64_t chunkSeq = 0;
+  /// Last chunk of the stream (may carry zero items).
+  bool done = false;
+  /// The sender's window-log floor: the receiver cannot reconstruct the
+  /// transferred keys below it either.
+  hlc::Timestamp sourceFloor;
+  std::vector<TransferItemWire> items;
+
+  void writeTo(ByteWriter& w) const;
+  static TransferChunkBody readFrom(ByteReader& r);
+};
+
+/// Per-chunk cumulative ack; the sender's stop-and-wait retransmission
+/// makes transfers idempotent and resumable across crashes.
+struct TransferAckBody {
+  uint64_t transferId = 0;
+  uint64_t chunkSeq = 0;
+  bool accepted = true;
+
+  void writeTo(ByteWriter& w) const;
+  static TransferAckBody readFrom(ByteReader& r);
 };
 
 struct QueryReplyBody {

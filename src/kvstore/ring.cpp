@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "common/random.hpp"
-
 namespace retro::kv {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+uint64_t mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
 
 uint64_t Ring::hashKey(const Key& key) {
   // FNV-1a, finalized with a splitmix round for avalanche.
@@ -20,23 +32,49 @@ uint64_t Ring::hashKey(const Key& key) {
   return h;
 }
 
-Ring::Ring(size_t nodes, size_t virtualsPerNode, uint64_t seed)
-    : nodeCount_(nodes) {
+uint64_t Ring::pointPosition(uint64_t seed, NodeId node, size_t v) {
+  return mix64(seed + mix64((static_cast<uint64_t>(node) << 20) ^
+                            (static_cast<uint64_t>(v) + 1)));
+}
+
+Ring::Ring(size_t nodes, size_t virtualsPerNode, uint64_t seed) {
   if (nodes == 0) throw std::invalid_argument("Ring: need at least one node");
-  SplitMix64 sm(seed);
-  points_.reserve(nodes * virtualsPerNode);
-  for (NodeId n = 0; n < nodes; ++n) {
+  members_.reserve(nodes);
+  for (NodeId n = 0; n < nodes; ++n) members_.push_back(n);
+  build(virtualsPerNode, seed);
+}
+
+Ring::Ring(std::vector<NodeId> members, size_t virtualsPerNode, uint64_t seed)
+    : members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+  if (members_.empty()) {
+    throw std::invalid_argument("Ring: need at least one node");
+  }
+  build(virtualsPerNode, seed);
+}
+
+void Ring::build(size_t virtualsPerNode, uint64_t seed) {
+  points_.reserve(members_.size() * virtualsPerNode);
+  for (NodeId n : members_) {
     for (size_t v = 0; v < virtualsPerNode; ++v) {
-      points_.push_back({sm.next(), n});
+      points_.push_back({pointPosition(seed, n, v), n});
     }
   }
   std::sort(points_.begin(), points_.end(),
-            [](const Point& a, const Point& b) { return a.hash < b.hash; });
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+            });
+}
+
+bool Ring::contains(NodeId node) const {
+  return std::binary_search(members_.begin(), members_.end(), node);
 }
 
 std::vector<NodeId> Ring::preferenceList(const Key& key,
                                          size_t replicas) const {
-  replicas = std::min(replicas, nodeCount_);
+  replicas = std::min(replicas, members_.size());
   std::vector<NodeId> out;
   out.reserve(replicas);
   const uint64_t h = hashKey(key);
@@ -60,12 +98,14 @@ NodeId Ring::primary(const Key& key) const {
 }
 
 std::vector<NodeId> Ring::successorsOf(NodeId node, size_t count) const {
-  count = std::min(count, nodeCount_ > 0 ? nodeCount_ - 1 : 0);
+  const size_t others = members_.size() > 0 ? members_.size() - 1 : 0;
+  count = std::min(count, others);
   std::vector<NodeId> out;
   if (count == 0) return out;
   out.reserve(count);
-  // Walk clockwise from each of `node`'s virtual points; collect the
-  // first distinct other nodes encountered, in discovery order.
+  // First pass: walk clockwise from each of `node`'s virtual points up to
+  // its next virtual point; the first distinct other nodes encountered,
+  // in discovery order, are the likeliest replica holders.
   for (size_t i = 0; i < points_.size() && out.size() < count; ++i) {
     if (points_[i].node != node) continue;
     size_t scanned = 0;
@@ -78,6 +118,24 @@ std::vector<NodeId> Ring::successorsOf(NodeId node, size_t count) const {
         out.push_back(n);
       }
     }
+  }
+  if (out.size() >= count) return out;
+  // Second pass: the per-point walks can miss members that never directly
+  // follow one of `node`'s points (few virtuals, or count near the member
+  // count).  Fill the remainder with a full clockwise scan from `node`'s
+  // first point, skipping — not stopping at — its own points.
+  for (size_t i = 0; i < points_.size() && out.size() < count; ++i) {
+    if (points_[i].node != node) continue;
+    for (size_t j = (i + 1) % points_.size(), scanned = 0;
+         scanned < points_.size() && out.size() < count;
+         j = (j + 1) % points_.size(), ++scanned) {
+      const NodeId n = points_[j].node;
+      if (n == node) continue;
+      if (std::find(out.begin(), out.end(), n) == out.end()) {
+        out.push_back(n);
+      }
+    }
+    break;
   }
   return out;
 }

@@ -3,6 +3,13 @@
 // the key's hash.  Clients route and replicate with this ring (§IV-A
 // Fig. 7: "a client is directly responsible for replicating an item to a
 // set of nodes associated with the item's key").
+//
+// The ring is built over an explicit member list so that membership can
+// change at runtime: each member's virtual points are a pure function of
+// (seed, node, virtual index), independent of which other members exist.
+// Adding or removing one member therefore only moves the key ranges
+// adjacent to that member's points — the property the rebalance protocol
+// relies on to keep transfers minimal.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +21,19 @@ namespace retro::kv {
 
 class Ring {
  public:
-  /// `nodes` physical nodes, each projected onto `virtualsPerNode`
-  /// positions of the hash circle.
-  Ring(size_t nodes, size_t virtualsPerNode = 64, uint64_t seed = 0x52494e47);
+  /// `nodes` physical nodes with ids 0..nodes-1, each projected onto
+  /// `virtualsPerNode` positions of the hash circle.
+  explicit Ring(size_t nodes, size_t virtualsPerNode = 64,
+                uint64_t seed = 0x52494e47);
 
-  /// First `replicas` distinct nodes responsible for `key`.
+  /// Ring over an arbitrary member set (ids need not be contiguous).
+  /// Point positions depend only on (seed, member id, virtual index), so
+  /// two rings sharing a member place that member's points identically.
+  explicit Ring(std::vector<NodeId> members, size_t virtualsPerNode = 64,
+                uint64_t seed = 0x52494e47);
+
+  /// First `replicas` distinct nodes responsible for `key` (clamped to
+  /// the member count).
   std::vector<NodeId> preferenceList(const Key& key, size_t replicas) const;
 
   /// The primary (first preference) node for `key`.
@@ -27,12 +42,19 @@ class Ring {
   /// Up to `count` distinct nodes (excluding `node` itself) that follow
   /// `node`'s virtual points clockwise — the nodes most likely to hold
   /// replicas of key ranges `node` is primary for.  Used as the fallback
-  /// order when `node` cannot answer a snapshot request.
+  /// order when `node` cannot answer a snapshot request.  Asking for
+  /// `count >= nodeCount()` returns every other member.
   std::vector<NodeId> successorsOf(NodeId node, size_t count) const;
 
-  size_t nodeCount() const { return nodeCount_; }
+  size_t nodeCount() const { return members_.size(); }
+  const std::vector<NodeId>& members() const { return members_; }
+  bool contains(NodeId node) const;
 
   static uint64_t hashKey(const Key& key);
+
+  /// Position of member `node`'s `v`-th virtual point — a pure function
+  /// of the arguments (no dependence on the rest of the member set).
+  static uint64_t pointPosition(uint64_t seed, NodeId node, size_t v);
 
  private:
   struct Point {
@@ -40,8 +62,10 @@ class Ring {
     NodeId node;
   };
 
-  size_t nodeCount_;
-  std::vector<Point> points_;  // sorted by hash
+  void build(size_t virtualsPerNode, uint64_t seed);
+
+  std::vector<NodeId> members_;  // sorted, unique
+  std::vector<Point> points_;    // sorted by hash
 };
 
 }  // namespace retro::kv

@@ -109,6 +109,12 @@ void VoldemortServer::crash() {
   // retries re-request them after recovery (idempotently).
   activeSnapshots_.clear();
   pendingOnBase_.clear();
+  // Rebalance streams die too.  Outbound ones restart from chunk 0 after
+  // recovery (applications are idempotent); losing the inbound progress
+  // map makes this receiver ack "next expected = 0", rewinding senders.
+  outbound_.clear();
+  transferTargetsStarted_.clear();
+  inboundNext_.clear();
   // Crash-point storage physics against the journal's real bytes: any
   // frame whose fsync lied (and everything after it) never reached the
   // platter, and the last surviving frame may be torn mid-write.
@@ -166,6 +172,17 @@ void VoldemortServer::restart(std::function<void()> done) {
           id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
       updateMemoryModel();
       if (!quarantine_.empty()) startScrub();
+      if (membershipEnabled() && membershipStarted_ && !left_) {
+        // Re-stamp the suspicion timers (the whole outage would read as
+        // everyone's silence) and resume interrupted rebalances.
+        lastBeat_.clear();
+        onViewChanged(/*gossip=*/true);
+        if (joining_) armJoinTimeout();
+        if (leaving_) {
+          leaving_ = false;
+          beginLeave();
+        }
+      }
       if (done) done();
     });
   });
@@ -313,6 +330,67 @@ void VoldemortServer::onMessage(sim::Message&& msg) {
       });
       break;
     }
+    case kGossip: {
+      auto body = GossipBody::readFrom(r);
+      executor_.submit(60, [this, inc, remoteTs, from = msg.from,
+                            msgId = msg.msgId,
+                            body = std::move(body)]() mutable {
+        if (!alive_ || incarnation_ != inc) return;
+        const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, ts);
+        handleGossip(from, std::move(body));
+      });
+      break;
+    }
+    case kJoinRequest: {
+      auto body = JoinRequestBody::readFrom(r);
+      executor_.submit(80, [this, inc, remoteTs, from = msg.from,
+                            msgId = msg.msgId, body]() {
+        if (!alive_ || incarnation_ != inc) return;
+        const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, ts);
+        handleJoinRequest(from, body);
+      });
+      break;
+    }
+    case kJoinResponse: {
+      auto body = JoinResponseBody::readFrom(r);
+      executor_.submit(60, [this, inc, remoteTs, from = msg.from,
+                            msgId = msg.msgId,
+                            body = std::move(body)]() mutable {
+        if (!alive_ || incarnation_ != inc) return;
+        const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, ts);
+        handleJoinResponse(from, std::move(body));
+      });
+      break;
+    }
+    case kTransferChunk: {
+      auto body = TransferChunkBody::readFrom(r);
+      // Applying a chunk costs roughly what the equivalent puts would.
+      const TimeMicros cost =
+          150 + static_cast<TimeMicros>(body.items.size()) * 20;
+      executor_.submit(cost, [this, inc, remoteTs, from = msg.from,
+                              msgId = msg.msgId,
+                              body = std::move(body)]() mutable {
+        if (!alive_ || incarnation_ != inc) return;
+        const hlc::Timestamp eventTs = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, eventTs);
+        handleTransferChunk(eventTs, from, std::move(body));
+      });
+      break;
+    }
+    case kTransferAck: {
+      auto body = TransferAckBody::readFrom(r);
+      executor_.submit(50, [this, inc, remoteTs, from = msg.from,
+                            msgId = msg.msgId, body]() {
+        if (!alive_ || incarnation_ != inc) return;
+        const hlc::Timestamp ts = retroscope_.timeTick(remoteTs);
+        if (trace_) trace_->onRecv(id_, msgId, ts);
+        handleTransferAck(from, body);
+      });
+      break;
+    }
     default:
       break;  // unknown type: drop
   }
@@ -322,6 +400,18 @@ void VoldemortServer::handlePut(hlc::Timestamp eventTs, NodeId from,
                                 PutRequestBody body) {
   ++putsProcessed_;
   bool conflict = false;
+
+  // Stale-view redirect: answer with our epoch, and attach the full view
+  // when the client routed under an older one so it can re-derive its
+  // ring before retrying/continuing.
+  const auto stampView = [&](PutResponseBody& resp) {
+    if (!membershipEnabled() || !membershipStarted_) return;
+    resp.viewEpoch = view_.epoch();
+    if (body.viewEpoch < view_.epoch()) {
+      resp.view = view_;
+      membershipCounters_.add("membership.stale_view_replies");
+    }
+  };
 
   auto& stored = versions_[body.key];
   const Occurred cmp = body.version.compare(stored);
@@ -336,7 +426,9 @@ void VoldemortServer::handlePut(hlc::Timestamp eventTs, NodeId from,
   } else if (cmp == Occurred::kBefore || cmp == Occurred::kEqual) {
     // Stale write: ignore the data, report success (idempotent replay).
     send(from, kPutResponse, [&](ByteWriter& w) {
-      PutResponseBody resp{body.requestId, true, false};
+      PutResponseBody resp;
+      resp.requestId = body.requestId;
+      stampView(resp);
       resp.writeTo(w);
     });
     return;
@@ -360,7 +452,10 @@ void VoldemortServer::handlePut(hlc::Timestamp eventTs, NodeId from,
   if (!alive_) return;  // the put that broke the heap's back
 
   send(from, kPutResponse, [&](ByteWriter& w) {
-    PutResponseBody resp{body.requestId, true, conflict};
+    PutResponseBody resp;
+    resp.requestId = body.requestId;
+    resp.conflictDetected = conflict;
+    stampView(resp);
     resp.writeTo(w);
   });
 }
@@ -372,6 +467,13 @@ void VoldemortServer::handleGet(NodeId from, GetRequestBody body) {
   resp.value = bdb_->get(body.key);
   auto it = versions_.find(body.key);
   if (it != versions_.end()) resp.version = it->second;
+  if (membershipEnabled() && membershipStarted_) {
+    resp.viewEpoch = view_.epoch();
+    if (body.viewEpoch < view_.epoch()) {
+      resp.view = view_;
+      membershipCounters_.add("membership.stale_view_replies");
+    }
+  }
   send(from, kGetResponse, [&](ByteWriter& w) { resp.writeTo(w); });
 }
 
@@ -440,9 +542,20 @@ void VoldemortServer::handleSnapshotRequest(NodeId from,
       wlog.covers(body.request.target) ||
       (archive_ != nullptr && archive_->covers(body.request.target));
   if (!reachable) {
-    finishSnapshot(body.request.id, core::LocalSnapshotStatus::kOutOfReach, 0);
+    // When a rebalance is what moved the reachable floor (a key range
+    // arrived without its full history, or a source's own floor rode
+    // along with the hand-off), answer with the structured kRebalancing
+    // reason — the initiator can distinguish "the window slid past" from
+    // "the membership changed underneath the cut".
+    core::LocalSnapshotStatus status = core::LocalSnapshotStatus::kOutOfReach;
+    if (membershipEnabled() && rebalanceFloor_ > hlc::Timestamp{} &&
+        body.request.target < rebalanceFloor_) {
+      status = core::LocalSnapshotStatus::kRebalancing;
+      membershipCounters_.add("membership.rebalance_refusals");
+    }
+    finishSnapshot(body.request.id, status, 0);
     SnapshotAckBody ack;
-    ack.ack = {body.request.id, id_, core::LocalSnapshotStatus::kOutOfReach, 0};
+    ack.ack = {body.request.id, id_, status, 0};
     send(from, kSnapshotAck, [&](ByteWriter& w) { ack.writeTo(w); });
     return;
   }
@@ -475,6 +588,7 @@ void VoldemortServer::startSnapshot(ActiveSnapshot active) {
 
   if (active.request.kind == core::SnapshotKind::kFull) {
     active.stateAtCapture = bdb_->data();  // what the closed segments hold
+    if (captureObserver_) captureObserver_(id);
     activeSnapshots_.emplace(id, std::move(active));
     // Data-copy stage: disk copy of the closed segments plus the CPU it
     // costs, both contending with foreground work.
@@ -588,6 +702,12 @@ void VoldemortServer::snapshotCompaction(core::SnapshotId id) {
     return Status(StatusCode::kInvalidArgument, "unknown snapshot kind");
   };
   Result<log::DiffMap> diff = computeDelta();
+  if (diff.isOk() && active.request.kind != core::SnapshotKind::kFull &&
+      captureObserver_) {
+    // Incremental/rolling content is fixed here, when the delta is read
+    // out of the window-log (full snapshots were fixed at state capture).
+    captureObserver_(id);
+  }
 
   if (!diff.isOk()) {
     finishSnapshot(id,
@@ -854,7 +974,7 @@ void VoldemortServer::replayWal(log::WindowLog& wlog) {
 
 void VoldemortServer::startScrub() {
   if (scrubActive_ || quarantine_.empty() || !alive_) return;
-  if (ring_ == nullptr && repairPeers_.empty()) {
+  if (routingRing() == nullptr && repairPeers_.empty()) {
     // No topology to repair from: stay quarantined.  Refusing snapshots
     // is safe; serving silently wrong ones is not.
     storageCounters_.add("storage.repair_no_peers");
@@ -934,8 +1054,9 @@ void VoldemortServer::completeScrub() {
 
 NodeId VoldemortServer::repairTargetFor(const Key& key) const {
   std::vector<NodeId> candidates;
-  if (ring_ != nullptr && replicationFactor_ > 0) {
-    for (NodeId n : ring_->preferenceList(key, replicationFactor_)) {
+  const Ring* ring = routingRing();
+  if (ring != nullptr && replicationFactor_ > 0) {
+    for (NodeId n : ring->preferenceList(key, replicationFactor_)) {
       if (n != id_) candidates.push_back(n);
     }
   }
@@ -952,8 +1073,9 @@ NodeId VoldemortServer::repairTargetFor(const Key& key) const {
 
 size_t VoldemortServer::repairCandidateCount(const Key& key) const {
   size_t count = 0;
-  if (ring_ != nullptr && replicationFactor_ > 0) {
-    for (NodeId n : ring_->preferenceList(key, replicationFactor_)) {
+  const Ring* ring = routingRing();
+  if (ring != nullptr && replicationFactor_ > 0) {
+    for (NodeId n : ring->preferenceList(key, replicationFactor_)) {
       if (n != id_) ++count;
     }
   }
@@ -1115,6 +1237,562 @@ void VoldemortServer::handleQueryRequest(NodeId from, QueryRequestBody body) {
     if (!alive_ || incarnation_ != inc) return;
     send(from, kQueryReply, [&](ByteWriter& w) { reply.writeTo(w); });
   });
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership: gossip, join/leave, key-range rebalance
+// ---------------------------------------------------------------------------
+
+void VoldemortServer::configureMembership(const MembershipView& genesis,
+                                          NodeId adminId,
+                                          size_t ringVirtualNodes) {
+  if (!membershipEnabled()) return;
+  view_ = genesis;
+  adminId_ = adminId;
+  hasAdmin_ = true;
+  ringVirtualNodes_ = ringVirtualNodes;
+  gossipRng_ = SplitMix64(0x6d656d6272736870ULL ^
+                          (static_cast<uint64_t>(id_) + 1) * 0x9e3779b97f4a7c15ULL);
+  if (view_.find(id_) != nullptr) {
+    membershipStarted_ = true;
+    // The admin was constructed with the genesis membership: no push.
+    lastPushedEpoch_ = view_.epoch();
+    onViewChanged(/*gossip=*/false);
+  }
+  env_->scheduleDaemon(config_.membership.gossipPeriodMicros,
+                       [this] { membershipTick(); });
+}
+
+Ring VoldemortServer::ringOver(std::vector<NodeId> members) const {
+  return Ring(std::move(members), ringVirtualNodes_);
+}
+
+void VoldemortServer::onViewChanged(bool gossip) {
+  membershipCounters_.add("membership.view_changes");
+  auto routable = view_.routableMembers();
+  if (!routable.empty()) ownRing_ = ringOver(std::move(routable));
+  if (hasAdmin_ && alive_ && !left_ && view_.epoch() > lastPushedEpoch_) {
+    lastPushedEpoch_ = view_.epoch();
+    pushViewTo(adminId_);
+  }
+  maybeStartOutboundTransfers();
+  if (gossip) gossipNow();
+}
+
+void VoldemortServer::membershipTick() {
+  if (alive_ && membershipStarted_ && !left_) {
+    const TimeMicros localNow = env_->now();
+    bool changed = false;
+    if (view_.find(id_) != nullptr) view_.beatHeartbeat(id_);
+    for (const auto& [node, rec] : view_.records()) {
+      if (node == id_ || rec.status == MemberStatus::kLeft) continue;
+      auto [it, inserted] = lastBeat_.try_emplace(
+          node, std::make_pair(rec.heartbeat, localNow));
+      if (!inserted && rec.heartbeat > it->second.first) {
+        it->second = {rec.heartbeat, localNow};
+      }
+      const TimeMicros silent = localNow - it->second.second;
+      // Suspicion is epidemic: a heartbeat relayed through any peer
+      // resets the timer, so a one-way link loss never confirms death.
+      // Only full routing participants are suspected — a joiner that
+      // goes quiet simply never activates (suspicion would promote it
+      // into the routable set half-transferred).
+      if (rec.status == MemberStatus::kActive ||
+          rec.status == MemberStatus::kLeaving) {
+        if (silent >= config_.membership.suspectAfterMicros) {
+          view_.setStatus(node, MemberStatus::kSuspect);
+          membershipCounters_.add("membership.suspects_marked");
+          changed = true;
+        }
+      } else if (rec.status == MemberStatus::kSuspect &&
+                 silent >= config_.membership.confirmAfterMicros) {
+        view_.setStatus(node, MemberStatus::kDead);
+        membershipCounters_.add("membership.deaths_confirmed");
+        changed = true;
+      }
+    }
+    if (joining_ && view_.find(id_) == nullptr) {
+      // Admission raced with a dropped reply: ask the seed again.
+      JoinRequestBody req{id_};
+      send(joinSeed_, kJoinRequest, [&](ByteWriter& w) { req.writeTo(w); });
+    }
+    if (changed) {
+      onViewChanged(/*gossip=*/true);
+    } else {
+      gossipNow();
+    }
+  }
+  // Reschedules even while crashed (the daemon survives a restart);
+  // stops for good once the node has left.
+  if (!left_) {
+    env_->scheduleDaemon(config_.membership.gossipPeriodMicros,
+                         [this] { membershipTick(); });
+  }
+}
+
+void VoldemortServer::gossipNow() {
+  if (!alive_ || !membershipStarted_ || left_) return;
+  // kSuspect/kDead stay candidates: a falsely-accused member can only
+  // refute a claim it has seen.
+  std::vector<NodeId> candidates;
+  for (const auto& [node, rec] : view_.records()) {
+    if (node != id_ && rec.status != MemberStatus::kLeft) {
+      candidates.push_back(node);
+    }
+  }
+  const size_t fanout =
+      std::min(config_.membership.gossipFanout, candidates.size());
+  for (size_t i = 0; i < fanout; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(gossipRng_.next() % (candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+    pushViewTo(candidates[i]);
+    membershipCounters_.add("membership.gossip_sent");
+  }
+}
+
+void VoldemortServer::pushViewTo(NodeId peer) {
+  GossipBody body{view_};
+  send(peer, kGossip, [&](ByteWriter& w) { body.writeTo(w); });
+}
+
+void VoldemortServer::handleGossip(NodeId /*from*/, GossipBody body) {
+  if (!membershipEnabled() || !membershipStarted_ || left_) return;
+  const uint64_t before = view_.epoch();
+  if (view_.merge(body.view, id_)) {
+    membershipCounters_.add("membership.gossip_merged");
+    if (joining_) noteAdmission();
+    // Re-gossip eagerly only when the epoch moved (a status change);
+    // heartbeat-only merges ride the periodic rounds.
+    onViewChanged(/*gossip=*/view_.epoch() > before);
+  }
+}
+
+void VoldemortServer::handleJoinRequest(NodeId from, JoinRequestBody body) {
+  if (!membershipEnabled() || !membershipStarted_ || left_ || joining_) return;
+  const auto status = view_.statusOf(body.node);
+  if (status && *status == MemberStatus::kLeft) return;  // terminal
+  if (!status) {
+    view_.setStatus(body.node, MemberStatus::kJoining);
+    membershipCounters_.add("membership.joins_admitted");
+    onViewChanged(/*gossip=*/true);
+  }
+  // Answer (and re-answer duplicates) with the admitting view.
+  JoinResponseBody resp{view_};
+  send(from, kJoinResponse, [&](ByteWriter& w) { resp.writeTo(w); });
+}
+
+void VoldemortServer::handleJoinResponse(NodeId /*from*/,
+                                         JoinResponseBody body) {
+  if (!membershipEnabled() || !joining_ || left_) return;
+  view_.merge(body.view, id_);
+  noteAdmission();
+  onViewChanged(/*gossip=*/false);
+}
+
+void VoldemortServer::noteAdmission() {
+  if (!joining_ || joinSourcesInitialized_) return;
+  const auto st = view_.statusOf(id_);
+  if (!st || *st != MemberStatus::kJoining) return;
+  joinSourcesInitialized_ = true;
+  for (const auto& [node, rec] : view_.records()) {
+    if (node == id_) continue;
+    if (rec.status == MemberStatus::kActive ||
+        rec.status == MemberStatus::kLeaving) {
+      pendingJoinSources_.insert(node);
+    }
+  }
+  if (pendingJoinSources_.empty()) activateSelf(/*historyIncomplete=*/false);
+}
+
+void VoldemortServer::beginJoin(NodeId seedMember) {
+  if (!membershipEnabled() || membershipStarted_ || left_) return;
+  membershipStarted_ = true;
+  joining_ = true;
+  joinSeed_ = seedMember;
+  membershipCounters_.add("membership.joins_started");
+  JoinRequestBody req{id_};
+  send(seedMember, kJoinRequest, [&](ByteWriter& w) { req.writeTo(w); });
+  armJoinTimeout();
+}
+
+void VoldemortServer::armJoinTimeout() {
+  const uint64_t inc = incarnation_;
+  env_->schedule(config_.membership.joinTimeoutMicros, [this, inc] {
+    if (!alive_ || incarnation_ != inc || !joining_) return;
+    membershipCounters_.add("membership.join_timeouts");
+    const bool abandoned =
+        !pendingJoinSources_.empty() || !joinSourcesInitialized_;
+    pendingJoinSources_.clear();
+    joinSourcesInitialized_ = true;
+    activateSelf(/*historyIncomplete=*/abandoned);
+  });
+}
+
+void VoldemortServer::activateSelf(bool historyIncomplete) {
+  if (!joining_) return;
+  joining_ = false;
+  if (historyIncomplete || sawHistorylessKeys_) {
+    // Some inherited ranges carry no history below their hand-off point
+    // (ablated hand-off, a trimmed source, or abandoned sources): a cut
+    // below the activation point through this node would silently lose
+    // them.  The floor genuinely moved — record it so such targets get
+    // the structured kRebalancing refusal instead of a wrong answer.
+    log::WindowLog& wlog = retroscope_.getLog(kStoreLog);
+    wlog.truncateThrough(retroscope_.now());
+    if (wal_) wal_->reset(wlog.nextSeq());
+    if (rebalanceFloor_ < wlog.floor()) rebalanceFloor_ = wlog.floor();
+    membershipCounters_.add("membership.floor_moves");
+  }
+  view_.setStatus(id_, MemberStatus::kActive);
+  membershipCounters_.add("membership.joins_completed");
+  updateMemoryModel();
+  onViewChanged(/*gossip=*/true);
+}
+
+void VoldemortServer::beginLeave() {
+  if (!membershipEnabled() || !membershipStarted_ || joining_ || leaving_ ||
+      left_ || !alive_) {
+    return;
+  }
+  leaving_ = true;
+  membershipCounters_.add("membership.leaves_started");
+  view_.setStatus(id_, MemberStatus::kLeaving);
+  onViewChanged(/*gossip=*/true);
+  // Drain: stream each key range (values + history) to the members that
+  // inherit it once this node is gone.
+  auto remaining = view_.routableMembers();
+  remaining.erase(std::remove(remaining.begin(), remaining.end(), id_),
+                  remaining.end());
+  if (!remaining.empty()) {
+    const Ring after = ringOver(remaining);
+    for (NodeId dest : remaining) {
+      if (view_.statusOf(dest) == MemberStatus::kDead) continue;
+      startTransferTo(dest, after, /*drain=*/true);
+    }
+  }
+  finishLeaveDrain();  // covers the zero-stream case
+}
+
+void VoldemortServer::finishLeaveDrain() {
+  if (!leaving_ || left_) return;
+  for (const auto& [tid, t] : outbound_) {
+    if (t.drain) return;  // still draining
+  }
+  leaving_ = false;
+  left_ = true;
+  membershipCounters_.add("membership.leaves_completed");
+  view_.setStatus(id_, MemberStatus::kLeft);
+  // Final announcement to every reachable member and the admin (a random
+  // fanout would race our own shutdown).
+  for (const auto& [node, rec] : view_.records()) {
+    if (node != id_ && rec.status != MemberStatus::kLeft &&
+        rec.status != MemberStatus::kDead) {
+      pushViewTo(node);
+    }
+  }
+  if (hasAdmin_) pushViewTo(adminId_);
+  network_->disconnect(id_);
+}
+
+void VoldemortServer::maybeStartOutboundTransfers() {
+  if (!alive_ || !membershipStarted_ || joining_ || left_) return;
+  const auto selfStatus = view_.statusOf(id_);
+  if (!selfStatus || (*selfStatus != MemberStatus::kActive &&
+                      *selfStatus != MemberStatus::kLeaving &&
+                      *selfStatus != MemberStatus::kSuspect)) {
+    return;  // only standing members seed joiners
+  }
+  for (const auto& [node, rec] : view_.records()) {
+    if (node == id_ || rec.status != MemberStatus::kJoining) continue;
+    if (!transferTargetsStarted_.insert(node).second) continue;
+    // Every standing replica streams its share of the joiner's ranges;
+    // the joiner reconciles duplicate copies by version vector.
+    auto members = view_.routableMembers();
+    if (std::find(members.begin(), members.end(), node) == members.end()) {
+      members.push_back(node);
+    }
+    startTransferTo(node, ringOver(std::move(members)), /*drain=*/false);
+  }
+}
+
+void VoldemortServer::startTransferTo(NodeId target, const Ring& targetRing,
+                                      bool drain) {
+  const size_t nrep = replicationFactor_ > 0 ? replicationFactor_ : 2;
+  // Deterministic key order so chunk boundaries replay identically for a
+  // given seed regardless of hash-map iteration order.
+  std::vector<Key> keys;
+  keys.reserve(bdb_->data().size());
+  for (const auto& [k, v] : bdb_->data()) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+
+  const log::WindowLog& wlog = retroscope_.getLog(kStoreLog);
+  const Ring* oldRing = routingRing();
+  std::vector<TransferItemWire> items;
+  for (const Key& k : keys) {
+    if (quarantine_.count(k) > 0) continue;  // never spread corruption
+    auto newPl = targetRing.preferenceList(k, nrep);
+    if (std::find(newPl.begin(), newPl.end(), target) == newPl.end()) continue;
+    if (drain && oldRing != nullptr) {
+      auto oldPl = oldRing->preferenceList(k, nrep);
+      if (std::find(oldPl.begin(), oldPl.end(), target) != oldPl.end()) {
+        continue;  // the target already replicates this key
+      }
+    }
+    TransferItemWire item;
+    item.key = k;
+    if (OptValue v = bdb_->get(k)) item.value = std::move(*v);
+    if (auto it = versions_.find(k); it != versions_.end()) {
+      item.version = it->second;
+    }
+    if (config_.membership.handoffHistory && config_.windowLogEnabled) {
+      item.history = wlog.historyFor(k);
+      if (item.history.empty() && wlog.floor() == hlc::Timestamp{}) {
+        // A preloaded key never written since genesis: synthesize its
+        // creation so the receiver answers diffToPast at any time the
+        // way this node would.
+        item.history.push_back(
+            log::Entry{k, std::nullopt, item.value, hlc::Timestamp{}});
+      }
+    }
+    items.push_back(std::move(item));
+  }
+  if (drain && items.empty()) return;  // nothing for this destination
+
+  OutboundTransfer t;
+  t.target = target;
+  t.drain = drain;
+  const uint64_t tid =
+      (static_cast<uint64_t>(id_) << 32) | ++transferCounter_;
+  const size_t chunkKeys =
+      std::max<size_t>(1, config_.membership.transferChunkKeys);
+  const hlc::Timestamp floor =
+      config_.windowLogEnabled ? wlog.floor() : hlc::Timestamp{};
+  for (size_t i = 0; i < items.size(); i += chunkKeys) {
+    TransferChunkBody chunk;
+    chunk.transferId = tid;
+    chunk.source = id_;
+    chunk.chunkSeq = t.chunks.size();
+    chunk.sourceFloor = floor;
+    const size_t end = std::min(items.size(), i + chunkKeys);
+    chunk.items.assign(std::make_move_iterator(items.begin() + i),
+                       std::make_move_iterator(items.begin() + end));
+    t.chunks.push_back(std::move(chunk));
+  }
+  if (t.chunks.empty()) {
+    TransferChunkBody chunk;
+    chunk.transferId = tid;
+    chunk.source = id_;
+    chunk.sourceFloor = floor;
+    t.chunks.push_back(std::move(chunk));
+  }
+  t.chunks.back().done = true;
+  outbound_.emplace(tid, std::move(t));
+  membershipCounters_.add("membership.transfers_started");
+  membershipCounters_.add("membership.keys_offered", items.size());
+  sendTransferChunk(tid);
+}
+
+void VoldemortServer::sendTransferChunk(uint64_t transferId) {
+  auto it = outbound_.find(transferId);
+  if (it == outbound_.end() || !alive_) return;
+  OutboundTransfer& t = it->second;
+  if (t.nextChunk >= t.chunks.size()) return;
+  if (t.totalSends >= static_cast<uint64_t>(config_.membership.maxChunkAttempts) *
+                          (t.chunks.size() + 2)) {
+    // Rewind-loop bound: a receiver that keeps losing its progress
+    // cannot hold the stream (and a leaving node's drain) open forever.
+    abortTransfer(transferId);
+    return;
+  }
+  ++t.attempts;
+  ++t.totalSends;
+  membershipCounters_.add("membership.chunks_sent");
+  const TransferChunkBody& chunk = t.chunks[t.nextChunk];
+  send(t.target, kTransferChunk, [&](ByteWriter& w) { chunk.writeTo(w); });
+  // Stop-and-wait: arm the retransmission (capped exponential backoff).
+  TimeMicros delay = config_.membership.transferRetryBaseMicros;
+  for (uint32_t i = 1;
+       i < t.attempts && delay < config_.membership.transferRetryCapMicros;
+       ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, config_.membership.transferRetryCapMicros);
+  const uint64_t gen = ++t.generation;
+  const uint64_t inc = incarnation_;
+  env_->schedule(delay, [this, transferId, gen, inc] {
+    if (!alive_ || incarnation_ != inc) return;
+    transferChunkTimeout(transferId, gen);
+  });
+}
+
+void VoldemortServer::transferChunkTimeout(uint64_t transferId,
+                                           uint64_t generation) {
+  auto it = outbound_.find(transferId);
+  if (it == outbound_.end() || it->second.generation != generation) return;
+  if (it->second.attempts >= config_.membership.maxChunkAttempts) {
+    abortTransfer(transferId);
+    return;
+  }
+  membershipCounters_.add("membership.chunks_resent");
+  sendTransferChunk(transferId);
+}
+
+void VoldemortServer::abortTransfer(uint64_t transferId) {
+  auto it = outbound_.find(transferId);
+  if (it == outbound_.end()) return;
+  const bool drain = it->second.drain;
+  outbound_.erase(it);
+  membershipCounters_.add("membership.transfers_aborted");
+  // An aborted join stream leaves the joiner waiting: its join timeout
+  // abandons us and moves its floor.  An aborted drain stream must not
+  // hold the departure open.
+  if (drain) finishLeaveDrain();
+}
+
+void VoldemortServer::handleTransferAck(NodeId /*from*/, TransferAckBody body) {
+  auto it = outbound_.find(body.transferId);
+  if (it == outbound_.end()) return;
+  OutboundTransfer& t = it->second;
+  ++t.generation;  // cancel the armed retransmission
+  const auto acked = static_cast<size_t>(body.chunkSeq);
+  if (acked > t.nextChunk) {
+    t.nextChunk = acked;
+    t.attempts = 0;
+  } else if (acked < t.nextChunk) {
+    // The receiver lost its inbound progress (crash/restart) and expects
+    // an earlier chunk: rewind and replay — applications are idempotent.
+    membershipCounters_.add("membership.stream_rewinds");
+    t.nextChunk = acked;
+    t.attempts = 0;
+  }
+  // acked == nextChunk: our previous send was lost; resend it now.
+  if (t.nextChunk >= t.chunks.size()) {
+    const bool drain = t.drain;
+    outbound_.erase(it);
+    membershipCounters_.add("membership.transfers_completed");
+    if (drain) finishLeaveDrain();
+    return;
+  }
+  sendTransferChunk(body.transferId);
+}
+
+void VoldemortServer::handleTransferChunk(hlc::Timestamp eventTs, NodeId from,
+                                          TransferChunkBody body) {
+  if (!membershipEnabled() || left_) return;
+  uint64_t& next = inboundNext_[body.transferId];
+  if (body.chunkSeq == next) {
+    uint64_t graftedEntries = 0;
+    uint64_t bytes = 0;
+    bool walDirty = false;
+    for (const TransferItemWire& item : body.items) {
+      bytes += item.key.size() + item.value.size();
+      if (applyTransferItem(item, eventTs, body.sourceFloor,
+                            &graftedEntries)) {
+        walDirty = true;
+      }
+    }
+    ++next;
+    membershipCounters_.add("membership.chunks_received");
+    membershipCounters_.add("membership.keys_received", body.items.size());
+    if (graftedEntries > 0) {
+      membershipCounters_.add("membership.history_entries_grafted",
+                              graftedEntries);
+    }
+    if (walDirty && wal_) {
+      // Grafted entries joined the window-log without journal frames:
+      // re-seed the journal at the log's sequence so recovery replay
+      // stays aligned.
+      wal_->reset(retroscope_.getLog(kStoreLog).nextSeq());
+    }
+    if (bytes > 0) disk_->write(bytes, [] {});
+    updateMemoryModel();
+    if (!alive_) return;  // the chunk that broke the heap's back
+  } else if (body.chunkSeq < next) {
+    membershipCounters_.add("membership.chunks_duplicate");
+  }
+  // Cumulative ack: always answer with the next expected chunk, so a
+  // restarted receiver (progress reset to 0) rewinds the sender and the
+  // stream replays idempotently; a gap send is nacked the same way.
+  TransferAckBody ack{body.transferId, next, true};
+  send(from, kTransferAck, [&](ByteWriter& w) { ack.writeTo(w); });
+  if (body.done && body.chunkSeq < next && joining_) {
+    pendingJoinSources_.erase(from);
+    if (joinSourcesInitialized_ && pendingJoinSources_.empty()) {
+      activateSelf(/*historyIncomplete=*/false);
+    }
+  }
+}
+
+bool VoldemortServer::applyTransferItem(const TransferItemWire& item,
+                                        hlc::Timestamp eventTs,
+                                        hlc::Timestamp sourceFloor,
+                                        uint64_t* graftedEntries) {
+  log::WindowLog& wlog = retroscope_.getLog(kStoreLog);
+  const bool quarantined = quarantine_.count(item.key) > 0;
+  const bool known =
+      !quarantined && (versions_.find(item.key) != versions_.end() ||
+                       bdb_->get(item.key).has_value());
+
+  if (!known && !quarantined && config_.windowLogEnabled &&
+      config_.membership.handoffHistory && !item.history.empty() &&
+      !wlog.hasHistoryFor(item.key)) {
+    // Fresh key arriving with its full source history: graft it under
+    // our own entries so diffToPast reaches below the transfer point
+    // exactly as on the previous owner.  Single-source-per-key: only a
+    // key with no local entries may be grafted, otherwise per-key
+    // old/new chains would interleave incoherently.  Observer first —
+    // the shadow history must contain everything the log does.
+    if (appendObserver_) {
+      // A chain whose first entry carries an oldValue implies a value
+      // that existed before any logged write (the source's preloaded
+      // state): diffToPast below the chain resurrects it via that
+      // oldValue, so the shadow needs the implied genesis write too.
+      if (item.history.front().oldValue) {
+        appendObserver_(log::Entry{item.key, std::nullopt,
+                                   item.history.front().oldValue,
+                                   hlc::Timestamp{}});
+      }
+      for (const log::Entry& e : item.history) appendObserver_(e);
+    }
+    *graftedEntries += wlog.graftHistory(item.history, sourceFloor);
+    if (rebalanceFloor_ < sourceFloor) rebalanceFloor_ = sourceFloor;
+    bdb_->put(item.key, item.value);
+    versions_[item.key] = item.version;
+    return true;
+  }
+
+  // Value-only path: merge by version vector like an ordinary replicated
+  // write (kAfter applies, concurrent merges last-write-wins, stale
+  // drops).  A quarantined key is rebuilt outright — the transferred
+  // copy is exactly as good as a scrub repair.
+  VersionVector stored;
+  if (auto it = versions_.find(item.key); it != versions_.end()) {
+    stored = it->second;
+  }
+  const Occurred cmp =
+      quarantined ? Occurred::kAfter : item.version.compare(stored);
+  if (cmp == Occurred::kBefore || cmp == Occurred::kEqual) return false;
+  VersionVector incoming = item.version;
+  if (cmp == Occurred::kConcurrent) incoming.merge(stored);
+  const OptValue old = quarantined ? OptValue{} : bdb_->get(item.key);
+  bdb_->put(item.key, item.value);
+  versions_[item.key] = incoming;
+  if (config_.windowLogEnabled) {
+    logAppend(item.key, old, item.value, eventTs);
+    if (!known && !quarantined) {
+      // A fresh key without its history: everything below this append
+      // is unreachable here — activation must move the floor.
+      sawHistorylessKeys_ = true;
+    }
+  }
+  if (quarantined) {
+    quarantine_.erase(item.key);
+    absentFrom_.erase(item.key);
+    storageCounters_.add("storage.keys_superseded");
+    if (quarantine_.empty()) completeScrub();
+  }
+  return false;
 }
 
 }  // namespace retro::kv

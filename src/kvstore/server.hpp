@@ -18,6 +18,7 @@
 #include <set>
 
 #include "common/metrics.hpp"
+#include "common/random.hpp"
 #include "core/retroscope.hpp"
 #include "core/snapshot.hpp"
 #include "core/snapshot_store.hpp"
@@ -144,6 +145,11 @@ struct ServerConfig {
   /// Corruption fault model (all probabilities default to zero).  The
   /// per-server model derives its stream from this seed and the node id.
   sim::StorageFaultConfig storageFaults;
+
+  /// Elastic membership (gossip, join/leave, key-range rebalance).
+  /// Disabled by default: the cluster then runs on the static ring with
+  /// zero gossip traffic, exactly as before.
+  MembershipConfig membership;
 };
 
 class VoldemortServer {
@@ -204,6 +210,17 @@ class VoldemortServer {
     appendObserver_ = std::move(observer);
   }
 
+  /// Observer invoked at the instant a snapshot's content is fixed —
+  /// state capture for full snapshots, delta computation for
+  /// incremental/rolling ones.  The fuzz oracle uses it to mark how much
+  /// shadow history the snapshot could possibly reflect: under elastic
+  /// membership, rebalance grafts append history with timestamps in the
+  /// past, so "everything with ts <= target" overshoots any snapshot
+  /// captured before the graft arrived.
+  void setSnapshotCaptureObserver(std::function<void(core::SnapshotId)> obs) {
+    captureObserver_ = std::move(obs);
+  }
+
   /// Repair topology: the ring (for per-key preference lists) and the
   /// peer servers a scrub may ask to rebuild quarantined keys.
   /// `replicas` is the replication factor keys were written with.
@@ -249,6 +266,36 @@ class VoldemortServer {
   /// reporting: simulated snapshot CPU is charged from exactly these).
   const log::DiffStats& diffTotals() const { return diffTotals_; }
   uint64_t diffCalls() const { return diffCalls_; }
+
+  // --- elastic membership (gossip, join/leave, rebalance) ---
+
+  /// Arm the gossip/rebalance agent.  Genesis members pass the initial
+  /// view (which contains them); spare nodes pass the same view (which
+  /// does not) and stay dormant until beginJoin().  `adminId` receives a
+  /// view push on every epoch change so future snapshot sessions span
+  /// the current members.  No-op unless config.membership.enabled.
+  void configureMembership(const MembershipView& genesis, NodeId adminId,
+                           size_t ringVirtualNodes);
+
+  /// Ask `seedMember` for admission and start receiving key-range
+  /// transfers; the node activates when every source finished (or the
+  /// join timeout abandons the stragglers, moving the rebalance floor).
+  void beginJoin(NodeId seedMember);
+
+  /// Graceful departure: drain owned key ranges (values + window-log
+  /// history) to the members inheriting them, announce kLeft, disconnect.
+  void beginLeave();
+
+  const MembershipView& view() const { return view_; }
+  uint64_t viewEpoch() const { return view_.epoch(); }
+  bool isJoining() const { return joining_; }
+  bool hasLeft() const { return left_; }
+  /// Earliest time a snapshot through this node can still be a faithful
+  /// cut after rebalances; targets below it refuse with kRebalancing.
+  hlc::Timestamp rebalanceFloor() const { return rebalanceFloor_; }
+  /// membership.* counters: gossip rounds, view changes, transfers
+  /// started/completed/aborted, keys/history entries migrated, ...
+  const Counters& membershipCounters() const { return membershipCounters_; }
 
  private:
   struct ActiveSnapshot {
@@ -300,6 +347,87 @@ class VoldemortServer {
   void checkpointTick();
   void send(NodeId to, uint32_t type, const std::function<void(ByteWriter&)>& body);
 
+  // --- membership / rebalance internals ---
+  /// One outbound key-range stream (stop-and-wait, cumulative acks).
+  struct OutboundTransfer {
+    NodeId target = 0;
+    bool drain = false;  ///< part of this node's leave drain
+    std::vector<TransferChunkBody> chunks;
+    size_t nextChunk = 0;      ///< lowest unacknowledged chunk
+    uint32_t attempts = 0;     ///< sends of the current chunk
+    uint64_t totalSends = 0;   ///< rewind-loop bound
+    uint64_t generation = 0;   ///< timer cancellation
+  };
+
+  bool membershipEnabled() const { return config_.membership.enabled; }
+  /// The ring requests are routed/repaired against: the view-derived
+  /// ring once membership is on, the static cluster ring otherwise.
+  const Ring* routingRing() const {
+    return ownRing_ ? &*ownRing_ : ring_;
+  }
+  void membershipTick();
+  void gossipNow();
+  void pushViewTo(NodeId peer);
+  /// React to any change of the local view: re-derive the routing ring,
+  /// push the view to the admin, start owed transfers, optionally gossip.
+  void onViewChanged(bool gossip);
+  void handleGossip(NodeId from, GossipBody body);
+  void handleJoinRequest(NodeId from, JoinRequestBody body);
+  void handleJoinResponse(NodeId from, JoinResponseBody body);
+  void handleTransferChunk(hlc::Timestamp eventTs, NodeId from,
+                           TransferChunkBody body);
+  void handleTransferAck(NodeId from, TransferAckBody body);
+  void maybeStartOutboundTransfers();
+  /// Chunk the keys `target` inherits (per `targetRing`) into a stream.
+  void startTransferTo(NodeId target, const Ring& targetRing, bool drain);
+  void sendTransferChunk(uint64_t transferId);
+  void transferChunkTimeout(uint64_t transferId, uint64_t generation);
+  void abortTransfer(uint64_t transferId);
+  /// Apply one transferred item; returns true if per-key history was
+  /// grafted into the window-log (caller re-syncs the WAL).
+  bool applyTransferItem(const TransferItemWire& item, hlc::Timestamp eventTs,
+                         hlc::Timestamp sourceFloor, uint64_t* graftedEntries);
+  void armJoinTimeout();
+  /// First sight of our own kJoining record: snapshot the set of sources
+  /// that owe us a stream (or activate straight away if there are none).
+  void noteAdmission();
+  void activateSelf(bool historyIncomplete);
+  void finishLeaveDrain();
+  Ring ringOver(std::vector<NodeId> members) const;
+
+  // --- membership state ---
+  MembershipView view_;
+  std::optional<Ring> ownRing_;  ///< derived from view_'s routable members
+  size_t ringVirtualNodes_ = 64;
+  NodeId adminId_ = 0;
+  bool hasAdmin_ = false;
+  uint64_t lastPushedEpoch_ = 0;
+  bool membershipStarted_ = false;
+  bool joining_ = false;
+  NodeId joinSeed_ = 0;
+  bool joinSourcesInitialized_ = false;
+  bool leaving_ = false;
+  bool left_ = false;
+  /// Per-peer {last seen heartbeat, local time it advanced} for the
+  /// suspicion timers; heartbeat relays via any path reset them.
+  std::map<NodeId, std::pair<uint64_t, TimeMicros>> lastBeat_;
+  /// Sources still owing this joiner a completed stream.
+  std::set<NodeId> pendingJoinSources_;
+  /// Inbound streams that delivered fresh keys without history (ablated
+  /// hand-off or trimmed source): activation must move the floor.
+  bool sawHistorylessKeys_ = false;
+  /// Joiners this node already started a stream to (per join, not
+  /// cleared on view gossip; cleared by crash so a restart resumes).
+  std::set<NodeId> transferTargetsStarted_;
+  hlc::Timestamp rebalanceFloor_{};
+  std::map<uint64_t, OutboundTransfer> outbound_;
+  /// Inbound dedup: next expected chunk per transfer id.
+  std::map<uint64_t, uint64_t> inboundNext_;
+  uint64_t transferCounter_ = 0;
+  /// Deterministic per-node stream for gossip fanout picks.
+  SplitMix64 gossipRng_{0};
+  Counters membershipCounters_;
+
   NodeId id_;
   sim::SimEnv* env_;
   sim::Network* network_;
@@ -317,6 +445,7 @@ class VoldemortServer {
   core::SnapshotStore snapshotStore_;
   sim::MemoryModel memory_;
   std::function<void(const log::Entry&)> appendObserver_;
+  std::function<void(core::SnapshotId)> captureObserver_;
 
   // --- quarantine / scrub state ---
   /// Keys whose durable records failed their CRC and were dropped from

@@ -299,6 +299,42 @@ void WindowLog::forEach(const std::function<void(const Entry&)>& fn) const {
   for (const Entry& e : entries_) fn(e);
 }
 
+std::vector<Entry> WindowLog::historyFor(const Key& key) const {
+  std::vector<Entry> out;
+  const auto it = keyChains_.find(key);
+  if (it == keyChains_.end()) return out;
+  out.reserve(it->second.size());
+  for (uint64_t seq : it->second) {
+    out.push_back(entries_[seq - baseSeq_]);
+  }
+  return out;
+}
+
+size_t WindowLog::graftHistory(std::vector<Entry> history,
+                               hlc::Timestamp sourceFloor) {
+  if (floor_ < sourceFloor) floor_ = sourceFloor;
+  if (history.empty()) return 0;
+  std::stable_sort(history.begin(), history.end(),
+                   [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
+  std::deque<Entry> merged;
+  // Stable merge by ts, existing entries first on ties: per-key order is
+  // untouched because callers never graft a key we already hold.
+  auto ours = entries_.begin();
+  auto theirs = history.begin();
+  while (ours != entries_.end() || theirs != history.end()) {
+    if (ours == entries_.end() ||
+        (theirs != history.end() && theirs->ts < ours->ts)) {
+      accountedBytes_ += accountedEntryBytes(*theirs, config_);
+      merged.push_back(std::move(*theirs++));
+    } else {
+      merged.push_back(std::move(*ours++));
+    }
+  }
+  entries_ = std::move(merged);
+  rebuildIndex();
+  return history.size();
+}
+
 bool WindowLog::validateIndex() const {
   // Sparse index: marks ascending, on-stride, matching the deque.
   uint64_t prevSeq = 0;

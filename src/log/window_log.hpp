@@ -27,6 +27,7 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.hpp"
 #include "common/types.hpp"
@@ -164,6 +165,26 @@ class WindowLog {
   /// Iterate entries (oldest -> newest); read-only access for
   /// persistence and debugging tools.
   void forEach(const std::function<void(const Entry&)>& fn) const;
+
+  /// True if at least one surviving entry mentions `key`.
+  bool hasHistoryFor(const Key& key) const {
+    return keyChains_.find(key) != keyChains_.end();
+  }
+
+  /// All surviving entries for `key`, oldest -> newest (key-range
+  /// transfer hand-off).
+  std::vector<Entry> historyFor(const Key& key) const;
+
+  /// Membership rebalance hand-off: merge another node's per-key history
+  /// into this log by timestamp (both sides are ts-sorted, so the merged
+  /// log stays globally monotone) and raise the floor to `sourceFloor`
+  /// if it is higher — the source could not reconstruct below its own
+  /// floor, so neither can we.  Sequence numbers are renumbered from
+  /// frontSeq() and the index structures rebuilt.  Callers must only
+  /// graft keys with no surviving local entries (single-source-per-key),
+  /// otherwise per-key old/new chains would interleave incoherently.
+  /// Returns the number of entries grafted.
+  size_t graftHistory(std::vector<Entry> history, hlc::Timestamp sourceFloor);
 
   /// Full invariant check of the index structures against the deque
   /// (O(n); differential tests call this after every mutation batch).

@@ -81,6 +81,20 @@ void Network::isolate(NodeId node) {
   }
 }
 
+void Network::isolateOutbound(NodeId node) {
+  for (const auto& [other, handler] : handlers_) {
+    (void)handler;
+    if (other != node) blocked_.insert({node, other});
+  }
+}
+
+void Network::isolateInbound(NodeId node) {
+  for (const auto& [other, handler] : handlers_) {
+    (void)handler;
+    if (other != node) blocked_.insert({other, node});
+  }
+}
+
 void Network::heal(NodeId node) {
   for (auto it = blocked_.begin(); it != blocked_.end();) {
     if (it->first == node || it->second == node) {

@@ -76,6 +76,12 @@ class Network {
   /// Partition `node` away from every currently registered node (both
   /// directions); heal() removes every blocked link involving `node`.
   void isolate(NodeId node);
+  /// One-way partition: drop only what `node` sends (outbound) or only
+  /// what it receives (inbound), leaving the reverse direction intact —
+  /// the classic asymmetric link failure that fools naive failure
+  /// detectors.  heal() clears these too.
+  void isolateOutbound(NodeId node);
+  void isolateInbound(NodeId node);
   void heal(NodeId node);
   /// Freeze a node: messages addressed to it buffer instead of being
   /// handled; resume flushes the buffer in arrival order.  Models a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 #include "baselines/vc_snapshot.hpp"
@@ -44,6 +45,46 @@ void CutChecker::checkCutAt(hlc::Timestamp t, CheckReport& report) const {
         << vc.retreats << " retreats, lag "
         << baselines::cutLag(cut, vc.cut);
     report.fail(out.str());
+  }
+}
+
+void CutChecker::checkCutAtForMembers(hlc::Timestamp t,
+                                      const std::vector<NodeId>& nodes,
+                                      CheckReport& report) const {
+  ++report.cutsChecked;
+  const sim::Cut cut = recorder_->cutByHlc(t);
+  std::vector<bool> member(recorder_->nodeCount(), false);
+  for (NodeId n : nodes) {
+    if (n < member.size()) member[n] = true;
+  }
+  // Messages sent OUTSIDE the cut by a member.
+  std::set<uint64_t> sentOutside;
+  for (size_t n = 0; n < recorder_->nodeCount(); ++n) {
+    if (!member[n]) continue;
+    const auto& events = recorder_->eventsOf(static_cast<NodeId>(n));
+    for (size_t i = cut[n]; i < events.size(); ++i) {
+      if (events[i].type == sim::EventType::kSend) {
+        sentOutside.insert(events[i].messageId);
+      }
+    }
+  }
+  // A member receiving such a message INSIDE the cut is a violation.
+  for (size_t n = 0; n < recorder_->nodeCount(); ++n) {
+    if (!member[n]) continue;
+    const auto& events = recorder_->eventsOf(static_cast<NodeId>(n));
+    const uint64_t limit = std::min<uint64_t>(cut[n], events.size());
+    for (size_t i = 0; i < limit; ++i) {
+      if (events[i].type == sim::EventType::kRecv &&
+          sentOutside.contains(events[i].messageId)) {
+        std::ostringstream out;
+        out << "inconsistent member-restricted cut at " << t.toString()
+            << " (" << nodes.size() << " members): message "
+            << events[i].messageId
+            << " received inside the cut but sent outside it";
+        report.fail(out.str());
+        return;
+      }
+    }
   }
 }
 

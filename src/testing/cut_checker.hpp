@@ -39,6 +39,14 @@ class CutChecker {
   /// Checks 1 + 2 at one target time.
   void checkCutAt(hlc::Timestamp t, CheckReport& report) const;
 
+  /// Check 1 restricted to a node subset: only messages with BOTH
+  /// endpoints in `nodes` count.  Under elastic membership a cut's
+  /// participant set is the view at its epoch, not the whole node space
+  /// — this verifies the projection of the cut onto the view (routable
+  /// members plus clients/admin) is itself consistent.
+  void checkCutAtForMembers(hlc::Timestamp t, const std::vector<NodeId>& nodes,
+                            CheckReport& report) const;
+
   /// Checks 1 + 2 at `count` pseudo-random times spanning the recorded
   /// HLC range (derived deterministically from `seed`).
   void checkRandomProbes(uint64_t seed, int count, CheckReport& report) const;

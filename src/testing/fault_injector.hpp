@@ -24,6 +24,11 @@ struct FaultHooks {
   std::function<void(NodeId)> crash;
   std::function<void(NodeId)> restart;
   std::function<sim::StorageFaultModel*(NodeId)> storageFaultsOf;
+  /// Membership churn (null ok): gossip `node` into the ring via `seed`,
+  /// or start its drain-and-leave.  kNodeJoin/kNodeLeave are ignored
+  /// when unset.
+  std::function<void(NodeId node, NodeId seed)> join;
+  std::function<void(NodeId)> leave;
 };
 
 inline void scheduleFaults(sim::SimEnv& env, sim::Network& net,
@@ -45,7 +50,19 @@ inline void scheduleFaults(sim::SimEnv& env, sim::Network& net,
         env.scheduleAt(endAt, [&net] { net.setExtraLatency(0); });
         break;
       case FaultKind::kPartition:
-        env.scheduleAt(f.startMicros, [&net, n = f.node] { net.isolate(n); });
+        // magnitude selects the direction: 0 = both ways, 1 = only the
+        // node's sends are lost, 2 = only its receives.  One-way loss
+        // leaves the reverse path up — the node still hears its peers
+        // while they stop hearing it (or vice versa).
+        env.scheduleAt(f.startMicros, [&net, n = f.node, d = f.magnitude] {
+          if (d == 1.0) {
+            net.isolateOutbound(n);
+          } else if (d == 2.0) {
+            net.isolateInbound(n);
+          } else {
+            net.isolate(n);
+          }
+        });
         env.scheduleAt(endAt, [&net, n = f.node] { net.heal(n); });
         break;
       case FaultKind::kNodeStall:
@@ -95,6 +112,19 @@ inline void scheduleFaults(sim::SimEnv& env, sim::Network& net,
                                        frac = f.magnitude] {
           if (auto* m = sf(n)) m->injectBitRot(frac);
         });
+        break;
+      case FaultKind::kNodeJoin:
+        if (!hooks.join) break;
+        env.scheduleAt(f.startMicros,
+                       [join = hooks.join, n = f.node,
+                        seed = static_cast<NodeId>(f.magnitude)] {
+                         join(n, seed);
+                       });
+        break;
+      case FaultKind::kNodeLeave:
+        if (!hooks.leave) break;
+        env.scheduleAt(f.startMicros,
+                       [leave = hooks.leave, n = f.node] { leave(n); });
         break;
     }
   }

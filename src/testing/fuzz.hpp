@@ -39,6 +39,18 @@ struct FuzzResult {
   uint64_t tornWritesInjected = 0;   ///< fault-model decisions that fired
   uint64_t rotEpisodesInjected = 0;
   uint64_t readRetries = 0;          ///< transient read errors retried
+  // --- membership-churn accounting (elastic-ring scenarios) ---
+  uint64_t joinsInjected = 0;        ///< kNodeJoin faults in the schedule
+  uint64_t leavesInjected = 0;       ///< kNodeLeave faults in the schedule
+  uint64_t joinsCompleted = 0;       ///< joiners that reached kActive
+  uint64_t leavesCompleted = 0;      ///< leavers that drained to kLeft
+  uint64_t transfersCompleted = 0;   ///< key-range streams fully acked
+  uint64_t transfersAborted = 0;     ///< streams that exhausted retries
+  uint64_t keysTransferred = 0;      ///< keys applied from transfer chunks
+  uint64_t historyEntriesGrafted = 0;///< window-log entries handed off
+  uint64_t rebalanceRefusals = 0;    ///< kRebalancing snapshot refusals
+  uint64_t suspectsMarked = 0;       ///< failure-detector suspicions
+  uint64_t clientViewRefreshes = 0;  ///< stale-view redirects absorbed
 
   bool passed() const { return report.ok(); }
   /// Multi-line diagnosis: scenario description, failures, replay command.
@@ -70,6 +82,10 @@ ClCheckResult runChandyLamportScenario(uint64_t seed);
 /// Number of seeds a sweep test should run: RETRO_FUZZ_SEEDS if set,
 /// else `defaultCount`.
 int seedCountFromEnv(int defaultCount);
+
+/// Same, but reading an arbitrary env var (e.g. RETRO_CHURN_SEEDS for
+/// the membership-churn sweep, so CI can dial it independently).
+int seedCountFromEnv(const char* var, int defaultCount);
 
 /// Single-seed replay override: RETRO_FUZZ_SEED if set.
 std::optional<uint64_t> seedOverrideFromEnv();

@@ -58,19 +58,23 @@ FuzzResult runScenario(const Scenario& s) {
                                             : runGridScenario(s);
 }
 
-int seedCountFromEnv(int defaultCount) {
-  const char* env = std::getenv("RETRO_FUZZ_SEEDS");
+int seedCountFromEnv(const char* var, int defaultCount) {
+  const char* env = std::getenv(var);
   if (env == nullptr || *env == '\0') return defaultCount;
   char* end = nullptr;
   const long parsed = std::strtol(env, &end, 10);
   if (end == env || *end != '\0' || parsed <= 0) {
     std::fprintf(stderr,
-                 "RETRO_FUZZ_SEEDS='%s' is not a positive integer; "
+                 "%s='%s' is not a positive integer; "
                  "using default %d\n",
-                 env, defaultCount);
+                 var, env, defaultCount);
     return defaultCount;
   }
   return static_cast<int>(parsed);
+}
+
+int seedCountFromEnv(int defaultCount) {
+  return seedCountFromEnv("RETRO_FUZZ_SEEDS", defaultCount);
 }
 
 std::optional<uint64_t> seedOverrideFromEnv() {

@@ -1,7 +1,9 @@
 // Scenario runner for the Voldemort-like kvstore substrate.
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
 #include "kvstore/cluster.hpp"
@@ -37,11 +39,19 @@ std::vector<workload::ClientHandle> kvHandles(kv::VoldemortCluster& cluster) {
 /// window-log, the shadow survives the recovery-time log resets and
 /// truncations that corruption handling performs, so the oracle stays
 /// sound for any snapshot the server agreed to serve.
+/// Replays the first `prefix` shadow entries with ts <= target.  The
+/// prefix bound matters under elastic membership: rebalance grafts
+/// append history with timestamps in the past, so an unbounded replay
+/// would credit a snapshot with keys whose history only arrived after
+/// its state was captured.
 std::unordered_map<Key, Value> kvOracleAt(
     const std::vector<log::Entry>& shadow,
-    const std::unordered_map<Key, Value>& initial, hlc::Timestamp target) {
+    const std::unordered_map<Key, Value>& initial, hlc::Timestamp target,
+    size_t prefix) {
   auto state = initial;
-  for (const log::Entry& e : shadow) {
+  const size_t n = std::min(prefix, shadow.size());
+  for (size_t i = 0; i < n; ++i) {
+    const log::Entry& e = shadow[i];
     if (e.ts > target) continue;
     if (e.newValue) {
       state[e.key] = *e.newValue;
@@ -50,6 +60,49 @@ std::unordered_map<Key, Value> kvOracleAt(
     }
   }
   return state;
+}
+
+/// Expected state for a stored snapshot, walking incremental chains the
+/// way materialize() does, but against the shadow history.  Each link's
+/// capture mark (shadow length when the server fixed that snapshot's
+/// content) bounds what it can reflect: a full snapshot replays its own
+/// prefix up to its target; a forward incremental replays its base then
+/// layers the (baseTarget, target] slice of its own prefix; a backward
+/// (conversion) incremental rolls the base's knowledge back, so the
+/// base's mark is the binding horizon.
+std::optional<std::unordered_map<Key, Value>> kvExpectedFor(
+    const core::SnapshotStore& store, core::SnapshotId id,
+    const std::vector<log::Entry>& shadow,
+    const std::unordered_map<Key, Value>& initial,
+    const std::unordered_map<core::SnapshotId, size_t>& marks) {
+  const core::LocalSnapshot* snap = store.find(id);
+  if (snap == nullptr) return std::nullopt;
+  const auto markOf = [&](core::SnapshotId sid) {
+    const auto it = marks.find(sid);
+    return it == marks.end() ? shadow.size() : it->second;
+  };
+  if (snap->kind == core::SnapshotKind::kFull) {
+    return kvOracleAt(shadow, initial, snap->target, markOf(id));
+  }
+  if (!snap->baseId) return std::nullopt;
+  const core::LocalSnapshot* base = store.find(*snap->baseId);
+  if (base == nullptr) return std::nullopt;
+  if (base->target <= snap->target) {
+    auto state = kvExpectedFor(store, *snap->baseId, shadow, initial, marks);
+    if (!state) return std::nullopt;
+    const size_t n = std::min(markOf(id), shadow.size());
+    for (size_t i = 0; i < n; ++i) {
+      const log::Entry& e = shadow[i];
+      if (!(base->target < e.ts) || snap->target < e.ts) continue;
+      if (e.newValue) {
+        (*state)[e.key] = *e.newValue;
+      } else {
+        state->erase(e.key);
+      }
+    }
+    return state;
+  }
+  return kvOracleAt(shadow, initial, snap->target, markOf(*snap->baseId));
 }
 
 struct PlannedSnapshot {
@@ -111,6 +164,13 @@ FuzzResult runKvScenario(const Scenario& s) {
     // (retried at the cost of an extra disk pass).
     cfg.server.storageFaults.readErrorProbability = 0.02;
   }
+  if (s.membershipChurn) {
+    // Elastic ring: gossip membership on, spare servers constructed for
+    // kNodeJoin faults.  The fuzz runs are short (2–5 s), so the gossip
+    // and transfer cadences stay at their (already sub-second) defaults.
+    cfg.spareServers = s.spareServers;
+    cfg.server.membership.enabled = true;
+  }
 
   kv::VoldemortCluster cluster(cfg);
   auto& trace = cluster.enableCausalityTrace();
@@ -119,9 +179,15 @@ FuzzResult runKvScenario(const Scenario& s) {
   // Shadow histories, one per server (preload happens before any append,
   // so attaching now captures every logged change).
   std::vector<std::vector<log::Entry>> shadows(cluster.serverCount());
+  std::vector<std::unordered_map<core::SnapshotId, size_t>> captureMarks(
+      cluster.serverCount());
   for (size_t i = 0; i < cluster.serverCount(); ++i) {
     cluster.server(i).setAppendObserver(
         [&shadows, i](const log::Entry& e) { shadows[i].push_back(e); });
+    cluster.server(i).setSnapshotCaptureObserver(
+        [&shadows, &captureMarks, i](core::SnapshotId id) {
+          captureMarks[i][id] = shadows[i].size();
+        });
   }
 
   const uint64_t preloadItems = std::min<uint64_t>(s.keySpace, 1'500);
@@ -154,6 +220,12 @@ FuzzResult runKvScenario(const Scenario& s) {
   hooks.storageFaultsOf = [&cluster](NodeId n) -> sim::StorageFaultModel* {
     return n < cluster.serverCount() ? &cluster.server(n).storageFaults()
                                      : nullptr;
+  };
+  hooks.join = [&cluster](NodeId n, NodeId seed) {
+    if (n < cluster.serverCount()) cluster.joinServer(n, seed);
+  };
+  hooks.leave = [&cluster](NodeId n) {
+    if (n < cluster.serverCount()) cluster.leaveServer(n);
   };
   scheduleFaults(cluster.env(), cluster.network(), hooks, s);
 
@@ -204,6 +276,18 @@ FuzzResult runKvScenario(const Scenario& s) {
     if (!ps.requested) continue;
     ++result.snapshotsRequested;
     checker.checkCutAt(ps.target, result.report);
+    if (s.membershipChurn && !ps.participants.empty()) {
+      // View-aware re-check: the cut restricted to the participant set
+      // the coordinator collected it from (the routable members at the
+      // cut's view epoch) plus the fixed clients/admin must itself be
+      // consistent.
+      std::vector<NodeId> members;
+      for (const auto& p : ps.participants) members.push_back(p.node);
+      for (size_t c = 0; c <= cluster.clientCount(); ++c) {
+        members.push_back(static_cast<NodeId>(cluster.serverCount() + c));
+      }
+      checker.checkCutAtForMembers(ps.target, members, result.report);
+    }
   }
   checker.checkRandomProbes(s.seed, 32, result.report);
   if (!s.clockAnomalies) {
@@ -245,6 +329,44 @@ FuzzResult runKvScenario(const Scenario& s) {
     if (ps.partial) ++result.snapshotsPartial;
   }
 
+  // --- membership-churn accounting ---
+  if (s.membershipChurn) {
+    for (const auto& f : s.faults) {
+      if (f.kind == FaultKind::kNodeJoin) ++result.joinsInjected;
+      if (f.kind == FaultKind::kNodeLeave) ++result.leavesInjected;
+    }
+    for (size_t i = 0; i < cluster.serverCount(); ++i) {
+      const auto& mc = cluster.server(i).membershipCounters();
+      result.joinsCompleted += mc.get("membership.joins_completed");
+      result.leavesCompleted += mc.get("membership.leaves_completed");
+      result.transfersCompleted += mc.get("membership.transfers_completed");
+      result.transfersAborted += mc.get("membership.transfers_aborted");
+      result.keysTransferred += mc.get("membership.keys_received");
+      result.historyEntriesGrafted +=
+          mc.get("membership.history_entries_grafted");
+      result.rebalanceRefusals += mc.get("membership.rebalance_refusals");
+      result.suspectsMarked += mc.get("membership.suspects_marked");
+    }
+    for (size_t i = 0; i < cluster.clientCount(); ++i) {
+      result.clientViewRefreshes += cluster.client(i).viewRefreshes();
+    }
+    // Every refusal must carry a structured reason: a participant whose
+    // local snapshot resolved as anything but kComplete may never be
+    // left with FailureReason::kNone.
+    for (const auto& ps : planned) {
+      for (const auto& p : ps.participants) {
+        if (p.status && *p.status != core::LocalSnapshotStatus::kComplete &&
+            p.reason == core::FailureReason::kNone) {
+          std::ostringstream out;
+          out << "server " << p.node << " refused snapshot " << ps.id
+              << " without a structured reason (status "
+              << static_cast<int>(*p.status) << ")";
+          result.report.fail(out.str());
+        }
+      }
+    }
+  }
+
   // --- oracle agreement for every snapshot that completed ---
   for (const auto& ps : planned) {
     if (!ps.complete) continue;
@@ -272,16 +394,54 @@ FuzzResult runKvScenario(const Scenario& s) {
         result.report.fail(out.str());
         continue;
       }
-      const auto expected =
-          kvOracleAt(shadows[srv], initialStates[srv], ps.target);
+      const auto expected = kvExpectedFor(server.snapshots(), ps.id,
+                                          shadows[srv], initialStates[srv],
+                                          captureMarks[srv]);
+      if (!expected) {
+        std::ostringstream out;
+        out << "server " << srv << " snapshot " << ps.id
+            << ": oracle cannot resolve its stored chain";
+        result.report.fail(out.str());
+        continue;
+      }
       ++result.oracleChecks;
-      if (materialized.value() != expected) {
+      if (materialized.value() != *expected) {
         std::ostringstream out;
         out << "server " << srv << " snapshot " << ps.id << " at "
             << ps.target.toString() << " diverges from forward-replay oracle ("
-            << materialized.value().size() << " vs " << expected.size()
+            << materialized.value().size() << " vs " << expected->size()
             << " keys)";
         result.report.fail(out.str());
+        if (std::getenv("RETRO_FUZZ_ORACLE_DEBUG") != nullptr) {
+          int shown = 0;
+          for (const auto& [k, v] : materialized.value()) {
+            if (expected->contains(k) && expected->at(k) == v) continue;
+            fprintf(stderr, "  key '%s': materialized=%s expected=%s\n",
+                    k.c_str(), v.substr(0, 8).c_str(),
+                    expected->contains(k) ? expected->at(k).substr(0, 8).c_str()
+                                          : "<absent>");
+            for (size_t e = 0; e < shadows[srv].size(); ++e) {
+              const auto& ent = shadows[srv][e];
+              if (ent.key != k) continue;
+              fprintf(stderr, "    shadow[%zu]%s ts=%s new=%s\n", e,
+                      e >= captureMarks[srv][ps.id] ? " (past mark)" : "",
+                      ent.ts.toString().c_str(),
+                      ent.newValue ? ent.newValue->substr(0, 8).c_str()
+                                   : "<del>");
+            }
+            if (++shown >= 4) break;
+          }
+          for (const auto& [k, v] : *expected) {
+            if (materialized.value().contains(k)) continue;
+            fprintf(stderr, "  key '%s': expected-only=%s\n", k.c_str(),
+                    v.substr(0, 8).c_str());
+            if (++shown >= 8) break;
+          }
+          fprintf(stderr, "  mark=%zu shadow=%zu\n",
+                  captureMarks[srv].contains(ps.id) ? captureMarks[srv][ps.id]
+                                                    : SIZE_MAX,
+                  shadows[srv].size());
+        }
       }
     }
   }

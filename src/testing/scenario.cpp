@@ -31,13 +31,28 @@ FaultEvent makeFault(Rng& rng, const Scenario& s, bool anomalies) {
   // never reshuffles how an existing seed maps to the other kinds.
   const bool crashes = s.substrate == Substrate::kKvStore;
   const bool storage = crashes && s.storageFaults;
-  const int kinds =
-      (anomalies ? 5 : 4) + (crashes ? 1 : 0) + (storage ? 2 : 0);
+  const bool churn = crashes && s.membershipChurn && s.spareServers > 0;
+  const int kinds = (anomalies ? 5 : 4) + (crashes ? 1 : 0) +
+                    (storage ? 2 : 0) + (churn ? 2 : 0);
   const int pick = static_cast<int>(rng.nextBounded(kinds));
-  if (storage && pick >= kinds - 2) {
+  if (churn && pick >= kinds - 2) {
+    if (pick == kinds - 1) {
+      f.kind = FaultKind::kNodeLeave;
+      // Genesis members only: a spare that never joined cannot leave.
+      f.node = static_cast<NodeId>(rng.nextBounded(s.servers));
+    } else {
+      f.kind = FaultKind::kNodeJoin;
+      f.node = static_cast<NodeId>(s.servers + rng.nextBounded(s.spareServers));
+      f.magnitude = static_cast<double>(rng.nextBounded(s.servers));
+    }
+    f.durationMicros = 0;  // point events
+    return f;
+  }
+  const int top = kinds - (churn ? 2 : 0);  // first index above storage
+  if (storage && pick >= top - 2) {
     // Servers only — the faults target durable state.
     f.node = static_cast<NodeId>(rng.nextBounded(s.servers));
-    if (pick == kinds - 1) {
+    if (pick == top - 1) {
       f.kind = FaultKind::kBitRot;
       // Fraction of cold records rotted; bites at the next restart.
       f.magnitude = 0.002 + rng.nextDouble() * 0.02;
@@ -49,7 +64,7 @@ FaultEvent makeFault(Rng& rng, const Scenario& s, bool anomalies) {
     }
     return f;
   }
-  if (crashes && pick == kinds - 1 - (storage ? 2 : 0)) {
+  if (crashes && pick == top - 1 - (storage ? 2 : 0)) {
     f.kind = FaultKind::kCrashRestart;
     // Servers only: clients/admin have no durable state to recover.
     f.node = static_cast<NodeId>(rng.nextBounded(s.servers));
@@ -73,6 +88,10 @@ FaultEvent makeFault(Rng& rng, const Scenario& s, bool anomalies) {
     case 2:
       f.kind = FaultKind::kPartition;
       f.node = static_cast<NodeId>(rng.nextBounded(totalNodes));
+      // Churn scenarios exercise asymmetric link loss too (one-way
+      // silence is what fools a naive failure detector into suspecting a
+      // member its peers can still hear).
+      if (churn) f.magnitude = static_cast<double>(rng.nextBounded(3));
       break;
     case 3:
       f.kind = FaultKind::kNodeStall;
@@ -110,6 +129,8 @@ Scenario generateScenario(uint64_t seed, Substrate substrate,
   s.substrate = substrate;
   s.clockAnomalies = opts.clockAnomalies;
   s.storageFaults = opts.storageFaults;
+  s.membershipChurn =
+      opts.membershipChurn && substrate == Substrate::kKvStore;
 
   // --- topology ---
   if (substrate == Substrate::kKvStore) {
@@ -118,6 +139,9 @@ Scenario generateScenario(uint64_t seed, Substrate substrate,
     s.servers = 2 + topo.nextBounded(3);  // 2..4 members
   }
   s.clients = 2 + topo.nextBounded(4);  // 2..5
+  // Extra topo draws only in churn scenarios: non-churn seeds expand to
+  // bit-identical scenarios with or without this feature compiled in.
+  if (s.membershipChurn) s.spareServers = 1 + topo.nextBounded(2);  // 1..2
 
   // --- workload ---
   s.durationMicros = static_cast<TimeMicros>(2 + work.nextBounded(4)) *
@@ -145,6 +169,26 @@ Scenario generateScenario(uint64_t seed, Substrate substrate,
     const uint64_t count = faults.nextBounded(7);  // 0..6
     for (uint64_t i = 0; i < count; ++i) {
       s.faults.push_back(makeFault(faults, s, /*anomalies=*/false));
+    }
+  }
+  if (s.membershipChurn && s.spareServers > 0) {
+    // Guarantee at least one join per churn scenario (the pool alone
+    // would leave many seeds churn-free); a coin-flip leave rides along.
+    FaultEvent join;
+    join.kind = FaultKind::kNodeJoin;
+    const auto lo = static_cast<TimeMicros>(kFaultWindowLo * s.durationMicros);
+    const auto hi = static_cast<TimeMicros>(kFaultWindowHi * s.durationMicros);
+    join.startMicros = faults.nextInt(lo, hi);
+    join.node =
+        static_cast<NodeId>(s.servers + faults.nextBounded(s.spareServers));
+    join.magnitude = static_cast<double>(faults.nextBounded(s.servers));
+    s.faults.push_back(join);
+    if (faults.nextBool(0.35)) {
+      FaultEvent leave;
+      leave.kind = FaultKind::kNodeLeave;
+      leave.startMicros = faults.nextInt(lo, hi);
+      leave.node = static_cast<NodeId>(faults.nextBounded(s.servers));
+      s.faults.push_back(leave);
     }
   }
   if (opts.clockAnomalies) {
@@ -198,6 +242,8 @@ const char* faultKindName(FaultKind kind) {
     case FaultKind::kCrashRestart: return "crash-restart";
     case FaultKind::kTornWrite: return "torn-write";
     case FaultKind::kBitRot: return "bit-rot";
+    case FaultKind::kNodeJoin: return "node-join";
+    case FaultKind::kNodeLeave: return "node-leave";
   }
   return "?";
 }
@@ -206,7 +252,9 @@ std::string describeScenario(const Scenario& s) {
   std::ostringstream out;
   out << "seed=" << s.seed
       << (s.substrate == Substrate::kKvStore ? " kv" : " grid") << " n="
-      << s.servers << "+" << s.clients << "c dur="
+      << s.servers;
+  if (s.spareServers > 0) out << "(+" << s.spareServers << "sp)";
+  out << "+" << s.clients << "c dur="
       << s.durationMicros / 1000 << "ms wf=" << s.writeFraction
       << " skew=" << s.maxSkewMicros / 1000 << "ms drop="
       << s.baseDropProbability << " faults=[";
@@ -217,8 +265,11 @@ std::string describeScenario(const Scenario& s) {
     if (f.kind == FaultKind::kPartition || f.kind == FaultKind::kNodeStall ||
         f.kind == FaultKind::kSkewSpike ||
         f.kind == FaultKind::kCrashRestart ||
-        f.kind == FaultKind::kTornWrite || f.kind == FaultKind::kBitRot) {
+        f.kind == FaultKind::kTornWrite || f.kind == FaultKind::kBitRot ||
+        f.kind == FaultKind::kNodeJoin || f.kind == FaultKind::kNodeLeave) {
       out << "/n" << f.node;
+      if (f.kind == FaultKind::kPartition && f.magnitude == 1.0) out << "(out)";
+      if (f.kind == FaultKind::kPartition && f.magnitude == 2.0) out << "(in)";
       if (f.kind == FaultKind::kCrashRestart &&
           f.startMicros + f.durationMicros > s.durationMicros) {
         out << "(perm)";
@@ -236,6 +287,7 @@ std::string describeScenario(const Scenario& s) {
   out << "]";
   if (s.clockAnomalies) out << " anomalies";
   if (s.storageFaults) out << " storage-faults";
+  if (s.membershipChurn) out << " membership-churn";
   if (s.injectSkipRecvTick) out << " BUG:skip-recv-tick";
   if (s.injectSilentCorruption) out << " BUG:silent-corruption";
   return out.str();

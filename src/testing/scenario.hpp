@@ -30,16 +30,24 @@ enum class FaultKind : uint8_t {
                   ///< one server for a window (bites at the next crash)
   kBitRot,        ///< storage: queue a bit-rot episode on one server,
                   ///< discovered at its next restart's recovery scrub
+  kNodeJoin,      ///< membership: gossip a spare server into the ring
+                  ///< (point event; magnitude = the seed member asked)
+  kNodeLeave,     ///< membership: start the drain-and-leave protocol on
+                  ///< a genesis server (point event)
 };
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kDropWindow;
   TimeMicros startMicros = 0;
   TimeMicros durationMicros = 0;
-  /// Target node for kPartition / kNodeStall / kSkewSpike / kCrashRestart.
+  /// Target node for kPartition / kNodeStall / kSkewSpike / kCrashRestart
+  /// / kNodeJoin / kNodeLeave.
   NodeId node = 0;
   /// kDropWindow: probability; kLatencySpike: extra micros;
-  /// kSkewSpike: offset micros (negative steps the clock backwards).
+  /// kSkewSpike: offset micros (negative steps the clock backwards);
+  /// kPartition: direction (0 = both ways, 1 = outbound-only, 2 =
+  /// inbound-only — the asymmetric link failures that fool naive failure
+  /// detectors); kNodeJoin: the seed member the joiner contacts.
   double magnitude = 0.0;
 };
 
@@ -59,6 +67,9 @@ struct Scenario {
   // --- topology ---
   size_t servers = 3;  ///< kv servers or grid members
   size_t clients = 3;
+  /// Spare kv servers outside the genesis membership, available for
+  /// kNodeJoin faults (membership-churn scenarios only).
+  size_t spareServers = 0;
 
   // --- workload ---
   TimeMicros durationMicros = 3 * kMicrosPerSecond;
@@ -88,6 +99,11 @@ struct Scenario {
   /// pool, and servers run with a low transient-read-error probability.
   bool storageFaults = false;
 
+  /// Membership churn: gossip membership is enabled, spare servers exist,
+  /// and kNodeJoin/kNodeLeave faults (plus asymmetric partitions) are in
+  /// the pool.  At least one join is guaranteed.
+  bool membershipChurn = false;
+
   /// Deliberate integrity bug: record/frame checksums disabled, so
   /// injected corruption replays into recovered state undetected.  The
   /// harness must FAIL on such a scenario (the forward-replay oracle
@@ -105,6 +121,8 @@ struct ScenarioOptions {
   bool faultsEnabled = true;
   /// Add storage-corruption faults to the pool (sets storageFaults).
   bool storageFaults = false;
+  /// Enable gossip membership + join/leave churn (sets membershipChurn).
+  bool membershipChurn = false;
 };
 
 /// Expand a seed into a concrete scenario.  Pure function of

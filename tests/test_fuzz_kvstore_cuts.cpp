@@ -228,6 +228,72 @@ TEST(KvFuzz, InjectedBugProducesCheckerFailures) {
   EXPECT_FALSE(r.report.failures.empty());
 }
 
+// Membership-churn sweep: every seed runs with gossip membership enabled
+// and a schedule mixing kNodeJoin/kNodeLeave with the usual crash/rot
+// faults.  A snapshot spanning a rebalance must still be a consistent
+// cut over its participant view (member-restricted Babaoglu–Marzullo
+// check inside the runner), every completed snapshot must agree with the
+// forward-replay oracle, and every refusal must carry a structured
+// reason (asserted inside the runner: no participant resolves non-
+// complete with FailureReason::kNone).
+//
+// RETRO_CHURN_SEEDS=N  widens/narrows this sweep independently of the
+// other sweeps (default below).
+TEST(KvFuzz, MembershipChurnSweep) {
+  ScenarioOptions opts;
+  opts.membershipChurn = true;
+  if (auto seed = seedOverrideFromEnv()) {
+    const Scenario s = generateScenario(*seed, Substrate::kKvStore, opts);
+    const FuzzResult r = runKvScenario(s);
+    EXPECT_TRUE(r.passed()) << r.failureSummary();
+    return;
+  }
+  const int seeds = seedCountFromEnv("RETRO_CHURN_SEEDS", 128);
+  uint64_t joins = 0, joinsDone = 0, leaves = 0, leavesDone = 0,
+           transfers = 0, keysMoved = 0, grafted = 0, refusals = 0,
+           suspects = 0, viewRefreshes = 0, completed = 0, cuts = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const Scenario s =
+        generateScenario(static_cast<uint64_t>(seed), Substrate::kKvStore,
+                         opts);
+    const FuzzResult r = runKvScenario(s);
+    if (!r.passed()) {
+      const ShrinkResult shrunk =
+          shrinkScenario(s, runKvScenario, /*maxRuns=*/60);
+      const std::string artifact = writeFailureArtifact(r, &shrunk.minimal);
+      FAIL() << r.failureSummary() << "\nartifact: " << artifact;
+    }
+    ASSERT_GT(r.joinsInjected, 0u) << describeScenario(s);
+    joins += r.joinsInjected;
+    joinsDone += r.joinsCompleted;
+    leaves += r.leavesInjected;
+    leavesDone += r.leavesCompleted;
+    transfers += r.transfersCompleted;
+    keysMoved += r.keysTransferred;
+    grafted += r.historyEntriesGrafted;
+    refusals += r.rebalanceRefusals;
+    suspects += r.suspectsMarked;
+    viewRefreshes += r.clientViewRefreshes;
+    completed += r.snapshotsCompleted;
+    cuts += r.report.cutsChecked;
+  }
+  // The sweep must actually churn, not vacuously pass: joiners reach
+  // kActive, key ranges move with their window-log history attached,
+  // clients absorb view changes, and snapshots still complete.
+  EXPECT_GT(joinsDone, 0u);
+  EXPECT_GT(transfers, 0u);
+  EXPECT_GT(keysMoved, 0u);
+  EXPECT_GT(grafted, 0u);
+  EXPECT_GT(viewRefreshes, 0u);
+  EXPECT_GT(completed, 0u);
+  EXPECT_GT(cuts, 0u);
+  if (leaves > 0) {
+    EXPECT_GT(leavesDone, 0u);
+  }
+  (void)suspects;
+  (void)refusals;  // refusal structure asserted per-run inside the runner
+}
+
 TEST(KvFuzz, ChandyLamportConservationSweep) {
   const int seeds = seedCountFromEnv(16);
   for (int seed = 1; seed <= seeds; ++seed) {

@@ -1,0 +1,413 @@
+// Elastic membership: gossip view semantics (unit) and the
+// join/leave/rebalance protocol end to end on a simulated cluster,
+// including the tentpole invariant — a snapshot spanning a rebalance is
+// still a consistent cut, because each key-range transfer hands its
+// window-log history off to the new owner, whose diffToPast below the
+// transfer point then answers identically to the pre-transfer owner.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/coordinator.hpp"
+#include "kvstore/cluster.hpp"
+#include "kvstore/membership.hpp"
+#include "kvstore/ring.hpp"
+
+namespace retro::kv {
+namespace {
+
+// --- MembershipView unit tests ---
+
+TEST(MembershipView, GenesisViewAllActiveAtEpochOne) {
+  const MembershipView view({0, 1, 2});
+  EXPECT_EQ(view.epoch(), 1u);
+  EXPECT_EQ(view.routableMembers(), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(view.reachableMembers(), (std::vector<NodeId>{0, 1, 2}));
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(view.statusOf(n), MemberStatus::kActive);
+  }
+  EXPECT_FALSE(view.statusOf(9).has_value());
+}
+
+TEST(MembershipView, SetStatusBumpsEpochAndMergeDominates) {
+  MembershipView a({0, 1, 2});
+  MembershipView b = a;
+  const uint64_t epoch = a.setStatus(2, MemberStatus::kLeaving);
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_EQ(a.epoch(), 2u);
+
+  // Merging the newer claim into the stale view adopts it...
+  EXPECT_TRUE(b.merge(a, /*self=*/0));
+  EXPECT_EQ(b.statusOf(2), MemberStatus::kLeaving);
+  EXPECT_EQ(b.epoch(), 2u);
+  // ...and the reverse merge of the now-equal views changes nothing.
+  EXPECT_FALSE(a.merge(b, /*self=*/1));
+}
+
+TEST(MembershipView, MergeTakesHeartbeatMax) {
+  MembershipView a({0, 1});
+  MembershipView b = a;
+  a.beatHeartbeat(0);
+  a.beatHeartbeat(0);
+  b.beatHeartbeat(0);
+  ASSERT_TRUE(b.merge(a, /*self=*/1));
+  EXPECT_EQ(b.find(0)->heartbeat, 2u);
+  // Merging the lower heartbeat back is a no-op.
+  MembershipView c({0, 1});
+  c.beatHeartbeat(0);
+  EXPECT_FALSE(b.merge(c, /*self=*/1));
+  EXPECT_EQ(b.find(0)->heartbeat, 2u);
+}
+
+TEST(MembershipView, SelfRefutesRemoteSuspicion) {
+  MembershipView mine({0, 1, 2});
+  MembershipView theirs = mine;
+  theirs.setStatus(0, MemberStatus::kSuspect);
+  theirs.setStatus(0, MemberStatus::kDead);
+
+  // Node 0 merges a view that declares it dead: it must re-assert its
+  // own liveness at a fresher epoch, so the refutation wins onward
+  // merges everywhere.
+  ASSERT_TRUE(mine.merge(theirs, /*self=*/0));
+  EXPECT_EQ(mine.statusOf(0), MemberStatus::kActive);
+  EXPECT_GT(mine.find(0)->statusEpoch, theirs.find(0)->statusEpoch);
+  ASSERT_TRUE(theirs.merge(mine, /*self=*/1));
+  EXPECT_EQ(theirs.statusOf(0), MemberStatus::kActive);
+}
+
+TEST(MembershipView, RefutationOutEpochsTiedDeathClaim) {
+  // Epoch-tie stalemate: node 0 refuted a suspicion at epoch e, and a
+  // peer's dead-confirmation independently landed at the same epoch e.
+  // Dominance ignores ties, so without a tie-aware refutation both
+  // views would hold their status forever.
+  MembershipView mine({0, 1, 2});
+  MembershipView theirs = mine;
+  theirs.setStatus(0, MemberStatus::kSuspect);  // peer epoch -> e
+  mine.merge(theirs, /*self=*/0);               // refute at e+1
+  theirs.setStatus(0, MemberStatus::kDead);     // peer epoch -> e+1: tie
+  ASSERT_EQ(mine.find(0)->statusEpoch, theirs.find(0)->statusEpoch);
+
+  ASSERT_TRUE(mine.merge(theirs, /*self=*/0));
+  EXPECT_EQ(mine.statusOf(0), MemberStatus::kActive);
+  EXPECT_GT(mine.find(0)->statusEpoch, theirs.find(0)->statusEpoch);
+  ASSERT_TRUE(theirs.merge(mine, /*self=*/1));
+  EXPECT_EQ(theirs.statusOf(0), MemberStatus::kActive);
+}
+
+TEST(MembershipView, LeftIsTerminalEvenForSelf) {
+  MembershipView mine({0, 1, 2});
+  MembershipView theirs = mine;
+  theirs.setStatus(0, MemberStatus::kLeft);
+  ASSERT_TRUE(mine.merge(theirs, /*self=*/0));
+  EXPECT_EQ(mine.statusOf(0), MemberStatus::kLeft);
+  // A left member is no longer routable.
+  EXPECT_EQ(mine.routableMembers(), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(MembershipView, RoutabilityByStatus) {
+  MembershipView view({0, 1, 2, 3});
+  view.setStatus(0, MemberStatus::kSuspect);
+  view.setStatus(1, MemberStatus::kDead);
+  view.setStatus(2, MemberStatus::kLeaving);
+  view.setStatus(4, MemberStatus::kJoining);
+  // Suspect/dead members still own their ranges; a joiner does not yet.
+  EXPECT_EQ(view.routableMembers(), (std::vector<NodeId>{0, 1, 2, 3}));
+  // Reachable = routable minus confirmed-dead.
+  EXPECT_EQ(view.reachableMembers(), (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(MembershipView, WireRoundTripPreservesRecords) {
+  MembershipView view({0, 1, 2});
+  view.setStatus(1, MemberStatus::kLeaving);
+  view.beatHeartbeat(0);
+  view.beatHeartbeat(0);
+  ByteWriter w;
+  view.writeTo(w);
+  ByteReader r(w.view());
+  const MembershipView back = MembershipView::readFrom(r);
+  EXPECT_EQ(back.epoch(), view.epoch());
+  ASSERT_EQ(back.records().size(), view.records().size());
+  for (const auto& [node, rec] : view.records()) {
+    const MemberRecord* got = back.find(node);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->status, rec.status);
+    EXPECT_EQ(got->heartbeat, rec.heartbeat);
+    EXPECT_EQ(got->statusEpoch, rec.statusEpoch);
+  }
+}
+
+// --- end-to-end join/leave/rebalance on a simulated cluster ---
+
+struct SessionOutcome {
+  bool resolved = false;
+  core::GlobalSnapshotState state = core::GlobalSnapshotState::kInProgress;
+  std::vector<core::SnapshotSession::Participant> participants;
+};
+
+ClusterConfig elasticConfig(size_t servers, size_t spares, uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.servers = servers;
+  cfg.clients = 2;
+  cfg.spareServers = spares;
+  cfg.seed = seed;
+  cfg.server.membership.enabled = true;
+  cfg.server.logConfig.maxBytes = 0;  // unbounded history for diffToPast
+  return cfg;
+}
+
+// A spare node joins mid-run; a later snapshot targets a time BEFORE the
+// join.  The joiner must answer it from grafted history, and its
+// materialized state below the transfer point must match the
+// pre-transfer owners key for key.
+TEST(Membership, JoinGraftsHistoryAndAnswersBelowTransferPoint) {
+  ClusterConfig cfg = elasticConfig(/*servers=*/3, /*spares=*/1, /*seed=*/7);
+  VoldemortCluster cluster(cfg);
+  cluster.preload(300, 32);
+
+  // Quiesced writes: overwrite a slice of the preloaded keys well before
+  // the snapshot target, each key from a single client (no conflicts).
+  for (int i = 0; i < 150; ++i) {
+    cluster.env().scheduleAt(50'000 + i * 5'000, [&cluster, i] {
+      cluster.client(i % 2).put(VoldemortCluster::keyOf(i),
+                                "w" + std::to_string(i),
+                                [](bool, TimeMicros) {});
+    });
+  }
+  cluster.env().scheduleAt(1'500'000, [&cluster] { cluster.joinServer(3, 0); });
+  // Post-join traffic so clients absorb the new view.
+  for (int i = 0; i < 30; ++i) {
+    cluster.env().scheduleAt(2'000'000 + i * 10'000, [&cluster, i] {
+      cluster.client(i % 2).put(VoldemortCluster::keyOf(i),
+                                "post" + std::to_string(i),
+                                [](bool, TimeMicros) {});
+    });
+  }
+
+  SessionOutcome outcome;
+  core::SnapshotId snapId = 0;
+  cluster.env().scheduleAt(4'000'000, [&cluster, &outcome, &snapId] {
+    // target = now - 3000ms ~= 1.0s: after the writes quiesced, before
+    // the join — squarely below every transfer point.
+    snapId = cluster.admin().snapshotPast(
+        3'000, [&outcome](const core::SnapshotSession& sess) {
+          outcome.resolved = true;
+          outcome.state = sess.state();
+          outcome.participants = sess.participants();
+        });
+  });
+  cluster.env().scheduleAt(7'000'000, [] {});  // keep gossip time flowing
+  cluster.env().run();
+
+  // The joiner reached kActive and received keys with their history.
+  VoldemortServer& joiner = cluster.server(3);
+  EXPECT_FALSE(joiner.isJoining());
+  EXPECT_EQ(joiner.view().statusOf(3), MemberStatus::kActive);
+  EXPECT_EQ(joiner.membershipCounters().get("membership.joins_completed"), 1u);
+  EXPECT_GT(joiner.membershipCounters().get("membership.keys_received"), 0u);
+  EXPECT_GT(
+      joiner.membershipCounters().get("membership.history_entries_grafted"),
+      0u);
+
+  // The pre-join-targeted snapshot completed, with the joiner a first-
+  // class participant (no replica fallback, no refusal).
+  ASSERT_TRUE(outcome.resolved);
+  EXPECT_EQ(outcome.state, core::GlobalSnapshotState::kComplete);
+  const core::SnapshotSession::Participant* joinerPart = nullptr;
+  for (const auto& p : outcome.participants) {
+    if (p.node == 3) joinerPart = &p;
+  }
+  ASSERT_NE(joinerPart, nullptr) << "joiner missing from participant set";
+  ASSERT_TRUE(joinerPart->status.has_value());
+  EXPECT_EQ(*joinerPart->status, core::LocalSnapshotStatus::kComplete);
+  EXPECT_EQ(joinerPart->reason, core::FailureReason::kNone);
+  EXPECT_EQ(joinerPart->servedBy, 3u);
+
+  // Differential check: every key the joiner serves at the pre-transfer
+  // target matches the pre-transfer owner's answer for the same cut.
+  auto joinerState = joiner.snapshots().materialize(snapId);
+  ASSERT_TRUE(joinerState.isOk()) << joinerState.status().toString();
+  ASSERT_FALSE(joinerState.value().empty());
+  std::map<NodeId, std::unordered_map<Key, Value>> oldOwnerStates;
+  for (NodeId n = 0; n < 3; ++n) {
+    auto st = cluster.server(n).snapshots().materialize(snapId);
+    ASSERT_TRUE(st.isOk()) << st.status().toString();
+    oldOwnerStates[n] = std::move(st).value();
+  }
+  const Ring oldRing(std::vector<NodeId>{0, 1, 2}, cfg.ringVirtualNodes);
+  size_t compared = 0;
+  for (const auto& [k, v] : joinerState.value()) {
+    const NodeId owner = oldRing.primary(k);
+    const auto& ownerState = oldOwnerStates[owner];
+    const auto it = ownerState.find(k);
+    ASSERT_NE(it, ownerState.end())
+        << "key " << k << " absent from pre-transfer owner " << owner;
+    EXPECT_EQ(it->second, v) << "key " << k << " diverges from owner " << owner;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u);
+
+  // Clients absorbed the view change through stale-view redirects.
+  EXPECT_GT(cluster.client(0).viewRefreshes() + cluster.client(1).viewRefreshes(),
+            0u);
+  EXPECT_GE(cluster.client(0).viewEpoch(), 3u);  // genesis + joining + active
+}
+
+// A member drains and leaves; snapshots after the leave span only the
+// remaining members, and a snapshot targeting a time BEFORE the leave
+// still completes — the drained ranges' history moved with them.
+TEST(Membership, LeaveDrainsKeysAndSnapshotsSpanRemainingMembers) {
+  ClusterConfig cfg = elasticConfig(/*servers=*/3, /*spares=*/0, /*seed=*/11);
+  VoldemortCluster cluster(cfg);
+  cluster.preload(200, 32);
+
+  for (int i = 0; i < 60; ++i) {
+    cluster.env().scheduleAt(50'000 + i * 5'000, [&cluster, i] {
+      cluster.client(i % 2).put(VoldemortCluster::keyOf(i),
+                                "w" + std::to_string(i),
+                                [](bool, TimeMicros) {});
+    });
+  }
+  cluster.env().scheduleAt(1'000'000, [&cluster] { cluster.leaveServer(2); });
+
+  SessionOutcome nowOutcome, pastOutcome;
+  cluster.env().scheduleAt(3'000'000, [&cluster, &nowOutcome] {
+    cluster.admin().snapshotNow([&nowOutcome](const core::SnapshotSession& s) {
+      nowOutcome.resolved = true;
+      nowOutcome.state = s.state();
+      nowOutcome.participants = s.participants();
+    });
+  });
+  cluster.env().scheduleAt(4'000'000, [&cluster, &pastOutcome] {
+    // target ~= 0.5s: before the leave.  The inheritors answer below the
+    // drain point from the handed-off history.
+    cluster.admin().snapshotPast(
+        3'500, [&pastOutcome](const core::SnapshotSession& s) {
+          pastOutcome.resolved = true;
+          pastOutcome.state = s.state();
+          pastOutcome.participants = s.participants();
+        });
+  });
+  cluster.env().scheduleAt(6'000'000, [] {});
+  cluster.env().run();
+
+  VoldemortServer& leaver = cluster.server(2);
+  EXPECT_TRUE(leaver.hasLeft());
+  EXPECT_EQ(leaver.membershipCounters().get("membership.leaves_completed"),
+            1u);
+  EXPECT_GT(cluster.server(0).membershipCounters().get(
+                "membership.keys_received") +
+                cluster.server(1).membershipCounters().get(
+                    "membership.keys_received"),
+            0u);
+
+  for (const SessionOutcome* o : {&nowOutcome, &pastOutcome}) {
+    ASSERT_TRUE(o->resolved);
+    EXPECT_EQ(o->state, core::GlobalSnapshotState::kComplete);
+    std::set<NodeId> nodes;
+    for (const auto& p : o->participants) nodes.insert(p.node);
+    EXPECT_EQ(nodes, (std::set<NodeId>{0, 1}))
+        << "left member must not be a participant";
+  }
+}
+
+// Ablation: with history hand-off disabled, a joiner cannot answer below
+// its activation point — the refusal must be the structured kRebalancing
+// reason (and the admin may still finish the cut via an old owner).
+TEST(Membership, WithoutHistoryHandoffJoinerRefusesWithRebalancing) {
+  ClusterConfig cfg = elasticConfig(/*servers=*/3, /*spares=*/1, /*seed=*/13);
+  cfg.server.membership.handoffHistory = false;
+  VoldemortCluster cluster(cfg);
+  cluster.preload(300, 32);
+
+  for (int i = 0; i < 100; ++i) {
+    cluster.env().scheduleAt(50'000 + i * 5'000, [&cluster, i] {
+      cluster.client(i % 2).put(VoldemortCluster::keyOf(i),
+                                "w" + std::to_string(i),
+                                [](bool, TimeMicros) {});
+    });
+  }
+  cluster.env().scheduleAt(1'500'000, [&cluster] { cluster.joinServer(3, 0); });
+
+  SessionOutcome outcome;
+  cluster.env().scheduleAt(4'000'000, [&cluster, &outcome] {
+    cluster.admin().snapshotPast(
+        3'000, [&outcome](const core::SnapshotSession& sess) {
+          outcome.resolved = true;
+          outcome.state = sess.state();
+          outcome.participants = sess.participants();
+        });
+  });
+  cluster.env().scheduleAt(7'000'000, [] {});
+  cluster.env().run();
+
+  VoldemortServer& joiner = cluster.server(3);
+  EXPECT_EQ(joiner.view().statusOf(3), MemberStatus::kActive);
+  // Value-only transfers: activation moved the reachable floor.
+  EXPECT_GT(joiner.rebalanceFloor(), hlc::Timestamp{});
+  EXPECT_GE(joiner.membershipCounters().get("membership.floor_moves"), 1u);
+  EXPECT_EQ(joiner.membershipCounters().get("membership.history_entries_grafted"),
+            0u);
+  EXPECT_GE(joiner.membershipCounters().get("membership.rebalance_refusals"),
+            1u);
+
+  ASSERT_TRUE(outcome.resolved);
+  const core::SnapshotSession::Participant* joinerPart = nullptr;
+  for (const auto& p : outcome.participants) {
+    if (p.node == 3) joinerPart = &p;
+  }
+  ASSERT_NE(joinerPart, nullptr);
+  // Either the structured refusal stands, or a replica fallback served
+  // the cut — never a silent gap.
+  if (joinerPart->servedBy == 3) {
+    EXPECT_EQ(joinerPart->reason, core::FailureReason::kRebalancing);
+  } else {
+    EXPECT_NE(joinerPart->reason, core::FailureReason::kNone);
+  }
+}
+
+// One-way link loss: node 0's sends are dropped but it still hears its
+// peers.  The peers must suspect it (its heartbeats stop arriving), and
+// healing the link must let node 0 refute the suspicion.
+TEST(Membership, AsymmetricPartitionSuspicionAndRefutation) {
+  ClusterConfig cfg = elasticConfig(/*servers=*/3, /*spares=*/0, /*seed=*/17);
+  VoldemortCluster cluster(cfg);
+
+  cluster.env().scheduleAt(300'000,
+                           [&cluster] { cluster.network().isolateOutbound(0); });
+
+  std::optional<MemberStatus> peerViewOfZero, zeroViewOfPeer;
+  cluster.env().scheduleAt(1'900'000, [&cluster, &peerViewOfZero,
+                                       &zeroViewOfPeer] {
+    peerViewOfZero = cluster.server(1).view().statusOf(0);
+    // The reverse path stayed up: node 0 keeps hearing peer heartbeats,
+    // so it never suspects anyone.
+    zeroViewOfPeer = cluster.server(0).view().statusOf(1);
+  });
+  cluster.env().scheduleAt(2'000'000, [&cluster] { cluster.network().heal(0); });
+  cluster.env().scheduleAt(4'500'000, [] {});
+  cluster.env().run();
+
+  ASSERT_TRUE(peerViewOfZero.has_value());
+  EXPECT_TRUE(*peerViewOfZero == MemberStatus::kSuspect ||
+              *peerViewOfZero == MemberStatus::kDead)
+      << memberStatusName(*peerViewOfZero);
+  ASSERT_TRUE(zeroViewOfPeer.has_value());
+  EXPECT_EQ(*zeroViewOfPeer, MemberStatus::kActive);
+  EXPECT_GT(cluster.server(1).membershipCounters().get(
+                "membership.suspects_marked") +
+                cluster.server(2).membershipCounters().get(
+                    "membership.suspects_marked"),
+            0u);
+
+  // After the heal, node 0's refutation re-converges every view.
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.server(n).view().statusOf(0), MemberStatus::kActive)
+        << "server " << n;
+  }
+}
+
+}  // namespace
+}  // namespace retro::kv

@@ -110,6 +110,164 @@ TEST(KvMessages, ProgressRoundTrip) {
   EXPECT_EQ(back.status, core::LocalSnapshotStatus::kPending);
 }
 
+TEST(KvMessages, PutCarriesViewEpochAndStaleViewReply) {
+  kv::PutRequestBody req;
+  req.requestId = 12;
+  req.key = "k";
+  req.value = "v";
+  req.viewEpoch = 41;
+  ByteWriter w;
+  req.writeTo(w);
+  ByteReader r(w.view());
+  EXPECT_EQ(kv::PutRequestBody::readFrom(r).viewEpoch, 41u);
+
+  // A stale-epoch reply ships the full view so the client can re-derive
+  // its ring without a separate fetch.
+  kv::PutResponseBody resp;
+  resp.requestId = 12;
+  resp.viewEpoch = 42;
+  kv::MembershipView view({0, 1, 2});
+  view.setStatus(2, kv::MemberStatus::kLeaving);
+  resp.view = view;
+  ByteWriter w2;
+  resp.writeTo(w2);
+  ByteReader r2(w2.view());
+  const auto back = kv::PutResponseBody::readFrom(r2);
+  EXPECT_EQ(back.viewEpoch, 42u);
+  ASSERT_TRUE(back.view.has_value());
+  EXPECT_EQ(back.view->epoch(), view.epoch());
+  EXPECT_EQ(back.view->statusOf(2), kv::MemberStatus::kLeaving);
+  EXPECT_TRUE(r2.atEnd());
+}
+
+TEST(KvMessages, GetCarriesViewEpochAndOmitsFreshView) {
+  kv::GetRequestBody req{8, "k", /*viewEpoch=*/7};
+  ByteWriter w;
+  req.writeTo(w);
+  ByteReader r(w.view());
+  EXPECT_EQ(kv::GetRequestBody::readFrom(r).viewEpoch, 7u);
+
+  // Fresh-epoch replies omit the view entirely (the common case must
+  // not pay the digest's wire cost).
+  kv::GetResponseBody resp;
+  resp.requestId = 8;
+  resp.value = Value("data");
+  resp.viewEpoch = 7;
+  ByteWriter w2;
+  resp.writeTo(w2);
+  ByteReader r2(w2.view());
+  const auto back = kv::GetResponseBody::readFrom(r2);
+  EXPECT_EQ(back.viewEpoch, 7u);
+  EXPECT_FALSE(back.view.has_value());
+  EXPECT_TRUE(r2.atEnd());
+}
+
+TEST(KvMessages, GossipRoundTripPreservesRecords) {
+  kv::MembershipView view({0, 1, 2, 3});
+  view.setStatus(1, kv::MemberStatus::kSuspect);
+  view.setStatus(3, kv::MemberStatus::kJoining);
+  view.beatHeartbeat(0);
+  view.beatHeartbeat(0);
+  kv::GossipBody b{view};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = kv::GossipBody::readFrom(r);
+  EXPECT_EQ(back.view.epoch(), view.epoch());
+  ASSERT_EQ(back.view.records().size(), 4u);
+  for (const auto& [node, rec] : view.records()) {
+    const auto* got = back.view.find(node);
+    ASSERT_NE(got, nullptr) << "node " << node;
+    EXPECT_EQ(got->status, rec.status);
+    EXPECT_EQ(got->statusEpoch, rec.statusEpoch);
+    EXPECT_EQ(got->heartbeat, rec.heartbeat);
+  }
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(KvMessages, JoinRequestResponseRoundTrip) {
+  kv::JoinRequestBody req{9};
+  ByteWriter w;
+  req.writeTo(w);
+  ByteReader r(w.view());
+  EXPECT_EQ(kv::JoinRequestBody::readFrom(r).node, 9u);
+
+  kv::MembershipView view({0, 1});
+  view.setStatus(9, kv::MemberStatus::kJoining);
+  kv::JoinResponseBody resp{view};
+  ByteWriter w2;
+  resp.writeTo(w2);
+  ByteReader r2(w2.view());
+  const auto back = kv::JoinResponseBody::readFrom(r2);
+  EXPECT_EQ(back.view.statusOf(9), kv::MemberStatus::kJoining);
+  EXPECT_TRUE(r2.atEnd());
+}
+
+TEST(KvMessages, TransferChunkRoundTripWithHistory) {
+  kv::TransferChunkBody b;
+  b.transferId = 501;
+  b.source = 2;
+  b.chunkSeq = 3;
+  b.done = false;
+  b.sourceFloor = {777, 4};
+  kv::TransferItemWire item;
+  item.key = "user:42";
+  item.value = "current";
+  item.version.increment(2);
+  item.history.push_back(
+      {"user:42", std::nullopt, Value("first"), {100, 0}});
+  item.history.push_back(
+      {"user:42", Value("first"), Value("current"), {200, 1}});
+  b.items.push_back(item);
+
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = kv::TransferChunkBody::readFrom(r);
+  EXPECT_EQ(back.transferId, 501u);
+  EXPECT_EQ(back.source, 2u);
+  EXPECT_EQ(back.chunkSeq, 3u);
+  EXPECT_FALSE(back.done);
+  EXPECT_EQ(back.sourceFloor, (hlc::Timestamp{777, 4}));
+  ASSERT_EQ(back.items.size(), 1u);
+  const auto& got = back.items[0];
+  EXPECT_EQ(got.key, "user:42");
+  EXPECT_EQ(got.value, "current");
+  EXPECT_EQ(got.version, item.version);
+  ASSERT_EQ(got.history.size(), 2u);
+  EXPECT_EQ(got.history[0].oldValue, std::nullopt);
+  EXPECT_EQ(got.history[0].newValue, Value("first"));
+  EXPECT_EQ(got.history[0].ts, (hlc::Timestamp{100, 0}));
+  EXPECT_EQ(got.history[1].oldValue, Value("first"));
+  EXPECT_EQ(got.history[1].ts, (hlc::Timestamp{200, 1}));
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(KvMessages, TransferChunkFinalMarkerRoundTrip) {
+  kv::TransferChunkBody b;
+  b.transferId = 502;
+  b.chunkSeq = 9;
+  b.done = true;  // terminal chunk may carry zero items
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = kv::TransferChunkBody::readFrom(r);
+  EXPECT_TRUE(back.done);
+  EXPECT_TRUE(back.items.empty());
+}
+
+TEST(KvMessages, TransferAckRoundTrip) {
+  kv::TransferAckBody b{501, 3, false};
+  ByteWriter w;
+  b.writeTo(w);
+  ByteReader r(w.view());
+  const auto back = kv::TransferAckBody::readFrom(r);
+  EXPECT_EQ(back.transferId, 501u);
+  EXPECT_EQ(back.chunkSeq, 3u);
+  EXPECT_FALSE(back.accepted);
+  EXPECT_TRUE(r.atEnd());
+}
+
 TEST(GridMessages, MapPutRoundTrip) {
   grid::MapPutBody b{3, "key", "value"};
   ByteWriter w;

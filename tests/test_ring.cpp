@@ -67,5 +67,89 @@ TEST(Ring, HashIsDeterministic) {
   EXPECT_NE(Ring::hashKey("abc"), Ring::hashKey("abd"));
 }
 
+// --- elastic-membership edge cases ---
+
+TEST(Ring, ReplicasExceedingNodeCountReturnsAllMembersOnce) {
+  Ring ring(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto prefs =
+        ring.preferenceList("key" + std::to_string(i), 17);
+    ASSERT_EQ(prefs.size(), 4u);
+    const std::set<NodeId> uniq(prefs.begin(), prefs.end());
+    EXPECT_EQ(uniq.size(), 4u);  // every member exactly once
+  }
+}
+
+TEST(Ring, SingleNodeRingEdgeCases) {
+  Ring ring(1);
+  // Any replica count clamps to the one member.
+  const auto prefs = ring.preferenceList("k", 3);
+  ASSERT_EQ(prefs.size(), 1u);
+  EXPECT_EQ(prefs[0], 0u);
+  // No successors exist: empty, not a crash or self-reference.
+  EXPECT_TRUE(ring.successorsOf(0, 3).empty());
+  EXPECT_TRUE(ring.successorsOf(0, 0).empty());
+}
+
+TEST(Ring, SuccessorsOfCountAtOrAboveNodeCountReturnsEveryOther) {
+  Ring ring(5);
+  for (NodeId n = 0; n < 5; ++n) {
+    for (size_t count : {4u, 5u, 100u}) {
+      const auto succ = ring.successorsOf(n, count);
+      ASSERT_EQ(succ.size(), 4u) << "node " << n << " count " << count;
+      std::set<NodeId> uniq(succ.begin(), succ.end());
+      EXPECT_EQ(uniq.size(), 4u);
+      EXPECT_FALSE(uniq.contains(n));  // never its own successor
+    }
+  }
+}
+
+TEST(Ring, SuccessorsOfFewVirtualsStillFindsEveryMember) {
+  // With one virtual point per node, each of n's walks stops at the
+  // single next point — the second-pass fill must still reach members
+  // that never directly follow n on the circle.
+  Ring ring(6, /*virtualsPerNode=*/1);
+  for (NodeId n = 0; n < 6; ++n) {
+    const auto succ = ring.successorsOf(n, 5);
+    EXPECT_EQ(succ.size(), 5u) << "node " << n;
+  }
+}
+
+TEST(Ring, MemberListConstructorMatchesContiguousConstructor) {
+  const Ring a(4, 64);
+  const Ring b(std::vector<NodeId>{0, 1, 2, 3}, 64);
+  for (int i = 0; i < 500; ++i) {
+    const Key k = "key" + std::to_string(i);
+    EXPECT_EQ(a.preferenceList(k, 3), b.preferenceList(k, 3));
+  }
+}
+
+TEST(Ring, MemberListDeduplicatesAndSorts) {
+  const Ring ring(std::vector<NodeId>{7, 2, 7, 9, 2});
+  EXPECT_EQ(ring.members(), (std::vector<NodeId>{2, 7, 9}));
+  EXPECT_TRUE(ring.contains(7));
+  EXPECT_FALSE(ring.contains(3));
+  EXPECT_THROW(Ring(std::vector<NodeId>{}), std::invalid_argument);
+}
+
+TEST(Ring, AddingOneMemberOnlyMovesKeysToIt) {
+  // The property the rebalance protocol relies on: growing the member
+  // set only reassigns keys TO the new member — a key's primary never
+  // moves between two pre-existing members.
+  const Ring before(std::vector<NodeId>{0, 1, 2, 3});
+  const Ring after(std::vector<NodeId>{0, 1, 2, 3, 9});
+  int moved = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Key k = "key" + std::to_string(i);
+    const NodeId p0 = before.primary(k);
+    const NodeId p1 = after.primary(k);
+    if (p0 != p1) {
+      EXPECT_EQ(p1, 9u) << "key moved between pre-existing members";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);  // the new member does take ownership of a slice
+}
+
 }  // namespace
 }  // namespace retro::kv
