@@ -2,23 +2,22 @@
 
 namespace retro::grid {
 
-GridClient::GridClient(NodeId id, sim::SimEnv& env, sim::Network& network,
-                       sim::SkewedClock& clock, const PartitionTable& table,
+GridClient::GridClient(NodeId id, runtime::ExecutionContext& ctx,
+                       hlc::PhysicalClock& clock, const PartitionTable& table,
                        bool hlcEnabled)
     : id_(id),
-      env_(&env),
-      network_(&network),
+      ctx_(&ctx),
       clock_(clock),
       table_(&table),
       hlcEnabled_(hlcEnabled) {
-  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+  ctx_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
 }
 
 void GridClient::put(const Key& key, Value value, PutCallback done) {
   const uint64_t reqId = nextRequestId_++;
   PendingOp op;
   op.isPut = true;
-  op.startedAt = env_->now();
+  op.startedAt = ctx_->now();
   op.putDone = std::move(done);
   pending_.emplace(reqId, std::move(op));
 
@@ -27,7 +26,7 @@ void GridClient::put(const Key& key, Value value, PutCallback done) {
   if (hlcEnabled_) ts = hlc::wrapHlc(clock_, w);
   MapPutBody body{reqId, key, std::move(value)};
   body.writeTo(w);
-  const uint64_t msgId = network_->send(
+  const uint64_t msgId = ctx_->send(
       sim::Message{id_, table_->ownerOfKey(key), kMapPut, w.take()});
   if (trace_ && hlcEnabled_) trace_->onSend(id_, msgId, ts);
 }
@@ -36,7 +35,7 @@ void GridClient::get(const Key& key, GetCallback done) {
   const uint64_t reqId = nextRequestId_++;
   PendingOp op;
   op.isPut = false;
-  op.startedAt = env_->now();
+  op.startedAt = ctx_->now();
   op.getDone = std::move(done);
   pending_.emplace(reqId, std::move(op));
 
@@ -45,7 +44,7 @@ void GridClient::get(const Key& key, GetCallback done) {
   if (hlcEnabled_) ts = hlc::wrapHlc(clock_, w);
   MapGetBody body{reqId, key};
   body.writeTo(w);
-  const uint64_t msgId = network_->send(
+  const uint64_t msgId = ctx_->send(
       sim::Message{id_, table_->ownerOfKey(key), kMapGet, w.take()});
   if (trace_ && hlcEnabled_) trace_->onSend(id_, msgId, ts);
 }
@@ -63,7 +62,7 @@ void GridClient::onMessage(sim::Message&& msg) {
   PendingOp op = std::move(it->second);
   pending_.erase(it);
   ++opsCompleted_;
-  const TimeMicros latency = env_->now() - op.startedAt;
+  const TimeMicros latency = ctx_->now() - op.startedAt;
   if (op.isPut) {
     if (op.putDone) op.putDone(body.ok, latency);
   } else {

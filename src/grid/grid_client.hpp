@@ -9,6 +9,7 @@
 #include "grid/messages.hpp"
 #include "grid/partition_table.hpp"
 #include "hlc/clock.hpp"
+#include "runtime/execution_context.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -21,8 +22,8 @@ class GridClient {
   using GetCallback =
       std::function<void(bool ok, TimeMicros latency, OptValue value)>;
 
-  GridClient(NodeId id, sim::SimEnv& env, sim::Network& network,
-             sim::SkewedClock& clock, const PartitionTable& table,
+  GridClient(NodeId id, runtime::ExecutionContext& ctx,
+             hlc::PhysicalClock& clock, const PartitionTable& table,
              bool hlcEnabled);
 
   NodeId id() const { return id_; }
@@ -48,8 +49,7 @@ class GridClient {
   void onMessage(sim::Message&& msg);
 
   NodeId id_;
-  sim::SimEnv* env_;
-  sim::Network* network_;
+  runtime::ExecutionContext* ctx_;
   hlc::Clock clock_;
   const PartitionTable* table_;
   bool hlcEnabled_;

@@ -9,13 +9,14 @@ GridCluster::GridCluster(GridConfig config)
   const size_t totalNodes = config_.members + config_.clients;
   clocks_ = std::make_unique<sim::ClockFleet>(env_, config_.clocks, totalNodes);
   network_ = std::make_unique<sim::Network>(env_, config_.network);
+  ctx_ = std::make_unique<sim::SimContext>(env_, *network_);
   table_ = std::make_unique<PartitionTable>(config_.members,
                                             config_.partitions,
                                             config_.backups);
 
   for (size_t i = 0; i < config_.members; ++i) {
     members_.push_back(std::make_unique<GridMember>(
-        static_cast<NodeId>(i), env_, *network_,
+        static_cast<NodeId>(i), *ctx_,
         clocks_->clock(static_cast<NodeId>(i)), *table_, config_.member));
     if (config_.heartbeats) members_.back()->startHeartbeats();
   }
@@ -23,7 +24,7 @@ GridCluster::GridCluster(GridConfig config)
   for (size_t i = 0; i < config_.clients; ++i) {
     const auto id = static_cast<NodeId>(config_.members + i);
     clients_.push_back(std::make_unique<GridClient>(
-        id, env_, *network_, clocks_->clock(id), *table_, hlcEnabled));
+        id, *ctx_, clocks_->clock(id), *table_, hlcEnabled));
   }
 }
 

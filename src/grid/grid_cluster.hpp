@@ -10,6 +10,7 @@
 #include "grid/member.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
+#include "sim/sim_context.hpp"
 #include "sim/sim_env.hpp"
 #include "sim/trace.hpp"
 
@@ -33,6 +34,7 @@ class GridCluster {
 
   sim::SimEnv& env() { return env_; }
   sim::Network& network() { return *network_; }
+  sim::SimContext& context() { return *ctx_; }
   const PartitionTable& partitionTable() const { return *table_; }
 
   size_t memberCount() const { return members_.size(); }
@@ -68,6 +70,7 @@ class GridCluster {
   sim::SimEnv env_;
   std::unique_ptr<sim::ClockFleet> clocks_;
   std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<sim::SimContext> ctx_;
   std::unique_ptr<PartitionTable> table_;
   std::vector<std::unique_ptr<GridMember>> members_;
   std::vector<std::unique_ptr<GridClient>> clients_;

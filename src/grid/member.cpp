@@ -4,16 +4,15 @@
 
 namespace retro::grid {
 
-GridMember::GridMember(NodeId id, sim::SimEnv& env, sim::Network& network,
-                       sim::SkewedClock& clock, const PartitionTable& table,
+GridMember::GridMember(NodeId id, runtime::ExecutionContext& ctx,
+                       hlc::PhysicalClock& clock, const PartitionTable& table,
                        MemberConfig config)
     : id_(id),
-      env_(&env),
-      network_(&network),
+      ctx_(&ctx),
       table_(&table),
       config_(config),
-      disk_(std::make_unique<sim::SimDisk>(env, config_.disk)),
-      executor_(env),
+      disk_(std::make_unique<sim::SimDisk>(ctx, config_.disk, id)),
+      executor_(ctx, id),
       retroscope_(clock,
                   log::WindowLogConfig{
                       .maxEntries = 0,
@@ -38,7 +37,7 @@ GridMember::GridMember(NodeId id, sim::SimEnv& env, sim::Network& network,
       wlog.setConfig(cfg);
     }
   }
-  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+  ctx_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
 }
 
 std::string GridMember::partitionLogName(uint32_t partition) {
@@ -79,7 +78,7 @@ void GridMember::send(NodeId to, uint32_t type,
   ByteWriter w;
   const hlc::Timestamp ts = writeHeader(w);
   body(w);
-  const uint64_t msgId = network_->send(sim::Message{id_, to, type, w.take()});
+  const uint64_t msgId = ctx_->send(sim::Message{id_, to, type, w.take()});
   if (trace_ && config_.mode != Mode::kOriginal) {
     trace_->onSend(id_, msgId, ts);
   }
@@ -262,7 +261,7 @@ void GridMember::heartbeatTick() {
     });
   }
   ++heartbeatSeq_;
-  env_->scheduleDaemon(config_.heartbeatPeriodMicros,
+  ctx_->scheduleDaemon(id_, config_.heartbeatPeriodMicros,
                        [this] { heartbeatTick(); });
 }
 
@@ -280,7 +279,7 @@ core::SnapshotId GridMember::initiateSnapshot(hlc::Timestamp target,
     members.push_back(static_cast<NodeId>(m));
   }
   sessions_.emplace(request.id,
-                    core::SnapshotSession(request, members, env_->now()));
+                    core::SnapshotSession(request, members, ctx_->now()));
   callbacks_.emplace(request.id, std::move(done));
 
   // Broadcast to the entire cluster (including ourselves, via the
@@ -318,7 +317,7 @@ void GridMember::sendSnapshotStart(core::SnapshotId id, NodeId member) {
     body.writeTo(w);
   });
   const uint64_t gen = ++ps.generation;
-  env_->schedule(config_.snapshotRequestTimeoutMicros, [this, id, member, gen] {
+  ctx_->schedule(id_, config_.snapshotRequestTimeoutMicros, [this, id, member, gen] {
     onStartTimeout(id, member, gen);
   });
 }
@@ -337,7 +336,7 @@ void GridMember::onStartTimeout(core::SnapshotId id, NodeId member,
     return;
   }
   pendingStarts_.erase(it);
-  if (sess->second.onNodeUnavailable(member, env_->now(),
+  if (sess->second.onNodeUnavailable(member, ctx_->now(),
                                      core::FailureReason::kTimedOut)) {
     finishSession(id, sess->second);
   }
@@ -537,7 +536,7 @@ void GridMember::handleSnapshotAck(GridSnapshotAckBody body) {
   if (it == sessions_.end()) return;
   // Cancel any pending resend timer for the answering member.
   pendingStarts_.erase({body.ack.id, body.ack.node});
-  if (it->second.onAck(body.ack, env_->now())) {
+  if (it->second.onAck(body.ack, ctx_->now())) {
     finishSession(body.ack.id, it->second);
   }
 }

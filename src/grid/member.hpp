@@ -20,6 +20,7 @@
 #include "core/snapshot_store.hpp"
 #include "grid/messages.hpp"
 #include "grid/partition_table.hpp"
+#include "runtime/execution_context.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/disk.hpp"
 #include "sim/executor.hpp"
@@ -78,8 +79,8 @@ struct MemberConfig {
 
 class GridMember {
  public:
-  GridMember(NodeId id, sim::SimEnv& env, sim::Network& network,
-             sim::SkewedClock& clock, const PartitionTable& table,
+  GridMember(NodeId id, runtime::ExecutionContext& ctx,
+             hlc::PhysicalClock& clock, const PartitionTable& table,
              MemberConfig config);
 
   NodeId id() const { return id_; }
@@ -169,8 +170,7 @@ class GridMember {
   void heartbeatTick();
 
   NodeId id_;
-  sim::SimEnv* env_;
-  sim::Network* network_;
+  runtime::ExecutionContext* ctx_;
   const PartitionTable* table_;
   MemberConfig config_;
   sim::CausalityTrace* trace_ = nullptr;

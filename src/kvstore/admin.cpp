@@ -6,18 +6,17 @@
 
 namespace retro::kv {
 
-AdminClient::AdminClient(NodeId id, sim::SimEnv& env, sim::Network& network,
-                         sim::SkewedClock& clock, std::vector<NodeId> servers,
+AdminClient::AdminClient(NodeId id, runtime::ExecutionContext& ctx,
+                         hlc::PhysicalClock& clock, std::vector<NodeId> servers,
                          AdminConfig config, const Ring* ring)
     : id_(id),
-      env_(&env),
-      network_(&network),
+      ctx_(&ctx),
       clock_(clock),
       servers_(std::move(servers)),
       config_(config),
       ring_(ring),
       idAlloc_(id) {
-  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+  ctx_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
 }
 
 core::SnapshotId AdminClient::doSnapshot(hlc::Timestamp target,
@@ -34,7 +33,7 @@ core::SnapshotId AdminClient::doSnapshot(hlc::Timestamp target,
   request.viewEpoch = viewEpoch();
 
   sessions_.emplace(request.id, core::SnapshotSession(request, servers_,
-                                                      env_->now()));
+                                                      ctx_->now()));
   callbacks_.emplace(request.id, std::move(done));
 
   if (config_.deferStepMicros <= 0) {
@@ -46,7 +45,7 @@ core::SnapshotId AdminClient::doSnapshot(hlc::Timestamp target,
       const TimeMicros delay =
           static_cast<TimeMicros>(i / k) * config_.deferStepMicros;
       const NodeId server = servers_[i];
-      env_->schedule(delay, [this, server, id = request.id] {
+      ctx_->schedule(id_, delay, [this, server, id = request.id] {
         beginAttempt(id, server);
       });
     }
@@ -76,7 +75,7 @@ void AdminClient::sendRequest(NodeId server,
   SnapshotRequestBody body{request};
   body.writeTo(w);
   const uint64_t msgId =
-      network_->send(sim::Message{id_, server, kSnapshotRequest, w.take()});
+      ctx_->send(sim::Message{id_, server, kSnapshotRequest, w.take()});
   if (trace_) trace_->onSend(id_, msgId, ts);
 }
 
@@ -133,7 +132,7 @@ void AdminClient::trySend(core::SnapshotId id, NodeId participant) {
     sess->second.noteRetry(participant);
     counters_.add("snapshot.retries");
   }
-  if (!network_->isConnected(a.target)) {
+  if (!ctx_->isConnected(a.target)) {
     // Connection refused — the target is down right now.  Remember the
     // crash (it becomes the participant's failure reason if nothing else
     // resolves it) but keep retrying: the node may restart and recover.
@@ -146,7 +145,7 @@ void AdminClient::trySend(core::SnapshotId id, NodeId participant) {
   }
   sendRequest(a.target, sess->second.request());
   const uint64_t gen = ++a.generation;
-  env_->schedule(config_.requestTimeoutMicros, [this, id, participant, gen] {
+  ctx_->schedule(id_, config_.requestTimeoutMicros, [this, id, participant, gen] {
     onAttemptTimeout(id, participant, gen);
   });
 }
@@ -171,7 +170,7 @@ void AdminClient::scheduleNext(core::SnapshotId id, NodeId participant) {
   if (a.attemptsOnTarget < config_.maxAttemptsPerNode) {
     const TimeMicros delay = backoffDelay(id, participant, a.attemptsOnTarget);
     const uint64_t gen = ++a.generation;
-    env_->schedule(delay, [this, id, participant, gen] {
+    ctx_->schedule(id_, delay, [this, id, participant, gen] {
       auto jt = attempts_.find({id, participant});
       if (jt == attempts_.end() || jt->second.generation != gen) return;
       trySend(id, participant);
@@ -217,7 +216,7 @@ void AdminClient::resolveFailure(core::SnapshotId id, NodeId participant) {
   counters_.add("snapshot.exhausted");
   auto sess = sessions_.find(id);
   if (sess == sessions_.end()) return;
-  if (sess->second.onNodeUnavailable(participant, env_->now(), reason)) {
+  if (sess->second.onNodeUnavailable(participant, ctx_->now(), reason)) {
     finishSession(id, sess->second);
   }
 }
@@ -259,7 +258,7 @@ void AdminClient::handleAck(const core::SnapshotAck& ack) {
   core::SnapshotSession& session = it->second;
 
   if (!retriesEnabled()) {
-    if (session.onAck(ack, env_->now())) finishSession(ack.id, session);
+    if (session.onAck(ack, ctx_->now())) finishSession(ack.id, session);
     return;
   }
 
@@ -271,7 +270,7 @@ void AdminClient::handleAck(const core::SnapshotAck& ack) {
     Attempt& a = direct->second;
     if (ack.status == core::LocalSnapshotStatus::kComplete) {
       attempts_.erase(direct);
-      if (session.onAck(ack, env_->now())) finishSession(ack.id, session);
+      if (session.onAck(ack, ctx_->now())) finishSession(ack.id, session);
       return;
     }
     if (a.target == ack.node) {
@@ -312,7 +311,7 @@ void AdminClient::handleAck(const core::SnapshotAck& ack) {
       counters_.add("snapshot.replica_fallbacks");
       // persistedBytes = 0: the replica's copy was already counted when
       // it acked for itself.
-      if (session.resolveViaReplica(participant, ack.node, 0, env_->now())) {
+      if (session.resolveViaReplica(participant, ack.node, 0, ctx_->now())) {
         finishSession(ack.id, session);
       }
     } else {
@@ -361,11 +360,11 @@ uint64_t AdminClient::doQuery(const std::string& text, QueryCallback done) {
     QueryRequestBody body{queryId, text};
     body.writeTo(w);
     const uint64_t msgId =
-        network_->send(sim::Message{id_, server, kQueryRequest, w.take()});
+        ctx_->send(sim::Message{id_, server, kQueryRequest, w.take()});
     if (trace_) trace_->onSend(id_, msgId, ts);
   }
 
-  env_->schedule(config_.queryTimeoutMicros, [this, queryId] {
+  ctx_->schedule(id_, config_.queryTimeoutMicros, [this, queryId] {
     auto it = querySessions_.find(queryId);
     if (it == querySessions_.end()) return;
     for (NodeId node : it->second.pending) {
@@ -447,7 +446,7 @@ void AdminClient::checkProgress(
     ProgressRequestBody body{id};
     body.writeTo(w);
     const uint64_t msgId =
-        network_->send(sim::Message{id_, server, kProgressRequest, w.take()});
+        ctx_->send(sim::Message{id_, server, kProgressRequest, w.take()});
     if (trace_) trace_->onSend(id_, msgId, ts);
   }
 }
@@ -472,7 +471,7 @@ void AdminClient::markNodeUnavailable(core::SnapshotId id, NodeId node) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;
   attempts_.erase({id, node});
-  if (it->second.onNodeUnavailable(node, env_->now())) {
+  if (it->second.onNodeUnavailable(node, ctx_->now())) {
     finishSession(id, it->second);
   }
 }

@@ -23,6 +23,7 @@
 #include "hlc/clock.hpp"
 #include "kvstore/messages.hpp"
 #include "kvstore/ring.hpp"
+#include "runtime/execution_context.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -85,8 +86,8 @@ class AdminClient {
 
   /// `ring` enables replica fallback along ring successors; without it
   /// fallbacks use the remaining servers in id order.
-  AdminClient(NodeId id, sim::SimEnv& env, sim::Network& network,
-              sim::SkewedClock& clock, std::vector<NodeId> servers,
+  AdminClient(NodeId id, runtime::ExecutionContext& ctx,
+              hlc::PhysicalClock& clock, std::vector<NodeId> servers,
               AdminConfig config = {}, const Ring* ring = nullptr);
 
   /// Take a snapshot at HLC time `target` (defaults: the initiator's
@@ -196,8 +197,7 @@ class AdminClient {
   void finishQuery(uint64_t queryId, QuerySession& session);
 
   NodeId id_;
-  sim::SimEnv* env_;
-  sim::Network* network_;
+  runtime::ExecutionContext* ctx_;
   hlc::Clock clock_;
   std::vector<NodeId> servers_;
   AdminConfig config_;

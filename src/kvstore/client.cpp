@@ -4,17 +4,15 @@
 
 namespace retro::kv {
 
-VoldemortClient::VoldemortClient(NodeId id, sim::SimEnv& env,
-                                 sim::Network& network,
-                                 sim::SkewedClock& clock, const Ring& ring,
+VoldemortClient::VoldemortClient(NodeId id, runtime::ExecutionContext& ctx,
+                                 hlc::PhysicalClock& clock, const Ring& ring,
                                  ClientConfig config)
     : id_(id),
-      env_(&env),
-      network_(&network),
+      ctx_(&ctx),
       clock_(clock),
       ring_(&ring),
       config_(config) {
-  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+  ctx_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
 }
 
 void VoldemortClient::put(const Key& key, Value value, PutCallback done) {
@@ -31,7 +29,7 @@ void VoldemortClient::put(const Key& key, Value value, PutCallback done) {
   op.isPut = true;
   op.needed = std::min(config_.requiredWrites, replicas.size());
   op.outstanding = replicas.size();
-  op.startedAt = env_->now();
+  op.startedAt = ctx_->now();
   op.key = key;
   op.putDone = std::move(done);
   op.version = version;
@@ -52,7 +50,7 @@ void VoldemortClient::put(const Key& key, Value value, PutCallback done) {
     const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
     body.writeTo(w);
     const uint64_t msgId =
-        network_->send(sim::Message{id_, server, kPutRequest, w.take()});
+        ctx_->send(sim::Message{id_, server, kPutRequest, w.take()});
     if (trace_) trace_->onSend(id_, msgId, ts);
   }
   armTimeout(reqId);
@@ -67,7 +65,7 @@ void VoldemortClient::get(const Key& key, GetCallback done) {
   op.isPut = false;
   op.needed = toAsk;
   op.outstanding = toAsk;
-  op.startedAt = env_->now();
+  op.startedAt = ctx_->now();
   op.key = key;
   op.getDone = std::move(done);
   op.replicasAsked = toAsk;
@@ -83,7 +81,7 @@ void VoldemortClient::get(const Key& key, GetCallback done) {
     const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
     body.writeTo(w);
     const uint64_t msgId =
-        network_->send(sim::Message{id_, replicas[i], kGetRequest, w.take()});
+        ctx_->send(sim::Message{id_, replicas[i], kGetRequest, w.take()});
     if (trace_) trace_->onSend(id_, msgId, ts);
   }
   armTimeout(reqId);
@@ -91,7 +89,7 @@ void VoldemortClient::get(const Key& key, GetCallback done) {
 
 void VoldemortClient::armTimeout(uint64_t reqId) {
   if (config_.opTimeoutMicros <= 0) return;
-  env_->schedule(config_.opTimeoutMicros, [this, reqId] {
+  ctx_->schedule(id_, config_.opTimeoutMicros, [this, reqId] {
     auto it = pending_.find(reqId);
     if (it == pending_.end() || it->second.completed) return;
     if (it->second.retriesLeft > 0) {
@@ -131,7 +129,7 @@ void VoldemortClient::retryOp(uint64_t reqId, PendingOp& op) {
       const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
       body.writeTo(w);
       const uint64_t msgId =
-          network_->send(sim::Message{id_, server, kPutRequest, w.take()});
+          ctx_->send(sim::Message{id_, server, kPutRequest, w.take()});
       if (trace_) trace_->onSend(id_, msgId, ts);
     }
   } else {
@@ -148,7 +146,7 @@ void VoldemortClient::retryOp(uint64_t reqId, PendingOp& op) {
     const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
     body.writeTo(w);
     const uint64_t msgId =
-        network_->send(sim::Message{id_, server, kGetRequest, w.take()});
+        ctx_->send(sim::Message{id_, server, kGetRequest, w.take()});
     if (trace_) trace_->onSend(id_, msgId, ts);
   }
 }
@@ -222,7 +220,7 @@ void VoldemortClient::completePut(uint64_t /*reqId*/, PendingOp& op, bool ok) {
   if (op.putDone) {
     auto done = std::move(op.putDone);
     op.putDone = nullptr;
-    done(ok, env_->now() - op.startedAt);
+    done(ok, ctx_->now() - op.startedAt);
   }
 }
 
@@ -231,7 +229,7 @@ void VoldemortClient::completeGet(uint64_t /*reqId*/, PendingOp& op, bool ok) {
   if (op.getDone) {
     auto done = std::move(op.getDone);
     op.getDone = nullptr;
-    done(ok, env_->now() - op.startedAt, std::move(op.bestValue));
+    done(ok, ctx_->now() - op.startedAt, std::move(op.bestValue));
   }
 }
 

@@ -14,6 +14,7 @@
 #include "hlc/clock.hpp"
 #include "kvstore/messages.hpp"
 #include "kvstore/ring.hpp"
+#include "runtime/execution_context.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -54,8 +55,8 @@ class VoldemortClient {
   using GetCallback =
       std::function<void(bool ok, TimeMicros latency, OptValue value)>;
 
-  VoldemortClient(NodeId id, sim::SimEnv& env, sim::Network& network,
-                  sim::SkewedClock& clock, const Ring& ring,
+  VoldemortClient(NodeId id, runtime::ExecutionContext& ctx,
+                  hlc::PhysicalClock& clock, const Ring& ring,
                   ClientConfig config);
 
   NodeId id() const { return id_; }
@@ -112,8 +113,7 @@ class VoldemortClient {
   void retryOp(uint64_t reqId, PendingOp& op);
 
   NodeId id_;
-  sim::SimEnv* env_;
-  sim::Network* network_;
+  runtime::ExecutionContext* ctx_;
   hlc::Clock clock_;
   const Ring* ring_;
   ClientConfig config_;

@@ -10,6 +10,7 @@ VoldemortCluster::VoldemortCluster(ClusterConfig config)
   const size_t totalNodes = allServers + config_.clients + 1;
   clocks_ = std::make_unique<sim::ClockFleet>(env_, config_.clocks, totalNodes);
   network_ = std::make_unique<sim::Network>(env_, config_.network);
+  ctx_ = std::make_unique<sim::SimContext>(env_, *network_);
   // The static genesis ring covers the genesis members only; spares get
   // routed to once membership gossips them in.
   ring_ = std::make_unique<Ring>(config_.servers, config_.ringVirtualNodes);
@@ -19,7 +20,7 @@ VoldemortCluster::VoldemortCluster(ClusterConfig config)
 
   for (size_t i = 0; i < allServers; ++i) {
     servers_.push_back(std::make_unique<VoldemortServer>(
-        static_cast<NodeId>(i), env_, *network_,
+        static_cast<NodeId>(i), *ctx_,
         clocks_->clock(static_cast<NodeId>(i)), config_.server));
   }
   // Repair topology: each server can rebuild quarantined keys from the
@@ -31,11 +32,11 @@ VoldemortCluster::VoldemortCluster(ClusterConfig config)
   for (size_t i = 0; i < config_.clients; ++i) {
     const auto id = static_cast<NodeId>(allServers + i);
     clients_.push_back(std::make_unique<VoldemortClient>(
-        id, env_, *network_, clocks_->clock(id), *ring_, config_.client));
+        id, *ctx_, clocks_->clock(id), *ring_, config_.client));
   }
   const auto adminId = static_cast<NodeId>(allServers + config_.clients);
   admin_ = std::make_unique<AdminClient>(
-      adminId, env_, *network_, clocks_->clock(adminId), initialServerIds(),
+      adminId, *ctx_, clocks_->clock(adminId), initialServerIds(),
       config_.admin, ring_.get());
 
   if (config_.server.membership.enabled) {

@@ -12,6 +12,7 @@
 #include "kvstore/server.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
+#include "sim/sim_context.hpp"
 #include "sim/sim_env.hpp"
 #include "sim/trace.hpp"
 
@@ -38,6 +39,7 @@ class VoldemortCluster {
 
   sim::SimEnv& env() { return env_; }
   sim::Network& network() { return *network_; }
+  sim::SimContext& context() { return *ctx_; }
   const Ring& ring() const { return *ring_; }
 
   size_t serverCount() const { return servers_.size(); }
@@ -45,6 +47,17 @@ class VoldemortCluster {
   VoldemortServer& server(size_t i) { return *servers_[i]; }
   VoldemortClient& client(size_t i) { return *clients_[i]; }
   AdminClient& admin() { return *admin_; }
+
+  /// Node-id layout (mirrors RealtimeKvCluster so differential drivers
+  /// can address both assemblies uniformly): servers (spares included),
+  /// then clients, then the admin.
+  NodeId clientId(size_t i) const {
+    return static_cast<NodeId>(config_.servers + config_.spareServers + i);
+  }
+  NodeId adminId() const {
+    return static_cast<NodeId>(config_.servers + config_.spareServers +
+                               config_.clients);
+  }
 
   /// All constructed servers, spares included.
   std::vector<NodeId> serverIds() const;
@@ -90,6 +103,7 @@ class VoldemortCluster {
   sim::SimEnv env_;
   std::unique_ptr<sim::ClockFleet> clocks_;
   std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<sim::SimContext> ctx_;
   std::unique_ptr<Ring> ring_;
   std::vector<std::unique_ptr<VoldemortServer>> servers_;
   std::vector<std::unique_ptr<VoldemortClient>> clients_;

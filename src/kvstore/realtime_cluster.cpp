@@ -1,0 +1,89 @@
+#include "kvstore/realtime_cluster.hpp"
+
+#include <cstdio>
+
+#include "common/random.hpp"
+
+namespace retro::kv {
+
+RealtimeKvCluster::RealtimeKvCluster(RealtimeClusterConfig config)
+    : config_(std::move(config)), ctx_(config_.runtime) {
+  const size_t totalNodes = config_.servers + config_.clients + 1;
+
+  // Deterministic fixed skews within the bound; node 0 pinned to zero so
+  // at least one node reads unshifted time.
+  SplitMix64 rng(config_.seed ^ 0xC1A55E5ULL);
+  offsets_.resize(totalNodes, 0);
+  for (size_t i = 1; i < totalNodes; ++i) {
+    const int64_t span = 2 * config_.maxSkewMillis + 1;
+    offsets_[i] = static_cast<int64_t>(rng.next() %
+                                       static_cast<uint64_t>(span)) -
+                  config_.maxSkewMillis;
+  }
+  clocks_.reserve(totalNodes);
+  for (size_t i = 0; i < totalNodes; ++i) {
+    clocks_.push_back(std::make_unique<runtime::RealtimePhysicalClock>(
+        ctx_, config_.epochBaseMillis, offsets_[i]));
+  }
+
+  ring_ = std::make_unique<Ring>(config_.servers, config_.ringVirtualNodes);
+  config_.client.ringVirtualNodes = config_.ringVirtualNodes;
+  config_.admin.ringVirtualNodes = config_.ringVirtualNodes;
+
+  for (size_t i = 0; i < config_.servers; ++i) {
+    servers_.push_back(std::make_unique<VoldemortServer>(
+        serverId(i), ctx_, *clocks_[i], config_.server));
+  }
+  std::vector<NodeId> serverIds;
+  for (size_t i = 0; i < config_.servers; ++i) serverIds.push_back(serverId(i));
+  for (auto& s : servers_) {
+    s->setRepairTopology(ring_.get(), serverIds, config_.client.replicas);
+  }
+  for (size_t i = 0; i < config_.clients; ++i) {
+    const NodeId id = clientId(i);
+    clients_.push_back(std::make_unique<VoldemortClient>(
+        id, ctx_, *clocks_[id], *ring_, config_.client));
+  }
+  admin_ = std::make_unique<AdminClient>(adminId(), ctx_, *clocks_[adminId()],
+                                         serverIds, config_.admin,
+                                         ring_.get());
+}
+
+RealtimeKvCluster::~RealtimeKvCluster() { ctx_.stop(); }
+
+sim::CausalityTrace& RealtimeKvCluster::enableCausalityTrace() {
+  if (!trace_) {
+    const size_t totalNodes = config_.servers + config_.clients + 1;
+    // Perceived time = context time shifted by the node's fixed skew;
+    // ground truth = unshifted context time.  |perceived - true| is then
+    // exactly the configured skew, which checkSkewBound verifies.
+    trace_ = std::make_unique<sim::CausalityTrace>(
+        [this](NodeId node, TimeMicros trueNow) {
+          return trueNow + offsets_[node] * kMicrosPerMilli;
+        },
+        [this] { return ctx_.now(); }, totalNodes);
+    for (auto& s : servers_) s->setTrace(trace_.get());
+    for (auto& c : clients_) c->setTrace(trace_.get());
+    admin_->setTrace(trace_.get());
+  }
+  return *trace_;
+}
+
+Key RealtimeKvCluster::keyOf(uint64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key-%010llu",
+                static_cast<unsigned long long>(i));
+  return Key(buf);
+}
+
+void RealtimeKvCluster::preload(uint64_t items, size_t valueBytes) {
+  const Value value(valueBytes, 'v');
+  for (uint64_t i = 0; i < items; ++i) {
+    const Key key = keyOf(i);
+    for (NodeId replica : ring_->preferenceList(key, config_.client.replicas)) {
+      servers_[replica]->preload(key, value);
+    }
+  }
+}
+
+}  // namespace retro::kv

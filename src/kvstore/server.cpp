@@ -16,34 +16,33 @@ sim::StorageFaultConfig nodeFaultConfig(sim::StorageFaultConfig cfg,
 }
 }  // namespace
 
-VoldemortServer::VoldemortServer(NodeId id, sim::SimEnv& env,
-                                 sim::Network& network,
-                                 sim::SkewedClock& clock, ServerConfig config)
+VoldemortServer::VoldemortServer(NodeId id, runtime::ExecutionContext& ctx,
+                                 hlc::PhysicalClock& clock,
+                                 ServerConfig config)
     : id_(id),
-      env_(&env),
-      network_(&network),
+      ctx_(&ctx),
       config_(std::move(config)),
       faults_(std::make_unique<sim::StorageFaultModel>(
           nodeFaultConfig(config_.storageFaults, id))),
-      disk_(std::make_unique<sim::SimDisk>(env, config_.disk)),
-      executor_(env),
+      disk_(std::make_unique<sim::SimDisk>(ctx, config_.disk, id)),
+      executor_(ctx, id),
       retroscope_(clock, config_.logConfig),
-      bdb_(std::make_unique<store::BdbStore>(env, *disk_, config_.bdb)),
+      bdb_(std::make_unique<store::BdbStore>(ctx, *disk_, config_.bdb, id)),
       memory_(config_.memory) {
   disk_->attachFaults(faults_.get());
   if (config_.recovery.persistWindowLog) {
     wal_ = std::make_unique<log::WalJournal>();
   }
   memory_.setOnOutOfMemory([this] { crash(); });
-  network_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
+  ctx_->registerNode(id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
   if (config_.archive.enabled) {
     archive_ = std::make_unique<log::LogArchive>(
         log::ArchiveConfig{.maxBytes = config_.archive.maxBytes});
-    env_->scheduleDaemon(config_.archive.periodMicros,
+    ctx_->scheduleDaemon(id_, config_.archive.periodMicros,
                          [this] { archiveTick(); });
   }
   if (config_.recovery.persistWindowLog) {
-    env_->scheduleDaemon(config_.recovery.checkpointPeriodMicros,
+    ctx_->scheduleDaemon(id_, config_.recovery.checkpointPeriodMicros,
                          [this] { checkpointTick(); });
   }
 }
@@ -62,7 +61,7 @@ void VoldemortServer::archiveTick() {
       updateMemoryModel();
     }
   }
-  env_->scheduleDaemon(config_.archive.periodMicros, [this] { archiveTick(); });
+  ctx_->scheduleDaemon(id_, config_.archive.periodMicros, [this] { archiveTick(); });
 }
 
 void VoldemortServer::checkpointTick() {
@@ -87,7 +86,7 @@ void VoldemortServer::checkpointTick() {
       if (wal_) wal_->foldIntoCheckpoint();
     }
   }
-  env_->scheduleDaemon(config_.recovery.checkpointPeriodMicros,
+  ctx_->scheduleDaemon(id_, config_.recovery.checkpointPeriodMicros,
                        [this] { checkpointTick(); });
 }
 
@@ -128,12 +127,12 @@ void VoldemortServer::crash() {
       storageCounters_.add("storage.wal_frames_torn");
     }
   }
-  network_->disconnect(id_);
+  ctx_->disconnect(id_);
 }
 
 void VoldemortServer::restart(std::function<void()> done) {
   if (alive_) {
-    if (done) env_->schedule(0, std::move(done));
+    if (done) ctx_->schedule(id_, 0, std::move(done));
     return;
   }
   const uint64_t inc = incarnation_;
@@ -160,7 +159,7 @@ void VoldemortServer::restart(std::function<void()> done) {
   }
   disk_->read(segmentBytes + logBytes, [this, inc, replayCpu,
                                         done = std::move(done)]() mutable {
-    env_->schedule(replayCpu, [this, inc, done = std::move(done)] {
+    ctx_->schedule(id_, replayCpu, [this, inc, done = std::move(done)] {
       if (alive_ || incarnation_ != inc) return;  // crashed again meanwhile
       recoverStorage();
       // Never issue a timestamp below one issued before the crash, even
@@ -168,7 +167,7 @@ void VoldemortServer::restart(std::function<void()> done) {
       retroscope_.clock().restore(maxHlcAtCrash_);
       alive_ = true;
       ++recoveries_;
-      network_->registerNode(
+      ctx_->registerNode(
           id_, [this](sim::Message&& m) { onMessage(std::move(m)); });
       updateMemoryModel();
       if (!quarantine_.empty()) startScrub();
@@ -192,7 +191,7 @@ void VoldemortServer::restoreFromSnapshot(core::SnapshotId id,
                                           std::function<void(Status)> done) {
   auto materialized = snapshotStore_.materialize(id);
   if (!materialized.isOk()) {
-    env_->schedule(0, [done = std::move(done),
+    ctx_->schedule(id_, 0, [done = std::move(done),
                        status = materialized.status()] { done(status); });
     return;
   }
@@ -206,7 +205,7 @@ void VoldemortServer::restoreFromSnapshot(core::SnapshotId id,
                          done = std::move(done)]() mutable {
       // Reopen on the restored files: rebuild the store and drop window
       // log history (it describes the abandoned timeline).
-      bdb_ = std::make_unique<store::BdbStore>(*env_, *disk_, config_.bdb);
+      bdb_ = std::make_unique<store::BdbStore>(*ctx_, *disk_, config_.bdb, id_);
       for (auto& [k, v] : state) bdb_->put(k, v);
       retroscope_.getLog(kStoreLog).truncateThrough(retroscope_.now());
       // The restored files are fresh, checksummed copies; any quarantine
@@ -227,7 +226,7 @@ void VoldemortServer::send(NodeId to, uint32_t type,
   ByteWriter w;
   const hlc::Timestamp ts = retroscope_.wrapHLC(w);
   body(w);
-  const uint64_t msgId = network_->send(sim::Message{id_, to, type, w.take()});
+  const uint64_t msgId = ctx_->send(sim::Message{id_, to, type, w.take()});
   if (trace_) trace_->onSend(id_, msgId, ts);
 }
 
@@ -1002,7 +1001,7 @@ void VoldemortServer::scrubStep() {
     scrubActive_ = false;
     storageCounters_.add("storage.repair_rounds_exhausted");
     const uint64_t inc = incarnation_;
-    env_->scheduleDaemon(config_.integrity.repairRetryMicros, [this, inc] {
+    ctx_->scheduleDaemon(id_, config_.integrity.repairRetryMicros, [this, inc] {
       if (alive_ && incarnation_ == inc) startScrub();
     });
     return;
@@ -1029,7 +1028,7 @@ void VoldemortServer::scrubStep() {
     send(peer, kRepairRequest, [&](ByteWriter& w) { req.writeTo(w); });
   }
   const uint64_t inc = incarnation_;
-  env_->schedule(config_.integrity.repairTimeoutMicros,
+  ctx_->schedule(id_, config_.integrity.repairTimeoutMicros,
                  [this, inc, generation] {
                    if (alive_ && incarnation_ == inc && scrubActive_ &&
                        repairGeneration_ == generation) {
@@ -1259,7 +1258,7 @@ void VoldemortServer::configureMembership(const MembershipView& genesis,
     lastPushedEpoch_ = view_.epoch();
     onViewChanged(/*gossip=*/false);
   }
-  env_->scheduleDaemon(config_.membership.gossipPeriodMicros,
+  ctx_->scheduleDaemon(id_, config_.membership.gossipPeriodMicros,
                        [this] { membershipTick(); });
 }
 
@@ -1281,7 +1280,7 @@ void VoldemortServer::onViewChanged(bool gossip) {
 
 void VoldemortServer::membershipTick() {
   if (alive_ && membershipStarted_ && !left_) {
-    const TimeMicros localNow = env_->now();
+    const TimeMicros localNow = ctx_->now();
     bool changed = false;
     if (view_.find(id_) != nullptr) view_.beatHeartbeat(id_);
     for (const auto& [node, rec] : view_.records()) {
@@ -1325,7 +1324,7 @@ void VoldemortServer::membershipTick() {
   // Reschedules even while crashed (the daemon survives a restart);
   // stops for good once the node has left.
   if (!left_) {
-    env_->scheduleDaemon(config_.membership.gossipPeriodMicros,
+    ctx_->scheduleDaemon(id_, config_.membership.gossipPeriodMicros,
                          [this] { membershipTick(); });
   }
 }
@@ -1418,7 +1417,7 @@ void VoldemortServer::beginJoin(NodeId seedMember) {
 
 void VoldemortServer::armJoinTimeout() {
   const uint64_t inc = incarnation_;
-  env_->schedule(config_.membership.joinTimeoutMicros, [this, inc] {
+  ctx_->schedule(id_, config_.membership.joinTimeoutMicros, [this, inc] {
     if (!alive_ || incarnation_ != inc || !joining_) return;
     membershipCounters_.add("membership.join_timeouts");
     const bool abandoned =
@@ -1492,7 +1491,7 @@ void VoldemortServer::finishLeaveDrain() {
     }
   }
   if (hasAdmin_) pushViewTo(adminId_);
-  network_->disconnect(id_);
+  ctx_->disconnect(id_);
 }
 
 void VoldemortServer::maybeStartOutboundTransfers() {
@@ -1620,7 +1619,7 @@ void VoldemortServer::sendTransferChunk(uint64_t transferId) {
   delay = std::min(delay, config_.membership.transferRetryCapMicros);
   const uint64_t gen = ++t.generation;
   const uint64_t inc = incarnation_;
-  env_->schedule(delay, [this, transferId, gen, inc] {
+  ctx_->schedule(id_, delay, [this, transferId, gen, inc] {
     if (!alive_ || incarnation_ != inc) return;
     transferChunkTimeout(transferId, gen);
   });

@@ -27,6 +27,7 @@
 #include "log/wal.hpp"
 #include "kvstore/messages.hpp"
 #include "kvstore/ring.hpp"
+#include "runtime/execution_context.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/disk.hpp"
 #include "sim/executor.hpp"
@@ -154,8 +155,12 @@ struct ServerConfig {
 
 class VoldemortServer {
  public:
-  VoldemortServer(NodeId id, sim::SimEnv& env, sim::Network& network,
-                  sim::SkewedClock& clock, ServerConfig config);
+  /// Runs against any ExecutionContext: the deterministic simulator
+  /// (SimContext) or the thread-per-node realtime runtime.  All of the
+  /// node's callbacks execute on its owner thread, so the protocol logic
+  /// stays single-threaded in both modes.
+  VoldemortServer(NodeId id, runtime::ExecutionContext& ctx,
+                  hlc::PhysicalClock& clock, ServerConfig config);
 
   NodeId id() const { return id_; }
   bool isAlive() const { return alive_; }
@@ -429,8 +434,7 @@ class VoldemortServer {
   Counters membershipCounters_;
 
   NodeId id_;
-  sim::SimEnv* env_;
-  sim::Network* network_;
+  runtime::ExecutionContext* ctx_;
   ServerConfig config_;
   sim::CausalityTrace* trace_ = nullptr;
 

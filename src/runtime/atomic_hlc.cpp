@@ -1,0 +1,82 @@
+#include "runtime/atomic_hlc.hpp"
+
+#include "hlc/clock.hpp"
+
+namespace retro::runtime {
+
+AtomicHlc AtomicHlc::overPhysicalClock(hlc::PhysicalClock& clock) {
+  return AtomicHlc([&clock] { return clock.nowMillis(); });
+}
+
+hlc::Timestamp AtomicHlc::advance(const hlc::Timestamp* remote) {
+  uint64_t cur = state_.load(std::memory_order_acquire);
+  for (;;) {
+    const int64_t pt = physicalMillis_();
+    const hlc::Timestamp now = hlc::Timestamp::unpack(cur);
+    hlc::Timestamp next;
+    if (remote == nullptr) {
+      // Table I timeTick(): l' = max(l, pt).
+      if (pt > now.l) {
+        next.l = pt;
+        next.c = 0;
+      } else {
+        next.l = now.l;
+        next.c = now.c + 1;
+      }
+    } else {
+      // Table I timeTick(m): l' = max(l, m.l, pt).
+      const int64_t newL = std::max({now.l, remote->l, pt});
+      uint32_t newC;
+      if (newL == now.l && newL == remote->l) {
+        newC = std::max(now.c, remote->c) + 1;
+      } else if (newL == now.l) {
+        newC = now.c + 1;
+      } else if (newL == remote->l) {
+        newC = remote->c + 1;
+      } else {
+        newC = 0;
+      }
+      next.l = newL;
+      next.c = newC;
+    }
+    // Same overflow promotion as hlc::Clock::promoteOnOverflow — the
+    // 16-bit wire representation must never wrap.
+    bool promoted = false;
+    if (next.c > hlc::Timestamp::kMaxLogical) {
+      ++next.l;
+      next.c = 0;
+      promoted = true;
+    }
+    if (state_.compare_exchange_weak(cur, next.pack(),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      observe(next, promoted);
+      return next;
+    }
+    casRetries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+hlc::Timestamp AtomicHlc::tick() { return advance(nullptr); }
+
+hlc::Timestamp AtomicHlc::tick(const hlc::Timestamp& m) { return advance(&m); }
+
+void AtomicHlc::restore(const hlc::Timestamp& persisted) {
+  const uint64_t target = persisted.pack();
+  uint64_t cur = state_.load(std::memory_order_acquire);
+  while (cur < target && !state_.compare_exchange_weak(
+                             cur, target, std::memory_order_acq_rel,
+                             std::memory_order_acquire)) {
+  }
+}
+
+void AtomicHlc::observe(const hlc::Timestamp& t, bool promoted) {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (promoted) promotions_.fetch_add(1, std::memory_order_relaxed);
+  uint32_t seen = maxLogical_.load(std::memory_order_relaxed);
+  while (t.c > seen && !maxLogical_.compare_exchange_weak(
+                           seen, t.c, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace retro::runtime

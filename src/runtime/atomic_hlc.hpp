@@ -1,0 +1,92 @@
+// Lock-free Hybrid Logical Clock packed into one 64-bit atomic.
+//
+// The HLC representation from *Achieving Causality with Physical Clocks*
+// (Kulkarni et al.) packs (l, c) into a single NTP-compatible 64-bit
+// word — top 48 bits physical milliseconds, low 16 bits logical counter
+// (hlc::Timestamp::pack) — and integer comparison of packed words equals
+// lexicographic (l, c) comparison.  That makes a compare_exchange loop
+// over one std::atomic<uint64_t> a complete multi-writer HLC: tick() and
+// merge() are wait-free-ish CAS retries with no lock anywhere, so the
+// window-log append path can share one clock across worker threads.
+//
+// Semantics are a bit-exact match of the single-threaded hlc::Clock
+// (tests/test_atomic_hlc.cpp pins the parity differentially): the same
+// max rules, the same logical-overflow promotion (l, 2^16) -> (l+1, 0),
+// and the same monotonicity guarantee — every returned timestamp is
+// strictly greater than every timestamp previously returned or merged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "hlc/timestamp.hpp"
+
+namespace retro::hlc {
+class PhysicalClock;
+}
+
+namespace retro::runtime {
+
+class AtomicHlc {
+ public:
+  /// `physicalMillis` is sampled inside the CAS loop and MUST be safe to
+  /// call from any thread (the realtime steady clock is; a SkewedClock
+  /// is not, but the simulator never shares an AtomicHlc across nodes).
+  explicit AtomicHlc(std::function<int64_t()> physicalMillis)
+      : physicalMillis_(std::move(physicalMillis)) {}
+
+  /// Convenience over an hlc::PhysicalClock (must be thread-safe).
+  static AtomicHlc overPhysicalClock(hlc::PhysicalClock& clock);
+
+  /// HLC tick for a local or send event:
+  ///   l' = max(l, pt);  c' = (l' == l) ? c + 1 : 0,
+  /// with logical overflow promoted into l.  Lock-free; returns the
+  /// timestamp this event owns (strictly greater than all prior ones).
+  hlc::Timestamp tick();
+
+  /// HLC tick for a receive event carrying remote timestamp `m`:
+  ///   l' = max(l, m.l, pt); c' per which argument attained l'.
+  hlc::Timestamp tick(const hlc::Timestamp& m);
+
+  /// Current value without advancing it (racy by nature: another thread
+  /// may tick concurrently; the returned value was current at some
+  /// point).
+  hlc::Timestamp current() const {
+    return hlc::Timestamp::unpack(state_.load(std::memory_order_acquire));
+  }
+
+  /// Crash recovery / initial seeding: ensure the clock never again
+  /// issues a value <= `persisted`.
+  void restore(const hlc::Timestamp& persisted);
+
+  /// Largest logical component ever produced (the paper observes < 10 in
+  /// practice; the stress tests assert the bound under contention).
+  uint32_t maxLogicalObserved() const {
+    return maxLogical_.load(std::memory_order_relaxed);
+  }
+
+  /// How many times the 16-bit logical counter overflowed into l.
+  uint64_t overflowPromotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+
+  /// Total CAS retries across all ticks (contention diagnostics).
+  uint64_t casRetries() const {
+    return casRetries_.load(std::memory_order_relaxed);
+  }
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  hlc::Timestamp advance(const hlc::Timestamp* remote);
+  void observe(const hlc::Timestamp& t, bool promoted);
+
+  std::function<int64_t()> physicalMillis_;
+  std::atomic<uint64_t> state_{0};
+  std::atomic<uint32_t> maxLogical_{0};
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> casRetries_{0};
+  std::atomic<uint64_t> ticks_{0};
+};
+
+}  // namespace retro::runtime

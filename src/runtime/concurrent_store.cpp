@@ -1,0 +1,113 @@
+#include "runtime/concurrent_store.hpp"
+
+#include <functional>
+
+namespace retro::runtime {
+
+ConcurrentWindowStore::ConcurrentWindowStore(
+    ConcurrentStoreConfig config, std::function<int64_t()> physicalMillis)
+    : config_(config), clock_(std::move(physicalMillis)) {
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  for (size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.logConfig));
+  }
+}
+
+ConcurrentWindowStore::Shard& ConcurrentWindowStore::shardFor(const Key& key) {
+  return *shards_[std::hash<Key>{}(key) % shards_.size()];
+}
+
+const ConcurrentWindowStore::Shard& ConcurrentWindowStore::shardFor(
+    const Key& key) const {
+  return *shards_[std::hash<Key>{}(key) % shards_.size()];
+}
+
+hlc::Timestamp ConcurrentWindowStore::mutate(const Key& key,
+                                             OptValue newValue) {
+  Shard& shard = shardFor(key);
+  std::lock_guard lk(shard.mu);
+  // Tick under the shard lock: appends within one shard are then
+  // HLC-ordered (WindowLog requires monotone timestamps), and any event
+  // with ts <= T is fully applied before a cut at T can lock the shard.
+  const hlc::Timestamp ts = clock_.tick();
+  auto it = shard.state.find(key);
+  OptValue oldValue =
+      it == shard.state.end() ? OptValue{} : OptValue{it->second};
+  shard.log.append(key, oldValue, newValue, ts);
+  if (newValue) {
+    shard.state[key] = std::move(*newValue);
+  } else if (it != shard.state.end()) {
+    shard.state.erase(it);
+  }
+  ++shard.puts;
+  return ts;
+}
+
+hlc::Timestamp ConcurrentWindowStore::put(const Key& key, Value value) {
+  return mutate(key, OptValue{std::move(value)});
+}
+
+hlc::Timestamp ConcurrentWindowStore::remove(const Key& key) {
+  return mutate(key, OptValue{});
+}
+
+OptValue ConcurrentWindowStore::get(const Key& key) const {
+  const Shard& shard = shardFor(key);
+  std::lock_guard lk(shard.mu);
+  auto it = shard.state.find(key);
+  return it == shard.state.end() ? OptValue{} : OptValue{it->second};
+}
+
+Result<std::unordered_map<Key, Value>> ConcurrentWindowStore::stateAt(
+    hlc::Timestamp t) const {
+  std::unordered_map<Key, Value> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    auto diff = shard->log.diffToPast(t);
+    if (!diff.isOk()) return diff.status();
+    std::unordered_map<Key, Value> state = shard->state;
+    diff.value().applyTo(state);
+    out.merge(state);
+  }
+  return out;
+}
+
+std::unordered_map<Key, Value> ConcurrentWindowStore::currentState() const {
+  std::unordered_map<Key, Value> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    std::unordered_map<Key, Value> state = shard->state;
+    out.merge(state);
+  }
+  return out;
+}
+
+uint64_t ConcurrentWindowStore::puts() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    total += shard->puts;
+  }
+  return total;
+}
+
+size_t ConcurrentWindowStore::itemCount() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    total += shard->state.size();
+  }
+  return total;
+}
+
+hlc::Timestamp ConcurrentWindowStore::floor() const {
+  hlc::Timestamp f{};
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    f = std::max(f, shard->log.floor());
+  }
+  return f;
+}
+
+}  // namespace retro::runtime

@@ -1,0 +1,42 @@
+// Flake guard for realtime tests: every wait on real threads takes its
+// deadline budget from RETRO_REALTIME_TIMEOUT_MS instead of hard-coded
+// sleeps, so loaded CI machines widen the budget rather than producing
+// spurious failures.  The default is deliberately generous — a passing
+// run never waits anywhere near it, because waits poll for their
+// condition and return as soon as it holds.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "common/types.hpp"
+
+namespace retro::runtime {
+
+/// The realtime deadline budget: RETRO_REALTIME_TIMEOUT_MS (default
+/// 20000 ms), as microseconds.
+inline TimeMicros realtimeDeadlineMicros() {
+  if (const char* env = std::getenv("RETRO_REALTIME_TIMEOUT_MS")) {
+    const long long ms = std::atoll(env);
+    if (ms > 0) return static_cast<TimeMicros>(ms) * kMicrosPerMilli;
+  }
+  return 20'000 * kMicrosPerMilli;
+}
+
+/// Poll `done` until it returns true or the deadline budget elapses.
+/// Returns whether the condition held.  `done` must be safe to call
+/// from the waiting thread (read atomics / take its own locks).
+inline bool waitForCondition(const std::function<bool()>& done,
+                             TimeMicros budget = realtimeDeadlineMicros()) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto limit = start + std::chrono::microseconds(budget);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() >= limit) return done();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+}  // namespace retro::runtime

@@ -1,0 +1,22 @@
+// The message unit shared by every transport (the deterministic
+// simulated network and the realtime in-process channel transport).
+// Node logic is written against this struct plus ExecutionContext, so
+// the same protocol code runs under either runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace retro::runtime {
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  uint32_t type = 0;       ///< protocol-defined discriminator
+  std::string payload;     ///< serialized body (HLC prepended by sender)
+  uint64_t msgId = 0;      ///< unique per transport, for causality tracking
+};
+
+}  // namespace retro::runtime

@@ -1,0 +1,42 @@
+// Physical-clock sources for the realtime runtime.
+//
+// Every node of a realtime cluster reads the same host steady clock
+// through a shared epoch base, optionally shifted by a fixed per-node
+// offset (a deterministic stand-in for NTP skew — realtime runs cannot
+// reproduce the simulator's seeded drift model, but a constant offset
+// exercises the same HLC merge paths).  nowMillis() is thread-safe and
+// monotone, which AtomicHlc requires of its source.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+#include "hlc/clock.hpp"
+#include "runtime/execution_context.hpp"
+
+namespace retro::runtime {
+
+class RealtimePhysicalClock final : public hlc::PhysicalClock {
+ public:
+  /// `ctx` provides the steady time base shared by every node in the
+  /// process; `epochBaseMillis` shifts it so HLC physical components are
+  /// nonzero (any positive constant works — cuts and queries only ever
+  /// compare HLC values from the same run).  `offsetMillis` is this
+  /// node's fixed skew.
+  RealtimePhysicalClock(const ExecutionContext& ctx, int64_t epochBaseMillis,
+                        int64_t offsetMillis = 0)
+      : ctx_(&ctx), base_(epochBaseMillis), offset_(offsetMillis) {}
+
+  int64_t nowMillis() override {
+    return base_ + ctx_->now() / kMicrosPerMilli + offset_;
+  }
+
+  int64_t offsetMillis() const { return offset_; }
+
+ private:
+  const ExecutionContext* ctx_;
+  int64_t base_;
+  int64_t offset_;
+};
+
+}  // namespace retro::runtime

@@ -1,0 +1,181 @@
+#include "runtime/realtime_context.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace retro::runtime {
+
+namespace {
+constexpr auto kGreater = std::greater<>{};
+}  // namespace
+
+RealtimeContext::RealtimeContext(RealtimeConfig config)
+    : config_(config), base_(std::chrono::steady_clock::now()) {}
+
+RealtimeContext::~RealtimeContext() { stop(); }
+
+TimeMicros RealtimeContext::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - base_)
+      .count();
+}
+
+RealtimeContext::Node* RealtimeContext::find(NodeId node) {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const RealtimeContext::Node* RealtimeContext::find(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void RealtimeContext::registerNode(NodeId node, Handler handler) {
+  assert(!started_ && "register every node before start()");
+  auto& rec = nodes_[node];
+  if (!rec) rec = std::make_unique<Node>();
+  rec->handler = std::move(handler);
+  rec->connected = true;
+}
+
+void RealtimeContext::setWorkers(NodeId node, size_t k) {
+  assert(!started_ && "setWorkers before start()");
+  auto& rec = nodes_[node];
+  if (!rec) rec = std::make_unique<Node>();
+  rec->workers = k == 0 ? 1 : k;
+}
+
+void RealtimeContext::disconnect(NodeId node) {
+  Node* rec = find(node);
+  if (!rec) return;
+  std::lock_guard lk(rec->mu);
+  rec->connected = false;
+  rec->inbox.clear();
+}
+
+bool RealtimeContext::isConnected(NodeId node) const {
+  const Node* rec = find(node);
+  if (!rec) return false;
+  std::lock_guard lk(rec->mu);
+  return rec->connected;
+}
+
+uint64_t RealtimeContext::send(Message message) {
+  const uint64_t id = nextMsgId_.fetch_add(1, std::memory_order_relaxed);
+  message.msgId = id;
+  messagesSent_.fetch_add(1, std::memory_order_relaxed);
+  bytesSent_.fetch_add(message.payload.size(), std::memory_order_relaxed);
+  Node* rec = find(message.to);
+  if (rec == nullptr) {
+    messagesDropped_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+  {
+    std::lock_guard lk(rec->mu);
+    if (!rec->connected) {
+      messagesDropped_.fetch_add(1, std::memory_order_relaxed);
+      return id;
+    }
+    rec->inbox.push_back(std::move(message));
+  }
+  rec->cv.notify_one();
+  return id;
+}
+
+void RealtimeContext::schedule(NodeId owner, TimeMicros delay,
+                               std::function<void()> fn) {
+  Node* rec = find(owner);
+  assert(rec != nullptr && "schedule() for an unregistered node");
+  if (rec == nullptr) return;
+  if (delay < 0) delay = 0;
+  {
+    std::lock_guard lk(rec->mu);
+    rec->timers.push_back(Timer{now() + delay, rec->timerSeq++, std::move(fn)});
+    std::push_heap(rec->timers.begin(), rec->timers.end(), kGreater);
+  }
+  rec->cv.notify_one();
+}
+
+void RealtimeContext::scheduleDaemon(NodeId owner, TimeMicros delay,
+                                     std::function<void()> fn) {
+  // Every realtime timer already has daemon semantics: stop() cancels
+  // whatever has not fired.
+  schedule(owner, delay, std::move(fn));
+}
+
+void RealtimeContext::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& [id, rec] : nodes_) {
+    (void)id;
+    for (size_t w = 0; w < rec->workers; ++w) {
+      rec->threads.emplace_back([this, node = rec.get()] { workerLoop(*node); });
+    }
+  }
+}
+
+void RealtimeContext::stop() {
+  if (joined_) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& [id, rec] : nodes_) {
+    (void)id;
+    rec->cv.notify_all();
+  }
+  for (auto& [id, rec] : nodes_) {
+    (void)id;
+    for (auto& t : rec->threads) {
+      if (t.joinable()) t.join();
+    }
+    rec->threads.clear();
+  }
+  joined_ = true;
+}
+
+void RealtimeContext::workerLoop(Node& node) {
+  std::vector<Message> batch;
+  std::vector<std::function<void()>> due;
+  for (;;) {
+    {
+      std::unique_lock lk(node.mu);
+      for (;;) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        const TimeMicros t = now();
+        while (!node.timers.empty() && node.timers.front().when <= t) {
+          std::pop_heap(node.timers.begin(), node.timers.end(), kGreater);
+          due.push_back(std::move(node.timers.back().fn));
+          node.timers.pop_back();
+        }
+        const size_t take =
+            std::min(node.inbox.size(), config_.drainBatchLimit);
+        for (size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(node.inbox.front()));
+          node.inbox.pop_front();
+        }
+        if (!batch.empty() || !due.empty()) break;
+        if (node.timers.empty()) {
+          node.cv.wait(lk);
+        } else {
+          node.cv.wait_until(
+              lk, base_ + std::chrono::microseconds(node.timers.front().when));
+        }
+      }
+    }
+    if (!batch.empty()) {
+      drains_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t seen = maxDrainBatch_.load(std::memory_order_relaxed);
+      while (batch.size() > seen &&
+             !maxDrainBatch_.compare_exchange_weak(
+                 seen, batch.size(), std::memory_order_relaxed)) {
+      }
+    }
+    for (auto& fn : due) fn();
+    for (auto& msg : batch) {
+      messagesDelivered_.fetch_add(1, std::memory_order_relaxed);
+      node.handler(std::move(msg));
+    }
+    due.clear();
+    batch.clear();
+  }
+}
+
+}  // namespace retro::runtime

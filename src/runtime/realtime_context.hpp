@@ -1,0 +1,134 @@
+// Thread-per-node realtime runtime: the second implementation of
+// ExecutionContext, running the exact same node logic as the simulator
+// but on real cores.
+//
+//   * Transport: one in-process MPSC channel per node.  Senders push
+//     under the node's mutex; the node's worker drains the whole inbox
+//     in one swap (batched drain — one lock round per batch, not per
+//     message) and then runs handlers lock-free.
+//   * Timers: a per-node min-heap serviced by the node's worker between
+//     drains; condition-variable waits are bounded by the next deadline.
+//   * Time: microseconds on the host steady clock since construction.
+//   * Thread model: exactly one worker per node by default, so node
+//     state keeps the single-thread confinement the protocol code was
+//     written under.  setWorkers(node, k > 1) opts a node into a worker
+//     pool sharing its channel (its handler must then be thread-safe —
+//     the sharded ConcurrentWindowStore data plane exists for this).
+//
+// Lifecycle: construct -> registerNode()/setWorkers()/send() freely ->
+// start() spawns workers -> ... -> stop() joins everything.  All
+// registration happens strictly before any thread exists, so node setup
+// needs no locking; messages sent before start() are delivered after it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/execution_context.hpp"
+
+namespace retro::runtime {
+
+struct RealtimeConfig {
+  /// Maximum messages taken per drain.  The whole inbox is swapped out
+  /// under one lock hold; this bounds how long a node runs handlers
+  /// before it re-checks timers.
+  size_t drainBatchLimit = 128;
+};
+
+class RealtimeContext final : public ExecutionContext {
+ public:
+  explicit RealtimeContext(RealtimeConfig config = {});
+  ~RealtimeContext() override;
+
+  RealtimeContext(const RealtimeContext&) = delete;
+  RealtimeContext& operator=(const RealtimeContext&) = delete;
+
+  // --- ExecutionContext ---
+  TimeMicros now() const override;
+  void schedule(NodeId owner, TimeMicros delay,
+                std::function<void()> fn) override;
+  void scheduleDaemon(NodeId owner, TimeMicros delay,
+                      std::function<void()> fn) override;
+  void registerNode(NodeId node, Handler handler) override;
+  void disconnect(NodeId node) override;
+  bool isConnected(NodeId node) const override;
+  uint64_t send(Message message) override;
+  bool isRealtime() const override { return true; }
+
+  // --- realtime lifecycle ---
+
+  /// Worker threads for `node` (default 1).  Must be called before
+  /// start(); k > 1 requires a thread-safe handler.
+  void setWorkers(NodeId node, size_t k);
+
+  /// Spawn every node's workers.  Must be called exactly once; nodes
+  /// registered earlier begin draining immediately.
+  void start();
+  bool started() const { return started_; }
+
+  /// Signal every worker, cancel outstanding timers, join all threads.
+  /// Idempotent; runs from the destructor if not called explicitly.
+  /// After stop() returns, all node state is safely readable from the
+  /// caller's thread (joins establish the happens-before edge).
+  void stop();
+
+  // --- wire statistics (atomics; exact after stop()) ---
+  uint64_t messagesSent() const { return messagesSent_.load(); }
+  uint64_t messagesDelivered() const { return messagesDelivered_.load(); }
+  uint64_t messagesDropped() const { return messagesDropped_.load(); }
+  uint64_t bytesSent() const { return bytesSent_.load(); }
+  /// Batched-drain accounting: how many drains it took to deliver
+  /// messagesDelivered() messages (ratio > 1 means batching is real).
+  uint64_t drains() const { return drains_.load(); }
+  uint64_t maxDrainBatch() const { return maxDrainBatch_.load(); }
+
+ private:
+  struct Timer {
+    TimeMicros when = 0;
+    uint64_t seq = 0;  // FIFO tie-break among same-deadline timers
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  struct Node {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> inbox;
+    std::vector<Timer> timers;  // min-heap via std::push_heap/greater
+    Handler handler;
+    bool connected = true;
+    size_t workers = 1;
+    uint64_t timerSeq = 0;
+    std::vector<std::thread> threads;
+  };
+
+  Node* find(NodeId node);
+  const Node* find(NodeId node) const;
+  void workerLoop(Node& node);
+
+  RealtimeConfig config_;
+  std::chrono::steady_clock::time_point base_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+  bool joined_ = false;
+
+  std::atomic<uint64_t> nextMsgId_{1};
+  std::atomic<uint64_t> messagesSent_{0};
+  std::atomic<uint64_t> messagesDelivered_{0};
+  std::atomic<uint64_t> messagesDropped_{0};
+  std::atomic<uint64_t> bytesSent_{0};
+  std::atomic<uint64_t> drains_{0};
+  std::atomic<uint64_t> maxDrainBatch_{0};
+};
+
+}  // namespace retro::runtime

@@ -5,16 +5,18 @@
 
 namespace retro::sim {
 
-SimDisk::SimDisk(SimEnv& env, DiskConfig config)
-    : env_(&env), config_(config) {}
+SimDisk::SimDisk(runtime::ExecutionContext& ctx, DiskConfig config,
+                 NodeId owner)
+    : ctx_(&ctx), owner_(owner), config_(config) {}
 
 void SimDisk::submit(uint64_t bytes, double mbps, std::function<void()> done) {
   const double seconds = static_cast<double>(bytes) / (mbps * 1e6);
   const auto transfer =
       static_cast<TimeMicros>(std::llround(seconds * kMicrosPerSecond));
-  const TimeMicros start = std::max(busyUntil_, env_->now());
+  const TimeMicros now = ctx_->now();
+  const TimeMicros start = std::max(busyUntil_, now);
   busyUntil_ = start + config_.seekMicros + transfer;
-  env_->scheduleAt(busyUntil_, std::move(done));
+  ctx_->schedule(owner_, busyUntil_ - now, std::move(done));
 }
 
 void SimDisk::read(uint64_t bytes, std::function<void()> done) {

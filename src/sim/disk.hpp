@@ -8,7 +8,7 @@
 #include <functional>
 
 #include "common/types.hpp"
-#include "sim/sim_env.hpp"
+#include "runtime/execution_context.hpp"
 #include "sim/storage_faults.hpp"
 
 namespace retro::sim {
@@ -21,7 +21,10 @@ struct DiskConfig {
 
 class SimDisk {
  public:
-  SimDisk(SimEnv& env, DiskConfig config);
+  /// `owner` routes completion callbacks to the owning node's thread
+  /// under the realtime runtime (ignored by the simulator).
+  SimDisk(runtime::ExecutionContext& ctx, DiskConfig config,
+          NodeId owner = 0);
 
   /// Queue an asynchronous read/write of `bytes`; `done` runs when the
   /// operation completes. Operations execute serially in FIFO order.
@@ -30,7 +33,7 @@ class SimDisk {
 
   /// Virtual time at which the disk becomes idle.
   TimeMicros busyUntil() const { return busyUntil_; }
-  bool busy() const { return busyUntil_ > env_->now(); }
+  bool busy() const { return busyUntil_ > ctx_->now(); }
 
   uint64_t bytesRead() const { return bytesRead_; }
   uint64_t bytesWritten() const { return bytesWritten_; }
@@ -48,7 +51,8 @@ class SimDisk {
  private:
   void submit(uint64_t bytes, double mbps, std::function<void()> done);
 
-  SimEnv* env_;
+  runtime::ExecutionContext* ctx_;
+  NodeId owner_;
   DiskConfig config_;
   StorageFaultModel* faults_ = nullptr;
   uint64_t readRetries_ = 0;

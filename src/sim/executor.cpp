@@ -8,10 +8,11 @@ namespace retro::sim {
 void Executor::submit(TimeMicros serviceMicros, std::function<void()> task) {
   const auto scaled = static_cast<TimeMicros>(
       std::llround(static_cast<double>(serviceMicros) * slowdown_));
-  const TimeMicros start = std::max(busyUntil_, env_->now());
+  const TimeMicros now = ctx_->now();
+  const TimeMicros start = std::max(busyUntil_, now);
   busyUntil_ = start + scaled;
   totalBusy_ += scaled;
-  env_->scheduleAt(busyUntil_, std::move(task));
+  ctx_->schedule(owner_, busyUntil_ - now, std::move(task));
 }
 
 }  // namespace retro::sim

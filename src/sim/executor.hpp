@@ -10,13 +10,18 @@
 #include <functional>
 
 #include "common/types.hpp"
-#include "sim/sim_env.hpp"
+#include "runtime/execution_context.hpp"
 
 namespace retro::sim {
 
 class Executor {
  public:
-  explicit Executor(SimEnv& env) : env_(&env) {}
+  /// `owner` is the node whose execution thread runs submitted tasks
+  /// under the realtime runtime (ignored by the simulator).  Under
+  /// realtime contexts service times model *extra* induced latency on
+  /// top of the real compute; realtime benches set them to zero.
+  explicit Executor(runtime::ExecutionContext& ctx, NodeId owner = 0)
+      : ctx_(&ctx), owner_(owner) {}
 
   /// Run `task` after occupying the CPU for `serviceMicros` (scaled by
   /// the slowdown factor). Tasks run in submission order.
@@ -28,13 +33,14 @@ class Executor {
   double slowdownFactor() const { return slowdown_; }
 
   TimeMicros busyUntil() const { return busyUntil_; }
-  bool busy() const { return busyUntil_ > env_->now(); }
+  bool busy() const { return busyUntil_ > ctx_->now(); }
 
   /// Total CPU time consumed (utilization accounting).
   TimeMicros totalBusyMicros() const { return totalBusy_; }
 
  private:
-  SimEnv* env_;
+  runtime::ExecutionContext* ctx_;
+  NodeId owner_;
   TimeMicros busyUntil_ = 0;
   TimeMicros totalBusy_ = 0;
   double slowdown_ = 1.0;

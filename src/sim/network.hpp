@@ -20,17 +20,14 @@
 
 #include "common/random.hpp"
 #include "common/types.hpp"
+#include "runtime/message.hpp"
 #include "sim/sim_env.hpp"
 
 namespace retro::sim {
 
-struct Message {
-  NodeId from = 0;
-  NodeId to = 0;
-  uint32_t type = 0;       ///< protocol-defined discriminator
-  std::string payload;     ///< serialized body (HLC prepended by sender)
-  uint64_t msgId = 0;      ///< unique per network, for causality tracking
-};
+/// The message struct is shared with the realtime transport so node
+/// logic is runtime-agnostic (see runtime/message.hpp).
+using Message = runtime::Message;
 
 struct NetworkConfig {
   /// Minimum one-way latency.

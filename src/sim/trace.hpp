@@ -1,14 +1,24 @@
 // Cluster-wide causality tracing: a thin recording facade that the
-// simulated substrates (kvstore servers/clients/admin, grid members/
-// clients) call at every HLC tick site.  It stamps each event with the
-// node's perceived physical time and the simulator truth and appends it
-// to a CausalityRecorder, so the fuzz harness can *prove* that every
+// substrates (kvstore servers/clients/admin, grid members/clients) call
+// at every HLC tick site.  It stamps each event with the node's
+// perceived physical time and ground truth and appends it to a
+// CausalityRecorder, so the fuzz harness can *prove* that every
 // HLC-derived cut taken during a run is a consistent cut — the paper's
 // central guarantee — instead of trusting the snapshot machinery.
 //
 // Tracing is strictly opt-in (a null pointer in every component by
 // default) so benches and production-path tests pay nothing for it.
+//
+// The trace works under both runtimes: the simulator ctor wires the
+// per-node skewed clocks and virtual time directly; the generic ctor
+// takes function-valued time sources (realtime runs pass the context
+// clock).  record() serializes appends behind a mutex — under the
+// deterministic simulator it is uncontended, under the realtime runtime
+// node threads record concurrently.
 #pragma once
+
+#include <functional>
+#include <mutex>
 
 #include "hlc/timestamp.hpp"
 #include "sim/causality.hpp"
@@ -19,10 +29,29 @@ namespace retro::sim {
 
 class CausalityTrace {
  public:
-  /// `env` and `clocks` must outlive the trace; `nodes` is the total
-  /// node-id space (every id components will record with).
+  /// Per-node perceived physical time in micros, derived from the
+  /// ground-truth sample `trueNow` taken for the same event — one shared
+  /// clock read, so a recorded skew is exactly the model's skew and not
+  /// polluted by the wall time elapsing between two reads.
+  using PerceivedFn = std::function<TimeMicros(NodeId node, TimeMicros trueNow)>;
+  using TrueTimeFn = std::function<TimeMicros()>;
+
+  /// Simulator wiring: `env` and `clocks` must outlive the trace;
+  /// `nodes` is the total node-id space (every id components will
+  /// record with).
   CausalityTrace(SimEnv& env, ClockFleet& clocks, size_t nodes)
-      : env_(&env), clocks_(&clocks), recorder_(nodes) {}
+      : CausalityTrace(
+            [&clocks](NodeId node, TimeMicros) {
+              return clocks.clock(node).nowMicros();
+            },
+            [&env] { return env.now(); }, nodes) {}
+
+  /// Generic wiring (realtime runs): both callables must be safe to
+  /// invoke from any node thread.
+  CausalityTrace(PerceivedFn perceived, TrueTimeFn trueTime, size_t nodes)
+      : perceived_(std::move(perceived)),
+        trueTime_(std::move(trueTime)),
+        recorder_(nodes) {}
 
   /// Record a send event: `ts` is the HLC value *after* the send tick,
   /// `msgId` the network's id for the message just sent.
@@ -41,6 +70,8 @@ class CausalityTrace {
     record(node, EventType::kLocal, 0, ts);
   }
 
+  /// Callers must not hold node locks that a concurrent recorder reader
+  /// could need; safe once all node threads are joined.
   const CausalityRecorder& recorder() const { return recorder_; }
 
  private:
@@ -50,13 +81,15 @@ class CausalityTrace {
     rec.type = type;
     rec.messageId = msgId;
     rec.hlcTs = ts;
-    rec.perceivedMicros = clocks_->clock(node).nowMicros();
-    rec.trueMicros = env_->now();
+    rec.trueMicros = trueTime_();
+    rec.perceivedMicros = perceived_(node, rec.trueMicros);
+    std::lock_guard<std::mutex> lock(mu_);
     recorder_.record(node, rec);
   }
 
-  SimEnv* env_;
-  ClockFleet* clocks_;
+  PerceivedFn perceived_;
+  TrueTimeFn trueTime_;
+  std::mutex mu_;
   CausalityRecorder recorder_;
 };
 

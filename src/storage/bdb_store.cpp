@@ -10,8 +10,9 @@ uint32_t recordChecksum(const Key& key, const Value& value) {
 }
 }  // namespace
 
-BdbStore::BdbStore(sim::SimEnv& env, sim::SimDisk& disk, BdbConfig config)
-    : env_(&env), disk_(&disk), config_(config) {
+BdbStore::BdbStore(runtime::ExecutionContext& ctx, sim::SimDisk& disk,
+                   BdbConfig config, NodeId owner)
+    : ctx_(&ctx), owner_(owner), disk_(&disk), config_(config) {
   segments_.push_back(Segment{});
   maybeScheduleCleaner();
 }
@@ -118,7 +119,7 @@ void BdbStore::flushWriteBuffer(std::function<void()> done) {
   const uint64_t bytes = writeBufferBytes_;
   writeBufferBytes_ = 0;
   if (bytes == 0) {
-    env_->schedule(0, std::move(done));
+    ctx_->schedule(owner_, 0, std::move(done));
     return;
   }
   flushInFlight_ = true;
@@ -162,7 +163,7 @@ void BdbStore::hotBackup(std::function<void(uint64_t)> done) {
 void BdbStore::maybeScheduleCleaner() {
   if (!config_.cleanerEnabled || cleanerScheduled_) return;
   cleanerScheduled_ = true;
-  env_->scheduleDaemon(config_.cleanerCheckPeriodMicros, [this] {
+  ctx_->scheduleDaemon(owner_, config_.cleanerCheckPeriodMicros, [this] {
     cleanerScheduled_ = false;
     cleanerTick();
     maybeScheduleCleaner();
@@ -212,7 +213,7 @@ void BdbStore::startCleaning() {
       // Release any backups that queued behind the cleaner.
       auto waiting = std::move(backupsWaitingForCleaner_);
       backupsWaitingForCleaner_.clear();
-      for (auto& resume : waiting) env_->schedule(0, std::move(resume));
+      for (auto& resume : waiting) ctx_->schedule(owner_, 0, std::move(resume));
     });
   });
 }

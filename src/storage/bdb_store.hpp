@@ -19,8 +19,8 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "runtime/execution_context.hpp"
 #include "sim/disk.hpp"
-#include "sim/sim_env.hpp"
 
 namespace retro::store {
 
@@ -41,7 +41,10 @@ struct BdbConfig {
 
 class BdbStore {
  public:
-  BdbStore(sim::SimEnv& env, sim::SimDisk& disk, BdbConfig config = {});
+  /// `owner` routes flush/cleaner callbacks to the owning node's thread
+  /// under the realtime runtime (ignored by the simulator).
+  BdbStore(runtime::ExecutionContext& ctx, sim::SimDisk& disk,
+           BdbConfig config = {}, NodeId owner = 0);
 
   // --- data path (in-memory index + buffered log append) ---
   void put(const Key& key, Value value);
@@ -111,7 +114,8 @@ class BdbStore {
   void cleanerTick();
   void startCleaning();
 
-  sim::SimEnv* env_;
+  runtime::ExecutionContext* ctx_;
+  NodeId owner_;
   sim::SimDisk* disk_;
   BdbConfig config_;
 

@@ -1,0 +1,206 @@
+// Property and stress tests for the packed lock-free AtomicHlc.
+//
+//   * pack/unpack round-trip against hlc::Timestamp, and the packed-word
+//     ordering invariant the CAS loop depends on;
+//   * seeded differential parity with the single-threaded hlc::Clock —
+//     identical timestamp sequences for identical event sequences,
+//     including logical-counter overflow promotion
+//     (RETRO_HLC_SEEDS widens the sweep);
+//   * monotonicity and skew-bound properties under N concurrent threads
+//     (run under TSan in CI for the data-race half of the claim).
+#include "runtime/atomic_hlc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+#include "hlc/clock.hpp"
+#include "testing/fuzz.hpp"
+
+namespace retro::runtime {
+namespace {
+
+/// Scripted physical time shared by a differential pair (and safe for
+/// the multi-thread tests, where it is an atomic).
+struct ScriptedMillis {
+  std::atomic<int64_t> now{0};
+  int64_t operator()() const { return now.load(std::memory_order_relaxed); }
+};
+
+class ScriptedPhysicalClock final : public hlc::PhysicalClock {
+ public:
+  explicit ScriptedPhysicalClock(ScriptedMillis& source) : source_(&source) {}
+  int64_t nowMillis() override { return (*source_)(); }
+
+ private:
+  ScriptedMillis* source_;
+};
+
+TEST(AtomicHlc, PackRoundTripAndOrdering) {
+  SplitMix64 rng(7);
+  hlc::Timestamp prev{};
+  for (int i = 0; i < 10'000; ++i) {
+    hlc::Timestamp t;
+    t.l = static_cast<int64_t>(rng.next() & ((1ull << 47) - 1));
+    t.c = static_cast<uint32_t>(rng.next() & hlc::Timestamp::kMaxLogical);
+    const hlc::Timestamp back = hlc::Timestamp::unpack(t.pack());
+    ASSERT_EQ(back.l, t.l);
+    ASSERT_EQ(back.c, t.c);
+    // The invariant the CAS loop rests on: packed-word integer order ==
+    // lexicographic (l, c) order.
+    ASSERT_EQ(t.pack() < prev.pack(), t < prev);
+    ASSERT_EQ(t.pack() == prev.pack(), t == prev);
+    prev = t;
+  }
+}
+
+TEST(AtomicHlc, MatchesSequentialClockDifferentially) {
+  const int seeds = testing::seedCountFromEnv("RETRO_HLC_SEEDS", 64);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SplitMix64 rng(static_cast<uint64_t>(seed));
+    ScriptedMillis millis;
+    ScriptedPhysicalClock physical(millis);
+    hlc::Clock reference(physical);
+    AtomicHlc atomic([&millis] { return millis(); });
+
+    for (int step = 0; step < 2'000; ++step) {
+      const uint64_t draw = rng.next();
+      switch (draw % 4) {
+        case 0:  // physical clock advances (sometimes jumps)
+          millis.now.fetch_add(static_cast<int64_t>(draw >> 32) % 50);
+          break;
+        case 1: {  // remote timestamp merges (may be ahead of physical)
+          hlc::Timestamp remote;
+          remote.l = millis() + static_cast<int64_t>((draw >> 8) % 20) - 5;
+          remote.c = static_cast<uint32_t>((draw >> 40) % 7);
+          ASSERT_EQ(reference.tick(remote), atomic.tick(remote))
+              << "seed " << seed << " step " << step;
+          break;
+        }
+        default:  // local/send event
+          ASSERT_EQ(reference.tick(), atomic.tick())
+              << "seed " << seed << " step " << step;
+      }
+      ASSERT_EQ(reference.current(), atomic.current());
+    }
+    ASSERT_EQ(reference.maxLogicalObserved(), atomic.maxLogicalObserved());
+  }
+}
+
+TEST(AtomicHlc, OverflowPromotionMatchesSequentialClock) {
+  // Freeze physical time so every local tick increments c; both clocks
+  // must promote (l, 2^16 - 1) -> (l + 1, 0) at the same step.
+  ScriptedMillis millis;
+  millis.now = 5'000;
+  ScriptedPhysicalClock physical(millis);
+  hlc::Clock reference(physical);
+  AtomicHlc atomic([&millis] { return millis(); });
+
+  const int steps = static_cast<int>(hlc::Timestamp::kMaxLogical) + 10;
+  for (int i = 0; i < steps; ++i) {
+    ASSERT_EQ(reference.tick(), atomic.tick()) << "tick " << i;
+  }
+  EXPECT_GE(atomic.overflowPromotions(), 1u);
+  EXPECT_GT(atomic.current().l, 5'000);  // promoted into the physical part
+  EXPECT_EQ(reference.current(), atomic.current());
+}
+
+TEST(AtomicHlc, RestoreNeverRegresses) {
+  ScriptedMillis millis;
+  millis.now = 100;
+  AtomicHlc atomic([&millis] { return millis(); });
+  atomic.tick();
+  atomic.restore(hlc::Timestamp{9'999, 17});
+  EXPECT_EQ(atomic.current(), (hlc::Timestamp{9'999, 17}));
+  // Restoring something older is a no-op.
+  atomic.restore(hlc::Timestamp{50, 0});
+  EXPECT_EQ(atomic.current(), (hlc::Timestamp{9'999, 17}));
+  const hlc::Timestamp next = atomic.tick();
+  EXPECT_GT(next, (hlc::Timestamp{9'999, 17}));
+}
+
+TEST(AtomicHlcStress, MonotonePerThreadAndGloballyUnique) {
+  const unsigned threadsWanted = std::max(4u, std::min(
+      8u, std::thread::hardware_concurrency()));
+  const int ticksPerThread = 20'000;
+  ScriptedMillis millis;
+  millis.now = 1'000;
+  AtomicHlc atomic([&millis] { return millis(); });
+
+  std::vector<std::vector<hlc::Timestamp>> perThread(threadsWanted);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < threadsWanted; ++t) {
+    threads.emplace_back([&, t] {
+      SplitMix64 rng(t + 1);
+      auto& out = perThread[t];
+      out.reserve(ticksPerThread);
+      for (int i = 0; i < ticksPerThread; ++i) {
+        const uint64_t draw = rng.next();
+        if (draw % 8 == 0) {
+          // Occasionally advance physical time (any thread may).
+          millis.now.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (draw % 3 == 0) {
+          hlc::Timestamp remote;
+          remote.l = millis() + static_cast<int64_t>(draw % 4);
+          remote.c = static_cast<uint32_t>(draw % 5);
+          out.push_back(atomic.tick(remote));
+        } else {
+          out.push_back(atomic.tick());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Each thread's sequence is strictly increasing (every tick returns a
+  // value strictly above everything the clock held before it).
+  std::set<uint64_t> all;
+  for (const auto& seq : perThread) {
+    for (size_t i = 1; i < seq.size(); ++i) {
+      ASSERT_LT(seq[i - 1], seq[i]);
+    }
+    for (const auto& ts : seq) all.insert(ts.pack());
+  }
+  // Ticks are globally unique: no two events ever share a timestamp.
+  EXPECT_EQ(all.size(), static_cast<size_t>(threadsWanted) * ticksPerThread);
+  EXPECT_EQ(atomic.ticks(), all.size());
+
+  // epsilon-bound analogue: l never runs ahead of physical time by more
+  // than the overflow promotions could push it (remote inputs were at
+  // most 4ms ahead; promotions add 1ms each).
+  const int64_t bound = millis() + 4 +
+                        static_cast<int64_t>(atomic.overflowPromotions()) + 1;
+  EXPECT_LE(atomic.current().l, bound);
+}
+
+TEST(AtomicHlcStress, ConcurrentMergesPropagateMaximum) {
+  ScriptedMillis millis;
+  millis.now = 10;
+  AtomicHlc atomic([&millis] { return millis(); });
+  const hlc::Timestamp peak{999'999, 3};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1'000; ++i) {
+        if (t == 0 && i == 500) {
+          atomic.tick(peak);  // one thread injects a far-future remote ts
+        } else {
+          atomic.tick();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // The merged maximum dominates the final clock value.
+  EXPECT_GT(atomic.current(), peak);
+}
+
+}  // namespace
+}  // namespace retro::runtime

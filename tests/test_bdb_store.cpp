@@ -1,19 +1,22 @@
 #include "storage/bdb_store.hpp"
 
+#include "sim/sim_context.hpp"
+
 #include <gtest/gtest.h>
 
 namespace retro::store {
 namespace {
 
 struct Fixture {
-  Fixture() : env(1), disk(env, sim::DiskConfig{}) {}
+  Fixture() : env(1), ctx(env), disk(ctx, sim::DiskConfig{}) {}
   sim::SimEnv env;
+  sim::SimContext ctx;
   sim::SimDisk disk;
 };
 
 TEST(BdbStore, PutGetRemove) {
   Fixture f;
-  BdbStore db(f.env, f.disk);
+  BdbStore db(f.ctx, f.disk);
   db.put("a", "1");
   db.put("b", "2");
   EXPECT_EQ(db.get("a"), Value("1"));
@@ -29,7 +32,7 @@ TEST(BdbStore, PutGetRemove) {
 
 TEST(BdbStore, LiveBytesTracksData) {
   Fixture f;
-  BdbStore db(f.env, f.disk);
+  BdbStore db(f.ctx, f.disk);
   db.put("key", std::string(100, 'v'));
   EXPECT_EQ(db.liveDataBytes(), 103u);
   db.put("key", std::string(50, 'v'));
@@ -43,7 +46,7 @@ TEST(BdbStore, SegmentsRollOver) {
   BdbConfig cfg;
   cfg.segmentMaxBytes = 1000;
   cfg.cleanerEnabled = false;
-  BdbStore db(f.env, f.disk, cfg);
+  BdbStore db(f.ctx, f.disk, cfg);
   for (int i = 0; i < 100; ++i) {
     db.put("k" + std::to_string(i), std::string(50, 'v'));
   }
@@ -55,7 +58,7 @@ TEST(BdbStore, HotBackupCopiesClosedSegments) {
   Fixture f;
   BdbConfig cfg;
   cfg.cleanerEnabled = false;
-  BdbStore db(f.env, f.disk, cfg);
+  BdbStore db(f.ctx, f.disk, cfg);
   for (int i = 0; i < 50; ++i) {
     db.put("k" + std::to_string(i), std::string(100, 'v'));
   }
@@ -71,7 +74,7 @@ TEST(BdbStore, BackupDoesNotBlockWrites) {
   Fixture f;
   BdbConfig cfg;
   cfg.cleanerEnabled = false;
-  BdbStore db(f.env, f.disk, cfg);
+  BdbStore db(f.ctx, f.disk, cfg);
   db.put("a", "1");
   bool done = false;
   db.hotBackup([&](uint64_t) { done = true; });
@@ -87,7 +90,7 @@ TEST(BdbStore, BackupWaitsForCleaner) {
   BdbConfig cfg;
   cfg.cleanerEnabled = false;  // manual trigger
   cfg.segmentMaxBytes = 500;
-  BdbStore db(f.env, f.disk, cfg);
+  BdbStore db(f.ctx, f.disk, cfg);
   // Generate dead bytes by overwriting.
   for (int round = 0; round < 20; ++round) {
     for (int i = 0; i < 10; ++i) {
@@ -114,7 +117,7 @@ TEST(BdbStore, CleanerWakesUpOnDeadFraction) {
   cfg.cleanerEnabled = true;
   cfg.cleanerWakeupDeadFraction = 0.3;
   cfg.cleanerCheckPeriodMicros = 1000;
-  BdbStore db(f.env, f.disk, cfg);
+  BdbStore db(f.ctx, f.disk, cfg);
   for (int round = 0; round < 50; ++round) {
     db.put("samekey", std::string(100, 'v'));  // every put shadows the last
   }
@@ -127,7 +130,7 @@ TEST(BdbStore, WriteBufferFlushesAtThreshold) {
   BdbConfig cfg;
   cfg.writeBufferFlushBytes = 1000;
   cfg.cleanerEnabled = false;
-  BdbStore db(f.env, f.disk, cfg);
+  BdbStore db(f.ctx, f.disk, cfg);
   // ~132 accounted bytes per record: the 8th put crosses the threshold.
   for (int i = 0; i < 10; ++i) {
     db.put("k" + std::to_string(i), std::string(100, 'v'));
@@ -140,7 +143,7 @@ TEST(BdbStore, BackupOfEmptyStore) {
   Fixture f;
   BdbConfig cfg;
   cfg.cleanerEnabled = false;
-  BdbStore db(f.env, f.disk, cfg);
+  BdbStore db(f.ctx, f.disk, cfg);
   uint64_t copied = 12345;
   db.hotBackup([&](uint64_t bytes) { copied = bytes; });
   f.env.run();
@@ -151,7 +154,7 @@ TEST(BdbStore, ConsecutiveBackupsBothComplete) {
   Fixture f;
   BdbConfig cfg;
   cfg.cleanerEnabled = false;
-  BdbStore db(f.env, f.disk, cfg);
+  BdbStore db(f.ctx, f.disk, cfg);
   for (int i = 0; i < 20; ++i) {
     db.put("k" + std::to_string(i), std::string(50, 'v'));
   }
@@ -164,7 +167,7 @@ TEST(BdbStore, ConsecutiveBackupsBothComplete) {
 
 TEST(BdbStore, DataViewMatchesIndex) {
   Fixture f;
-  BdbStore db(f.env, f.disk);
+  BdbStore db(f.ctx, f.disk);
   db.put("x", "1");
   db.put("y", "2");
   const auto& data = db.data();

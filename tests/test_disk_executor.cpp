@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sim/disk.hpp"
+#include "sim/sim_context.hpp"
 #include "sim/executor.hpp"
 
 namespace retro::sim {
@@ -10,10 +11,11 @@ namespace {
 
 TEST(SimDisk, TransferTimeMatchesBandwidth) {
   SimEnv env(1);
+  SimContext ctx(env);
   DiskConfig cfg;
   cfg.readMBps = 100;  // 100 MB/s => 10 MB in 100 ms
   cfg.seekMicros = 0;
-  SimDisk disk(env, cfg);
+  SimDisk disk(ctx, cfg);
   TimeMicros doneAt = -1;
   disk.read(10ull << 20, [&] { doneAt = env.now(); });
   env.run();
@@ -22,10 +24,11 @@ TEST(SimDisk, TransferTimeMatchesBandwidth) {
 
 TEST(SimDisk, SeekLatencyAdds) {
   SimEnv env(1);
+  SimContext ctx(env);
   DiskConfig cfg;
   cfg.writeMBps = 1000;
   cfg.seekMicros = 500;
-  SimDisk disk(env, cfg);
+  SimDisk disk(ctx, cfg);
   TimeMicros doneAt = -1;
   disk.write(0, [&] { doneAt = env.now(); });
   env.run();
@@ -34,10 +37,11 @@ TEST(SimDisk, SeekLatencyAdds) {
 
 TEST(SimDisk, OperationsSerialize) {
   SimEnv env(1);
+  SimContext ctx(env);
   DiskConfig cfg;
   cfg.readMBps = 100;
   cfg.seekMicros = 0;
-  SimDisk disk(env, cfg);
+  SimDisk disk(ctx, cfg);
   std::vector<TimeMicros> completions;
   disk.read(10ull << 20, [&] { completions.push_back(env.now()); });
   disk.read(10ull << 20, [&] { completions.push_back(env.now()); });
@@ -50,7 +54,8 @@ TEST(SimDisk, OperationsSerialize) {
 
 TEST(SimDisk, TracksBytes) {
   SimEnv env(1);
-  SimDisk disk(env, DiskConfig{});
+  SimContext ctx(env);
+  SimDisk disk(ctx, DiskConfig{});
   disk.read(100, [] {});
   disk.write(200, [] {});
   EXPECT_EQ(disk.bytesRead(), 100u);
@@ -59,7 +64,8 @@ TEST(SimDisk, TracksBytes) {
 
 TEST(SimDisk, BusyReflectsQueue) {
   SimEnv env(1);
-  SimDisk disk(env, DiskConfig{});
+  SimContext ctx(env);
+  SimDisk disk(ctx, DiskConfig{});
   EXPECT_FALSE(disk.busy());
   disk.write(10ull << 20, [] {});
   EXPECT_TRUE(disk.busy());
@@ -69,7 +75,8 @@ TEST(SimDisk, BusyReflectsQueue) {
 
 TEST(Executor, TasksRunAfterServiceTime) {
   SimEnv env(1);
-  Executor ex(env);
+  SimContext ctx(env);
+  Executor ex(ctx);
   TimeMicros ranAt = -1;
   ex.submit(250, [&] { ranAt = env.now(); });
   env.run();
@@ -78,7 +85,8 @@ TEST(Executor, TasksRunAfterServiceTime) {
 
 TEST(Executor, TasksSerialize) {
   SimEnv env(1);
-  Executor ex(env);
+  SimContext ctx(env);
+  Executor ex(ctx);
   std::vector<TimeMicros> times;
   ex.submit(100, [&] { times.push_back(env.now()); });
   ex.submit(100, [&] { times.push_back(env.now()); });
@@ -90,7 +98,8 @@ TEST(Executor, TasksSerialize) {
 
 TEST(Executor, SlowdownScalesServiceTime) {
   SimEnv env(1);
-  Executor ex(env);
+  SimContext ctx(env);
+  Executor ex(ctx);
   ex.setSlowdownFactor(3.0);
   TimeMicros ranAt = -1;
   ex.submit(100, [&] { ranAt = env.now(); });
@@ -100,14 +109,16 @@ TEST(Executor, SlowdownScalesServiceTime) {
 
 TEST(Executor, SlowdownFloorIsOne) {
   SimEnv env(1);
-  Executor ex(env);
+  SimContext ctx(env);
+  Executor ex(ctx);
   ex.setSlowdownFactor(0.1);
   EXPECT_EQ(ex.slowdownFactor(), 1.0);
 }
 
 TEST(Executor, IdleGapThenNewTask) {
   SimEnv env(1);
-  Executor ex(env);
+  SimContext ctx(env);
+  Executor ex(ctx);
   ex.submit(10, [] {});
   env.run();
   EXPECT_EQ(env.now(), 10);
