@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/retry.hpp"
+
 namespace retro::grid {
 
 GridMember::GridMember(NodeId id, runtime::ExecutionContext& ctx,
@@ -332,7 +334,23 @@ void GridMember::onStartTimeout(core::SnapshotId id, NodeId member,
     return;
   }
   if (it->second.attempts < config_.snapshotMaxAttempts) {
-    sendSnapshotStart(id, member);
+    // Capped backoff before the re-send (shared runtime/retry.hpp
+    // policy); base == 0 keeps the legacy immediate-at-timeout resend.
+    const TimeMicros backoff = runtime::cappedBackoffDelay(
+        config_.snapshotRetryBackoffBaseMicros,
+        config_.snapshotRetryBackoffCapMicros, config_.snapshotRetryJitter,
+        it->second.attempts,
+        runtime::retryJitterKey(id, member, it->second.attempts));
+    if (backoff > 0) {
+      const uint64_t gen = ++it->second.generation;
+      ctx_->schedule(id_, backoff, [this, id, member, gen] {
+        auto jt = pendingStarts_.find({id, member});
+        if (jt == pendingStarts_.end() || jt->second.generation != gen) return;
+        sendSnapshotStart(id, member);
+      });
+    } else {
+      sendSnapshotStart(id, member);
+    }
     return;
   }
   pendingStarts_.erase(it);

@@ -75,6 +75,12 @@ struct MemberConfig {
   /// Total kSnapshotStart transmissions per member before the initiator
   /// marks it unavailable (kTimedOut) and settles for a partial snapshot.
   uint32_t snapshotMaxAttempts = 3;
+  /// Capped exponential backoff (runtime/retry.hpp) inserted between a
+  /// start-request timeout and the resend; base == 0 re-sends at the
+  /// timeout itself (legacy fixed-interval behavior).
+  TimeMicros snapshotRetryBackoffBaseMicros = 0;
+  TimeMicros snapshotRetryBackoffCapMicros = 800'000;
+  double snapshotRetryJitter = 0.2;
 };
 
 class GridMember {

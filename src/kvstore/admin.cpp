@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/random.hpp"
+#include "runtime/retry.hpp"
 
 namespace retro::kv {
 
@@ -223,21 +223,12 @@ void AdminClient::resolveFailure(core::SnapshotId id, NodeId participant) {
 
 TimeMicros AdminClient::backoffDelay(core::SnapshotId id, NodeId participant,
                                      uint32_t attempt) const {
-  TimeMicros d = config_.retryBackoffBaseMicros;
-  for (uint32_t i = 1; i < attempt && d < config_.retryBackoffCapMicros; ++i) {
-    d *= 2;
-  }
-  d = std::min(d, config_.retryBackoffCapMicros);
-  if (config_.retryJitter > 0) {
-    // Deterministic jitter: hash of (session, participant, attempt) so
-    // simulation runs replay identically for a given seed.
-    SplitMix64 sm(id * 0x9e3779b97f4a7c15ULL ^
-                  (static_cast<uint64_t>(participant) << 32) ^ attempt);
-    const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
-    d += static_cast<TimeMicros>(static_cast<double>(d) *
-                                 config_.retryJitter * u);
-  }
-  return d;
+  // Deterministic jitter keyed on (session, participant, attempt) so
+  // simulation runs replay identically for a given seed.
+  return runtime::cappedBackoffDelay(
+      config_.retryBackoffBaseMicros, config_.retryBackoffCapMicros,
+      config_.retryJitter, attempt,
+      runtime::retryJitterKey(id, participant, attempt));
 }
 
 void AdminClient::finishSession(core::SnapshotId id,
@@ -349,20 +340,13 @@ uint64_t AdminClient::doQuery(const std::string& text, QueryCallback done) {
 
   QuerySession session;
   session.query = std::move(parsed.value());
+  session.text = text;
   session.pending.insert(servers_.begin(), servers_.end());
   session.done = std::move(done);
   querySessions_.emplace(queryId, std::move(session));
   counters_.add("query.started");
 
-  for (NodeId server : servers_) {
-    ByteWriter w;
-    const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
-    QueryRequestBody body{queryId, text};
-    body.writeTo(w);
-    const uint64_t msgId =
-        ctx_->send(sim::Message{id_, server, kQueryRequest, w.take()});
-    if (trace_) trace_->onSend(id_, msgId, ts);
-  }
+  for (NodeId server : servers_) sendQueryRequest(queryId, server);
 
   ctx_->schedule(id_, config_.queryTimeoutMicros, [this, queryId] {
     auto it = querySessions_.find(queryId);
@@ -375,6 +359,44 @@ uint64_t AdminClient::doQuery(const std::string& text, QueryCallback done) {
     finishQuery(queryId, it->second);
   });
   return queryId;
+}
+
+void AdminClient::sendQueryRequest(uint64_t queryId, NodeId server) {
+  auto it = querySessions_.find(queryId);
+  if (it == querySessions_.end()) return;
+  QuerySession& session = it->second;
+  if (session.pending.count(server) == 0) return;  // already answered
+  const uint32_t sends = ++session.sends[server];
+  if (sends > 1) counters_.add("query.retries");
+
+  ByteWriter w;
+  const hlc::Timestamp ts = hlc::wrapHlc(clock_, w);
+  QueryRequestBody body{queryId, session.text};
+  body.writeTo(w);
+  const uint64_t msgId =
+      ctx_->send(sim::Message{id_, server, kQueryRequest, w.take()});
+  if (trace_) trace_->onSend(id_, msgId, ts);
+
+  // Per-node resend inside the overall deadline: query evaluation is a
+  // pure read, so a node that lost either leg simply re-answers; the
+  // duplicate-reply guard in handleQueryReply absorbs double answers.
+  if (config_.queryRetryTimeoutMicros <= 0 ||
+      sends >= config_.queryMaxAttemptsPerNode) {
+    return;
+  }
+  const TimeMicros delay =
+      config_.queryRetryTimeoutMicros +
+      runtime::cappedBackoffDelay(
+          config_.retryBackoffBaseMicros, config_.retryBackoffCapMicros,
+          config_.retryJitter, sends,
+          runtime::retryJitterKey(queryId, server, sends));
+  ctx_->schedule(id_, delay, [this, queryId, server, sends] {
+    auto jt = querySessions_.find(queryId);
+    if (jt == querySessions_.end()) return;
+    if (jt->second.pending.count(server) == 0) return;
+    if (jt->second.sends[server] != sends) return;  // a newer send is armed
+    sendQueryRequest(queryId, server);
+  });
 }
 
 void AdminClient::handleQueryReply(NodeId from, QueryReplyBody body) {

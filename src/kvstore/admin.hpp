@@ -58,6 +58,12 @@ struct AdminConfig {
   /// not replied by then are recorded as timed out and the query settles
   /// as partial.
   TimeMicros queryTimeoutMicros = 2'000'000;
+  /// Per-node reply deadline inside the overall query timeout: a silent
+  /// node gets the query re-sent (plus the collection backoff) until
+  /// queryMaxAttemptsPerNode transmissions.  Query evaluation is a pure
+  /// read, so resends are idempotent.  0 = single send (legacy).
+  TimeMicros queryRetryTimeoutMicros = 0;
+  uint32_t queryMaxAttemptsPerNode = 3;
 
   /// Virtual nodes per member when re-deriving the ring from a gossiped
   /// membership view; must match the servers' value.
@@ -186,13 +192,18 @@ class AdminClient {
 
   struct QuerySession {
     core::SnapshotQuery query;
+    std::string text;  ///< original query text, kept for resends
     std::map<NodeId, std::vector<core::TemporalStep>> partials;
     std::map<NodeId, core::FailureReason> failures;
     std::map<NodeId, std::string> failureDetails;
     std::set<NodeId> pending;
+    /// Transmissions per node; scheduled resends carry the count they
+    /// were armed with and ignore themselves if it moved on.
+    std::map<NodeId, uint32_t> sends;
     QueryCallback done;
   };
 
+  void sendQueryRequest(uint64_t queryId, NodeId server);
   void handleQueryReply(NodeId from, QueryReplyBody body);
   void finishQuery(uint64_t queryId, QuerySession& session);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/retry.hpp"
+
 namespace retro::kv {
 
 VoldemortClient::VoldemortClient(NodeId id, runtime::ExecutionContext& ctx,
@@ -95,8 +97,24 @@ void VoldemortClient::armTimeout(uint64_t reqId) {
     if (it->second.retriesLeft > 0) {
       --it->second.retriesLeft;
       ++opsRetried_;
-      retryOp(reqId, it->second);
-      armTimeout(reqId);
+      const uint32_t attempt = ++it->second.retriesUsed;
+      // Capped backoff before the re-send (shared runtime/retry.hpp
+      // policy); base == 0 keeps the legacy immediate re-send.
+      const TimeMicros backoff = runtime::cappedBackoffDelay(
+          config_.retryBackoffBaseMicros, config_.retryBackoffCapMicros,
+          config_.retryJitter, attempt,
+          runtime::retryJitterKey(reqId, id_, attempt));
+      if (backoff > 0) {
+        ctx_->schedule(id_, backoff, [this, reqId] {
+          auto jt = pending_.find(reqId);
+          if (jt == pending_.end() || jt->second.completed) return;
+          retryOp(reqId, jt->second);
+          armTimeout(reqId);
+        });
+      } else {
+        retryOp(reqId, it->second);
+        armTimeout(reqId);
+      }
       return;
     }
     ++opsTimedOut_;

@@ -33,6 +33,12 @@ struct ClientConfig {
   /// a put is re-sent to all replicas (version vectors make the replay
   /// idempotent).  Only effective with opTimeoutMicros > 0.
   uint32_t maxRetries = 1;
+  /// Capped exponential backoff (runtime/retry.hpp) inserted before each
+  /// re-send: base * 2^(n-1) up to the cap, plus deterministic jitter.
+  /// base == 0 re-sends immediately at the timeout (legacy behavior).
+  TimeMicros retryBackoffBaseMicros = 0;
+  TimeMicros retryBackoffCapMicros = 400'000;
+  double retryJitter = 0.2;
   /// Cap on the client's per-key version cache (cleared when exceeded).
   size_t versionCacheCap = 200'000;
   /// Virtual nodes per member when re-deriving the ring from a gossiped
@@ -92,6 +98,7 @@ class VoldemortClient {
     VersionVector bestVersion;
     bool completed = false;
     uint32_t retriesLeft = 0;
+    uint32_t retriesUsed = 0;  ///< backoff exponent + jitter key input
     /// Kept for put re-sends after a timeout.
     Value putValue;
     VersionVector version;

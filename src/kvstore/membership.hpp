@@ -49,6 +49,9 @@ struct MembershipConfig {
   /// chunk; an exhausted chunk aborts the whole stream.
   TimeMicros transferRetryBaseMicros = 60'000;
   TimeMicros transferRetryCapMicros = 500'000;
+  /// Deterministic jitter fraction on the chunk retransmission backoff
+  /// (runtime/retry.hpp); 0 keeps the historical un-jittered timing.
+  double transferRetryJitter = 0;
   uint32_t maxChunkAttempts = 5;
   /// A joiner activates anyway after this long, abandoning sources that
   /// never finished (their history floor is lost: kRebalancing refusals

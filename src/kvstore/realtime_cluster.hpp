@@ -18,6 +18,7 @@
 #include "kvstore/admin.hpp"
 #include "kvstore/client.hpp"
 #include "kvstore/server.hpp"
+#include "runtime/faultful_context.hpp"
 #include "runtime/real_clock.hpp"
 #include "runtime/realtime_context.hpp"
 #include "sim/trace.hpp"
@@ -38,6 +39,16 @@ struct RealtimeClusterConfig {
   ClientConfig client;
   AdminConfig admin;
   runtime::RealtimeConfig runtime;
+
+  /// Interpose a runtime::FaultfulContext between every node and the
+  /// transport (the realtime chaos plane).  Off by default: the clean
+  /// differential suites must see an unperturbed wire.
+  bool enableFaultPlane = false;
+  runtime::FaultPlaneConfig faultPlane;
+  /// Arm ε-violation detection on every node's HLC with this bound
+  /// (0 = off).  Under injected clock anomalies the detectors — not the
+  /// skew-bound checks — are the expected signal.
+  int64_t epsilonMillis = 0;
 };
 
 class RealtimeKvCluster {
@@ -61,9 +72,32 @@ class RealtimeKvCluster {
   NodeId adminId() const {
     return static_cast<NodeId>(config_.servers + config_.clients);
   }
+  /// The chaos controller node: owns every fault script timer, so fault
+  /// start/end actions never run on (or block behind) a victim's thread.
+  NodeId controllerId() const {
+    return static_cast<NodeId>(config_.servers + config_.clients + 1);
+  }
 
   /// Fixed skew offset of `node` (millis), for skew-bound cross-checks.
   int64_t skewMillisOf(NodeId node) const { return offsets_[node]; }
+  /// The node's physical clock (fault scripts inject skew through it).
+  runtime::RealtimePhysicalClock& clockAt(NodeId node) {
+    return *clocks_[node];
+  }
+
+  /// The chaos plane (null unless config.enableFaultPlane).
+  runtime::FaultfulContext* faultPlane() { return faultful_.get(); }
+  /// The context nodes actually run on: the fault plane when enabled,
+  /// the raw realtime context otherwise.
+  runtime::ExecutionContext& nodeContext() {
+    return faultful_ ? static_cast<runtime::ExecutionContext&>(*faultful_)
+                     : ctx_;
+  }
+
+  /// Crash / restart server i from outside (posts to its own thread;
+  /// returns immediately).  Requires the cluster to be started.
+  void crashServer(size_t i);
+  void restartServer(size_t i);
 
   /// Start recording HLC events; must be called before start().
   sim::CausalityTrace& enableCausalityTrace();
@@ -73,7 +107,11 @@ class RealtimeKvCluster {
   /// complete; after this, talk to nodes only via context().post().
   void start() { ctx_.start(); }
   /// Join all node threads; cluster state is then safely readable.
-  void stop() { ctx_.stop(); }
+  /// Releases any paused workers first so the joins cannot deadlock.
+  void stop() {
+    if (faultful_) faultful_->release();
+    ctx_.stop();
+  }
 
   /// Same key naming as VoldemortCluster (differential runs share it).
   static Key keyOf(uint64_t i);
@@ -84,6 +122,9 @@ class RealtimeKvCluster {
  private:
   RealtimeClusterConfig config_;
   runtime::RealtimeContext ctx_;
+  /// Chaos plane wrapping ctx_ (null unless enabled).  Declared after
+  /// ctx_ (it holds a pointer into it) and released before ctx_ joins.
+  std::unique_ptr<runtime::FaultfulContext> faultful_;
   std::vector<int64_t> offsets_;  ///< per-node skew millis, indexed by id
   std::vector<std::unique_ptr<runtime::RealtimePhysicalClock>> clocks_;
   std::unique_ptr<Ring> ring_;

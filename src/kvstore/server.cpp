@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/random.hpp"
+#include "runtime/retry.hpp"
 
 namespace retro::kv {
 
@@ -1609,14 +1610,13 @@ void VoldemortServer::sendTransferChunk(uint64_t transferId) {
   membershipCounters_.add("membership.chunks_sent");
   const TransferChunkBody& chunk = t.chunks[t.nextChunk];
   send(t.target, kTransferChunk, [&](ByteWriter& w) { chunk.writeTo(w); });
-  // Stop-and-wait: arm the retransmission (capped exponential backoff).
-  TimeMicros delay = config_.membership.transferRetryBaseMicros;
-  for (uint32_t i = 1;
-       i < t.attempts && delay < config_.membership.transferRetryCapMicros;
-       ++i) {
-    delay *= 2;
-  }
-  delay = std::min(delay, config_.membership.transferRetryCapMicros);
+  // Stop-and-wait: arm the retransmission (shared capped exponential
+  // backoff from runtime/retry.hpp; jitter defaults to 0 = legacy).
+  const TimeMicros delay = runtime::cappedBackoffDelay(
+      config_.membership.transferRetryBaseMicros,
+      config_.membership.transferRetryCapMicros,
+      config_.membership.transferRetryJitter, t.attempts,
+      runtime::retryJitterKey(transferId, t.target, t.attempts));
   const uint64_t gen = ++t.generation;
   const uint64_t inc = incarnation_;
   ctx_->schedule(id_, delay, [this, transferId, gen, inc] {

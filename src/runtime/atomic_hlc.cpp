@@ -9,6 +9,7 @@ AtomicHlc AtomicHlc::overPhysicalClock(hlc::PhysicalClock& clock) {
 }
 
 hlc::Timestamp AtomicHlc::advance(const hlc::Timestamp* remote) {
+  if (remote != nullptr) noteRemote(*remote);
   uint64_t cur = state_.load(std::memory_order_acquire);
   for (;;) {
     const int64_t pt = physicalMillis_();
@@ -67,6 +68,22 @@ void AtomicHlc::restore(const hlc::Timestamp& persisted) {
   while (cur < target && !state_.compare_exchange_weak(
                              cur, target, std::memory_order_acq_rel,
                              std::memory_order_acquire)) {
+  }
+}
+
+void AtomicHlc::noteRemote(const hlc::Timestamp& m) {
+  // One dedicated pt sample per tick(m) call: the CAS loop re-samples pt
+  // on every retry, which would inflate the violation count relative to
+  // hlc::Clock's exactly-once-per-call accounting.
+  const int64_t pt = physicalMillis_();
+  const int64_t ahead = m.l - pt;
+  int64_t seen = maxRemoteAhead_.load(std::memory_order_relaxed);
+  while (ahead > seen && !maxRemoteAhead_.compare_exchange_weak(
+                             seen, ahead, std::memory_order_relaxed)) {
+  }
+  const int64_t eps = epsilonMillis_.load(std::memory_order_relaxed);
+  if (eps > 0 && ahead > eps) {
+    epsilonViolations_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -77,9 +77,35 @@ class AtomicHlc {
   }
   uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
 
+  // --- epsilon-violation detection (§II) ---
+  // Same semantics as hlc::Clock (test_atomic_hlc pins the parity): with
+  // a bound configured, each tick(m) whose remote l runs more than eps
+  // ahead of the local physical clock is counted as a violation —
+  // evidence of a misbehaving clock in the cluster.  The comparison
+  // samples pt exactly once per tick(m) call (not per CAS retry), so the
+  // violation count matches the single-threaded clock's per-call count.
+
+  /// Enable detection with the given bound (0 disables).  `eps` is the
+  /// worst-case perceived-clock difference between two nodes: for clocks
+  /// within +/-d of true time, pass 2*d (plus rounding margin).
+  void setEpsilonMillis(int64_t eps) {
+    epsilonMillis_.store(eps, std::memory_order_relaxed);
+  }
+  int64_t epsilonMillis() const {
+    return epsilonMillis_.load(std::memory_order_relaxed);
+  }
+  uint64_t epsilonViolations() const {
+    return epsilonViolations_.load(std::memory_order_relaxed);
+  }
+  /// Largest m.l - pt observed across all remote ticks.
+  int64_t maxRemoteAheadMillis() const {
+    return maxRemoteAhead_.load(std::memory_order_relaxed);
+  }
+
  private:
   hlc::Timestamp advance(const hlc::Timestamp* remote);
   void observe(const hlc::Timestamp& t, bool promoted);
+  void noteRemote(const hlc::Timestamp& m);
 
   std::function<int64_t()> physicalMillis_;
   std::atomic<uint64_t> state_{0};
@@ -87,6 +113,9 @@ class AtomicHlc {
   std::atomic<uint64_t> promotions_{0};
   std::atomic<uint64_t> casRetries_{0};
   std::atomic<uint64_t> ticks_{0};
+  std::atomic<int64_t> epsilonMillis_{0};
+  std::atomic<uint64_t> epsilonViolations_{0};
+  std::atomic<int64_t> maxRemoteAhead_{0};
 };
 
 }  // namespace retro::runtime

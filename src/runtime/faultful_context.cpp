@@ -1,0 +1,191 @@
+#include "runtime/faultful_context.hpp"
+
+namespace retro::runtime {
+
+namespace {
+
+/// Uniform double in [0, 1) from one SplitMix64 draw.
+double u01(SplitMix64& sm) {
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultfulContext::FaultfulContext(ExecutionContext& inner,
+                                 FaultPlaneConfig config)
+    : inner_(&inner),
+      config_(config),
+      dropProbability_(config.dropProbability),
+      duplicateProbability_(config.duplicateProbability),
+      reorderProbability_(config.reorderProbability),
+      reorderDelayMax_(config.reorderDelayMaxMicros),
+      extraLatency_(config.extraLatencyMicros) {}
+
+FaultfulContext::~FaultfulContext() { release(); }
+
+void FaultfulContext::registerNode(NodeId node, Handler handler) {
+  {
+    std::lock_guard lk(mu_);
+    known_.insert(node);
+  }
+  inner_->registerNode(node, std::move(handler));
+}
+
+bool FaultfulContext::knownDestination(NodeId node) const {
+  std::lock_guard lk(mu_);
+  return known_.count(node) != 0;
+}
+
+uint64_t FaultfulContext::send(Message message) {
+  // The interposer owns id assignment so it can return the id *now* even
+  // when delivery is deferred; the inner context preserves nonzero ids.
+  const uint64_t id = nextMsgId_.fetch_add(1, std::memory_order_relaxed);
+  message.msgId = id;
+
+  // Snapshot fault state and make every roll under one lock hold.
+  bool drop = false;
+  bool partitioned = false;
+  bool duplicate = false;
+  TimeMicros delay = 0;
+  TimeMicros dupDelay = 0;
+  {
+    std::lock_guard lk(mu_);
+    if (blockedOut_.count(message.from) != 0 ||
+        blockedIn_.count(message.to) != 0) {
+      partitioned = true;
+    } else {
+      // One generator per message: the fate of msgId is a pure function
+      // of (seed, msgId) regardless of what other threads send.
+      SplitMix64 sm(config_.seed ^ (id * 0x9e3779b97f4a7c15ULL));
+      if (dropProbability_ > 0 && u01(sm) < dropProbability_) drop = true;
+      if (!drop) {
+        delay = extraLatency_;
+        if (reorderProbability_ > 0 && reorderDelayMax_ > 0 &&
+            u01(sm) < reorderProbability_) {
+          delay += 1 + static_cast<TimeMicros>(
+                           u01(sm) * static_cast<double>(reorderDelayMax_));
+        }
+        if (duplicateProbability_ > 0 && u01(sm) < duplicateProbability_) {
+          duplicate = true;
+          dupDelay = reorderDelayMax_ > 0
+                         ? 1 + static_cast<TimeMicros>(
+                                   u01(sm) *
+                                   static_cast<double>(reorderDelayMax_))
+                         : 0;
+        }
+      }
+    }
+  }
+
+  if (partitioned) {
+    partitionDrops_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+  if (drop) {
+    dropsInjected_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+  if (duplicate) {
+    duplicatesInjected_.fetch_add(1, std::memory_order_relaxed);
+    deliver(message, delay + dupDelay);  // copy, same msgId
+  }
+  deliver(std::move(message), delay);
+  return id;
+}
+
+void FaultfulContext::deliver(Message message, TimeMicros delay) {
+  // Deferred deliveries ride the destination's own timer heap, so they
+  // buffer naturally while the node is paused and are cancelled with the
+  // runtime.  A destination the inner context has never seen cannot host
+  // a timer — hand those straight to inner_->send, which drops them.
+  if (delay <= 0 || !knownDestination(message.to)) {
+    inner_->send(std::move(message));
+    return;
+  }
+  delaysInjected_.fetch_add(1, std::memory_order_relaxed);
+  const NodeId to = message.to;
+  inner_->schedule(to, delay, [this, msg = std::move(message)]() mutable {
+    inner_->send(std::move(msg));
+  });
+}
+
+void FaultfulContext::setDropProbability(double p) {
+  std::lock_guard lk(mu_);
+  dropProbability_ = p;
+}
+
+void FaultfulContext::setDuplicateProbability(double p) {
+  std::lock_guard lk(mu_);
+  duplicateProbability_ = p;
+}
+
+void FaultfulContext::setReorderProbability(double p) {
+  std::lock_guard lk(mu_);
+  reorderProbability_ = p;
+}
+
+void FaultfulContext::setExtraLatency(TimeMicros micros) {
+  std::lock_guard lk(mu_);
+  extraLatency_ = micros;
+}
+
+void FaultfulContext::isolate(NodeId node) {
+  std::lock_guard lk(mu_);
+  blockedOut_.insert(node);
+  blockedIn_.insert(node);
+}
+
+void FaultfulContext::isolateOutbound(NodeId node) {
+  std::lock_guard lk(mu_);
+  blockedOut_.insert(node);
+}
+
+void FaultfulContext::isolateInbound(NodeId node) {
+  std::lock_guard lk(mu_);
+  blockedIn_.insert(node);
+}
+
+void FaultfulContext::heal(NodeId node) {
+  std::lock_guard lk(mu_);
+  blockedOut_.erase(node);
+  blockedIn_.erase(node);
+}
+
+void FaultfulContext::healAll() {
+  std::lock_guard lk(mu_);
+  blockedOut_.clear();
+  blockedIn_.clear();
+}
+
+void FaultfulContext::pauseNode(NodeId node) {
+  {
+    std::lock_guard lk(pauseMu_);
+    if (released_) return;
+    if (!paused_.insert(node).second) return;  // already pausing
+  }
+  // The closure runs on the victim's worker thread and parks it there.
+  // Everything behind it in the node's timer heap and inbox waits.
+  inner_->post(node, [this, node] {
+    std::unique_lock lk(pauseMu_);
+    pauseCv_.wait(lk, [&] { return released_ || paused_.count(node) == 0; });
+  });
+}
+
+void FaultfulContext::resumeNode(NodeId node) {
+  {
+    std::lock_guard lk(pauseMu_);
+    paused_.erase(node);
+  }
+  pauseCv_.notify_all();
+}
+
+void FaultfulContext::release() {
+  {
+    std::lock_guard lk(pauseMu_);
+    released_ = true;
+    paused_.clear();
+  }
+  pauseCv_.notify_all();
+}
+
+}  // namespace retro::runtime

@@ -4,10 +4,17 @@
 // through a shared epoch base, optionally shifted by a fixed per-node
 // offset (a deterministic stand-in for NTP skew — realtime runs cannot
 // reproduce the simulator's seeded drift model, but a constant offset
-// exercises the same HLC merge paths).  nowMillis() is thread-safe and
-// monotone, which AtomicHlc requires of its source.
+// exercises the same HLC merge paths).  nowMillis() is thread-safe.
+//
+// Chaos hook: injectOffset() adds a runtime *anomaly* delta on top of
+// the fixed skew — a skew spike or clock jump episode driven by a fault
+// script.  A negative delta makes nowMillis() step backwards, so the
+// source is no longer monotone under anomalies; that is the point — HLC
+// must tolerate retrograde physical clocks (l = max(l, pt) absorbs
+// them), and the epsilon detector must flag remotes running far ahead.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 
 #include "common/types.hpp"
@@ -28,15 +35,34 @@ class RealtimePhysicalClock final : public hlc::PhysicalClock {
       : ctx_(&ctx), base_(epochBaseMillis), offset_(offsetMillis) {}
 
   int64_t nowMillis() override {
-    return base_ + ctx_->now() / kMicrosPerMilli + offset_;
+    return base_ + ctx_->now() / kMicrosPerMilli + offset_ +
+           anomaly_.load(std::memory_order_relaxed);
   }
 
   int64_t offsetMillis() const { return offset_; }
+
+  /// Chaos plane: shift this node's perceived time by `deltaMillis`
+  /// (cumulative; signed).  Thread-safe — fault scripts call this from
+  /// the controller node while the owner keeps reading.
+  void injectOffset(int64_t deltaMillis) {
+    anomaly_.fetch_add(deltaMillis, std::memory_order_relaxed);
+  }
+
+  /// Net injected anomaly (0 when no fault script touched this node).
+  int64_t anomalyMillis() const {
+    return anomaly_.load(std::memory_order_relaxed);
+  }
+
+  /// Fixed skew plus current anomaly: the node's total perceived-time
+  /// shift, needed by skew-aware checkers (CutChecker perceived-time
+  /// functions) to stay honest under injected jumps.
+  int64_t totalOffsetMillis() const { return offset_ + anomalyMillis(); }
 
  private:
   const ExecutionContext* ctx_;
   int64_t base_;
   int64_t offset_;
+  std::atomic<int64_t> anomaly_{0};
 };
 
 }  // namespace retro::runtime

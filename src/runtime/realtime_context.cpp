@@ -31,7 +31,23 @@ const RealtimeContext::Node* RealtimeContext::find(NodeId node) const {
 }
 
 void RealtimeContext::registerNode(NodeId node, Handler handler) {
-  assert(!started_ && "register every node before start()");
+  if (started_) {
+    // Post-start, only a node created before start() may re-register
+    // (crash/restart recovery re-attaching its handler).  The node map
+    // itself is never mutated once threads exist — lookups are lock-free
+    // because the map is immutable after start().
+    Node* rec = find(node);
+    assert(rec != nullptr && "post-start registerNode requires an existing node");
+    if (rec == nullptr) return;
+    {
+      std::lock_guard lk(rec->mu);
+      rec->handler = std::move(handler);
+      rec->connected = true;
+      rec->inbox.clear();  // anything queued at the dead incarnation is lost
+    }
+    rec->cv.notify_all();
+    return;
+  }
   auto& rec = nodes_[node];
   if (!rec) rec = std::make_unique<Node>();
   rec->handler = std::move(handler);
@@ -61,8 +77,13 @@ bool RealtimeContext::isConnected(NodeId node) const {
 }
 
 uint64_t RealtimeContext::send(Message message) {
-  const uint64_t id = nextMsgId_.fetch_add(1, std::memory_order_relaxed);
-  message.msgId = id;
+  // A nonzero msgId is preserved so interposers (FaultfulContext) can
+  // assign ids at the outer layer and keep trace correlation across
+  // duplicated/delayed re-injections of the same logical message.
+  if (message.msgId == 0) {
+    message.msgId = nextMsgId_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint64_t id = message.msgId;
   messagesSent_.fetch_add(1, std::memory_order_relaxed);
   bytesSent_.fetch_add(message.payload.size(), std::memory_order_relaxed);
   Node* rec = find(message.to);
@@ -134,6 +155,7 @@ void RealtimeContext::stop() {
 void RealtimeContext::workerLoop(Node& node) {
   std::vector<Message> batch;
   std::vector<std::function<void()>> due;
+  Handler handler;
   for (;;) {
     {
       std::unique_lock lk(node.mu);
@@ -159,6 +181,10 @@ void RealtimeContext::workerLoop(Node& node) {
               lk, base_ + std::chrono::microseconds(node.timers.front().when));
         }
       }
+      // Snapshot the handler under the lock: a crash/restart cycle may
+      // re-register a new one concurrently; this batch keeps the one it
+      // was drained under.
+      handler = node.handler;
     }
     if (!batch.empty()) {
       drains_.fetch_add(1, std::memory_order_relaxed);
@@ -171,7 +197,7 @@ void RealtimeContext::workerLoop(Node& node) {
     for (auto& fn : due) fn();
     for (auto& msg : batch) {
       messagesDelivered_.fetch_add(1, std::memory_order_relaxed);
-      node.handler(std::move(msg));
+      handler(std::move(msg));
     }
     due.clear();
     batch.clear();

@@ -16,9 +16,13 @@
 //     the sharded ConcurrentWindowStore data plane exists for this).
 //
 // Lifecycle: construct -> registerNode()/setWorkers()/send() freely ->
-// start() spawns workers -> ... -> stop() joins everything.  All
+// start() spawns workers -> ... -> stop() joins everything.  New-node
 // registration happens strictly before any thread exists, so node setup
 // needs no locking; messages sent before start() are delivered after it.
+// After start(), registerNode() may be called again for an *existing*
+// node only — crash/restart recovery swapping in the next incarnation's
+// handler (the node map itself is immutable once threads exist; the
+// handler swap is serialized on the node's mutex).
 #pragma once
 
 #include <atomic>
@@ -56,6 +60,9 @@ class RealtimeContext final : public ExecutionContext {
                 std::function<void()> fn) override;
   void scheduleDaemon(NodeId owner, TimeMicros delay,
                       std::function<void()> fn) override;
+  /// Before start(): create the node.  After start(): re-register an
+  /// existing node (crash/restart) — replaces its handler, reconnects
+  /// it, and discards messages queued at the dead incarnation.
   void registerNode(NodeId node, Handler handler) override;
   void disconnect(NodeId node) override;
   bool isConnected(NodeId node) const override;

@@ -1,0 +1,69 @@
+// Shared retry/backoff policy for every RPC wait in the system.
+//
+// Four components grew the same capped-exponential-backoff loop
+// independently (AdminClient collection retries, VoldemortClient op
+// retries, grid Member snapshot-start resends, VoldemortServer transfer
+// streams).  This header is the single implementation they all call:
+//
+//   delay(attempt) = min(base * 2^(attempt-1), cap) * (1 + jitter * u)
+//
+// where u in [0, 1) is a *deterministic* hash of the caller-supplied
+// jitter key (operation id, peer, attempt number), so simulator runs
+// replay bit-identically for a given seed while realtime retries still
+// decorrelate across peers.  The formula is byte-compatible with the
+// original AdminClient::backoffDelay, whose timing the crash-sweep fuzz
+// expectations were calibrated against.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace retro::runtime {
+
+/// A reusable retry envelope: how often, how fast, how random.  Embed in
+/// component configs (or construct ad hoc from legacy config fields).
+struct RetryPolicy {
+  /// Send attempts per target (first transmission included).
+  uint32_t maxAttempts = 4;
+  /// Capped exponential backoff between attempts: base * 2^(n-1).
+  /// base == 0 means "retry immediately" (legacy fixed-interval resend).
+  TimeMicros backoffBaseMicros = 50'000;
+  TimeMicros backoffCapMicros = 800'000;
+  /// Deterministic jitter fraction added on top of each backoff [0..1).
+  double jitter = 0.2;
+};
+
+/// Mix up to three retry-scope identifiers (operation id, peer node,
+/// attempt counter) into one jitter key.  Matches the historical
+/// AdminClient derivation so existing seeded timings are preserved.
+inline uint64_t retryJitterKey(uint64_t op, uint64_t peer, uint64_t attempt) {
+  return op * 0x9e3779b97f4a7c15ULL ^ (peer << 32) ^ attempt;
+}
+
+/// Backoff before retry number `attempt` (1-based: the delay scheduled
+/// after the attempt-th transmission failed).  Deterministic in
+/// (base, cap, jitter, attempt, jitterKey).
+inline TimeMicros cappedBackoffDelay(TimeMicros baseMicros,
+                                     TimeMicros capMicros, double jitter,
+                                     uint32_t attempt, uint64_t jitterKey) {
+  TimeMicros d = baseMicros;
+  for (uint32_t i = 1; i < attempt && d < capMicros; ++i) d *= 2;
+  d = std::min(d, capMicros);
+  if (jitter > 0 && d > 0) {
+    SplitMix64 sm(jitterKey);
+    const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    d += static_cast<TimeMicros>(static_cast<double>(d) * jitter * u);
+  }
+  return d;
+}
+
+inline TimeMicros backoffDelay(const RetryPolicy& policy, uint32_t attempt,
+                               uint64_t jitterKey) {
+  return cappedBackoffDelay(policy.backoffBaseMicros, policy.backoffCapMicros,
+                            policy.jitter, attempt, jitterKey);
+}
+
+}  // namespace retro::runtime

@@ -64,6 +64,16 @@ struct FuzzResult {
 std::string writeFailureArtifact(const FuzzResult& failure,
                                  const Scenario* shrunk = nullptr);
 
+/// Same artifact convention for *realtime* suites (chaos sweep,
+/// sim-vs-real differential), which have no FuzzResult: persists
+/// fuzz-repro-<testName>-seed<N>.txt under $RETRO_FUZZ_ARTIFACT_DIR with
+/// the free-form failure detail and the replay command.  Returns the
+/// path written, or "" on I/O failure.
+std::string writeRealtimeFailureArtifact(const std::string& testName,
+                                         uint64_t seed,
+                                         const std::string& detail,
+                                         const std::string& replayCmd);
+
 /// Run one scenario end to end on its substrate.
 FuzzResult runScenario(const Scenario& s);
 FuzzResult runKvScenario(const Scenario& s);

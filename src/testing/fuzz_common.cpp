@@ -53,6 +53,24 @@ std::string writeFailureArtifact(const FuzzResult& failure,
   return path.str();
 }
 
+std::string writeRealtimeFailureArtifact(const std::string& testName,
+                                         uint64_t seed,
+                                         const std::string& detail,
+                                         const std::string& replayCmd) {
+  const char* dir = std::getenv("RETRO_FUZZ_ARTIFACT_DIR");
+  std::ostringstream path;
+  if (dir != nullptr && *dir != '\0') path << dir << "/";
+  path << "fuzz-repro-" << testName << "-seed" << seed << ".txt";
+
+  std::FILE* f = std::fopen(path.str().c_str(), "w");
+  if (f == nullptr) return "";
+  std::fprintf(f, "%s seed %llu failed\n%s\nreplay: %s\n", testName.c_str(),
+               static_cast<unsigned long long>(seed), detail.c_str(),
+               replayCmd.c_str());
+  std::fclose(f);
+  return path.str();
+}
+
 FuzzResult runScenario(const Scenario& s) {
   return s.substrate == Substrate::kKvStore ? runKvScenario(s)
                                             : runGridScenario(s);

@@ -1,0 +1,119 @@
+// Applies a Scenario's fault schedule to a live *realtime* cluster: the
+// same FaultEvent vocabulary sim::scheduleFaults consumes, replayed
+// against the runtime::FaultfulContext chaos plane instead of the
+// simulated network.  One fault script, two substrates — the sim-vs-real
+// differential suites lean on this symmetry.
+//
+// Every start/end closure is scheduled on a dedicated *controller* node
+// (registered by the caller with a no-op handler), never on a fault's
+// victim: a resumeNode() scheduled on the paused node itself would wait
+// behind the very pause it is meant to lift.
+//
+// Timing: scenario fault schedules are laid out in simulated virtual
+// time (seconds of virtual run).  Realtime sweeps compress them with
+// `timeScale` so a 3-virtual-second script plays out in ~100-200 real
+// milliseconds; magnitudes that are durations (latency spikes) scale
+// the same way, while probabilities and clock offsets do not.
+//
+// Unsupported kinds are skipped deliberately:
+//   kTornWrite/kBitRot — StorageFaultModel is single-thread-confined to
+//     the owning server; arming it cross-thread from the controller
+//     would race the data path.  Realtime storage-fault coverage comes
+//     from crash/restart (whose WAL recovery the sim sweeps already
+//     corrupt).
+//   kNodeJoin/kNodeLeave — the realtime cluster harness runs a fixed
+//     membership (RealtimeContext creates no nodes after start()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/faultful_context.hpp"
+#include "testing/scenario.hpp"
+
+namespace retro::testing {
+
+/// Substrate callbacks the realtime injector drives.  All three run on
+/// the controller node's worker thread; implementations must be safe to
+/// call from there (clock offsets are atomic; crash/restart must be
+/// posted to the victim's thread by the hook itself).
+struct RealtimeFaultHooks {
+  /// Shift node's perceived clock by deltaMillis (cumulative, signed).
+  std::function<void(NodeId, int64_t deltaMillis)> skew;
+  /// Crash / restart a server (empty = kCrashRestart events ignored).
+  std::function<void(NodeId)> crash;
+  std::function<void(NodeId)> restart;
+};
+
+inline void scheduleRealtimeFaults(runtime::FaultfulContext& fault,
+                                   NodeId controller,
+                                   const RealtimeFaultHooks& hooks,
+                                   const Scenario& s, double timeScale) {
+  const auto at = [&](TimeMicros virtualMicros, std::function<void()> fn) {
+    const auto scaled =
+        static_cast<TimeMicros>(static_cast<double>(virtualMicros) * timeScale);
+    fault.schedule(controller, scaled, std::move(fn));
+  };
+  for (const FaultEvent& f : s.faults) {
+    const TimeMicros endAt = f.startMicros + f.durationMicros;
+    switch (f.kind) {
+      case FaultKind::kDropWindow:
+        at(f.startMicros,
+           [&fault, p = f.magnitude] { fault.setDropProbability(p); });
+        at(endAt, [&fault, base = s.baseDropProbability] {
+          fault.setDropProbability(base);
+        });
+        break;
+      case FaultKind::kLatencySpike:
+        at(f.startMicros, [&fault, e = f.magnitude, timeScale] {
+          fault.setExtraLatency(static_cast<TimeMicros>(e * timeScale));
+        });
+        at(endAt, [&fault] { fault.setExtraLatency(0); });
+        break;
+      case FaultKind::kPartition:
+        // magnitude selects the direction, as in the sim injector:
+        // 0 = both ways, 1 = outbound-only, 2 = inbound-only.
+        at(f.startMicros, [&fault, n = f.node, d = f.magnitude] {
+          if (d == 1.0) {
+            fault.isolateOutbound(n);
+          } else if (d == 2.0) {
+            fault.isolateInbound(n);
+          } else {
+            fault.isolate(n);
+          }
+        });
+        at(endAt, [&fault, n = f.node] { fault.heal(n); });
+        break;
+      case FaultKind::kNodeStall:
+        at(f.startMicros, [&fault, n = f.node] { fault.pauseNode(n); });
+        at(endAt, [&fault, n = f.node] { fault.resumeNode(n); });
+        break;
+      case FaultKind::kSkewSpike:
+        // Scenario magnitudes are offset *micros* (sim SkewedClock
+        // convention); realtime clocks shift in whole milliseconds.
+        if (!hooks.skew) break;
+        at(f.startMicros, [skew = hooks.skew, n = f.node, d = f.magnitude] {
+          skew(n, static_cast<int64_t>(d) / kMicrosPerMilli);
+        });
+        at(endAt, [skew = hooks.skew, n = f.node, d = f.magnitude] {
+          skew(n, -(static_cast<int64_t>(d) / kMicrosPerMilli));
+        });
+        break;
+      case FaultKind::kCrashRestart:
+        if (!hooks.crash || !hooks.restart) break;
+        at(f.startMicros, [crash = hooks.crash, n = f.node] { crash(n); });
+        // As in the sim: a window past the run's end means the node
+        // stays down — the scaled end still fires, but after the sweep's
+        // assertions have run against the degraded cluster.
+        at(endAt, [restart = hooks.restart, n = f.node] { restart(n); });
+        break;
+      case FaultKind::kTornWrite:
+      case FaultKind::kBitRot:
+      case FaultKind::kNodeJoin:
+      case FaultKind::kNodeLeave:
+        break;  // unsupported in realtime (see header comment)
+    }
+  }
+}
+
+}  // namespace retro::testing

@@ -179,6 +179,148 @@ TEST(AtomicHlcStress, MonotonePerThreadAndGloballyUnique) {
   EXPECT_LE(atomic.current().l, bound);
 }
 
+TEST(AtomicHlc, EpsilonDetectionMatchesSequentialClockUnderSkewEpisodes) {
+  // Skew-episode parity (chaos-plane satellite): drive BOTH clocks with
+  // an identical script of local ticks, remote merges, physical-time
+  // advances, and clock anomalies — forward jumps, retrograde steps, and
+  // skew episodes during which remote timestamps run far ahead of local
+  // physical time.  The ε-violation counter, the max-remote-ahead
+  // watermark, and every returned timestamp must match the reference
+  // hlc::Clock exactly.
+  const int seeds = testing::seedCountFromEnv("RETRO_HLC_SEEDS", 32);
+  constexpr int64_t kEps = 8;
+  uint64_t violationsAcrossSweep = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SplitMix64 rng(static_cast<uint64_t>(seed) * 0x9E3779B9u + 7);
+    ScriptedMillis millis;
+    millis.now = 10'000;
+    ScriptedPhysicalClock physical(millis);
+    hlc::Clock reference(physical);
+    AtomicHlc atomic([&millis] { return millis(); });
+    reference.setEpsilonMillis(kEps);
+    atomic.setEpsilonMillis(kEps);
+
+    // A skew episode shifts the *remote* world ahead of (or behind) the
+    // local physical clock; episodes open and close as the script runs.
+    int64_t remoteSkew = 0;
+    for (int step = 0; step < 3'000; ++step) {
+      const uint64_t draw = rng.next();
+      switch (draw % 8) {
+        case 0:  // normal physical progress
+          millis.now.fetch_add(static_cast<int64_t>((draw >> 32) % 5));
+          break;
+        case 1:  // forward jump (NTP step / VM freeze catch-up)
+          millis.now.fetch_add(static_cast<int64_t>((draw >> 32) % 40));
+          break;
+        case 2:  // retrograde step (NTP slewing a fast clock backwards)
+          millis.now.fetch_sub(static_cast<int64_t>((draw >> 32) % 12));
+          break;
+        case 3:  // skew episode toggles: open one or close it
+          remoteSkew = (remoteSkew == 0)
+                           ? static_cast<int64_t>((draw >> 16) % 30) - 10
+                           : 0;
+          break;
+        case 4:
+        case 5: {  // remote merge perceived through the current episode
+          hlc::Timestamp remote;
+          remote.l = millis() + remoteSkew +
+                     static_cast<int64_t>((draw >> 8) % 6) - 2;
+          remote.c = static_cast<uint32_t>((draw >> 40) % 7);
+          ASSERT_EQ(reference.tick(remote), atomic.tick(remote))
+              << "seed " << seed << " step " << step;
+          break;
+        }
+        default:
+          ASSERT_EQ(reference.tick(), atomic.tick())
+              << "seed " << seed << " step " << step;
+      }
+      ASSERT_EQ(reference.epsilonViolations(), atomic.epsilonViolations())
+          << "seed " << seed << " step " << step;
+      ASSERT_EQ(reference.maxRemoteAheadMillis(),
+                atomic.maxRemoteAheadMillis())
+          << "seed " << seed << " step " << step;
+      ASSERT_EQ(reference.current(), atomic.current());
+    }
+    violationsAcrossSweep += atomic.epsilonViolations();
+  }
+  // The sweep is not vacuous: episodes beyond ε actually fired the
+  // detector (in both clocks — parity was asserted stepwise above).
+  EXPECT_GT(violationsAcrossSweep, 0u);
+}
+
+TEST(AtomicHlcStress, MonotoneUnderConcurrentSkewJumpEpisodes) {
+  // The chaos plane injects clock anomalies while worker threads tick
+  // concurrently.  Even with the shared physical clock jumping forward
+  // and stepping BACKWARD mid-tick, every thread's timestamp sequence
+  // must stay strictly increasing, ticks stay globally unique, and the
+  // ε machinery must neither lose counts nor trip the watermark below
+  // an injected spike it provably observed.
+  const unsigned workers = 4;
+  const int ticksPerThread = 10'000;
+  // One remote ts this far ahead.  Far larger than the worst-case sum of
+  // concurrent forward jumps (~7.5s), so the observed m.l - pt cannot be
+  // shaved below the slack asserted at the end however the injector
+  // thread interleaves with the spike's pt sample.
+  constexpr int64_t kSpikeAhead = 1'000'000;
+  ScriptedMillis millis;
+  millis.now = 2'000;
+  AtomicHlc atomic([&millis] { return millis(); });
+  atomic.setEpsilonMillis(8);
+
+  std::vector<std::vector<hlc::Timestamp>> perThread(workers);
+  std::atomic<uint64_t> remoteTicks{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < workers; ++t) {
+    threads.emplace_back([&, t] {
+      SplitMix64 rng(t * 31 + 5);
+      auto& out = perThread[t];
+      out.reserve(ticksPerThread);
+      for (int i = 0; i < ticksPerThread; ++i) {
+        const uint64_t draw = rng.next();
+        if (t == 0 && draw % 16 == 0) {
+          // Anomaly injector: jump ahead or step back.
+          if (draw % 32 == 0) {
+            millis.now.fetch_add(static_cast<int64_t>(draw % 25),
+                                 std::memory_order_relaxed);
+          } else {
+            millis.now.fetch_sub(static_cast<int64_t>(draw % 9),
+                                 std::memory_order_relaxed);
+          }
+        }
+        if (draw % 3 == 0) {
+          hlc::Timestamp remote;
+          remote.l = millis() + static_cast<int64_t>(draw % 4);
+          remote.c = static_cast<uint32_t>(draw % 5);
+          if (t == 1 && i == ticksPerThread / 2) {
+            remote.l = millis() + kSpikeAhead;  // the scripted ε breach
+          }
+          out.push_back(atomic.tick(remote));
+          remoteTicks.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          out.push_back(atomic.tick());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<uint64_t> all;
+  for (const auto& seq : perThread) {
+    for (size_t i = 1; i < seq.size(); ++i) {
+      ASSERT_LT(seq[i - 1], seq[i]);
+    }
+    for (const auto& ts : seq) all.insert(ts.pack());
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(workers) * ticksPerThread);
+
+  // The spike breached ε by construction; retrograde steps can only
+  // widen m.l - pt, never mask it (pt is sampled once per tick(m)).
+  EXPECT_GE(atomic.epsilonViolations(), 1u);
+  EXPECT_LE(atomic.epsilonViolations(),
+            remoteTicks.load(std::memory_order_relaxed));
+  EXPECT_GE(atomic.maxRemoteAheadMillis(), kSpikeAhead - 10'000);
+}
+
 TEST(AtomicHlcStress, ConcurrentMergesPropagateMaximum) {
   ScriptedMillis millis;
   millis.now = 10;

@@ -31,6 +31,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -269,6 +270,29 @@ RunOutcome runRealtime(uint64_t seed,
   return out;
 }
 
+/// The per-seed agreement obligations; a void helper so an ASSERT only
+/// aborts this seed's comparison, not the sweep's artifact bookkeeping.
+void compareOutcomes(const RunOutcome& sim, const RunOutcome& real) {
+  // (1) exact per-server final state.
+  ASSERT_EQ(sim.perServer.size(), real.perServer.size());
+  for (size_t i = 0; i < sim.perServer.size(); ++i) {
+    EXPECT_EQ(sim.perServer[i], real.perServer[i]) << "server " << i;
+  }
+  // (2) both snapshots completed.
+  EXPECT_TRUE(sim.snapshotComplete);
+  EXPECT_TRUE(real.snapshotComplete);
+  // (3) identical distributed query results.
+  ASSERT_TRUE(sim.queryOk);
+  ASSERT_TRUE(real.queryOk);
+  EXPECT_EQ(sim.queryMatched, real.queryMatched);
+  EXPECT_EQ(sim.queryValue, real.queryValue);
+  EXPECT_EQ(sim.queryHasValue, real.queryHasValue);
+  EXPECT_TRUE(sim.queryHasValue);
+  // Replicated final state is non-trivial: every client wrote to at
+  // least one key, and SUM saw every replica.
+  EXPECT_GT(sim.queryMatched, 0u);
+}
+
 TEST(RealtimeDifferential, SimAndRealtimeAgreeAcrossSeeds) {
   const int seeds = testing::seedCountFromEnv("RETRO_DIFF_SEEDS", 64);
   const auto pinned = testing::seedOverrideFromEnv();
@@ -280,25 +304,21 @@ TEST(RealtimeDifferential, SimAndRealtimeAgreeAcrossSeeds) {
 
     const RunOutcome sim = runSim(seed, ops);
     const RunOutcome real = runRealtime(seed, ops);
+    compareOutcomes(sim, real);
 
-    // (1) exact per-server final state.
-    ASSERT_EQ(sim.perServer.size(), real.perServer.size());
-    for (size_t i = 0; i < sim.perServer.size(); ++i) {
-      EXPECT_EQ(sim.perServer[i], real.perServer[i]) << "server " << i;
+    if (::testing::Test::HasFailure()) {
+      // Persist the repro recipe for CI artifact upload, then stop: a
+      // diverged sweep's later seeds only pile noise onto the first.
+      const std::string path = testing::writeRealtimeFailureArtifact(
+          "test_realtime_differential", seed,
+          "sim-vs-real divergence (full diagnosis in the test log)",
+          "RETRO_FUZZ_SEED=" + std::to_string(seed) +
+              " ./tests/test_realtime_differential");
+      if (!path.empty()) {
+        std::fprintf(stderr, "repro artifact written: %s\n", path.c_str());
+      }
+      break;
     }
-    // (2) both snapshots completed.
-    EXPECT_TRUE(sim.snapshotComplete);
-    EXPECT_TRUE(real.snapshotComplete);
-    // (3) identical distributed query results.
-    ASSERT_TRUE(sim.queryOk);
-    ASSERT_TRUE(real.queryOk);
-    EXPECT_EQ(sim.queryMatched, real.queryMatched);
-    EXPECT_EQ(sim.queryValue, real.queryValue);
-    EXPECT_EQ(sim.queryHasValue, real.queryHasValue);
-    EXPECT_TRUE(sim.queryHasValue);
-    // Replicated final state is non-trivial: every client wrote to at
-    // least one key, and SUM saw every replica.
-    EXPECT_GT(sim.queryMatched, 0u);
 
     ++ran;
     if (pinned) break;  // reproduction mode: one seed only
