@@ -102,7 +102,11 @@ SweepPoint runStoreSweep(int threads, int64_t opsPerThread) {
 
 /// Full-stack sweep: `clients` closed-loop clients over 3 replicated
 /// servers on the realtime runtime (threads = servers + clients + 1).
-SweepPoint runClusterSweep(int clients, int64_t opsPerClient) {
+/// `transport` picks the wire: in-process channels (default) or the
+/// reliable-UDP loopback transport — same protocol stack either way.
+SweepPoint runClusterSweep(
+    int clients, int64_t opsPerClient,
+    kv::TransportKind transport = kv::TransportKind::kInProcess) {
   kv::RealtimeClusterConfig cfg;
   cfg.servers = 3;
   cfg.clients = static_cast<size_t>(clients);
@@ -112,6 +116,7 @@ SweepPoint runClusterSweep(int clients, int64_t opsPerClient) {
   cfg.server.logAppendMicros = 0;
   cfg.client.replicas = 2;
   cfg.client.requiredWrites = 2;
+  cfg.transport = transport;
   kv::RealtimeKvCluster cluster(cfg);
 
   std::atomic<int64_t> done{0};
@@ -278,6 +283,22 @@ int run() {
     addPoint(report, "cluster.c" + std::to_string(clients), p);
   }
 
+  // Transport comparison: the identical replicated closed-loop workload
+  // over in-process channels vs reliable UDP on loopback.  What the real
+  // wire costs: syscalls, CRC framing, ack traffic — bounded, not free.
+  const int64_t transportOps = scaled(1'500);
+  std::printf("== transport comparison: 2 clients, %lld puts/client ==\n",
+              static_cast<long long>(transportOps));
+  const SweepPoint inproc = runClusterSweep(2, transportOps);
+  std::printf("  inproc      %10.0f ops/s  p50=%.0fus  p99=%.0fus\n",
+              inproc.opsPerSec, inproc.p50Micros, inproc.p99Micros);
+  addPoint(report, "transport.inproc", inproc);
+  const SweepPoint udp =
+      runClusterSweep(2, transportOps, kv::TransportKind::kUdpLoopback);
+  std::printf("  udp         %10.0f ops/s  p50=%.0fus  p99=%.0fus\n",
+              udp.opsPerSec, udp.p50Micros, udp.p99Micros);
+  addPoint(report, "transport.udp", udp);
+
   const int64_t degradedOps = scaled(1'500);
   const double dropRates[] = {0.0, 0.01, 0.05};
   const char* dropLabels[] = {"d0", "d1", "d5"};
@@ -323,6 +344,19 @@ int run() {
                 "cluster: aggregate throughput grows with client "
                 "concurrency (hw_concurrency >= 4)");
   }
+
+  // The real wire must finish every op and stay within a sane factor of
+  // the in-process channel: loopback UDP costs syscalls per datagram,
+  // not orders of magnitude.  The p99 bound is deliberately loose (25x)
+  // — it catches retransmit storms and pacer bugs, not scheduler noise.
+  shape.check(inproc.opsPerSec > 0 && udp.opsPerSec > 0,
+              "transport: both wires completed all ops");
+  shape.check(udp.opsPerSec > 0.05 * inproc.opsPerSec,
+              "transport: UDP loopback throughput >= 0.05x in-process");
+  shape.check(udp.p99Micros <= 25.0 * std::max(inproc.p99Micros, 1.0),
+              "transport: UDP p99 within 25x of in-process p99");
+  shape.check(udp.p50Micros <= udp.p99Micros,
+              "transport: UDP latency percentiles ordered");
 
   // Graceful degradation: under a 5% drop rate the retry machinery must
   // keep every op resolving (no stall => nonzero throughput), must not

@@ -115,6 +115,8 @@ void AdminClient::beginAttempt(core::SnapshotId id, NodeId participant) {
   }
   Attempt a;
   a.target = participant;
+  a.budget =
+      runtime::RetryBudget(collectionPolicy(), id, participant, ctx_->now());
   a.fallbackQueue = fallbackCandidates(participant);
   attempts_[{id, participant}] = std::move(a);
   trySend(id, participant);
@@ -126,8 +128,9 @@ void AdminClient::trySend(core::SnapshotId id, NodeId participant) {
   auto sess = sessions_.find(id);
   if (sess == sessions_.end() || sess->second.isDone()) return;
   Attempt& a = it->second;
-  ++a.attemptsOnTarget;
+  a.budget.recordAttempt();
   ++a.totalSends;
+  counters_.add("retry.attempts");
   if (a.totalSends > 1) {
     sess->second.noteRetry(participant);
     counters_.add("snapshot.retries");
@@ -167,8 +170,10 @@ void AdminClient::scheduleNext(core::SnapshotId id, NodeId participant) {
   auto it = attempts_.find({id, participant});
   if (it == attempts_.end()) return;
   Attempt& a = it->second;
-  if (a.attemptsOnTarget < config_.maxAttemptsPerNode) {
-    const TimeMicros delay = backoffDelay(id, participant, a.attemptsOnTarget);
+  if (!a.budget.exhausted(ctx_->now())) {
+    // nextDelay() reproduces the historical backoffDelay(id, participant,
+    // attempt) derivation exactly — the seeded fuzz timings depend on it.
+    const TimeMicros delay = a.budget.nextDelay();
     const uint64_t gen = ++a.generation;
     ctx_->schedule(id_, delay, [this, id, participant, gen] {
       auto jt = attempts_.find({id, participant});
@@ -186,6 +191,13 @@ void AdminClient::advanceToFallback(core::SnapshotId id, NodeId participant) {
   auto sess = sessions_.find(id);
   if (sess == sessions_.end() || sess->second.isDone()) return;
   Attempt& a = it->second;
+  if (a.budget.deadlineExceeded(ctx_->now())) {
+    // The participant's total collection deadline is spent: resolve now
+    // instead of burning one send per remaining fallback candidate.
+    counters_.add("retry.deadline_exceeded");
+    resolveFailure(id, participant);
+    return;
+  }
   // Only replicas that already completed their own local snapshot can
   // vouch for this participant's key range (the cached ack they re-send
   // covers the same target time); skip the rest.
@@ -198,7 +210,10 @@ void AdminClient::advanceToFallback(core::SnapshotId id, NodeId participant) {
         *p->status == core::LocalSnapshotStatus::kComplete &&
         p->reason == core::FailureReason::kNone) {
       a.target = candidate;
-      a.attemptsOnTarget = 0;
+      // Fresh attempt budget on the new target; the total deadline keeps
+      // running from the original start.  The jitter key deliberately
+      // stays on the participant (historical derivation).
+      a.budget.retarget(participant);
       ++a.generation;
       counters_.add("snapshot.fallback_attempts");
       trySend(id, participant);
@@ -214,6 +229,7 @@ void AdminClient::resolveFailure(core::SnapshotId id, NodeId participant) {
   const core::FailureReason reason = it->second.pendingReason;
   attempts_.erase(it);
   counters_.add("snapshot.exhausted");
+  counters_.add("retry.exhausted");
   auto sess = sessions_.find(id);
   if (sess == sessions_.end()) return;
   if (sess->second.onNodeUnavailable(participant, ctx_->now(), reason)) {
@@ -221,14 +237,14 @@ void AdminClient::resolveFailure(core::SnapshotId id, NodeId participant) {
   }
 }
 
-TimeMicros AdminClient::backoffDelay(core::SnapshotId id, NodeId participant,
-                                     uint32_t attempt) const {
-  // Deterministic jitter keyed on (session, participant, attempt) so
-  // simulation runs replay identically for a given seed.
-  return runtime::cappedBackoffDelay(
-      config_.retryBackoffBaseMicros, config_.retryBackoffCapMicros,
-      config_.retryJitter, attempt,
-      runtime::retryJitterKey(id, participant, attempt));
+runtime::RetryPolicy AdminClient::collectionPolicy() const {
+  runtime::RetryPolicy policy;
+  policy.maxAttempts = config_.maxAttemptsPerNode;
+  policy.backoffBaseMicros = config_.retryBackoffBaseMicros;
+  policy.backoffCapMicros = config_.retryBackoffCapMicros;
+  policy.jitter = config_.retryJitter;
+  policy.totalDeadlineMicros = config_.collectionDeadlineMicros;
+  return policy;
 }
 
 void AdminClient::finishSession(core::SnapshotId id,

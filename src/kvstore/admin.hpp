@@ -24,6 +24,7 @@
 #include "kvstore/messages.hpp"
 #include "kvstore/ring.hpp"
 #include "runtime/execution_context.hpp"
+#include "runtime/retry.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -50,6 +51,11 @@ struct AdminConfig {
   TimeMicros retryBackoffCapMicros = 800'000;
   /// Deterministic jitter fraction added on top of each backoff [0..1).
   double retryJitter = 0.2;
+  /// Total elapsed budget for one participant's collection, spanning the
+  /// primary target AND its replica fallbacks (0 = unbounded, the legacy
+  /// behavior).  When it passes, the participant resolves as failed
+  /// immediately — a fallback chain must not multiply the worst case.
+  TimeMicros collectionDeadlineMicros = 0;
   /// Ring successors to try as replicas when a node cannot answer
   /// (crashed for good, or its window-log no longer reaches the target).
   size_t replicaFallbacks = 2;
@@ -139,7 +145,8 @@ class AdminClient {
   /// Collection-protocol counters: "snapshot.retries",
   /// "snapshot.timeouts", "snapshot.target_down",
   /// "snapshot.fallback_attempts", "snapshot.replica_fallbacks",
-  /// "snapshot.exhausted".
+  /// "snapshot.exhausted"; plus the shared retry-loop accounting
+  /// "retry.attempts", "retry.exhausted", "retry.deadline_exceeded".
   const Counters& counters() const { return counters_; }
 
   /// Attach a causality trace (fuzz harness); null disables recording.
@@ -158,7 +165,10 @@ class AdminClient {
   /// its attempts are exhausted — successive replicas off the ring.
   struct Attempt {
     NodeId target = 0;
-    uint32_t attemptsOnTarget = 0;
+    /// Attempt budget + total deadline for the current target (shared
+    /// runtime::RetryBudget; jitter stays keyed on the participant, so
+    /// the seeded timings predate the migration byte-for-byte).
+    runtime::RetryBudget budget;
     uint32_t totalSends = 0;
     std::vector<NodeId> fallbackQueue;
     core::FailureReason pendingReason = core::FailureReason::kTimedOut;
@@ -185,8 +195,7 @@ class AdminClient {
   void scheduleNext(core::SnapshotId id, NodeId participant);
   void advanceToFallback(core::SnapshotId id, NodeId participant);
   void resolveFailure(core::SnapshotId id, NodeId participant);
-  TimeMicros backoffDelay(core::SnapshotId id, NodeId participant,
-                          uint32_t attempt) const;
+  runtime::RetryPolicy collectionPolicy() const;
   void finishSession(core::SnapshotId id, core::SnapshotSession& session);
   void handleAck(const core::SnapshotAck& ack);
 

@@ -29,9 +29,17 @@ RealtimeKvCluster::RealtimeKvCluster(RealtimeClusterConfig config)
         ctx_, config_.epochBaseMillis, offsets_[i]));
   }
 
+  if (config_.transport == TransportKind::kUdpLoopback) {
+    udp_ = std::make_unique<runtime::UdpContext>(ctx_, config_.udp);
+  }
   if (config_.enableFaultPlane) {
+    // The chaos plane stacks on the outermost transport: script faults
+    // are end-to-end losses the protocols must absorb, while the UDP
+    // layer below separately hides its own kernel-path losses.
+    runtime::ExecutionContext& below =
+        udp_ ? static_cast<runtime::ExecutionContext&>(*udp_) : ctx_;
     faultful_ =
-        std::make_unique<runtime::FaultfulContext>(ctx_, config_.faultPlane);
+        std::make_unique<runtime::FaultfulContext>(below, config_.faultPlane);
   }
   runtime::ExecutionContext& nodeCtx = nodeContext();
 
@@ -75,6 +83,7 @@ RealtimeKvCluster::RealtimeKvCluster(RealtimeClusterConfig config)
 RealtimeKvCluster::~RealtimeKvCluster() {
   if (faultful_) faultful_->release();
   ctx_.stop();
+  if (udp_) udp_->stop();
 }
 
 void RealtimeKvCluster::crashServer(size_t i) {

@@ -21,9 +21,18 @@
 #include "runtime/faultful_context.hpp"
 #include "runtime/real_clock.hpp"
 #include "runtime/realtime_context.hpp"
+#include "runtime/udp_context.hpp"
 #include "sim/trace.hpp"
 
 namespace retro::kv {
+
+/// Which wire the nodes talk over.  Either way the protocol objects see
+/// the same ExecutionContext seam; the chaos plane (when enabled) stacks
+/// on top of whichever transport is selected.
+enum class TransportKind {
+  kInProcess,   ///< RealtimeContext's MPSC channel transport
+  kUdpLoopback  ///< runtime::UdpContext — real UDP sockets on 127.0.0.1
+};
 
 struct RealtimeClusterConfig {
   size_t servers = 4;
@@ -39,6 +48,11 @@ struct RealtimeClusterConfig {
   ClientConfig client;
   AdminConfig admin;
   runtime::RealtimeConfig runtime;
+
+  /// Transport selector: in-process channels (default) or loss-hardened
+  /// real UDP sockets on loopback.
+  TransportKind transport = TransportKind::kInProcess;
+  runtime::UdpConfig udp;
 
   /// Interpose a runtime::FaultfulContext between every node and the
   /// transport (the realtime chaos plane).  Off by default: the clean
@@ -87,11 +101,14 @@ class RealtimeKvCluster {
 
   /// The chaos plane (null unless config.enableFaultPlane).
   runtime::FaultfulContext* faultPlane() { return faultful_.get(); }
-  /// The context nodes actually run on: the fault plane when enabled,
-  /// the raw realtime context otherwise.
+  /// The UDP transport (null unless config.transport == kUdpLoopback).
+  runtime::UdpContext* udpTransport() { return udp_.get(); }
+  /// The context nodes actually run on — the outermost layer of the
+  /// stack faultful(udp(realtime)), with absent layers skipped.
   runtime::ExecutionContext& nodeContext() {
-    return faultful_ ? static_cast<runtime::ExecutionContext&>(*faultful_)
-                     : ctx_;
+    if (faultful_) return *faultful_;
+    if (udp_) return *udp_;
+    return ctx_;
   }
 
   /// Crash / restart server i from outside (posts to its own thread;
@@ -105,12 +122,19 @@ class RealtimeKvCluster {
 
   /// Spawn all node threads.  Construction/preload/trace wiring must be
   /// complete; after this, talk to nodes only via context().post().
-  void start() { ctx_.start(); }
+  void start() {
+    if (udp_) udp_->start();
+    ctx_.start();
+  }
   /// Join all node threads; cluster state is then safely readable.
-  /// Releases any paused workers first so the joins cannot deadlock.
+  /// Releases any paused workers first so the joins cannot deadlock;
+  /// the transport threads go down last (workers may still be sending
+  /// while they drain, and late wire deliveries into the stopped inner
+  /// context are simply never drained).
   void stop() {
     if (faultful_) faultful_->release();
     ctx_.stop();
+    if (udp_) udp_->stop();
   }
 
   /// Same key naming as VoldemortCluster (differential runs share it).
@@ -122,8 +146,12 @@ class RealtimeKvCluster {
  private:
   RealtimeClusterConfig config_;
   runtime::RealtimeContext ctx_;
-  /// Chaos plane wrapping ctx_ (null unless enabled).  Declared after
-  /// ctx_ (it holds a pointer into it) and released before ctx_ joins.
+  /// UDP transport wrapping ctx_ (null unless selected).  Declared after
+  /// ctx_ (it holds a pointer into it), so it is destroyed first.
+  std::unique_ptr<runtime::UdpContext> udp_;
+  /// Chaos plane wrapping the transport stack (null unless enabled).
+  /// Declared after udp_ (it may hold a pointer into it) and released
+  /// before ctx_ joins.
   std::unique_ptr<runtime::FaultfulContext> faultful_;
   std::vector<int64_t> offsets_;  ///< per-node skew millis, indexed by id
   std::vector<std::unique_ptr<runtime::RealtimePhysicalClock>> clocks_;

@@ -67,11 +67,16 @@ uint64_t FaultfulContext::send(Message message) {
         }
         if (duplicateProbability_ > 0 && u01(sm) < duplicateProbability_) {
           duplicate = true;
-          dupDelay = reorderDelayMax_ > 0
-                         ? 1 + static_cast<TimeMicros>(
-                                   u01(sm) *
-                                   static_cast<double>(reorderDelayMax_))
-                         : 0;
+          // The duplicate's delay is drawn independently of the
+          // primary's, on top of the blanket latency only — so a
+          // duplicate of a reordered message can arrive BEFORE the
+          // reordered original, the arrival order real networks produce.
+          dupDelay = extraLatency_;
+          if (reorderDelayMax_ > 0) {
+            dupDelay += 1 + static_cast<TimeMicros>(
+                                u01(sm) *
+                                static_cast<double>(reorderDelayMax_));
+          }
         }
       }
     }
@@ -87,7 +92,7 @@ uint64_t FaultfulContext::send(Message message) {
   }
   if (duplicate) {
     duplicatesInjected_.fetch_add(1, std::memory_order_relaxed);
-    deliver(message, delay + dupDelay);  // copy, same msgId
+    deliver(message, dupDelay);  // copy, same msgId, independent delay
   }
   deliver(std::move(message), delay);
   return id;
@@ -105,6 +110,17 @@ void FaultfulContext::deliver(Message message, TimeMicros delay) {
   delaysInjected_.fetch_add(1, std::memory_order_relaxed);
   const NodeId to = message.to;
   inner_->schedule(to, delay, [this, msg = std::move(message)]() mutable {
+    // Re-check partitions at fire time: a delayed (or queued-behind-a-
+    // pause) message whose link was cut while it sat on the timer heap
+    // dies at the cut, like any in-flight packet.  A link healed before
+    // the timer fires delivers normally — heal-during-pause ordering.
+    {
+      std::lock_guard lk(mu_);
+      if (blockedOut_.count(msg.from) != 0 || blockedIn_.count(msg.to) != 0) {
+        partitionDrops_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
     inner_->send(std::move(msg));
   });
 }
@@ -161,20 +177,27 @@ void FaultfulContext::pauseNode(NodeId node) {
   {
     std::lock_guard lk(pauseMu_);
     if (released_) return;
-    if (!paused_.insert(node).second) return;  // already pausing
+    // Counted: a second overlapping pause window deepens the existing
+    // park instead of vanishing — the worker resumes only when every
+    // window has been resumed.
+    if (++pauseDepth_[node] > 1) return;
   }
   // The closure runs on the victim's worker thread and parks it there.
   // Everything behind it in the node's timer heap and inbox waits.
   inner_->post(node, [this, node] {
     std::unique_lock lk(pauseMu_);
-    pauseCv_.wait(lk, [&] { return released_ || paused_.count(node) == 0; });
+    pauseCv_.wait(lk,
+                  [&] { return released_ || pauseDepth_.count(node) == 0; });
   });
 }
 
 void FaultfulContext::resumeNode(NodeId node) {
   {
     std::lock_guard lk(pauseMu_);
-    paused_.erase(node);
+    auto it = pauseDepth_.find(node);
+    if (it == pauseDepth_.end()) return;
+    if (--it->second > 0) return;  // an overlapping window is still open
+    pauseDepth_.erase(it);
   }
   pauseCv_.notify_all();
 }
@@ -183,7 +206,7 @@ void FaultfulContext::release() {
   {
     std::lock_guard lk(pauseMu_);
     released_ = true;
-    paused_.clear();
+    pauseDepth_.clear();
   }
   pauseCv_.notify_all();
 }

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <set>
 
@@ -99,7 +100,10 @@ class FaultfulContext final : public ExecutionContext {
   /// message handling and timers for the node until resumeNode().
   /// Messages keep queueing in the node's inbox meanwhile.  Must not be
   /// called for a node that schedules from multiple worker threads you
-  /// need live.  resumeNode() on an un-paused node is a no-op.
+  /// need live.  Pauses are COUNTED: overlapping pause windows from
+  /// independent script clauses union — the node runs again only after
+  /// every pause has been resumed.  resumeNode() on an un-paused node is
+  /// a no-op.
   void pauseNode(NodeId node);
   void resumeNode(NodeId node);
 
@@ -133,7 +137,7 @@ class FaultfulContext final : public ExecutionContext {
 
   std::mutex pauseMu_;
   std::condition_variable pauseCv_;
-  std::set<NodeId> paused_;
+  std::map<NodeId, int> pauseDepth_;  // counted: overlapping windows union
   bool released_ = false;
 
   std::atomic<uint64_t> nextMsgId_{1};

@@ -23,8 +23,9 @@
 
 namespace retro::runtime {
 
-/// A reusable retry envelope: how often, how fast, how random.  Embed in
-/// component configs (or construct ad hoc from legacy config fields).
+/// A reusable retry envelope: how often, how fast, how random, and for
+/// how long in total.  Embed in component configs (or construct ad hoc
+/// from legacy config fields).
 struct RetryPolicy {
   /// Send attempts per target (first transmission included).
   uint32_t maxAttempts = 4;
@@ -34,6 +35,10 @@ struct RetryPolicy {
   TimeMicros backoffCapMicros = 800'000;
   /// Deterministic jitter fraction added on top of each backoff [0..1).
   double jitter = 0.2;
+  /// Total elapsed budget across every attempt (0 = unbounded).  A retry
+  /// loop whose deadline passes is exhausted even with attempts left —
+  /// exhaustion is *reported* to the caller, never silently looped.
+  TimeMicros totalDeadlineMicros = 0;
 };
 
 /// Mix up to three retry-scope identifiers (operation id, peer node,
@@ -65,5 +70,58 @@ inline TimeMicros backoffDelay(const RetryPolicy& policy, uint32_t attempt,
   return cappedBackoffDelay(policy.backoffBaseMicros, policy.backoffCapMicros,
                             policy.jitter, attempt, jitterKey);
 }
+
+/// Attempt-budget and total-deadline accounting for one retry loop (one
+/// RPC target, one datagram, one transfer stream).  The caller records
+/// each transmission, asks for the next backoff, and checks exhausted()
+/// before rearming — when the budget is spent the loop must surface the
+/// failure (timeout outcome, kPartial, dropped datagram + suspicion),
+/// never keep looping.  Delay derivation is byte-compatible with the
+/// bare cappedBackoffDelay call sites it replaces: jitter is keyed on
+/// (op, peer, attempt) via retryJitterKey, so migrating a caller changes
+/// none of its seeded timings.
+class RetryBudget {
+ public:
+  RetryBudget() = default;
+  RetryBudget(const RetryPolicy& policy, uint64_t op, uint64_t peer,
+              TimeMicros startMicros)
+      : policy_(policy), op_(op), peer_(peer), start_(startMicros) {}
+
+  /// Record one transmission; returns its 1-based number.
+  uint32_t recordAttempt() { return ++attempts_; }
+  uint32_t attempts() const { return attempts_; }
+
+  /// True once the attempt budget or the total deadline is spent.
+  bool exhausted(TimeMicros now) const {
+    return attempts_ >= policy_.maxAttempts || deadlineExceeded(now);
+  }
+  bool deadlineExceeded(TimeMicros now) const {
+    return policy_.totalDeadlineMicros > 0 &&
+           now - start_ >= policy_.totalDeadlineMicros;
+  }
+
+  /// Backoff before the next transmission, derived from the attempts
+  /// recorded so far.  Only meaningful while !exhausted().
+  TimeMicros nextDelay() const {
+    return backoffDelay(policy_, attempts_, retryJitterKey(op_, peer_, attempts_));
+  }
+
+  /// Re-aim the loop at a new peer (replica fallback): the attempt
+  /// count restarts, the total deadline keeps running from the original
+  /// start — a fallback must not double the caller's worst case.
+  void retarget(uint64_t peer) {
+    peer_ = peer;
+    attempts_ = 0;
+  }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  uint64_t op_ = 0;
+  uint64_t peer_ = 0;
+  TimeMicros start_ = 0;
+  uint32_t attempts_ = 0;
+};
 
 }  // namespace retro::runtime

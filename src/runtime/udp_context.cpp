@@ -1,0 +1,492 @@
+#include "runtime/udp_context.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace retro::runtime {
+namespace {
+
+/// Per-transmission loss-roll key: varies across (from, to, seq,
+/// attempt, kind) so a retransmission rerolls instead of being doomed
+/// to the same fate as the transmission it replaces.
+uint64_t transmissionKey(NodeId from, NodeId to, uint64_t seq,
+                         uint32_t attempt, bool ack) {
+  const uint64_t endpoints =
+      (static_cast<uint64_t>(from) << 33) ^ (static_cast<uint64_t>(to) << 1) ^
+      static_cast<uint64_t>(ack);
+  return retryJitterKey(seq, endpoints, attempt);
+}
+
+}  // namespace
+
+UdpContext::UdpContext(ExecutionContext& inner, UdpConfig config)
+    : inner_(&inner),
+      config_(config),
+      seqSpanLimit_(std::max<size_t>(config.dedupWindow / 2, 1)) {
+  // The flight cap must sit inside the span limit or the backlog could
+  // admit a seq the span check should have held back.
+  config_.maxInFlightDatagrams =
+      std::min(config_.maxInFlightDatagrams, seqSpanLimit_);
+}
+
+UdpContext::~UdpContext() { stop(); }
+
+void UdpContext::registerNode(NodeId node, Handler handler) {
+  inner_->registerNode(node, std::move(handler));
+  std::lock_guard<std::mutex> lk(nodesMu_);
+  // Post-start registration is a crash/restart: the socket, port and
+  // link state all survive, only the inner handler was swapped above.
+  if (started_.load(std::memory_order_acquire)) return;
+  if (nodes_.count(node) != 0) return;
+
+  auto n = std::make_unique<UdpNode>();
+  n->id = node;
+  n->fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (n->fd < 0) throw std::runtime_error("UdpContext: socket() failed");
+  // Generous kernel buffers: the hermetic suites burst hundreds of
+  // datagrams at once, and every kernel drop costs a retransmit delay.
+  int bufBytes = 1 << 20;
+  ::setsockopt(n->fd, SOL_SOCKET, SO_RCVBUF, &bufBytes, sizeof(bufBytes));
+  ::setsockopt(n->fd, SOL_SOCKET, SO_SNDBUF, &bufBytes, sizeof(bufBytes));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned
+  if (::bind(n->fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(n->fd);
+    throw std::runtime_error("UdpContext: bind() failed");
+  }
+  socklen_t addrLen = sizeof(addr);
+  if (::getsockname(n->fd, reinterpret_cast<sockaddr*>(&addr), &addrLen) !=
+      0) {
+    ::close(n->fd);
+    throw std::runtime_error("UdpContext: getsockname() failed");
+  }
+  n->port = ntohs(addr.sin_port);
+  // Keep an explicit setPeerAddress() override if one was installed.
+  peers_.try_emplace(node,
+                     PeerAddr{htonl(INADDR_LOOPBACK), addr.sin_port});
+  nodes_.emplace(node, std::move(n));
+}
+
+void UdpContext::setPeerAddress(NodeId node, const std::string& ipv4,
+                                uint16_t port) {
+  std::lock_guard<std::mutex> lk(nodesMu_);
+  if (started_.load(std::memory_order_acquire)) {
+    throw std::logic_error("UdpContext: setPeerAddress after start()");
+  }
+  PeerAddr addr;
+  addr.port = htons(port);
+  if (::inet_pton(AF_INET, ipv4.c_str(), &addr.ipv4) != 1) {
+    throw std::invalid_argument("UdpContext: bad IPv4 address " + ipv4);
+  }
+  peers_[node] = addr;
+}
+
+uint16_t UdpContext::portOf(NodeId node) const {
+  std::lock_guard<std::mutex> lk(nodesMu_);
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second->port;
+}
+
+void UdpContext::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  for (auto& [id, node] : nodes_) {
+    UdpNode* n = node.get();
+    n->rx = std::thread([this, id = id, n] { rxLoop(id, *n); });
+  }
+  pacer_ = std::thread([this] { pacerLoop(); });
+}
+
+void UdpContext::stop() {
+  stop_.store(true, std::memory_order_release);
+  wakePacer();
+  if (pacer_.joinable()) pacer_.join();
+  for (auto& [id, node] : nodes_) {
+    if (node->rx.joinable()) node->rx.join();
+  }
+  for (auto& [id, node] : nodes_) {
+    if (node->fd >= 0) {
+      ::close(node->fd);
+      node->fd = -1;
+    }
+  }
+}
+
+void UdpContext::muteReceiver(NodeId node, bool muted) {
+  std::lock_guard<std::mutex> lk(nodesMu_);
+  auto it = nodes_.find(node);
+  if (it != nodes_.end()) {
+    it->second->muted.store(muted, std::memory_order_release);
+  }
+}
+
+LinkHealth UdpContext::linkHealth(NodeId node, NodeId peer) const {
+  std::lock_guard<std::mutex> lk(nodesMu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return {};
+  std::lock_guard<std::mutex> nodeLk(it->second->mu);
+  auto lit = it->second->links.find(peer);
+  if (lit == it->second->links.end()) return {};
+  return {lit->second.consecutiveExhaustions, lit->second.suspected};
+}
+
+size_t UdpContext::suspectedLinkCount() const {
+  std::lock_guard<std::mutex> lk(nodesMu_);
+  size_t count = 0;
+  for (const auto& [id, node] : nodes_) {
+    std::lock_guard<std::mutex> nodeLk(node->mu);
+    for (const auto& [peer, link] : node->links) {
+      if (link.suspected) ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t UdpContext::send(Message message) {
+  if (message.msgId == 0) {
+    message.msgId = nextMsgId_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint64_t id = message.msgId;
+  // Self-sends, pre-start traffic, and post-stop stragglers take the
+  // in-process path: the wire adds nothing for them.
+  if (message.from == message.to ||
+      !started_.load(std::memory_order_acquire) ||
+      stop_.load(std::memory_order_acquire)) {
+    localFallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->send(std::move(message));
+  }
+  // nodes_/peers_ are immutable once started_; lock-free reads are safe.
+  auto nit = nodes_.find(message.from);
+  auto pit = peers_.find(message.to);
+  if (nit == nodes_.end() || pit == peers_.end()) {
+    // Unknown sender or destination: the inner transport owns the
+    // semantics (it drops traffic to unregistered nodes and counts it).
+    localFallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->send(std::move(message));
+  }
+
+  const NodeId from = message.from;
+  const NodeId to = message.to;
+  const std::string body = encodeMessageBody(message);
+  const auto chunks = chunkBody(body, config_.maxChunkBytes);
+  if (chunks.size() > 1) {
+    fragmentsSent_.fetch_add(chunks.size(), std::memory_order_relaxed);
+  }
+
+  UdpNode& node = *nit->second;
+  std::lock_guard<std::mutex> lk(node.mu);
+  Link& link = linkLocked(node, to);
+  const uint64_t fragUid = link.nextFragUid++;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    Datagram d;
+    d.kind = DatagramKind::kData;
+    d.from = from;
+    d.to = to;
+    d.seq = link.nextSeq++;
+    d.fragUid = fragUid;
+    d.fragIndex = static_cast<uint32_t>(i);
+    d.fragCount = static_cast<uint32_t>(chunks.size());
+    d.chunk.assign(chunks[i]);
+    std::string bytes = encodeDatagram(d);
+    if (link.suspected) {
+      // Degraded mode: one shot on the wire, no retransmit state — a
+      // dead peer must cost bounded work.  The protocol layers above
+      // already turn the resulting silence into timeouts / kPartial.
+      suspectSends_.fetch_add(1, std::memory_order_relaxed);
+      transmit(node.fd, to, bytes, transmissionKey(from, to, d.seq, 1, false));
+    } else {
+      enqueueDatagramLocked(node, link, to, d.seq, std::move(bytes));
+    }
+  }
+  return id;
+}
+
+UdpContext::Link& UdpContext::linkLocked(UdpNode& node, NodeId peer) {
+  auto it = node.links.find(peer);
+  if (it == node.links.end()) {
+    it = node.links
+             .emplace(std::piecewise_construct, std::forward_as_tuple(peer),
+                      std::forward_as_tuple(config_.dedupWindow,
+                                            config_.reassemblyStaleMicros))
+             .first;
+  }
+  return it->second;
+}
+
+bool UdpContext::admitLocked(const Link& link, uint64_t seq) const {
+  if (link.unacked.size() >= config_.maxInFlightDatagrams) return false;
+  if (link.unacked.empty()) return true;
+  // Bound the live sequence span to half the dedup window: a straggler
+  // retransmission of the oldest unacked seq must still land inside the
+  // receiver's window no matter how far newer traffic has advanced it.
+  return seq - link.unacked.begin()->first < seqSpanLimit_;
+}
+
+void UdpContext::enqueueDatagramLocked(UdpNode& node, Link& link, NodeId peer,
+                                       uint64_t seq, std::string bytes) {
+  if (!admitLocked(link, seq) || !link.backlog.empty()) {
+    backlogged_.fetch_add(1, std::memory_order_relaxed);
+    link.backlog.push_back(Backlogged{seq, std::move(bytes), peer});
+    return;
+  }
+  const TimeMicros now = inner_->now();
+  Unacked entry;
+  entry.bytes = std::move(bytes);
+  entry.peer = peer;
+  entry.budget = RetryBudget(config_.retransmit, seq, peer, now);
+  const uint32_t attempt = entry.budget.recordAttempt();
+  transmit(node.fd, peer, entry.bytes,
+           transmissionKey(node.id, peer, seq, attempt, false));
+  entry.nextAt = now + entry.budget.nextDelay();
+  link.unacked.emplace(seq, std::move(entry));
+  wakePacer();
+}
+
+void UdpContext::drainBacklogLocked(UdpNode& node, Link& link, NodeId peer) {
+  while (!link.backlog.empty() && admitLocked(link, link.backlog.front().seq)) {
+    Backlogged b = std::move(link.backlog.front());
+    link.backlog.pop_front();
+    const TimeMicros now = inner_->now();
+    Unacked entry;
+    entry.bytes = std::move(b.bytes);
+    entry.peer = peer;
+    entry.budget = RetryBudget(config_.retransmit, b.seq, peer, now);
+    const uint32_t attempt = entry.budget.recordAttempt();
+    transmit(node.fd, peer, entry.bytes,
+             transmissionKey(node.id, peer, b.seq, attempt, false));
+    entry.nextAt = now + entry.budget.nextDelay();
+    link.unacked.emplace(b.seq, std::move(entry));
+  }
+  if (!link.unacked.empty()) wakePacer();
+}
+
+bool UdpContext::transmit(int fd, NodeId to, const std::string& bytes,
+                          uint64_t lossKey) {
+  if (config_.datagramLossProbability > 0) {
+    SplitMix64 sm(config_.lossSeed ^ (lossKey * 0x9e3779b97f4a7c15ULL));
+    const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    if (u < config_.datagramLossProbability) {
+      lossInjected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  auto it = peers_.find(to);
+  if (it == peers_.end()) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = it->second.ipv4;
+  addr.sin_port = it->second.port;
+  const ssize_t n =
+      ::sendto(fd, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n < 0) return false;
+  datagramsSent_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void UdpContext::sendAck(UdpNode& node, NodeId from, NodeId peer,
+                         std::vector<uint64_t> seqs) {
+  Datagram ack;
+  ack.kind = DatagramKind::kAck;
+  ack.from = from;
+  ack.to = peer;
+  ack.ackedSeqs = std::move(seqs);
+  const std::string bytes = encodeDatagram(ack);
+  const uint64_t key = transmissionKey(
+      from, peer, ack.ackedSeqs.empty() ? 0 : ack.ackedSeqs.front(), 1, true);
+  if (transmit(node.fd, peer, bytes, key)) {
+    acksSent_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void UdpContext::noteAliveLocked(Link& link) {
+  link.consecutiveExhaustions = 0;
+  if (link.suspected) {
+    link.suspected = false;
+    healedEvents_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void UdpContext::handleAck(UdpNode& node, const Datagram& d) {
+  acksReceived_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(node.mu);
+  Link& link = linkLocked(node, d.from);
+  for (uint64_t seq : d.ackedSeqs) link.unacked.erase(seq);
+  // Any receipt from the peer — data or ack — is a sign of life.
+  noteAliveLocked(link);
+  drainBacklogLocked(node, link, d.from);
+}
+
+void UdpContext::handleData(UdpNode& node, const Datagram& d) {
+  std::optional<Message> completed;
+  {
+    std::lock_guard<std::mutex> lk(node.mu);
+    Link& link = linkLocked(node, d.from);
+    noteAliveLocked(link);
+    if (link.dedup.accept(d.seq)) {
+      completed = link.reassembler.feed(d, inner_->now());
+    } else {
+      dedupHits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Ack every data datagram, duplicates included: a duplicate means the
+  // original ack was lost, and only a fresh ack stops the retransmits.
+  sendAck(node, node.id, d.from, {d.seq});
+  if (completed) {
+    messagesDelivered_.fetch_add(1, std::memory_order_relaxed);
+    inner_->send(std::move(*completed));
+  }
+}
+
+void UdpContext::rxLoop(NodeId id, UdpNode& node) {
+  std::vector<char> buf(64 * 1024);
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = node.fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, /*timeout ms=*/50);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    for (;;) {
+      const ssize_t n =
+          ::recv(node.fd, buf.data(), buf.size(), MSG_DONTWAIT);
+      if (n < 0) break;
+      datagramsReceived_.fetch_add(1, std::memory_order_relaxed);
+      if (node.muted.load(std::memory_order_acquire)) {
+        // Simulated NIC death: drop before the reliability layer looks.
+        mutedDrops_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      auto d = decodeDatagram(std::string_view(buf.data(),
+                                               static_cast<size_t>(n)));
+      if (!d) {
+        crcRejects_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (d->to != id) continue;  // misaddressed
+      if (d->kind == DatagramKind::kAck) {
+        handleAck(node, *d);
+      } else {
+        handleData(node, *d);
+      }
+    }
+  }
+}
+
+void UdpContext::pacerLoop() {
+  constexpr TimeMicros kMaxSleepMicros = 50'000;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const TimeMicros now = inner_->now();
+    TimeMicros nextWake = now + kMaxSleepMicros;
+    for (auto& [id, nodePtr] : nodes_) {
+      UdpNode& node = *nodePtr;
+      std::lock_guard<std::mutex> lk(node.mu);
+      for (auto& [peer, link] : node.links) {
+        reassemblyDrops_.fetch_add(link.reassembler.sweep(now),
+                                   std::memory_order_relaxed);
+        bool erasedAny = false;
+        for (auto it = link.unacked.begin(); it != link.unacked.end();) {
+          Unacked& u = it->second;
+          if (u.nextAt > now) {
+            nextWake = std::min(nextWake, u.nextAt);
+            ++it;
+            continue;
+          }
+          if (u.budget.exhausted(now)) {
+            // Budget spent with no ack: report, drop, and let the
+            // health layer decide whether the peer looks dead.  The
+            // message (or fragment) is gone at transport level — the
+            // protocol retry above owns end-to-end recovery.
+            exhaustions_.fetch_add(1, std::memory_order_relaxed);
+            if (u.budget.deadlineExceeded(now)) {
+              deadlineExceeded_.fetch_add(1, std::memory_order_relaxed);
+            }
+            it = link.unacked.erase(it);
+            erasedAny = true;
+            if (!link.suspected &&
+                ++link.consecutiveExhaustions >=
+                    config_.suspectAfterExhaustions) {
+              link.suspected = true;
+              suspectedEvents_.fetch_add(1, std::memory_order_relaxed);
+              // The backlog drains single-shot: keeping queues bounded
+              // matters more than delivery odds on a suspected link.
+              for (const Backlogged& b : link.backlog) {
+                suspectSends_.fetch_add(1, std::memory_order_relaxed);
+                transmit(node.fd, peer, b.bytes,
+                         transmissionKey(node.id, peer, b.seq, 1, false));
+              }
+              link.backlog.clear();
+            }
+            continue;
+          }
+          const uint32_t attempt = u.budget.recordAttempt();
+          retransmits_.fetch_add(1, std::memory_order_relaxed);
+          transmit(node.fd, peer, u.bytes,
+                   transmissionKey(node.id, peer, it->first, attempt, false));
+          u.nextAt = now + u.budget.nextDelay();
+          nextWake = std::min(nextWake, u.nextAt);
+          ++it;
+        }
+        if (erasedAny) drainBacklogLocked(node, link, peer);
+        if (!link.unacked.empty()) {
+          nextWake = std::min(nextWake, link.unacked.begin()->second.nextAt);
+        }
+      }
+    }
+    std::unique_lock<std::mutex> lk(pacerMu_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (!pacerKick_) {
+      const TimeMicros sleepMicros = std::clamp<TimeMicros>(
+          nextWake - inner_->now(), 500, kMaxSleepMicros);
+      pacerCv_.wait_for(lk, std::chrono::microseconds(sleepMicros));
+    }
+    pacerKick_ = false;
+  }
+}
+
+void UdpContext::wakePacer() {
+  {
+    std::lock_guard<std::mutex> lk(pacerMu_);
+    pacerKick_ = true;
+  }
+  pacerCv_.notify_one();
+}
+
+Counters UdpContext::counters() const {
+  Counters c;
+  c.add("udp.datagrams_sent", datagramsSent_.load());
+  c.add("udp.datagrams_received", datagramsReceived_.load());
+  c.add("udp.retransmits", retransmits_.load());
+  c.add("udp.acks_sent", acksSent_.load());
+  c.add("udp.acks_received", acksReceived_.load());
+  c.add("udp.dedup_hits", dedupHits_.load());
+  c.add("udp.crc_rejects", crcRejects_.load());
+  c.add("udp.reassembly_drops", reassemblyDrops_.load());
+  c.add("udp.loss_injected", lossInjected_.load());
+  c.add("udp.exhausted", exhaustions_.load());
+  c.add("udp.suspected", suspectedEvents_.load());
+  c.add("udp.healed", healedEvents_.load());
+  c.add("udp.suspect_sends", suspectSends_.load());
+  c.add("udp.backlogged", backlogged_.load());
+  c.add("udp.fragments_sent", fragmentsSent_.load());
+  c.add("udp.messages_delivered", messagesDelivered_.load());
+  c.add("udp.local_fallbacks", localFallbacks_.load());
+  c.add("udp.muted_drops", mutedDrops_.load());
+  c.add("retry.retransmits", retransmits_.load());
+  c.add("retry.exhausted", exhaustions_.load());
+  c.add("retry.deadline_exceeded", deadlineExceeded_.load());
+  return c;
+}
+
+}  // namespace retro::runtime

@@ -17,15 +17,31 @@
 //     per-node HLC sequences stay monotone, and — when no anomalies
 //     were scripted — perceived clocks honor the skew bound.
 //
+// Test 1b (UdpChaosSweep): the same sweep with the cluster's wire
+// switched to runtime::UdpContext — real UDP sockets on loopback with
+// kernel-path datagram loss injected underneath the chaos plane, so the
+// reliability layer (CRC framing, dedup, ack/retransmit, fragmentation,
+// peer suspicion) carries the identical obligations the in-process
+// transport does.  Failures persist the transport counters in the
+// artifact.
+//
 // Test 2 (LosslessDifferential): sim vs realtime under the IDENTICAL
 // fault script, restricted to the lossless kinds (latency spikes, node
 // stalls) where exact agreement is still a theorem: same per-server
-// final state, snapshot completion, and temporal-query answers.
+// final state, snapshot completion, and temporal-query answers.  The
+// realtime leg runs TWICE — in-process channels and UDP loopback (with
+// injected datagram loss that the retransmit layer must fully mask) —
+// and both must agree byte-for-byte with the simulator.
 //
 // Test 3 (CrashRestartRecovery): the realtime crash()/restart()
 // lifecycle head-on — a server killed mid-workload recovers its
 // WAL/BDB-backed state, rejoins the wire, and a post-recovery snapshot
 // completes with every pre-crash completed write intact.
+//
+// Plus ChaosPlaneRegression: unit-level pins for FaultfulContext fault
+// semantics (independent duplicate delay, partition recheck at deferred
+// fire time, counted overlapping pauses) against a recording inner
+// context.
 //
 // Reproduction: RETRO_FUZZ_SEED pins one seed; failures persist
 // fuzz-repro-test_realtime_chaos-seed<N>.txt for CI artifact upload.
@@ -33,17 +49,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kvstore/cluster.hpp"
 #include "kvstore/realtime_cluster.hpp"
 #include "runtime/deadline.hpp"
+#include "runtime/faultful_context.hpp"
+#include "runtime/realtime_context.hpp"
+#include "runtime/udp_context.hpp"
 #include "testing/cut_checker.hpp"
 #include "testing/fault_injector.hpp"
 #include "testing/fuzz.hpp"
@@ -93,8 +115,34 @@ void hardenConfigs(RealtimeClusterConfig& cfg) {
   cfg.server.getServiceMicros = 30;
 }
 
+/// UDP reliability layer tuned to the compressed chaos timeline: 5%
+/// kernel-path datagram loss (on top of whatever the chaos plane drops
+/// above it), fast retransmits so recovery fits inside the 25 ms op
+/// timeout, and a bounded per-datagram deadline so crashed peers are
+/// suspected instead of pinning retransmit state forever.
+runtime::UdpConfig udpChaosConfig(uint64_t seed) {
+  runtime::UdpConfig u;
+  u.datagramLossProbability = 0.05;
+  u.lossSeed = seed;
+  u.retransmit.maxAttempts = 10;
+  u.retransmit.backoffBaseMicros = 1'000;
+  u.retransmit.backoffCapMicros = 8'000;
+  u.retransmit.totalDeadlineMicros = 150'000;
+  u.suspectAfterExhaustions = 2;
+  return u;
+}
+
+std::string formatTransportCounters(runtime::UdpContext* udp) {
+  if (udp == nullptr) return {};
+  std::string out = "udp transport counters:";
+  for (const auto& [name, value] : udp->counters().sorted()) {
+    out += "\n  " + name + " = " + std::to_string(value);
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
-// Test 1: the chaos sweep.
+// Test 1: the chaos sweep (in-process and UDP-loopback transports).
 // ---------------------------------------------------------------------------
 
 struct ChaosRunState {
@@ -115,8 +163,11 @@ struct ChaosLoop {
 };
 
 /// One seed of the sweep.  A void function so gtest ASSERTs abort only
-/// this seed; the caller checks HasFailure() to persist the artifact.
-void runChaosSeed(uint64_t seed) {
+/// this seed; the caller checks HasFailure() to persist the artifact
+/// (for UDP runs, `transportCounters` receives the reliability-layer
+/// counters so the artifact can carry them).
+void runChaosSeed(uint64_t seed, TransportKind transport,
+                  std::string* transportCounters = nullptr) {
   testing::ScenarioOptions opts;
   opts.clockAnomalies = (seed % 3 == 0);
   const testing::Scenario sc =
@@ -144,6 +195,8 @@ void runChaosSeed(uint64_t seed) {
   // test_atomic_hlc's skew-episode property tests.
   cfg.epsilonMillis = 4 * kMaxSkewMillis + 4;
   hardenConfigs(cfg);
+  cfg.transport = transport;
+  if (transport == TransportKind::kUdpLoopback) cfg.udp = udpChaosConfig(seed);
   RealtimeKvCluster cluster(cfg);
   cluster.enableCausalityTrace();
 
@@ -246,6 +299,17 @@ void runChaosSeed(uint64_t seed) {
 
   cluster.stop();         // joins all workers; state safely readable below
   loop->issue = nullptr;  // break the ChaosLoop self-reference cycle
+  if (transportCounters != nullptr) {
+    *transportCounters = formatTransportCounters(cluster.udpTransport());
+  }
+  if (transport == TransportKind::kUdpLoopback) {
+    // The run must have actually exercised the wire: real datagrams
+    // flowed, and the injected kernel-path loss forced retransmissions
+    // that the reliability layer absorbed.
+    ASSERT_NE(cluster.udpTransport(), nullptr);
+    EXPECT_GT(cluster.udpTransport()->datagramsReceived(), 0u)
+        << "UDP loopback carried no traffic — transport selection broken";
+  }
 
   // Obligation 2: resolved means resolved — kComplete or kPartial.
   ASSERT_EQ(state.snapshotStates.size(), sc.snapshots.size());
@@ -278,10 +342,34 @@ TEST(RealtimeChaos, ChaosSweepSnapshotsDegradeHonestly) {
   for (int s = 1; s <= seeds; ++s) {
     const uint64_t seed = pinned ? *pinned : static_cast<uint64_t>(s);
     SCOPED_TRACE("seed " + std::to_string(seed));
-    runChaosSeed(seed);
+    runChaosSeed(seed, TransportKind::kInProcess);
     if (::testing::Test::HasFailure()) {
       writeChaosArtifact(seed,
                          "chaos sweep failed (full diagnosis in the test log)");
+      break;
+    }
+    ++ran;
+    if (pinned) break;  // reproduction mode: one seed only
+  }
+  EXPECT_GE(ran, 1);
+}
+
+// The same sweep over real UDP sockets: every fault script, obligation,
+// and cut check is identical — only the wire changed.  RETRO_CHAOS_SEEDS
+// scales this sweep too; RETRO_FUZZ_SEED pins one seed for reproduction.
+TEST(RealtimeChaos, UdpChaosSweepSnapshotsDegradeHonestly) {
+  const int seeds = testing::seedCountFromEnv("RETRO_CHAOS_SEEDS", 128);
+  const auto pinned = testing::seedOverrideFromEnv();
+  int ran = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    const uint64_t seed = pinned ? *pinned : static_cast<uint64_t>(s);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " (udp)");
+    std::string transportCounters;
+    runChaosSeed(seed, TransportKind::kUdpLoopback, &transportCounters);
+    if (::testing::Test::HasFailure()) {
+      writeChaosArtifact(seed, "udp chaos sweep failed (full diagnosis in the "
+                               "test log)\n" +
+                                   transportCounters);
       break;
     }
     ++ran;
@@ -480,7 +568,8 @@ DiffOutcome runLosslessSim(const testing::Scenario& sc,
 }
 
 DiffOutcome runLosslessRealtime(const testing::Scenario& sc,
-                                const std::vector<std::vector<DiffOp>>& ops) {
+                                const std::vector<std::vector<DiffOp>>& ops,
+                                TransportKind transport) {
   DiffDriver driver(ops);  // before the cluster: its threads call into it
   driver.pace = static_cast<TimeMicros>(
       static_cast<double>(sc.durationMicros / (kDiffOpsPerClient + 1)) *
@@ -498,6 +587,15 @@ DiffOutcome runLosslessRealtime(const testing::Scenario& sc,
   cfg.client = losslessClientConfig();
   cfg.server.putServiceMicros = 50;
   cfg.server.getServiceMicros = 30;
+  cfg.transport = transport;
+  if (transport == TransportKind::kUdpLoopback) {
+    // Kernel-path datagram loss the reliability layer must fully mask:
+    // the script is lossless ABOVE the transport, so byte-exact
+    // agreement with the simulator stays a theorem only if retransmit +
+    // dedup turn the lossy wire into an exactly-once channel.
+    cfg.udp.datagramLossProbability = 0.05;
+    cfg.udp.lossSeed = sc.seed;
+  }
   RealtimeKvCluster cluster(cfg);
   cluster.enableCausalityTrace();
 
@@ -562,8 +660,18 @@ TEST(RealtimeChaos, LosslessFaultScriptDifferential) {
     const auto ops = makeDiffWorkload(seed, sc.clients);
 
     const DiffOutcome sim = runLosslessSim(sc, ops);
-    const DiffOutcome real = runLosslessRealtime(sc, ops);
-    compareLossless(sim, real);
+    {
+      SCOPED_TRACE("transport inproc");
+      const DiffOutcome real =
+          runLosslessRealtime(sc, ops, TransportKind::kInProcess);
+      compareLossless(sim, real);
+    }
+    {
+      SCOPED_TRACE("transport udp");
+      const DiffOutcome udp =
+          runLosslessRealtime(sc, ops, TransportKind::kUdpLoopback);
+      compareLossless(sim, udp);
+    }
 
     if (::testing::Test::HasFailure()) {
       writeChaosArtifact(seed, "lossless sim-vs-real differential diverged");
@@ -688,6 +796,153 @@ TEST(RealtimeChaos, CrashRestartRecoversDurableState) {
   checker.checkMonotonicity(report);
   checker.checkSkewBound(kMaxSkewMillis * kMicrosPerMilli, report);
   EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos-plane regressions: unit-level pins for FaultfulContext fault
+// semantics, against a recording inner context (no threads, every
+// deferred delivery is a closure the test fires by hand).
+// ---------------------------------------------------------------------------
+
+/// Inner ExecutionContext fake: records schedules and sends instead of
+/// executing them, so a test can inspect delays and fire closures at
+/// chosen points (e.g. after installing a partition).
+struct RecordingContext final : runtime::ExecutionContext {
+  struct Deferred {
+    NodeId owner;
+    TimeMicros delay;
+    std::function<void()> fn;
+  };
+  std::vector<Deferred> scheduled;
+  std::vector<runtime::Message> sent;
+  std::set<NodeId> nodes;
+
+  TimeMicros now() const override { return 0; }
+  void schedule(NodeId owner, TimeMicros delay,
+                std::function<void()> fn) override {
+    scheduled.push_back({owner, delay, std::move(fn)});
+  }
+  void scheduleDaemon(NodeId owner, TimeMicros delay,
+                      std::function<void()> fn) override {
+    scheduled.push_back({owner, delay, std::move(fn)});
+  }
+  void registerNode(NodeId node, Handler) override { nodes.insert(node); }
+  void disconnect(NodeId node) override { nodes.erase(node); }
+  bool isConnected(NodeId node) const override {
+    return nodes.count(node) != 0;
+  }
+  uint64_t send(runtime::Message message) override {
+    const uint64_t id = message.msgId;
+    sent.push_back(std::move(message));
+    return id;
+  }
+  bool isRealtime() const override { return false; }
+};
+
+// A duplicate's extra delay is drawn independently of the primary's, so
+// a duplicate of a reordered message can arrive BEFORE the original —
+// the arrival order real networks produce.  (Regression: duplicates
+// used to stack their delay ON TOP of the primary's, so the copy could
+// never win the race.)
+TEST(ChaosPlaneRegression, DuplicateDelayIsIndependentOfPrimary) {
+  RecordingContext rec;
+  runtime::FaultPlaneConfig pc;
+  pc.seed = 99;
+  pc.duplicateProbability = 1.0;
+  pc.reorderProbability = 1.0;
+  pc.reorderDelayMaxMicros = 5'000;
+  runtime::FaultfulContext plane(rec, pc);
+  plane.registerNode(2, [](runtime::Message&&) {});
+
+  constexpr int kMessages = 200;
+  for (int i = 0; i < kMessages; ++i) {
+    plane.send({/*from=*/1, /*to=*/2, /*type=*/7,
+                /*payload=*/"p" + std::to_string(i)});
+  }
+  // Every send defers two copies (reorder always hits, so both delays
+  // are >= 1): the duplicate is scheduled first, then the primary.
+  ASSERT_EQ(plane.duplicatesInjected(), static_cast<uint64_t>(kMessages));
+  ASSERT_EQ(rec.scheduled.size(), static_cast<size_t>(2 * kMessages));
+  int dupWins = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    const TimeMicros dupDelay = rec.scheduled[2 * i].delay;
+    const TimeMicros primaryDelay = rec.scheduled[2 * i + 1].delay;
+    EXPECT_GE(dupDelay, 1);
+    EXPECT_GE(primaryDelay, 1);
+    if (dupDelay < primaryDelay) ++dupWins;
+  }
+  // Independent draws: the duplicate beats the primary sometimes but
+  // not always.  The old (stacked) derivation made dupWins exactly 0.
+  EXPECT_GT(dupWins, 0);
+  EXPECT_LT(dupWins, kMessages);
+
+  // Both copies still carry the same msgId once they hit the wire.
+  for (auto& d : rec.scheduled) d.fn();
+  ASSERT_EQ(rec.sent.size(), static_cast<size_t>(2 * kMessages));
+  std::map<uint64_t, int> byId;
+  for (const auto& m : rec.sent) ++byId[m.msgId];
+  for (const auto& [id, count] : byId) EXPECT_EQ(count, 2) << "msgId " << id;
+}
+
+// A delayed delivery whose link is cut while it sits on the timer heap
+// dies at the cut like any in-flight packet; one healed before the
+// timer fires is delivered.  (Regression: deferred deliveries used to
+// check partitions only at send time.)
+TEST(ChaosPlaneRegression, DeferredDeliveryRechecksPartitionAtFireTime) {
+  RecordingContext rec;
+  runtime::FaultPlaneConfig pc;
+  pc.seed = 7;
+  pc.extraLatencyMicros = 1'000;  // defer every delivery
+  runtime::FaultfulContext plane(rec, pc);
+  plane.registerNode(2, [](runtime::Message&&) {});
+
+  // Cut installed while the message is in flight: it must die.
+  plane.send({1, 2, 7, "in-flight-at-cut"});
+  ASSERT_EQ(rec.scheduled.size(), 1u);
+  EXPECT_TRUE(rec.sent.empty());
+  plane.isolate(1);
+  rec.scheduled[0].fn();
+  EXPECT_TRUE(rec.sent.empty());
+  EXPECT_EQ(plane.partitionDrops(), 1u);
+
+  // Cut healed before the timer fires: normal delivery.
+  plane.heal(1);
+  plane.send({1, 2, 7, "healed-before-fire"});
+  ASSERT_EQ(rec.scheduled.size(), 2u);
+  plane.isolate(1);
+  plane.heal(1);
+  rec.scheduled[1].fn();
+  ASSERT_EQ(rec.sent.size(), 1u);
+  EXPECT_EQ(rec.sent[0].payload, "healed-before-fire");
+  EXPECT_EQ(plane.partitionDrops(), 1u);
+}
+
+// Overlapping pause windows from independent script clauses union: the
+// worker runs again only after EVERY window has been resumed.
+// (Regression: a second pauseNode used to be swallowed by the set
+// insert, so the first resumeNode unparked the node early.)
+TEST(ChaosPlaneRegression, OverlappingPausesAreCounted) {
+  runtime::RealtimeContext ctx;
+  runtime::FaultfulContext plane(ctx, {});
+  std::atomic<int> ran{0};
+  plane.registerNode(1, [](runtime::Message&&) {});
+  ctx.start();
+
+  plane.pauseNode(1);   // window A parks the worker
+  plane.pauseNode(1);   // window B overlaps
+  plane.resumeNode(1);  // window A closes; B still holds the node
+  // The probe's deadline is strictly after the park closure's, so it
+  // queues behind the park regardless of timer tie-breaking.
+  plane.schedule(1, 2'000, [&ran] { ran.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(ran.load(), 0) << "node ran while an overlapping pause was open";
+
+  plane.resumeNode(1);  // window B closes: the node is live again
+  EXPECT_TRUE(runtime::waitForCondition([&] { return ran.load() == 1; }));
+  plane.resumeNode(1);  // resume of an un-paused node: a no-op
+
+  plane.release();
+  ctx.stop();
 }
 
 }  // namespace
